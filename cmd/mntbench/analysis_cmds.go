@@ -1,0 +1,214 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/export"
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/layout"
+	"repro/internal/qcasim"
+	"repro/internal/render"
+	"repro/internal/verify"
+)
+
+func readLayoutFile(path string) (*layout.Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fgl.Read(f)
+}
+
+// cmdStats prints geometry, timing, and energy analyses of a .fgl layout.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "layout .fgl file (required)")
+	balance := fs.Bool("balance", false, "list fanin arrival-skew issues per gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats: -in FILE.fgl is required")
+	}
+	l, err := readLayoutFile(*in)
+	if err != nil {
+		return err
+	}
+	report, err := analysis.Analyze(l)
+	if err != nil {
+		return err
+	}
+	fmt.Println("layout:  ", report.Stats)
+	fmt.Println("timing:  ", report.Timing)
+	fmt.Println("energy:  ", report.Energy)
+	if l.Library != "" {
+		if lib, err := gatelib.ByName(l.Library); err == nil {
+			fmt.Printf("physical: %.0f nm² (%s)\n", lib.LayoutAreaNM2(l), lib.Name)
+		}
+	}
+	if drc := verify.CheckDesignRules(l); !drc.OK() {
+		fmt.Printf("DRC:      %d violations (first: %s)\n", len(drc.Violations), drc.Violations[0])
+	} else {
+		fmt.Println("DRC:      clean")
+	}
+	if *balance {
+		issues, err := analysis.BalanceCheck(l)
+		if err != nil {
+			return err
+		}
+		if len(issues) == 0 {
+			fmt.Println("balance:  all reconvergent paths phase-aligned")
+		}
+		for _, issue := range issues {
+			fmt.Println("balance: ", issue)
+		}
+	}
+	return nil
+}
+
+// cmdCells expands a gate-level layout to technology cells and exports
+// QCADesigner (.qca) or SiQAD (.sqd) files.
+func cmdCells(args []string) error {
+	fs := flag.NewFlagSet("cells", flag.ExitOnError)
+	in := fs.String("in", "", "layout .fgl file (required)")
+	out := fs.String("out", "", "output file: .qca (QCA ONE layouts) or .sqd (Bestagon layouts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("cells: -in FILE.fgl is required")
+	}
+	l, err := readLayoutFile(*in)
+	if err != nil {
+		return err
+	}
+	lib, err := gatelib.ByName(l.Library)
+	if err != nil {
+		return fmt.Errorf("cells: layout has no usable library tag: %w", err)
+	}
+	cells, err := lib.Expand(l)
+	if err != nil {
+		return err
+	}
+	w, h := cells.BoundingBox()
+	fmt.Fprintf(os.Stderr, "%s: %d cells, %dx%d, %.0f nm²\n", l.Name, cells.NumCells(), w, h, cells.AreaNM2())
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(*out, ".qca"):
+		return export.WriteQCA(f, cells)
+	case strings.HasSuffix(*out, ".sqd"):
+		return export.WriteSQD(f, cells)
+	}
+	return fmt.Errorf("cells: output must end in .qca or .sqd")
+}
+
+// cmdSimulate runs the bistable QCA cell simulation of a layout and
+// compares the simulated truth table against the layout's logic.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "", "layout .fgl file (QCA ONE, required)")
+	maxInputs := fs.Int("max-inputs", 8, "skip exhaustive simulation beyond this many inputs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("simulate: -in FILE.fgl is required")
+	}
+	l, err := readLayoutFile(*in)
+	if err != nil {
+		return err
+	}
+	cells, err := gatelib.ExpandQCAOne(l)
+	if err != nil {
+		return err
+	}
+	engine, err := qcasim.New(cells)
+	if err != nil {
+		return err
+	}
+	if engine.NumInputs() > *maxInputs {
+		return fmt.Errorf("simulate: %d inputs exceed -max-inputs %d", engine.NumInputs(), *maxInputs)
+	}
+	// Reference truth table from the layout's logical structure.
+	ref, err := verify.ExtractNetwork(l)
+	if err != nil {
+		return err
+	}
+	refTT, err := ref.TruthTable()
+	if err != nil {
+		return err
+	}
+	simTT, err := engine.TruthTable()
+	if err != nil {
+		return err
+	}
+	// The engine orders I/O cells geometrically; align via the layout's
+	// deterministic tile order, which ExtractNetwork shares.
+	match := 0
+	for r := range simTT {
+		same := len(simTT[r]) == len(refTT[r])
+		if same {
+			for c := range simTT[r] {
+				if simTT[r][c] != refTT[r][c] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			match++
+		}
+	}
+	fmt.Printf("%s: %d cells, %d inputs, %d outputs\n", l.Name, cells.NumCells(), engine.NumInputs(), engine.NumOutputs())
+	fmt.Printf("bistable simulation matches logic on %d/%d patterns\n", match, len(simTT))
+	if match != len(simTT) {
+		return fmt.Errorf("simulate: physical simulation disagrees with the logical layout")
+	}
+	return nil
+}
+
+// cmdDraw renders a .fgl layout as SVG or ASCII art.
+func cmdDraw(args []string) error {
+	fs := flag.NewFlagSet("draw", flag.ExitOnError)
+	in := fs.String("in", "", "layout .fgl file (required)")
+	out := fs.String("out", "", "output .svg file (default: ASCII art on stdout)")
+	tile := fs.Int("tile", 28, "SVG tile size in pixels")
+	legend := fs.Bool("legend", false, "print the ASCII glyph legend")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *legend {
+		fmt.Print(render.Legend())
+		return nil
+	}
+	if *in == "" {
+		return fmt.Errorf("draw: -in FILE.fgl is required")
+	}
+	l, err := readLayoutFile(*in)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(render.ASCII(l))
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render.WriteSVG(f, l, render.SVGOptions{TileSize: *tile})
+}

@@ -1,0 +1,439 @@
+// Command mntbench is the MNT Bench reproduction tool: it generates FCN
+// gate-level layouts for the benchmark suites across all tool
+// combinations, regenerates the paper's Table I, serves the web
+// interface, and converts between Verilog networks and .fgl layouts.
+//
+// Usage:
+//
+//	mntbench list
+//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-out FILE]
+//	mntbench generate [-lib ...] [-set ...] [-dir DIR]
+//	mntbench serve    [-addr :8080] [-set ...]
+//	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
+//	mntbench convert  [-in FILE.fgl] [-out FILE.v]
+//	mntbench verify   [-layout FILE.fgl] [-net FILE.v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/core"
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/server"
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "table":
+		err = cmdTable(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "layout":
+		err = cmdLayout(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "cells":
+		err = cmdCells(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "draw":
+		err = cmdDraw(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mntbench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mntbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mntbench — MNT Bench (DATE 2024) reproduction
+
+commands:
+  list       list the benchmark suites and functions
+  table      regenerate the paper's Table I for one gate library
+  generate   generate layouts for all tool combinations into a directory
+  serve      run the MNT Bench web interface
+  layout     run one physical design flow on a Verilog file
+  convert    convert a .fgl layout back to structural Verilog
+  verify     check a .fgl layout against a .v network
+  stats      timing, energy, and DRC analysis of a .fgl layout
+  cells      expand a .fgl layout to QCADesigner (.qca) / SiQAD (.sqd) cells
+  simulate   bistable QCA cell simulation of a .fgl layout
+  draw       render a .fgl layout as ASCII art or SVG`)
+}
+
+// selectBenches picks benchmarks by set/name and a size cap.
+func selectBenches(set, name string, full bool) ([]bench.Benchmark, error) {
+	var out []bench.Benchmark
+	for _, b := range bench.All() {
+		if set != "" && !strings.EqualFold(b.Set, set) {
+			continue
+		}
+		if name != "" && !strings.EqualFold(b.Name, name) {
+			continue
+		}
+		if !full && b.PubNodes > 5000 {
+			continue // the giant EPFL/ISCAS circuits need -full
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks match set=%q name=%q", set, name)
+	}
+	return out, nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-11s %-14s %9s %7s  %s\n", "SET", "NAME", "I/O", "N", "ORIGIN")
+	for _, b := range bench.All() {
+		fmt.Printf("%-11s %-14s %4d/%-4d %7d  %s\n", b.Set, b.Name, b.PubIn, b.PubOut, b.PubNodes, b.Origin)
+	}
+	return nil
+}
+
+func limitsFromFlags(exactSec, nanoSec, ploSec int) core.Limits {
+	return core.Limits{
+		ExactTimeout: time.Duration(exactSec) * time.Second,
+		NanoTimeout:  time.Duration(nanoSec) * time.Second,
+		PLOTimeout:   time.Duration(ploSec) * time.Second,
+	}
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	lib := fs.String("lib", "qcaone", "gate library: qcaone or bestagon")
+	set := fs.String("set", "", "restrict to one benchmark set")
+	name := fs.String("name", "", "restrict to one function")
+	full := fs.Bool("full", false, "include the largest ISCAS85/EPFL circuits")
+	out := fs.String("out", "", "also write the table to this file")
+	exactSec := fs.Int("exact-timeout", 3, "exact search budget per function (seconds)")
+	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget per function (seconds)")
+	ploSec := fs.Int("plo-timeout", 20, "post-layout optimization budget (seconds)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	library, err := gatelib.ByName(*lib)
+	if err != nil {
+		return err
+	}
+	benches, err := selectBenches(*set, *name, *full)
+	if err != nil {
+		return err
+	}
+	progress := func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	if *quiet {
+		progress = nil
+	}
+	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
+	limits.DiscardLayouts = true
+	db := core.Generate(benches, library, limits, progress)
+	text := core.RenderTableI(db.TableI(benches, library), library)
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	lib := fs.String("lib", "", "gate library (empty = both)")
+	set := fs.String("set", "", "restrict to one benchmark set")
+	name := fs.String("name", "", "restrict to one function")
+	full := fs.Bool("full", false, "include the largest circuits")
+	dir := fs.String("dir", "mntbench-out", "output directory")
+	exactSec := fs.Int("exact-timeout", 3, "exact search budget (seconds)")
+	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget (seconds)")
+	ploSec := fs.Int("plo-timeout", 20, "PLO budget (seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches, err := selectBenches(*set, *name, *full)
+	if err != nil {
+		return err
+	}
+	libs := gatelib.All()
+	if *lib != "" {
+		l, err := gatelib.ByName(*lib)
+		if err != nil {
+			return err
+		}
+		libs = []*gatelib.Library{l}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
+	written := 0
+	for _, library := range libs {
+		db := core.Generate(benches, library, limits, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		for _, e := range db.Entries {
+			base := fmt.Sprintf("%s__%s__%s", strings.ToLower(e.Benchmark.Set), strings.ToLower(e.Benchmark.Name), e.Flow.ID())
+			text, err := fgl.WriteString(e.Layout)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*dir, base+".fgl"), []byte(text), 0o644); err != nil {
+				return err
+			}
+			written++
+			vname := filepath.Join(*dir, strings.ToLower(e.Benchmark.Set)+"__"+strings.ToLower(e.Benchmark.Name)+".v")
+			if _, err := os.Stat(vname); os.IsNotExist(err) {
+				vtext, err := verilog.WriteString(e.Benchmark.Build())
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(vname, []byte(vtext), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("wrote %d layouts to %s\n", written, *dir)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	lib := fs.String("lib", "", "gate library (empty = both)")
+	set := fs.String("set", "Trindade16", "benchmark set(s) to generate at startup ('' = all)")
+	full := fs.Bool("full", false, "include the largest circuits")
+	dir := fs.String("dir", "", "serve pre-generated layouts from this directory instead of generating")
+	reverify := fs.Bool("reverify", false, "with -dir: re-establish functional equivalence on load")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir != "" {
+		db, err := core.LoadDatabase(*dir, *reverify)
+		if err != nil {
+			return err
+		}
+		for _, f := range db.Failures {
+			fmt.Fprintln(os.Stderr, "skipped:", f.Reason)
+		}
+		fmt.Printf("serving %d pre-generated layouts on %s\n", len(db.Entries), *addr)
+		return http.ListenAndServe(*addr, server.New(db))
+	}
+	benches, err := selectBenches(*set, "", *full)
+	if err != nil {
+		return err
+	}
+	libs := gatelib.All()
+	if *lib != "" {
+		l, err := gatelib.ByName(*lib)
+		if err != nil {
+			return err
+		}
+		libs = []*gatelib.Library{l}
+	}
+	db := &core.Database{}
+	for _, library := range libs {
+		part := core.Generate(benches, library, core.Limits{}, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		db.Entries = append(db.Entries, part.Entries...)
+		db.Failures = append(db.Failures, part.Failures...)
+	}
+	fmt.Printf("serving %d layouts on %s\n", len(db.Entries), *addr)
+	return http.ListenAndServe(*addr, server.New(db))
+}
+
+func cmdLayout(args []string) error {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	in := fs.String("in", "", "input Verilog file (required)")
+	lib := fs.String("lib", "qcaone", "gate library")
+	algo := fs.String("algo", "ortho", "algorithm: ortho, exact, nanoplacer")
+	inOrd := fs.Bool("inord", false, "apply input ordering (ortho)")
+	plo := fs.Bool("plo", false, "apply post-layout optimization")
+	hex := fs.Bool("hex", false, "apply 45° hexagonalization (implied for bestagon+ortho)")
+	strash := fs.Bool("strash", false, "structurally hash and constant-fold the network first")
+	balance := fs.Bool("balance", false, "insert buffers to path-balance the network first")
+	out := fs.String("out", "", "output .fgl file (default stdout)")
+	exactSec := fs.Int("exact-timeout", 10, "exact search budget (seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("layout: -in FILE.v is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	n, err := verilog.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *strash {
+		merged := n.Strash()
+		folded := n.PropagateConstants()
+		fmt.Fprintf(os.Stderr, "strash: removed %d duplicate and %d constant-fed nodes\n", merged, folded)
+	}
+	if *balance {
+		fmt.Fprintf(os.Stderr, "balance: inserted %d buffers\n", n.Balance(true))
+	}
+	library, err := gatelib.ByName(*lib)
+	if err != nil {
+		return err
+	}
+	var algorithm core.Algorithm
+	switch strings.ToLower(*algo) {
+	case "ortho":
+		algorithm = core.AlgoOrtho
+	case "exact":
+		algorithm = core.AlgoExact
+	case "nanoplacer":
+		algorithm = core.AlgoNanoPlaceR
+	default:
+		return fmt.Errorf("layout: unknown algorithm %q", *algo)
+	}
+	scheme := clocking.TwoDDWave
+	hexify := *hex
+	if library == gatelib.Bestagon {
+		scheme = clocking.Row
+		if algorithm == core.AlgoOrtho {
+			hexify = true
+		}
+	}
+	flow := core.Flow{Library: library, Scheme: scheme, Algorithm: algorithm,
+		InputOrder: *inOrd, PostLayout: *plo, Hexagonalize: hexify}
+	entry, err := core.RunFlowOnNetwork(n, "custom", flow, core.Limits{
+		ExactTimeout:  time.Duration(*exactSec) * time.Second,
+		ExactMaxNodes: 1 << 30,
+	})
+	if err != nil {
+		return err
+	}
+	text, err := fgl.WriteString(entry.Layout)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "%s: %dx%d = %d tiles (verified=%v, %v)\n",
+		n.Name, entry.Width, entry.Height, entry.Area, entry.Verified, entry.Runtime.Round(time.Millisecond))
+	return os.WriteFile(*out, []byte(text), 0o644)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input .fgl file (required)")
+	out := fs.String("out", "", "output .v file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("convert: -in FILE.fgl is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	l, err := fgl.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	n, err := verify.ExtractNetwork(l)
+	if err != nil {
+		return err
+	}
+	text, err := verilog.WriteString(n)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(text), 0o644)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	layoutFile := fs.String("layout", "", "layout .fgl file (required)")
+	netFile := fs.String("net", "", "reference .v network (optional: DRC only when absent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *layoutFile == "" {
+		return fmt.Errorf("verify: -layout FILE.fgl is required")
+	}
+	f, err := os.Open(*layoutFile)
+	if err != nil {
+		return err
+	}
+	l, err := fgl.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	report := verify.CheckDesignRules(l)
+	if !report.OK() {
+		for _, v := range report.Violations {
+			fmt.Println("DRC:", v)
+		}
+		return fmt.Errorf("%d design rule violations", len(report.Violations))
+	}
+	fmt.Println("DRC: clean")
+	if *netFile == "" {
+		return nil
+	}
+	nf, err := os.Open(*netFile)
+	if err != nil {
+		return err
+	}
+	n, err := verilog.Parse(nf)
+	nf.Close()
+	if err != nil {
+		return err
+	}
+	eq, err := verify.Equivalent(l, n)
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("layout is NOT equivalent to %s", *netFile)
+	}
+	fmt.Println("equivalence: layout implements the network")
+	return nil
+}

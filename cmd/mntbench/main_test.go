@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSelectBenches(t *testing.T) {
+	all, err := selectBenches("", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range all {
+		if b.PubNodes > 5000 {
+			t.Errorf("%s (%d nodes) included without -full", b.Name, b.PubNodes)
+		}
+	}
+	full, err := selectBenches("", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(all) {
+		t.Errorf("-full selected %d <= %d", len(full), len(all))
+	}
+	one, err := selectBenches("Trindade16", "mux21", false)
+	if err != nil || len(one) != 1 || one[0].Name != "mux21" {
+		t.Errorf("single select: %v %v", one, err)
+	}
+	if _, err := selectBenches("Nope", "", false); err == nil {
+		t.Error("unknown set accepted")
+	}
+}
+
+func TestLimitsFromFlags(t *testing.T) {
+	l := limitsFromFlags(3, 5, 20)
+	if l.ExactTimeout != 3*time.Second || l.NanoTimeout != 5*time.Second || l.PLOTimeout != 20*time.Second {
+		t.Errorf("limits: %+v", l)
+	}
+}
+
+// TestLayoutConvertVerifyCommands drives the file-based subcommands end
+// to end through their exported entry points.
+func TestLayoutConvertVerifyCommands(t *testing.T) {
+	dir := t.TempDir()
+	vfile := filepath.Join(dir, "f.v")
+	src := `module f(a, b, y);
+  input a, b; output y;
+  assign y = a ^ b;
+endmodule`
+	if err := os.WriteFile(vfile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fglFile := filepath.Join(dir, "f.fgl")
+	if err := cmdLayout([]string{"-in", vfile, "-lib", "bestagon", "-algo", "ortho", "-out", fglFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-layout", fglFile, "-net", vfile}); err != nil {
+		t.Fatal(err)
+	}
+	vOut := filepath.Join(dir, "back.v")
+	if err := cmdConvert([]string{"-in", fglFile, "-out", vOut}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(vOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module") {
+		t.Error("converted Verilog malformed")
+	}
+	if err := cmdStats([]string{"-in", fglFile, "-balance"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDraw([]string{"-in", fglFile}); err != nil {
+		t.Fatal(err)
+	}
+	svg := filepath.Join(dir, "f.svg")
+	if err := cmdDraw([]string{"-in", fglFile, "-out", svg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCells([]string{"-in", fglFile, "-out", filepath.Join(dir, "f.sqd")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsWrongNetwork(t *testing.T) {
+	dir := t.TempDir()
+	vfile := filepath.Join(dir, "f.v")
+	os.WriteFile(vfile, []byte("module f(a, b, y); input a, b; output y; assign y = a ^ b; endmodule"), 0o644)
+	wrong := filepath.Join(dir, "g.v")
+	os.WriteFile(wrong, []byte("module f(a, b, y); input a, b; output y; assign y = a & b; endmodule"), 0o644)
+	fglFile := filepath.Join(dir, "f.fgl")
+	if err := cmdLayout([]string{"-in", vfile, "-lib", "qcaone", "-algo", "ortho", "-out", fglFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-layout", fglFile, "-net", wrong}); err == nil {
+		t.Error("wrong network accepted")
+	}
+}

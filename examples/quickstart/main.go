@@ -1,0 +1,76 @@
+// Quickstart: build a logic network, run the scalable ortho physical
+// design flow for the QCA ONE library, optimize, verify, and write the
+// result as a .fgl file and as structural Verilog.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+	"repro/internal/physical/postlayout"
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+func main() {
+	// 1. Describe the function: a 2:1 multiplexer.
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	f := n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s))
+	n.AddPO(f, "f")
+	fmt.Println("network:", n.ComputeStats())
+
+	// 2. Prepare for the QCA ONE gate library (decompose unsupported
+	// functions, bound fanout) and generate a 2DDWave layout with ortho.
+	prepared, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lay, err := ortho.Place(prepared, ortho.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ortho:  ", lay.ComputeStats())
+
+	// 3. Shrink it with post-layout optimization.
+	opt, err := postlayout.Optimize(lay, postlayout.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Library = gatelib.QCAOne.Name
+	fmt.Println("PLO:    ", opt.ComputeStats())
+
+	// 4. Verify: design rules + functional equivalence.
+	if err := verify.Check(opt, n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verify:  DRC clean, layout equivalent to network")
+
+	// 5. Physical size under QCA ONE (20 nm cell pitch, 5x5 cells/tile).
+	fmt.Printf("physical: %.0f nm²\n", gatelib.QCAOne.LayoutAreaNM2(opt))
+
+	// 6. Serialize.
+	if err := writeFile("mux21.fgl", func(fh *os.File) error { return fgl.Write(fh, opt) }); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile("mux21.v", func(fh *os.File) error { return verilog.Write(fh, n) }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote mux21.fgl and mux21.v")
+}
+
+func writeFile(name string, write func(*os.File) error) error {
+	fh, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return write(fh)
+}

@@ -1,0 +1,40 @@
+// Tablegen regenerates the paper's Table I ("most efficient layouts
+// w.r.t. area discovered thus far") for both gate libraries over the
+// small benchmark suites, printing the per-function best flow, its area,
+// and the ΔA improvement over the plain ortho baseline.
+//
+// Pass -set/-full to widen coverage (see cmd/mntbench table for the full
+// command-line interface).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gatelib"
+)
+
+func main() {
+	set := flag.String("set", "Trindade16", "benchmark set to tabulate")
+	verbose := flag.Bool("v", false, "print per-flow progress")
+	flag.Parse()
+
+	benches := bench.BySet(*set)
+	if len(benches) == 0 {
+		log.Fatalf("unknown benchmark set %q", *set)
+	}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	for _, lib := range gatelib.All() {
+		db := core.Generate(benches, lib, core.Limits{}, progress)
+		rows := db.TableI(benches, lib)
+		fmt.Print(core.RenderTableI(rows, lib))
+		fmt.Printf("(%d layouts generated, %d flows skipped)\n\n", len(db.Entries), len(db.Failures))
+	}
+}

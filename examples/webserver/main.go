@@ -1,0 +1,36 @@
+// Webserver runs the MNT Bench web interface (Figure 1 of the paper) on
+// a freshly generated layout database: filter panes for gate library,
+// clocking scheme, physical design algorithm, and optimizations, with
+// .fgl / .v / ZIP downloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gatelib"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	set := flag.String("set", "Trindade16", "benchmark set to generate at startup")
+	flag.Parse()
+
+	benches := bench.BySet(*set)
+	if len(benches) == 0 {
+		log.Fatalf("unknown benchmark set %q", *set)
+	}
+	db := &core.Database{}
+	for _, lib := range gatelib.All() {
+		part := core.Generate(benches, lib, core.Limits{}, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		db.Entries = append(db.Entries, part.Entries...)
+	}
+	fmt.Printf("MNT Bench: %d layouts ready — http://localhost%s/\n", len(db.Entries), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
+}

@@ -1,0 +1,235 @@
+// Package analysis computes timing and energy figures of merit for FCN
+// gate-level layouts, mirroring the analysis passes of the fiction
+// framework that MNT Bench reports alongside its layouts.
+//
+// Timing in FCN is counted in clock cycles: a signal advances one tile
+// per clock phase, so a path of k tiles takes k phases = k/n cycles for
+// an n-phase clocking. Reconvergent paths of different lengths desynchronize
+// the circuit; the throughput of a layout drops to 1/(1+s) where s is
+// the maximum path-length skew (in full cycles) at any gate — the
+// standard FCN throughput model.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// Timing summarizes the temporal behaviour of a layout.
+type Timing struct {
+	// CriticalPathTiles is the longest PI-to-PO path length in tiles
+	// (phases), including the endpoint tiles.
+	CriticalPathTiles int
+	// CriticalPathCycles is the critical path in full clock cycles.
+	CriticalPathCycles float64
+	// MaxSkewPhases is the largest difference, over all multi-input
+	// tiles, between the arrival phases of their fanins.
+	MaxSkewPhases int
+	// ThroughputDenominator is d in the throughput 1/d: the number of
+	// clock cycles between accepted input patterns (1 = fully pipelined).
+	ThroughputDenominator int
+	// Balanced reports whether every reconvergent path pair is phase-
+	// aligned (MaxSkewPhases == 0).
+	Balanced bool
+}
+
+// String renders the timing summary in one line.
+func (t Timing) String() string {
+	return fmt.Sprintf("critical path %d tiles (%.2f cycles), max skew %d phases, throughput 1/%d",
+		t.CriticalPathTiles, t.CriticalPathCycles, t.MaxSkewPhases, t.ThroughputDenominator)
+}
+
+// ComputeTiming derives the timing summary of a layout. The layout must
+// be acyclic in its signal flow (feedback loops make arrival times
+// undefined and return an error).
+func ComputeTiming(l *layout.Layout) (Timing, error) {
+	arrival, order, err := arrivalTimes(l)
+	if err != nil {
+		return Timing{}, err
+	}
+	var t Timing
+	numZones := l.Scheme.NumZones
+	for _, c := range order {
+		tile := l.At(c)
+		if tile.Fn == network.PO {
+			if a := arrival[c]; a > t.CriticalPathTiles {
+				t.CriticalPathTiles = a
+			}
+		}
+		if len(tile.Incoming) >= 2 {
+			min, max := math.MaxInt, 0
+			for _, in := range tile.Incoming {
+				a := arrival[in]
+				if a < min {
+					min = a
+				}
+				if a > max {
+					max = a
+				}
+			}
+			if skew := max - min; skew > t.MaxSkewPhases {
+				t.MaxSkewPhases = skew
+			}
+		}
+	}
+	t.CriticalPathCycles = float64(t.CriticalPathTiles) / float64(numZones)
+	// A skew of s phases delays acceptance of the next wave by
+	// ceil(s/n) cycles.
+	t.ThroughputDenominator = 1 + (t.MaxSkewPhases+numZones-1)/numZones
+	t.Balanced = t.MaxSkewPhases == 0
+	return t, nil
+}
+
+// arrivalTimes computes, for every occupied coordinate, the number of
+// tiles on the longest path from any PI to (and including) that tile,
+// along with a topological order of the tiles.
+func arrivalTimes(l *layout.Layout) (map[layout.Coord]int, []layout.Coord, error) {
+	coords := l.Coords()
+	indeg := make(map[layout.Coord]int, len(coords))
+	for _, c := range coords {
+		indeg[c] = len(l.At(c).Incoming)
+	}
+	var queue []layout.Coord
+	for _, c := range coords {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	arrival := make(map[layout.Coord]int, len(coords))
+	var order []layout.Coord
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		order = append(order, c)
+		a := 1
+		for _, in := range l.At(c).Incoming {
+			if v := arrival[in] + 1; v > a {
+				a = v
+			}
+		}
+		arrival[c] = a
+		for _, out := range l.Outgoing(c) {
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if len(order) != len(coords) {
+		return nil, nil, fmt.Errorf("analysis: layout %q has a signal-flow cycle", l.Name)
+	}
+	return arrival, order, nil
+}
+
+// Energy estimates the dissipation of one computation wave using the
+// per-element cost model popularized for QCA layout comparison
+// (slow/“adiabatic” vs fast/abrupt switching regimes, meV per element).
+type Energy struct {
+	// SlowMEV is the estimated dissipation per wave in the quasi-
+	// adiabatic regime, in meV.
+	SlowMEV float64
+	// FastMEV is the estimate in the abrupt-switching regime, in meV.
+	FastMEV float64
+}
+
+// String renders the energy estimate.
+func (e Energy) String() string {
+	return fmt.Sprintf("%.2f meV (slow) / %.2f meV (fast) per wave", e.SlowMEV, e.FastMEV)
+}
+
+// Per-element dissipation constants (meV) following the fiction energy
+// model's distinction between wires, fanouts, inverters, and two-input
+// gates under slow (adiabatic) and fast clocking.
+const (
+	wireSlow, wireFast       = 0.09, 0.28
+	fanoutSlow, fanoutFast   = 0.12, 0.32
+	inverterSlow, invFast    = 9.77, 9.84
+	twoInSlow, twoInFast     = 3.39, 9.45
+	threeInSlow, threeInFast = 4.06, 10.2
+	crossSlow, crossFast     = 0.28, 0.72
+)
+
+// ComputeEnergy estimates the layout's energy dissipation per clocked
+// computation wave.
+func ComputeEnergy(l *layout.Layout) Energy {
+	var e Energy
+	for _, c := range l.Coords() {
+		t := l.At(c)
+		switch {
+		case t.Fn == network.PI || t.Fn == network.PO:
+			// I/O pins are driven externally.
+		case t.IsWire() && c.Z == 1:
+			e.SlowMEV += crossSlow
+			e.FastMEV += crossFast
+		case t.IsWire():
+			e.SlowMEV += wireSlow
+			e.FastMEV += wireFast
+		case t.Fn == network.Fanout:
+			e.SlowMEV += fanoutSlow
+			e.FastMEV += fanoutFast
+		case t.Fn == network.Not:
+			e.SlowMEV += inverterSlow
+			e.FastMEV += invFast
+		case t.Fn == network.Maj:
+			e.SlowMEV += threeInSlow
+			e.FastMEV += threeInFast
+		case t.Fn.IsLogic():
+			e.SlowMEV += twoInSlow
+			e.FastMEV += twoInFast
+		}
+	}
+	return e
+}
+
+// Report bundles every analysis of a layout.
+type Report struct {
+	Stats  layout.Stats
+	Timing Timing
+	Energy Energy
+}
+
+// Analyze runs all analyses.
+func Analyze(l *layout.Layout) (Report, error) {
+	t, err := ComputeTiming(l)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Stats:  l.ComputeStats(),
+		Timing: t,
+		Energy: ComputeEnergy(l),
+	}, nil
+}
+
+// BalanceCheck lists the multi-input tiles whose fanin arrival phases
+// differ, with their skews — the desynchronization diagnosis tool.
+func BalanceCheck(l *layout.Layout) ([]string, error) {
+	arrival, order, err := arrivalTimes(l)
+	if err != nil {
+		return nil, err
+	}
+	var issues []string
+	for _, c := range order {
+		t := l.At(c)
+		if len(t.Incoming) < 2 {
+			continue
+		}
+		min, max := math.MaxInt, 0
+		for _, in := range t.Incoming {
+			a := arrival[in]
+			if a < min {
+				min = a
+			}
+			if a > max {
+				max = a
+			}
+		}
+		if max != min {
+			issues = append(issues, fmt.Sprintf("%s at %v: fanin arrival skew %d phases", t.Fn, c, max-min))
+		}
+	}
+	return issues, nil
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+)
+
+// chain builds PI -> wire^k -> PO in a row.
+func chain(k int) *layout.Layout {
+	l := layout.New("chain", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	prev := layout.C(0, 0)
+	for i := 1; i <= k; i++ {
+		c := layout.C(i, 0)
+		l.MustPlace(c, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prev}})
+		prev = c
+	}
+	l.MustPlace(layout.C(k+1, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{prev}})
+	return l
+}
+
+func TestTimingChain(t *testing.T) {
+	l := chain(6)
+	tm, err := ComputeTiming(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CriticalPathTiles != 8 { // PI + 6 wires + PO
+		t.Errorf("critical path = %d, want 8", tm.CriticalPathTiles)
+	}
+	if tm.CriticalPathCycles != 2.0 {
+		t.Errorf("cycles = %v, want 2", tm.CriticalPathCycles)
+	}
+	if !tm.Balanced || tm.MaxSkewPhases != 0 || tm.ThroughputDenominator != 1 {
+		t.Errorf("chain should be balanced with full throughput: %+v", tm)
+	}
+}
+
+// skewed builds an AND whose two fanin paths differ by 4 tiles.
+func skewed(t *testing.T) *layout.Layout {
+	l := layout.New("skew", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "b"})
+	// Path 1: direct east from (0,0): wires at (1,0)..(4,0).
+	prev := layout.C(0, 0)
+	for x := 1; x <= 4; x++ {
+		c := layout.C(x, 0)
+		l.MustPlace(c, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prev}})
+		prev = c
+	}
+	// Path 2: from (0,1) east along row 1 then north into the gate...
+	// 2DDWave cannot go north; instead make the gate at (5,1) and bring
+	// path 1 south at the end.
+	l.MustPlace(layout.C(5, 0), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prev}})
+	prevB := layout.C(0, 1)
+	for x := 1; x <= 4; x++ {
+		c := layout.C(x, 1)
+		l.MustPlace(c, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prevB}})
+		prevB = c
+	}
+	// Wait: both paths are now length-equal; extend path 2 by a detour.
+	l.MustPlace(layout.C(4, 2), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(4, 1)}})
+	l.MustPlace(layout.C(5, 2), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(4, 2)}})
+	// Disconnect straight continuation by routing gate input from detour.
+	l.MustPlace(layout.C(5, 1), layout.Tile{Fn: network.And, Incoming: []layout.Coord{layout.C(5, 0), layout.C(4, 1)}})
+	l.MustPlace(layout.C(6, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(5, 1)}})
+	return l
+}
+
+func TestTimingSkew(t *testing.T) {
+	l := skewed(t)
+	tm, err := ComputeTiming(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Balanced {
+		t.Fatal("skewed layout reported balanced")
+	}
+	if tm.MaxSkewPhases != 1 { // path a: PI+4w+1w = 6; path b: PI+4w = 5
+		t.Errorf("skew = %d, want 1", tm.MaxSkewPhases)
+	}
+	if tm.ThroughputDenominator != 2 {
+		t.Errorf("throughput = 1/%d, want 1/2", tm.ThroughputDenominator)
+	}
+	issues, err := BalanceCheck(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0], "skew 1") {
+		t.Errorf("balance check: %v", issues)
+	}
+}
+
+func TestTimingCycleDetection(t *testing.T) {
+	l := layout.New("loop", layout.Cartesian, clocking.USE)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(0, 0)}})
+	if err := l.Connect(layout.C(1, 0), layout.C(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeTiming(l); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestTimingOnOrthoLayout(t *testing.T) {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	n.AddPO(n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s)), "f")
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ComputeTiming(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CriticalPathTiles < n.Depth() {
+		t.Errorf("critical path %d shorter than logic depth %d", tm.CriticalPathTiles, n.Depth())
+	}
+	hex, err := hexagonal.Map(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := ComputeTiming(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 45° mapping preserves connectivity exactly, so path lengths and
+	// skews are identical.
+	if hm.CriticalPathTiles != tm.CriticalPathTiles || hm.MaxSkewPhases != tm.MaxSkewPhases {
+		t.Errorf("hexagonalization changed timing: %+v vs %+v", tm, hm)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	l := chain(3)
+	e := ComputeEnergy(l)
+	want := 3 * wireSlow
+	if diff := e.SlowMEV - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("slow energy = %v, want %v", e.SlowMEV, want)
+	}
+	if e.FastMEV <= e.SlowMEV {
+		t.Error("fast switching must dissipate more than slow")
+	}
+}
+
+func TestEnergyGateMix(t *testing.T) {
+	l := layout.New("mix", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	e := ComputeEnergy(l)
+	if e.SlowMEV != inverterSlow {
+		t.Errorf("slow = %v, want inverter-only %v", e.SlowMEV, inverterSlow)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	l := chain(2)
+	r, err := Analyze(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Wires != 2 || r.Timing.CriticalPathTiles != 4 || r.Energy.SlowMEV <= 0 {
+		t.Errorf("report: %+v", r)
+	}
+	if !strings.Contains(r.Timing.String(), "throughput") {
+		t.Error("timing String() incomplete")
+	}
+	if !strings.Contains(r.Energy.String(), "meV") {
+		t.Error("energy String() incomplete")
+	}
+}

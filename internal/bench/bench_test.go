@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestAllBenchmarksBuildAndValidate(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Set+"/"+b.Name, func(t *testing.T) {
+			n := b.Build()
+			if err := n.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if n.NumPIs() != b.PubIn {
+				t.Errorf("PIs = %d, published %d", n.NumPIs(), b.PubIn)
+			}
+			if n.NumPOs() != b.PubOut {
+				t.Errorf("POs = %d, published %d", n.NumPOs(), b.PubOut)
+			}
+			if b.Origin == SyntheticOrigin && n.NumLogicGates() != b.PubNodes {
+				t.Errorf("synthetic node count = %d, want published %d", n.NumLogicGates(), b.PubNodes)
+			}
+		})
+	}
+}
+
+func TestSuitesCoverPaperTable(t *testing.T) {
+	counts := map[string]int{}
+	for _, b := range All() {
+		counts[b.Set]++
+	}
+	want := map[string]int{"Trindade16": 7, "Fontes18": 11, "ISCAS85": 11, "EPFL": 11}
+	for set, w := range want {
+		if counts[set] != w {
+			t.Errorf("%s has %d functions, want %d", set, counts[set], w)
+		}
+	}
+}
+
+func TestMux21Function(t *testing.T) {
+	n := Mux21()
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		a, b, s := r&1 != 0, r&2 != 0, r&4 != 0
+		want := a
+		if s {
+			want = b
+		}
+		if tt[r][0] != want {
+			t.Errorf("row %d", r)
+		}
+	}
+}
+
+func TestXorXnorComplement(t *testing.T) {
+	x := Xor2()
+	xn := Xnor2()
+	tx, _ := x.TruthTable()
+	txn, _ := xn.TruthTable()
+	for r := range tx {
+		if tx[r][0] == txn[r][0] {
+			t.Errorf("xor and xnor agree on row %d", r)
+		}
+	}
+}
+
+func TestFullAdderFunction(t *testing.T) {
+	n := FullAdder()
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		sum := (r & 1) + (r >> 1 & 1) + (r >> 2 & 1)
+		if tt[r][0] != (sum%2 == 1) {
+			t.Errorf("sum wrong at %d", r)
+		}
+		if tt[r][1] != (sum >= 2) {
+			t.Errorf("carry wrong at %d", r)
+		}
+	}
+}
+
+func TestAdderVariantsEquivalent(t *testing.T) {
+	a := oneBitAdderAOIG()
+	m := oneBitAdderMaj()
+	eq, err := network.Equivalent(a, m)
+	if err != nil || !eq {
+		t.Fatalf("AOIG and Maj adders differ: %v %v", eq, err)
+	}
+}
+
+func TestMajority5Function(t *testing.T) {
+	n := Majority5()
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		ones := 0
+		for i := 0; i < 5; i++ {
+			if r&(1<<i) != 0 {
+				ones++
+			}
+		}
+		if tt[r][0] != (ones >= 3) {
+			t.Fatalf("majority wrong for %05b", r)
+		}
+	}
+}
+
+func TestParityTreeFunction(t *testing.T) {
+	n := ParityTree("p8", 8)
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 256; r++ {
+		ones := 0
+		for i := 0; i < 8; i++ {
+			if r&(1<<i) != 0 {
+				ones++
+			}
+		}
+		if tt[r][0] != (ones%2 == 1) {
+			t.Fatalf("parity wrong for %08b", r)
+		}
+	}
+}
+
+func TestRippleCarryAdderFunction(t *testing.T) {
+	n := RippleCarryAdder("add4", 4)
+	if n.NumPIs() != 8 || n.NumPOs() != 5 {
+		t.Fatalf("I/O = %d/%d", n.NumPIs(), n.NumPOs())
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a&(1<<i) != 0
+				in[4+i] = b&(1<<i) != 0
+			}
+			out, err := n.Simulate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			for i := 0; i < 5; i++ {
+				if out[i] {
+					got |= 1 << i
+				}
+			}
+			if got != a+b {
+				t.Fatalf("%d+%d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterFunction(t *testing.T) {
+	n := BarrelShifter("bar3", 3) // 8 data bits, 3 select
+	if n.NumPIs() != 11 || n.NumPOs() != 8 {
+		t.Fatalf("I/O = %d/%d", n.NumPIs(), n.NumPOs())
+	}
+	for shift := 0; shift < 8; shift++ {
+		data := 0b10110001
+		in := make([]bool, 11)
+		for i := 0; i < 8; i++ {
+			in[i] = data&(1<<i) != 0
+		}
+		for i := 0; i < 3; i++ {
+			in[8+i] = shift&(1<<i) != 0
+		}
+		out, err := n.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for i := 0; i < 8; i++ {
+			if out[i] {
+				got |= 1 << i
+			}
+		}
+		want := (data << shift) & 0xFF
+		if got != want {
+			t.Fatalf("shift %d: got %08b want %08b", shift, got, want)
+		}
+	}
+}
+
+func TestDecoderFunction(t *testing.T) {
+	n := Decoder("dec3", 3)
+	for v := 0; v < 8; v++ {
+		in := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			in[i] = v&(1<<i) != 0
+		}
+		out, err := n.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := 0; o < 8; o++ {
+			if out[o] != (o == v) {
+				t.Fatalf("dec(%d): output %d = %v", v, o, out[o])
+			}
+		}
+	}
+}
+
+func TestPriorityEncoderFunction(t *testing.T) {
+	n := PriorityEncoder("prio8", 8)
+	if n.NumPIs() != 8 || n.NumPOs() != 4 {
+		t.Fatalf("I/O = %d/%d", n.NumPIs(), n.NumPOs())
+	}
+	for v := 0; v < 256; v++ {
+		in := make([]bool, 8)
+		for i := 0; i < 8; i++ {
+			in[i] = v&(1<<i) != 0
+		}
+		out, err := n.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			if out[3] {
+				t.Fatal("valid asserted with no requests")
+			}
+			continue
+		}
+		hi := 7
+		for v&(1<<hi) == 0 {
+			hi--
+		}
+		got := 0
+		for b := 0; b < 3; b++ {
+			if out[b] {
+				got |= 1 << b
+			}
+		}
+		if got != hi || !out[3] {
+			t.Fatalf("prio(%08b): got %d valid=%v, want %d", v, got, out[3], hi)
+		}
+	}
+}
+
+func TestC17Function(t *testing.T) {
+	n := C17()
+	// Reference: out22 = NAND(NAND(1,3), NAND(2, NAND(3,6)));
+	//            out23 = NAND(NAND(2,NAND(3,6)), NAND(NAND(3,6),7)).
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand := func(a, b bool) bool { return !(a && b) }
+	for r := 0; r < 32; r++ {
+		i1, i2, i3, i6, i7 := r&1 != 0, r&2 != 0, r&4 != 0, r&8 != 0, r&16 != 0
+		g11 := nand(i3, i6)
+		g16 := nand(i2, g11)
+		want22 := nand(nand(i1, i3), g16)
+		want23 := nand(g16, nand(g11, i7))
+		if tt[r][0] != want22 || tt[r][1] != want23 {
+			t.Fatalf("c17 mismatch at row %d", r)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("x", 5, 3, 40, 7)
+	b := Synthetic("x", 5, 3, 40, 7)
+	eq, err := network.Equivalent(a, b)
+	if err != nil || !eq {
+		t.Fatal("synthetic generation not deterministic")
+	}
+	c := Synthetic("x", 5, 3, 40, 8)
+	eq, err = network.Equivalent(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Log("warning: different seeds produced equivalent networks (possible but unlikely)")
+	}
+}
+
+func TestSyntheticNoDanglingPIs(t *testing.T) {
+	n := Synthetic("x", 12, 4, 30, 3)
+	counts := n.FanoutCounts()
+	for _, pi := range n.PIs() {
+		if counts[pi] == 0 {
+			t.Errorf("PI %d dangling", pi)
+		}
+	}
+}
+
+func TestByNameAndBySet(t *testing.T) {
+	b, err := ByName("iscas85", "C17")
+	if err != nil || b.Name != "c17" {
+		t.Fatalf("ByName case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByName("ISCAS85", "c99999"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+	if got := len(BySet("EPFL")); got != 11 {
+		t.Errorf("BySet(EPFL) = %d", got)
+	}
+}

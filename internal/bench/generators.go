@@ -1,0 +1,288 @@
+// Package bench provides the benchmark function suites distributed by
+// MNT Bench: Trindade16, Fontes18, ISCAS85, and EPFL.
+//
+// Small functions (Trindade16, Fontes18, ISCAS85 c17) are reconstructed
+// exactly from their published definitions. Regular EPFL circuits
+// (adder, bar, dec, parity trees) are generated structurally. The
+// remaining ISCAS85/EPFL circuits are distributed as external netlist
+// files the paper does not reproduce; this package substitutes
+// deterministic synthetic networks matching the published I/O and node
+// counts (see DESIGN.md, substitution 3).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// Mux21 builds the 2:1 multiplexer f = a if s=0 else b.
+func Mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	n.AddPO(n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s)), "f")
+	return n
+}
+
+// Xor2 builds f = a ^ b in AOIG form.
+func Xor2() *network.Network {
+	n := network.New("xor2")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddAnd(n.AddOr(a, b), n.AddNot(n.AddAnd(a, b))), "f")
+	return n
+}
+
+// Xnor2 builds f = ~(a ^ b) in AOIG form.
+func Xnor2() *network.Network {
+	n := network.New("xnor2")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddOr(n.AddAnd(a, b), n.AddAnd(n.AddNot(a), n.AddNot(b))), "f")
+	return n
+}
+
+// HalfAdder builds sum = a^b, carry = a&b.
+func HalfAdder() *network.Network {
+	n := network.New("ha")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "sum")
+	n.AddPO(n.AddAnd(a, b), "carry")
+	return n
+}
+
+// FullAdder builds the majority-based full adder.
+func FullAdder() *network.Network {
+	n := network.New("fa")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("cin")
+	n.AddPO(n.AddXor(n.AddXor(a, b), c), "sum")
+	n.AddPO(n.AddMaj(a, b, c), "cout")
+	return n
+}
+
+// ParGen builds the 3-bit even-parity generator p = a^b^c.
+func ParGen() *network.Network {
+	n := network.New("par_gen")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	n.AddPO(n.AddXor(n.AddXor(a, b), c), "p")
+	return n
+}
+
+// ParCheck builds the 4-bit parity checker err = a^b^c^p.
+func ParCheck() *network.Network {
+	n := network.New("par_check")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	p := n.AddPI("p")
+	n.AddPO(n.AddXor(n.AddXor(a, b), n.AddXor(c, p)), "err")
+	return n
+}
+
+// ParityTree builds the k-input XOR parity function as a balanced tree.
+func ParityTree(name string, k int) *network.Network {
+	n := network.New(name)
+	var lvl []network.ID
+	for i := 0; i < k; i++ {
+		lvl = append(lvl, n.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	for len(lvl) > 1 {
+		var next []network.ID
+		for i := 0; i+1 < len(lvl); i += 2 {
+			next = append(next, n.AddXor(lvl[i], lvl[i+1]))
+		}
+		if len(lvl)%2 == 1 {
+			next = append(next, lvl[len(lvl)-1])
+		}
+		lvl = next
+	}
+	n.AddPO(lvl[0], "p")
+	return n
+}
+
+// Majority5 builds the 5-input majority function out of 3-input
+// majorities: <abcde> = <ab<cd<abe>>> ... realized here by the standard
+// expansion M5(a..e) = M3(M3(a,b,c), M3(a,d,e)... using the exact
+// formula M5 = M3(e, M3(a,b,c), M3(d, M3(a,b,c)... For robustness the
+// function is synthesized directly as a threshold count.
+func Majority5() *network.Network {
+	n := network.New("majority")
+	var xs []network.ID
+	for i := 0; i < 5; i++ {
+		xs = append(xs, n.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	// Median decomposition, verified exhaustively by TestMajority5:
+	// M5(a,b,c,d,e) = M3( a, M3(b,c,d), M3(b, e, M3(a,c,d)) ).
+	m3 := func(a, b, c network.ID) network.ID { return n.AddMaj(a, b, c) }
+	t1 := m3(xs[1], xs[2], xs[3])
+	t2 := m3(xs[1], xs[4], m3(xs[0], xs[2], xs[3]))
+	n.AddPO(m3(xs[0], t1, t2), "maj")
+	return n
+}
+
+// RippleCarryAdder builds a bits-wide ripple-carry adder: inputs a[i],
+// b[i], outputs s[i] and the final carry. bits=128 reproduces the EPFL
+// "adder" interface (256 inputs, 129 outputs).
+func RippleCarryAdder(name string, bits int) *network.Network {
+	n := network.New(name)
+	as := make([]network.ID, bits)
+	bs := make([]network.ID, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = n.AddPI(fmt.Sprintf("a[%d]", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = n.AddPI(fmt.Sprintf("b[%d]", i))
+	}
+	var carry network.ID = network.Invalid
+	for i := 0; i < bits; i++ {
+		var sum network.ID
+		if carry == network.Invalid {
+			sum = n.AddXor(as[i], bs[i])
+			carry = n.AddAnd(as[i], bs[i])
+		} else {
+			x := n.AddXor(as[i], bs[i])
+			sum = n.AddXor(x, carry)
+			carry = n.AddMaj(as[i], bs[i], carry)
+		}
+		n.AddPO(sum, fmt.Sprintf("s[%d]", i))
+	}
+	n.AddPO(carry, "cout")
+	return n
+}
+
+// BarrelShifter builds a logical left barrel shifter over 2^stages data
+// bits with `stages` shift-select inputs. stages=7 gives the EPFL "bar"
+// interface (128 data + 7 select = 135 inputs, 128 outputs).
+func BarrelShifter(name string, stages int) *network.Network {
+	n := network.New(name)
+	width := 1 << stages
+	data := make([]network.ID, width)
+	for i := 0; i < width; i++ {
+		data[i] = n.AddPI(fmt.Sprintf("d[%d]", i))
+	}
+	sel := make([]network.ID, stages)
+	for i := 0; i < stages; i++ {
+		sel[i] = n.AddPI(fmt.Sprintf("s[%d]", i))
+	}
+	zero := n.AddConst(false)
+	cur := data
+	for st := 0; st < stages; st++ {
+		shift := 1 << st
+		next := make([]network.ID, width)
+		notS := n.AddNot(sel[st])
+		for i := 0; i < width; i++ {
+			from := i - shift
+			shifted := zero
+			if from >= 0 {
+				shifted = cur[from]
+			}
+			// next[i] = sel ? shifted : cur[i]
+			next[i] = n.AddOr(n.AddAnd(cur[i], notS), n.AddAnd(shifted, sel[st]))
+		}
+		cur = next
+	}
+	for i := 0; i < width; i++ {
+		n.AddPO(cur[i], fmt.Sprintf("q[%d]", i))
+	}
+	return n
+}
+
+// Decoder builds a k-to-2^k one-hot decoder. k=8 gives the EPFL "dec"
+// interface (8 inputs, 256 outputs).
+func Decoder(name string, k int) *network.Network {
+	n := network.New(name)
+	ins := make([]network.ID, k)
+	for i := 0; i < k; i++ {
+		ins[i] = n.AddPI(fmt.Sprintf("a[%d]", i))
+	}
+	negs := make([]network.ID, k)
+	for i := 0; i < k; i++ {
+		negs[i] = n.AddNot(ins[i])
+	}
+	// Tree of partial products per output.
+	var build func(lits []network.ID) network.ID
+	build = func(lits []network.ID) network.ID {
+		if len(lits) == 1 {
+			return lits[0]
+		}
+		mid := len(lits) / 2
+		return n.AddAnd(build(lits[:mid]), build(lits[mid:]))
+	}
+	for v := 0; v < 1<<k; v++ {
+		lits := make([]network.ID, k)
+		for i := 0; i < k; i++ {
+			if v&(1<<i) != 0 {
+				lits[i] = ins[i]
+			} else {
+				lits[i] = negs[i]
+			}
+		}
+		n.AddPO(build(lits), fmt.Sprintf("y[%d]", v))
+	}
+	return n
+}
+
+// PriorityEncoder builds a priority circuit over k request lines with
+// ceil(log2(k))+1 outputs (index of the highest active line + valid).
+func PriorityEncoder(name string, k int) *network.Network {
+	n := network.New(name)
+	req := make([]network.ID, k)
+	for i := 0; i < k; i++ {
+		req[i] = n.AddPI(fmt.Sprintf("r[%d]", i))
+	}
+	// grant[i] = req[i] & ~(req[i+1] | ... | req[k-1]) — highest index wins.
+	any := req[k-1]
+	grants := make([]network.ID, k)
+	grants[k-1] = req[k-1]
+	for i := k - 2; i >= 0; i-- {
+		grants[i] = n.AddAnd(req[i], n.AddNot(any))
+		any = n.AddOr(any, req[i])
+	}
+	bits := 0
+	for 1<<bits < k {
+		bits++
+	}
+	for b := 0; b < bits; b++ {
+		var acc network.ID = network.Invalid
+		for i := 0; i < k; i++ {
+			if i&(1<<b) == 0 {
+				continue
+			}
+			if acc == network.Invalid {
+				acc = grants[i]
+			} else {
+				acc = n.AddOr(acc, grants[i])
+			}
+		}
+		if acc == network.Invalid {
+			acc = n.AddConst(false)
+		}
+		n.AddPO(acc, fmt.Sprintf("idx[%d]", b))
+	}
+	n.AddPO(any, "valid")
+	return n
+}
+
+// C17 builds the ISCAS85 c17 benchmark exactly (six NAND gates).
+func C17() *network.Network {
+	n := network.New("c17")
+	in1 := n.AddPI("1")
+	in2 := n.AddPI("2")
+	in3 := n.AddPI("3")
+	in6 := n.AddPI("6")
+	in7 := n.AddPI("7")
+	g10 := n.AddNand(in1, in3)
+	g11 := n.AddNand(in3, in6)
+	g16 := n.AddNand(in2, g11)
+	g19 := n.AddNand(g11, in7)
+	n.AddPO(n.AddNand(g10, g16), "22")
+	n.AddPO(n.AddNand(g16, g19), "23")
+	return n
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Origin describes how a benchmark function was obtained in this
+// reproduction.
+type Origin uint8
+
+const (
+	// Reconstructed functions are built exactly from their published
+	// definition (truth table / structure known from the literature).
+	Reconstructed Origin = iota
+	// Structural functions are regular circuits generated from their
+	// specification (adders, shifters, decoders, parity trees).
+	Structural
+	// SyntheticOrigin functions are deterministic random DAGs matching
+	// the published I/O and node counts of netlists that are distributed
+	// as external files (see DESIGN.md, substitution 3).
+	SyntheticOrigin
+)
+
+// String names the origin for reports.
+func (o Origin) String() string {
+	switch o {
+	case Reconstructed:
+		return "reconstructed"
+	case Structural:
+		return "structural"
+	case SyntheticOrigin:
+		return "synthetic"
+	}
+	return "unknown"
+}
+
+// Benchmark is one function of a benchmark suite.
+type Benchmark struct {
+	// Set is the suite name: "Trindade16", "Fontes18", "ISCAS85", "EPFL".
+	Set string
+	// Name is the function name as listed in MNT Bench.
+	Name string
+	// PubIn, PubOut, PubNodes are the I/O and node counts published in
+	// the MNT Bench table (0 when not applicable).
+	PubIn, PubOut, PubNodes int
+	// Origin records the reproduction provenance.
+	Origin Origin
+	// Build constructs a fresh copy of the logic network.
+	Build func() *network.Network
+}
+
+// Suites lists the four benchmark sets in paper order.
+func Suites() []string {
+	return []string{"Trindade16", "Fontes18", "ISCAS85", "EPFL"}
+}
+
+// All returns every benchmark in deterministic (paper) order.
+func All() []Benchmark {
+	return []Benchmark{
+		// Trindade16 [11]: reconstructed from their published functions.
+		{Set: "Trindade16", Name: "mux21", PubIn: 3, PubOut: 1, PubNodes: 4, Origin: Reconstructed, Build: Mux21},
+		{Set: "Trindade16", Name: "xor2", PubIn: 2, PubOut: 1, PubNodes: 4, Origin: Reconstructed, Build: Xor2},
+		{Set: "Trindade16", Name: "xnor2", PubIn: 2, PubOut: 1, PubNodes: 4, Origin: Reconstructed, Build: Xnor2},
+		{Set: "Trindade16", Name: "ha", PubIn: 2, PubOut: 2, PubNodes: 6, Origin: Reconstructed, Build: HalfAdder},
+		{Set: "Trindade16", Name: "fa", PubIn: 3, PubOut: 2, PubNodes: 5, Origin: Reconstructed, Build: FullAdder},
+		{Set: "Trindade16", Name: "par_gen", PubIn: 3, PubOut: 1, PubNodes: 10, Origin: Reconstructed, Build: ParGen},
+		{Set: "Trindade16", Name: "par_check", PubIn: 4, PubOut: 1, PubNodes: 15, Origin: Reconstructed, Build: ParCheck},
+
+		// Fontes18 [12]: functions with fully specified structure are
+		// reconstructed; the rest are synthetic stand-ins.
+		{Set: "Fontes18", Name: "t", PubIn: 5, PubOut: 2, PubNodes: 11, Origin: SyntheticOrigin,
+			Build: func() *network.Network { return Synthetic("t", 5, 2, 11, 0xF018_0001) }},
+		{Set: "Fontes18", Name: "b1_r2", PubIn: 3, PubOut: 4, PubNodes: 12, Origin: SyntheticOrigin,
+			Build: func() *network.Network { return Synthetic("b1_r2", 3, 4, 12, 0xF018_0002) }},
+		{Set: "Fontes18", Name: "majority", PubIn: 5, PubOut: 1, PubNodes: 17, Origin: Reconstructed, Build: Majority5},
+		{Set: "Fontes18", Name: "newtag", PubIn: 8, PubOut: 1, PubNodes: 17, Origin: SyntheticOrigin,
+			Build: func() *network.Network { return Synthetic("newtag", 8, 1, 17, 0xF018_0003) }},
+		{Set: "Fontes18", Name: "clpl", PubIn: 11, PubOut: 5, PubNodes: 10, Origin: SyntheticOrigin,
+			Build: func() *network.Network { return Synthetic("clpl", 11, 5, 10, 0xF018_0004) }},
+		{Set: "Fontes18", Name: "1bitAdderAOIG", PubIn: 3, PubOut: 2, PubNodes: 15, Origin: Reconstructed, Build: oneBitAdderAOIG},
+		{Set: "Fontes18", Name: "1bitAdderMaj", PubIn: 3, PubOut: 2, PubNodes: 29, Origin: Reconstructed, Build: oneBitAdderMaj},
+		{Set: "Fontes18", Name: "2bitAdderMaj", PubIn: 5, PubOut: 3, PubNodes: 54, Origin: Structural,
+			Build: func() *network.Network { return twoBitAdderMaj() }},
+		{Set: "Fontes18", Name: "xor5Maj", PubIn: 5, PubOut: 1, PubNodes: 70, Origin: Structural,
+			Build: func() *network.Network { return ParityTree("xor5Maj", 5) }},
+		{Set: "Fontes18", Name: "cm82a_5", PubIn: 5, PubOut: 3, PubNodes: 42, Origin: SyntheticOrigin,
+			Build: func() *network.Network { return Synthetic("cm82a_5", 5, 3, 42, 0xF018_0005) }},
+		{Set: "Fontes18", Name: "parity", PubIn: 16, PubOut: 1, PubNodes: 103, Origin: Structural,
+			Build: func() *network.Network { return ParityTree("parity", 16) }},
+
+		// ISCAS85 [13]: c17 is reconstructed exactly; the larger circuits
+		// are synthetic stand-ins matching the published statistics.
+		{Set: "ISCAS85", Name: "c17", PubIn: 5, PubOut: 2, PubNodes: 8, Origin: Reconstructed, Build: C17},
+		iscas("c432", 36, 7, 414),
+		iscas("c499", 41, 32, 816),
+		iscas("c880", 60, 26, 639),
+		iscas("c1355", 41, 32, 1064),
+		iscas("c1908", 33, 25, 813),
+		iscas("c2670", 233, 140, 1463),
+		iscas("c3540", 50, 22, 1987),
+		iscas("c5315", 178, 123, 3628),
+		iscas("c6288", 32, 32, 6467),
+		iscas("c7552", 207, 108, 4501),
+
+		// EPFL [14]: regular circuits are generated structurally, the
+		// control/arithmetic ones synthetically.
+		epfl("ctrl", 7, 26, 409),
+		epfl("router", 60, 30, 490),
+		epfl("int2float", 11, 7, 545),
+		epfl("cavlc", 10, 11, 1600),
+		{Set: "EPFL", Name: "priority", PubIn: 128, PubOut: 8, PubNodes: 2349, Origin: Structural,
+			Build: func() *network.Network { return PriorityEncoder("priority", 128) }},
+		{Set: "EPFL", Name: "dec", PubIn: 8, PubOut: 256, PubNodes: 320, Origin: Structural,
+			Build: func() *network.Network { return Decoder("dec", 8) }},
+		epfl("i2c", 147, 142, 2728),
+		{Set: "EPFL", Name: "adder", PubIn: 256, PubOut: 129, PubNodes: 2541, Origin: Structural,
+			Build: func() *network.Network { return RippleCarryAdder("adder", 128) }},
+		{Set: "EPFL", Name: "bar", PubIn: 135, PubOut: 128, PubNodes: 6672, Origin: Structural,
+			Build: func() *network.Network { return BarrelShifter("bar", 7) }},
+		epfl("max", 512, 130, 6110),
+		epfl("sin", 24, 25, 11437),
+	}
+}
+
+func iscas(name string, in, out, nodes int) Benchmark {
+	return Benchmark{
+		Set: "ISCAS85", Name: name, PubIn: in, PubOut: out, PubNodes: nodes,
+		Origin: SyntheticOrigin,
+		Build: func() *network.Network {
+			return Synthetic(name, in, out, nodes, 0x15CA5_0000+hashName(name))
+		},
+	}
+}
+
+func epfl(name string, in, out, nodes int) Benchmark {
+	return Benchmark{
+		Set: "EPFL", Name: name, PubIn: in, PubOut: out, PubNodes: nodes,
+		Origin: SyntheticOrigin,
+		Build: func() *network.Network {
+			return Synthetic(name, in, out, nodes, epflSeedBase+hashName(name))
+		},
+	}
+}
+
+const epflSeedBase = 0xE9F1_0000
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// BySet returns the benchmarks of one suite.
+func BySet(set string) []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if strings.EqualFold(b.Set, set) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds one benchmark by suite and function name.
+func ByName(set, name string) (Benchmark, error) {
+	for _, b := range All() {
+		if strings.EqualFold(b.Set, set) && strings.EqualFold(b.Name, name) {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: no benchmark %s/%s", set, name)
+}
+
+// oneBitAdderAOIG is the full adder expressed with AND/OR/NOT only.
+func oneBitAdderAOIG() *network.Network {
+	n := FullAdder()
+	n.Name = "1bitAdderAOIG"
+	if err := n.Decompose(network.GateSet{network.And: true, network.Or: true, network.Not: true}); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// oneBitAdderMaj is the majority-based full adder.
+func oneBitAdderMaj() *network.Network {
+	n := FullAdder()
+	n.Name = "1bitAdderMaj"
+	return n
+}
+
+// twoBitAdderMaj is a two-bit ripple adder with majority carries.
+func twoBitAdderMaj() *network.Network {
+	n := network.New("2bitAdderMaj")
+	a0 := n.AddPI("a0")
+	b0 := n.AddPI("b0")
+	a1 := n.AddPI("a1")
+	b1 := n.AddPI("b1")
+	cin := n.AddPI("cin")
+	s0 := n.AddXor(n.AddXor(a0, b0), cin)
+	c0 := n.AddMaj(a0, b0, cin)
+	s1 := n.AddXor(n.AddXor(a1, b1), c0)
+	c1 := n.AddMaj(a1, b1, c0)
+	n.AddPO(s0, "s0")
+	n.AddPO(s1, "s1")
+	n.AddPO(c1, "cout")
+	return n
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// synthRNG is a deterministic xorshift64* generator so synthetic
+// benchmarks are bit-identical across runs and platforms.
+type synthRNG uint64
+
+func newSynthRNG(seed uint64) *synthRNG {
+	r := synthRNG(seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
+	return &r
+}
+
+func (r *synthRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = synthRNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *synthRNG) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Synthetic builds a deterministic pseudo-random combinational network
+// with exactly the requested numbers of primary inputs, primary outputs,
+// and logic nodes. Fanin selection is biased toward recently created
+// signals (a locality window), mimicking the wirelength locality of real
+// technology-mapped netlists; every PI is consumed, and POs are drawn
+// from the most recently created gates.
+//
+// These networks substitute for the ISCAS85/EPFL netlist files that MNT
+// Bench distributes but the paper does not contain; physical design
+// algorithms only observe the DAG shape, so matching the published
+// size statistics preserves the area/runtime scaling behaviour the
+// benchmark tables report.
+func Synthetic(name string, pis, pos, nodes int, seed uint64) *network.Network {
+	if pis < 1 || pos < 1 {
+		panic(fmt.Sprintf("bench: synthetic %q needs at least one PI and PO", name))
+	}
+	if nodes < pos {
+		nodes = pos // enough distinct gate outputs to feed every PO
+	}
+	rng := newSynthRNG(seed)
+	n := network.New(name)
+
+	signals := make([]network.ID, 0, pis+nodes)
+	for i := 0; i < pis; i++ {
+		signals = append(signals, n.AddPI(fmt.Sprintf("in%d", i)))
+	}
+
+	const window = 48
+	pick := func(created int) network.ID {
+		// created = number of gates built so far; prefer recent signals.
+		hi := len(signals)
+		lo := hi - window
+		if lo < 0 {
+			lo = 0
+		}
+		// 1-in-8 long-range edge keeps the DAG connected across regions.
+		if rng.intn(8) == 0 {
+			return signals[rng.intn(hi)]
+		}
+		return signals[lo+rng.intn(hi-lo)]
+	}
+
+	gates2 := []network.Gate{network.And, network.Or, network.Xor, network.Nand, network.Nor, network.Xnor}
+	for g := 0; g < nodes; g++ {
+		var id network.ID
+		switch {
+		case g < pis:
+			// The first gates consume each PI once so none is dangling.
+			other := pick(g)
+			id = n.AddGate(gates2[rng.intn(len(gates2))], signals[g], other)
+		case rng.intn(6) == 0:
+			id = n.AddNot(pick(g))
+		default:
+			a := pick(g)
+			b := pick(g)
+			id = n.AddGate(gates2[rng.intn(len(gates2))], a, b)
+		}
+		signals = append(signals, id)
+	}
+
+	// POs: the last `pos` gate outputs, newest last to keep indices stable.
+	for i := 0; i < pos; i++ {
+		idx := len(signals) - pos + i
+		n.AddPO(signals[idx], fmt.Sprintf("out%d", i))
+	}
+	return n
+}

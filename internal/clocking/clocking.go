@@ -1,0 +1,209 @@
+// Package clocking defines the clock-zone assignment schemes used by
+// field-coupled nanocomputing layouts.
+//
+// An FCN clocking scheme partitions the tile grid into numbered clock
+// zones. Information flows from a tile in zone c only into an adjacent
+// tile in zone (c+1) mod n; this single rule, combined with a scheme's
+// zone pattern, determines all legal signal directions. All schemes here
+// use four zones, matching the QCA/SiDB literature and the layouts
+// distributed by MNT Bench.
+package clocking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scheme is a periodic clock-zone assignment over tile coordinates.
+type Scheme struct {
+	// Name is the canonical scheme name as it appears on MNT Bench
+	// ("2DDWave", "USE", "RES", "ESR", "ROW", "CFE", "Columnar").
+	Name string
+	// NumZones is the number of clock phases (4 for every built-in).
+	NumZones int
+	// pattern holds the periodic zone tile: pattern[y%len][x%len(row)].
+	pattern [][]int
+	// InPlaneFeedback reports whether the scheme admits cycles of
+	// zone-incrementing moves within the plane (needed for feedback paths;
+	// 2DDWave, ROW, and Columnar do not have it).
+	InPlaneFeedback bool
+}
+
+// Zone returns the clock zone of tile (x, y). Coordinates may be
+// arbitrary non-negative integers; the pattern repeats periodically.
+func (s *Scheme) Zone(x, y int) int {
+	row := s.pattern[y%len(s.pattern)]
+	return row[x%len(row)]
+}
+
+// PeriodX returns the horizontal period of the zone pattern: shifting
+// all tiles east or west by a multiple of PeriodX preserves every tile's
+// zone.
+func (s *Scheme) PeriodX() int { return len(s.pattern[0]) }
+
+// PeriodY returns the vertical period of the zone pattern.
+func (s *Scheme) PeriodY() int { return len(s.pattern) }
+
+// Pattern returns a copy of the periodic zone pattern (pattern[y][x]).
+func (s *Scheme) Pattern() [][]int {
+	out := make([][]int, len(s.pattern))
+	for y, row := range s.pattern {
+		out[y] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// IsBuiltin reports whether the scheme is one of the package-level
+// built-ins (resolvable by name alone).
+func (s *Scheme) IsBuiltin() bool {
+	for _, b := range All() {
+		if b == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the scheme name.
+func (s *Scheme) String() string { return s.Name }
+
+// Built-in schemes. The periodic patterns follow the fiction framework's
+// definitions of the published schemes: 2DDWave (Vankamamidi et al.),
+// USE (Campos et al., TCAD 2016), RES (Goes et al., 2020), ESR
+// (Pal et al., 2021), CFE (Frank et al.), plus the trivial ROW and
+// Columnar assignments. ROW is the scheme used for hexagonal Bestagon
+// layouts in MNT Bench.
+var (
+	// TwoDDWave assigns zone (x+y) mod 4: a diagonal wave from the origin.
+	// Dataflow is strictly east/south; no in-plane feedback.
+	TwoDDWave = &Scheme{
+		Name:     "2DDWave",
+		NumZones: 4,
+		pattern: [][]int{
+			{0, 1, 2, 3},
+			{1, 2, 3, 0},
+			{2, 3, 0, 1},
+			{3, 0, 1, 2},
+		},
+	}
+
+	// USE is the Universal, Scalable, Efficient scheme; its 4x4 pattern
+	// admits in-plane feedback loops.
+	USE = &Scheme{
+		Name:     "USE",
+		NumZones: 4,
+		pattern: [][]int{
+			{0, 1, 2, 3},
+			{3, 2, 1, 0},
+			{2, 3, 0, 1},
+			{1, 0, 3, 2},
+		},
+		InPlaneFeedback: true,
+	}
+
+	// RES favors straight top-down columns with feedback-capable detours.
+	RES = &Scheme{
+		Name:     "RES",
+		NumZones: 4,
+		pattern: [][]int{
+			{3, 0, 1, 2},
+			{0, 1, 0, 3},
+			{1, 2, 3, 0},
+			{0, 3, 2, 1},
+		},
+		InPlaneFeedback: true,
+	}
+
+	// ESR is a RES-like scheme with an extended feedback structure.
+	ESR = &Scheme{
+		Name:     "ESR",
+		NumZones: 4,
+		pattern: [][]int{
+			{3, 0, 1, 2},
+			{0, 1, 2, 3},
+			{1, 2, 3, 0},
+			{0, 3, 2, 1},
+		},
+		InPlaneFeedback: true,
+	}
+
+	// CFE is a columnar flow scheme with embedded feedback cells.
+	CFE = &Scheme{
+		Name:     "CFE",
+		NumZones: 4,
+		pattern: [][]int{
+			{0, 1, 0, 1},
+			{3, 2, 3, 2},
+			{0, 1, 0, 1},
+			{3, 2, 3, 2},
+		},
+		InPlaneFeedback: true,
+	}
+
+	// Row assigns zone y mod 4; dataflow is strictly downward. This is the
+	// scheme of hexagonal Bestagon layouts (each hex row is one zone).
+	Row = &Scheme{
+		Name:     "ROW",
+		NumZones: 4,
+		pattern: [][]int{
+			{0},
+			{1},
+			{2},
+			{3},
+		},
+	}
+
+	// Columnar assigns zone x mod 4; dataflow is strictly eastward.
+	Columnar = &Scheme{
+		Name:     "Columnar",
+		NumZones: 4,
+		pattern: [][]int{
+			{0, 1, 2, 3},
+		},
+	}
+)
+
+// Custom builds an ad-hoc periodic scheme from an explicit zone pattern
+// (pattern[y][x], repeated in both directions). All rows must have equal
+// length and zones must lie in [0, numZones). Used for irregular or
+// experimental clockings and by tests that need full zone control.
+func Custom(name string, numZones int, pattern [][]int, inPlaneFeedback bool) (*Scheme, error) {
+	if len(pattern) == 0 || len(pattern[0]) == 0 {
+		return nil, fmt.Errorf("clocking: empty pattern")
+	}
+	w := len(pattern[0])
+	cp := make([][]int, len(pattern))
+	for y, row := range pattern {
+		if len(row) != w {
+			return nil, fmt.Errorf("clocking: ragged pattern row %d", y)
+		}
+		for x, z := range row {
+			if z < 0 || z >= numZones {
+				return nil, fmt.Errorf("clocking: zone %d at (%d,%d) out of range [0,%d)", z, x, y, numZones)
+			}
+		}
+		cp[y] = append([]int(nil), row...)
+	}
+	return &Scheme{Name: name, NumZones: numZones, pattern: cp, InPlaneFeedback: inPlaneFeedback}, nil
+}
+
+// All lists every built-in scheme in display order.
+func All() []*Scheme {
+	return []*Scheme{TwoDDWave, USE, RES, ESR, Row, CFE, Columnar}
+}
+
+// ByName resolves a scheme by case-insensitive name.
+func ByName(name string) (*Scheme, error) {
+	for _, s := range All() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range All() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("clocking: unknown scheme %q (available: %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,97 @@
+package clocking
+
+import "testing"
+
+func TestCustomScheme(t *testing.T) {
+	s, err := Custom("test", 4, [][]int{{0, 1}, {2, 3}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Zone(0, 0) != 0 || s.Zone(1, 0) != 1 || s.Zone(0, 1) != 2 || s.Zone(1, 1) != 3 {
+		t.Error("pattern not applied")
+	}
+	// Periodicity.
+	if s.Zone(2, 2) != 0 || s.Zone(3, 3) != 3 {
+		t.Error("pattern not periodic")
+	}
+	if s.PeriodX() != 2 || s.PeriodY() != 2 {
+		t.Errorf("periods = %d,%d", s.PeriodX(), s.PeriodY())
+	}
+	if !s.InPlaneFeedback {
+		t.Error("feedback flag lost")
+	}
+}
+
+func TestCustomSchemeValidation(t *testing.T) {
+	if _, err := Custom("x", 4, nil, false); err == nil {
+		t.Error("accepted empty pattern")
+	}
+	if _, err := Custom("x", 4, [][]int{{0, 1}, {2}}, false); err == nil {
+		t.Error("accepted ragged pattern")
+	}
+	if _, err := Custom("x", 4, [][]int{{0, 4}}, false); err == nil {
+		t.Error("accepted out-of-range zone")
+	}
+	if _, err := Custom("x", 4, [][]int{{-1}}, false); err == nil {
+		t.Error("accepted negative zone")
+	}
+}
+
+func TestCustomSchemeIsACopy(t *testing.T) {
+	pattern := [][]int{{0, 1, 2, 3}}
+	s, err := Custom("x", 4, pattern, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern[0][0] = 3
+	if s.Zone(0, 0) != 0 {
+		t.Error("scheme aliases the caller's pattern")
+	}
+}
+
+func TestBuiltinPeriods(t *testing.T) {
+	for _, s := range All() {
+		if s.PeriodX() < 1 || s.PeriodY() < 1 {
+			t.Errorf("%s: bad periods", s.Name)
+		}
+		// Shifting by the period must preserve every zone.
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if s.Zone(x, y) != s.Zone(x+s.PeriodX(), y) {
+					t.Fatalf("%s: x period violated at (%d,%d)", s.Name, x, y)
+				}
+				if s.Zone(x, y) != s.Zone(x, y+s.PeriodY()) {
+					t.Fatalf("%s: y period violated at (%d,%d)", s.Name, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFeedbackFlags(t *testing.T) {
+	wantFeedback := map[string]bool{
+		"2DDWave": false, "ROW": false, "Columnar": false,
+		"USE": true, "RES": true, "ESR": true, "CFE": true,
+	}
+	for _, s := range All() {
+		if s.InPlaneFeedback != wantFeedback[s.Name] {
+			t.Errorf("%s: feedback = %v", s.Name, s.InPlaneFeedback)
+		}
+	}
+}
+
+// TestSchemesReachAllZones checks every built-in scheme uses all four
+// zones within one period (otherwise some phases would idle).
+func TestSchemesReachAllZones(t *testing.T) {
+	for _, s := range All() {
+		seen := make(map[int]bool)
+		for y := 0; y < s.PeriodY(); y++ {
+			for x := 0; x < s.PeriodX(); x++ {
+				seen[s.Zone(x, y)] = true
+			}
+		}
+		if len(seen) != s.NumZones {
+			t.Errorf("%s: only %d of %d zones used", s.Name, len(seen), s.NumZones)
+		}
+	}
+}

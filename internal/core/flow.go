@@ -1,0 +1,337 @@
+// Package core is the MNT Bench engine: it runs every feasible
+// combination of gate library, clocking scheme, physical design
+// algorithm, and optimization over the benchmark suites, stores the
+// resulting layouts with their metrics, selects the best layout per
+// function, and renders the paper's Table I.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/exact"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/inord"
+	"repro/internal/physical/nanoplacer"
+	"repro/internal/physical/ortho"
+	"repro/internal/physical/postlayout"
+	"repro/internal/verify"
+)
+
+// Algorithm identifies a physical design method.
+type Algorithm string
+
+// The physical design algorithms MNT Bench runs.
+const (
+	AlgoExact      Algorithm = "exact"
+	AlgoOrtho      Algorithm = "ortho"
+	AlgoNanoPlaceR Algorithm = "NanoPlaceR"
+)
+
+// Flow is one tool combination: a gate library, a clocking scheme, a
+// physical design algorithm, and optional optimizations.
+type Flow struct {
+	Library   *gatelib.Library
+	Scheme    *clocking.Scheme
+	Algorithm Algorithm
+	// InputOrder applies the InOrd (SDN) input-ordering optimization
+	// (ortho-based flows only).
+	InputOrder bool
+	// PostLayout applies post-layout optimization.
+	PostLayout bool
+	// Hexagonalize applies the 45-degree Cartesian-to-hexagonal mapping
+	// (mandatory leg of every ortho-based Bestagon flow).
+	Hexagonalize bool
+}
+
+// String renders the flow like the paper's Algorithm column, e.g.
+// "ortho, InOrd (SDN), 45°, PLO".
+func (f Flow) String() string {
+	parts := []string{string(f.Algorithm)}
+	if f.InputOrder {
+		parts = append(parts, "InOrd (SDN)")
+	}
+	if f.Hexagonalize {
+		parts = append(parts, "45°")
+	}
+	if f.PostLayout {
+		parts = append(parts, "PLO")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ID is a compact, filesystem-safe flow identifier.
+func (f Flow) ID() string {
+	id := string(f.Algorithm)
+	if f.InputOrder {
+		id += "+inord"
+	}
+	if f.Hexagonalize {
+		id += "+hex"
+	}
+	if f.PostLayout {
+		id += "+plo"
+	}
+	return fmt.Sprintf("%s_%s_%s", libID(f.Library), strings.ToLower(f.Scheme.Name), id)
+}
+
+func libID(l *gatelib.Library) string {
+	return strings.ToLower(strings.ReplaceAll(l.Name, " ", ""))
+}
+
+// Limits bounds the per-flow effort so full-suite generation stays
+// tractable; the zero value picks the defaults used for Table I.
+type Limits struct {
+	// ExactTimeout is the search budget per function (default 3s).
+	ExactTimeout time.Duration
+	// ExactMaxNodes skips exact for larger prepared networks (default 12).
+	ExactMaxNodes int
+	// NanoMaxNodes skips NanoPlaceR for larger networks (default 120).
+	NanoMaxNodes int
+	// NanoTimeout is the stochastic search budget (default 5s).
+	NanoTimeout time.Duration
+	// PLOMaxTiles skips post-layout optimization for larger layouts
+	// (default 60000).
+	PLOMaxTiles int
+	// PLOTimeout bounds one optimization run (default 20s).
+	PLOTimeout time.Duration
+	// InOrdMaxNodes: above this, InOrd uses only the barycenter order
+	// instead of the full candidate search (default 1200).
+	InOrdMaxNodes int
+	// VerifyMaxTiles skips equivalence checking for larger layouts
+	// (default 300000); DRC always runs.
+	VerifyMaxTiles int
+	// DiscardLayouts drops each entry's layout after metrics and
+	// verification, keeping table generation over the large suites within
+	// memory bounds. Downloads (the web server) need layouts kept.
+	DiscardLayouts bool
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.ExactTimeout <= 0 {
+		l.ExactTimeout = 3 * time.Second
+	}
+	if l.ExactMaxNodes <= 0 {
+		l.ExactMaxNodes = 12
+	}
+	if l.NanoMaxNodes <= 0 {
+		l.NanoMaxNodes = 120
+	}
+	if l.NanoTimeout <= 0 {
+		l.NanoTimeout = 5 * time.Second
+	}
+	if l.PLOMaxTiles <= 0 {
+		l.PLOMaxTiles = 60000
+	}
+	if l.PLOTimeout <= 0 {
+		l.PLOTimeout = 20 * time.Second
+	}
+	if l.InOrdMaxNodes <= 0 {
+		l.InOrdMaxNodes = 1200
+	}
+	if l.VerifyMaxTiles <= 0 {
+		l.VerifyMaxTiles = 300000
+	}
+	return l
+}
+
+// Entry is one generated layout with its metrics.
+type Entry struct {
+	Benchmark bench.Benchmark
+	Flow      Flow
+	Layout    *layout.Layout
+	Width     int
+	Height    int
+	Area      int
+	Gates     int
+	Wires     int
+	Crossings int
+	Runtime   time.Duration
+	// Verified is true when the layout passed DRC and equivalence
+	// checking; VerifyNote explains partial verification.
+	Verified   bool
+	VerifyNote string
+}
+
+// RunFlow executes one flow on one benchmark. A nil error with a nil
+// Layout never occurs: infeasible or out-of-budget flows return an error.
+func RunFlow(b bench.Benchmark, flow Flow, limits Limits) (*Entry, error) {
+	return runFlowImpl(b, b.Build(), flow, limits)
+}
+
+// RunFlowOnNetwork executes one flow on an ad-hoc network that is not
+// part of a registered benchmark suite (used by the CLI's layout
+// command). set names the pseudo-suite in the resulting entry.
+func RunFlowOnNetwork(n *network.Network, set string, flow Flow, limits Limits) (*Entry, error) {
+	b := bench.Benchmark{
+		Set:    set,
+		Name:   n.Name,
+		PubIn:  n.NumPIs(),
+		PubOut: n.NumPOs(),
+		// PubNodes mirrors the MNT Bench convention of counting logic
+		// nodes without buffers/fanouts.
+		PubNodes: n.NumLogicGates(),
+		Build:    n.Clone,
+	}
+	return runFlowImpl(b, n, flow, limits)
+}
+
+func runFlowImpl(b bench.Benchmark, n *network.Network, flow Flow, limits Limits) (*Entry, error) {
+	limits = limits.withDefaults()
+	prepared, err := flow.Library.Prepare(n)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var l *layout.Layout
+	switch flow.Algorithm {
+	case AlgoExact:
+		l, err = runExact(prepared, flow, limits)
+	case AlgoOrtho:
+		l, err = runOrtho(n, flow, limits)
+	case AlgoNanoPlaceR:
+		l, err = runNano(prepared, flow, limits)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", flow.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if flow.Hexagonalize {
+		l, err = hexagonal.Map(l)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if flow.PostLayout {
+		if l.NumTiles() > limits.PLOMaxTiles {
+			return nil, fmt.Errorf("core: layout too large for PLO (%d tiles > %d)", l.NumTiles(), limits.PLOMaxTiles)
+		}
+		l, err = postlayout.Optimize(l, postlayout.Options{Timeout: limits.PLOTimeout})
+		if err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	l.Name = b.Name
+	l.Library = flow.Library.Name
+	if err := flow.Library.CheckLayout(l); err != nil {
+		return nil, err
+	}
+
+	e := &Entry{Benchmark: b, Flow: flow, Layout: l, Runtime: elapsed}
+	s := l.ComputeStats()
+	e.Width, e.Height, e.Area = s.Width, s.Height, s.Area
+	e.Gates, e.Wires, e.Crossings = s.Gates, s.Wires, s.Crossings
+
+	if err := verify.CheckDesignRules(l).Error(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s %s: %w", b.Set, b.Name, flow, err)
+	}
+	if l.NumTiles() <= limits.VerifyMaxTiles {
+		eq, verr := verify.Equivalent(l, n)
+		if verr != nil {
+			return nil, fmt.Errorf("core: %s/%s %s: %w", b.Set, b.Name, flow, verr)
+		}
+		if !eq {
+			return nil, fmt.Errorf("core: %s/%s %s: layout not equivalent to network", b.Set, b.Name, flow)
+		}
+		e.Verified = true
+	} else {
+		e.VerifyNote = "DRC only (layout above equivalence-check size limit)"
+	}
+	if limits.DiscardLayouts {
+		e.Layout = nil
+	}
+	return e, nil
+}
+
+func runExact(prepared *network.Network, flow Flow, limits Limits) (*layout.Layout, error) {
+	if prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs() > limits.ExactMaxNodes {
+		return nil, fmt.Errorf("core: network too large for exact (%d nodes > %d)",
+			prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs(), limits.ExactMaxNodes)
+	}
+	return exact.Place(prepared, exact.Options{
+		Scheme:  flow.Scheme,
+		Topo:    flow.Library.Topology,
+		Timeout: limits.ExactTimeout,
+	})
+}
+
+func runOrtho(n *network.Network, flow Flow, limits Limits) (*layout.Layout, error) {
+	if flow.Scheme != clocking.TwoDDWave && !flow.Hexagonalize {
+		return nil, fmt.Errorf("core: ortho targets 2DDWave, not %s", flow.Scheme)
+	}
+	// ortho itself only guarantees two-input nodes; functions the target
+	// library cannot realize (e.g. XOR under QCA ONE) must be decomposed
+	// here. MAJ is excluded because ortho has only two input ports.
+	set := network.GateSet{network.Buf: true, network.Fanout: true}
+	for g, ok := range flow.Library.Gates {
+		if ok && g != network.Maj {
+			set[g] = true
+		}
+	}
+	work := n.Clone()
+	if err := work.Decompose(set); err != nil {
+		return nil, err
+	}
+	if !flow.InputOrder {
+		return ortho.Place(work, ortho.Options{})
+	}
+	// The full InOrd candidate search evaluates ortho once per PI swap;
+	// beyond these sizes a single barycenter-ordered run is the right
+	// cost/benefit point.
+	const maxSwapPIs = 48
+	size := work.NumGates() + work.NumPIs() + work.NumPOs()
+	if size > limits.InOrdMaxNodes || work.NumPIs() > maxSwapPIs {
+		return ortho.Place(work, ortho.Options{InputOrder: inord.BarycenterOrder(work)})
+	}
+	l, _, err := inord.Place(work, inord.Options{})
+	return l, err
+}
+
+func runNano(prepared *network.Network, flow Flow, limits Limits) (*layout.Layout, error) {
+	return nanoplacer.Place(prepared, nanoplacer.Options{
+		Scheme:   flow.Scheme,
+		Topo:     flow.Library.Topology,
+		Timeout:  limits.NanoTimeout,
+		MaxNodes: limits.NanoMaxNodes,
+	})
+}
+
+// Flows enumerates the feasible tool combinations for a library, in the
+// order MNT Bench explores them.
+func Flows(lib *gatelib.Library) []Flow {
+	var flows []Flow
+	if lib.Topology == layout.Cartesian {
+		for _, scheme := range []*clocking.Scheme{clocking.TwoDDWave, clocking.USE, clocking.RES, clocking.ESR} {
+			flows = append(flows, Flow{Library: lib, Scheme: scheme, Algorithm: AlgoExact})
+		}
+		flows = append(flows,
+			Flow{Library: lib, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho},
+			Flow{Library: lib, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho, InputOrder: true},
+			Flow{Library: lib, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho, InputOrder: true, PostLayout: true},
+			Flow{Library: lib, Scheme: clocking.TwoDDWave, Algorithm: AlgoNanoPlaceR},
+			Flow{Library: lib, Scheme: clocking.TwoDDWave, Algorithm: AlgoNanoPlaceR, PostLayout: true},
+		)
+		return flows
+	}
+	// Hexagonal (Bestagon): ROW clocking; ortho-based flows go through
+	// the 45° mapping.
+	flows = append(flows,
+		Flow{Library: lib, Scheme: clocking.Row, Algorithm: AlgoExact},
+		Flow{Library: lib, Scheme: clocking.Row, Algorithm: AlgoOrtho, Hexagonalize: true},
+		Flow{Library: lib, Scheme: clocking.Row, Algorithm: AlgoOrtho, InputOrder: true, Hexagonalize: true},
+		Flow{Library: lib, Scheme: clocking.Row, Algorithm: AlgoOrtho, InputOrder: true, Hexagonalize: true, PostLayout: true},
+		Flow{Library: lib, Scheme: clocking.Row, Algorithm: AlgoNanoPlaceR},
+	)
+	return flows
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/verify"
+)
+
+// EntryFileName returns the canonical file stem used when an entry is
+// written to disk: {set}__{name}__{flowID}.
+func EntryFileName(e *Entry) string {
+	return fmt.Sprintf("%s__%s__%s",
+		strings.ToLower(e.Benchmark.Set), strings.ToLower(e.Benchmark.Name), e.Flow.ID())
+}
+
+// ParseFlowID reverses Flow.ID: "{lib}_{scheme}_{algo}[+inord][+hex][+plo]".
+func ParseFlowID(id string) (Flow, error) {
+	parts := strings.SplitN(id, "_", 3)
+	if len(parts) != 3 {
+		return Flow{}, fmt.Errorf("core: malformed flow id %q", id)
+	}
+	lib, err := gatelib.ByName(parts[0])
+	if err != nil {
+		return Flow{}, fmt.Errorf("core: flow id %q: %w", id, err)
+	}
+	scheme, err := clocking.ByName(parts[1])
+	if err != nil {
+		return Flow{}, fmt.Errorf("core: flow id %q: %w", id, err)
+	}
+	flow := Flow{Library: lib, Scheme: scheme}
+	segs := strings.Split(parts[2], "+")
+	switch strings.ToLower(segs[0]) {
+	case "exact":
+		flow.Algorithm = AlgoExact
+	case "ortho":
+		flow.Algorithm = AlgoOrtho
+	case strings.ToLower(string(AlgoNanoPlaceR)):
+		flow.Algorithm = AlgoNanoPlaceR
+	default:
+		return Flow{}, fmt.Errorf("core: flow id %q: unknown algorithm %q", id, segs[0])
+	}
+	for _, s := range segs[1:] {
+		switch s {
+		case "inord":
+			flow.InputOrder = true
+		case "hex":
+			flow.Hexagonalize = true
+		case "plo":
+			flow.PostLayout = true
+		default:
+			return Flow{}, fmt.Errorf("core: flow id %q: unknown optimization %q", id, s)
+		}
+	}
+	return flow, nil
+}
+
+// LoadDatabase reads every {set}__{name}__{flow}.fgl file in dir into a
+// Database. Layouts are design-rule checked on load; when reverify is
+// set and the layout is small enough, functional equivalence against
+// the registered benchmark network is re-established too.
+func LoadDatabase(dir string, reverify bool) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".fgl") {
+			continue
+		}
+		stem := strings.TrimSuffix(name, ".fgl")
+		parts := strings.SplitN(stem, "__", 3)
+		if len(parts) != 3 {
+			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: not a generated layout file name", name)})
+			continue
+		}
+		bm, err := bench.ByName(parts[0], parts[1])
+		if err != nil {
+			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: %v", name, err)})
+			continue
+		}
+		flow, err := ParseFlowID(parts[2])
+		if err != nil {
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Reason: err.Error()})
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		l, err := fgl.Read(f)
+		f.Close()
+		if err != nil {
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error()})
+			continue
+		}
+		if err := verify.CheckDesignRules(l).Error(); err != nil {
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error()})
+			continue
+		}
+		e := &Entry{Benchmark: bm, Flow: flow, Layout: l}
+		s := l.ComputeStats()
+		e.Width, e.Height, e.Area = s.Width, s.Height, s.Area
+		e.Gates, e.Wires, e.Crossings = s.Gates, s.Wires, s.Crossings
+		e.VerifyNote = "loaded from disk (DRC only)"
+		if reverify && l.NumTiles() <= (Limits{}).withDefaults().VerifyMaxTiles {
+			eq, verr := verify.Equivalent(l, bm.Build())
+			if verr != nil || !eq {
+				db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow,
+					Reason: fmt.Sprintf("not equivalent to %s/%s (%v)", bm.Set, bm.Name, verr)})
+				continue
+			}
+			e.Verified = true
+			e.VerifyNote = ""
+		}
+		db.Entries = append(db.Entries, e)
+	}
+	if len(db.Entries) == 0 {
+		return nil, fmt.Errorf("core: no loadable .fgl layouts in %s", dir)
+	}
+	return db, nil
+}

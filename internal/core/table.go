@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gatelib"
+)
+
+// Database holds all generated layout entries, the MNT Bench catalogue.
+type Database struct {
+	Entries []*Entry
+	// Failures records flows that produced no layout (infeasible, over
+	// budget, timed out) for reporting.
+	Failures []Failure
+}
+
+// Failure describes a flow that produced no layout.
+type Failure struct {
+	Benchmark bench.Benchmark
+	Flow      Flow
+	Reason    string
+}
+
+// Generate runs every feasible flow of the given library over the given
+// benchmarks. A nil progress callback is allowed.
+func Generate(benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(string)) *Database {
+	db := &Database{}
+	note := func(format string, args ...interface{}) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	for _, b := range benches {
+		for _, flow := range Flows(lib) {
+			start := time.Now()
+			e, err := RunFlow(b, flow, limits)
+			if err != nil {
+				db.Failures = append(db.Failures, Failure{Benchmark: b, Flow: flow, Reason: err.Error()})
+				note("%-10s %-14s %-40s skipped (%v)", b.Set, b.Name, flow.String(), since(start))
+				continue
+			}
+			db.Entries = append(db.Entries, e)
+			note("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)", b.Set, b.Name, flow.String(), e.Width, e.Height, e.Area, since(start))
+		}
+	}
+	return db
+}
+
+func since(t time.Time) time.Duration { return time.Since(t).Round(time.Millisecond) }
+
+// Best returns the minimum-area entry for one benchmark under one
+// library, or nil when no flow succeeded.
+func (db *Database) Best(set, name string, lib *gatelib.Library) *Entry {
+	var best *Entry
+	for _, e := range db.Entries {
+		if e.Benchmark.Set != set || e.Benchmark.Name != name || e.Flow.Library != lib {
+			continue
+		}
+		if best == nil || e.Area < best.Area ||
+			(e.Area == best.Area && e.Crossings < best.Crossings) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Baseline returns the reference entry against which the paper's ΔA
+// improvement is computed: the plain scalable flow of the library
+// (ortho under 2DDWave for QCA ONE; ortho+45° under ROW for Bestagon),
+// falling back to plain exact when ortho produced nothing.
+func (db *Database) Baseline(set, name string, lib *gatelib.Library) *Entry {
+	var fallback *Entry
+	for _, e := range db.Entries {
+		if e.Benchmark.Set != set || e.Benchmark.Name != name || e.Flow.Library != lib {
+			continue
+		}
+		if e.Flow.Algorithm == AlgoOrtho && !e.Flow.InputOrder && !e.Flow.PostLayout {
+			return e
+		}
+		if fallback == nil || e.Area > fallback.Area {
+			fallback = e // worst area over all flows approximates "previous state of the art"
+		}
+	}
+	return fallback
+}
+
+// Filter narrows entries like the MNT Bench website's selection panes.
+type Filter struct {
+	Set       string // benchmark suite, "" = any
+	Name      string // function name, "" = any
+	Library   string // gate library name, "" = any
+	Scheme    string // clocking scheme name, "" = any
+	Algorithm string // physical design algorithm, "" = any
+	InOrd     *bool  // input ordering applied
+	PLO       *bool  // post-layout optimization applied
+}
+
+// Match reports whether the entry satisfies the filter.
+func (f Filter) Match(e *Entry) bool {
+	eq := strings.EqualFold
+	if f.Set != "" && !eq(f.Set, e.Benchmark.Set) {
+		return false
+	}
+	if f.Name != "" && !eq(f.Name, e.Benchmark.Name) {
+		return false
+	}
+	if f.Library != "" {
+		want, err := gatelib.ByName(f.Library)
+		if err != nil || e.Flow.Library != want {
+			return false
+		}
+	}
+	if f.Scheme != "" && !eq(f.Scheme, e.Flow.Scheme.Name) {
+		return false
+	}
+	if f.Algorithm != "" && !eq(f.Algorithm, string(e.Flow.Algorithm)) {
+		return false
+	}
+	if f.InOrd != nil && *f.InOrd != e.Flow.InputOrder {
+		return false
+	}
+	if f.PLO != nil && *f.PLO != e.Flow.PostLayout {
+		return false
+	}
+	return true
+}
+
+// Select returns all entries matching the filter, smallest area first.
+func (db *Database) Select(f Filter) []*Entry {
+	var out []*Entry
+	for _, e := range db.Entries {
+		if f.Match(e) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Area < out[j].Area })
+	return out
+}
+
+// TableRow is one line of the paper's Table I for one gate library.
+type TableRow struct {
+	Set        string
+	Name       string
+	In, Out    int
+	Nodes      int
+	Width      int
+	Height     int
+	Area       int
+	RuntimeSec float64
+	Algorithm  string
+	Scheme     string
+	// DeltaA is the relative area change of the best layout versus the
+	// library's baseline flow (negative = smaller, as in the paper).
+	DeltaA float64
+	// Verified reflects the winning entry's verification status.
+	Verified bool
+}
+
+// TableI computes the per-function best-layout rows for one library,
+// mirroring the paper's Table I (one half per gate library).
+func (db *Database) TableI(benches []bench.Benchmark, lib *gatelib.Library) []TableRow {
+	var rows []TableRow
+	for _, b := range benches {
+		best := db.Best(b.Set, b.Name, lib)
+		if best == nil {
+			continue
+		}
+		row := TableRow{
+			Set: b.Set, Name: b.Name,
+			In: b.PubIn, Out: b.PubOut, Nodes: b.PubNodes,
+			Width: best.Width, Height: best.Height, Area: best.Area,
+			RuntimeSec: best.Runtime.Seconds(),
+			Algorithm:  best.Flow.String(),
+			Scheme:     best.Flow.Scheme.Name,
+			Verified:   best.Verified,
+		}
+		if base := db.Baseline(b.Set, b.Name, lib); base != nil && base.Area > 0 {
+			row.DeltaA = (float64(best.Area) - float64(base.Area)) / float64(base.Area) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTableI formats rows like the paper's Table I.
+func RenderTableI(rows []TableRow, lib *gatelib.Library) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s gate library — most area-efficient layouts discovered\n", lib.Name)
+	fmt.Fprintf(&sb, "%-11s %-14s %8s %6s | %5s x %-5s = %-10s %7s  %-34s %-9s %8s\n",
+		"Set", "Name", "I/O", "N", "w", "h", "A", "t[s]", "Algorithm", "Clk.", "ΔA")
+	sb.WriteString(strings.Repeat("-", 132) + "\n")
+	prevSet := ""
+	for _, r := range rows {
+		set := r.Set
+		if set == prevSet {
+			set = ""
+		} else {
+			prevSet = set
+		}
+		delta := fmt.Sprintf("%+.1f%%", r.DeltaA)
+		if r.DeltaA == 0 {
+			delta = "±0%"
+		}
+		fmt.Fprintf(&sb, "%-11s %-14s %8s %6d | %5d x %-5d = %-10d %7.2f  %-34s %-9s %8s\n",
+			set, r.Name, fmt.Sprintf("%d/%d", r.In, r.Out), r.Nodes,
+			r.Width, r.Height, r.Area, r.RuntimeSec, r.Algorithm, r.Scheme, delta)
+	}
+	return sb.String()
+}

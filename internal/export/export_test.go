@@ -1,0 +1,182 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	n.AddPO(n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func qcaCells(t *testing.T) *gatelib.CellLayout {
+	t.Helper()
+	n := mux21()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := gatelib.ExpandQCAOne(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func bestagonCells(t *testing.T) *gatelib.CellLayout {
+	t.Helper()
+	n := mux21()
+	prep, err := gatelib.Bestagon.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := gatelib.ExpandBestagon(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func TestWriteQCAStructure(t *testing.T) {
+	cells := qcaCells(t)
+	var sb strings.Builder
+	if err := WriteQCA(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"[VERSION]", "qcadesigner_version=2.000000", "[TYPE:DESIGN]",
+		"Main Cell Layer", "[TYPE:QCADCell]", "cell_function=QCAD_CELL_INPUT",
+		"cell_function=QCAD_CELL_OUTPUT", "cell_function=QCAD_CELL_FIXED",
+		"[#TYPE:DESIGN]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteQCACellCountsMatch(t *testing.T) {
+	cells := qcaCells(t)
+	var sb strings.Builder
+	if err := WriteQCA(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := QCACellCount(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != cells.NumCells() {
+		t.Errorf("exported %d cells, layout has %d", total, cells.NumCells())
+	}
+	if counts["QCAD_CELL_INPUT"] != 3 || counts["QCAD_CELL_OUTPUT"] != 1 {
+		t.Errorf("I/O counts: %v", counts)
+	}
+}
+
+func TestWriteQCAClocksValid(t *testing.T) {
+	cells := qcaCells(t)
+	var sb strings.Builder
+	if err := WriteQCA(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	clocks, err := ParseQCAClocks(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clocks) != cells.NumCells() {
+		t.Fatalf("%d clock entries for %d cells", len(clocks), cells.NumCells())
+	}
+	for _, c := range clocks {
+		if c < 0 || c > 3 {
+			t.Fatalf("clock %d out of range", c)
+		}
+	}
+}
+
+func TestWriteQCARejectsBestagon(t *testing.T) {
+	cells := bestagonCells(t)
+	var sb strings.Builder
+	if err := WriteQCA(&sb, cells); err == nil {
+		t.Fatal("accepted a Bestagon layout")
+	}
+}
+
+func TestWriteSQDRoundTrip(t *testing.T) {
+	cells := bestagonCells(t)
+	var sb strings.Builder
+	if err := WriteSQD(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"<siqad>", `<layer type="DB">`, "<dbdot>", "latcoord"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text[:200])
+		}
+	}
+	dots, err := ReadSQDDots(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dots) != cells.NumCells() {
+		t.Errorf("round trip: %d dots, want %d", len(dots), cells.NumCells())
+	}
+	// Lattice invariants: l in {0, 1}, coordinates non-negative.
+	for _, d := range dots {
+		if d[2] != 0 && d[2] != 1 {
+			t.Fatalf("bad dimer position %v", d)
+		}
+		if d[0] < 0 || d[1] < 0 {
+			t.Fatalf("negative lattice coordinate %v", d)
+		}
+	}
+}
+
+func TestWriteSQDRejectsQCA(t *testing.T) {
+	cells := qcaCells(t)
+	var sb strings.Builder
+	if err := WriteSQD(&sb, cells); err == nil {
+		t.Fatal("accepted a QCA layout")
+	}
+}
+
+func TestReadSQDDotsErrors(t *testing.T) {
+	if _, err := ReadSQDDots(strings.NewReader("junk")); err == nil {
+		t.Error("accepted junk")
+	}
+	if _, err := ReadSQDDots(strings.NewReader("<siqad></siqad>")); err == nil {
+		t.Error("accepted empty design")
+	}
+}
+
+func TestQCACellCountRejectsJunk(t *testing.T) {
+	if _, err := QCACellCount(strings.NewReader("hello world")); err == nil {
+		t.Error("accepted junk")
+	}
+}

@@ -1,0 +1,127 @@
+package export
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/gatelib"
+)
+
+// SiQAD lattice conventions: dangling bonds live on the Si(100)-2x1
+// hydrogen-passivated surface, addressed by (n, m, l) — dimer column,
+// dimer row, and the 0/1 position within the dimer.
+type sqdDocument struct {
+	XMLName xml.Name   `xml:"siqad"`
+	Program sqdProgram `xml:"program"`
+	Layers  []sqdLayer `xml:"design>layer"`
+}
+
+type sqdProgram struct {
+	Filepurpose string `xml:"file_purpose"`
+	Version     string `xml:"version"`
+}
+
+type sqdLayer struct {
+	Type   string      `xml:"type,attr"`
+	DBDots []sqdDBDot  `xml:"dbdot,omitempty"`
+	Defect []sqdDefect `xml:"defect,omitempty"`
+}
+
+type sqdDBDot struct {
+	LayerID  int         `xml:"layer_id"`
+	LatCoord sqdLatCoord `xml:"latcoord"`
+	Color    string      `xml:"color"`
+}
+
+type sqdLatCoord struct {
+	N int `xml:"n,attr"`
+	M int `xml:"m,attr"`
+	L int `xml:"l,attr"`
+}
+
+type sqdDefect struct {
+	LatCoord sqdLatCoord `xml:"latcoord"`
+}
+
+// WriteSQD serializes a Bestagon cell layout as a SiQAD .sqd design
+// file: one DB layer whose dbdot entries carry H-Si(100)-2x1 lattice
+// coordinates. Our schematic expansion places one dangling bond per
+// lattice site; (x, y) map to dimer column n = x and row pair
+// m = y/2, l = y%2.
+func WriteSQD(w io.Writer, cl *gatelib.CellLayout) error {
+	if cl.Library != gatelib.Bestagon {
+		return fmt.Errorf("export: .sqd requires a Bestagon cell layout, got %s", cl.Library.Name)
+	}
+	doc := sqdDocument{
+		Program: sqdProgram{
+			Filepurpose: FilePurpose(),
+			Version:     "0.3.3",
+		},
+	}
+	layer := sqdLayer{Type: "DB"}
+	for _, c := range cl.Coords() {
+		cell, _ := cl.At(c)
+		layer.DBDots = append(layer.DBDots, sqdDBDot{
+			LayerID: 2,
+			LatCoord: sqdLatCoord{
+				N: c.X,
+				M: c.Y / 2,
+				L: c.Y % 2,
+			},
+			Color: dotColor(cell.Type),
+		})
+	}
+	doc.Layers = []sqdLayer{{Type: "Lattice"}, layer}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// FilePurpose returns the purpose string recorded in exported .sqd
+// files.
+func FilePurpose() string { return "save" }
+
+func dotColor(t gatelib.CellType) string {
+	switch t {
+	case gatelib.CellInput:
+		return "#ff00ff00" // green: inputs
+	case gatelib.CellOutput:
+		return "#ffff0000" // red: outputs
+	default:
+		return "#ffc8c8c8"
+	}
+}
+
+// ReadSQDDots parses an .sqd document and returns the lattice
+// coordinates of all dangling bonds (used for round-trip checks and by
+// the sidbsim package to load designs).
+func ReadSQDDots(r io.Reader) ([][3]int, error) {
+	var doc sqdDocument
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	var dots [][3]int
+	for _, layer := range doc.Layers {
+		if !strings.EqualFold(layer.Type, "DB") {
+			continue
+		}
+		for _, d := range layer.DBDots {
+			dots = append(dots, [3]int{d.LatCoord.N, d.LatCoord.M, d.LatCoord.L})
+		}
+	}
+	if len(dots) == 0 {
+		return nil, fmt.Errorf("export: no DB layer with dbdots found")
+	}
+	return dots, nil
+}

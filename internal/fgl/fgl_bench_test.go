@@ -1,0 +1,29 @@
+package fgl
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/physical/ortho"
+)
+
+func BenchmarkWriteReadParity(b *testing.B) {
+	bm, err := bench.ByName("Fontes18", "parity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := ortho.Place(bm.Build(), ortho.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text, err := WriteString(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

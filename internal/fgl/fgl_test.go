@@ -1,0 +1,258 @@
+package fgl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+	"repro/internal/verify"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func TestRoundTripCartesian(t *testing.T) {
+	n := mux21()
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.Name != l.Name || back.Topo != l.Topo || back.Scheme != l.Scheme {
+		t.Error("metadata lost in round trip")
+	}
+	if back.NumTiles() != l.NumTiles() {
+		t.Errorf("tiles: %d -> %d", l.NumTiles(), back.NumTiles())
+	}
+	if back.Area() != l.Area() {
+		t.Errorf("area: %d -> %d", l.Area(), back.Area())
+	}
+	// The reloaded layout must still implement the function.
+	if err := verify.Check(back, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripHexagonal(t *testing.T) {
+	n := mux21()
+	cart, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex.Library = "Bestagon"
+	text, err := WriteString(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Library != "Bestagon" {
+		t.Errorf("library lost: %q", back.Library)
+	}
+	if err := verify.Check(back, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteContainsHumanReadableStructure(t *testing.T) {
+	n := mux21()
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<fgl>", "<topology>cartesian</topology>", "<name>2DDWave</name>", "<type>PI</type>", "<type>PO</type>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":       "junk",
+		"bad topology":  `<fgl><version>1.0</version><layout><name>x</name><topology>weird</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout></fgl>`,
+		"bad clocking":  `<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>nope</name></clocking></layout></fgl>`,
+		"bad gate type": `<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout><gates><gate><id>0</id><type>FROB</type><loc><x>0</x><y>0</y><z>0</z></loc></gate></gates></fgl>`,
+		"oversize":      `<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout><gates><gate><id>0</id><type>PI</type><loc><x>5</x><y>0</y><z>0</z></loc></gate></gates></fgl>`,
+		"dangling in":   `<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>2</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout><gates><gate><id>0</id><type>PO</type><loc><x>1</x><y>0</y><z>0</z></loc><incoming><signal><x>0</x><y>0</y><z>0</z></signal></incoming></gate></gates></fgl>`,
+	}
+	for name, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGatesListedBeforeWires(t *testing.T) {
+	n := mux21()
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstWire := strings.Index(text, "<wire>true</wire>")
+	lastGate := strings.LastIndex(text, "<type>AND</type>")
+	if firstWire >= 0 && lastGate >= 0 && firstWire < lastGate {
+		t.Error("wires interleaved before gates")
+	}
+}
+
+func TestRoundTripCustomScheme(t *testing.T) {
+	scheme, err := clocking.Custom("lab-grid", 4, [][]int{
+		{0, 1, 2},
+		{3, 0, 1},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layout.New("custom", layout.Cartesian, scheme)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(0, 0)}})
+	text, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "<row>") {
+		t.Fatalf("custom pattern not serialized:\n%s", text)
+	}
+	back, err := ReadString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme.Name != "lab-grid" || !back.Scheme.InPlaneFeedback {
+		t.Errorf("scheme metadata lost: %+v", back.Scheme)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 6; x++ {
+			if back.Scheme.Zone(x, y) != scheme.Zone(x, y) {
+				t.Fatalf("zone mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestBuiltinSchemesWriteNoPattern(t *testing.T) {
+	l := layout.New("b", layout.Cartesian, clocking.USE)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	text, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "<row>") {
+		t.Error("built-in scheme serialized a pattern")
+	}
+}
+
+// TestFormatFreeze locks the exact serialization of a canonical tiny
+// layout: any change to the emitted .fgl schema must be deliberate (and
+// bump FormatVersion).
+func TestFormatFreeze(t *testing.T) {
+	l := layout.New("freeze", layout.Cartesian, clocking.TwoDDWave)
+	l.Library = "QCA ONE"
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	got, err := WriteString(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `<?xml version="1.0" encoding="UTF-8"?>
+<fgl>
+  <version>1.0</version>
+  <layout>
+    <name>freeze</name>
+    <topology>cartesian</topology>
+    <size>
+      <x>3</x>
+      <y>1</y>
+      <z>2</z>
+    </size>
+    <clocking>
+      <name>2DDWave</name>
+      <zones></zones>
+    </clocking>
+    <library>QCA ONE</library>
+  </layout>
+  <gates>
+    <gate>
+      <id>0</id>
+      <type>PI</type>
+      <name>a</name>
+      <loc>
+        <x>0</x>
+        <y>0</y>
+        <z>0</z>
+      </loc>
+      <incoming></incoming>
+    </gate>
+    <gate>
+      <id>1</id>
+      <type>NOT</type>
+      <loc>
+        <x>1</x>
+        <y>0</y>
+        <z>0</z>
+      </loc>
+      <incoming>
+        <signal>
+          <x>0</x>
+          <y>0</y>
+          <z>0</z>
+        </signal>
+      </incoming>
+    </gate>
+    <gate>
+      <id>2</id>
+      <type>PO</type>
+      <name>f</name>
+      <loc>
+        <x>2</x>
+        <y>0</y>
+        <z>0</z>
+      </loc>
+      <incoming>
+        <signal>
+          <x>1</x>
+          <y>0</y>
+          <z>0</z>
+        </signal>
+      </incoming>
+    </gate>
+  </gates>
+</fgl>
+`
+	if got != want {
+		t.Errorf("serialized format changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

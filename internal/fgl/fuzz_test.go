@@ -1,0 +1,44 @@
+package fgl
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+)
+
+func placeMux(n *network.Network) (*layout.Layout, error) {
+	return ortho.Place(n, ortho.Options{})
+}
+
+// FuzzReadString checks the .fgl reader never panics and that accepted
+// documents survive a write/re-read round trip.
+func FuzzReadString(f *testing.F) {
+	n := mux21()
+	if l, err := placeMux(n); err == nil {
+		if text, err := WriteString(l); err == nil {
+			f.Add(text)
+		}
+	}
+	f.Add(`<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout></fgl>`)
+	f.Add("<fgl>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		text, werr := WriteString(l)
+		if werr != nil {
+			t.Fatalf("accepted layout cannot be written: %v", werr)
+		}
+		back, rerr := ReadString(text)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.NumTiles() != l.NumTiles() {
+			t.Fatalf("round trip lost tiles: %d -> %d", l.NumTiles(), back.NumTiles())
+		}
+	})
+}

@@ -1,0 +1,561 @@
+package gatelib
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// CellType classifies technology cells in an expanded layout.
+type CellType uint8
+
+const (
+	// CellNormal is a regular QCA cell or SiDB pair.
+	CellNormal CellType = iota
+	// CellInput marks a primary-input cell.
+	CellInput
+	// CellOutput marks a primary-output cell.
+	CellOutput
+	// CellFixedMinus is a fixed cell polarized to -1 (turns a majority
+	// gate into an AND).
+	CellFixedMinus
+	// CellFixedPlus is a fixed cell polarized to +1 (majority into OR).
+	CellFixedPlus
+)
+
+// String returns a short cell-type code.
+func (t CellType) String() string {
+	switch t {
+	case CellNormal:
+		return "normal"
+	case CellInput:
+		return "input"
+	case CellOutput:
+		return "output"
+	case CellFixedMinus:
+		return "fixed-1"
+	case CellFixedPlus:
+		return "fixed+1"
+	}
+	return fmt.Sprintf("cell(%d)", uint8(t))
+}
+
+// CellCoord addresses a technology cell; Z distinguishes crossing layers.
+type CellCoord struct{ X, Y, Z int }
+
+// Cell is one technology cell of an expanded layout.
+type Cell struct {
+	Type  CellType
+	Clock int
+	// Rank orders cells along the intended signal flow: cells of earlier
+	// tiles (in topological arrival order) and earlier positions within a
+	// tile (input arm before center before output arm) get lower ranks.
+	// Simulators use it to sweep and gate updates directionally.
+	Rank int
+}
+
+// CellLayout is the technology-cell expansion of a gate-level layout.
+type CellLayout struct {
+	Name    string
+	Library *Library
+	cells   map[CellCoord]Cell
+	// vias records pairs of cells on different layers that belong to the
+	// same signal chain (an inter-layer wire transition). Simulators use
+	// this: inter-layer coupling exists only through declared vias.
+	vias map[[2]CellCoord]bool
+}
+
+// viaKey normalizes the unordered cell pair.
+func viaKey(a, b CellCoord) [2]CellCoord {
+	if b.Y < a.Y || (b.Y == a.Y && b.X < a.X) || (b.Y == a.Y && b.X == a.X && b.Z < a.Z) {
+		a, b = b, a
+	}
+	return [2]CellCoord{a, b}
+}
+
+// AddVia declares an inter-layer signal transition between two cells.
+func (cl *CellLayout) AddVia(a, b CellCoord) {
+	if cl.vias == nil {
+		cl.vias = make(map[[2]CellCoord]bool)
+	}
+	cl.vias[viaKey(a, b)] = true
+}
+
+// IsVia reports whether the two cells form a declared via pair.
+func (cl *CellLayout) IsVia(a, b CellCoord) bool {
+	return cl.vias[viaKey(a, b)]
+}
+
+// NumVias returns the number of declared via pairs.
+func (cl *CellLayout) NumVias() int { return len(cl.vias) }
+
+// NumCells returns the number of placed cells.
+func (cl *CellLayout) NumCells() int { return len(cl.cells) }
+
+// At returns the cell at c and whether one exists.
+func (cl *CellLayout) At(c CellCoord) (Cell, bool) {
+	cell, ok := cl.cells[c]
+	return cell, ok
+}
+
+// Coords lists all cell coordinates in deterministic (Y, X, Z) order.
+func (cl *CellLayout) Coords() []CellCoord {
+	out := make([]CellCoord, 0, len(cl.cells))
+	for c := range cl.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Z < b.Z
+	})
+	return out
+}
+
+// BoundingBox returns the cell-level width and height.
+func (cl *CellLayout) BoundingBox() (w, h int) {
+	maxX, maxY := -1, -1
+	for c := range cl.cells {
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	return maxX + 1, maxY + 1
+}
+
+// AreaNM2 returns the physical bounding-box area in square nanometres.
+func (cl *CellLayout) AreaNM2() float64 {
+	w, h := cl.BoundingBox()
+	p := cl.Library.CellPitchNM
+	return float64(w) * p * float64(h) * p
+}
+
+func (cl *CellLayout) put(c CellCoord, cell Cell) error {
+	if old, ok := cl.cells[c]; ok {
+		if old.Type != cell.Type {
+			return fmt.Errorf("cell conflict at (%d,%d,%d): %s vs %s", c.X, c.Y, c.Z, old.Type, cell.Type)
+		}
+		return nil
+	}
+	cl.cells[c] = cell
+	return nil
+}
+
+// tileArrival computes a topological arrival index for every occupied
+// tile coordinate (longest distance from the signal sources), so that
+// cell ranks increase along the dataflow.
+func tileArrival(lay *layout.Layout) (map[layout.Coord]int, error) {
+	coords := lay.Coords()
+	indeg := make(map[layout.Coord]int, len(coords))
+	for _, c := range coords {
+		indeg[c] = len(lay.At(c).Incoming)
+	}
+	var queue []layout.Coord
+	for _, c := range coords {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	arrival := make(map[layout.Coord]int, len(coords))
+	done := 0
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		done++
+		a := 0
+		for _, in := range lay.At(c).Incoming {
+			if v := arrival[in] + 1; v > a {
+				a = v
+			}
+		}
+		arrival[c] = a
+		for _, out := range lay.Outgoing(c) {
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if done != len(coords) {
+		return nil, fmt.Errorf("gatelib: layout %q has a signal-flow cycle", lay.Name)
+	}
+	return arrival, nil
+}
+
+// direction of dataflow between two adjacent Cartesian tiles.
+type direction uint8
+
+const (
+	dirNorth direction = iota
+	dirEast
+	dirSouth
+	dirWest
+)
+
+func dirBetween(from, to layout.Coord) (direction, error) {
+	dx, dy := to.X-from.X, to.Y-from.Y
+	switch {
+	case dx == 1 && dy == 0:
+		return dirEast, nil
+	case dx == -1 && dy == 0:
+		return dirWest, nil
+	case dx == 0 && dy == 1:
+		return dirSouth, nil
+	case dx == 0 && dy == -1:
+		return dirNorth, nil
+	}
+	return dirNorth, fmt.Errorf("tiles %v and %v are not Cartesian neighbors", from, to)
+}
+
+func opposite(d direction) direction { return (d + 2) % 4 }
+
+// armCells returns the two arm cells reaching from the tile center
+// toward border side d, in 5x5 local coordinates (excluding the center).
+func armCells(d direction) [][2]int {
+	switch d {
+	case dirNorth:
+		return [][2]int{{2, 1}, {2, 0}}
+	case dirEast:
+		return [][2]int{{3, 2}, {4, 2}}
+	case dirSouth:
+		return [][2]int{{2, 3}, {2, 4}}
+	case dirWest:
+		return [][2]int{{1, 2}, {0, 2}}
+	}
+	panic("bad direction")
+}
+
+// ExpandQCAOne expands a Cartesian gate-level layout into QCA cells
+// following the QCA ONE standard-cell shapes: every tile is a 5x5 cell
+// block, gates are majority-style plus shapes with fixed polarization
+// cells for AND/OR, inverters use the diagonal split shape, and
+// crossings stack the vertical wire on the crossing layer.
+func ExpandQCAOne(lay *layout.Layout) (*CellLayout, error) {
+	if lay.Topo != layout.Cartesian {
+		return nil, fmt.Errorf("gatelib: QCA ONE expansion needs a Cartesian layout, got %s", lay.Topo)
+	}
+	cl := &CellLayout{Name: lay.Name, Library: QCAOne, cells: make(map[CellCoord]Cell)}
+	const n = 5
+
+	arrival, err := tileArrival(lay)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range lay.Coords() {
+		t := lay.At(c)
+		baseX, baseY := c.X*n, c.Y*n
+		clock := lay.Zone(c)
+		rankBase := arrival[c] * 8
+		put := func(lx, ly int, ct CellType, rank int) error {
+			return cl.put(CellCoord{X: baseX + lx, Y: baseY + ly, Z: c.Z}, Cell{Type: ct, Clock: clock, Rank: rankBase + rank})
+		}
+		// Gather local dataflow directions.
+		var inDirs, outDirs []direction
+		for _, src := range t.Incoming {
+			d, err := dirBetween(c, src)
+			if err != nil {
+				return nil, fmt.Errorf("gatelib: %s: %w", lay.Name, err)
+			}
+			inDirs = append(inDirs, d)
+		}
+		for _, dst := range lay.Outgoing(c) {
+			d, err := dirBetween(c, dst)
+			if err != nil {
+				return nil, fmt.Errorf("gatelib: %s: %w", lay.Name, err)
+			}
+			outDirs = append(outDirs, d)
+		}
+
+		// armCells lists [inner, outer]; input arms carry the signal from
+		// the outer (border) cell inward, output arms the other way.
+		emitInArms := func(dirs []direction, ct CellType) error {
+			for _, d := range dirs {
+				a := armCells(d)
+				if err := put(a[0][0], a[0][1], ct, 1); err != nil { // inner
+					return err
+				}
+				if err := put(a[1][0], a[1][1], ct, 0); err != nil { // outer
+					return err
+				}
+			}
+			return nil
+		}
+		emitOutArms := func(dirs []direction, ct CellType) error {
+			for _, d := range dirs {
+				a := armCells(d)
+				if err := put(a[0][0], a[0][1], ct, 3); err != nil {
+					return err
+				}
+				if err := put(a[1][0], a[1][1], ct, 4); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		switch {
+		case t.Fn == network.PI:
+			if err := put(2, 2, CellInput, 2); err != nil {
+				return nil, err
+			}
+			if err := emitOutArms(outDirs, CellNormal); err != nil {
+				return nil, err
+			}
+		case t.Fn == network.PO:
+			if err := put(2, 2, CellOutput, 2); err != nil {
+				return nil, err
+			}
+			if err := emitInArms(inDirs, CellNormal); err != nil {
+				return nil, err
+			}
+		case t.IsWire():
+			if err := put(2, 2, CellNormal, 2); err != nil {
+				return nil, err
+			}
+			if err := emitInArms(inDirs, CellNormal); err != nil {
+				return nil, err
+			}
+			if err := emitOutArms(outDirs, CellNormal); err != nil {
+				return nil, err
+			}
+		case t.Fn == network.Not:
+			cells, ranks, ok := inverterCells(inDirs, outDirs)
+			if !ok {
+				return nil, fmt.Errorf("gatelib: %s: inverter at %v lacks in/out directions", lay.Name, c)
+			}
+			for i, p := range cells {
+				if err := put(p[0], p[1], CellNormal, ranks[i]); err != nil {
+					return nil, err
+				}
+			}
+		case t.Fn == network.And || t.Fn == network.Or || t.Fn == network.Maj:
+			if err := put(2, 2, CellNormal, 2); err != nil {
+				return nil, err
+			}
+			if err := emitInArms(inDirs, CellNormal); err != nil {
+				return nil, err
+			}
+			if err := emitOutArms(outDirs, CellNormal); err != nil {
+				return nil, err
+			}
+			if t.Fn != network.Maj {
+				// Fixed cell on a free arm's inner position.
+				used := make(map[direction]bool)
+				for _, d := range inDirs {
+					used[d] = true
+				}
+				for _, d := range outDirs {
+					used[d] = true
+				}
+				placed := false
+				for d := dirNorth; d <= dirWest; d++ {
+					if !used[d] {
+						a := armCells(d)[0]
+						ct := CellFixedMinus
+						if t.Fn == network.Or {
+							ct = CellFixedPlus
+						}
+						if err := put(a[0], a[1], ct, 2); err != nil {
+							return nil, err
+						}
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return nil, fmt.Errorf("gatelib: %s: no free arm for fixed cell of %s at %v", lay.Name, t.Fn, c)
+				}
+			}
+		case t.Fn == network.Fanout:
+			if err := put(2, 2, CellNormal, 2); err != nil {
+				return nil, err
+			}
+			if err := emitInArms(inDirs, CellNormal); err != nil {
+				return nil, err
+			}
+			if err := emitOutArms(outDirs, CellNormal); err != nil {
+				return nil, err
+			}
+		case t.Fn == network.Const0 || t.Fn == network.Const1:
+			ct := CellFixedMinus
+			if t.Fn == network.Const1 {
+				ct = CellFixedPlus
+			}
+			if err := put(2, 2, ct, 2); err != nil {
+				return nil, err
+			}
+			if err := emitOutArms(outDirs, CellNormal); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("gatelib: QCA ONE cannot expand %s at %v", t.Fn, c)
+		}
+	}
+	// Declare vias for connections that change layers: the boundary arm
+	// cells of the two tiles form the inter-layer transition.
+	for _, c := range lay.Coords() {
+		t := lay.At(c)
+		for _, src := range t.Incoming {
+			if src.Z == c.Z {
+				continue
+			}
+			dIn, err := dirBetween(c, src)
+			if err != nil {
+				return nil, err
+			}
+			dOut, err := dirBetween(src, c)
+			if err != nil {
+				return nil, err
+			}
+			aArm := armCells(dIn)[1]  // this tile's outer cell toward src
+			bArm := armCells(dOut)[1] // src tile's outer cell toward us
+			cl.AddVia(
+				CellCoord{X: c.X*n + aArm[0], Y: c.Y*n + aArm[1], Z: c.Z},
+				CellCoord{X: src.X*n + bArm[0], Y: src.Y*n + bArm[1], Z: src.Z},
+			)
+		}
+	}
+	return cl, nil
+}
+
+// inverterCells returns the local 5x5 cell positions of a QCA ONE
+// inverter tile. Straight configurations use the canonical fork shape —
+// the signal splits into two parallel branches that recombine diagonally
+// onto the output cell, flipping the polarization — which simulates
+// correctly under the bistable model (see internal/qcasim). Corner
+// configurations fall back to a schematic diagonal-split shape.
+func inverterCells(inDirs, outDirs []direction) (cells [][2]int, ranks []int, ok bool) {
+	if len(inDirs) != 1 || len(outDirs) < 1 {
+		return nil, nil, false
+	}
+	in := inDirs[0]
+	out := outDirs[0]
+	type pair struct{ in, out direction }
+	// Cell order: input outer, input inner, four branch cells, inversion
+	// cell, output cell — ranks follow the same progression.
+	straight := map[pair][][2]int{
+		{dirWest, dirEast}:   {{0, 2}, {1, 2}, {1, 1}, {2, 1}, {1, 3}, {2, 3}, {3, 2}, {4, 2}},
+		{dirEast, dirWest}:   {{4, 2}, {3, 2}, {3, 1}, {2, 1}, {3, 3}, {2, 3}, {1, 2}, {0, 2}},
+		{dirNorth, dirSouth}: {{2, 0}, {2, 1}, {1, 1}, {1, 2}, {3, 1}, {3, 2}, {2, 3}, {2, 4}},
+		{dirSouth, dirNorth}: {{2, 4}, {2, 3}, {1, 3}, {1, 2}, {3, 3}, {3, 2}, {2, 1}, {2, 0}},
+	}
+	straightRanks := []int{0, 1, 2, 3, 2, 3, 4, 5}
+	if cs, found := straight[pair{in, out}]; found {
+		return cs, straightRanks, true
+	}
+	// Corner inverter: the in-arm's inner cell and the out-arm's inner
+	// cell are diagonal neighbors (perpendicular directions), so leaving
+	// out the center cell makes the corner hop anti-aligning — a single
+	// diagonal step inverts the signal.
+	for _, a := range armCells(in) {
+		cells = append(cells, a)
+	}
+	ranks = append(ranks, 1, 0)
+	for _, a := range armCells(out) {
+		cells = append(cells, a)
+	}
+	ranks = append(ranks, 3, 4)
+	return cells, ranks, true
+}
+
+// ExpandBestagon expands a hexagonal gate-level layout into a schematic
+// silicon-dangling-bond dot pattern: each hexagonal tile becomes a
+// Y-shaped dot arrangement with input branches at its upper corners and
+// the output at its lower corner, mirroring the Bestagon tile geometry
+// at reduced dot density.
+func ExpandBestagon(lay *layout.Layout) (*CellLayout, error) {
+	if lay.Topo != layout.HexOddRow {
+		return nil, fmt.Errorf("gatelib: Bestagon expansion needs a hexagonal layout, got %s", lay.Topo)
+	}
+	cl := &CellLayout{Name: lay.Name, Library: Bestagon, cells: make(map[CellCoord]Cell)}
+	bestagonArrival, err := tileArrival(lay)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		tileW = 16 // lattice columns per hex tile
+		tileH = 12 // lattice rows per hex row (3/4 vertical pitch)
+	)
+	for _, c := range lay.Coords() {
+		t := lay.At(c)
+		baseX := c.X * tileW
+		if c.Y%2 == 1 {
+			baseX += tileW / 2
+		}
+		baseY := c.Y * tileH
+		clock := lay.Zone(c)
+		arrivalRank := bestagonArrival[c] * 8
+		put := func(lx, ly int, ct CellType, rank int) error {
+			return cl.put(CellCoord{X: baseX + lx, Y: baseY + ly, Z: c.Z}, Cell{Type: ct, Clock: clock, Rank: arrivalRank + rank})
+		}
+		// Branch dot chains: NW input, NE input, S output.
+		branch := func(points [][2]int, ct CellType, rank0 int) error {
+			for i, p := range points {
+				if err := put(p[0], p[1], ct, rank0+i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		nw := [][2]int{{2, 0}, {4, 2}, {6, 4}}
+		ne := [][2]int{{14, 0}, {12, 2}, {10, 4}}
+		south := [][2]int{{8, 8}, {8, 10}}
+		center := [][2]int{{8, 6}}
+
+		switch {
+		case t.Fn == network.PI:
+			if err := branch(center, CellInput, 3); err != nil {
+				return nil, err
+			}
+			if err := branch(south, CellNormal, 4); err != nil {
+				return nil, err
+			}
+		case t.Fn == network.PO:
+			if err := branch(nw, CellNormal, 0); err != nil {
+				return nil, err
+			}
+			if err := branch(center, CellOutput, 3); err != nil {
+				return nil, err
+			}
+		default:
+			// Wires, gates and fanouts share the Y skeleton; two-input
+			// gates use both upper branches, single-input tiles only NW.
+			if err := branch(nw, CellNormal, 0); err != nil {
+				return nil, err
+			}
+			if len(t.Incoming) > 1 || t.Fn == network.Fanout {
+				if err := branch(ne, CellNormal, 0); err != nil {
+					return nil, err
+				}
+			}
+			if err := branch(center, CellNormal, 3); err != nil {
+				return nil, err
+			}
+			if err := branch(south, CellNormal, 4); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cl, nil
+}
+
+// Expand dispatches to the library-specific cell expansion.
+func (l *Library) Expand(lay *layout.Layout) (*CellLayout, error) {
+	switch l {
+	case QCAOne:
+		return ExpandQCAOne(lay)
+	case Bestagon:
+		return ExpandBestagon(lay)
+	}
+	return nil, fmt.Errorf("gatelib: no cell expansion for %s", l.Name)
+}

@@ -1,0 +1,159 @@
+// Package gatelib models FCN gate libraries: which logic functions can be
+// placed on a tile, on which grid topology, under which clocking schemes,
+// and how a gate tile expands into technology cells (QCA cells for QCA
+// ONE, silicon dangling bonds for Bestagon).
+package gatelib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// Library describes one FCN gate library.
+type Library struct {
+	// Name as displayed by MNT Bench ("QCA ONE", "Bestagon").
+	Name string
+	// Topology the library's tiles are drawn on.
+	Topology layout.Topology
+	// Gates is the set of logic functions with native single-tile
+	// implementations. Buf (wire) and Fanout are always included.
+	Gates network.GateSet
+	// Schemes lists the clocking schemes MNT Bench pairs with the library.
+	Schemes []*clocking.Scheme
+	// MaxFanout is the number of successors a fanout tile can feed.
+	MaxFanout int
+	// CellsPerTile is the edge length of one tile in technology cells.
+	CellsPerTile int
+	// CellPitchNM is the center-to-center cell distance in nanometres,
+	// used to report physical areas.
+	CellPitchNM float64
+}
+
+// QCAOne is the QCA ONE standard-cell library (Reis et al., ISCAS 2016):
+// Cartesian tiles of 5x5 QCA cells providing AND, OR, NOT, MAJ, wires,
+// fanouts and coplanar crossings. XOR has no native tile and must be
+// decomposed.
+var QCAOne = &Library{
+	Name:     "QCA ONE",
+	Topology: layout.Cartesian,
+	Gates: network.GateSet{
+		network.And: true, network.Or: true, network.Not: true,
+		network.Maj: true, network.Buf: true, network.Fanout: true,
+		network.Const0: true, network.Const1: true,
+	},
+	Schemes:      []*clocking.Scheme{clocking.TwoDDWave, clocking.USE, clocking.RES, clocking.ESR, clocking.Columnar, clocking.CFE},
+	MaxFanout:    2,
+	CellsPerTile: 5,
+	CellPitchNM:  20,
+}
+
+// Bestagon is the hexagonal SiDB library (Walter et al., DAC 2022):
+// pointy-top hexagonal tiles of silicon dangling bonds with native
+// two-input AND, OR, NAND, NOR, XOR, XNOR, inverters, wires, fanouts and
+// crossings, operated under row-based clocking.
+var Bestagon = &Library{
+	Name:     "Bestagon",
+	Topology: layout.HexOddRow,
+	Gates: network.GateSet{
+		network.And: true, network.Or: true, network.Nand: true,
+		network.Nor: true, network.Xor: true, network.Xnor: true,
+		network.Not: true, network.Buf: true, network.Fanout: true,
+		network.Const0: true, network.Const1: true,
+	},
+	Schemes:      []*clocking.Scheme{clocking.Row},
+	MaxFanout:    2,
+	CellsPerTile: 16, // one Bestagon tile spans ~60 SiDB lattice sites; 16 is the hex pitch in dimer rows
+	CellPitchNM:  0.768,
+}
+
+// All lists the built-in libraries.
+func All() []*Library { return []*Library{QCAOne, Bestagon} }
+
+// ByName resolves a library by case-insensitive name, accepting the
+// compact aliases "qcaone" and "bestagon".
+func ByName(name string) (*Library, error) {
+	squash := func(s string) string {
+		return strings.ToLower(strings.NewReplacer(" ", "", "_", "", "-", "").Replace(s))
+	}
+	for _, l := range All() {
+		if squash(l.Name) == squash(name) {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("gatelib: unknown library %q (available: QCA ONE, Bestagon)", name)
+}
+
+// SupportsScheme reports whether the library is distributed with layouts
+// under the given clocking scheme.
+func (l *Library) SupportsScheme(s *clocking.Scheme) bool {
+	for _, ok := range l.Schemes {
+		if ok == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare returns a copy of the logic network rewritten for this
+// library: unsupported gate functions are decomposed into supported
+// ones and multi-fanout signals are split through explicit fanout nodes
+// of the library's maximum degree.
+func (l *Library) Prepare(n *network.Network) (*network.Network, error) {
+	c := n.Clone()
+	if err := c.Decompose(l.Gates); err != nil {
+		return nil, fmt.Errorf("gatelib %s: %w", l.Name, err)
+	}
+	c.SubstituteFanouts(l.MaxFanout)
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gatelib %s: prepared network invalid: %w", l.Name, err)
+	}
+	return c, nil
+}
+
+// CanPlace reports whether the library has a tile implementation for the
+// given node function (I/O pins and wires always have one).
+func (l *Library) CanPlace(g network.Gate) bool {
+	switch g {
+	case network.PI, network.PO, network.Buf, network.Fanout:
+		return true
+	}
+	return l.Gates.Supports(g)
+}
+
+// CheckLayout verifies that every tile of the layout can be realized by
+// this library: matching topology, supported clocking scheme, and native
+// tile implementations for all placed functions.
+func (l *Library) CheckLayout(lay *layout.Layout) error {
+	if lay.Topo != l.Topology {
+		return fmt.Errorf("gatelib %s: layout topology %s, library needs %s", l.Name, lay.Topo, l.Topology)
+	}
+	if !l.SupportsScheme(lay.Scheme) {
+		return fmt.Errorf("gatelib %s: clocking scheme %s not supported", l.Name, lay.Scheme)
+	}
+	for _, c := range lay.Coords() {
+		t := lay.At(c)
+		if t.IsWire() {
+			continue
+		}
+		if !l.CanPlace(t.Fn) {
+			return fmt.Errorf("gatelib %s: no tile for %s at %v", l.Name, t.Fn, c)
+		}
+	}
+	return nil
+}
+
+// TileAreaNM2 returns the physical area of one tile in square nanometres.
+func (l *Library) TileAreaNM2() float64 {
+	edge := float64(l.CellsPerTile) * l.CellPitchNM
+	return edge * edge
+}
+
+// LayoutAreaNM2 returns the physical bounding-box area of a layout in
+// square nanometres.
+func (l *Library) LayoutAreaNM2(lay *layout.Layout) float64 {
+	return float64(lay.Area()) * l.TileAreaNM2()
+}

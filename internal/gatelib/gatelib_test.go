@@ -1,0 +1,212 @@
+package gatelib
+
+import (
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func xorNet() *network.Network {
+	n := network.New("x")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "f")
+	return n
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"QCA ONE", "qcaone", "qca_one", "QCA-ONE"} {
+		l, err := ByName(alias)
+		if err != nil || l != QCAOne {
+			t.Errorf("ByName(%q) = %v, %v", alias, l, err)
+		}
+	}
+	if l, err := ByName("Bestagon"); err != nil || l != Bestagon {
+		t.Errorf("ByName(Bestagon) = %v, %v", l, err)
+	}
+	if _, err := ByName("sidb9000"); err == nil {
+		t.Error("ByName accepted junk")
+	}
+}
+
+func TestPrepareQCAOneDecomposesXor(t *testing.T) {
+	n := xorNet()
+	prep, err := QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < prep.Size(); id++ {
+		g := prep.Gate(network.ID(id))
+		if g == network.Xor || g == network.Xnor || g == network.Nand || g == network.Nor {
+			t.Fatalf("%s survived QCA ONE preparation", g)
+		}
+	}
+	eq, err := network.Equivalent(n, prep)
+	if err != nil || !eq {
+		t.Fatal("preparation changed function")
+	}
+	if prep.MaxFanout() > QCAOne.MaxFanout {
+		t.Error("fanout limit violated")
+	}
+}
+
+func TestPrepareBestagonKeepsXor(t *testing.T) {
+	n := xorNet()
+	prep, err := Bestagon.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for id := 0; id < prep.Size(); id++ {
+		if prep.Gate(network.ID(id)) == network.Xor {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Bestagon preparation lost the native XOR")
+	}
+}
+
+func TestSchemeSupport(t *testing.T) {
+	if !QCAOne.SupportsScheme(clocking.TwoDDWave) || !QCAOne.SupportsScheme(clocking.USE) {
+		t.Error("QCA ONE must support 2DDWave and USE")
+	}
+	if QCAOne.SupportsScheme(clocking.Row) {
+		t.Error("QCA ONE must not support ROW")
+	}
+	if !Bestagon.SupportsScheme(clocking.Row) || Bestagon.SupportsScheme(clocking.TwoDDWave) {
+		t.Error("Bestagon supports exactly ROW")
+	}
+}
+
+func TestCheckLayout(t *testing.T) {
+	n := mux21()
+	prep, err := QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := QCAOne.CheckLayout(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := Bestagon.CheckLayout(l); err == nil {
+		t.Error("Bestagon accepted a Cartesian layout")
+	}
+}
+
+func TestCheckLayoutRejectsUnsupportedGate(t *testing.T) {
+	l := layout.New("x", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.Xor})
+	if err := QCAOne.CheckLayout(l); err == nil {
+		t.Error("QCA ONE accepted a XOR tile")
+	}
+}
+
+func TestExpandQCAOne(t *testing.T) {
+	n := mux21()
+	prep, err := QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ExpandQCAOne(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells.NumCells() == 0 {
+		t.Fatal("no cells")
+	}
+	// Cell bounding box is at most 5x the tile bounding box.
+	tw, th := l.BoundingBox()
+	cw, ch := cells.BoundingBox()
+	if cw > 5*tw || ch > 5*th {
+		t.Errorf("cell box %dx%d exceeds 5x tile box %dx%d", cw, ch, tw, th)
+	}
+	// AND/OR tiles must carry fixed polarization cells.
+	fixed := 0
+	inputs, outputs := 0, 0
+	for _, c := range cells.Coords() {
+		cell, _ := cells.At(c)
+		switch cell.Type {
+		case CellFixedMinus, CellFixedPlus:
+			fixed++
+		case CellInput:
+			inputs++
+		case CellOutput:
+			outputs++
+		}
+	}
+	if fixed == 0 {
+		t.Error("no fixed cells for AND/OR gates")
+	}
+	if inputs != 3 || outputs != 1 {
+		t.Errorf("I/O cells = %d/%d, want 3/1", inputs, outputs)
+	}
+	if cells.AreaNM2() <= 0 {
+		t.Error("non-positive physical area")
+	}
+}
+
+func TestExpandBestagon(t *testing.T) {
+	n := mux21()
+	prep, err := Bestagon.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Bestagon.Expand(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells.NumCells() == 0 {
+		t.Fatal("no SiDB dots")
+	}
+}
+
+func TestExpandRejectsWrongTopology(t *testing.T) {
+	l := layout.New("x", layout.HexOddRow, clocking.Row)
+	if _, err := ExpandQCAOne(l); err == nil {
+		t.Error("QCA ONE expansion accepted a hexagonal layout")
+	}
+	l2 := layout.New("x", layout.Cartesian, clocking.TwoDDWave)
+	if _, err := ExpandBestagon(l2); err == nil {
+		t.Error("Bestagon expansion accepted a Cartesian layout")
+	}
+}
+
+func TestTileAreaNM2(t *testing.T) {
+	// QCA ONE: 5 cells x 20nm = 100nm edge -> 10000 nm^2 per tile.
+	if got := QCAOne.TileAreaNM2(); got != 10000 {
+		t.Errorf("QCA ONE tile area = %v", got)
+	}
+	if Bestagon.TileAreaNM2() <= 0 {
+		t.Error("Bestagon tile area must be positive")
+	}
+}

@@ -1,0 +1,99 @@
+// Package layout provides clocked gate-level layouts for field-coupled
+// nanocomputing on Cartesian and hexagonal tile grids.
+//
+// A Layout assigns gates, wire segments, and I/O pins to clocked tiles.
+// Tiles live on two stacked layers: the ground layer (Z = 0) holds gates
+// and wires, the crossing layer (Z = 1) holds the upper wire of a wire
+// crossing. Signal flow between tiles must follow the layout's clocking
+// scheme: a tile in clock zone c feeds only adjacent tiles in zone
+// (c+1) mod n.
+package layout
+
+import "fmt"
+
+// Topology selects the tile grid shape.
+type Topology uint8
+
+const (
+	// Cartesian is the square-tile grid used by QCA ONE layouts.
+	Cartesian Topology = iota
+	// HexOddRow is the pointy-top hexagonal grid with odd rows shifted
+	// east (offset coordinates), used by Bestagon/SiDB layouts.
+	HexOddRow
+)
+
+// String names the topology as used in .fgl files.
+func (t Topology) String() string {
+	switch t {
+	case Cartesian:
+		return "cartesian"
+	case HexOddRow:
+		return "hexagonal"
+	}
+	return fmt.Sprintf("topology(%d)", uint8(t))
+}
+
+// TopologyFromString parses a topology name written by String.
+func TopologyFromString(s string) (Topology, error) {
+	switch s {
+	case "cartesian":
+		return Cartesian, nil
+	case "hexagonal":
+		return HexOddRow, nil
+	}
+	return Cartesian, fmt.Errorf("layout: unknown topology %q", s)
+}
+
+// Coord addresses a tile. Z is 0 for the ground layer and 1 for the
+// crossing layer.
+type Coord struct {
+	X, Y, Z int
+}
+
+// C is shorthand for a ground-layer coordinate.
+func C(x, y int) Coord { return Coord{X: x, Y: y} }
+
+// Above returns the same position on the crossing layer.
+func (c Coord) Above() Coord { return Coord{X: c.X, Y: c.Y, Z: 1} }
+
+// Ground returns the same position on the ground layer.
+func (c Coord) Ground() Coord { return Coord{X: c.X, Y: c.Y, Z: 0} }
+
+// SameXY reports whether two coordinates share a grid position,
+// regardless of layer.
+func (c Coord) SameXY(o Coord) bool { return c.X == o.X && c.Y == o.Y }
+
+// String renders the coordinate as (x,y) or (x,y,z) for the upper layer.
+func (c Coord) String() string {
+	if c.Z == 0 {
+		return fmt.Sprintf("(%d,%d)", c.X, c.Y)
+	}
+	return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z)
+}
+
+// neighborOffsets returns the XY offsets of all adjacent grid positions
+// for the given topology at row y (hexagonal adjacency depends on row
+// parity under odd-row offset coordinates).
+func neighborOffsets(t Topology, y int) [][2]int {
+	switch t {
+	case Cartesian:
+		return [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	case HexOddRow:
+		if y%2 == 0 { // even rows: diagonal neighbors to the west
+			return [][2]int{{1, 0}, {-1, 0}, {0, -1}, {-1, -1}, {0, 1}, {-1, 1}}
+		}
+		return [][2]int{{1, 0}, {-1, 0}, {0, -1}, {1, -1}, {0, 1}, {1, 1}}
+	}
+	panic(fmt.Sprintf("layout: bad topology %d", t))
+}
+
+// AdjacentXY reports whether a and b are neighboring grid positions
+// (ignoring layers) under topology t.
+func AdjacentXY(t Topology, a, b Coord) bool {
+	for _, d := range neighborOffsets(t, a.Y) {
+		if a.X+d[0] == b.X && a.Y+d[1] == b.Y {
+			return true
+		}
+	}
+	return false
+}

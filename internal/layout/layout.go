@@ -1,0 +1,442 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clocking"
+	"repro/internal/network"
+)
+
+// Tile is the content of one occupied layout coordinate.
+//
+// Fn distinguishes the tile's role: network.PI and network.PO mark I/O
+// pins, network.Buf with Wire=true marks a routing wire segment, and any
+// other logic function marks a placed gate. Incoming lists the producer
+// tiles in fanin order.
+type Tile struct {
+	Fn   network.Gate
+	Wire bool // routing wire (not part of the logical node set)
+	// Node is the network node this tile implements; Invalid for routing
+	// wires inserted during physical design.
+	Node network.ID
+	// Name is the signal name for PI and PO tiles.
+	Name     string
+	Incoming []Coord
+}
+
+// IsWire reports whether the tile is a routing wire segment.
+func (t *Tile) IsWire() bool { return t.Wire }
+
+// Layout is a two-layer clocked gate-level layout.
+type Layout struct {
+	// Name is the implemented function's name (e.g. "mux21").
+	Name string
+	// Topo is the tile-grid topology.
+	Topo Topology
+	// Scheme assigns clock zones to grid positions.
+	Scheme *clocking.Scheme
+	// Library records the gate library the layout targets ("QCA ONE",
+	// "Bestagon"); informational, enforced by internal/gatelib.
+	Library string
+
+	tiles    map[Coord]*Tile
+	outgoing map[Coord][]Coord
+}
+
+// New creates an empty layout.
+func New(name string, topo Topology, scheme *clocking.Scheme) *Layout {
+	return &Layout{
+		Name:     name,
+		Topo:     topo,
+		Scheme:   scheme,
+		tiles:    make(map[Coord]*Tile),
+		outgoing: make(map[Coord][]Coord),
+	}
+}
+
+// Zone returns the clock zone of coordinate c under the layout's scheme.
+// Both layers of a position share the zone.
+func (l *Layout) Zone(c Coord) int { return l.Scheme.Zone(c.X, c.Y) }
+
+// At returns the tile at c, or nil if the coordinate is empty.
+func (l *Layout) At(c Coord) *Tile { return l.tiles[c] }
+
+// IsEmpty reports whether no tile occupies c.
+func (l *Layout) IsEmpty(c Coord) bool { return l.tiles[c] == nil }
+
+// NumTiles returns the number of occupied coordinates on both layers.
+func (l *Layout) NumTiles() int { return len(l.tiles) }
+
+// Place puts a tile at c. It fails if c is occupied, lies outside the
+// grid (negative coordinates), or uses an invalid layer.
+func (l *Layout) Place(c Coord, t Tile) error {
+	if c.X < 0 || c.Y < 0 {
+		return fmt.Errorf("layout %q: coordinate %v is negative", l.Name, c)
+	}
+	if c.Z != 0 && c.Z != 1 {
+		return fmt.Errorf("layout %q: coordinate %v uses invalid layer", l.Name, c)
+	}
+	if c.Z == 1 && !t.IsWire() {
+		return fmt.Errorf("layout %q: only wires may occupy the crossing layer, got %s at %v", l.Name, t.Fn, c)
+	}
+	if l.tiles[c] != nil {
+		return fmt.Errorf("layout %q: coordinate %v already occupied by %s", l.Name, c, l.tiles[c].Fn)
+	}
+	cp := t
+	cp.Incoming = append([]Coord(nil), t.Incoming...)
+	l.tiles[c] = &cp
+	for _, src := range cp.Incoming {
+		l.outgoing[src] = append(l.outgoing[src], c)
+	}
+	return nil
+}
+
+// MustPlace is Place for construction code that has already validated
+// its coordinates; it panics on error.
+func (l *Layout) MustPlace(c Coord, t Tile) {
+	if err := l.Place(c, t); err != nil {
+		panic(err)
+	}
+}
+
+// Connect adds src as the next incoming signal of the tile at dst.
+// Both tiles must exist.
+func (l *Layout) Connect(src, dst Coord) error {
+	if l.tiles[src] == nil {
+		return fmt.Errorf("layout %q: connect from empty tile %v", l.Name, src)
+	}
+	t := l.tiles[dst]
+	if t == nil {
+		return fmt.Errorf("layout %q: connect to empty tile %v", l.Name, dst)
+	}
+	t.Incoming = append(t.Incoming, src)
+	l.outgoing[src] = append(l.outgoing[src], dst)
+	return nil
+}
+
+// Clear removes the tile at c along with its incoming connection records.
+// Connections from c to other tiles must be removed by the caller first
+// (see Disconnect); Clear fails if any remain.
+func (l *Layout) Clear(c Coord) error {
+	t := l.tiles[c]
+	if t == nil {
+		return nil
+	}
+	if len(l.outgoing[c]) > 0 {
+		return fmt.Errorf("layout %q: tile %v still drives %v", l.Name, c, l.outgoing[c])
+	}
+	for _, src := range t.Incoming {
+		l.removeOutgoing(src, c)
+	}
+	delete(l.tiles, c)
+	delete(l.outgoing, c)
+	return nil
+}
+
+// Disconnect removes the connection src -> dst.
+func (l *Layout) Disconnect(src, dst Coord) error {
+	t := l.tiles[dst]
+	if t == nil {
+		return fmt.Errorf("layout %q: disconnect to empty tile %v", l.Name, dst)
+	}
+	found := false
+	for i, in := range t.Incoming {
+		if in == src {
+			t.Incoming = append(t.Incoming[:i], t.Incoming[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("layout %q: no connection %v -> %v", l.Name, src, dst)
+	}
+	l.removeOutgoing(src, dst)
+	return nil
+}
+
+func (l *Layout) removeOutgoing(src, dst Coord) {
+	outs := l.outgoing[src]
+	for i, o := range outs {
+		if o == dst {
+			outs = append(outs[:i], outs[i+1:]...)
+			break
+		}
+	}
+	if len(outs) == 0 {
+		delete(l.outgoing, src)
+	} else {
+		l.outgoing[src] = outs
+	}
+}
+
+// Outgoing returns the tiles fed by the tile at c, in connection order.
+// The returned slice must not be mutated.
+func (l *Layout) Outgoing(c Coord) []Coord { return l.outgoing[c] }
+
+// MoveTile relocates the tile at from to the empty coordinate to,
+// rewriting all connection records referencing it. The layer rules of
+// Place apply to the new position.
+func (l *Layout) MoveTile(from, to Coord) error {
+	t := l.tiles[from]
+	if t == nil {
+		return fmt.Errorf("layout %q: MoveTile from empty %v", l.Name, from)
+	}
+	if from == to {
+		return nil
+	}
+	if l.tiles[to] != nil {
+		return fmt.Errorf("layout %q: MoveTile target %v occupied", l.Name, to)
+	}
+	if to.Z == 1 && !t.IsWire() {
+		return fmt.Errorf("layout %q: only wires may occupy the crossing layer", l.Name)
+	}
+	if to.X < 0 || to.Y < 0 || to.Z < 0 || to.Z > 1 {
+		return fmt.Errorf("layout %q: MoveTile target %v out of grid", l.Name, to)
+	}
+	// Rewrite references in consumers' incoming lists.
+	for _, out := range l.outgoing[from] {
+		ot := l.tiles[out]
+		for i, in := range ot.Incoming {
+			if in == from {
+				ot.Incoming[i] = to
+			}
+		}
+	}
+	// Rewrite references in producers' outgoing lists.
+	for _, src := range t.Incoming {
+		outs := l.outgoing[src]
+		for i, o := range outs {
+			if o == from {
+				outs[i] = to
+			}
+		}
+	}
+	l.tiles[to] = t
+	delete(l.tiles, from)
+	if outs, ok := l.outgoing[from]; ok {
+		l.outgoing[to] = outs
+		delete(l.outgoing, from)
+	}
+	return nil
+}
+
+// IncomingIndex returns the position of src within dst's incoming list,
+// or -1 when no such connection exists.
+func (l *Layout) IncomingIndex(dst, src Coord) int {
+	t := l.tiles[dst]
+	if t == nil {
+		return -1
+	}
+	for i, in := range t.Incoming {
+		if in == src {
+			return i
+		}
+	}
+	return -1
+}
+
+// MoveIncoming repositions the incoming connection of dst currently at
+// index from to index to, preserving the order of the others. Gate fanin
+// order is semantically meaningful, so rerouting code uses this to
+// restore the original port assignment after a Disconnect/Connect pair.
+func (l *Layout) MoveIncoming(dst Coord, from, to int) error {
+	t := l.tiles[dst]
+	if t == nil {
+		return fmt.Errorf("layout %q: MoveIncoming on empty tile %v", l.Name, dst)
+	}
+	if from < 0 || from >= len(t.Incoming) || to < 0 || to >= len(t.Incoming) {
+		return fmt.Errorf("layout %q: MoveIncoming index out of range (%d -> %d of %d)", l.Name, from, to, len(t.Incoming))
+	}
+	v := t.Incoming[from]
+	t.Incoming = append(t.Incoming[:from], t.Incoming[from+1:]...)
+	rest := append([]Coord(nil), t.Incoming[to:]...)
+	t.Incoming = append(append(t.Incoming[:to:to], v), rest...)
+	return nil
+}
+
+// Shift translates every tile by (dx, dy), which must keep all
+// coordinates non-negative. The caller is responsible for choosing a
+// scheme-legal shift (multiples of the clocking periods).
+func (l *Layout) Shift(dx, dy int) error {
+	moved := make(map[Coord]*Tile, len(l.tiles))
+	for c, t := range l.tiles {
+		nc := Coord{X: c.X + dx, Y: c.Y + dy, Z: c.Z}
+		if nc.X < 0 || nc.Y < 0 {
+			return fmt.Errorf("layout %q: shift (%d,%d) moves %v out of the grid", l.Name, dx, dy, c)
+		}
+		for i := range t.Incoming {
+			t.Incoming[i].X += dx
+			t.Incoming[i].Y += dy
+		}
+		moved[nc] = t
+	}
+	movedOut := make(map[Coord][]Coord, len(l.outgoing))
+	for c, outs := range l.outgoing {
+		for i := range outs {
+			outs[i].X += dx
+			outs[i].Y += dy
+		}
+		movedOut[Coord{X: c.X + dx, Y: c.Y + dy, Z: c.Z}] = outs
+	}
+	l.tiles = moved
+	l.outgoing = movedOut
+	return nil
+}
+
+// Coords returns all occupied coordinates in deterministic (Y, X, Z)
+// order.
+func (l *Layout) Coords() []Coord {
+	out := make([]Coord, 0, len(l.tiles))
+	for c := range l.tiles {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Z < b.Z
+	})
+	return out
+}
+
+// BoundingBox returns the width and height of the smallest axis-aligned
+// box enclosing all occupied tiles. An empty layout is 0 x 0.
+func (l *Layout) BoundingBox() (w, h int) {
+	maxX, maxY := -1, -1
+	for c := range l.tiles {
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	return maxX + 1, maxY + 1
+}
+
+// Area returns the bounding-box area in tiles, the figure of merit
+// reported by MNT Bench (w*h; layers do not multiply the area).
+func (l *Layout) Area() int {
+	w, h := l.BoundingBox()
+	return w * h
+}
+
+// OutgoingNeighbors lists the grid positions adjacent to c whose clock
+// zone is (zone(c)+1) mod n — the only positions a signal at c may move
+// to. Both layers of each position are candidates.
+func (l *Layout) OutgoingNeighbors(c Coord) []Coord {
+	want := (l.Zone(c) + 1) % l.Scheme.NumZones
+	var out []Coord
+	for _, d := range neighborOffsets(l.Topo, c.Y) {
+		x, y := c.X+d[0], c.Y+d[1]
+		if x < 0 || y < 0 {
+			continue
+		}
+		if l.Scheme.Zone(x, y) == want {
+			out = append(out, Coord{X: x, Y: y, Z: 0}, Coord{X: x, Y: y, Z: 1})
+		}
+	}
+	return out
+}
+
+// IncomingNeighbors lists the grid positions adjacent to c whose clock
+// zone is (zone(c)-1) mod n.
+func (l *Layout) IncomingNeighbors(c Coord) []Coord {
+	n := l.Scheme.NumZones
+	want := (l.Zone(c) - 1 + n) % n
+	var out []Coord
+	for _, d := range neighborOffsets(l.Topo, c.Y) {
+		x, y := c.X+d[0], c.Y+d[1]
+		if x < 0 || y < 0 {
+			continue
+		}
+		if l.Scheme.Zone(x, y) == want {
+			out = append(out, Coord{X: x, Y: y, Z: 0}, Coord{X: x, Y: y, Z: 1})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the layout.
+func (l *Layout) Clone() *Layout {
+	c := New(l.Name, l.Topo, l.Scheme)
+	c.Library = l.Library
+	for coord, t := range l.tiles {
+		cp := *t
+		cp.Incoming = append([]Coord(nil), t.Incoming...)
+		c.tiles[coord] = &cp
+	}
+	for coord, outs := range l.outgoing {
+		c.outgoing[coord] = append([]Coord(nil), outs...)
+	}
+	return c
+}
+
+// Stats summarizes a layout.
+type Stats struct {
+	Name      string
+	Width     int
+	Height    int
+	Area      int
+	Gates     int // placed logic gates (incl. fanouts, excl. wires and I/O)
+	Wires     int // routing wire segments
+	Crossings int // positions where both layers are occupied
+	PIs       int
+	POs       int
+}
+
+// ComputeStats gathers Stats for the layout.
+func (l *Layout) ComputeStats() Stats {
+	s := Stats{Name: l.Name}
+	s.Width, s.Height = l.BoundingBox()
+	s.Area = s.Width * s.Height
+	for c, t := range l.tiles {
+		switch {
+		case t.Fn == network.PI:
+			s.PIs++
+		case t.Fn == network.PO:
+			s.POs++
+		case t.IsWire():
+			s.Wires++
+			if c.Z == 1 {
+				s.Crossings++
+			}
+		default:
+			s.Gates++
+		}
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %dx%d=%d tiles, %d gates, %d wires, %d crossings, I/O=%d/%d",
+		s.Name, s.Width, s.Height, s.Area, s.Gates, s.Wires, s.Crossings, s.PIs, s.POs)
+}
+
+// PITiles returns the coordinates of all PI tiles in deterministic order.
+func (l *Layout) PITiles() []Coord {
+	var out []Coord
+	for _, c := range l.Coords() {
+		if l.tiles[c].Fn == network.PI {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// POTiles returns the coordinates of all PO tiles in deterministic order.
+func (l *Layout) POTiles() []Coord {
+	var out []Coord
+	for _, c := range l.Coords() {
+		if l.tiles[c].Fn == network.PO {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/network"
+)
+
+func TestTopologyRoundTrip(t *testing.T) {
+	for _, topo := range []Topology{Cartesian, HexOddRow} {
+		back, err := TopologyFromString(topo.String())
+		if err != nil || back != topo {
+			t.Errorf("round trip %v failed: %v", topo, err)
+		}
+	}
+	if _, err := TopologyFromString("weird"); err == nil {
+		t.Error("TopologyFromString accepted junk")
+	}
+}
+
+func TestCartesianAdjacency(t *testing.T) {
+	a := C(3, 3)
+	for _, b := range []Coord{C(4, 3), C(2, 3), C(3, 4), C(3, 2)} {
+		if !AdjacentXY(Cartesian, a, b) {
+			t.Errorf("%v should be adjacent to %v", a, b)
+		}
+	}
+	for _, b := range []Coord{C(4, 4), C(2, 2), C(3, 3), C(5, 3)} {
+		if AdjacentXY(Cartesian, a, b) {
+			t.Errorf("%v should not be adjacent to %v", a, b)
+		}
+	}
+}
+
+func TestHexAdjacency(t *testing.T) {
+	// Even row y=2: diagonals to the west.
+	a := C(3, 2)
+	want := []Coord{C(4, 2), C(2, 2), C(3, 1), C(2, 1), C(3, 3), C(2, 3)}
+	for _, b := range want {
+		if !AdjacentXY(HexOddRow, a, b) {
+			t.Errorf("even row: %v should be adjacent to %v", a, b)
+		}
+	}
+	if AdjacentXY(HexOddRow, a, C(4, 1)) || AdjacentXY(HexOddRow, a, C(4, 3)) {
+		t.Error("even row: eastern diagonals must not be adjacent")
+	}
+	// Odd row y=3: diagonals to the east.
+	a = C(3, 3)
+	want = []Coord{C(4, 3), C(2, 3), C(3, 2), C(4, 2), C(3, 4), C(4, 4)}
+	for _, b := range want {
+		if !AdjacentXY(HexOddRow, a, b) {
+			t.Errorf("odd row: %v should be adjacent to %v", a, b)
+		}
+	}
+	if AdjacentXY(HexOddRow, a, C(2, 2)) || AdjacentXY(HexOddRow, a, C(2, 4)) {
+		t.Error("odd row: western diagonals must not be adjacent")
+	}
+}
+
+func TestHexAdjacencySymmetric(t *testing.T) {
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			a := C(x, y)
+			for _, d := range neighborOffsets(HexOddRow, y) {
+				b := C(x+d[0], y+d[1])
+				if !AdjacentXY(HexOddRow, b, a) {
+					t.Fatalf("adjacency not symmetric: %v -> %v", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceAndConnect(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	if err := l.Place(C(0, 0), Tile{Fn: network.PI, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Place(C(1, 0), Tile{Fn: network.Buf, Wire: true, Incoming: []Coord{C(0, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Place(C(0, 0), Tile{Fn: network.PI}); err == nil {
+		t.Error("double placement accepted")
+	}
+	if err := l.Place(C(-1, 0), Tile{Fn: network.PI}); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+	if err := l.Place(C(2, 0).Above(), Tile{Fn: network.And}); err == nil {
+		t.Error("gate on crossing layer accepted")
+	}
+	outs := l.Outgoing(C(0, 0))
+	if len(outs) != 1 || outs[0] != C(1, 0) {
+		t.Errorf("outgoing = %v", outs)
+	}
+	if l.NumTiles() != 2 {
+		t.Errorf("NumTiles = %d", l.NumTiles())
+	}
+}
+
+func TestClearRequiresDisconnect(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(0, 0)}})
+	if err := l.Clear(C(0, 0)); err == nil {
+		t.Fatal("Clear of driving tile accepted")
+	}
+	if err := l.Disconnect(C(0, 0), C(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Clear(C(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsEmpty(C(0, 0)) {
+		t.Error("tile still occupied after Clear")
+	}
+	if err := l.Clear(C(5, 5)); err != nil {
+		t.Error("Clear of empty tile should be a no-op")
+	}
+}
+
+func TestBoundingBoxAndArea(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	if w, h := l.BoundingBox(); w != 0 || h != 0 {
+		t.Errorf("empty bbox = %dx%d", w, h)
+	}
+	l.MustPlace(C(2, 4), Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(C(5, 1), Tile{Fn: network.Buf, Wire: true})
+	w, h := l.BoundingBox()
+	if w != 6 || h != 5 {
+		t.Errorf("bbox = %dx%d, want 6x5", w, h)
+	}
+	if l.Area() != 30 {
+		t.Errorf("area = %d, want 30", l.Area())
+	}
+	// The crossing layer does not extend the footprint area formula.
+	l.MustPlace(C(5, 1).Above(), Tile{Fn: network.Buf, Wire: true})
+	if l.Area() != 30 {
+		t.Errorf("area with crossing = %d, want 30", l.Area())
+	}
+}
+
+func TestOutgoingNeighbors2DDWave(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	// Zone(1,1)=2; only east (2,1) and south (1,2) have zone 3.
+	outs := l.OutgoingNeighbors(C(1, 1))
+	seen := make(map[Coord]bool)
+	for _, c := range outs {
+		seen[c.Ground()] = true
+	}
+	if len(seen) != 2 || !seen[C(2, 1)] || !seen[C(1, 2)] {
+		t.Errorf("2DDWave outgoing of (1,1): %v", outs)
+	}
+	ins := l.IncomingNeighbors(C(1, 1))
+	seen = make(map[Coord]bool)
+	for _, c := range ins {
+		seen[c.Ground()] = true
+	}
+	if len(seen) != 2 || !seen[C(0, 1)] || !seen[C(1, 0)] {
+		t.Errorf("2DDWave incoming of (1,1): %v", ins)
+	}
+}
+
+func TestOutgoingNeighborsRowHex(t *testing.T) {
+	l := New("t", HexOddRow, clocking.Row)
+	// ROW clocking on hex: all downward neighbors are outgoing.
+	outs := l.OutgoingNeighbors(C(2, 2))
+	seen := make(map[Coord]bool)
+	for _, c := range outs {
+		seen[c.Ground()] = true
+	}
+	if !seen[C(2, 3)] || !seen[C(1, 3)] {
+		t.Errorf("hex ROW outgoing of (2,2): %v", outs)
+	}
+	if seen[C(1, 2)] || seen[C(3, 2)] {
+		t.Error("same-row neighbors must not be outgoing under ROW")
+	}
+}
+
+func TestCoordsDeterministicOrder(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(3, 1), Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(C(0, 2), Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(C(1, 1), Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(C(1, 1).Above(), Tile{Fn: network.Buf, Wire: true})
+	got := l.Coords()
+	want := []Coord{C(1, 1), C(1, 1).Above(), C(3, 1), C(0, 2)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Coords() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := New("t", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(0, 0)}})
+	c := l.Clone()
+	if err := c.Disconnect(C(0, 0), C(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Outgoing(C(0, 0))) != 1 {
+		t.Error("mutating clone affected original")
+	}
+	if got := c.ComputeStats(); got.PIs != 1 || got.POs != 1 {
+		t.Errorf("clone stats: %+v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := New("s", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.And, Node: 3, Incoming: []Coord{C(0, 0)}})
+	l.MustPlace(C(2, 0), Tile{Fn: network.Buf, Wire: true, Incoming: []Coord{C(1, 0)}})
+	l.MustPlace(C(2, 0).Above(), Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(C(3, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(2, 0)}})
+	s := l.ComputeStats()
+	if s.Gates != 1 || s.Wires != 2 || s.Crossings != 1 || s.PIs != 1 || s.POs != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.Width != 4 || s.Height != 1 || s.Area != 4 {
+		t.Errorf("geometry: %+v", s)
+	}
+}
+
+func TestPIAndPOTiles(t *testing.T) {
+	l := New("s", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(0, 1), Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(0, 0)}})
+	if got := l.PITiles(); len(got) != 2 {
+		t.Errorf("PITiles = %v", got)
+	}
+	if got := l.POTiles(); len(got) != 1 || got[0] != C(1, 0) {
+		t.Errorf("POTiles = %v", got)
+	}
+}
+
+func TestClockingSchemesZoneRange(t *testing.T) {
+	for _, s := range clocking.All() {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				z := s.Zone(x, y)
+				if z < 0 || z >= s.NumZones {
+					t.Fatalf("%s zone(%d,%d) = %d out of range", s.Name, x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestClockingByName(t *testing.T) {
+	s, err := clocking.ByName("2ddwave")
+	if err != nil || s != clocking.TwoDDWave {
+		t.Errorf("ByName(2ddwave) = %v, %v", s, err)
+	}
+	if _, err := clocking.ByName("nope"); err == nil {
+		t.Error("ByName accepted junk")
+	}
+}
+
+func Test2DDWaveDiagonalProperty(t *testing.T) {
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if clocking.TwoDDWave.Zone(x, y) != (x+y)%4 {
+				t.Fatalf("2DDWave zone(%d,%d) != (x+y) mod 4", x, y)
+			}
+		}
+	}
+}
+
+func TestRowSchemeProperty(t *testing.T) {
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if clocking.Row.Zone(x, y) != y%4 {
+				t.Fatalf("ROW zone(%d,%d) != y mod 4", x, y)
+			}
+			if clocking.Columnar.Zone(x, y) != x%4 {
+				t.Fatalf("Columnar zone(%d,%d) != x mod 4", x, y)
+			}
+		}
+	}
+}
+
+func TestMoveTileRewritesConnections(t *testing.T) {
+	l := New("mv", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.Buf, Wire: true, Incoming: []Coord{C(0, 0)}})
+	l.MustPlace(C(2, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(1, 0)}})
+
+	if err := l.MoveTile(C(1, 0), C(1, 0).Above()); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsEmpty(C(1, 0)) {
+		t.Error("old position still occupied")
+	}
+	moved := l.At(C(1, 0).Above())
+	if moved == nil || !moved.IsWire() {
+		t.Fatal("tile not moved")
+	}
+	if moved.Incoming[0] != C(0, 0) {
+		t.Error("incoming lost")
+	}
+	if outs := l.Outgoing(C(0, 0)); len(outs) != 1 || outs[0] != (C(1, 0).Above()) {
+		t.Errorf("producer's outgoing not rewritten: %v", outs)
+	}
+	if l.At(C(2, 0)).Incoming[0] != (C(1, 0).Above()) {
+		t.Error("consumer's incoming not rewritten")
+	}
+}
+
+func TestMoveTileErrors(t *testing.T) {
+	l := New("mv", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.And})
+	if err := l.MoveTile(C(5, 5), C(6, 6)); err == nil {
+		t.Error("moved an empty tile")
+	}
+	if err := l.MoveTile(C(0, 0), C(1, 0)); err == nil {
+		t.Error("moved onto an occupied tile")
+	}
+	if err := l.MoveTile(C(1, 0), C(1, 0).Above()); err == nil {
+		t.Error("moved a gate to the crossing layer")
+	}
+	if err := l.MoveTile(C(1, 0), Coord{X: -1, Y: 0}); err == nil {
+		t.Error("moved out of the grid")
+	}
+	if err := l.MoveTile(C(1, 0), C(1, 0)); err != nil {
+		t.Errorf("no-op move failed: %v", err)
+	}
+}
+
+func TestMoveIncomingReorders(t *testing.T) {
+	l := New("mi", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(1, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(0, 1), Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(C(1, 1), Tile{Fn: network.And, Incoming: []Coord{C(1, 0), C(0, 1)}})
+	if idx := l.IncomingIndex(C(1, 1), C(0, 1)); idx != 1 {
+		t.Fatalf("IncomingIndex = %d", idx)
+	}
+	if err := l.MoveIncoming(C(1, 1), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	in := l.At(C(1, 1)).Incoming
+	if in[0] != C(0, 1) || in[1] != C(1, 0) {
+		t.Errorf("reorder failed: %v", in)
+	}
+	if err := l.MoveIncoming(C(1, 1), 5, 0); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if err := l.MoveIncoming(C(9, 9), 0, 0); err == nil {
+		t.Error("accepted empty tile")
+	}
+	if idx := l.IncomingIndex(C(9, 9), C(0, 0)); idx != -1 {
+		t.Error("IncomingIndex on empty tile")
+	}
+}
+
+func TestShiftTranslatesEverything(t *testing.T) {
+	l := New("sh", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(C(1, 0), Tile{Fn: network.PO, Name: "f", Incoming: []Coord{C(0, 0)}})
+	if err := l.Shift(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if l.At(C(4, 8)) == nil || l.At(C(5, 8)) == nil {
+		t.Fatal("tiles not shifted")
+	}
+	if l.At(C(5, 8)).Incoming[0] != C(4, 8) {
+		t.Error("incoming not shifted")
+	}
+	if outs := l.Outgoing(C(4, 8)); len(outs) != 1 || outs[0] != C(5, 8) {
+		t.Errorf("outgoing not shifted: %v", outs)
+	}
+	if err := l.Shift(-10, 0); err == nil {
+		t.Error("accepted out-of-grid shift")
+	}
+}
+
+func TestConnectAndDisconnectErrors(t *testing.T) {
+	l := New("c", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI, Name: "a"})
+	if err := l.Connect(C(5, 5), C(0, 0)); err == nil {
+		t.Error("connected from empty tile")
+	}
+	if err := l.Connect(C(0, 0), C(5, 5)); err == nil {
+		t.Error("connected to empty tile")
+	}
+	if err := l.Disconnect(C(0, 0), C(5, 5)); err == nil {
+		t.Error("disconnected empty destination")
+	}
+	l.MustPlace(C(1, 0), Tile{Fn: network.PO, Name: "f"})
+	if err := l.Disconnect(C(0, 0), C(1, 0)); err == nil {
+		t.Error("disconnected nonexistent connection")
+	}
+}
+
+func TestPlaceLayerValidation(t *testing.T) {
+	l := New("z", Cartesian, clocking.TwoDDWave)
+	if err := l.Place(Coord{X: 0, Y: 0, Z: 2}, Tile{Fn: network.Buf, Wire: true}); err == nil {
+		t.Error("accepted layer 2")
+	}
+	if err := l.Place(Coord{X: 0, Y: 0, Z: -1}, Tile{Fn: network.Buf, Wire: true}); err == nil {
+		t.Error("accepted negative layer")
+	}
+}
+
+func TestMustPlacePanics(t *testing.T) {
+	l := New("p", Cartesian, clocking.TwoDDWave)
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPlace did not panic on conflict")
+		}
+	}()
+	l.MustPlace(C(0, 0), Tile{Fn: network.PI})
+}
+
+func TestTopologyStringUnknown(t *testing.T) {
+	if s := Topology(99).String(); s == "" {
+		t.Error("empty string for unknown topology")
+	}
+}

@@ -1,0 +1,114 @@
+package network
+
+// Balance pads every fanin of every gate with buffer chains so that all
+// paths from the primary inputs to any node have equal length — the
+// classic FCN synchronization transform (signals in clocked field-coupled
+// circuits arrive in lockstep only if reconvergent paths have the same
+// number of clocked elements). POs are optionally aligned to the same
+// global depth so that all outputs switch in the same cycle.
+//
+// The transform preserves functionality and returns the number of
+// inserted buffers.
+func (n *Network) Balance(alignOutputs bool) int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err) // construction API keeps networks acyclic
+	}
+
+	// Node levels before balancing: PIs at 0, gates at 1 + max(fanins).
+	level := make(map[ID]int, len(order))
+	inserted := 0
+
+	// pad extends src with a chain of k buffers.
+	pad := func(src ID, k int) ID {
+		for i := 0; i < k; i++ {
+			src = n.AddBuf(src)
+			inserted++
+		}
+		return src
+	}
+
+	for _, id := range order {
+		nd := n.Node(id)
+		switch nd.Fn {
+		case None, PI, Const0, Const1:
+			level[id] = 0
+			continue
+		case PO:
+			level[id] = level[nd.Fanins[0]]
+			continue
+		}
+		max := 0
+		for _, f := range nd.Fanins {
+			if level[f] > max {
+				max = level[f]
+			}
+		}
+		for idx, f := range nd.Fanins {
+			if d := max - level[f]; d > 0 {
+				nf := pad(f, d)
+				level[nf] = max
+				n.ReplaceFanin(id, idx, nf)
+			}
+		}
+		level[id] = max + 1
+	}
+
+	if alignOutputs {
+		maxOut := 0
+		for _, po := range n.pos {
+			if l := level[n.Fanins(po)[0]]; l > maxOut {
+				maxOut = l
+			}
+		}
+		for _, po := range n.pos {
+			drv := n.Fanins(po)[0]
+			if d := maxOut - level[drv]; d > 0 {
+				n.ReplaceFanin(po, 0, pad(drv, d))
+			}
+		}
+	}
+	return inserted
+}
+
+// IsBalanced reports whether every node's fanins sit on one common level
+// (and, when checkOutputs is set, all PO drivers share the global depth).
+func (n *Network) IsBalanced(checkOutputs bool) bool {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	level := make(map[ID]int, len(order))
+	for _, id := range order {
+		nd := n.Node(id)
+		switch nd.Fn {
+		case None, PI, Const0, Const1:
+			level[id] = 0
+			continue
+		case PO:
+			level[id] = level[nd.Fanins[0]]
+			continue
+		}
+		lvl := -1
+		for _, f := range nd.Fanins {
+			if lvl == -1 {
+				lvl = level[f]
+			} else if level[f] != lvl {
+				return false
+			}
+		}
+		level[id] = lvl + 1
+	}
+	if checkOutputs {
+		out := -1
+		for _, po := range n.pos {
+			l := level[n.Fanins(po)[0]]
+			if out == -1 {
+				out = l
+			} else if l != out {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// skewedNet: f = (a & b) ^ c — the c path is two levels shorter.
+func skewedNet() *Network {
+	n := New("skewed")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	g1 := n.AddAnd(a, b)
+	g2 := n.AddOr(g1, a)
+	n.AddPO(n.AddXor(g2, c), "f")
+	return n
+}
+
+func TestBalanceInsertsBuffers(t *testing.T) {
+	n := skewedNet()
+	if n.IsBalanced(false) {
+		t.Fatal("skewed network reported balanced")
+	}
+	orig := n.Clone()
+	inserted := n.Balance(false)
+	if inserted == 0 {
+		t.Fatal("no buffers inserted")
+	}
+	if !n.IsBalanced(false) {
+		t.Fatal("network not balanced after Balance")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("balancing changed function: %v %v", eq, err)
+	}
+}
+
+func TestBalanceAlignsOutputs(t *testing.T) {
+	n := New("two-depth")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddAnd(a, b), "shallow")
+	n.AddPO(n.AddNot(n.AddNot(n.AddOr(a, b))), "deep")
+	n.Balance(true)
+	if !n.IsBalanced(true) {
+		t.Fatal("outputs not aligned")
+	}
+}
+
+func TestBalanceIdempotent(t *testing.T) {
+	n := skewedNet()
+	n.Balance(true)
+	if again := n.Balance(true); again != 0 {
+		t.Fatalf("second Balance inserted %d buffers", again)
+	}
+}
+
+func TestBalanceAlreadyBalanced(t *testing.T) {
+	n := New("flat")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddAnd(a, b), "f")
+	if got := n.Balance(false); got != 0 {
+		t.Fatalf("inserted %d buffers into a balanced network", got)
+	}
+}
+
+func TestBalancePreservesFunctionQuick(t *testing.T) {
+	f := func(shape [6]uint8) bool {
+		n := randomNetwork(shape[:])
+		orig := n.Clone()
+		n.Balance(true)
+		if !n.IsBalanced(true) {
+			return false
+		}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		eq, err := Equivalent(orig, n)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package network provides a technology-independent gate-level logic
+// network for field-coupled nanocomputing (FCN) design flows.
+//
+// A Network is a directed acyclic graph of logic nodes. Primary inputs
+// (PIs) are sources, primary outputs (POs) are sinks referencing a driver
+// node, and every interior node computes a Boolean function of its fanins.
+// Networks are the input to the physical design algorithms in
+// internal/physical and are produced by the Verilog reader in
+// internal/verilog and by the benchmark generators in internal/bench.
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Gate enumerates the node functions a Network may contain.
+type Gate uint8
+
+// Node function codes. Fanout is an explicit signal-duplication node used
+// by FCN flows where a logic gate may drive only a single successor.
+const (
+	None Gate = iota // unused / deleted node
+	PI               // primary input
+	PO               // primary output (one fanin: its driver)
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Maj // three-input majority
+	Fanout
+)
+
+var gateNames = map[Gate]string{
+	None: "NONE", PI: "PI", PO: "PO", Const0: "CONST0", Const1: "CONST1",
+	Buf: "BUF", Not: "NOT", And: "AND", Or: "OR", Nand: "NAND", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Maj: "MAJ", Fanout: "FANOUT",
+}
+
+// String returns the canonical upper-case name of the gate function.
+func (g Gate) String() string {
+	if s, ok := gateNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("GATE(%d)", uint8(g))
+}
+
+// GateFromString parses a canonical gate name as produced by Gate.String.
+func GateFromString(s string) (Gate, error) {
+	for g, n := range gateNames {
+		if n == s {
+			return g, nil
+		}
+	}
+	return None, fmt.Errorf("network: unknown gate name %q", s)
+}
+
+// Arity returns the number of fanins a gate of this function requires, or
+// -1 if the function is variadic (none currently are).
+func (g Gate) Arity() int {
+	switch g {
+	case PI, Const0, Const1:
+		return 0
+	case PO, Buf, Not, Fanout:
+		return 1
+	case And, Or, Nand, Nor, Xor, Xnor:
+		return 2
+	case Maj:
+		return 3
+	}
+	return 0
+}
+
+// IsLogic reports whether the gate computes a (possibly trivial) Boolean
+// function, i.e. is neither a PI, PO, nor a deleted node.
+func (g Gate) IsLogic() bool {
+	switch g {
+	case None, PI, PO:
+		return false
+	}
+	return true
+}
+
+// Eval computes the gate function over the given input values. It panics
+// if the number of inputs does not match the gate arity; structural
+// validity is the caller's responsibility (see Network.Validate).
+func (g Gate) Eval(in ...bool) bool {
+	if len(in) != g.Arity() {
+		panic(fmt.Sprintf("network: %s expects %d inputs, got %d", g, g.Arity(), len(in)))
+	}
+	switch g {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case PO, Buf, Fanout:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And:
+		return in[0] && in[1]
+	case Or:
+		return in[0] || in[1]
+	case Nand:
+		return !(in[0] && in[1])
+	case Nor:
+		return !(in[0] || in[1])
+	case Xor:
+		return in[0] != in[1]
+	case Xnor:
+		return in[0] == in[1]
+	case Maj:
+		n := 0
+		for _, b := range in {
+			if b {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	panic(fmt.Sprintf("network: gate %s cannot be evaluated", g))
+}
+
+// ID identifies a node within a Network. IDs are dense, stable, and never
+// reused; deleted nodes keep their slot with function None.
+type ID int32
+
+// Invalid is the zero-value node ID; it never names a live node.
+const Invalid ID = -1
+
+// Node is a single vertex of the network graph.
+type Node struct {
+	Fn     Gate
+	Fanins []ID
+	// Name is the signal name for PIs and POs and an optional debug name
+	// for interior nodes.
+	Name string
+}
+
+// Network is a mutable gate-level logic network.
+//
+// The zero value is an empty, usable network.
+type Network struct {
+	// Name identifies the function the network implements (e.g. "mux21").
+	Name string
+
+	nodes []Node
+	pis   []ID
+	pos   []ID
+}
+
+// New returns an empty network with the given function name.
+func New(name string) *Network {
+	return &Network{Name: name}
+}
+
+func (n *Network) add(nd Node) ID {
+	id := ID(len(n.nodes))
+	n.nodes = append(n.nodes, nd)
+	return id
+}
+
+func (n *Network) checkFanins(fn Gate, fanins []ID) {
+	if len(fanins) != fn.Arity() {
+		panic(fmt.Sprintf("network: %s expects %d fanins, got %d", fn, fn.Arity(), len(fanins)))
+	}
+	for _, f := range fanins {
+		if f < 0 || int(f) >= len(n.nodes) {
+			panic(fmt.Sprintf("network: fanin %d out of range", f))
+		}
+		if n.nodes[f].Fn == PO {
+			panic("network: a PO cannot drive another node")
+		}
+	}
+}
+
+// AddPI creates a new primary input with the given signal name.
+func (n *Network) AddPI(name string) ID {
+	id := n.add(Node{Fn: PI, Name: name})
+	n.pis = append(n.pis, id)
+	return id
+}
+
+// AddPO creates a new primary output named name and driven by src.
+func (n *Network) AddPO(src ID, name string) ID {
+	n.checkFanins(PO, []ID{src})
+	id := n.add(Node{Fn: PO, Fanins: []ID{src}, Name: name})
+	n.pos = append(n.pos, id)
+	return id
+}
+
+// AddGate creates an interior node computing fn over the given fanins.
+func (n *Network) AddGate(fn Gate, fanins ...ID) ID {
+	if !fn.IsLogic() {
+		panic(fmt.Sprintf("network: AddGate cannot create %s nodes", fn))
+	}
+	n.checkFanins(fn, fanins)
+	return n.add(Node{Fn: fn, Fanins: append([]ID(nil), fanins...)})
+}
+
+// Convenience constructors for the common gate functions.
+
+// AddAnd creates an AND node.
+func (n *Network) AddAnd(a, b ID) ID { return n.AddGate(And, a, b) }
+
+// AddOr creates an OR node.
+func (n *Network) AddOr(a, b ID) ID { return n.AddGate(Or, a, b) }
+
+// AddNand creates a NAND node.
+func (n *Network) AddNand(a, b ID) ID { return n.AddGate(Nand, a, b) }
+
+// AddNor creates a NOR node.
+func (n *Network) AddNor(a, b ID) ID { return n.AddGate(Nor, a, b) }
+
+// AddXor creates an XOR node.
+func (n *Network) AddXor(a, b ID) ID { return n.AddGate(Xor, a, b) }
+
+// AddXnor creates an XNOR node.
+func (n *Network) AddXnor(a, b ID) ID { return n.AddGate(Xnor, a, b) }
+
+// AddNot creates an inverter.
+func (n *Network) AddNot(a ID) ID { return n.AddGate(Not, a) }
+
+// AddBuf creates a buffer.
+func (n *Network) AddBuf(a ID) ID { return n.AddGate(Buf, a) }
+
+// AddMaj creates a three-input majority node.
+func (n *Network) AddMaj(a, b, c ID) ID { return n.AddGate(Maj, a, b, c) }
+
+// AddConst creates a constant node of the given value.
+func (n *Network) AddConst(v bool) ID {
+	if v {
+		return n.AddGate(Const1)
+	}
+	return n.AddGate(Const0)
+}
+
+// AddFanout creates an explicit fanout (signal duplication) node.
+func (n *Network) AddFanout(a ID) ID { return n.AddGate(Fanout, a) }
+
+// Node returns the node stored under id. The returned value is a copy;
+// mutate nodes only through ReplaceFanin and the Add* methods.
+func (n *Network) Node(id ID) Node {
+	return n.nodes[id]
+}
+
+// Gate returns the function of node id.
+func (n *Network) Gate(id ID) Gate { return n.nodes[id].Fn }
+
+// Fanins returns the fanin IDs of node id. The slice must not be mutated.
+func (n *Network) Fanins(id ID) []ID { return n.nodes[id].Fanins }
+
+// NameOf returns the signal name of node id ("" for unnamed nodes).
+func (n *Network) NameOf(id ID) string { return n.nodes[id].Name }
+
+// SetName assigns a debug/signal name to node id.
+func (n *Network) SetName(id ID, name string) { n.nodes[id].Name = name }
+
+// ReplaceFanin redirects the idx-th fanin of node id to point at newSrc.
+func (n *Network) ReplaceFanin(id ID, idx int, newSrc ID) {
+	if n.nodes[newSrc].Fn == PO {
+		panic("network: a PO cannot drive another node")
+	}
+	n.nodes[id].Fanins[idx] = newSrc
+}
+
+// Delete marks node id as deleted. Deleting PIs or POs is not allowed.
+func (n *Network) Delete(id ID) {
+	switch n.nodes[id].Fn {
+	case PI, PO:
+		panic("network: cannot delete a PI or PO")
+	}
+	n.nodes[id] = Node{Fn: None}
+}
+
+// Size returns the number of node slots ever allocated, including deleted
+// ones; iterate with IsAlive to skip the latter.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// IsAlive reports whether id names a live (non-deleted) node.
+func (n *Network) IsAlive(id ID) bool {
+	return id >= 0 && int(id) < len(n.nodes) && n.nodes[id].Fn != None
+}
+
+// PIs returns the primary input IDs in creation order. Do not mutate.
+func (n *Network) PIs() []ID { return n.pis }
+
+// POs returns the primary output IDs in creation order. Do not mutate.
+func (n *Network) POs() []ID { return n.pos }
+
+// NumPIs returns the number of primary inputs.
+func (n *Network) NumPIs() int { return len(n.pis) }
+
+// NumPOs returns the number of primary outputs.
+func (n *Network) NumPOs() int { return len(n.pos) }
+
+// NumGates returns the number of live interior logic nodes (everything
+// except PIs, POs, and deleted slots).
+func (n *Network) NumGates() int {
+	c := 0
+	for _, nd := range n.nodes {
+		if nd.Fn.IsLogic() {
+			c++
+		}
+	}
+	return c
+}
+
+// NumLogicGates returns the number of live interior nodes excluding
+// buffers and fanouts, matching the "N" node counts reported by MNT Bench.
+func (n *Network) NumLogicGates() int {
+	c := 0
+	for _, nd := range n.nodes {
+		if nd.Fn.IsLogic() && nd.Fn != Buf && nd.Fn != Fanout {
+			c++
+		}
+	}
+	return c
+}
+
+// FanoutCounts returns, for every node slot, the number of live nodes
+// (including POs) that reference it as a fanin.
+func (n *Network) FanoutCounts() []int {
+	counts := make([]int, len(n.nodes))
+	for _, nd := range n.nodes {
+		if nd.Fn == None {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			counts[f]++
+		}
+	}
+	return counts
+}
+
+// FanoutLists returns, for every node slot, the IDs of live nodes
+// (including POs) that reference it as a fanin, in ID order.
+func (n *Network) FanoutLists() [][]ID {
+	lists := make([][]ID, len(n.nodes))
+	for id, nd := range n.nodes {
+		if nd.Fn == None {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			lists[f] = append(lists[f], ID(id))
+		}
+	}
+	return lists
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Name:  n.Name,
+		nodes: make([]Node, len(n.nodes)),
+		pis:   append([]ID(nil), n.pis...),
+		pos:   append([]ID(nil), n.pos...),
+	}
+	for i, nd := range n.nodes {
+		c.nodes[i] = Node{Fn: nd.Fn, Name: nd.Name, Fanins: append([]ID(nil), nd.Fanins...)}
+	}
+	return c
+}
+
+// Validate checks structural invariants: fanin arities match gate
+// functions, fanins reference live non-PO nodes, the graph is acyclic
+// (guaranteed by construction but re-checked for robustness), and every
+// PO has exactly one live driver.
+func (n *Network) Validate() error {
+	for id, nd := range n.nodes {
+		if nd.Fn == None {
+			continue
+		}
+		if len(nd.Fanins) != nd.Fn.Arity() {
+			return fmt.Errorf("network %q: node %d (%s) has %d fanins, want %d",
+				n.Name, id, nd.Fn, len(nd.Fanins), nd.Fn.Arity())
+		}
+		for _, f := range nd.Fanins {
+			if f < 0 || int(f) >= len(n.nodes) {
+				return fmt.Errorf("network %q: node %d references out-of-range fanin %d", n.Name, id, f)
+			}
+			if n.nodes[f].Fn == None {
+				return fmt.Errorf("network %q: node %d references deleted fanin %d", n.Name, id, f)
+			}
+			if n.nodes[f].Fn == PO {
+				return fmt.Errorf("network %q: node %d driven by PO %d", n.Name, id, f)
+			}
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return fmt.Errorf("network %q: %w", n.Name, err)
+	}
+	return nil
+}
+
+// ErrCyclic is returned by TopoOrder when the network contains a cycle.
+var ErrCyclic = errors.New("network contains a cycle")

@@ -1,0 +1,63 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchNetwork builds a layered DAG with the given gate count.
+func benchNetwork(gates int) *Network {
+	n := New(fmt.Sprintf("bench%d", gates))
+	var sig []ID
+	for i := 0; i < 16; i++ {
+		sig = append(sig, n.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	g := []Gate{And, Or, Xor, Nand}
+	for i := 0; i < gates; i++ {
+		a := sig[(i*7+3)%len(sig)]
+		b := sig[(i*13+5)%len(sig)]
+		sig = append(sig, n.AddGate(g[i%len(g)], a, b))
+	}
+	n.AddPO(sig[len(sig)-1], "f")
+	n.AddPO(sig[len(sig)-2], "g")
+	return n
+}
+
+func BenchmarkTopoOrder1k(b *testing.B) {
+	n := benchNetwork(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate1k(b *testing.B) {
+	n := benchNetwork(1000)
+	in := make([]bool, n.NumPIs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Simulate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstituteFanouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := benchNetwork(1000)
+		b.StartTimer()
+		n.SubstituteFanouts(2)
+	}
+}
+
+func BenchmarkStrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := benchNetwork(1000)
+		b.StartTimer()
+		n.Strash()
+	}
+}

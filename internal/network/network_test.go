@@ -1,0 +1,474 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildMux21 returns f = (a & ~s) | (b & s).
+func buildMux21(t testing.TB) *Network {
+	t.Helper()
+	n := New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	l := n.AddAnd(a, ns)
+	r := n.AddAnd(b, s)
+	n.AddPO(n.AddOr(l, r), "f")
+	if err := n.Validate(); err != nil {
+		t.Fatalf("mux21 invalid: %v", err)
+	}
+	return n
+}
+
+func TestGateEval(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		in   []bool
+		want bool
+	}{
+		{Const0, nil, false},
+		{Const1, nil, true},
+		{Buf, []bool{true}, true},
+		{Not, []bool{true}, false},
+		{Not, []bool{false}, true},
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{true, false}, true},
+		{Nand, []bool{true, true}, false},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, true}, true},
+		{Maj, []bool{true, true, false}, true},
+		{Maj, []bool{true, false, false}, false},
+		{Fanout, []bool{true}, true},
+	}
+	for _, c := range cases {
+		if got := c.g.Eval(c.in...); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.g, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGateEvalArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with wrong arity did not panic")
+		}
+	}()
+	And.Eval(true)
+}
+
+func TestGateStringRoundTrip(t *testing.T) {
+	for g := PI; g <= Fanout; g++ {
+		back, err := GateFromString(g.String())
+		if err != nil {
+			t.Fatalf("GateFromString(%s): %v", g, err)
+		}
+		if back != g {
+			t.Errorf("round trip %s -> %s", g, back)
+		}
+	}
+	if _, err := GateFromString("BOGUS"); err == nil {
+		t.Error("GateFromString accepted BOGUS")
+	}
+}
+
+func TestMux21TruthTable(t *testing.T) {
+	n := buildMux21(t)
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PI order a,b,s; bit i of row = PI i.
+	for r := 0; r < 8; r++ {
+		a := r&1 != 0
+		b := r&2 != 0
+		s := r&4 != 0
+		want := a
+		if s {
+			want = b
+		}
+		if tt[r][0] != want {
+			t.Errorf("mux21 row %d: got %v want %v", r, tt[r][0], want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	n := buildMux21(t)
+	if n.NumPIs() != 3 || n.NumPOs() != 1 {
+		t.Fatalf("I/O = %d/%d, want 3/1", n.NumPIs(), n.NumPOs())
+	}
+	if g := n.NumGates(); g != 4 {
+		t.Errorf("NumGates = %d, want 4", g)
+	}
+	if g := n.NumLogicGates(); g != 4 {
+		t.Errorf("NumLogicGates = %d, want 4", g)
+	}
+	if d := n.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	n := buildMux21(t)
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[ID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range order {
+		for _, f := range n.Fanins(id) {
+			if pos[f] >= pos[id] {
+				t.Fatalf("node %d appears before its fanin %d", id, f)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	n := New("cyclic")
+	a := n.AddPI("a")
+	g1 := n.AddBuf(a)
+	g2 := n.AddBuf(g1)
+	n.AddPO(g2, "f")
+	n.ReplaceFanin(g1, 0, g2) // introduce a cycle
+	if _, err := n.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder accepted a cyclic network")
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic network")
+	}
+}
+
+func TestDeleteAndDangling(t *testing.T) {
+	n := New("dangling")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	used := n.AddAnd(a, b)
+	unused := n.AddOr(a, b)
+	unused2 := n.AddNot(unused)
+	n.AddPO(used, "f")
+	d := n.DanglingNodes()
+	if len(d) != 2 {
+		t.Fatalf("DanglingNodes = %v, want 2 nodes", d)
+	}
+	if removed := n.RemoveDangling(); removed != 2 {
+		t.Fatalf("RemoveDangling = %d, want 2", removed)
+	}
+	if n.IsAlive(unused) || n.IsAlive(unused2) {
+		t.Error("dangling nodes still alive after RemoveDangling")
+	}
+	if !n.IsAlive(used) {
+		t.Error("live node was removed")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletePIPanics(t *testing.T) {
+	n := New("x")
+	a := n.AddPI("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete(PI) did not panic")
+		}
+	}()
+	n.Delete(a)
+}
+
+func TestClone(t *testing.T) {
+	n := buildMux21(t)
+	c := n.Clone()
+	eq, err := Equivalent(n, c)
+	if err != nil || !eq {
+		t.Fatalf("clone not equivalent: %v %v", eq, err)
+	}
+	// Mutating the clone must not affect the original.
+	c.ReplaceFanin(c.POs()[0], 0, c.PIs()[0])
+	eq, err = Equivalent(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("mutated clone still equivalent; deep copy is broken")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstituteFanouts(t *testing.T) {
+	n := New("fanout")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	// a drives four consumers.
+	g1 := n.AddAnd(a, b)
+	g2 := n.AddOr(a, b)
+	g3 := n.AddXor(a, b)
+	n.AddPO(g1, "o1")
+	n.AddPO(g2, "o2")
+	n.AddPO(g3, "o3")
+	n.AddPO(a, "o4")
+	orig := n.Clone()
+	n.SubstituteFanouts(2)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mf := n.MaxFanout(); mf > 2 {
+		t.Fatalf("MaxFanout = %d after substitution, want <= 2", mf)
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("fanout substitution changed function: %v %v", eq, err)
+	}
+}
+
+func TestSubstituteFanoutsIdempotent(t *testing.T) {
+	n := buildMux21(t)
+	n.SubstituteFanouts(2)
+	size := n.Size()
+	n.SubstituteFanouts(2)
+	if n.Size() != size {
+		t.Fatalf("second substitution grew network: %d -> %d", size, n.Size())
+	}
+}
+
+func TestSubstituteFanoutsSameSignalTwice(t *testing.T) {
+	n := New("dup")
+	a := n.AddPI("a")
+	g := n.AddAnd(a, a) // same fanin twice
+	n.AddPO(g, "f")
+	orig := n.Clone()
+	n.SubstituteFanouts(2)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mf := n.MaxFanout(); mf > 2 {
+		t.Fatalf("MaxFanout = %d, want <= 2", mf)
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("substitution changed AND(a,a): %v %v", eq, err)
+	}
+}
+
+func TestDecomposeXorToAOI(t *testing.T) {
+	n := New("xor")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "f")
+	orig := n.Clone()
+	set := GateSet{And: true, Or: true, Not: true, Maj: true}
+	if err := n.Decompose(set); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n.Size(); id++ {
+		g := n.Gate(ID(id))
+		if g == Xor || g == Xnor || g == Nand || g == Nor {
+			t.Fatalf("unsupported gate %s survived decomposition", g)
+		}
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("decomposition changed function: %v %v", eq, err)
+	}
+}
+
+func TestDecomposeAllGatesToNand(t *testing.T) {
+	n := New("all")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	n.AddPO(n.AddAnd(a, b), "and")
+	n.AddPO(n.AddOr(a, b), "or")
+	n.AddPO(n.AddXor(a, b), "xor")
+	n.AddPO(n.AddXnor(a, b), "xnor")
+	n.AddPO(n.AddMaj(a, b, c), "maj")
+	n.AddPO(n.AddNor(a, b), "nor")
+	n.AddPO(n.AddNot(a), "not")
+	orig := n.Clone()
+	if err := n.Decompose(GateSet{Nand: true}); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n.Size(); id++ {
+		g := n.Gate(ID(id))
+		if g.IsLogic() && g != Nand && g != Buf && g != Fanout && g != Const0 && g != Const1 {
+			t.Fatalf("gate %s survived NAND decomposition", g)
+		}
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("NAND decomposition changed function: %v %v", eq, err)
+	}
+}
+
+func TestDecomposeIncompleteSetFails(t *testing.T) {
+	n := New("x")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "f")
+	if err := n.Decompose(GateSet{And: true, Or: true}); err == nil {
+		t.Fatal("Decompose accepted an incomplete gate set")
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := New("and")
+	x := a.AddPI("x")
+	y := a.AddPI("y")
+	a.AddPO(a.AddAnd(x, y), "f")
+
+	o := New("or")
+	x2 := o.AddPI("x")
+	y2 := o.AddPI("y")
+	o.AddPO(o.AddOr(x2, y2), "f")
+
+	eq, err := Equivalent(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("AND reported equivalent to OR")
+	}
+}
+
+func TestEquivalentMismatchedIO(t *testing.T) {
+	a := New("a")
+	a.AddPO(a.AddPI("x"), "f")
+	b := New("b")
+	x := b.AddPI("x")
+	b.AddPI("y")
+	b.AddPO(x, "f")
+	if _, err := Equivalent(a, b); err == nil {
+		t.Fatal("Equivalent accepted mismatched PI counts")
+	}
+}
+
+func TestRandomVectorsDeterministic(t *testing.T) {
+	v1 := RandomVectors(70, 10, 42)
+	v2 := RandomVectors(70, 10, 42)
+	for i := range v1 {
+		for j := range v1[i] {
+			if v1[i][j] != v2[i][j] {
+				t.Fatal("RandomVectors not deterministic")
+			}
+		}
+	}
+	v3 := RandomVectors(70, 10, 43)
+	same := true
+	for i := range v1 {
+		for j := range v1[i] {
+			if v1[i][j] != v3[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical vectors")
+	}
+}
+
+func TestLevelsMonotoneProperty(t *testing.T) {
+	n := buildMux21(t)
+	levels := n.Levels()
+	for id := 0; id < n.Size(); id++ {
+		nd := n.Node(ID(id))
+		if nd.Fn == None || nd.Fn == PO {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			if levels[f] >= levels[ID(id)] {
+				t.Fatalf("level(%d)=%d not greater than fanin level(%d)=%d",
+					id, levels[ID(id)], f, levels[f])
+			}
+		}
+	}
+}
+
+// TestMajDeMorganProperty checks MAJ(a,b,c) == MAJ(!a,!b,!c) negated,
+// via quick-check over random assignments.
+func TestMajDeMorganProperty(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		return Maj.Eval(a, b, c) == !Maj.Eval(!a, !b, !c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFanoutTreePreservesFunctionQuick property-checks fanout
+// substitution on randomly shaped small networks.
+func TestFanoutTreePreservesFunctionQuick(t *testing.T) {
+	f := func(shape [6]uint8, deg uint8) bool {
+		n := randomNetwork(shape[:])
+		orig := n.Clone()
+		d := int(deg%3) + 2 // degree in [2,4]
+		n.SubstituteFanouts(d)
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		if n.MaxFanout() > d {
+			return false
+		}
+		eq, err := Equivalent(orig, n)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecomposePreservesFunctionQuick property-checks decomposition to
+// the QCA ONE gate set on randomly shaped small networks.
+func TestDecomposePreservesFunctionQuick(t *testing.T) {
+	set := GateSet{And: true, Or: true, Not: true, Maj: true}
+	f := func(shape [6]uint8) bool {
+		n := randomNetwork(shape[:])
+		orig := n.Clone()
+		if err := n.Decompose(set); err != nil {
+			return false
+		}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		eq, err := Equivalent(orig, n)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomNetwork builds a small deterministic network whose shape is
+// derived from the seed bytes: 4 PIs, one gate per seed byte, 2 POs.
+func randomNetwork(seed []uint8) *Network {
+	n := New("rand")
+	ids := []ID{n.AddPI("a"), n.AddPI("b"), n.AddPI("c"), n.AddPI("d")}
+	gates := []Gate{And, Or, Xor, Xnor, Nand, Nor, Not, Maj}
+	for _, s := range seed {
+		g := gates[int(s)%len(gates)]
+		pick := func(k int) ID { return ids[(int(s)/(k+3))%len(ids)] }
+		var id ID
+		switch g.Arity() {
+		case 1:
+			id = n.AddGate(g, pick(1))
+		case 2:
+			id = n.AddGate(g, pick(1), pick(2))
+		case 3:
+			id = n.AddGate(g, pick(1), pick(2), pick(5))
+		}
+		ids = append(ids, id)
+	}
+	n.AddPO(ids[len(ids)-1], "f")
+	n.AddPO(ids[len(ids)-2], "g")
+	return n
+}

@@ -1,0 +1,278 @@
+package network
+
+import "sort"
+
+// Strash performs structural hashing: interior nodes with the same
+// function and the same (commutatively normalized) fanins are merged
+// into one, and double inverters collapse. Buffers are treated as
+// transparent during hashing. Returns the number of nodes removed.
+//
+// Strash is the standard de-duplication pass run before technology
+// preparation; the Trindade16/Fontes18 reconstructions and Verilog
+// imports can contain duplicate subexpressions that would otherwise be
+// placed twice.
+func (n *Network) Strash() int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err) // construction API keeps networks acyclic
+	}
+
+	type key struct {
+		fn Gate
+		a  ID
+		b  ID
+		c  ID
+	}
+	canon := make(map[key]ID)
+	replacement := make(map[ID]ID)
+	resolve := func(id ID) ID {
+		for {
+			r, ok := replacement[id]
+			if !ok {
+				return id
+			}
+			id = r
+		}
+	}
+	removed := 0
+
+	commutative := func(g Gate) bool {
+		switch g {
+		case And, Or, Nand, Nor, Xor, Xnor, Maj:
+			return true
+		}
+		return false
+	}
+
+	for _, id := range order {
+		nd := n.nodes[id]
+		if nd.Fn == None {
+			continue
+		}
+		// Re-point fanins at canonical representatives (and through
+		// buffers).
+		fanins := n.nodes[id].Fanins
+		for i, f := range fanins {
+			f = resolve(f)
+			for n.nodes[f].Fn == Buf {
+				f = resolve(n.nodes[f].Fanins[0])
+			}
+			fanins[i] = f
+		}
+		if !nd.Fn.IsLogic() || nd.Fn == Buf || nd.Fn == Fanout {
+			continue
+		}
+		// Double negation: NOT(NOT(x)) = x.
+		if nd.Fn == Not {
+			inner := fanins[0]
+			if n.nodes[inner].Fn == Not {
+				replacement[id] = resolve(n.nodes[inner].Fanins[0])
+				n.Delete(id)
+				removed++
+				continue
+			}
+		}
+		k := key{fn: nd.Fn, a: fanins[0]}
+		if len(fanins) > 1 {
+			k.b = fanins[1]
+		} else {
+			k.b = Invalid
+		}
+		if len(fanins) > 2 {
+			k.c = fanins[2]
+		} else {
+			k.c = Invalid
+		}
+		if commutative(nd.Fn) {
+			ids := []ID{k.a, k.b}
+			if nd.Fn == Maj {
+				ids = append(ids, k.c)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			k.a, k.b = ids[0], ids[1]
+			if nd.Fn == Maj {
+				k.c = ids[2]
+			}
+		}
+		if rep, ok := canon[k]; ok {
+			replacement[id] = rep
+			n.Delete(id)
+			removed++
+			continue
+		}
+		canon[k] = id
+	}
+	// POs may still reference replaced nodes.
+	for _, po := range n.pos {
+		f := resolve(n.nodes[po].Fanins[0])
+		for n.nodes[f].Fn == Buf {
+			f = resolve(n.nodes[f].Fanins[0])
+		}
+		n.nodes[po].Fanins[0] = f
+	}
+	n.RemoveDangling()
+	return removed
+}
+
+// PropagateConstants simplifies gates with constant fanins (AND with 0,
+// OR with 1, XOR with constants, MAJ with a constant arm, inverted
+// constants) until a fixpoint, returning the number of nodes eliminated.
+func (n *Network) PropagateConstants() int {
+	removed := 0
+	for {
+		changed := n.propagateConstantsOnce()
+		if changed == 0 {
+			break
+		}
+		removed += changed
+	}
+	n.RemoveDangling()
+	return removed
+}
+
+func (n *Network) propagateConstantsOnce() int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	// constVal[id] holds the known constant value of a node, if any.
+	constVal := make(map[ID]bool)
+	replacement := make(map[ID]ID)
+	resolve := func(id ID) ID {
+		for {
+			r, ok := replacement[id]
+			if !ok {
+				return id
+			}
+			id = r
+		}
+	}
+	changed := 0
+
+	for _, id := range order {
+		nd := n.nodes[id]
+		if nd.Fn == None {
+			continue
+		}
+		for i, f := range n.nodes[id].Fanins {
+			n.nodes[id].Fanins[i] = resolve(f)
+		}
+		fanins := n.nodes[id].Fanins
+		switch nd.Fn {
+		case Const0:
+			constVal[id] = false
+			continue
+		case Const1:
+			constVal[id] = true
+			continue
+		case PI, PO, None, Fanout:
+			continue
+		}
+
+		known := make([]bool, len(fanins))
+		vals := make([]bool, len(fanins))
+		allKnown := len(fanins) > 0
+		for i, f := range fanins {
+			v, ok := constVal[f]
+			known[i] = ok
+			vals[i] = v
+			allKnown = allKnown && ok
+		}
+		if allKnown {
+			// Fold the whole gate into a constant.
+			v := nd.Fn.Eval(vals...)
+			rep := n.AddConst(v)
+			constVal[rep] = v
+			replacement[id] = rep
+			n.Delete(id)
+			changed++
+			continue
+		}
+		// Partial folds for two-input gates with one known side.
+		if len(fanins) == 2 && (known[0] != known[1]) {
+			ci, xi := 0, 1
+			if known[1] {
+				ci, xi = 1, 0
+			}
+			c := vals[ci]
+			x := fanins[xi]
+			var rep ID = Invalid
+			neg := false
+			switch nd.Fn {
+			case And:
+				if c {
+					rep = x
+				} else {
+					rep = n.AddConst(false)
+					constVal[rep] = false
+				}
+			case Or:
+				if c {
+					rep = n.AddConst(true)
+					constVal[rep] = true
+				} else {
+					rep = x
+				}
+			case Nand:
+				if c {
+					rep, neg = x, true
+				} else {
+					rep = n.AddConst(true)
+					constVal[rep] = true
+				}
+			case Nor:
+				if c {
+					rep = n.AddConst(false)
+					constVal[rep] = false
+				} else {
+					rep, neg = x, true
+				}
+			case Xor:
+				if c {
+					rep, neg = x, true
+				} else {
+					rep = x
+				}
+			case Xnor:
+				if c {
+					rep = x
+				} else {
+					rep, neg = x, true
+				}
+			}
+			if rep != Invalid {
+				if neg {
+					rep = n.AddNot(rep)
+				}
+				replacement[id] = rep
+				n.Delete(id)
+				changed++
+				continue
+			}
+		}
+		// MAJ with one known arm degenerates to AND/OR of the others.
+		if nd.Fn == Maj {
+			for i := 0; i < 3; i++ {
+				if !known[i] {
+					continue
+				}
+				o1, o2 := fanins[(i+1)%3], fanins[(i+2)%3]
+				var rep ID
+				if vals[i] {
+					rep = n.AddOr(o1, o2)
+				} else {
+					rep = n.AddAnd(o1, o2)
+				}
+				replacement[id] = rep
+				n.Delete(id)
+				changed++
+				break
+			}
+		}
+	}
+	// Fix POs.
+	for _, po := range n.pos {
+		n.nodes[po].Fanins[0] = resolve(n.nodes[po].Fanins[0])
+	}
+	return changed
+}

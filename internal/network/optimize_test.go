@@ -1,0 +1,188 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	n := New("dup")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddAnd(a, b)
+	g2 := n.AddAnd(a, b) // duplicate
+	g3 := n.AddAnd(b, a) // commutative duplicate
+	n.AddPO(n.AddXor(g1, g2), "f")
+	n.AddPO(g3, "g")
+	orig := n.Clone()
+	removed := n.Strash()
+	if removed < 2 {
+		t.Fatalf("removed %d, want >= 2", removed)
+	}
+	count := 0
+	for id := 0; id < n.Size(); id++ {
+		if n.Gate(ID(id)) == And {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d AND nodes remain, want 1", count)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatalf("strash changed function: %v %v", eq, err)
+	}
+}
+
+func TestStrashDoubleNegation(t *testing.T) {
+	n := New("dn")
+	a := n.AddPI("a")
+	n.AddPO(n.AddNot(n.AddNot(a)), "f")
+	orig := n.Clone()
+	if removed := n.Strash(); removed == 0 {
+		t.Fatal("double negation not collapsed")
+	}
+	if n.NumLogicGates() != 0 {
+		t.Errorf("%d gates remain", n.NumLogicGates())
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatal("function changed")
+	}
+}
+
+func TestStrashBypassesBuffers(t *testing.T) {
+	n := New("buf")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g1 := n.AddAnd(n.AddBuf(a), b)
+	g2 := n.AddAnd(a, n.AddBuf(b))
+	n.AddPO(n.AddOr(g1, g2), "f")
+	n.Strash()
+	count := 0
+	for id := 0; id < n.Size(); id++ {
+		if n.Gate(ID(id)) == And {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("buffered duplicates not merged: %d ANDs", count)
+	}
+}
+
+func TestStrashIdempotent(t *testing.T) {
+	n := New("x")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(n.AddAnd(a, b), n.AddAnd(b, a)), "f")
+	n.Strash()
+	if again := n.Strash(); again != 0 {
+		t.Fatalf("second strash removed %d", again)
+	}
+}
+
+func TestStrashMaj(t *testing.T) {
+	n := New("maj")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	m1 := n.AddMaj(a, b, c)
+	m2 := n.AddMaj(c, a, b)
+	n.AddPO(n.AddXor(m1, m2), "f")
+	orig := n.Clone()
+	if removed := n.Strash(); removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatal("function changed")
+	}
+}
+
+func TestPropagateConstantsFullFold(t *testing.T) {
+	n := New("k")
+	a := n.AddPI("a")
+	one := n.AddConst(true)
+	zero := n.AddConst(false)
+	// (a & 0) | 1  ->  1
+	n.AddPO(n.AddOr(n.AddAnd(a, zero), one), "f")
+	orig := n.Clone()
+	if removed := n.PropagateConstants(); removed == 0 {
+		t.Fatal("nothing folded")
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatal("function changed")
+	}
+	// Only the constant driver should remain.
+	if g := n.NumLogicGates(); g > 1 {
+		t.Errorf("%d gates remain", g)
+	}
+}
+
+func TestPropagateConstantsPartial(t *testing.T) {
+	cases := []struct {
+		build func(n *Network, a, k ID) ID
+		kVal  bool
+	}{
+		{func(n *Network, a, k ID) ID { return n.AddAnd(a, k) }, true},   // a&1 = a
+		{func(n *Network, a, k ID) ID { return n.AddOr(a, k) }, false},   // a|0 = a
+		{func(n *Network, a, k ID) ID { return n.AddXor(a, k) }, true},   // a^1 = ~a
+		{func(n *Network, a, k ID) ID { return n.AddXnor(a, k) }, false}, // a xnor 0 = ~a
+		{func(n *Network, a, k ID) ID { return n.AddNand(a, k) }, true},  // = ~a
+		{func(n *Network, a, k ID) ID { return n.AddNor(a, k) }, false},  // = ~a
+	}
+	for i, c := range cases {
+		n := New("p")
+		a := n.AddPI("a")
+		k := n.AddConst(c.kVal)
+		n.AddPO(c.build(n, a, k), "f")
+		orig := n.Clone()
+		n.PropagateConstants()
+		eq, err := Equivalent(orig, n)
+		if err != nil || !eq {
+			t.Errorf("case %d: function changed", i)
+		}
+	}
+}
+
+func TestPropagateConstantsMaj(t *testing.T) {
+	n := New("m")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	one := n.AddConst(true)
+	n.AddPO(n.AddMaj(a, b, one), "f") // = a | b
+	orig := n.Clone()
+	if removed := n.PropagateConstants(); removed == 0 {
+		t.Fatal("MAJ with constant not folded")
+	}
+	for id := 0; id < n.Size(); id++ {
+		if n.Gate(ID(id)) == Maj {
+			t.Fatal("MAJ survived")
+		}
+	}
+	eq, err := Equivalent(orig, n)
+	if err != nil || !eq {
+		t.Fatal("function changed")
+	}
+}
+
+func TestOptimizePreservesFunctionQuick(t *testing.T) {
+	f := func(shape [8]uint8) bool {
+		n := randomNetwork(shape[:])
+		orig := n.Clone()
+		n.Strash()
+		n.PropagateConstants()
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		eq, err := Equivalent(orig, n)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

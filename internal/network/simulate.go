@@ -1,0 +1,158 @@
+package network
+
+import "fmt"
+
+// Simulate evaluates the network on one input pattern. inputs[i] is the
+// value of the i-th PI in creation order. The result holds one value per
+// PO in creation order.
+func (n *Network) Simulate(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(n.pis) {
+		return nil, fmt.Errorf("network %q: got %d input values, want %d", n.Name, len(inputs), len(n.pis))
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	values := make([]bool, len(n.nodes))
+	piVal := make(map[ID]bool, len(n.pis))
+	for i, pi := range n.pis {
+		piVal[pi] = inputs[i]
+	}
+	var buf [3]bool
+	for _, id := range order {
+		nd := n.nodes[id]
+		switch nd.Fn {
+		case PI:
+			values[id] = piVal[id]
+		default:
+			in := buf[:len(nd.Fanins)]
+			for i, f := range nd.Fanins {
+				in[i] = values[f]
+			}
+			values[id] = nd.Fn.Eval(in...)
+		}
+	}
+	out := make([]bool, len(n.pos))
+	for i, po := range n.pos {
+		out[i] = values[po]
+	}
+	return out, nil
+}
+
+// MaxTruthTableInputs bounds exhaustive truth-table computation; networks
+// with more PIs must be compared with SimulateVectors instead.
+const MaxTruthTableInputs = 16
+
+// TruthTable exhaustively simulates the network over all 2^NumPIs input
+// patterns. Row r of the result (pattern where PI i carries bit i of r)
+// holds one value per PO. It fails for networks with more than
+// MaxTruthTableInputs inputs.
+func (n *Network) TruthTable() ([][]bool, error) {
+	k := len(n.pis)
+	if k > MaxTruthTableInputs {
+		return nil, fmt.Errorf("network %q: %d inputs exceed truth-table limit %d", n.Name, k, MaxTruthTableInputs)
+	}
+	rows := 1 << k
+	tt := make([][]bool, rows)
+	inputs := make([]bool, k)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < k; i++ {
+			inputs[i] = r&(1<<i) != 0
+		}
+		out, err := n.Simulate(inputs)
+		if err != nil {
+			return nil, err
+		}
+		tt[r] = out
+	}
+	return tt, nil
+}
+
+// lcg is a small deterministic pseudo-random generator so that vector
+// simulation is reproducible without pulling in time-based seeding.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = lcg(uint64(*l)*6364136223846793005 + 1442695040888963407)
+	return uint64(*l)
+}
+
+// RandomVectors returns count deterministic pseudo-random input patterns
+// for a network with numPIs inputs, seeded by seed.
+func RandomVectors(numPIs, count int, seed uint64) [][]bool {
+	gen := lcg(seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	vecs := make([][]bool, count)
+	for v := range vecs {
+		vec := make([]bool, numPIs)
+		var bits uint64
+		for i := 0; i < numPIs; i++ {
+			if i%64 == 0 {
+				bits = gen.next()
+			}
+			vec[i] = bits&(1<<(uint(i)%64)) != 0
+		}
+		vecs[v] = vec
+	}
+	return vecs
+}
+
+// SimulateVectors runs the network over each input pattern and returns
+// the PO values per pattern.
+func (n *Network) SimulateVectors(vectors [][]bool) ([][]bool, error) {
+	out := make([][]bool, len(vectors))
+	for i, v := range vectors {
+		o, err := n.Simulate(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// EquivalenceVectors is the number of random patterns used by Equivalent
+// for networks too wide for exhaustive truth tables.
+const EquivalenceVectors = 256
+
+// Equivalent checks functional equivalence of two networks with matching
+// PI/PO counts. Networks with at most MaxTruthTableInputs inputs are
+// compared exhaustively; wider ones are compared on EquivalenceVectors
+// deterministic random patterns (a strong but incomplete check).
+func Equivalent(a, b *Network) (bool, error) {
+	if a.NumPIs() != b.NumPIs() {
+		return false, fmt.Errorf("PI count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
+	}
+	if a.NumPOs() != b.NumPOs() {
+		return false, fmt.Errorf("PO count mismatch: %d vs %d", a.NumPOs(), b.NumPOs())
+	}
+	var vectors [][]bool
+	if a.NumPIs() <= MaxTruthTableInputs {
+		rows := 1 << a.NumPIs()
+		vectors = make([][]bool, rows)
+		for r := 0; r < rows; r++ {
+			vec := make([]bool, a.NumPIs())
+			for i := range vec {
+				vec[i] = r&(1<<i) != 0
+			}
+			vectors[r] = vec
+		}
+	} else {
+		vectors = RandomVectors(a.NumPIs(), EquivalenceVectors, 0xC0FFEE)
+	}
+	oa, err := a.SimulateVectors(vectors)
+	if err != nil {
+		return false, err
+	}
+	ob, err := b.SimulateVectors(vectors)
+	if err != nil {
+		return false, err
+	}
+	for r := range oa {
+		for c := range oa[r] {
+			if oa[r][c] != ob[r][c] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,157 @@
+package network
+
+// TopoOrder returns all live node IDs in a topological order (every node
+// appears after all of its fanins). PIs and constants come first in
+// creation order; the order among independent nodes is deterministic.
+// It returns ErrCyclic if the graph contains a cycle, which can only
+// happen after inconsistent ReplaceFanin calls.
+func (n *Network) TopoOrder() ([]ID, error) {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make([]uint8, len(n.nodes))
+	order := make([]ID, 0, len(n.nodes))
+
+	// Iterative DFS to survive deep networks without blowing the stack.
+	type frame struct {
+		id   ID
+		next int
+	}
+	var stack []frame
+
+	visit := func(root ID) error {
+		if state[root] != unvisited {
+			return nil
+		}
+		stack = append(stack[:0], frame{id: root})
+		state[root] = onStack
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			fanins := n.nodes[f.id].Fanins
+			if f.next < len(fanins) {
+				child := fanins[f.next]
+				f.next++
+				switch state[child] {
+				case unvisited:
+					state[child] = onStack
+					stack = append(stack, frame{id: child})
+				case onStack:
+					return ErrCyclic
+				}
+				continue
+			}
+			state[f.id] = done
+			order = append(order, f.id)
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+
+	for id := range n.nodes {
+		if n.nodes[id].Fn == None {
+			state[id] = done
+			continue
+		}
+		if err := visit(ID(id)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Levels returns the logic level of every node slot: PIs and constants
+// are level 0, every other node is 1 + max(level of fanins). POs share
+// the level of their driver. Deleted slots report level 0.
+func (n *Network) Levels() []int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err) // construction API keeps networks acyclic
+	}
+	levels := make([]int, len(n.nodes))
+	for _, id := range order {
+		nd := n.nodes[id]
+		if len(nd.Fanins) == 0 {
+			continue
+		}
+		max := 0
+		for _, f := range nd.Fanins {
+			if levels[f] > max {
+				max = levels[f]
+			}
+		}
+		if nd.Fn == PO {
+			levels[id] = max
+		} else {
+			levels[id] = max + 1
+		}
+	}
+	return levels
+}
+
+// Depth returns the maximum logic level over all POs (the critical path
+// length in gates). An empty network has depth 0.
+func (n *Network) Depth() int {
+	levels := n.Levels()
+	d := 0
+	for _, po := range n.pos {
+		if levels[po] > d {
+			d = levels[po]
+		}
+	}
+	return d
+}
+
+// Cone returns the set of live node IDs in the transitive fanin cone of
+// root, including root itself.
+func (n *Network) Cone(root ID) map[ID]bool {
+	cone := make(map[ID]bool)
+	var stack []ID
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cone[id] {
+			continue
+		}
+		cone[id] = true
+		stack = append(stack, n.nodes[id].Fanins...)
+	}
+	return cone
+}
+
+// DanglingNodes returns live interior nodes that transitively drive no PO.
+func (n *Network) DanglingNodes() []ID {
+	reach := make([]bool, len(n.nodes))
+	var stack []ID
+	for _, po := range n.pos {
+		stack = append(stack, po)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[id] {
+			continue
+		}
+		reach[id] = true
+		stack = append(stack, n.nodes[id].Fanins...)
+	}
+	var dangling []ID
+	for id, nd := range n.nodes {
+		if nd.Fn.IsLogic() && !reach[id] {
+			dangling = append(dangling, ID(id))
+		}
+	}
+	return dangling
+}
+
+// RemoveDangling deletes all interior nodes that drive no PO and returns
+// how many nodes were removed.
+func (n *Network) RemoveDangling() int {
+	d := n.DanglingNodes()
+	for _, id := range d {
+		n.Delete(id)
+	}
+	return len(d)
+}

@@ -1,0 +1,309 @@
+package network
+
+import "fmt"
+
+// SubstituteFanouts rewrites the network so that no PI or logic node
+// (other than Fanout nodes themselves) drives more than one successor:
+// every multi-fanout signal is duplicated through a tree of explicit
+// Fanout nodes, each of degree at most maxDegree (typically 2 in FCN,
+// where a fanout tile splits a signal into two).
+//
+// The transformation preserves functionality; POs count as successors.
+func (n *Network) SubstituteFanouts(maxDegree int) {
+	if maxDegree < 2 {
+		panic(fmt.Sprintf("network: fanout degree %d must be >= 2", maxDegree))
+	}
+	// Snapshot fanout lists before mutation; new nodes appended during the
+	// rewrite start with correct (single) fanout by construction.
+	lists := n.FanoutLists()
+	limit := len(n.nodes)
+	for src := 0; src < limit; src++ {
+		nd := n.nodes[src]
+		if nd.Fn == None || nd.Fn == PO {
+			continue
+		}
+		consumers := lists[src]
+		if nd.Fn == Fanout {
+			if len(consumers) <= maxDegree {
+				continue
+			}
+		} else if len(consumers) <= 1 {
+			continue
+		}
+		// Build a balanced fanout tree over the consumers. leaves[i] is the
+		// signal to feed consumer i.
+		leaves := n.buildFanoutTree(ID(src), nd.Fn, len(consumers), maxDegree)
+		for i, consumer := range consumers {
+			fanins := n.nodes[consumer].Fanins
+			for idx, f := range fanins {
+				if f == ID(src) {
+					n.nodes[consumer].Fanins[idx] = leaves[i]
+					break // replace one reference per consumer entry
+				}
+			}
+		}
+	}
+}
+
+// buildFanoutTree creates a tree of Fanout nodes rooted at src producing
+// `count` leaf signals. If src is itself a Fanout node it is reused as the
+// tree root (keeping up to maxDegree of the leaves directly on it).
+func (n *Network) buildFanoutTree(src ID, srcFn Gate, count, maxDegree int) []ID {
+	// Each fanout node yields maxDegree outputs. We grow a frontier of
+	// available output slots until it covers all consumers.
+	frontier := []ID{src}
+	if srcFn != Fanout {
+		// A non-fanout source may drive exactly one successor: the tree root.
+		root := n.AddFanout(src)
+		frontier = []ID{root}
+	}
+	// Available slots: each frontier node can feed maxDegree consumers,
+	// but feeding a consumer and feeding a deeper fanout node both use
+	// slots. Expand breadth-first until enough leaf slots exist.
+	type slot struct{ node ID }
+	for {
+		capacity := len(frontier) * maxDegree
+		if capacity >= count {
+			break
+		}
+		// Split the first frontier node into maxDegree new fanout nodes.
+		head := frontier[0]
+		frontier = frontier[1:]
+		for i := 0; i < maxDegree; i++ {
+			frontier = append(frontier, n.AddFanout(head))
+		}
+	}
+	leaves := make([]ID, 0, count)
+	for _, f := range frontier {
+		for i := 0; i < maxDegree && len(leaves) < count; i++ {
+			leaves = append(leaves, f)
+		}
+	}
+	return leaves
+}
+
+// MaxFanout returns the largest number of successors any PI or logic node
+// has (Fanout nodes report their successor count too).
+func (n *Network) MaxFanout() int {
+	max := 0
+	for id, cnt := range n.FanoutCounts() {
+		if n.nodes[id].Fn == None || n.nodes[id].Fn == PO {
+			continue
+		}
+		if cnt > max {
+			max = cnt
+		}
+	}
+	return max
+}
+
+// GateSet describes which gate functions a technology (gate library) can
+// realize natively. Decompose rewrites unsupported functions in terms of
+// supported ones.
+type GateSet map[Gate]bool
+
+// Supports reports whether g is natively available.
+func (s GateSet) Supports(g Gate) bool { return s[g] }
+
+// Decompose rewrites every node whose function is not in the supported
+// set into an equivalent sub-network of supported gates. Buf, Fanout, PI
+// and PO are always kept. It returns an error if a required decomposition
+// cannot be expressed with the supported set (the set must contain at
+// least {And, Or, Not} or {Nand} or {Nor}).
+func (n *Network) Decompose(supported GateSet) error {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	b, err := newDecomposer(n, supported)
+	if err != nil {
+		return err
+	}
+	replacement := make(map[ID]ID)
+	redirect := func(id ID) ID {
+		if r, ok := replacement[id]; ok {
+			return r
+		}
+		return id
+	}
+	for _, id := range order {
+		nd := n.nodes[id]
+		// First re-point fanins at any replacements created so far.
+		for idx, f := range nd.Fanins {
+			if r := redirect(f); r != f {
+				n.nodes[id].Fanins[idx] = r
+			}
+		}
+		switch nd.Fn {
+		case PI, PO, Buf, Fanout, None:
+			continue
+		}
+		if supported.Supports(nd.Fn) {
+			continue
+		}
+		repl, derr := b.rebuild(nd.Fn, n.nodes[id].Fanins)
+		if derr != nil {
+			return fmt.Errorf("network %q: node %d: %w", n.Name, id, derr)
+		}
+		replacement[id] = repl
+		n.Delete(id)
+	}
+	// Nodes created by the decomposer reference original fanins directly,
+	// and all original nodes were re-pointed in topological order, so the
+	// graph is consistent. Clean up anything orphaned by the rewrite.
+	n.RemoveDangling()
+	return nil
+}
+
+// decomposer builds supported-gate implementations of unsupported
+// functions. It targets one of three complete bases and fixes up
+// single-gate gaps (e.g. base {And,Or,Not} lacking Xor).
+type decomposer struct {
+	n   *Network
+	set GateSet
+}
+
+func newDecomposer(n *Network, set GateSet) (*decomposer, error) {
+	d := &decomposer{n: n, set: set}
+	if !d.complete() {
+		return nil, fmt.Errorf("gate set %v is not functionally complete for decomposition", setNames(set))
+	}
+	return d, nil
+}
+
+func setNames(s GateSet) []string {
+	var out []string
+	for g, ok := range s {
+		if ok {
+			out = append(out, g.String())
+		}
+	}
+	return out
+}
+
+func (d *decomposer) complete() bool {
+	s := d.set
+	if s.Supports(Nand) || s.Supports(Nor) {
+		return true
+	}
+	if (s.Supports(And) || s.Supports(Or) || s.Supports(Maj)) && s.Supports(Not) {
+		return true
+	}
+	return false
+}
+
+// Primitive emitters: produce a supported realization of NOT/AND/OR.
+
+func (d *decomposer) not(a ID) ID {
+	switch {
+	case d.set.Supports(Not):
+		return d.n.AddNot(a)
+	case d.set.Supports(Nand):
+		return d.n.AddNand(a, a)
+	case d.set.Supports(Nor):
+		return d.n.AddNor(a, a)
+	}
+	panic("decomposer: no inverter in a complete gate set")
+}
+
+func (d *decomposer) and(a, b ID) ID {
+	switch {
+	case d.set.Supports(And):
+		return d.n.AddAnd(a, b)
+	case d.set.Supports(Nand):
+		return d.not(d.n.AddNand(a, b))
+	case d.set.Supports(Nor):
+		return d.n.AddNor(d.not(a), d.not(b))
+	case d.set.Supports(Or):
+		return d.not(d.n.AddOr(d.not(a), d.not(b)))
+	case d.set.Supports(Maj):
+		zero := d.constant(false)
+		return d.n.AddMaj(a, b, zero)
+	}
+	panic("decomposer: cannot build AND")
+}
+
+func (d *decomposer) or(a, b ID) ID {
+	switch {
+	case d.set.Supports(Or):
+		return d.n.AddOr(a, b)
+	case d.set.Supports(Nor):
+		return d.not(d.n.AddNor(a, b))
+	case d.set.Supports(Nand):
+		return d.n.AddNand(d.not(a), d.not(b))
+	case d.set.Supports(And):
+		return d.not(d.n.AddAnd(d.not(a), d.not(b)))
+	case d.set.Supports(Maj):
+		one := d.constant(true)
+		return d.n.AddMaj(a, b, one)
+	}
+	panic("decomposer: cannot build OR")
+}
+
+// constant emits a constant node; constants are always structurally
+// representable regardless of the gate set.
+func (d *decomposer) constant(v bool) ID {
+	return d.n.AddConst(v)
+}
+
+// rebuild returns a supported-gate implementation of fn(fanins...).
+func (d *decomposer) rebuild(fn Gate, fanins []ID) (ID, error) {
+	switch fn {
+	case Not:
+		return d.not(fanins[0]), nil
+	case And:
+		return d.and(fanins[0], fanins[1]), nil
+	case Or:
+		return d.or(fanins[0], fanins[1]), nil
+	case Nand:
+		return d.not(d.and(fanins[0], fanins[1])), nil
+	case Nor:
+		return d.not(d.or(fanins[0], fanins[1])), nil
+	case Xor:
+		// a^b = (a|b) & ~(a&b)
+		a, b := fanins[0], fanins[1]
+		return d.and(d.or(a, b), d.not(d.and(a, b))), nil
+	case Xnor:
+		a, b := fanins[0], fanins[1]
+		return d.or(d.and(a, b), d.not(d.or(a, b))), nil
+	case Maj:
+		// <abc> = ab | ac | bc  =  ab | c(a|b)
+		a, b, c := fanins[0], fanins[1], fanins[2]
+		return d.or(d.and(a, b), d.and(c, d.or(a, b))), nil
+	case Const0, Const1:
+		return d.constant(fn == Const1), nil
+	case Buf, Fanout:
+		return fanins[0], nil
+	}
+	return Invalid, fmt.Errorf("cannot decompose %s", fn)
+}
+
+// Stats summarizes the structural properties of a network.
+type Stats struct {
+	Name      string
+	PIs       int
+	POs       int
+	Gates     int // live interior nodes incl. Buf/Fanout
+	LogicOnly int // live interior nodes excl. Buf/Fanout
+	Depth     int
+	MaxFanout int
+}
+
+// ComputeStats gathers Stats for the network.
+func (n *Network) ComputeStats() Stats {
+	return Stats{
+		Name:      n.Name,
+		PIs:       n.NumPIs(),
+		POs:       n.NumPOs(),
+		Gates:     n.NumGates(),
+		LogicOnly: n.NumLogicGates(),
+		Depth:     n.Depth(),
+		MaxFanout: n.MaxFanout(),
+	}
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: I/O=%d/%d gates=%d (logic %d) depth=%d maxFanout=%d",
+		s.Name, s.PIs, s.POs, s.Gates, s.LogicOnly, s.Depth, s.MaxFanout)
+}

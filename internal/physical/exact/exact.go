@@ -1,0 +1,312 @@
+// Package exact implements minimum-area physical design search for small
+// FCN circuits, standing in for the SMT-based exact method (Walter et
+// al., DATE 2018). Layout dimensions are enumerated in increasing area;
+// for each candidate bounding box a pruned backtracking search places the
+// network's nodes in topological order and routes every connection with
+// the clocking-aware A* router.
+//
+// Unlike the SMT formulation, the search does not branch over alternative
+// wire paths (the router always picks a cheapest path), so in rare
+// congested cases it may miss a feasible placement at a given size and
+// report the next-larger one. In exchange it needs no external solver.
+// The first layout found is returned; sizes are tried smallest-area
+// first, so the result is minimal over the explored space.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/route"
+)
+
+// Options configures the search.
+type Options struct {
+	// Scheme is the clocking scheme (default 2DDWave).
+	Scheme *clocking.Scheme
+	// Topology of the target grid (default Cartesian). Hexagonal grids
+	// pair with the ROW scheme.
+	Topo layout.Topology
+	// Timeout bounds the total search time (default 10s).
+	Timeout time.Duration
+	// MaxArea stops the enumeration once w*h exceeds it (default 144).
+	MaxArea int
+	// BorderIO requires PI and PO tiles to lie on the bounding-box
+	// border, matching fabrication constraints.
+	BorderIO bool
+}
+
+func (o Options) scheme() *clocking.Scheme {
+	if o.Scheme == nil {
+		return clocking.TwoDDWave
+	}
+	return o.Scheme
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) maxArea() int {
+	if o.MaxArea <= 0 {
+		return 144
+	}
+	return o.MaxArea
+}
+
+// ErrTimeout is returned when the search exhausts its time budget before
+// finding any layout.
+var ErrTimeout = errors.New("exact: search timed out")
+
+// ErrNoLayout is returned when no layout exists within MaxArea.
+var ErrNoLayout = errors.New("exact: no layout within the area bound")
+
+// Place searches for a minimum-area layout of the network. The network
+// must already be technology-prepared (every node function placeable,
+// fanout degree at most 2, at most 2 fanins per node — run
+// gatelib.Library.Prepare and decompose MAJ if needed).
+func Place(n *network.Network, opts Options) (*layout.Layout, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var nodes []network.ID
+	for _, id := range order {
+		if n.Gate(id) != network.None {
+			nodes = append(nodes, id)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("exact: empty network")
+	}
+
+	deadline := time.Now().Add(opts.timeout())
+	timedOut := false
+
+	for _, dim := range sizes(len(nodes), opts.maxArea()) {
+		if time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		s := &searcher{
+			n:        n,
+			nodes:    nodes,
+			w:        dim.w,
+			h:        dim.h,
+			opts:     opts,
+			deadline: deadline,
+		}
+		l, found := s.run()
+		if found {
+			return l, nil
+		}
+		if s.timedOut {
+			timedOut = true
+			break
+		}
+	}
+	if timedOut {
+		return nil, ErrTimeout
+	}
+	return nil, ErrNoLayout
+}
+
+type size struct{ w, h int }
+
+// sizes enumerates candidate bounding boxes by increasing area, then by
+// squareness, starting from the smallest box that can hold all nodes.
+func sizes(minTiles, maxArea int) []size {
+	var out []size
+	for area := minTiles; area <= maxArea; area++ {
+		for w := 1; w <= area; w++ {
+			if area%w != 0 {
+				continue
+			}
+			h := area / w
+			out = append(out, size{w, h})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := out[i].w*out[i].h, out[j].w*out[j].h
+		if ai != aj {
+			return ai < aj
+		}
+		di := out[i].w - out[i].h
+		if di < 0 {
+			di = -di
+		}
+		dj := out[j].w - out[j].h
+		if dj < 0 {
+			dj = -dj
+		}
+		return di < dj
+	})
+	return out
+}
+
+type searcher struct {
+	n        *network.Network
+	nodes    []network.ID
+	w, h     int
+	opts     Options
+	deadline time.Time
+
+	l        *layout.Layout
+	pos      map[network.ID]layout.Coord
+	steps    int
+	timedOut bool
+}
+
+// run searches one bounding box. It returns the layout on success.
+func (s *searcher) run() (*layout.Layout, bool) {
+	s.l = layout.New(s.n.Name, s.opts.Topo, s.opts.scheme())
+	s.pos = make(map[network.ID]layout.Coord)
+	if s.place(0) {
+		return s.l, true
+	}
+	return nil, false
+}
+
+func (s *searcher) checkDeadline() bool {
+	s.steps++
+	if s.steps%256 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+// place recursively places nodes[idx:].
+func (s *searcher) place(idx int) bool {
+	if s.timedOut || s.checkDeadline() {
+		return false
+	}
+	if idx == len(s.nodes) {
+		return true
+	}
+	v := s.nodes[idx]
+	nd := s.n.Node(v)
+
+	for _, c := range s.candidates(v, nd) {
+		if s.tryAt(v, nd, c) {
+			if s.place(idx + 1) {
+				return true
+			}
+			s.undoAt(v, nd, c)
+		}
+		if s.timedOut {
+			return false
+		}
+	}
+	return false
+}
+
+// candidates lists legal empty ground tiles for node v, cheapest first.
+func (s *searcher) candidates(v network.ID, nd network.Node) []layout.Coord {
+	minX, minY := 0, 0
+	// Monotone schemes: consumers lie weakly east/south of producers.
+	if !s.opts.scheme().InPlaneFeedback {
+		constrainX := s.opts.scheme() != clocking.Row
+		constrainY := s.opts.scheme() != clocking.Columnar
+		for _, f := range nd.Fanins {
+			p := s.pos[f]
+			if constrainX && p.X > minX {
+				minX = p.X
+			}
+			if constrainY && p.Y > minY {
+				minY = p.Y
+			}
+		}
+	}
+	var cands []layout.Coord
+	for y := minY; y < s.h; y++ {
+		for x := minX; x < s.w; x++ {
+			c := layout.C(x, y)
+			if !s.l.IsEmpty(c) {
+				continue
+			}
+			if s.opts.BorderIO {
+				border := x == 0 || y == 0 || x == s.w-1 || y == s.h-1
+				if (nd.Fn == network.PI || nd.Fn == network.PO) && !border {
+					continue
+				}
+			}
+			cands = append(cands, c)
+		}
+	}
+	// Order: close to fanins (or to the origin for PIs).
+	cost := func(c layout.Coord) int {
+		if len(nd.Fanins) == 0 {
+			return c.X + c.Y
+		}
+		t := 0
+		for _, f := range nd.Fanins {
+			p := s.pos[f]
+			dx, dy := c.X-p.X, c.Y-p.Y
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			t += dx + dy
+		}
+		return t
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cost(cands[i]) < cost(cands[j]) })
+	return cands
+}
+
+// tryAt places v at c and routes its fanins; on failure everything is
+// rolled back and false returned.
+func (s *searcher) tryAt(v network.ID, nd network.Node, c layout.Coord) bool {
+	if err := s.l.Place(c, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name}); err != nil {
+		return false
+	}
+	ropts := route.Options{MaxX: s.w - 1, MaxY: s.h - 1, AllowCrossings: true, MaxExpansions: 4 * s.w * s.h * 4}
+	routed := 0
+	ok := true
+	for _, f := range nd.Fanins {
+		if err := route.Connect(s.l, s.pos[f], c, ropts); err != nil {
+			ok = false
+			break
+		}
+		routed++
+	}
+	if !ok {
+		for i := 0; i < routed; i++ {
+			if err := route.RemoveWirePath(s.l, s.pos[nd.Fanins[i]], c); err != nil {
+				panic(fmt.Sprintf("exact: rollback failed: %v", err))
+			}
+		}
+		if err := s.l.Clear(c); err != nil {
+			panic(fmt.Sprintf("exact: rollback failed: %v", err))
+		}
+		return false
+	}
+	s.pos[v] = c
+	return true
+}
+
+// undoAt removes v and its fanin wiring from the layout.
+func (s *searcher) undoAt(v network.ID, nd network.Node, c layout.Coord) {
+	for _, f := range nd.Fanins {
+		if err := route.RemoveWirePath(s.l, s.pos[f], c); err != nil {
+			panic(fmt.Sprintf("exact: undo failed: %v", err))
+		}
+	}
+	if err := s.l.Clear(c); err != nil {
+		panic(fmt.Sprintf("exact: undo failed: %v", err))
+	}
+	delete(s.pos, v)
+}

@@ -1,0 +1,83 @@
+// Package hexagonal implements the 45-degree hexagonalization transform
+// (Hofmann et al., IEEE-NANO 2023): a 2DDWave-clocked Cartesian layout is
+// mapped onto a ROW-clocked hexagonal layout by turning every Cartesian
+// anti-diagonal into one hexagonal row.
+//
+// The mapping sends tile (x, y) to hexagonal position
+//
+//	row  r = x + y
+//	col  h = x - ceil(r/2) + shift
+//
+// Under odd-row offset hexagonal coordinates, the Cartesian east and
+// south neighbors of a tile map exactly onto the two downward hexagonal
+// neighbors of its image, and the 2DDWave zone (x+y) mod 4 equals the ROW
+// zone r mod 4 — so connectivity and clocking are preserved without any
+// rerouting. This is how MNT Bench derives Bestagon layouts from ortho's
+// Cartesian results.
+package hexagonal
+
+import (
+	"fmt"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+)
+
+// Map converts a 2DDWave Cartesian gate-level layout into an equivalent
+// ROW-clocked hexagonal layout.
+func Map(l *layout.Layout) (*layout.Layout, error) {
+	if l.Topo != layout.Cartesian {
+		return nil, fmt.Errorf("hexagonal: input must be Cartesian, got %s", l.Topo)
+	}
+	if l.Scheme != clocking.TwoDDWave {
+		return nil, fmt.Errorf("hexagonal: input must be 2DDWave-clocked, got %s", l.Scheme)
+	}
+
+	// The raw column index x - ceil((x+y)/2) can be negative; shift all
+	// columns east so the smallest becomes zero. A uniform x shift keeps
+	// row parity and therefore hexagonal adjacency intact.
+	coords := l.Coords()
+	if len(coords) == 0 {
+		return layout.New(l.Name, layout.HexOddRow, clocking.Row), nil
+	}
+	minCol := int(^uint(0) >> 1)
+	for _, c := range coords {
+		if col := rawCol(c); col < minCol {
+			minCol = col
+		}
+	}
+	shift := -minCol
+
+	hex := layout.New(l.Name, layout.HexOddRow, clocking.Row)
+	hex.Library = l.Library
+
+	mapCoord := func(c layout.Coord) layout.Coord {
+		return layout.Coord{X: rawCol(c) + shift, Y: c.X + c.Y, Z: c.Z}
+	}
+
+	// First pass: place all tiles (without connections). Second pass:
+	// connect, so sources always exist.
+	for _, c := range coords {
+		t := l.At(c)
+		cp := layout.Tile{Fn: t.Fn, Wire: t.Wire, Node: t.Node, Name: t.Name}
+		if err := hex.Place(mapCoord(c), cp); err != nil {
+			return nil, fmt.Errorf("hexagonal: %w", err)
+		}
+	}
+	for _, c := range coords {
+		t := l.At(c)
+		dst := mapCoord(c)
+		for _, src := range t.Incoming {
+			if err := hex.Connect(mapCoord(src), dst); err != nil {
+				return nil, fmt.Errorf("hexagonal: %w", err)
+			}
+		}
+	}
+	return hex, nil
+}
+
+// rawCol computes the unshifted hexagonal column of a Cartesian tile.
+func rawCol(c layout.Coord) int {
+	r := c.X + c.Y
+	return c.X - (r+1)/2
+}

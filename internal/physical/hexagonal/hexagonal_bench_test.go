@@ -1,0 +1,25 @@
+package hexagonal
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/physical/ortho"
+)
+
+func BenchmarkMapParity(b *testing.B) {
+	bm, err := bench.ByName("Fontes18", "parity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := ortho.Place(bm.Build(), ortho.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package hexagonal
+
+import (
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+	"repro/internal/verify"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func TestMapPreservesFunction(t *testing.T) {
+	n := mux21()
+	cart, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.Topo != layout.HexOddRow {
+		t.Fatalf("topology = %s", hex.Topo)
+	}
+	if hex.Scheme != clocking.Row {
+		t.Fatalf("scheme = %s", hex.Scheme)
+	}
+	if err := verify.Check(hex, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapGeometry(t *testing.T) {
+	n := mux21()
+	cart, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, ch := cart.BoundingBox()
+	_, hh := hex.BoundingBox()
+	if want := cw + ch - 1; hh != want {
+		t.Errorf("hex height = %d, want %d (w+h-1 anti-diagonals)", hh, want)
+	}
+	if hex.NumTiles() != cart.NumTiles() {
+		t.Errorf("tile count changed: %d -> %d", cart.NumTiles(), hex.NumTiles())
+	}
+}
+
+func TestMapRejectsWrongInputs(t *testing.T) {
+	l := layout.New("x", layout.HexOddRow, clocking.Row)
+	if _, err := Map(l); err == nil {
+		t.Error("accepted hexagonal input")
+	}
+	l2 := layout.New("x", layout.Cartesian, clocking.USE)
+	if _, err := Map(l2); err == nil {
+		t.Error("accepted USE-clocked input")
+	}
+}
+
+func TestMapEmptyLayout(t *testing.T) {
+	l := layout.New("empty", layout.Cartesian, clocking.TwoDDWave)
+	hex, err := Map(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.NumTiles() != 0 {
+		t.Error("empty layout mapped to non-empty")
+	}
+}
+
+func TestMapKeepsCrossings(t *testing.T) {
+	// Build a tiny layout with a crossing by hand and map it.
+	n := network.New("xing")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, n.AddNot(b)), "f")
+	n.AddPO(n.AddAnd(b, a), "g")
+	cart, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cart.ComputeStats()
+	hs := hex.ComputeStats()
+	if cs.Crossings != hs.Crossings {
+		t.Errorf("crossings changed: %d -> %d", cs.Crossings, hs.Crossings)
+	}
+	if err := verify.Check(hex, n); err != nil {
+		t.Fatal(err)
+	}
+}

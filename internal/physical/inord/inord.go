@@ -1,0 +1,143 @@
+// Package inord implements input-ordering signal distribution network
+// optimization (Walter et al., ISVLSI 2023) on top of the ortho physical
+// design method: primary inputs are reordered to shorten the input
+// distribution wiring and reduce crossings, which shrinks the resulting
+// 2DDWave layout.
+//
+// Candidate orders come from a consumer-barycenter heuristic plus the
+// identity and reversal; greedy pairwise-swap refinement then polishes
+// the best candidate. Every candidate is evaluated by actually running
+// ortho and measuring the layout area.
+package inord
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+)
+
+// Options tunes the optimization.
+type Options struct {
+	// MaxSwapRounds bounds the greedy refinement (default 2 rounds of
+	// adjacent-pair swaps).
+	MaxSwapRounds int
+}
+
+func (o Options) swapRounds() int {
+	if o.MaxSwapRounds <= 0 {
+		return 2
+	}
+	return o.MaxSwapRounds
+}
+
+// Place returns the best ortho layout over the explored input orders,
+// together with the order that produced it.
+func Place(n *network.Network, opts Options) (*layout.Layout, []int, error) {
+	numPIs := n.NumPIs()
+	if numPIs == 0 {
+		return nil, nil, fmt.Errorf("inord: network has no primary inputs")
+	}
+
+	seen := make(map[string]bool)
+	var best *layout.Layout
+	var bestOrder []int
+
+	eval := func(order []int) error {
+		key := fmt.Sprint(order)
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		l, err := ortho.Place(n, ortho.Options{InputOrder: order})
+		if err != nil {
+			return err
+		}
+		if best == nil || l.Area() < best.Area() {
+			best = l
+			bestOrder = append([]int(nil), order...)
+		}
+		return nil
+	}
+
+	identity := make([]int, numPIs)
+	for i := range identity {
+		identity[i] = i
+	}
+	reversed := make([]int, numPIs)
+	for i := range reversed {
+		reversed[i] = numPIs - 1 - i
+	}
+	if err := eval(identity); err != nil {
+		return nil, nil, err
+	}
+	if err := eval(reversed); err != nil {
+		return nil, nil, err
+	}
+	if err := eval(BarycenterOrder(n)); err != nil {
+		return nil, nil, err
+	}
+
+	// Greedy adjacent-swap refinement of the best order so far.
+	for round := 0; round < opts.swapRounds(); round++ {
+		improved := false
+		for i := 0; i+1 < numPIs; i++ {
+			cand := append([]int(nil), bestOrder...)
+			cand[i], cand[i+1] = cand[i+1], cand[i]
+			prev := best.Area()
+			if err := eval(cand); err != nil {
+				return nil, nil, err
+			}
+			if best.Area() < prev {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestOrder, nil
+}
+
+// BarycenterOrder sorts PIs by the average topological index of their
+// transitive consumers' first level, a standard crossing-reduction
+// heuristic from layered graph drawing.
+func BarycenterOrder(n *network.Network) []int {
+	order, err := n.TopoOrder()
+	if err != nil {
+		// Construction keeps networks acyclic; a cycle here is programmer
+		// error upstream.
+		panic(err)
+	}
+	topoIdx := make(map[network.ID]int, len(order))
+	for i, id := range order {
+		topoIdx[id] = i
+	}
+	lists := n.FanoutLists()
+	pis := n.PIs()
+	type keyed struct {
+		idx int
+		bc  float64
+	}
+	ks := make([]keyed, len(pis))
+	for i, pi := range pis {
+		consumers := lists[pi]
+		if len(consumers) == 0 {
+			ks[i] = keyed{idx: i, bc: float64(i)}
+			continue
+		}
+		sum := 0
+		for _, c := range consumers {
+			sum += topoIdx[c]
+		}
+		ks[i] = keyed{idx: i, bc: float64(sum) / float64(len(consumers))}
+	}
+	sort.SliceStable(ks, func(a, b int) bool { return ks[a].bc < ks[b].bc })
+	out := make([]int, len(pis))
+	for i, k := range ks {
+		out[i] = k.idx
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package inord
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+	"repro/internal/verify"
+)
+
+// crossy builds a function whose natural PI order causes long input
+// wiring under ortho: later PIs feed earlier gates.
+func crossy() *network.Network {
+	n := network.New("crossy")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	d := n.AddPI("d")
+	g1 := n.AddAnd(c, d)
+	g2 := n.AddOr(a, b)
+	g3 := n.AddXor(g1, g2)
+	n.AddPO(g3, "f")
+	return n
+}
+
+func TestPlaceImprovesOrNeverWorsens(t *testing.T) {
+	n := crossy()
+	base, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, order, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Area() > base.Area() {
+		t.Errorf("InOrd area %d worse than plain ortho %d", best.Area(), base.Area())
+	}
+	if len(order) != n.NumPIs() {
+		t.Errorf("order length %d, want %d", len(order), n.NumPIs())
+	}
+	if err := verify.Check(best, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceSingleInput(t *testing.T) {
+	n := network.New("inv")
+	a := n.AddPI("a")
+	n.AddPO(n.AddNot(a), "f")
+	best, order, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != 0 {
+		t.Errorf("order = %v", order)
+	}
+	if err := verify.Check(best, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceNoInputsFails(t *testing.T) {
+	n := network.New("const")
+	n.AddPO(n.AddConst(true), "f")
+	if _, _, err := Place(n, Options{}); err == nil {
+		t.Fatal("accepted a network without PIs")
+	}
+}
+
+func TestBarycenterOrderValidPermutation(t *testing.T) {
+	n := crossy()
+	order := BarycenterOrder(n)
+	seen := make(map[int]bool)
+	for _, idx := range order {
+		if idx < 0 || idx >= n.NumPIs() || seen[idx] {
+			t.Fatalf("invalid permutation %v", order)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n := crossy()
+	a1, o1, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, o2, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Area() != a2.Area() {
+		t.Fatal("nondeterministic area")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package nanoplacer provides a stochastic placement-and-routing engine
+// standing in for NanoPlaceR (Hofmann et al., DAC 2023), the
+// reinforcement-learning-based physical design tool used by MNT Bench.
+//
+// The original couples a learned placement policy with A* routing; this
+// reproduction keeps the exact same role in the flow — a randomized
+// search that often finds smaller layouts than the constructive ortho
+// heuristic on small and mid-size functions — using seeded
+// simulated-annealing-style restarts instead of a neural policy, so the
+// package is dependency-free and fully deterministic for a fixed seed.
+package nanoplacer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/route"
+)
+
+// Options tunes the search.
+type Options struct {
+	// Scheme is the clocking scheme (default 2DDWave).
+	Scheme *clocking.Scheme
+	// Topo is the grid topology (default Cartesian).
+	Topo layout.Topology
+	// Restarts is the number of randomized placement episodes (default 12).
+	Restarts int
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// Timeout bounds the total search time (default 10s).
+	Timeout time.Duration
+	// MaxNodes rejects networks beyond the practical episode size
+	// (default 400), mirroring NanoPlaceR's small/mid-size scope.
+	MaxNodes int
+}
+
+func (o Options) scheme() *clocking.Scheme {
+	if o.Scheme == nil {
+		return clocking.TwoDDWave
+	}
+	return o.Scheme
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 0 {
+		return 12
+	}
+	return o.Restarts
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return 400
+	}
+	return o.MaxNodes
+}
+
+// ErrNoLayout is returned when no episode produced a legal layout.
+var ErrNoLayout = errors.New("nanoplacer: no legal layout found")
+
+// ErrTooLarge is returned for networks beyond Options.MaxNodes.
+var ErrTooLarge = errors.New("nanoplacer: network too large")
+
+// rng is a deterministic xorshift generator.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Place runs randomized placement episodes and returns the smallest
+// layout found. The network must be technology-prepared (placeable
+// functions, fanout <= 2).
+func Place(n *network.Network, opts Options) (*layout.Layout, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("nanoplacer: %w", err)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var nodes []network.ID
+	for _, id := range order {
+		if n.Gate(id) != network.None {
+			nodes = append(nodes, id)
+		}
+	}
+	if len(nodes) > opts.maxNodes() {
+		return nil, fmt.Errorf("%w: %d nodes > %d", ErrTooLarge, len(nodes), opts.maxNodes())
+	}
+
+	deadline := time.Now().Add(opts.timeout())
+	gen := rng(opts.seed()*0x9E3779B97F4A7C15 + 0x1234567)
+
+	var best *layout.Layout
+	for ep := 0; ep < opts.restarts(); ep++ {
+		if time.Now().After(deadline) {
+			break
+		}
+		// Episode bounds: start tight and widen with the episode index so
+		// early episodes hunt for compact layouts and later ones ensure a
+		// solution exists.
+		side := boundFor(len(nodes), ep)
+		l, ok := episode(n, nodes, side, &gen, opts)
+		if !ok {
+			continue
+		}
+		if best == nil || l.Area() < best.Area() {
+			best = l
+		}
+	}
+	if best == nil {
+		return nil, ErrNoLayout
+	}
+	return best, nil
+}
+
+// boundFor picks the square bounding-box side for an episode.
+func boundFor(nodes, episode int) int {
+	// The tightest plausible square packs nodes with ~2x wiring overhead.
+	base := 2
+	for base*base < 3*nodes {
+		base++
+	}
+	return base + episode
+}
+
+// episode greedily places all nodes within a side x side box using a
+// randomized candidate policy; returns the layout and whether it is
+// complete.
+func episode(n *network.Network, nodes []network.ID, side int, gen *rng, opts Options) (*layout.Layout, bool) {
+	l := layout.New(n.Name, opts.Topo, opts.scheme())
+	pos := make(map[network.ID]layout.Coord, len(nodes))
+	ropts := route.Options{MaxX: side - 1, MaxY: side - 1, AllowCrossings: true, MaxExpansions: side * side * 16}
+
+	// remaining[v] counts outputs of v not yet consumed by a routed
+	// edge; such nodes must keep an escape route.
+	remaining := make(map[network.ID]int, len(nodes))
+	counts := n.FanoutCounts()
+
+	hasEscape := func(c layout.Coord) bool {
+		for _, o := range l.OutgoingNeighbors(c) {
+			if o.X < side && o.Y < side && l.IsEmpty(o) {
+				return true
+			}
+		}
+		return false
+	}
+	// strangled reports whether any placed node with pending outputs has
+	// lost its last escape tile.
+	strangled := func() bool {
+		for v, r := range remaining {
+			if r > 0 && !hasEscape(pos[v]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, v := range nodes {
+		nd := n.Node(v)
+		cands := episodeCandidates(l, pos, nd, side, opts)
+		if len(cands) == 0 {
+			return nil, false
+		}
+		placed := false
+		// Try up to 16 candidates; the head of the list is the greedy
+		// choice, with occasional random exploration.
+		tries := 16
+		if tries > len(cands) {
+			tries = len(cands)
+		}
+		for t := 0; t < tries; t++ {
+			pick := t
+			if t > 0 && gen.intn(4) == 0 {
+				pick = gen.intn(len(cands))
+			}
+			c := cands[pick]
+			if !l.IsEmpty(c) {
+				continue
+			}
+			if !tryPlace(l, pos, v, nd, c, ropts) {
+				continue
+			}
+			for _, f := range nd.Fanins {
+				remaining[f]--
+			}
+			if counts[v] > 0 {
+				remaining[v] = counts[v]
+			}
+			if strangled() {
+				// Revert: this placement (or its wiring) walled somebody in.
+				for _, f := range nd.Fanins {
+					remaining[f]++
+				}
+				delete(remaining, v)
+				revertPlace(l, pos, v, nd, c)
+				continue
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return l, true
+}
+
+// revertPlace removes a just-placed node and its fanin wiring.
+func revertPlace(l *layout.Layout, pos map[network.ID]layout.Coord, v network.ID, nd network.Node, c layout.Coord) {
+	for _, f := range nd.Fanins {
+		if err := route.RemoveWirePath(l, pos[f], c); err != nil {
+			panic(fmt.Sprintf("nanoplacer: revert failed: %v", err))
+		}
+	}
+	if err := l.Clear(c); err != nil {
+		panic(fmt.Sprintf("nanoplacer: revert failed: %v", err))
+	}
+	delete(pos, v)
+}
+
+func episodeCandidates(l *layout.Layout, pos map[network.ID]layout.Coord, nd network.Node, side int, opts Options) []layout.Coord {
+	minX, minY := 0, 0
+	if !opts.scheme().InPlaneFeedback {
+		constrainX := opts.scheme() != clocking.Row
+		constrainY := opts.scheme() != clocking.Columnar
+		for _, f := range nd.Fanins {
+			p := pos[f]
+			if constrainX && p.X > minX {
+				minX = p.X
+			}
+			if constrainY && p.Y > minY {
+				minY = p.Y
+			}
+		}
+	}
+	var cands []layout.Coord
+	for y := minY; y < side; y++ {
+		for x := minX; x < side; x++ {
+			c := layout.C(x, y)
+			if l.IsEmpty(c) {
+				cands = append(cands, c)
+			}
+		}
+	}
+	cost := func(c layout.Coord) int {
+		if len(nd.Fanins) == 0 {
+			// Spread sources: crowding PIs together strangles their
+			// escape routes.
+			crowd := 0
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {-1, -1}, {1, -1}, {-1, 1}} {
+				if !l.IsEmpty(layout.C(c.X+d[0], c.Y+d[1])) {
+					crowd++
+				}
+			}
+			return 4*(c.X+c.Y) + 16*crowd
+		}
+		t := 0
+		for _, f := range nd.Fanins {
+			p := pos[f]
+			dx, dy := c.X-p.X, c.Y-p.Y
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			t += dx + dy
+		}
+		return 4*t + (c.X+c.Y)/4
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cost(cands[i]) < cost(cands[j]) })
+	return cands
+}
+
+func tryPlace(l *layout.Layout, pos map[network.ID]layout.Coord, v network.ID, nd network.Node, c layout.Coord, ropts route.Options) bool {
+	if err := l.Place(c, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name}); err != nil {
+		return false
+	}
+	routed := 0
+	ok := true
+	for _, f := range nd.Fanins {
+		if err := route.Connect(l, pos[f], c, ropts); err != nil {
+			ok = false
+			break
+		}
+		routed++
+	}
+	if !ok {
+		for i := 0; i < routed; i++ {
+			if err := route.RemoveWirePath(l, pos[nd.Fanins[i]], c); err != nil {
+				panic(fmt.Sprintf("nanoplacer: rollback failed: %v", err))
+			}
+		}
+		if err := l.Clear(c); err != nil {
+			panic(fmt.Sprintf("nanoplacer: rollback failed: %v", err))
+		}
+		return false
+	}
+	pos[v] = c
+	return true
+}

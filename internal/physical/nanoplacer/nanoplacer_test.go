@@ -1,0 +1,118 @@
+package nanoplacer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+	"repro/internal/verify"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func TestPlaceMux21(t *testing.T) {
+	n := mux21()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Place(prep, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceBeatsOrthoOnSmallFunctions(t *testing.T) {
+	// The role of NanoPlaceR in MNT Bench: find smaller layouts than the
+	// constructive heuristic on small functions.
+	n := mux21()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Place(prep, Options{Restarts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Area() >= or.Area() {
+		t.Errorf("nanoplacer area %d not smaller than ortho %d", np.Area(), or.Area())
+	}
+}
+
+func TestPlaceDeterministicForSeed(t *testing.T) {
+	n := mux21()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := Place(prep, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Place(prep, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Area() != l2.Area() || l1.NumTiles() != l2.NumTiles() {
+		t.Fatal("same seed produced different layouts")
+	}
+}
+
+func TestPlaceRejectsHugeNetworks(t *testing.T) {
+	n := network.New("huge")
+	a := n.AddPI("a")
+	cur := a
+	for i := 0; i < 500; i++ {
+		cur = n.AddNot(cur)
+	}
+	n.AddPO(cur, "f")
+	_, err := Place(n, Options{})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestPlaceMidSizeFunction(t *testing.T) {
+	// An 8-bit parity tree.
+	n := network.New("par8")
+	var lvl []network.ID
+	for i := 0; i < 8; i++ {
+		lvl = append(lvl, n.AddPI(string(rune('a'+i))))
+	}
+	for len(lvl) > 1 {
+		var next []network.ID
+		for i := 0; i+1 < len(lvl); i += 2 {
+			next = append(next, n.AddXor(lvl[i], lvl[i+1]))
+		}
+		lvl = next
+	}
+	n.AddPO(lvl[0], "p")
+	prep, err := gatelib.Bestagon.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Place(prep, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}

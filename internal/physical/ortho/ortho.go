@@ -1,0 +1,351 @@
+// Package ortho implements the scalable orthogonal-graph-drawing-based
+// physical design method for FCN circuits (Walter et al., ASP-DAC 2019),
+// targeting the 2DDWave clocking scheme on Cartesian grids.
+//
+// The algorithm 2-colors the network's signal edges east/south such that
+// every node receives at most one eastward (west-port) and one southward
+// (north-port) input and drives at most one edge of each color. Nodes are
+// then swept in topological order onto a staircase layout where east
+// edges run horizontally in their source's row and south edges run
+// vertically, crossing existing wires on the second layer. The
+// construction is correct by construction under 2DDWave (all dataflow is
+// east/south, every hop advances one clock zone) and runs in linear time
+// in the number of placed tiles.
+package ortho
+
+import (
+	"fmt"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// Options configures the layout generation.
+type Options struct {
+	// InputOrder optionally permutes the primary inputs before placement
+	// (used by the InOrd signal-distribution-network optimization).
+	// InputOrder[i] is the index of the network PI to place i-th.
+	InputOrder []int
+}
+
+// edgeColor distinguishes the two wiring directions.
+type edgeColor uint8
+
+const (
+	colorEast  edgeColor = iota // horizontal edge, enters consumer's west port
+	colorSouth                  // vertical edge, enters consumer's north port
+)
+
+// edge is one signal connection u -> v (fanin index idx of v).
+type edge struct {
+	u, v  network.ID
+	idx   int
+	color edgeColor
+}
+
+// Place generates a 2DDWave gate-level layout for the network. The
+// network is first normalized: MAJ gates are decomposed (the orthogonal
+// placement has only west/north input ports), XOR/XNOR/NAND/NOR are kept
+// (they are two-input), and fanouts are limited to degree two.
+func Place(n *network.Network, opts Options) (*layout.Layout, error) {
+	work := n.Clone()
+	// Two input ports per tile: everything up to two fanins is fine, MAJ
+	// is not. Decompose it over the remaining gate set.
+	if err := work.Decompose(network.GateSet{
+		network.And: true, network.Or: true, network.Not: true,
+		network.Nand: true, network.Nor: true,
+		network.Xor: true, network.Xnor: true, network.Buf: true,
+	}); err != nil {
+		return nil, fmt.Errorf("ortho: %w", err)
+	}
+	work.SubstituteFanouts(2)
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("ortho: %w", err)
+	}
+
+	edges, err := colorEdges(work)
+	if err != nil {
+		return nil, fmt.Errorf("ortho: %w", err)
+	}
+	return sweep(work, edges, opts)
+}
+
+// colorEdges assigns east/south colors such that no node has two
+// same-colored incoming edges and no node has two same-colored outgoing
+// edges. The conflict graph (one slot per node side, edges connecting
+// the slots they touch) has maximum degree two and is bipartite, so an
+// alternating walk over its paths and even cycles always succeeds.
+func colorEdges(n *network.Network) ([]edge, error) {
+	var edges []edge
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range order {
+		for idx, u := range n.Fanins(v) {
+			edges = append(edges, edge{u: u, v: v, idx: idx})
+		}
+	}
+	// adjacency: for every node, the edge indices leaving it (out side)
+	// and entering it (in side).
+	outEdges := make(map[network.ID][]int)
+	inEdges := make(map[network.ID][]int)
+	for i, e := range edges {
+		outEdges[e.u] = append(outEdges[e.u], i)
+		inEdges[e.v] = append(inEdges[e.v], i)
+	}
+	for id, es := range outEdges {
+		if len(es) > 2 {
+			return nil, fmt.Errorf("node %d has fanout %d > 2 after substitution", id, len(es))
+		}
+	}
+	for id, es := range inEdges {
+		if len(es) > 2 {
+			return nil, fmt.Errorf("node %d has %d fanins > 2", id, len(es))
+		}
+	}
+
+	colored := make([]bool, len(edges))
+	// Walk alternating chains: from an uncolored edge, extend in both
+	// directions through degree-2 slots, flipping colors.
+	var assign func(i int, c edgeColor)
+	assign = func(i int, c edgeColor) {
+		if colored[i] {
+			return
+		}
+		colored[i] = true
+		edges[i].color = c
+		// The sibling edge on the out side of u must take the other color.
+		for _, j := range outEdges[edges[i].u] {
+			if j != i {
+				assign(j, 1-c)
+			}
+		}
+		// The sibling edge on the in side of v must take the other color.
+		for _, j := range inEdges[edges[i].v] {
+			if j != i {
+				assign(j, 1-c)
+			}
+		}
+	}
+	for i := range edges {
+		if !colored[i] {
+			assign(i, colorEast)
+		}
+	}
+	// Verify the invariants (cheap and guards future changes).
+	checkSide := func(m map[network.ID][]int, side string) error {
+		for id, es := range m {
+			if len(es) == 2 && edges[es[0]].color == edges[es[1]].color {
+				return fmt.Errorf("coloring failed: node %d has two %s edges on its %s side",
+					id, []string{"east", "south"}[edges[es[0]].color], side)
+			}
+		}
+		return nil
+	}
+	if err := checkSide(outEdges, "output"); err != nil {
+		return nil, err
+	}
+	if err := checkSide(inEdges, "input"); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// sweep places nodes in topological order on the staircase.
+func sweep(n *network.Network, edges []edge, opts Options) (*layout.Layout, error) {
+	l := layout.New(n.Name, layout.Cartesian, clocking.TwoDDWave)
+
+	// Per-node incoming edges by color for quick lookup.
+	inEast := make(map[network.ID]*edge)
+	inSouth := make(map[network.ID]*edge)
+	for i := range edges {
+		e := &edges[i]
+		if e.color == colorEast {
+			if inEast[e.v] != nil {
+				return nil, fmt.Errorf("ortho: node %d has two east inputs", e.v)
+			}
+			inEast[e.v] = e
+		} else {
+			if inSouth[e.v] != nil {
+				return nil, fmt.Errorf("ortho: node %d has two south inputs", e.v)
+			}
+			inSouth[e.v] = e
+		}
+	}
+
+	pos := make(map[network.ID]layout.Coord)
+	curX, curY := 0, 0
+
+	order, err := topoWithInputOrder(n, opts.InputOrder)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resource mapping: an east-colored edge leaves its source through the
+	// column below it (vertical first), a south-colored edge leaves
+	// through the row east of it (horizontal first). The coloring
+	// invariant (at most one edge of each color per side) therefore means
+	// every row and every column carries at most one wire run.
+
+	// placeWire puts one wire tile at ground level, or on the crossing
+	// layer when the ground tile is an existing wire, chaining from prev.
+	placeWire := func(prev layout.Coord, x, y int) (layout.Coord, error) {
+		c := layout.C(x, y)
+		if !l.IsEmpty(c) {
+			if t := l.At(c); !t.IsWire() {
+				return prev, fmt.Errorf("ortho: wire blocked by %s at %v", t.Fn, c)
+			}
+			c = c.Above()
+		}
+		if err := l.Place(c, layout.Tile{Fn: network.Buf, Wire: true, Node: network.Invalid, Incoming: []layout.Coord{prev}}); err != nil {
+			return prev, err
+		}
+		return c, nil
+	}
+	// placeHorizontal lays wires at (x1..x2, y), chaining from prev.
+	placeHorizontal := func(prev layout.Coord, y, x1, x2 int) (layout.Coord, error) {
+		var err error
+		for x := x1; x <= x2; x++ {
+			if prev, err = placeWire(prev, x, y); err != nil {
+				return prev, err
+			}
+		}
+		return prev, nil
+	}
+	// placeVertical lays wires at (x, y1..y2), chaining from prev.
+	placeVertical := func(prev layout.Coord, x, y1, y2 int) (layout.Coord, error) {
+		var err error
+		for y := y1; y <= y2; y++ {
+			if prev, err = placeWire(prev, x, y); err != nil {
+				return prev, err
+			}
+		}
+		return prev, nil
+	}
+
+	for _, v := range order {
+		nd := n.Node(v)
+		if nd.Fn == network.None {
+			continue
+		}
+		eE, eS := inEast[v], inSouth[v]
+		var at layout.Coord
+		switch {
+		case len(nd.Fanins) == 0:
+			// PIs and constants claim a fresh diagonal slot.
+			at = layout.C(curX, curY)
+			curX++
+			curY++
+			if err := l.Place(at, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name}); err != nil {
+				return nil, err
+			}
+		case len(nd.Fanins) == 1 && eE != nil:
+			// East-colored input: descend the fanin's column onto a fresh
+			// row (south chain).
+			a := pos[eE.u]
+			at = layout.C(a.X, curY)
+			curY++
+			last, err := placeVertical(a, a.X, a.Y+1, at.Y-1)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.Place(at, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name, Incoming: []layout.Coord{last}}); err != nil {
+				return nil, err
+			}
+		case len(nd.Fanins) == 1 && eS != nil:
+			// South-colored input: run east in the fanin's row onto a
+			// fresh column (east chain).
+			a := pos[eS.u]
+			at = layout.C(curX, a.Y)
+			curX++
+			last, err := placeHorizontal(a, a.Y, a.X+1, at.X-1)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.Place(at, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name, Incoming: []layout.Coord{last}}); err != nil {
+				return nil, err
+			}
+		default:
+			// Two fanins: fresh column and row. The east-colored edge
+			// descends its source's column to v's fresh row, then runs
+			// east into the west port. The south-colored edge runs east in
+			// its source's row to v's fresh column, then descends into the
+			// north port.
+			if eE == nil || eS == nil {
+				return nil, fmt.Errorf("ortho: node %d lacks a properly colored fanin pair", v)
+			}
+			at = layout.C(curX, curY)
+			curX++
+			curY++
+			a, b := pos[eE.u], pos[eS.u]
+
+			lastA, err := placeVertical(a, a.X, a.Y+1, at.Y)
+			if err != nil {
+				return nil, err
+			}
+			lastA, err = placeHorizontal(lastA, at.Y, a.X+1, at.X-1)
+			if err != nil {
+				return nil, err
+			}
+			lastB, err := placeHorizontal(b, b.Y, b.X+1, at.X)
+			if err != nil {
+				return nil, err
+			}
+			lastB, err = placeVertical(lastB, at.X, b.Y+1, at.Y-1)
+			if err != nil {
+				return nil, err
+			}
+			in := make([]layout.Coord, 2)
+			in[eE.idx] = lastA
+			in[eS.idx] = lastB
+			if err := l.Place(at, layout.Tile{Fn: nd.Fn, Node: v, Name: nd.Name, Incoming: in}); err != nil {
+				return nil, err
+			}
+		}
+		pos[v] = at
+	}
+	return l, nil
+}
+
+// topoWithInputOrder returns a topological order whose PIs appear in the
+// requested permutation (PIs always sort before interior nodes here, so
+// reordering them is safe).
+func topoWithInputOrder(n *network.Network, inputOrder []int) ([]network.ID, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if inputOrder == nil {
+		return order, nil
+	}
+	if len(inputOrder) != n.NumPIs() {
+		return nil, fmt.Errorf("ortho: input order has %d entries, network has %d PIs", len(inputOrder), n.NumPIs())
+	}
+	pis := n.PIs()
+	seen := make(map[int]bool)
+	permuted := make([]network.ID, 0, len(pis))
+	for _, idx := range inputOrder {
+		if idx < 0 || idx >= len(pis) || seen[idx] {
+			return nil, fmt.Errorf("ortho: invalid input order %v", inputOrder)
+		}
+		seen[idx] = true
+		permuted = append(permuted, pis[idx])
+	}
+	isPI := make(map[network.ID]bool, len(pis))
+	for _, pi := range pis {
+		isPI[pi] = true
+	}
+	out := make([]network.ID, 0, len(order))
+	pi := 0
+	for _, id := range order {
+		if isPI[id] {
+			out = append(out, permuted[pi])
+			pi++
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

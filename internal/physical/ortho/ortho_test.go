@@ -1,0 +1,248 @@
+package ortho
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/verify"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func halfAdder() *network.Network {
+	n := network.New("ha")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "sum")
+	n.AddPO(n.AddAnd(a, b), "carry")
+	return n
+}
+
+func fullAdder() *network.Network {
+	n := network.New("fa")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	cin := n.AddPI("cin")
+	s1 := n.AddXor(a, b)
+	n.AddPO(n.AddXor(s1, cin), "sum")
+	n.AddPO(n.AddMaj(a, b, cin), "cout")
+	return n
+}
+
+func TestPlaceMux21(t *testing.T) {
+	n := mux21()
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+	if l.Area() == 0 {
+		t.Fatal("empty layout")
+	}
+}
+
+func TestPlaceHalfAdder(t *testing.T) {
+	n := halfAdder()
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceFullAdderDecomposesMaj(t *testing.T) {
+	n := fullAdder()
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+	// MAJ must not appear on any tile: ortho has only two input ports.
+	for _, c := range l.Coords() {
+		if l.At(c).Fn == network.Maj {
+			t.Fatal("MAJ tile survived ortho placement")
+		}
+	}
+}
+
+func TestPlaceHighFanout(t *testing.T) {
+	n := network.New("hifan")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	g := n.AddAnd(a, b)
+	// g and a drive many consumers each.
+	for i := 0; i < 5; i++ {
+		x := n.AddXor(g, a)
+		n.AddPO(x, "o"+string(rune('0'+i)))
+	}
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n := mux21()
+	l1, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := l1.Coords(), l2.Coords()
+	if len(c1) != len(c2) {
+		t.Fatal("nondeterministic tile count")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("nondeterministic layout")
+		}
+	}
+}
+
+func TestPlaceInputOrder(t *testing.T) {
+	n := mux21()
+	l, err := Place(n, Options{InputOrder: []int{2, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(n, Options{InputOrder: []int{0, 0, 1}}); err == nil {
+		t.Error("duplicate input order accepted")
+	}
+	if _, err := Place(n, Options{InputOrder: []int{0, 1}}); err == nil {
+		t.Error("short input order accepted")
+	}
+}
+
+func TestPlaceSameFaninTwice(t *testing.T) {
+	n := network.New("sq")
+	a := n.AddPI("a")
+	n.AddPO(n.AddAnd(a, a), "f")
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceConstants(t *testing.T) {
+	n := network.New("const")
+	a := n.AddPI("a")
+	n.AddPO(n.AddAnd(a, n.AddConst(true)), "f")
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceWideNetwork(t *testing.T) {
+	// A parity tree over 16 inputs: deep XOR structure with no reuse.
+	n := network.New("parity16")
+	var level []network.ID
+	for i := 0; i < 16; i++ {
+		level = append(level, n.AddPI("x"+string(rune('a'+i))))
+	}
+	for len(level) > 1 {
+		var next []network.ID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, n.AddXor(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	n.AddPO(level[0], "p")
+	l, err := Place(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlaceRandomNetworksQuick property-checks the construction on
+// random small networks: every generated layout must pass DRC and be
+// functionally equivalent to its source.
+func TestPlaceRandomNetworksQuick(t *testing.T) {
+	f := func(shape [8]uint8) bool {
+		n := randomNetwork(shape[:])
+		l, err := Place(n, Options{})
+		if err != nil {
+			t.Logf("place failed: %v", err)
+			return false
+		}
+		if err := verify.Check(l, n); err != nil {
+			t.Logf("verify failed: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNetwork(seed []uint8) *network.Network {
+	n := network.New("rand")
+	ids := []network.ID{n.AddPI("a"), n.AddPI("b"), n.AddPI("c"), n.AddPI("d")}
+	gates := []network.Gate{
+		network.And, network.Or, network.Xor, network.Xnor,
+		network.Nand, network.Nor, network.Not, network.Maj,
+	}
+	for _, s := range seed {
+		g := gates[int(s)%len(gates)]
+		pick := func(k int) network.ID { return ids[(int(s)/(k+3))%len(ids)] }
+		var id network.ID
+		switch g.Arity() {
+		case 1:
+			id = n.AddGate(g, pick(1))
+		case 2:
+			id = n.AddGate(g, pick(1), pick(2))
+		case 3:
+			id = n.AddGate(g, pick(1), pick(2), pick(5))
+		}
+		ids = append(ids, id)
+	}
+	n.AddPO(ids[len(ids)-1], "f")
+	n.AddPO(ids[len(ids)-2], "g")
+	return n
+}
+
+func BenchmarkPlaceMux21(b *testing.B) {
+	n := mux21()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(n, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

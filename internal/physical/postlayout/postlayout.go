@@ -1,0 +1,485 @@
+// Package postlayout implements post-layout optimization (PLO) for FCN
+// gate-level layouts (Hofmann et al., NANOARCH 2023): gates are
+// iteratively relocated toward the layout origin with full rerouting of
+// their connections, wire detours are straightened, and empty rows and
+// columns are compressed out in scheme-period multiples. The result is a
+// functionally identical layout with a smaller bounding box.
+package postlayout
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/route"
+)
+
+// Options tunes the optimization effort.
+type Options struct {
+	// MaxPasses bounds the number of full relocation sweeps (default 4).
+	MaxPasses int
+	// MaxCandidates bounds how many target positions are tried per gate
+	// and pass (default 64).
+	MaxCandidates int
+	// AllowCrossings permits second-layer wires during rerouting
+	// (default true; set DisableCrossings to turn off).
+	DisableCrossings bool
+	// Timeout bounds the total optimization time; once exceeded, the
+	// current pass finishes its gate and the best-so-far layout is
+	// returned. Zero means no limit.
+	Timeout time.Duration
+}
+
+func (o Options) passes() int {
+	if o.MaxPasses <= 0 {
+		return 4
+	}
+	return o.MaxPasses
+}
+
+func (o Options) candidates() int {
+	if o.MaxCandidates <= 0 {
+		return 64
+	}
+	return o.MaxCandidates
+}
+
+// Optimize returns an area-optimized copy of the layout.
+func Optimize(l *layout.Layout, opts Options) (*layout.Layout, error) {
+	work := l.Clone()
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+	for pass := 0; pass < opts.passes() && !expired(); pass++ {
+		movedAny, err := relocationPass(work, opts, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if err := straightenPass(work, opts); err != nil {
+			return nil, err
+		}
+		if err := Compress(work); err != nil {
+			return nil, err
+		}
+		if !movedAny {
+			break
+		}
+	}
+	return work, nil
+}
+
+// connection is one logical signal edge between two non-wire tiles.
+type connection struct {
+	src, dst layout.Coord
+	dstIdx   int // fanin index at the destination tile
+}
+
+// endpoints traces the logical connections touching the non-wire tile at
+// c: the gate/PI/fanout sources of its fanins and the gate/PO/fanout
+// destinations of its outputs.
+func endpoints(l *layout.Layout, c layout.Coord) (ins []connection, outs []connection, err error) {
+	t := l.At(c)
+	for idx, in := range t.Incoming {
+		src := in
+		for l.At(src).IsWire() {
+			w := l.At(src)
+			if len(w.Incoming) != 1 {
+				return nil, nil, fmt.Errorf("postlayout: wire %v has %d inputs", src, len(w.Incoming))
+			}
+			src = w.Incoming[0]
+		}
+		ins = append(ins, connection{src: src, dst: c, dstIdx: idx})
+	}
+	for _, out := range l.Outgoing(c) {
+		dst := out
+		for l.At(dst).IsWire() {
+			nexts := l.Outgoing(dst)
+			if len(nexts) != 1 {
+				return nil, nil, fmt.Errorf("postlayout: wire %v drives %d tiles", dst, len(nexts))
+			}
+			dst = nexts[0]
+		}
+		// Locate the fanin index: the destination's incoming entry whose
+		// chain leads back to c.
+		idx, err := faninIndexVia(l, dst, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs = append(outs, connection{src: c, dst: dst, dstIdx: idx})
+	}
+	return ins, outs, nil
+}
+
+// faninIndexVia finds which incoming entry of dst traces back (through
+// wires) to the non-wire tile src.
+func faninIndexVia(l *layout.Layout, dst, src layout.Coord) (int, error) {
+	for i, in := range l.At(dst).Incoming {
+		cur := in
+		for l.At(cur) != nil && l.At(cur).IsWire() {
+			cur = l.At(cur).Incoming[0]
+		}
+		if cur == src {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("postlayout: no fanin of %v traces back to %v", dst, src)
+}
+
+// relocationPass tries to move every gate, fanout, PI and PO tile toward
+// the origin, rerouting all its connections. Returns whether any tile
+// moved.
+func relocationPass(l *layout.Layout, opts Options, deadline time.Time) (bool, error) {
+	w, h := l.BoundingBox()
+	ropts := route.Options{
+		MaxX:           w - 1,
+		MaxY:           h - 1,
+		AllowCrossings: !opts.DisableCrossings,
+	}
+
+	// Non-wire tiles in ascending (x+y) order: sources first so
+	// consumers can follow them inward.
+	var tiles []layout.Coord
+	for _, c := range l.Coords() {
+		if !l.At(c).IsWire() {
+			tiles = append(tiles, c)
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		a, b := tiles[i], tiles[j]
+		if a.X+a.Y != b.X+b.Y {
+			return a.X+a.Y < b.X+b.Y
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+
+	moved := false
+	for i, c := range tiles {
+		if i%16 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		didMove, err := relocate(l, c, ropts, opts.candidates())
+		if err != nil {
+			return moved, err
+		}
+		moved = moved || didMove
+	}
+	return moved, nil
+}
+
+// relocate attempts to move the tile at c to a cheaper position.
+func relocate(l *layout.Layout, c layout.Coord, ropts route.Options, maxCand int) (bool, error) {
+	t := l.At(c)
+	if t == nil || t.IsWire() {
+		return false, nil
+	}
+	ins, outs, err := endpoints(l, c)
+	if err != nil {
+		return false, err
+	}
+
+	// Rerouting one connection can occupy tiles another connection of the
+	// same gate needs, so re-placing at the original position is not
+	// guaranteed to succeed; keep a snapshot for wholesale restore.
+	snap := l.Clone()
+
+	// Tear down the current connections (wire chains die with them).
+	for _, in := range ins {
+		if err := route.RemoveWirePath(l, in.src, c); err != nil {
+			return false, err
+		}
+	}
+	for _, out := range outs {
+		if err := route.RemoveWirePath(l, c, out.dst); err != nil {
+			return false, err
+		}
+	}
+	tile := layout.Tile{Fn: t.Fn, Wire: t.Wire, Node: t.Node, Name: t.Name}
+	if err := l.Clear(c); err != nil {
+		return false, err
+	}
+
+	// Candidates are enumerated after the teardown so that tiles freed by
+	// the gate's own wire chains become available targets. The outer
+	// bounds come from the routing options (the pass-level bounding box):
+	// the box recomputed after teardown could exclude the fallback.
+	cands := candidatePositions(l, c, ins, outs, ropts.MaxX, ropts.MaxY, maxCand)
+
+	try := func(p layout.Coord) bool {
+		if err := l.Place(p, tile); err != nil {
+			return false
+		}
+		done := 0
+		outsDone := 0
+		ok := true
+		for _, in := range ins {
+			if err := route.Connect(l, in.src, p, ropts); err != nil {
+				ok = false
+				break
+			}
+			done++
+		}
+		if ok {
+			for _, out := range outs {
+				if err := route.Connect(l, p, out.dst, ropts); err != nil {
+					ok = false
+					break
+				}
+				// Restore the original fanin index at the destination.
+				ni := l.IncomingIndex(out.dst, lastIncoming(l, out.dst))
+				if err := l.MoveIncoming(out.dst, ni, out.dstIdx); err != nil {
+					panic(fmt.Sprintf("postlayout: fanin reorder failed: %v", err))
+				}
+				outsDone++
+			}
+		}
+		if ok {
+			return true
+		}
+		// Undo partial work.
+		for i := 0; i < outsDone; i++ {
+			if err := route.RemoveWirePath(l, p, outs[i].dst); err != nil {
+				panic(fmt.Sprintf("postlayout: undo failed: %v", err))
+			}
+		}
+		for i := 0; i < done; i++ {
+			if err := route.RemoveWirePath(l, ins[i].src, p); err != nil {
+				panic(fmt.Sprintf("postlayout: undo failed: %v", err))
+			}
+		}
+		if err := l.Clear(p); err != nil {
+			panic(fmt.Sprintf("postlayout: undo failed: %v", err))
+		}
+		return false
+	}
+
+	for _, p := range cands {
+		if try(p) {
+			return p != c, nil
+		}
+	}
+	// All candidates failed; restore at the original position, falling
+	// back to the snapshot if the fresh routing attempt cannot reproduce
+	// a legal wiring.
+	if !try(c) {
+		*l = *snap
+	}
+	return false, nil
+}
+
+// lastIncoming returns the most recently added incoming coordinate of
+// dst (route.Connect appends).
+func lastIncoming(l *layout.Layout, dst layout.Coord) layout.Coord {
+	in := l.At(dst).Incoming
+	return in[len(in)-1]
+}
+
+// candidatePositions enumerates empty ground positions cheaper than c
+// (smaller x+y), nearest-origin first, honoring dataflow monotonicity
+// for schemes without in-plane feedback. The current position c is
+// always appended last as the fallback.
+func candidatePositions(l *layout.Layout, c layout.Coord, ins, outs []connection, boundX, boundY, maxCand int) []layout.Coord {
+	minX, minY := 0, 0
+	maxX, maxY := boundX, boundY
+	if !l.Scheme.InPlaneFeedback {
+		// Monotone schemes (2DDWave, ROW, Columnar): position must lie in
+		// the box spanned by sources and destinations. ROW constrains only
+		// Y; Columnar only X; 2DDWave both.
+		constrainX := l.Scheme != clocking.Row
+		constrainY := l.Scheme != clocking.Columnar
+		for _, in := range ins {
+			if constrainX && in.src.X > minX {
+				minX = in.src.X
+			}
+			if constrainY && in.src.Y > minY {
+				minY = in.src.Y
+			}
+		}
+		for _, out := range outs {
+			if constrainX && out.dst.X < maxX {
+				maxX = out.dst.X
+			}
+			if constrainY && out.dst.Y < maxY {
+				maxY = out.dst.Y
+			}
+		}
+	}
+	var cands []layout.Coord
+	cur := c.X + c.Y
+	for s := minX + minY; s < cur && len(cands) < maxCand; s++ {
+		for y := minY; y <= s-minX && y <= maxY && len(cands) < maxCand; y++ {
+			x := s - y
+			if x < minX || x > maxX {
+				continue
+			}
+			p := layout.C(x, y)
+			if l.IsEmpty(p) {
+				cands = append(cands, p)
+			}
+		}
+	}
+	cands = append(cands, c)
+	return cands
+}
+
+// straightenPass reroutes every logical connection with the A* router,
+// which can only shorten wire chains (the removed chain's tiles are
+// available to the search).
+func straightenPass(l *layout.Layout, opts Options) error {
+	w, h := l.BoundingBox()
+	ropts := route.Options{MaxX: w - 1, MaxY: h - 1, AllowCrossings: !opts.DisableCrossings}
+	for _, c := range l.Coords() {
+		t := l.At(c)
+		if t == nil || t.IsWire() {
+			continue
+		}
+		ins, _, err := endpoints(l, c)
+		if err != nil {
+			return err
+		}
+		for _, in := range ins {
+			if err := route.RemoveWirePath(l, in.src, c); err != nil {
+				return err
+			}
+			if err := route.Connect(l, in.src, c, ropts); err != nil {
+				return fmt.Errorf("postlayout: straighten reroute failed (%v -> %v): %w", in.src, c, err)
+			}
+			ni := l.IncomingIndex(c, lastIncoming(l, c))
+			if err := l.MoveIncoming(c, ni, in.dstIdx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Compress removes fully empty column and row bands in multiples of the
+// clocking periods (so zones stay aligned) and shifts the layout flush
+// with the origin.
+func Compress(l *layout.Layout) error {
+	for {
+		changed, err := compressOnce(l)
+		if err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+func compressOnce(l *layout.Layout) (bool, error) {
+	w, h := l.BoundingBox()
+	if w == 0 || h == 0 {
+		return false, nil
+	}
+	colUsed := make([]bool, w)
+	rowUsed := make([]bool, h)
+	for _, c := range l.Coords() {
+		colUsed[c.X] = true
+		rowUsed[c.Y] = true
+	}
+	// Origin shift first: leading empty bands.
+	px, py := l.Scheme.PeriodX(), l.Scheme.PeriodY()
+	if l.Topo == layout.HexOddRow && py%2 == 1 {
+		py *= 2 // preserve hexagonal row parity
+	}
+	lead := func(used []bool) int {
+		n := 0
+		for n < len(used) && !used[n] {
+			n++
+		}
+		return n
+	}
+	dx := -(lead(colUsed) / px * px)
+	dy := -(lead(rowUsed) / py * py)
+	if dx != 0 || dy != 0 {
+		if err := l.Shift(dx, dy); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	// Interior bands: remove the first run of >= period empty columns.
+	if cut, n := firstBand(colUsed, px); n > 0 {
+		if err := removeBand(l, cut, n, true); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if cut, n := firstBand(rowUsed, py); n > 0 {
+		if err := removeBand(l, cut, n, false); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// firstBand finds the first run of empty entries of length >= period and
+// returns its start and the removable length (rounded down to a period
+// multiple).
+func firstBand(used []bool, period int) (start, n int) {
+	run := 0
+	for i, u := range used {
+		if u {
+			run = 0
+			continue
+		}
+		run++
+		if run >= period {
+			// Extend greedily.
+			j := i + 1
+			for j < len(used) && !used[j] {
+				j++
+			}
+			total := j - (i - run + 1)
+			return i - run + 1, total / period * period
+		}
+	}
+	return 0, 0
+}
+
+// removeBand deletes n empty columns (cols=true) or rows starting at cut
+// by shifting the tiles beyond it. Connections never span a fully empty
+// band wider than one tile, so adjacency is preserved.
+func removeBand(l *layout.Layout, cut, n int, cols bool) error {
+	// Rebuild tile-by-tile: Shift only supports uniform translation, so
+	// split the layout virtually: coordinates beyond the band move by -n.
+	adj := func(c layout.Coord) layout.Coord {
+		if cols && c.X >= cut+n {
+			c.X -= n
+		}
+		if !cols && c.Y >= cut+n {
+			c.Y -= n
+		}
+		return c
+	}
+	fresh := layout.New(l.Name, l.Topo, l.Scheme)
+	fresh.Library = l.Library
+	coords := l.Coords()
+	for _, c := range coords {
+		t := l.At(c)
+		if err := fresh.Place(adj(c), layout.Tile{Fn: t.Fn, Wire: t.Wire, Node: t.Node, Name: t.Name}); err != nil {
+			return err
+		}
+	}
+	for _, c := range coords {
+		t := l.At(c)
+		nc := adj(c)
+		for _, in := range t.Incoming {
+			if err := fresh.Connect(adj(in), nc); err != nil {
+				return err
+			}
+		}
+	}
+	*l = *fresh
+	return nil
+}

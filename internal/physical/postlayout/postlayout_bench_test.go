@@ -1,0 +1,32 @@
+package postlayout
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gatelib"
+	"repro/internal/physical/ortho"
+)
+
+func BenchmarkOptimizeParCheck(b *testing.B) {
+	bm, err := bench.ByName("Trindade16", "par_check")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := gatelib.QCAOne.Prepare(bm.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := Optimize(l, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(opt.Area()), "tiles")
+	}
+}

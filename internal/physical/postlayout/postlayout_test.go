@@ -1,0 +1,159 @@
+package postlayout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+	"repro/internal/verify"
+)
+
+func mux21() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	ns := n.AddNot(s)
+	n.AddPO(n.AddOr(n.AddAnd(a, ns), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func TestOptimizeShrinksOrthoLayout(t *testing.T) {
+	n := mux21()
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Area()
+	opt, err := Optimize(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := opt.Area()
+	if after > before {
+		t.Fatalf("area grew: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Logf("warning: no shrink (%d)", before)
+	}
+	if err := verify.Check(opt, n); err != nil {
+		t.Fatal(err)
+	}
+	// The input layout must be untouched.
+	if l.Area() != before {
+		t.Error("Optimize mutated its input")
+	}
+}
+
+func TestOptimizeHexRowLayout(t *testing.T) {
+	n := mux21()
+	cart, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hex.Area()
+	opt, err := Optimize(hex, Options{MaxPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Area() > before {
+		t.Fatalf("hex area grew: %d -> %d", before, opt.Area())
+	}
+	if err := verify.Check(opt, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRemovesEmptyBands(t *testing.T) {
+	n := mux21()
+	l, err := ortho.Place(n, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift deep into the grid: compress must pull it back.
+	if err := l.Shift(8, 12); err != nil {
+		t.Fatal(err)
+	}
+	grown := l.Area()
+	if err := Compress(l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Area() >= grown {
+		t.Fatalf("compress did not shrink: %d -> %d", grown, l.Area())
+	}
+	if err := verify.Check(l, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	n := mux21()
+	run := func() int {
+		l, err := ortho.Place(n, ortho.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opt.Area()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic areas: %d vs %d", a, b)
+	}
+}
+
+func TestOptimizePreservesFunctionQuick(t *testing.T) {
+	f := func(shape [6]uint8) bool {
+		n := randomNetwork(shape[:])
+		l, err := ortho.Place(n, ortho.Options{})
+		if err != nil {
+			t.Logf("place: %v", err)
+			return false
+		}
+		opt, err := Optimize(l, Options{MaxPasses: 2, MaxCandidates: 24})
+		if err != nil {
+			t.Logf("optimize: %v", err)
+			return false
+		}
+		if opt.Area() > l.Area() {
+			t.Logf("area grew")
+			return false
+		}
+		if err := verify.Check(opt, n); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNetwork(seed []uint8) *network.Network {
+	n := network.New("rand")
+	ids := []network.ID{n.AddPI("a"), n.AddPI("b"), n.AddPI("c")}
+	gates := []network.Gate{network.And, network.Or, network.Xor, network.Nand, network.Not}
+	for _, s := range seed {
+		g := gates[int(s)%len(gates)]
+		pick := func(k int) network.ID { return ids[(int(s)/(k+3))%len(ids)] }
+		var id network.ID
+		if g.Arity() == 1 {
+			id = n.AddGate(g, pick(1))
+		} else {
+			id = n.AddGate(g, pick(1), pick(2))
+		}
+		ids = append(ids, id)
+	}
+	n.AddPO(ids[len(ids)-1], "f")
+	n.AddPO(ids[len(ids)-2], "g")
+	return n
+}

@@ -1,0 +1,428 @@
+// Package qcasim simulates QCA cell layouts under the bistable
+// approximation used by QCADesigner: every cell carries a polarization
+// P in [-1, 1]; the kink energy between two cells is computed from the
+// electrostatic interaction of their four quantum dots; and each free
+// cell relaxes to
+//
+//	P_i = tanh-like( Σ_j Ek_ij · P_j / 2γ )
+//
+// with fixed and input cells clamped. The engine validates the QCA ONE
+// standard-cell shapes produced by internal/gatelib physically: a
+// majority gate really computes majority, the fork inverter really
+// inverts, wires really propagate.
+package qcasim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gatelib"
+)
+
+// Physical constants of the default QCADesigner technology.
+const (
+	cellPitchNM    = 18.0 // cell center-to-center distance
+	dotOffsetNM    = 4.5  // quantum-dot offset from the cell center
+	radiusNM       = 65.0 // radius of effect for cell-cell interaction
+	gammaOverE     = 0.05 // tunneling energy relative to the kink unit
+	convergenceEps = 1e-6
+	maxIterations  = 20000
+	damping        = 0.5 // Gauss-Seidel under-relaxation factor
+)
+
+// debugDump, when set by tests, receives the engine state on a
+// convergence failure.
+var debugDump func(e *Engine, z int, gamma float64, members []int)
+
+// clockRamp is the quasi-adiabatic switch-phase schedule of the
+// tunneling energy: relaxation starts soft (low update gain, no
+// oscillation) and hardens toward the hold value, like the clock field
+// of a physical QCA array.
+var clockRamp = []float64{1.6, 0.8, 0.4, 0.2, 0.1, gammaOverE}
+
+// Cell is one simulated cell.
+type Cell struct {
+	X, Y, Z int
+	Type    gatelib.CellType
+	// Clock is the cell's clock zone, driving the switching schedule.
+	Clock int
+	// P is the current polarization.
+	P float64
+}
+
+// Engine holds a cell layout with its precomputed couplings.
+type Engine struct {
+	cells []Cell
+	// couplings[i] lists (j, Ek_ij) for every neighbor within the radius
+	// of effect, normalized to the nearest-neighbor kink energy.
+	couplings [][]coupling
+	inputs    []int // indices of input cells in deterministic order
+	outputs   []int // indices of output cells in deterministic order
+	// source is the originating cell layout (carries via declarations).
+	source *gatelib.CellLayout
+	// rank[i] is the signal-flow rank assigned by the cell expansion
+	// (tile arrival order plus intra-tile position); it orders updates
+	// and gates feedforward propagation.
+	rank []int
+}
+
+type coupling struct {
+	other int
+	ek    float64
+}
+
+// New builds a simulation engine from a QCA ONE cell layout.
+func New(cl *gatelib.CellLayout) (*Engine, error) {
+	if cl.Library != gatelib.QCAOne {
+		return nil, fmt.Errorf("qcasim: needs a QCA ONE cell layout, got %s", cl.Library.Name)
+	}
+	coords := cl.Coords()
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("qcasim: empty cell layout")
+	}
+	e := &Engine{cells: make([]Cell, len(coords)), source: cl}
+	for i, c := range coords {
+		cell, _ := cl.At(c)
+		e.cells[i] = Cell{X: c.X, Y: c.Y, Z: c.Z, Type: cell.Type, Clock: cell.Clock}
+		e.rank = append(e.rank, cell.Rank)
+		switch cell.Type {
+		case gatelib.CellInput:
+			e.inputs = append(e.inputs, i)
+		case gatelib.CellOutput:
+			e.outputs = append(e.outputs, i)
+		}
+	}
+	e.buildCouplings()
+	return e, nil
+}
+
+// NumInputs returns the number of input cells.
+func (e *Engine) NumInputs() int { return len(e.inputs) }
+
+// NumOutputs returns the number of output cells.
+func (e *Engine) NumOutputs() int { return len(e.outputs) }
+
+// buildCouplings precomputes normalized kink energies between all cell
+// pairs within the radius of effect.
+func (e *Engine) buildCouplings() {
+	e.couplings = make([][]coupling, len(e.cells))
+	// Normalize against the nearest-neighbor collinear kink energy so
+	// that gamma is technology-independent.
+	unit := kinkEnergy(cellPitchNM, 0, 0)
+	for i := range e.cells {
+		for j := range e.cells {
+			if i == j {
+				continue
+			}
+			dx := float64(e.cells[j].X-e.cells[i].X) * cellPitchNM
+			dy := float64(e.cells[j].Y-e.cells[i].Y) * cellPitchNM
+			if dx*dx+dy*dy > radiusNM*radiusNM {
+				continue
+			}
+			// Cross-layer idealization: physical implementations realize
+			// wire crossings coplanar with rotated cells, which couple to
+			// normal cells with net zero; only declared vias carry a
+			// signal across layers. Inter-layer coupling therefore exists
+			// exactly at via pairs, at nominal driving strength.
+			if e.cells[j].Z != e.cells[i].Z {
+				a := gatelib.CellCoord{X: e.cells[i].X, Y: e.cells[i].Y, Z: e.cells[i].Z}
+				b := gatelib.CellCoord{X: e.cells[j].X, Y: e.cells[j].Y, Z: e.cells[j].Z}
+				if !e.source.IsVia(a, b) {
+					continue
+				}
+				e.couplings[i] = append(e.couplings[i], coupling{other: j, ek: 1})
+				continue
+			}
+			ek := kinkEnergy(dx, dy, 0) / unit
+			if math.Abs(ek) < 1e-6 {
+				continue
+			}
+			e.couplings[i] = append(e.couplings[i], coupling{other: j, ek: ek})
+		}
+	}
+}
+
+// kinkEnergy computes the (unnormalized) energy difference between
+// anti-aligned and aligned polarizations of two four-dot cells whose
+// centers are separated by (dx, dy, dz) nanometres. Positive values mean
+// the cells prefer equal polarization (collinear neighbors); negative
+// values mean they prefer opposite polarization (diagonal neighbors).
+//
+// Following QCADesigner's model, each cell is a charge quadrupole: the
+// two electrons sit on the polarization diagonal and every dot carries a
+// neutralizing +e/2 background, leaving +e/2 on the occupied diagonal
+// and -e/2 on the other. Without the background compensation the
+// diagonal anti-coupling comes out almost as strong as the collinear
+// coupling and plus-shaped majority junctions stop working.
+func kinkEnergy(dx, dy, dz float64) float64 {
+	type charge struct{ x, y, q float64 }
+	// Quadrupole for polarization +1: occupied diagonal +e/2, free
+	// diagonal -e/2 (units of e/2).
+	quad := func(p float64) []charge {
+		return []charge{
+			{+dotOffsetNM, +dotOffsetNM, p},
+			{-dotOffsetNM, -dotOffsetNM, p},
+			{+dotOffsetNM, -dotOffsetNM, -p},
+			{-dotOffsetNM, +dotOffsetNM, -p},
+		}
+	}
+	inter := func(a, b []charge) float64 {
+		s := 0.0
+		for _, p := range a {
+			for _, q := range b {
+				ex := dx + q.x - p.x
+				ey := dy + q.y - p.y
+				s += p.q * q.q / math.Sqrt(ex*ex+ey*ey+dz*dz)
+			}
+		}
+		return s
+	}
+	aligned := inter(quad(1), quad(1))
+	anti := inter(quad(1), quad(-1))
+	return anti - aligned
+}
+
+// Simulate clamps the input cells to the given logical values, runs the
+// clocked bistable relaxation to a steady state, and returns the output
+// cell values (true for polarization +1). Inputs are ordered by the
+// deterministic cell order (Y, then X, then Z) of the input cells;
+// Outputs likewise.
+//
+// The clock zones recorded on the cells drive the schedule exactly as in
+// QCADesigner's bistable engine: in every phase one zone switches — its
+// free cells are depolarized (the physical release phase) and then
+// relaxed against the frozen remainder of the array — while the other
+// zones hold. Phases repeat until a full clock round leaves every cell
+// unchanged. The release-phase reset is what makes the simulation
+// directional: without it, output wire stubs can hold stale polarization
+// and trap gates in echo states.
+func (e *Engine) Simulate(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(e.inputs) {
+		return nil, fmt.Errorf("qcasim: %d input values for %d input cells", len(inputs), len(e.inputs))
+	}
+	// Reset polarizations.
+	for i := range e.cells {
+		switch e.cells[i].Type {
+		case gatelib.CellFixedMinus:
+			e.cells[i].P = -1
+		case gatelib.CellFixedPlus:
+			e.cells[i].P = 1
+		default:
+			e.cells[i].P = 0
+		}
+	}
+	for k, idx := range e.inputs {
+		if inputs[k] {
+			e.cells[idx].P = 1
+		} else {
+			e.cells[idx].P = -1
+		}
+	}
+
+	// Group free cells by clock zone, each in propagation order
+	// (breadth-first from clamped cells along strong couplings) so that
+	// within a zone the Gauss-Seidel sweep follows the physical signal
+	// direction.
+	order := e.propagationOrder()
+	maxZone := 0
+	for i := range e.cells {
+		if e.cells[i].Clock > maxZone {
+			maxZone = e.cells[i].Clock
+		}
+	}
+	zones := make([][]int, maxZone+1)
+	for _, i := range order {
+		switch e.cells[i].Type {
+		case gatelib.CellInput, gatelib.CellFixedMinus, gatelib.CellFixedPlus:
+			continue
+		}
+		z := e.cells[i].Clock
+		zones[z] = append(zones[z], i)
+	}
+
+	// update relaxes cell i while zone z is switching. Only the holding
+	// zone (z-1), cells of z itself, and clamped cells exert influence:
+	// downstream zones are physically in their release phase
+	// (depolarized), so their couplings are masked — without this,
+	// symmetric couplings let stale downstream values flow backwards and
+	// pin kinks into wire chains.
+	numZones := len(zones)
+	update := func(i, z int, gamma float64) float64 {
+		hold := (z + numZones - 1) % numZones
+		sum := 0.0
+		for _, cp := range e.couplings[i] {
+			o := &e.cells[cp.other]
+			active := o.Clock == z || o.Clock == hold
+			if !active {
+				switch o.Type {
+				case gatelib.CellInput, gatelib.CellFixedMinus, gatelib.CellFixedPlus:
+					active = true
+				}
+			}
+			if !active {
+				continue
+			}
+			// Feedforward gating: ignore free neighbors that lie later in
+			// signal-flow order than this cell — its own downstream wire,
+			// the upper wire of a crossing (stacked cells anti-couple
+			// strongly), or weak diagonal crosstalk from later chains.
+			// This directional approximation keeps gate centers from
+			// latching their output arm's stale value, keeps crossing
+			// wires from fighting each other, and removes the marginal
+			// weak-coupling loops around elbows that otherwise prevent
+			// convergence at low tunneling energies. Clamped cells always
+			// drive.
+			clamped := o.Type == gatelib.CellInput || o.Type == gatelib.CellFixedMinus || o.Type == gatelib.CellFixedPlus
+			if !clamped && e.flowsAfter(cp.other, i) {
+				continue
+			}
+			sum += cp.ek * o.P
+		}
+		x := sum / (2 * gamma)
+		target := x / math.Sqrt(1+x*x)
+		// Damped update: frustrated clusters of anti-aligning couplings
+		// can make the undamped Gauss-Seidel sweep oscillate.
+		newP := e.cells[i].P + damping*(target-e.cells[i].P)
+		delta := math.Abs(newP - e.cells[i].P)
+		e.cells[i].P = newP
+		return delta
+	}
+
+	// relaxZone depolarizes one zone (the physical release phase) and
+	// settles it against the held previous zone.
+	relaxZone := func(z int, members []int) error {
+		for _, i := range members {
+			e.cells[i].P = 0
+		}
+		worst := -1
+		for _, gamma := range clockRamp {
+			converged := false
+			for iter := 0; iter < maxIterations; iter++ {
+				maxDelta := 0.0
+				for _, i := range members {
+					if d := update(i, z, gamma); d > maxDelta {
+						maxDelta = d
+						worst = i
+					}
+				}
+				if maxDelta < convergenceEps {
+					converged = true
+					break
+				}
+			}
+			if !converged {
+				c := e.cells[worst]
+				if debugDump != nil {
+					debugDump(e, z, gamma, members)
+				}
+				return fmt.Errorf("qcasim: zone %d did not converge after %d iterations at gamma %.2f (worst cell (%d,%d,%d) rank %d P=%.3f)",
+					z, maxIterations, gamma, c.X, c.Y, c.Z, e.rank[worst], c.P)
+			}
+		}
+		return nil
+	}
+
+	maxRounds := len(e.cells) + 8
+	prev := make([]float64, len(e.cells))
+	for round := 0; round < maxRounds; round++ {
+		for i := range e.cells {
+			prev[i] = e.cells[i].P
+		}
+		for z, members := range zones {
+			if len(members) == 0 {
+				continue
+			}
+			if err := relaxZone(z, members); err != nil {
+				return nil, err
+			}
+		}
+		stable := true
+		for i := range e.cells {
+			if math.Abs(prev[i]-e.cells[i].P) > 10*convergenceEps {
+				stable = false
+				break
+			}
+		}
+		if stable && round > 0 {
+			out := make([]bool, len(e.outputs))
+			for k, idx := range e.outputs {
+				p := e.cells[idx].P
+				if math.Abs(p) < 0.1 {
+					return nil, fmt.Errorf("qcasim: output cell %d undecided (P=%.3f)", k, p)
+				}
+				out[k] = p > 0
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("qcasim: no steady state after %d clock rounds", maxRounds)
+}
+
+// flowsAfter reports whether cell j comes strictly later than cell i in
+// the signal-flow order: ranks first, coordinates as the deterministic
+// tie-break (so even parallel wires and crossing layers have a defined
+// direction).
+func (e *Engine) flowsAfter(j, i int) bool {
+	if e.rank[j] != e.rank[i] {
+		return e.rank[j] > e.rank[i]
+	}
+	cj, ci := e.cells[j], e.cells[i]
+	if cj.X+cj.Y != ci.X+ci.Y {
+		return cj.X+cj.Y > ci.X+ci.Y
+	}
+	if cj.Y != ci.Y {
+		return cj.Y > ci.Y
+	}
+	if cj.X != ci.X {
+		return cj.X > ci.X
+	}
+	return cj.Z > ci.Z
+}
+
+// propagationOrder returns the cell update order: ascending signal-flow
+// order as defined by flowsAfter.
+func (e *Engine) propagationOrder() []int {
+	order := make([]int, len(e.cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return e.flowsAfter(order[b], order[a])
+	})
+	return order
+}
+
+// TruthTable simulates all 2^n input patterns (n <= 16) and returns the
+// output rows; bit i of the row index is input i.
+func (e *Engine) TruthTable() ([][]bool, error) {
+	n := len(e.inputs)
+	if n > 16 {
+		return nil, fmt.Errorf("qcasim: %d inputs exceed the truth-table limit", n)
+	}
+	rows := make([][]bool, 1<<n)
+	in := make([]bool, n)
+	for r := range rows {
+		for i := 0; i < n; i++ {
+			in[i] = r&(1<<i) != 0
+		}
+		out, err := e.Simulate(in)
+		if err != nil {
+			return nil, fmt.Errorf("qcasim: pattern %b: %w", r, err)
+		}
+		rows[r] = out
+	}
+	return rows, nil
+}
+
+// Polarization exposes the final polarization of cell (x, y, z) after
+// the latest Simulate call, for diagnostics.
+func (e *Engine) Polarization(x, y, z int) (float64, bool) {
+	for i := range e.cells {
+		c := e.cells[i]
+		if c.X == x && c.Y == y && c.Z == z {
+			return c.P, true
+		}
+	}
+	return 0, false
+}

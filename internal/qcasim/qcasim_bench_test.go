@@ -1,0 +1,35 @@
+package qcasim
+
+import (
+	"testing"
+
+	"repro/internal/gatelib"
+	"repro/internal/physical/ortho"
+)
+
+func BenchmarkSimulateMux21(b *testing.B) {
+	n := muxNet()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells, err := gatelib.ExpandQCAOne(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(cells)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := []bool{true, false, true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Simulate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package qcasim
+
+import (
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/ortho"
+	"repro/internal/physical/postlayout"
+	"repro/internal/verify"
+)
+
+// expand builds the QCA cell layout for a hand-constructed tile layout.
+func expand(t *testing.T, l *layout.Layout) *Engine {
+	t.Helper()
+	cells, err := gatelib.ExpandQCAOne(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWireLinePropagates(t *testing.T) {
+	l := layout.New("wire", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	prev := layout.C(0, 0)
+	for x := 1; x <= 3; x++ {
+		c := layout.C(x, 0)
+		l.MustPlace(c, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prev}})
+		prev = c
+	}
+	l.MustPlace(layout.C(4, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{prev}})
+	e := expand(t, l)
+	for _, v := range []bool{false, true} {
+		out, err := e.Simulate([]bool{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != v {
+			t.Errorf("wire(%v) = %v", v, out[0])
+		}
+	}
+}
+
+func TestCornerWirePropagates(t *testing.T) {
+	l := layout.New("corner", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(1, 2), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	e := expand(t, l)
+	for _, v := range []bool{false, true} {
+		out, err := e.Simulate([]bool{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != v {
+			t.Errorf("corner(%v) = %v", v, out[0])
+		}
+	}
+}
+
+// gate2 builds PI,PI -> gate -> PO with the gate at a 2DDWave-legal spot.
+func gate2(t *testing.T, fn network.Gate) *Engine {
+	l := layout.New("g2", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: fn, Incoming: []layout.Coord{layout.C(1, 0), layout.C(0, 1)}})
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	return expand(t, l)
+}
+
+func TestAndGateBistable(t *testing.T) {
+	e := gate2(t, network.And)
+	tt, err := e.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		a, b := r&1 != 0, r&2 != 0
+		if tt[r][0] != (a && b) {
+			t.Errorf("AND(%v,%v) = %v", a, b, tt[r][0])
+		}
+	}
+}
+
+func TestOrGateBistable(t *testing.T) {
+	e := gate2(t, network.Or)
+	tt, err := e.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		a, b := r&1 != 0, r&2 != 0
+		if tt[r][0] != (a || b) {
+			t.Errorf("OR(%v,%v) = %v", a, b, tt[r][0])
+		}
+	}
+}
+
+func TestMajorityGateBistable(t *testing.T) {
+	// A three-input majority tile needs all inputs in the zone before the
+	// gate; no regular scheme offers that, so use a custom zone pattern
+	// (inputs zone 0, gate zone 1, output zone 2).
+	scheme, err := clocking.Custom("maj-test", 4, [][]int{
+		{0, 0, 0},
+		{0, 1, 2},
+		{0, 0, 0},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layout.New("maj", layout.Cartesian, scheme)
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(layout.C(1, 2), layout.Tile{Fn: network.PI, Name: "c"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.Maj,
+		Incoming: []layout.Coord{layout.C(1, 0), layout.C(0, 1), layout.C(1, 2)}})
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	e := expand(t, l)
+	tt, err := e.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		ones := 0
+		for i := 0; i < 3; i++ {
+			if r&(1<<i) != 0 {
+				ones++
+			}
+		}
+		if tt[r][0] != (ones >= 2) {
+			t.Errorf("MAJ pattern %03b = %v", r, tt[r][0])
+		}
+	}
+}
+
+func TestForkInverterBistable(t *testing.T) {
+	// Straight west-to-east inverter.
+	l := layout.New("inv", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	e := expand(t, l)
+	for _, v := range []bool{false, true} {
+		out, err := e.Simulate([]bool{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != !v {
+			t.Errorf("NOT(%v) = %v, want %v", v, out[0], !v)
+		}
+	}
+}
+
+func TestFanoutBistable(t *testing.T) {
+	l := layout.New("fan", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Fanout, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.PO, Name: "g", Incoming: []layout.Coord{layout.C(1, 0)}})
+	e := expand(t, l)
+	for _, v := range []bool{false, true} {
+		out, err := e.Simulate([]bool{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != v || out[1] != v {
+			t.Errorf("FANOUT(%v) = %v,%v", v, out[0], out[1])
+		}
+	}
+}
+
+func TestAndOrChainBistable(t *testing.T) {
+	// f = (a & b) | c as a two-gate cascade with wires between.
+	l := layout.New("aoi", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.And, Incoming: []layout.Coord{layout.C(1, 0), layout.C(0, 1)}})
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(1, 1)}})
+	l.MustPlace(layout.C(3, 0), layout.Tile{Fn: network.PI, Name: "c"})
+	l.MustPlace(layout.C(3, 1), layout.Tile{Fn: network.Or, Incoming: []layout.Coord{layout.C(2, 1), layout.C(3, 0)}})
+	l.MustPlace(layout.C(3, 2), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(3, 1)}})
+	e := expand(t, l)
+	tt, err := e.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine input order is by cell coordinates (row-major): PI a sits at
+	// row 0 column 7, PI c at row 0 column 17, PI b at row 7 — so the
+	// pattern bits map to (a, c, b).
+	for r := 0; r < 8; r++ {
+		a, c, b := r&1 != 0, r&2 != 0, r&4 != 0
+		want := (a && b) || c
+		if tt[r][0] != want {
+			t.Errorf("pattern %03b: got %v want %v", r, tt[r][0], want)
+		}
+	}
+}
+
+func TestEngineRejectsBadInput(t *testing.T) {
+	e := gate2(t, network.And)
+	if _, err := e.Simulate([]bool{true}); err == nil {
+		t.Error("accepted wrong input count")
+	}
+	if e.NumInputs() != 2 || e.NumOutputs() != 1 {
+		t.Errorf("I/O = %d/%d", e.NumInputs(), e.NumOutputs())
+	}
+}
+
+func TestKinkEnergySigns(t *testing.T) {
+	collinear := kinkEnergy(cellPitchNM, 0, 0)
+	if collinear <= 0 {
+		t.Errorf("collinear neighbors must prefer alignment, Ek = %v", collinear)
+	}
+	diagonal := kinkEnergy(cellPitchNM, cellPitchNM, 0)
+	if diagonal >= 0 {
+		t.Errorf("diagonal neighbors must prefer anti-alignment, Ek = %v", diagonal)
+	}
+	if kinkEnergy(0, cellPitchNM, 0) <= 0 {
+		t.Error("vertical neighbors must prefer alignment")
+	}
+}
+
+func TestCrossingIsolation(t *testing.T) {
+	// Two signals crossing: a runs east on the ground layer, b crosses
+	// north-to-south over it on the crossing layer.
+	l := layout.New("xing", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 1), wireTile(layout.C(0, 1)))
+	l.MustPlace(layout.C(2, 1), wireTile(layout.C(1, 1)))
+	l.MustPlace(layout.C(3, 1), layout.Tile{Fn: network.PO, Name: "fa", Incoming: []layout.Coord{layout.C(2, 1)}})
+
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PI, Name: "b"})
+	over := layout.Coord{X: 2, Y: 1, Z: 1}
+	l.MustPlace(over, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(2, 0)}})
+	l.MustPlace(layout.C(2, 2), layout.Tile{Fn: network.PO, Name: "fb", Incoming: []layout.Coord{over}})
+
+	cells, err := gatelib.ExpandQCAOne(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells.NumVias() == 0 {
+		t.Fatal("no vias declared for the layer transitions")
+	}
+	e, err := New(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine input order by coordinates: b's cell is at row 2, a's at
+	// row 7, so inputs are [b, a]; outputs: fa at (3,1) row 7 center
+	// (17,7), fb at (2,2) center (12,12) -> [fa, fb].
+	for pat := 0; pat < 4; pat++ {
+		b, a := pat&1 != 0, pat&2 != 0
+		out, err := e.Simulate([]bool{b, a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != a || out[1] != b {
+			t.Errorf("crossing corrupted signals: a=%v b=%v got fa=%v fb=%v", a, b, out[0], out[1])
+		}
+	}
+}
+
+func wireTile(in ...layout.Coord) layout.Tile {
+	return layout.Tile{Fn: network.Buf, Wire: true, Incoming: in}
+}
+
+// TestFullLayoutSimulation physically simulates complete placed-and-
+// optimized layouts — the strongest validation of the QCA ONE cell
+// library: every truth-table row of the bistable simulation must match
+// the layout's logic.
+func TestFullLayoutSimulation(t *testing.T) {
+	cases := []*network.Network{muxNet(), haNet()}
+	for _, n := range cases {
+		n := n
+		t.Run(n.Name, func(t *testing.T) {
+			prep, err := gatelib.QCAOne.Prepare(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			placed, err := ortho.Place(prep, ortho.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := postlayout.Optimize(placed, postlayout.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lay := range []*layout.Layout{placed, opt} {
+				cells, err := gatelib.ExpandQCAOne(lay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := New(cells)
+				if err != nil {
+					t.Fatal(err)
+				}
+				simTT, err := e.TruthTable()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := verify.ExtractNetwork(lay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refTT, err := ref.TruthTable()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range simTT {
+					for c := range simTT[r] {
+						if simTT[r][c] != refTT[r][c] {
+							t.Fatalf("pattern %d output %d: simulation %v, logic %v",
+								r, c, simTT[r][c], refTT[r][c])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func muxNet() *network.Network {
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	n.AddPO(n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s)), "f")
+	return n
+}
+
+func haNet() *network.Network {
+	n := network.New("ha")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddXor(a, b), "sum")
+	n.AddPO(n.AddAnd(a, b), "carry")
+	return n
+}

@@ -1,0 +1,280 @@
+// Package render draws FCN gate-level layouts as SVG images and ASCII
+// art — the layout previews of the MNT Bench website and fiction's
+// print_gate_level_layout, respectively. Tiles are colored by clock
+// zone, gates are labelled with their function, and signal flow is drawn
+// as arrows between tiles; hexagonal layouts render as a pointy-top hex
+// grid with odd rows offset.
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// zoneColors give each clock zone a pastel fill, zone number = index.
+var zoneColors = []string{"#e8f1f8", "#d3e5f1", "#b3d2e8", "#8fbcdb"}
+
+// gateColor highlights non-wire tiles.
+const (
+	gateFill  = "#ffd27f"
+	pioFill   = "#a8e6a1"
+	wireFill  = "none"
+	crossFill = "#d9b3ff"
+)
+
+// SVGOptions tunes the rendering.
+type SVGOptions struct {
+	// TileSize is the edge length of one tile in pixels (default 28).
+	TileSize int
+	// ShowClockZones fills tiles with zone colors (default on; set
+	// HideClockZones to disable).
+	HideClockZones bool
+	// MaxTiles refuses to render monster layouts (default 250000).
+	MaxTiles int
+}
+
+func (o SVGOptions) tile() int {
+	if o.TileSize <= 0 {
+		return 28
+	}
+	return o.TileSize
+}
+
+func (o SVGOptions) maxTiles() int {
+	if o.MaxTiles <= 0 {
+		return 250000
+	}
+	return o.MaxTiles
+}
+
+// WriteSVG renders the layout as a standalone SVG document.
+func WriteSVG(w io.Writer, l *layout.Layout, opts SVGOptions) error {
+	lw, lh := l.BoundingBox()
+	if lw*lh > opts.maxTiles() {
+		return fmt.Errorf("render: layout %dx%d exceeds the size limit", lw, lh)
+	}
+	ts := float64(opts.tile())
+	hex := l.Topo == layout.HexOddRow
+
+	// Pixel position of a tile's top-left corner.
+	pos := func(c layout.Coord) (float64, float64) {
+		x := float64(c.X) * ts
+		if hex && c.Y%2 == 1 {
+			x += ts / 2
+		}
+		y := float64(c.Y) * ts
+		if hex {
+			y = float64(c.Y) * ts * 0.87
+		}
+		return x, y
+	}
+	center := func(c layout.Coord) (float64, float64) {
+		x, y := pos(c)
+		return x + ts/2, y + ts/2
+	}
+
+	widthPx := (float64(lw) + 1.5) * ts
+	heightPx := (float64(lh) + 1.5) * ts
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		widthPx, heightPx, widthPx, heightPx)
+	fmt.Fprintf(&b, `<title>%s (%s, %s)</title>`+"\n", xmlEscape(l.Name), l.Topo, xmlEscape(l.Scheme.Name))
+	b.WriteString(`<defs><marker id="arr" viewBox="0 0 6 6" refX="5" refY="3" markerWidth="5" markerHeight="5" orient="auto"><path d="M0,0 L6,3 L0,6 z" fill="#555"/></marker></defs>` + "\n")
+
+	// Background grid with clock zones.
+	if !opts.HideClockZones {
+		for y := 0; y < lh; y++ {
+			for x := 0; x < lw; x++ {
+				c := layout.C(x, y)
+				px, py := pos(c)
+				fill := zoneColors[l.Zone(c)%len(zoneColors)]
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+					px, py, ts, ts, fill)
+			}
+		}
+	}
+
+	// Wires and connections first (under the gates).
+	coords := l.Coords()
+	for _, c := range coords {
+		t := l.At(c)
+		for _, src := range t.Incoming {
+			x1, y1 := center(src)
+			x2, y2 := center(c)
+			dash := ""
+			if src.Z == 1 || c.Z == 1 {
+				dash = ` stroke-dasharray="3,2"`
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#555" stroke-width="1.6" marker-end="url(#arr)"%s/>`+"\n",
+				x1, y1, x2, y2, dash)
+		}
+	}
+
+	// Tiles.
+	for _, c := range coords {
+		t := l.At(c)
+		cx, cy := center(c)
+		switch {
+		case t.Fn == network.PI || t.Fn == network.PO:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333"/>`+"\n", cx, cy, ts*0.36, pioFill)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.0f" text-anchor="middle" dominant-baseline="middle" font-family="monospace">%s</text>`+"\n",
+				cx, cy, ts*0.32, xmlEscape(short(t.Name, 4)))
+		case t.IsWire():
+			if c.Z == 1 {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#888"/>`+"\n", cx, cy, ts*0.14, crossFill)
+			} else {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#666"/>`+"\n", cx, cy, ts*0.08)
+			}
+		default:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="3" fill="%s" stroke="#333"/>`+"\n",
+				cx-ts*0.38, cy-ts*0.38, ts*0.76, ts*0.76, gateFill)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="%.0f" text-anchor="middle" dominant-baseline="middle" font-family="monospace">%s</text>`+"\n",
+				cx, cy, ts*0.3, gateLabel(t.Fn))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func gateLabel(g network.Gate) string {
+	switch g {
+	case network.Fanout:
+		return "F"
+	case network.Not:
+		return "INV"
+	case network.Maj:
+		return "MAJ"
+	default:
+		return g.String()
+	}
+}
+
+func short(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCII renders the layout as fixed-width text, one 4-character cell per
+// tile: gates by mnemonic, wires by direction glyphs, crossings in
+// brackets. The output mirrors fiction's gate-level layout printer.
+func ASCII(l *layout.Layout) string {
+	w, h := l.BoundingBox()
+	if w == 0 || h == 0 {
+		return "(empty layout)\n"
+	}
+	cell := func(c layout.Coord) string {
+		g := l.At(c)
+		up := l.At(c.Above())
+		switch {
+		case g == nil && up == nil:
+			return " .  "
+		case g == nil:
+			return " ?  " // floating crossing (illegal, shown loudly)
+		}
+		base := tileGlyph(l, c, g)
+		if up != nil {
+			return "[" + base + "]"
+		}
+		return " " + base + " "
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %dx%d, %s, %s\n", l.Name, w, h, l.Topo, l.Scheme.Name)
+	for y := 0; y < h; y++ {
+		if l.Topo == layout.HexOddRow && y%2 == 1 {
+			b.WriteString("  ")
+		}
+		for x := 0; x < w; x++ {
+			b.WriteString(cell(layout.C(x, y)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func tileGlyph(l *layout.Layout, c layout.Coord, t *layout.Tile) string {
+	switch {
+	case t.Fn == network.PI:
+		return "I" + short(t.Name, 1)
+	case t.Fn == network.PO:
+		return "O" + short(t.Name, 1)
+	case t.IsWire():
+		return wireGlyph(l, c)
+	case t.Fn == network.Fanout:
+		return "F "
+	case t.Fn == network.Not:
+		return "N "
+	case t.Fn == network.Maj:
+		return "M3"
+	case t.Fn == network.And:
+		return "& "
+	case t.Fn == network.Or:
+		return "| "
+	case t.Fn == network.Nand:
+		return "&~"
+	case t.Fn == network.Nor:
+		return "|~"
+	case t.Fn == network.Xor:
+		return "^ "
+	case t.Fn == network.Xnor:
+		return "^~"
+	case t.Fn == network.Const0:
+		return "0 "
+	case t.Fn == network.Const1:
+		return "1 "
+	}
+	return "? "
+}
+
+// wireGlyph picks an arrow for a ground-layer wire based on where its
+// output goes (falling back to its input side).
+func wireGlyph(l *layout.Layout, c layout.Coord) string {
+	outs := l.Outgoing(c)
+	var d layout.Coord
+	switch {
+	case len(outs) > 0:
+		d = layout.Coord{X: outs[0].X - c.X, Y: outs[0].Y - c.Y}
+	case len(l.At(c).Incoming) > 0:
+		in := l.At(c).Incoming[0]
+		d = layout.Coord{X: c.X - in.X, Y: c.Y - in.Y}
+	default:
+		return "~ "
+	}
+	switch {
+	case d.X > 0:
+		return "> "
+	case d.X < 0:
+		return "< "
+	case d.Y > 0:
+		return "v "
+	case d.Y < 0:
+		return "^^"
+	}
+	return "~ "
+}
+
+// Legend describes the ASCII glyphs for CLI help output.
+func Legend() string {
+	rows := []string{
+		" .    empty tile",
+		" Ix   primary input (first letter of its name)",
+		" Ox   primary output",
+		" >  < v  ^^   wire segment and its direction",
+		" &  |  ^  N  M3  F   AND OR XOR INV MAJ FANOUT",
+		" [..] tile with a crossing wire above it",
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n") + "\n"
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+)
+
+func mux21Layout(t *testing.T) *layout.Layout {
+	t.Helper()
+	n := network.New("mux21")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	s := n.AddPI("s")
+	n.AddPO(n.AddOr(n.AddAnd(a, n.AddNot(s)), n.AddAnd(b, s)), "f")
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	l := mux21Layout(t)
+	var b strings.Builder
+	if err := WriteSVG(&b, l, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<title>mux21", "marker-end", "<rect", "<circle", "AND"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One connection line per incoming edge.
+	lines := strings.Count(svg, "<line ")
+	wantLines := 0
+	for _, c := range l.Coords() {
+		wantLines += len(l.At(c).Incoming)
+	}
+	if lines != wantLines {
+		t.Errorf("%d lines for %d connections", lines, wantLines)
+	}
+}
+
+func TestWriteSVGHexagonal(t *testing.T) {
+	cart := mux21Layout(t)
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSVG(&b, hex, SVGOptions{TileSize: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hexagonal") {
+		t.Error("hex title missing")
+	}
+}
+
+func TestWriteSVGSizeLimit(t *testing.T) {
+	l := layout.New("big", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(999, 999), layout.Tile{Fn: network.Buf, Wire: true})
+	if err := WriteSVG(&strings.Builder{}, l, SVGOptions{MaxTiles: 1000}); err == nil {
+		t.Error("size limit not enforced")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(3, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(2, 0)}})
+	art := ASCII(l)
+	for _, want := range []string{"Ia", "> ", "N ", "Of", "4x1"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("ASCII missing %q in:\n%s", want, art)
+		}
+	}
+}
+
+func TestASCIICrossingBrackets(t *testing.T) {
+	l := layout.New("x", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.Buf, Wire: true})
+	l.MustPlace(layout.C(0, 0).Above(), layout.Tile{Fn: network.Buf, Wire: true})
+	art := ASCII(l)
+	if !strings.Contains(art, "[") || !strings.Contains(art, "]") {
+		t.Errorf("crossing not bracketed:\n%s", art)
+	}
+}
+
+func TestASCIIEmptyLayout(t *testing.T) {
+	l := layout.New("e", layout.Cartesian, clocking.TwoDDWave)
+	if got := ASCII(l); !strings.Contains(got, "empty") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestASCIIFullLayout(t *testing.T) {
+	art := ASCII(mux21Layout(t))
+	if strings.Contains(art, "? ") {
+		t.Errorf("unknown glyph in real layout:\n%s", art)
+	}
+	// Every PI appears.
+	for _, want := range []string{"Ia", "Ib", "Is", "Of"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("missing %q:\n%s", want, art)
+		}
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend(), "FANOUT") {
+		t.Error("legend incomplete")
+	}
+}

@@ -1,0 +1,320 @@
+// Package route finds wire paths on clocked FCN layouts.
+//
+// Legal signal movement is dictated entirely by the clocking: a signal on
+// a tile in zone c may only step to an adjacent grid position in zone
+// (c+1) mod n. The router searches this directed graph with A*,
+// supporting two-layer wire crossings (a wire may run on the crossing
+// layer above an existing ground-layer wire).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// Options tunes a routing query.
+type Options struct {
+	// MaxX and MaxY bound the search area (inclusive). Zero values leave
+	// the respective axis bounded by the current layout bounding box plus
+	// a margin.
+	MaxX, MaxY int
+	// AllowCrossings permits segments on the crossing layer above
+	// ground-layer wires.
+	AllowCrossings bool
+	// MaxExpansions aborts hopeless searches; 0 means DefaultMaxExpansions.
+	MaxExpansions int
+}
+
+// DefaultMaxExpansions bounds the A* search effort per query.
+const DefaultMaxExpansions = 200000
+
+// ErrNoRoute is wrapped by Route when no legal wire path exists.
+var ErrNoRoute = fmt.Errorf("route: no legal path")
+
+type pqItem struct {
+	coord layout.Coord
+	cost  int
+	est   int
+	index int
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].est != p[j].est {
+		return p[i].est < p[j].est
+	}
+	// Deterministic tie-breaking keeps layouts reproducible.
+	a, b := p[i].coord, p[j].coord
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Z < b.Z
+}
+func (p pq) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+	p[i].index = i
+	p[j].index = j
+}
+func (p *pq) Push(x interface{}) {
+	it := x.(*pqItem)
+	it.index = len(*p)
+	*p = append(*p, it)
+}
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return it
+}
+
+// distanceLB is an admissible lower bound on the number of hops between
+// two grid positions.
+func distanceLB(t layout.Topology, a, b layout.Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	switch t {
+	case layout.Cartesian:
+		return dx + dy
+	case layout.HexOddRow:
+		// On a hex grid a vertical step can also advance horizontally, so
+		// max(dx, dy) underestimates the true hex distance.
+		if dx > dy {
+			return dx
+		}
+		return dy
+	}
+	return dx + dy
+}
+
+// Route finds the cheapest legal wire path from the placed tile at src to
+// the placed tile at dst. The returned slice lists the intermediate wire
+// positions (possibly empty when the tiles are directly adjacent in
+// consecutive zones); src and dst are not included.
+//
+// Costs: each wire tile costs 10, crossing-layer tiles cost 12, so the
+// router prefers short, crossing-free paths deterministically.
+func Route(l *layout.Layout, src, dst layout.Coord, opts Options) ([]layout.Coord, error) {
+	if l.At(src) == nil {
+		return nil, fmt.Errorf("route: source %v is empty", src)
+	}
+	if l.At(dst) == nil {
+		return nil, fmt.Errorf("route: destination %v is empty", dst)
+	}
+	maxX, maxY := opts.MaxX, opts.MaxY
+	if maxX == 0 || maxY == 0 {
+		w, h := l.BoundingBox()
+		if maxX == 0 {
+			maxX = w + 4
+		}
+		if maxY == 0 {
+			maxY = h + 4
+		}
+	}
+	maxExp := opts.MaxExpansions
+	if maxExp == 0 {
+		maxExp = DefaultMaxExpansions
+	}
+
+	usable := func(c layout.Coord) bool {
+		if c.X < 0 || c.Y < 0 || c.X > maxX || c.Y > maxY {
+			return false
+		}
+		if !l.IsEmpty(c) {
+			return false
+		}
+		if c.Z == 1 {
+			if !opts.AllowCrossings {
+				return false
+			}
+			ground := l.At(c.Ground())
+			if ground == nil || !ground.IsWire() {
+				return false
+			}
+		}
+		return true
+	}
+
+	// A* from src: states are empty coordinates reachable by legal hops.
+	type state struct {
+		prev layout.Coord
+		cost int
+		seen bool
+	}
+	best := make(map[layout.Coord]state)
+	open := &pq{}
+	heap.Init(open)
+
+	push := func(c layout.Coord, prev layout.Coord, cost int) {
+		if s, ok := best[c]; ok && s.cost <= cost {
+			return
+		}
+		best[c] = state{prev: prev, cost: cost}
+		heap.Push(open, &pqItem{coord: c, cost: cost, est: cost + 10*distanceLB(l.Topo, c, dst)})
+	}
+
+	// Seed with the first hops out of src.
+	for _, c := range l.OutgoingNeighbors(src) {
+		if c.SameXY(dst) && c.Z == dst.Z {
+			// Directly adjacent: empty path.
+			return nil, nil
+		}
+		if usable(c) {
+			cost := 10
+			if c.Z == 1 {
+				cost = 12
+			}
+			push(c, src, cost)
+		}
+	}
+
+	expansions := 0
+	for open.Len() > 0 {
+		it := heap.Pop(open).(*pqItem)
+		cur := it.coord
+		s := best[cur]
+		if s.seen || s.cost < it.cost {
+			continue
+		}
+		s.seen = true
+		best[cur] = s
+		expansions++
+		if expansions > maxExp {
+			break
+		}
+		for _, nxt := range l.OutgoingNeighbors(cur) {
+			if nxt.SameXY(dst) && nxt.Z == dst.Z {
+				// Reconstruct: cur is the last intermediate tile.
+				var path []layout.Coord
+				for c := cur; c != src; c = best[c].prev {
+					path = append(path, c)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			if !usable(nxt) {
+				continue
+			}
+			step := 10
+			if nxt.Z == 1 {
+				step = 12
+			}
+			push(nxt, cur, s.cost+step)
+		}
+	}
+	return nil, fmt.Errorf("%w from %v to %v (zones %d->%d, %d expansions)",
+		ErrNoRoute, src, dst, l.Zone(src), l.Zone(dst), expansions)
+}
+
+// PlaceWires materializes a routed path as wire tiles and connects the
+// chain src -> path... -> dst. The destination's Incoming gains one entry.
+func PlaceWires(l *layout.Layout, src, dst layout.Coord, path []layout.Coord) error {
+	prev := src
+	for _, c := range path {
+		if err := l.Place(c, layout.Tile{
+			Fn:       network.Buf,
+			Wire:     true,
+			Node:     network.Invalid,
+			Incoming: []layout.Coord{prev},
+		}); err != nil {
+			return err
+		}
+		prev = c
+	}
+	return l.Connect(prev, dst)
+}
+
+// Connect routes from src to dst and immediately places the wires.
+func Connect(l *layout.Layout, src, dst layout.Coord, opts Options) error {
+	path, err := Route(l, src, dst, opts)
+	if err != nil {
+		return err
+	}
+	return PlaceWires(l, src, dst, path)
+}
+
+// RemoveWirePath removes the wire chain feeding dst from src: it walks
+// backwards from dst's incoming connection, deleting wire tiles that
+// belong exclusively to this connection. Gate tiles and wires with other
+// consumers are left in place.
+func RemoveWirePath(l *layout.Layout, src, dst layout.Coord) error {
+	t := l.At(dst)
+	if t == nil {
+		return fmt.Errorf("route: remove from empty destination %v", dst)
+	}
+	// Find which incoming chain of dst originates (transitively) at src.
+	for _, in := range t.Incoming {
+		chain, ok := traceChain(l, in, src)
+		if !ok {
+			continue
+		}
+		if err := l.Disconnect(in, dst); err != nil {
+			return err
+		}
+		// Delete from the dst side backwards; chain[0] is `in`.
+		for _, w := range chain {
+			if len(l.Outgoing(w)) > 0 {
+				break // shared by another consumer; stop deleting
+			}
+			wt := l.At(w)
+			srcs := append([]layout.Coord(nil), wt.Incoming...)
+			for _, s := range srcs {
+				if err := l.Disconnect(s, w); err != nil {
+					return err
+				}
+			}
+			if err := l.Clear(w); err != nil {
+				return err
+			}
+			// A foreign crossing-layer wire above a removed ground wire
+			// would be left floating; lower it onto the freed tile.
+			if w.Z == 0 {
+				if up := l.At(w.Above()); up != nil {
+					if err := l.MoveTile(w.Above(), w); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("route: no wire chain from %v to %v", src, dst)
+}
+
+// traceChain follows wire tiles backwards from w until reaching src.
+// It returns the wire tiles in walk order and whether src was reached.
+func traceChain(l *layout.Layout, w, src layout.Coord) ([]layout.Coord, bool) {
+	var chain []layout.Coord
+	cur := w
+	for {
+		if cur == src {
+			return chain, true
+		}
+		t := l.At(cur)
+		if t == nil || !t.IsWire() {
+			return nil, false
+		}
+		chain = append(chain, cur)
+		if len(t.Incoming) != 1 {
+			return nil, false
+		}
+		cur = t.Incoming[0]
+	}
+}

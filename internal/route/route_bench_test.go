@@ -1,0 +1,35 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+func BenchmarkRouteAcross32x32(b *testing.B) {
+	l := layout.New("b", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(31, 31), layout.Tile{Fn: network.PO, Name: "f"})
+	opts := Options{MaxX: 31, MaxY: 31}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(l, layout.C(0, 0), layout.C(31, 31), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteUSEFeedback(b *testing.B) {
+	l := layout.New("b", layout.Cartesian, clocking.USE)
+	l.MustPlace(layout.C(20, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	opts := Options{MaxX: 24, MaxY: 24}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(l, layout.C(20, 0), layout.C(0, 0), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+func wire(in ...layout.Coord) layout.Tile {
+	return layout.Tile{Fn: network.Buf, Wire: true, Node: network.Invalid, Incoming: in}
+}
+
+func TestRouteAdjacent(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, layout.C(0, 0), layout.C(1, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 0 {
+		t.Errorf("adjacent route has %d intermediate tiles, want 0", len(path))
+	}
+}
+
+func TestRouteStraightLine(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(4, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, layout.C(0, 0), layout.C(4, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want 3 tiles", path)
+	}
+	// 2DDWave: zones must increment along the path.
+	prev := l.Zone(layout.C(0, 0))
+	for _, c := range path {
+		z := l.Zone(c)
+		if z != (prev+1)%4 {
+			t.Errorf("zone jump %d -> %d at %v", prev, z, c)
+		}
+		prev = z
+	}
+}
+
+func TestRouteAroundObstacle(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.And}) // obstacle on the diagonal
+	l.MustPlace(layout.C(2, 2), layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, layout.C(0, 0), layout.C(2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range path {
+		if c.SameXY(layout.C(1, 1)) {
+			t.Fatal("path goes through occupied tile")
+		}
+	}
+	if len(path) != 3 {
+		t.Errorf("path = %v, want 3 intermediate tiles", path)
+	}
+}
+
+func TestRouteNoBackwards2DDWave(t *testing.T) {
+	// Under 2DDWave a westward connection is impossible.
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(4, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	_, err := Route(l, layout.C(4, 0), layout.C(0, 0), Options{MaxX: 10, MaxY: 10})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRouteBackwardsUSEFeedback(t *testing.T) {
+	// USE admits in-plane feedback, so a westward connection must route.
+	l := layout.New("t", layout.Cartesian, clocking.USE)
+	l.MustPlace(layout.C(4, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, layout.C(4, 0), layout.C(0, 0), Options{MaxX: 12, MaxY: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Fatal("expected a non-trivial feedback path")
+	}
+}
+
+func TestRouteCrossing(t *testing.T) {
+	// A horizontal wire blocks the ground layer; with crossings enabled
+	// the router must go over it.
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	// Vertical barrier of wires at x=2 for y=0..4.
+	l.MustPlace(layout.C(2, 0), wire())
+	for y := 1; y <= 4; y++ {
+		l.MustPlace(layout.C(2, y), wire(layout.C(2, y-1)))
+	}
+	l.MustPlace(layout.C(0, 2), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(4, 2), layout.Tile{Fn: network.PO, Name: "f"})
+
+	if _, err := Route(l, layout.C(0, 2), layout.C(4, 2), Options{MaxX: 4, MaxY: 4}); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute without crossings (bounded)", err)
+	}
+	path, err := Route(l, layout.C(0, 2), layout.C(4, 2), Options{MaxX: 4, MaxY: 4, AllowCrossings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasCrossing := false
+	for _, c := range path {
+		if c.Z == 1 {
+			hasCrossing = true
+			if g := l.At(c.Ground()); g == nil || !g.IsWire() {
+				t.Error("crossing tile not above a wire")
+			}
+		}
+	}
+	if !hasCrossing {
+		t.Errorf("expected a crossing in %v", path)
+	}
+}
+
+func TestRoutePrefersGroundLayer(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(3, 0), layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, layout.C(0, 0), layout.C(3, 0), Options{AllowCrossings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range path {
+		if c.Z != 0 {
+			t.Errorf("unnecessary crossing at %v", c)
+		}
+	}
+}
+
+func TestPlaceWiresAndRemove(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	src, dst := layout.C(0, 0), layout.C(4, 0)
+	l.MustPlace(src, layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(dst, layout.Tile{Fn: network.PO, Name: "f"})
+	if err := Connect(l, src, dst, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NumTiles(); got != 5 {
+		t.Fatalf("tiles after connect = %d, want 5", got)
+	}
+	if len(l.At(dst).Incoming) != 1 {
+		t.Fatal("destination not connected")
+	}
+	if err := RemoveWirePath(l, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NumTiles(); got != 2 {
+		t.Fatalf("tiles after removal = %d, want 2", got)
+	}
+	if len(l.At(dst).Incoming) != 0 {
+		t.Error("destination still connected")
+	}
+}
+
+func TestRemoveWirePathSharedFanout(t *testing.T) {
+	// src feeds a fanout whose wire chain splits; removing one consumer's
+	// chain must not delete shared segments.
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	src := layout.C(0, 0)
+	l.MustPlace(src, layout.Tile{Fn: network.PI, Name: "a"})
+	f := layout.C(1, 0)
+	l.MustPlace(f, layout.Tile{Fn: network.Fanout, Incoming: []layout.Coord{src}})
+	d1, d2 := layout.C(3, 0), layout.C(1, 2)
+	l.MustPlace(d1, layout.Tile{Fn: network.PO, Name: "o1"})
+	l.MustPlace(d2, layout.Tile{Fn: network.PO, Name: "o2"})
+	if err := Connect(l, f, d1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Connect(l, f, d2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveWirePath(l, f, d1); err != nil {
+		t.Fatal(err)
+	}
+	// The fanout tile and the chain to d2 must survive.
+	if l.At(f) == nil {
+		t.Fatal("fanout tile deleted")
+	}
+	if len(l.At(d2).Incoming) != 1 {
+		t.Fatal("other consumer lost its connection")
+	}
+}
+
+func TestRouteHexRow(t *testing.T) {
+	l := layout.New("t", layout.HexOddRow, clocking.Row)
+	src, dst := layout.C(2, 0), layout.C(2, 4)
+	l.MustPlace(src, layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(dst, layout.Tile{Fn: network.PO, Name: "f"})
+	path, err := Route(l, src, dst, Options{MaxX: 8, MaxY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Errorf("hex path length = %d, want 3", len(path))
+	}
+	prevY := 0
+	for _, c := range path {
+		if c.Y != prevY+1 {
+			t.Errorf("ROW path must descend one row per hop, got %v", path)
+		}
+		prevY = c.Y
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	build := func() []layout.Coord {
+		l := layout.New("t", layout.Cartesian, clocking.USE)
+		l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+		l.MustPlace(layout.C(5, 5), layout.Tile{Fn: network.PO, Name: "f"})
+		p, err := Route(l, layout.C(0, 0), layout.C(5, 5), Options{MaxX: 10, MaxY: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := build(), build()
+	if len(p1) != len(p2) {
+		t.Fatal("route not deterministic in length")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("route not deterministic")
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	l := layout.New("t", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	if _, err := Route(l, layout.C(0, 0), layout.C(3, 3), Options{}); err == nil {
+		t.Error("route to empty tile accepted")
+	}
+	if _, err := Route(l, layout.C(2, 2), layout.C(0, 0), Options{}); err == nil {
+		t.Error("route from empty tile accepted")
+	}
+}

@@ -1,0 +1,461 @@
+// Package server provides the MNT Bench web interface (Figure 1 of the
+// paper): a filterable catalogue of generated FCN layouts with downloads
+// of gate-level .fgl files, Verilog network descriptions, and ZIP
+// bundles.
+package server
+
+import (
+	"archive/zip"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/core"
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/render"
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+// Server serves one generated layout database.
+type Server struct {
+	db      *core.Database
+	mux     *http.ServeMux
+	entries map[string]*core.Entry // id -> entry
+}
+
+// New builds the HTTP handler around a database.
+func New(db *core.Database) *Server {
+	s := &Server{
+		db:      db,
+		mux:     http.NewServeMux(),
+		entries: make(map[string]*core.Entry),
+	}
+	for _, e := range db.Entries {
+		s.entries[entryID(e)] = e
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/api/filters", s.handleFilters)
+	s.mux.HandleFunc("/download/", s.handleDownload)
+	s.mux.HandleFunc("/download/bundle.zip", s.handleBundle)
+	s.mux.HandleFunc("/preview/", s.handlePreview)
+	s.mux.HandleFunc("/api/submit", s.handleSubmit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func entryID(e *core.Entry) string {
+	return fmt.Sprintf("%s__%s__%s",
+		strings.ToLower(e.Benchmark.Set), strings.ToLower(e.Benchmark.Name), e.Flow.ID())
+}
+
+// entryJSON is the wire representation of one catalogue row.
+type entryJSON struct {
+	ID        string  `json:"id"`
+	Set       string  `json:"set"`
+	Name      string  `json:"name"`
+	Inputs    int     `json:"inputs"`
+	Outputs   int     `json:"outputs"`
+	Nodes     int     `json:"nodes"`
+	Library   string  `json:"library"`
+	Scheme    string  `json:"clocking"`
+	Algorithm string  `json:"algorithm"`
+	InOrd     bool    `json:"input_ordering"`
+	PLO       bool    `json:"post_layout_optimization"`
+	Hex       bool    `json:"hexagonalization"`
+	Width     int     `json:"width"`
+	Height    int     `json:"height"`
+	Area      int     `json:"area"`
+	Crossings int     `json:"crossings"`
+	RuntimeS  float64 `json:"runtime_seconds"`
+	Verified  bool    `json:"verified"`
+	FGL       string  `json:"fgl_url"`
+	Verilog   string  `json:"verilog_url"`
+	Preview   string  `json:"preview_url"`
+}
+
+func toJSON(e *core.Entry) entryJSON {
+	id := entryID(e)
+	return entryJSON{
+		ID:        id,
+		Set:       e.Benchmark.Set,
+		Name:      e.Benchmark.Name,
+		Inputs:    e.Benchmark.PubIn,
+		Outputs:   e.Benchmark.PubOut,
+		Nodes:     e.Benchmark.PubNodes,
+		Library:   e.Flow.Library.Name,
+		Scheme:    e.Flow.Scheme.Name,
+		Algorithm: string(e.Flow.Algorithm),
+		InOrd:     e.Flow.InputOrder,
+		PLO:       e.Flow.PostLayout,
+		Hex:       e.Flow.Hexagonalize,
+		Width:     e.Width,
+		Height:    e.Height,
+		Area:      e.Area,
+		Crossings: e.Crossings,
+		RuntimeS:  e.Runtime.Seconds(),
+		Verified:  e.Verified,
+		FGL:       "/download/" + id + ".fgl",
+		Verilog:   "/download/" + id + ".v",
+		Preview:   "/preview/" + id + ".svg",
+	}
+}
+
+// parseFilter maps the Figure 1 selection panes onto a core.Filter.
+func parseFilter(r *http.Request) core.Filter {
+	q := r.URL.Query()
+	f := core.Filter{
+		Set:       q.Get("set"),
+		Name:      q.Get("name"),
+		Library:   q.Get("library"),
+		Scheme:    q.Get("clocking"),
+		Algorithm: q.Get("algorithm"),
+	}
+	if v := q.Get("inord"); v != "" {
+		b := v == "1" || strings.EqualFold(v, "true")
+		f.InOrd = &b
+	}
+	if v := q.Get("plo"); v != "" {
+		b := v == "1" || strings.EqualFold(v, "true")
+		f.PLO = &b
+	}
+	return f
+}
+
+func (s *Server) selected(r *http.Request) []*core.Entry {
+	sel := s.db.Select(parseFilter(r))
+	if v := r.URL.Query().Get("best"); v == "1" || strings.EqualFold(v, "true") {
+		sel = bestOnly(sel)
+	}
+	return sel
+}
+
+// bestOnly keeps the smallest-area entry per (set, name, library).
+func bestOnly(entries []*core.Entry) []*core.Entry {
+	type key struct{ set, name, lib string }
+	best := make(map[key]*core.Entry)
+	var order []key
+	for _, e := range entries {
+		k := key{e.Benchmark.Set, e.Benchmark.Name, e.Flow.Library.Name}
+		if cur, ok := best[k]; !ok || e.Area < cur.Area {
+			if !ok {
+				order = append(order, k)
+			}
+			best[k] = e
+		}
+	}
+	out := make([]*core.Entry, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Area < out[j].Area })
+	return out
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	sel := s.selected(r)
+	rows := make([]entryJSON, 0, len(sel))
+	for _, e := range sel {
+		rows = append(rows, toJSON(e))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(rows); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleFilters(w http.ResponseWriter, r *http.Request) {
+	opts := struct {
+		Sets       []string `json:"sets"`
+		Libraries  []string `json:"libraries"`
+		Clockings  []string `json:"clockings"`
+		Algorithms []string `json:"algorithms"`
+		Levels     []string `json:"abstraction_levels"`
+		Optim      []string `json:"optimizations"`
+	}{
+		Sets:       bench.Suites(),
+		Levels:     []string{"network (.v)", "gate-level (.fgl)"},
+		Algorithms: []string{string(core.AlgoExact), string(core.AlgoOrtho), string(core.AlgoNanoPlaceR)},
+		Optim:      []string{"Post-Layout Optimization", "Input Ordering"},
+	}
+	for _, l := range gatelib.All() {
+		opts.Libraries = append(opts.Libraries, l.Name)
+	}
+	for _, c := range clocking.All() {
+		opts.Clockings = append(opts.Clockings, c.Name)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(opts); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/download/")
+	if path == "bundle.zip" {
+		s.handleBundle(w, r)
+		return
+	}
+	var id, format string
+	switch {
+	case strings.HasSuffix(path, ".fgl"):
+		id, format = strings.TrimSuffix(path, ".fgl"), "fgl"
+	case strings.HasSuffix(path, ".v"):
+		id, format = strings.TrimSuffix(path, ".v"), "v"
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	e, ok := s.entries[id]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := renderEntry(e, format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", path))
+	fmt.Fprint(w, body)
+}
+
+func renderEntry(e *core.Entry, format string) (string, error) {
+	switch format {
+	case "fgl":
+		return fgl.WriteString(e.Layout)
+	case "v":
+		return verilog.WriteString(e.Benchmark.Build())
+	}
+	return "", fmt.Errorf("unknown format %q", format)
+}
+
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	sel := s.selected(r)
+	if len(sel) == 0 {
+		http.Error(w, "no benchmarks match the filter", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition", `attachment; filename="mntbench.zip"`)
+	zw := zip.NewWriter(w)
+	defer zw.Close()
+	seenVerilog := make(map[string]bool)
+	for _, e := range sel {
+		id := entryID(e)
+		f, err := zw.Create(id + ".fgl")
+		if err != nil {
+			return
+		}
+		body, err := renderEntry(e, "fgl")
+		if err != nil {
+			return
+		}
+		fmt.Fprint(f, body)
+		vname := strings.ToLower(e.Benchmark.Set) + "__" + strings.ToLower(e.Benchmark.Name) + ".v"
+		if !seenVerilog[vname] {
+			seenVerilog[vname] = true
+			vf, err := zw.Create(vname)
+			if err != nil {
+				return
+			}
+			vbody, err := renderEntry(e, "v")
+			if err != nil {
+				return
+			}
+			fmt.Fprint(vf, vbody)
+		}
+	}
+}
+
+// handleSubmit implements the paper's community-submission loop
+// ("improved layouts can be sent ... for inclusion"): a POSTed .fgl
+// layout is design-rule checked and equivalence-checked against the
+// named benchmark function; valid submissions join the catalogue and the
+// response reports whether they set a new area record.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a .fgl document", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	set, name := q.Get("set"), q.Get("name")
+	bm, err := bench.ByName(set, name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	l, err := fgl.Read(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lib, err := gatelib.ByName(l.Library)
+	if err != nil {
+		http.Error(w, "layout must carry a library tag: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := lib.CheckLayout(l); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := verify.CheckDesignRules(l).Error(); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	eq, err := verify.Equivalent(l, bm.Build())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if !eq {
+		http.Error(w, "layout does not implement "+set+"/"+name, http.StatusUnprocessableEntity)
+		return
+	}
+	prevBest := s.db.Best(bm.Set, bm.Name, lib)
+	e := &core.Entry{
+		Benchmark: bm,
+		Flow: core.Flow{Library: lib, Scheme: l.Scheme,
+			Algorithm: core.Algorithm("submission")},
+		Layout:   l,
+		Verified: true,
+	}
+	st := l.ComputeStats()
+	e.Width, e.Height, e.Area = st.Width, st.Height, st.Area
+	e.Gates, e.Wires, e.Crossings = st.Gates, st.Wires, st.Crossings
+	s.db.Entries = append(s.db.Entries, e)
+	s.entries[entryID(e)] = e
+
+	resp := struct {
+		ID       string `json:"id"`
+		Area     int    `json:"area"`
+		NewBest  bool   `json:"new_best"`
+		PrevBest int    `json:"previous_best_area,omitempty"`
+	}{ID: entryID(e), Area: e.Area}
+	if prevBest != nil {
+		resp.PrevBest = prevBest.Area
+		resp.NewBest = e.Area < prevBest.Area
+	} else {
+		resp.NewBest = true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handlePreview renders a layout as an inline SVG preview.
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/preview/")
+	id := strings.TrimSuffix(path, ".svg")
+	e, ok := s.entries[id]
+	if !ok || e.Layout == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := render.WriteSVG(w, e.Layout, render.SVGOptions{TileSize: 18, MaxTiles: 100000}); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	}
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html>
+<head><title>MNT Bench</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+fieldset { display: inline-block; vertical-align: top; margin-right: 1em; }
+table { border-collapse: collapse; margin-top: 1.5em; }
+td, th { border: 1px solid #999; padding: 2px 8px; font-size: 90%; }
+</style>
+</head>
+<body>
+<h1>Munich Nanotech Benchmark Library (MNT Bench)</h1>
+<p>Select the desired benchmark functions and apply filters — gate-level
+layouts (.fgl) and network descriptions (.v) are available per row or as
+a ZIP bundle.</p>
+<form method="GET" action="/">
+<fieldset><legend>Abstraction Level</legend>
+  <label><input type="checkbox" name="level" value="network"> Network (.v)</label><br>
+  <label><input type="checkbox" name="level" value="gate"> Gate-level (.fgl)</label>
+</fieldset>
+<fieldset><legend>Gate Library</legend>
+  <select name="library"><option value="">any</option>
+  {{range .Libraries}}<option{{if eq . $.Sel.Library}} selected{{end}}>{{.}}</option>{{end}}
+  </select>
+</fieldset>
+<fieldset><legend>Clocking Scheme</legend>
+  <select name="clocking"><option value="">any</option>
+  {{range .Clockings}}<option{{if eq . $.Sel.Scheme}} selected{{end}}>{{.}}</option>{{end}}
+  </select>
+</fieldset>
+<fieldset><legend>Physical Design Algorithm</legend>
+  <select name="algorithm"><option value="">any</option>
+  {{range .Algorithms}}<option{{if eq . $.Sel.Algorithm}} selected{{end}}>{{.}}</option>{{end}}
+  </select>
+</fieldset>
+<fieldset><legend>Optimization Algorithm</legend>
+  <label><input type="checkbox" name="inord" value="1"> Input Ordering</label><br>
+  <label><input type="checkbox" name="plo" value="1"> Post-Layout Optimization</label><br>
+  <label><input type="checkbox" name="best" value="1"> Most optimal only</label>
+</fieldset>
+<p><button type="submit">Apply filters</button>
+<a href="/download/bundle.zip?{{.Query}}">Download ZIP</a></p>
+</form>
+<table>
+<tr><th>Set</th><th>Name</th><th>I/O</th><th>Library</th><th>Clocking</th>
+<th>Algorithm</th><th>w×h</th><th>A</th><th>Crossings</th><th>Files</th></tr>
+{{range .Rows}}
+<tr><td>{{.Set}}</td><td>{{.Name}}</td><td>{{.Inputs}}/{{.Outputs}}</td>
+<td>{{.Library}}</td><td>{{.Scheme}}</td><td>{{.Algorithm}}{{if .InOrd}}, InOrd{{end}}{{if .Hex}}, 45°{{end}}{{if .PLO}}, PLO{{end}}</td>
+<td>{{.Width}}×{{.Height}}</td><td>{{.Area}}</td><td>{{.Crossings}}</td>
+<td><a href="{{.FGL}}">.fgl</a> <a href="{{.Verilog}}">.v</a> <a href="{{.Preview}}">svg</a></td></tr>
+{{end}}
+</table>
+<p>{{len .Rows}} layouts.</p>
+</body></html>`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	sel := s.selected(r)
+	rows := make([]entryJSON, 0, len(sel))
+	for _, e := range sel {
+		rows = append(rows, toJSON(e))
+	}
+	f := parseFilter(r)
+	data := struct {
+		Libraries, Clockings, Algorithms []string
+		Rows                             []entryJSON
+		Sel                              core.Filter
+		Query                            template.URL
+	}{
+		Algorithms: []string{string(core.AlgoExact), string(core.AlgoOrtho), string(core.AlgoNanoPlaceR)},
+		Rows:       rows,
+		Sel:        f,
+		Query:      template.URL(r.URL.RawQuery),
+	}
+	for _, l := range gatelib.All() {
+		data.Libraries = append(data.Libraries, l.Name)
+	}
+	for _, c := range clocking.All() {
+		data.Clockings = append(data.Clockings, c.Name)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/core"
+	"repro/internal/fgl"
+	"repro/internal/gatelib"
+	"repro/internal/verilog"
+)
+
+// testDB builds a tiny two-entry database (one per library).
+func testDB(t *testing.T) *core.Database {
+	t.Helper()
+	limits := core.Limits{ExactTimeout: time.Second, NanoTimeout: time.Second}
+	b, err := bench.ByName("Trindade16", "mux21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.RunFlow(b, core.Flow{Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: core.AlgoOrtho, Hexagonalize: true}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho, InputOrder: true, PostLayout: true}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Database{Entries: []*core.Entry{e1, e2, e3}}
+}
+
+func get(t *testing.T, srv *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := New(testDB(t))
+	rec := get(t, srv, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"MNT Bench", "Gate Library", "Clocking Scheme", "Physical Design Algorithm", "Optimization Algorithm", "mux21"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestBenchmarksAPIFilters(t *testing.T) {
+	srv := New(testDB(t))
+
+	var all []map[string]interface{}
+	rec := get(t, srv, "/api/benchmarks")
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("unfiltered rows = %d", len(all))
+	}
+
+	rec = get(t, srv, "/api/benchmarks?library=Bestagon")
+	var best []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &best); err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 1 || best[0]["library"] != "Bestagon" {
+		t.Fatalf("library filter: %v", best)
+	}
+
+	rec = get(t, srv, "/api/benchmarks?plo=1")
+	var plo []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &plo); err != nil {
+		t.Fatal(err)
+	}
+	if len(plo) != 1 || plo[0]["post_layout_optimization"] != true {
+		t.Fatalf("plo filter: %v", plo)
+	}
+
+	rec = get(t, srv, "/api/benchmarks?library=QCA+ONE&best=1")
+	var bst []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &bst); err != nil {
+		t.Fatal(err)
+	}
+	if len(bst) != 1 {
+		t.Fatalf("best filter: %d rows", len(bst))
+	}
+}
+
+func TestFiltersAPI(t *testing.T) {
+	srv := New(testDB(t))
+	rec := get(t, srv, "/api/filters")
+	var opts map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(opts["libraries"]) != 2 || len(opts["sets"]) != 4 {
+		t.Fatalf("filters: %v", opts)
+	}
+}
+
+func TestDownloadFGL(t *testing.T) {
+	srv := New(testDB(t))
+	var rows []struct {
+		FGL     string `json:"fgl_url"`
+		Verilog string `json:"verilog_url"`
+	}
+	rec := get(t, srv, "/api/benchmarks?library=QCA+ONE")
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	rec = get(t, srv, rows[0].FGL)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fgl download status %d", rec.Code)
+	}
+	if _, err := fgl.ReadString(rec.Body.String()); err != nil {
+		t.Fatalf("served .fgl does not parse: %v", err)
+	}
+	rec = get(t, srv, rows[0].Verilog)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("verilog download status %d", rec.Code)
+	}
+	if _, err := verilog.ParseString(rec.Body.String()); err != nil {
+		t.Fatalf("served .v does not parse: %v", err)
+	}
+}
+
+func TestDownloadNotFound(t *testing.T) {
+	srv := New(testDB(t))
+	if rec := get(t, srv, "/download/nope.fgl"); rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+	if rec := get(t, srv, "/download/nope.xyz"); rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestBundleZip(t *testing.T) {
+	srv := New(testDB(t))
+	rec := get(t, srv, "/download/bundle.zip?library=QCA+ONE")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(rec.Body.Bytes()), int64(rec.Body.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fglCount, vCount int
+	for _, f := range zr.File {
+		switch {
+		case strings.HasSuffix(f.Name, ".fgl"):
+			fglCount++
+			rc, err := f.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(rc)
+			rc.Close()
+			if _, err := fgl.ReadString(string(data)); err != nil {
+				t.Errorf("bundled %s invalid: %v", f.Name, err)
+			}
+		case strings.HasSuffix(f.Name, ".v"):
+			vCount++
+		}
+	}
+	if fglCount != 2 || vCount != 1 {
+		t.Errorf("bundle has %d fgl / %d v files, want 2/1", fglCount, vCount)
+	}
+}
+
+func TestBundleEmptyFilter(t *testing.T) {
+	srv := New(testDB(t))
+	if rec := get(t, srv, "/download/bundle.zip?set=EPFL"); rec.Code != http.StatusNotFound {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestPreviewSVG(t *testing.T) {
+	srv := New(testDB(t))
+	var rows []struct {
+		Preview string `json:"preview_url"`
+	}
+	rec := get(t, srv, "/api/benchmarks?library=QCA+ONE")
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || rows[0].Preview == "" {
+		t.Fatal("no preview URL")
+	}
+	rec = get(t, srv, rows[0].Preview)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("preview status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "<svg") {
+		t.Error("not an SVG")
+	}
+	if rec := get(t, srv, "/preview/nope.svg"); rec.Code != http.StatusNotFound {
+		t.Errorf("missing preview status %d", rec.Code)
+	}
+}
+
+func TestSubmitLayout(t *testing.T) {
+	srv := New(testDB(t))
+	// Build a better mux21 layout (exact-style small one via PLO).
+	b, err := bench.ByName("Trindade16", "mux21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := core.Limits{ExactTimeout: time.Second, NanoTimeout: time.Second, PLOTimeout: 5 * time.Second}
+	e, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave,
+		Algorithm: core.AlgoOrtho, InputOrder: true, PostLayout: true}, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := fgl.WriteString(e.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := post("/api/submit?set=Trindade16&name=mux21", text)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		ID       string `json:"id"`
+		Area     int    `json:"area"`
+		NewBest  bool   `json:"new_best"`
+		PrevBest int    `json:"previous_best_area"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Area != e.Area {
+		t.Errorf("area %d, want %d", resp.Area, e.Area)
+	}
+	if resp.PrevBest == 0 {
+		t.Error("previous best area missing")
+	}
+	if resp.NewBest != (resp.Area < resp.PrevBest) {
+		t.Errorf("new_best=%v inconsistent with %d vs %d", resp.NewBest, resp.Area, resp.PrevBest)
+	}
+	// The submission must now be downloadable.
+	if rec := get(t, srv, "/download/"+resp.ID+".fgl"); rec.Code != http.StatusOK {
+		t.Errorf("submitted layout not downloadable: %d", rec.Code)
+	}
+
+	// Wrong-function submission is rejected.
+	if rec := post("/api/submit?set=Trindade16&name=xor2", text); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("wrong-function submission status %d", rec.Code)
+	}
+	// Unknown benchmark.
+	if rec := post("/api/submit?set=Nope&name=x", text); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown benchmark status %d", rec.Code)
+	}
+	// Junk body.
+	if rec := post("/api/submit?set=Trindade16&name=mux21", "garbage"); rec.Code != http.StatusBadRequest {
+		t.Errorf("junk submission status %d", rec.Code)
+	}
+	// GET is not allowed.
+	if rec := get(t, srv, "/api/submit?set=Trindade16&name=mux21"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", rec.Code)
+	}
+}

@@ -1,0 +1,290 @@
+// Package sidbsim computes charge-state ground states of silicon
+// dangling bond (SiDB) arrangements — the physical layer beneath the
+// Bestagon gate library — with the electrostatic model used by SiQAD and
+// fiction's exact ground-state search (ExGS):
+//
+//   - every dangling bond holds charge 0 or -1 (DB- / DB0),
+//   - charges interact through a screened Coulomb potential
+//     V(r) = k/r · exp(-r/λ_tf),
+//   - a configuration is physically valid if it is population stable
+//     (each site's electrochemical potential justifies its charge state
+//     against the bulk µ-) and its total energy is minimal.
+//
+// The exhaustive search enumerates all 2^n charge configurations and is
+// exact for the small arrangements that make up individual gates (n up
+// to ~24). For invariants across larger designs use the per-gate
+// decomposition of the layout.
+package sidbsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Physical constants (SiQAD defaults for H-Si(100)-2x1).
+const (
+	// LatticeA is the surface lattice pitch along a dimer row (nm).
+	LatticeA = 0.384
+	// LatticeB is the pitch between dimer rows (nm).
+	LatticeB = 0.768
+	// LatticeDimer is the intra-dimer spacing (nm).
+	LatticeDimer = 0.225
+)
+
+// Params configures the physical model.
+type Params struct {
+	// MuMinus is the bulk electrochemical potential µ- in eV
+	// (SiQAD default -0.32: how favorable a DB- charge is).
+	MuMinus float64
+	// EpsilonR is the relative permittivity (default 5.6).
+	EpsilonR float64
+	// LambdaTF is the Thomas-Fermi screening length in nm (default 5.0).
+	LambdaTF float64
+}
+
+// Defaults returns the SiQAD default physical parameters.
+func Defaults() Params {
+	return Params{MuMinus: -0.32, EpsilonR: 5.6, LambdaTF: 5.0}
+}
+
+func (p Params) withDefaults() Params {
+	if p.MuMinus == 0 {
+		p.MuMinus = -0.32
+	}
+	if p.EpsilonR == 0 {
+		p.EpsilonR = 5.6
+	}
+	if p.LambdaTF == 0 {
+		p.LambdaTF = 5.0
+	}
+	return p
+}
+
+// DB is one dangling bond at H-Si(100)-2x1 lattice coordinates:
+// n = dimer column, m = dimer row pair, l = 0/1 position in the dimer.
+type DB struct {
+	N, M, L int
+}
+
+// PositionNM returns the DB's physical surface position in nanometres.
+func (d DB) PositionNM() (x, y float64) {
+	x = float64(d.N) * LatticeA
+	y = float64(d.M)*LatticeB + float64(d.L)*LatticeDimer
+	return x, y
+}
+
+// Charge is a site's charge state: 0 (DB0) or -1 (DB-).
+type Charge int8
+
+// Configuration is one assignment of charges to all DBs.
+type Configuration struct {
+	Charges []Charge
+	// EnergyEV is the total electrostatic energy in eV (pairwise
+	// repulsion of the negative charges).
+	EnergyEV float64
+	// Stable reports population stability under µ-.
+	Stable bool
+}
+
+// System is a set of dangling bonds with a physical model.
+type System struct {
+	dbs    []DB
+	params Params
+	// vij[i][j] is the screened Coulomb potential between sites (eV per
+	// electron pair).
+	vij [][]float64
+}
+
+// MaxExhaustiveDBs bounds the exhaustive ground-state search.
+const MaxExhaustiveDBs = 24
+
+// NewSystem builds a simulation system for the given dangling bonds.
+func NewSystem(dbs []DB, params Params) (*System, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("sidbsim: no dangling bonds")
+	}
+	seen := make(map[DB]bool)
+	for _, d := range dbs {
+		if seen[d] {
+			return nil, fmt.Errorf("sidbsim: duplicate dangling bond at %+v", d)
+		}
+		seen[d] = true
+	}
+	s := &System{dbs: append([]DB(nil), dbs...), params: params.withDefaults()}
+	s.buildPotentials()
+	return s, nil
+}
+
+// kEVnm is e^2/(4 pi eps0) in eV*nm.
+const kEVnm = 1.43996
+
+func (s *System) buildPotentials() {
+	n := len(s.dbs)
+	s.vij = make([][]float64, n)
+	for i := range s.vij {
+		s.vij[i] = make([]float64, n)
+	}
+	k := kEVnm / s.params.EpsilonR
+	for i := 0; i < n; i++ {
+		xi, yi := s.dbs[i].PositionNM()
+		for j := i + 1; j < n; j++ {
+			xj, yj := s.dbs[j].PositionNM()
+			r := math.Hypot(xi-xj, yi-yj)
+			v := k / r * math.Exp(-r/s.params.LambdaTF)
+			s.vij[i][j] = v
+			s.vij[j][i] = v
+		}
+	}
+}
+
+// NumDBs returns the number of dangling bonds.
+func (s *System) NumDBs() int { return len(s.dbs) }
+
+// localPotential returns the electrostatic potential at site i caused by
+// the other sites' charges (eV per unit electron charge; positive when
+// surrounded by electrons).
+func (s *System) localPotential(charges []Charge, i int) float64 {
+	v := 0.0
+	for j, q := range charges {
+		if j == i || q == 0 {
+			continue
+		}
+		v += s.vij[i][j]
+	}
+	return v
+}
+
+// Energy computes the total pairwise electrostatic energy of a
+// configuration in eV.
+func (s *System) Energy(charges []Charge) float64 {
+	e := 0.0
+	for i := range charges {
+		if charges[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < len(charges); j++ {
+			if charges[j] == 0 {
+				continue
+			}
+			e += s.vij[i][j]
+		}
+	}
+	return e
+}
+
+// PopulationStable checks the SiQAD population-stability criterion:
+// a site may be DB- only if its electrochemical potential µ- + V_local
+// stays <= 0 (it is energetically favorable to hold the electron), and
+// DB0 only if releasing the electron is favorable (µ- + V_local >= 0).
+func (s *System) PopulationStable(charges []Charge) bool {
+	for i, q := range charges {
+		v := s.localPotential(charges, i)
+		mu := s.params.MuMinus + v
+		if q == -1 && mu > 0 {
+			return false
+		}
+		if q == 0 && mu < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundState exhaustively enumerates charge configurations and returns
+// the minimum-energy population-stable configuration. It fails when no
+// stable configuration exists (which physics does not permit for
+// sensible parameters) or when the system is too large.
+func (s *System) GroundState() (Configuration, error) {
+	n := len(s.dbs)
+	if n > MaxExhaustiveDBs {
+		return Configuration{}, fmt.Errorf("sidbsim: %d DBs exceed the exhaustive limit %d", n, MaxExhaustiveDBs)
+	}
+	best := Configuration{EnergyEV: math.Inf(1)}
+	charges := make([]Charge, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				charges[i] = -1
+			} else {
+				charges[i] = 0
+			}
+		}
+		if !s.PopulationStable(charges) {
+			continue
+		}
+		e := s.Energy(charges)
+		if e < best.EnergyEV {
+			best = Configuration{
+				Charges:  append([]Charge(nil), charges...),
+				EnergyEV: e,
+				Stable:   true,
+			}
+		}
+	}
+	if !best.Stable {
+		return Configuration{}, fmt.Errorf("sidbsim: no population-stable configuration found")
+	}
+	return best, nil
+}
+
+// ExcitedStates returns all population-stable configurations sorted by
+// energy (the ground state first), up to the given limit.
+func (s *System) ExcitedStates(limit int) ([]Configuration, error) {
+	n := len(s.dbs)
+	if n > MaxExhaustiveDBs {
+		return nil, fmt.Errorf("sidbsim: %d DBs exceed the exhaustive limit %d", n, MaxExhaustiveDBs)
+	}
+	var out []Configuration
+	charges := make([]Charge, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				charges[i] = -1
+			} else {
+				charges[i] = 0
+			}
+		}
+		if !s.PopulationStable(charges) {
+			continue
+		}
+		out = append(out, Configuration{
+			Charges:  append([]Charge(nil), charges...),
+			EnergyEV: s.Energy(charges),
+			Stable:   true,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].EnergyEV < out[j].EnergyEV })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// CriticalSeparation returns the distance (in dimer rows) below which
+// two isolated DBs stop both holding electrons under the given
+// parameters — a characteristic length of the technology used when
+// validating gate geometries.
+func CriticalSeparation(params Params) int {
+	for rows := 1; rows < 64; rows++ {
+		dbs := []DB{{0, 0, 0}, {0, rows, 0}}
+		sys, err := NewSystem(dbs, params)
+		if err != nil {
+			return -1
+		}
+		gs, err := sys.GroundState()
+		if err != nil {
+			return -1
+		}
+		negative := 0
+		for _, q := range gs.Charges {
+			if q == -1 {
+				negative++
+			}
+		}
+		if negative == 2 {
+			return rows
+		}
+	}
+	return -1
+}

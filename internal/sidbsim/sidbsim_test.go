@@ -1,0 +1,297 @@
+package sidbsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/export"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/physical/hexagonal"
+	"repro/internal/physical/ortho"
+)
+
+func TestSingleDBIsNegative(t *testing.T) {
+	sys, err := NewSystem([]DB{{0, 0, 0}}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sys.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An isolated DB holds its electron under µ- = -0.32 eV.
+	if gs.Charges[0] != -1 {
+		t.Errorf("isolated DB charge = %d, want -1", gs.Charges[0])
+	}
+	if gs.EnergyEV != 0 {
+		t.Errorf("single-charge energy = %v, want 0", gs.EnergyEV)
+	}
+}
+
+func TestClosePairSharesOneElectron(t *testing.T) {
+	// Two DBs one lattice site apart: Coulomb repulsion (~0.9 eV at
+	// 0.384 nm) far exceeds |µ-|, so both cannot stay negative.
+	sys, err := NewSystem([]DB{{0, 0, 0}, {1, 0, 0}}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sys.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	negative := 0
+	for _, q := range gs.Charges {
+		if q == -1 {
+			negative++
+		}
+	}
+	if negative == 2 {
+		t.Errorf("adjacent DBs both negative: %v", gs.Charges)
+	}
+}
+
+func TestFarPairBothNegative(t *testing.T) {
+	// 20 dimer rows apart (~15 nm): screened interaction is negligible.
+	sys, err := NewSystem([]DB{{0, 0, 0}, {0, 20, 0}}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sys.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range gs.Charges {
+		if q != -1 {
+			t.Errorf("distant DB %d charge = %d, want -1", i, q)
+		}
+	}
+}
+
+func TestCriticalSeparation(t *testing.T) {
+	rows := CriticalSeparation(Defaults())
+	if rows <= 0 || rows > 20 {
+		t.Fatalf("critical separation = %d rows, expected a small positive count", rows)
+	}
+	// Just below the critical separation the pair must not be doubly
+	// negative (consistency with the definition).
+	if rows > 1 {
+		sys, _ := NewSystem([]DB{{0, 0, 0}, {0, rows - 1, 0}}, Defaults())
+		gs, err := sys.GroundState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		negative := 0
+		for _, q := range gs.Charges {
+			if q == -1 {
+				negative++
+			}
+		}
+		if negative == 2 {
+			t.Errorf("pair at %d rows already doubly negative", rows-1)
+		}
+	}
+}
+
+func TestExcitedStatesSorted(t *testing.T) {
+	dbs := []DB{{0, 0, 0}, {0, 6, 0}, {6, 3, 0}, {12, 0, 0}}
+	sys, err := NewSystem(dbs, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := sys.ExcitedStates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 {
+		t.Fatal("no stable states")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].EnergyEV < states[i-1].EnergyEV {
+			t.Fatal("states not sorted by energy")
+		}
+	}
+	gs, err := sys.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].EnergyEV != gs.EnergyEV {
+		t.Errorf("first excited-state energy %v != ground state %v", states[0].EnergyEV, gs.EnergyEV)
+	}
+	if limited, _ := sys.ExcitedStates(2); len(limited) > 2 {
+		t.Error("limit ignored")
+	}
+}
+
+func TestEnergyNonNegative(t *testing.T) {
+	dbs := []DB{{0, 0, 0}, {0, 8, 0}, {8, 4, 1}}
+	sys, err := NewSystem(dbs, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	charges := []Charge{-1, -1, -1}
+	if e := sys.Energy(charges); e <= 0 {
+		t.Errorf("repulsive energy = %v, want > 0", e)
+	}
+	if e := sys.Energy([]Charge{0, 0, 0}); e != 0 {
+		t.Errorf("empty energy = %v", e)
+	}
+}
+
+func TestScreeningReducesInteraction(t *testing.T) {
+	strong := Params{MuMinus: -0.32, EpsilonR: 5.6, LambdaTF: 100}
+	weak := Params{MuMinus: -0.32, EpsilonR: 5.6, LambdaTF: 1}
+	mk := func(p Params) float64 {
+		sys, err := NewSystem([]DB{{0, 0, 0}, {0, 4, 0}}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Energy([]Charge{-1, -1})
+	}
+	if mk(weak) >= mk(strong) {
+		t.Error("stronger screening must reduce the interaction energy")
+	}
+}
+
+func TestRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewSystem(nil, Defaults()); err == nil {
+		t.Error("accepted empty system")
+	}
+	if _, err := NewSystem([]DB{{1, 2, 0}, {1, 2, 0}}, Defaults()); err == nil {
+		t.Error("accepted duplicate DBs")
+	}
+}
+
+func TestTooLargeForExhaustive(t *testing.T) {
+	var dbs []DB
+	for i := 0; i < MaxExhaustiveDBs+1; i++ {
+		dbs = append(dbs, DB{N: i * 4, M: 0, L: 0})
+	}
+	sys, err := NewSystem(dbs, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.GroundState(); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestBestagonTileGroundState feeds one exported Bestagon gate tile
+// through the .sqd round trip into the charge simulator: the dot
+// arrangement must admit a population-stable ground state.
+func TestBestagonTileGroundState(t *testing.T) {
+	n := network.New("and2")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(n.AddAnd(a, b), "f")
+	prep, err := gatelib.Bestagon.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := ortho.Place(prep, ortho.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := hexagonal.Map(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := gatelib.ExpandBestagon(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := export.WriteSQD(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	dots, err := export.ReadSQDDots(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dots) == 0 {
+		t.Fatal("no dots")
+	}
+	// Take the first tile's worth of dots (bounded for the exhaustive
+	// search) and find its ground state.
+	limit := len(dots)
+	if limit > 16 {
+		limit = 16
+	}
+	var dbs []DB
+	for _, d := range dots[:limit] {
+		dbs = append(dbs, DB{N: d[0], M: d[1], L: d[2]})
+	}
+	sys, err := NewSystem(dbs, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sys.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.Stable {
+		t.Fatal("ground state not stable")
+	}
+}
+
+func TestOccupationProbabilityMonotone(t *testing.T) {
+	// A system with a near-degenerate excited state: occupation of the
+	// ground state decreases with temperature.
+	dbs := []DB{{0, 0, 0}, {0, 5, 0}, {10, 0, 0}, {10, 5, 1}}
+	sys, err := NewSystem(dbs, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 1.1
+	for _, temp := range []float64{1, 50, 100, 300, 600} {
+		p, err := sys.OccupationProbability(temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0 || p > 1 {
+			t.Fatalf("P(%vK) = %v out of range", temp, p)
+		}
+		if p > prev+1e-9 {
+			t.Fatalf("occupation increased with temperature: %v -> %v at %vK", prev, p, temp)
+		}
+		prev = p
+	}
+	if _, err := sys.OccupationProbability(-1); err == nil {
+		t.Error("accepted negative temperature")
+	}
+}
+
+func TestCriticalTemperature(t *testing.T) {
+	// A single DB has only one stable state: ground occupation is 1 at
+	// any temperature, so the critical temperature caps at maxK.
+	single, err := NewSystem([]DB{{0, 0, 0}}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := single.CriticalTemperature(0.99, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 400 {
+		t.Errorf("isolated DB critical temperature = %v, want 400 (cap)", ct)
+	}
+
+	// A frustrated pair with close excited states degrades at finite T.
+	pair, err := NewSystem([]DB{{0, 0, 0}, {0, 7, 0}}, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := pair.CriticalTemperature(0.9999, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct2 <= 0 || ct2 > 400 {
+		t.Errorf("pair critical temperature = %v", ct2)
+	}
+	if _, err := pair.CriticalTemperature(1.5, 400); err == nil {
+		t.Error("accepted confidence > 1")
+	}
+	if _, err := pair.CriticalTemperature(0.9, 0.5); err == nil {
+		t.Error("accepted maxK < 1")
+	}
+}

@@ -1,0 +1,83 @@
+package sidbsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Boltzmann constant in eV/K.
+const BoltzmannEVK = 8.617333262e-5
+
+// OccupationProbability returns the Boltzmann probability that the
+// system occupies its ground state at temperature T (Kelvin), computed
+// over all population-stable configurations.
+func (s *System) OccupationProbability(tempK float64) (float64, error) {
+	if tempK <= 0 {
+		return 0, fmt.Errorf("sidbsim: temperature must be positive, got %v", tempK)
+	}
+	states, err := s.ExcitedStates(0)
+	if err != nil {
+		return 0, err
+	}
+	if len(states) == 0 {
+		return 0, fmt.Errorf("sidbsim: no stable states")
+	}
+	e0 := states[0].EnergyEV
+	kt := BoltzmannEVK * tempK
+	z := 0.0
+	p0 := 0.0
+	for _, st := range states {
+		w := math.Exp(-(st.EnergyEV - e0) / kt)
+		z += w
+		// Degenerate ground states all count as "ground".
+		if st.EnergyEV-e0 < 1e-9 {
+			p0 += w
+		}
+	}
+	return p0 / z, nil
+}
+
+// CriticalTemperature returns the highest temperature (in Kelvin, within
+// [1, maxK]) at which the ground state is occupied with probability at
+// least confidence (e.g. 0.99) — the standard SiDB gate robustness
+// figure. It returns maxK when the ground state survives the entire
+// range and 0 when even 1 K fails.
+func (s *System) CriticalTemperature(confidence, maxK float64) (float64, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("sidbsim: confidence must be in (0,1), got %v", confidence)
+	}
+	if maxK < 1 {
+		return 0, fmt.Errorf("sidbsim: maxK must be >= 1, got %v", maxK)
+	}
+	ok := func(t float64) (bool, error) {
+		p, err := s.OccupationProbability(t)
+		if err != nil {
+			return false, err
+		}
+		return p >= confidence, nil
+	}
+	if pass, err := ok(1); err != nil {
+		return 0, err
+	} else if !pass {
+		return 0, nil
+	}
+	if pass, err := ok(maxK); err != nil {
+		return 0, err
+	} else if pass {
+		return maxK, nil
+	}
+	lo, hi := 1.0, maxK // lo passes, hi fails
+	for hi-lo > 0.5 {
+		mid := (lo + hi) / 2
+		pass, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if pass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,401 @@
+// Package verify checks FCN gate-level layouts: design rules (clocking
+// consistency, connectivity, port usage) and functional equivalence
+// against a reference logic network via netlist extraction.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// DRCReport lists the violations found in a layout.
+type DRCReport struct {
+	Violations []string
+}
+
+// OK reports whether the layout passed all design-rule checks.
+func (r *DRCReport) OK() bool { return len(r.Violations) == 0 }
+
+// Error formats the report as an error, or returns nil when clean.
+func (r *DRCReport) Error() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d DRC violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+func (r *DRCReport) addf(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// CheckDesignRules validates the structural legality of a layout:
+//
+//   - every connection joins adjacent tiles whose clock zones increase by
+//     exactly one (mod n) in dataflow direction,
+//   - tile fanin counts match their function's arity (wires and fanouts
+//     carry one input),
+//   - fanout limits hold (wires drive at most one successor, fanout tiles
+//     at most two, gates one),
+//   - crossing-layer tiles sit above wires,
+//   - PIs have no incoming and POs no outgoing connections.
+func CheckDesignRules(l *layout.Layout) *DRCReport {
+	r := &DRCReport{}
+	for _, c := range l.Coords() {
+		t := l.At(c)
+
+		// Layer rules.
+		if c.Z == 1 {
+			if !t.IsWire() {
+				r.addf("%v: non-wire %s on crossing layer", c, t.Fn)
+			}
+			ground := l.At(c.Ground())
+			if ground == nil || !ground.IsWire() {
+				r.addf("%v: crossing-layer wire not above a ground wire", c)
+			}
+		}
+
+		// Arity rules.
+		wantIn := t.Fn.Arity()
+		switch t.Fn {
+		case network.PI:
+			wantIn = 0
+		case network.PO:
+			wantIn = 1
+		}
+		if t.IsWire() {
+			wantIn = 1
+		}
+		if len(t.Incoming) != wantIn {
+			r.addf("%v: %s has %d incoming signals, want %d", c, t.Fn, len(t.Incoming), wantIn)
+		}
+
+		// Fanout rules.
+		outs := l.Outgoing(c)
+		maxOut := 1
+		switch {
+		case t.Fn == network.PO:
+			maxOut = 0
+		case t.Fn == network.Fanout:
+			maxOut = 2
+		}
+		if len(outs) > maxOut {
+			r.addf("%v: %s drives %d successors, max %d", c, t.Fn, len(outs), maxOut)
+		}
+
+		// Adjacency and clocking rules for incoming connections.
+		for _, src := range t.Incoming {
+			st := l.At(src)
+			if st == nil {
+				r.addf("%v: incoming from empty tile %v", c, src)
+				continue
+			}
+			if !layout.AdjacentXY(l.Topo, src, c) {
+				r.addf("%v: incoming from non-adjacent tile %v", c, src)
+			}
+			want := (l.Zone(src) + 1) % l.Scheme.NumZones
+			if l.Zone(c) != want {
+				r.addf("%v (zone %d): incoming from %v (zone %d) violates clocking",
+					c, l.Zone(c), src, l.Zone(src))
+			}
+		}
+	}
+	return r
+}
+
+// ExtractNetwork rebuilds the logic network a layout implements by
+// following signal flow from PI tiles to PO tiles. Wire and fanout tiles
+// are transparent; gate tiles become logic nodes. The resulting network's
+// PI/PO order matches the deterministic tile order of the layout (name
+// lookups should therefore go through signal names).
+func ExtractNetwork(l *layout.Layout) (*network.Network, error) {
+	n := network.New(l.Name)
+
+	// value of a coordinate = the network node whose signal leaves that
+	// tile. Computed lazily with cycle detection.
+	value := make(map[layout.Coord]network.ID)
+	visiting := make(map[layout.Coord]bool)
+
+	var eval func(c layout.Coord) (network.ID, error)
+	eval = func(c layout.Coord) (network.ID, error) {
+		if id, ok := value[c]; ok {
+			return id, nil
+		}
+		if visiting[c] {
+			return network.Invalid, fmt.Errorf("verify: combinational cycle through %v", c)
+		}
+		visiting[c] = true
+		defer delete(visiting, c)
+
+		t := l.At(c)
+		if t == nil {
+			return network.Invalid, fmt.Errorf("verify: dangling reference to empty tile %v", c)
+		}
+		var id network.ID
+		switch {
+		case t.Fn == network.PI:
+			return network.Invalid, fmt.Errorf("verify: PI %v reached during evaluation (must be pre-seeded)", c)
+		case t.Fn == network.PO:
+			return network.Invalid, fmt.Errorf("verify: PO %v used as a signal source", c)
+		case t.IsWire() || t.Fn == network.Fanout || t.Fn == network.Buf:
+			if len(t.Incoming) != 1 {
+				return network.Invalid, fmt.Errorf("verify: wire %v has %d inputs", c, len(t.Incoming))
+			}
+			src, err := eval(t.Incoming[0])
+			if err != nil {
+				return network.Invalid, err
+			}
+			id = src // transparent
+		case t.Fn == network.Const0 || t.Fn == network.Const1:
+			id = n.AddConst(t.Fn == network.Const1)
+		default:
+			fanins := make([]network.ID, 0, len(t.Incoming))
+			for _, in := range t.Incoming {
+				src, err := eval(in)
+				if err != nil {
+					return network.Invalid, err
+				}
+				fanins = append(fanins, src)
+			}
+			if len(fanins) != t.Fn.Arity() {
+				return network.Invalid, fmt.Errorf("verify: %s at %v has %d inputs, want %d",
+					t.Fn, c, len(fanins), t.Fn.Arity())
+			}
+			id = n.AddGate(t.Fn, fanins...)
+		}
+		value[c] = id
+		return id, nil
+	}
+
+	for _, c := range l.PITiles() {
+		value[c] = n.AddPI(l.At(c).Name)
+	}
+	pos := l.POTiles()
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("verify: layout %q has no PO tiles", l.Name)
+	}
+	for _, c := range pos {
+		t := l.At(c)
+		if len(t.Incoming) != 1 {
+			return nil, fmt.Errorf("verify: PO %v has %d inputs", c, len(t.Incoming))
+		}
+		id, err := eval(t.Incoming[0])
+		if err != nil {
+			return nil, err
+		}
+		n.AddPO(id, t.Name)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Equivalent checks that the layout implements the reference network:
+// the extracted netlist must match the reference function under the PI/PO
+// correspondence given by signal names (all reference PIs and POs must
+// appear as named tiles).
+func Equivalent(l *layout.Layout, ref *network.Network) (bool, error) {
+	ext, err := ExtractNetwork(l)
+	if err != nil {
+		return false, err
+	}
+	aligned, err := alignTo(ext, ref)
+	if err != nil {
+		return false, err
+	}
+	return network.Equivalent(ref, aligned)
+}
+
+// alignTo reorders the PIs and POs of n (by signal name) to match ref's
+// order, returning a rebuilt network.
+func alignTo(n, ref *network.Network) (*network.Network, error) {
+	piByName := make(map[string]int)
+	for i, pi := range n.PIs() {
+		piByName[n.NameOf(pi)] = i
+	}
+	poByName := make(map[string]int)
+	for i, po := range n.POs() {
+		poByName[n.NameOf(po)] = i
+	}
+	if len(piByName) != n.NumPIs() {
+		return nil, fmt.Errorf("verify: duplicate PI names in extracted network")
+	}
+	if len(poByName) != n.NumPOs() {
+		return nil, fmt.Errorf("verify: duplicate PO names in extracted network")
+	}
+
+	out := network.New(n.Name)
+	oldToNew := make(map[network.ID]network.ID)
+
+	// PIs in reference order.
+	for _, rpi := range ref.PIs() {
+		name := ref.NameOf(rpi)
+		idx, ok := piByName[name]
+		if !ok {
+			return nil, fmt.Errorf("verify: extracted network lacks PI %q", name)
+		}
+		oldToNew[n.PIs()[idx]] = out.AddPI(name)
+	}
+	if len(ref.PIs()) != n.NumPIs() {
+		return nil, fmt.Errorf("verify: PI count mismatch: extracted %d, reference %d", n.NumPIs(), ref.NumPIs())
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		nd := n.Node(id)
+		if !nd.Fn.IsLogic() {
+			continue
+		}
+		fanins := make([]network.ID, len(nd.Fanins))
+		for i, f := range nd.Fanins {
+			nf, ok := oldToNew[f]
+			if !ok {
+				return nil, fmt.Errorf("verify: internal error: unmapped fanin %d", f)
+			}
+			fanins[i] = nf
+		}
+		oldToNew[id] = out.AddGate(nd.Fn, fanins...)
+	}
+	for _, rpo := range ref.POs() {
+		name := ref.NameOf(rpo)
+		idx, ok := poByName[name]
+		if !ok {
+			return nil, fmt.Errorf("verify: extracted network lacks PO %q", name)
+		}
+		po := n.POs()[idx]
+		drv, ok := oldToNew[n.Fanins(po)[0]]
+		if !ok {
+			return nil, fmt.Errorf("verify: internal error: unmapped PO driver")
+		}
+		out.AddPO(drv, name)
+	}
+	if len(ref.POs()) != n.NumPOs() {
+		return nil, fmt.Errorf("verify: PO count mismatch: extracted %d, reference %d", n.NumPOs(), ref.NumPOs())
+	}
+	return out, nil
+}
+
+// Check runs both design-rule checking and equivalence checking and
+// returns a single error describing the first problem found.
+func Check(l *layout.Layout, ref *network.Network) error {
+	if err := CheckDesignRules(l).Error(); err != nil {
+		return err
+	}
+	eq, err := Equivalent(l, ref)
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("verify: layout %q is not equivalent to its reference network", l.Name)
+	}
+	return nil
+}
+
+// CheckBorderIO reports violations of the fabrication-oriented rule that
+// every primary input and output tile must lie on the layout's bounding
+// box border, where external wiring can reach it. MNT Bench's
+// exact-generated layouts follow this rule; heuristic flows may not, so
+// it is a separate check rather than part of CheckDesignRules.
+func CheckBorderIO(l *layout.Layout) *DRCReport {
+	r := &DRCReport{}
+	w, h := l.BoundingBox()
+	border := func(c layout.Coord) bool {
+		return c.X == 0 || c.Y == 0 || c.X == w-1 || c.Y == h-1
+	}
+	for _, c := range l.PITiles() {
+		if !border(c) {
+			r.addf("%v: PI %q not on the layout border", c, l.At(c).Name)
+		}
+	}
+	for _, c := range l.POTiles() {
+		if !border(c) {
+			r.addf("%v: PO %q not on the layout border", c, l.At(c).Name)
+		}
+	}
+	return r
+}
+
+// CheckStraightCrossings verifies the technology constraint that the two
+// wires of a crossing pass straight through each other: at every
+// position occupied on both layers, each layer's incoming and outgoing
+// tiles must lie on opposite sides (collinear through the crossing).
+// Bends above another wire are electrically ambiguous in both QCA and
+// SiDB implementations.
+func CheckStraightCrossings(l *layout.Layout) *DRCReport {
+	r := &DRCReport{}
+	for _, c := range l.Coords() {
+		if c.Z != 1 {
+			continue
+		}
+		ground := l.At(c.Ground())
+		if ground == nil || !ground.IsWire() {
+			continue // caught by CheckDesignRules
+		}
+		for _, pos := range []layout.Coord{c, c.Ground()} {
+			t := l.At(pos)
+			if t == nil || !t.IsWire() {
+				continue
+			}
+			outs := l.Outgoing(pos)
+			if len(t.Incoming) != 1 || len(outs) != 1 {
+				continue
+			}
+			in, out := t.Incoming[0], outs[0]
+			// Straight means the X and Y displacements cancel.
+			if in.X+out.X != 2*pos.X || in.Y+out.Y != 2*pos.Y {
+				r.addf("%v: crossing wire bends (in %v, out %v)", pos, in, out)
+			}
+		}
+	}
+	return r
+}
+
+// WireLengthStats summarizes the routed wire lengths of a layout: the
+// number of logical connections, their total wire-tile count, and the
+// longest single connection.
+type WireLengthStats struct {
+	Connections int
+	TotalWires  int
+	Longest     int
+}
+
+// ComputeWireLengths traces every gate-to-gate connection through its
+// wire chain.
+func ComputeWireLengths(l *layout.Layout) (WireLengthStats, error) {
+	var s WireLengthStats
+	for _, c := range l.Coords() {
+		t := l.At(c)
+		if t.IsWire() {
+			continue
+		}
+		for _, in := range t.Incoming {
+			n := 0
+			cur := in
+			for {
+				ct := l.At(cur)
+				if ct == nil {
+					return s, fmt.Errorf("verify: dangling wire chain into %v", c)
+				}
+				if !ct.IsWire() {
+					break
+				}
+				n++
+				if len(ct.Incoming) != 1 {
+					return s, fmt.Errorf("verify: wire %v has %d inputs", cur, len(ct.Incoming))
+				}
+				cur = ct.Incoming[0]
+			}
+			s.Connections++
+			s.TotalWires += n
+			if n > s.Longest {
+				s.Longest = n
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,270 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clocking"
+	"repro/internal/layout"
+	"repro/internal/network"
+)
+
+// buildNotChain lays out f = ~a by hand: PI -> NOT -> PO in a row.
+func buildNotChain() (*layout.Layout, *network.Network) {
+	l := layout.New("inv", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+
+	n := network.New("inv")
+	a := n.AddPI("a")
+	n.AddPO(n.AddNot(a), "f")
+	return l, n
+}
+
+func TestCheckDesignRulesClean(t *testing.T) {
+	l, _ := buildNotChain()
+	r := CheckDesignRules(l)
+	if !r.OK() {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.Error() != nil {
+		t.Fatal("Error() non-nil on clean report")
+	}
+}
+
+func TestCheckDesignRulesClockingViolation(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	// Westward connection: zone decreases — illegal.
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	r := CheckDesignRules(l)
+	if r.OK() {
+		t.Fatal("accepted clocking violation")
+	}
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "violates clocking") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wrong violations: %v", r.Violations)
+	}
+}
+
+func TestCheckDesignRulesNonAdjacent(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(2, 2), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(0, 0)}})
+	r := CheckDesignRules(l)
+	ok := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "non-adjacent") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("missing non-adjacency violation: %v", r.Violations)
+	}
+}
+
+func TestCheckDesignRulesArity(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	// AND with a single input.
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.And, Incoming: []layout.Coord{layout.C(0, 0)}})
+	r := CheckDesignRules(l)
+	ok := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "incoming signals") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("missing arity violation: %v", r.Violations)
+	}
+}
+
+func TestCheckDesignRulesFanoutLimit(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.PI, Name: "a"})
+	// A PI driving two successors directly (no fanout tile).
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	l.MustPlace(layout.C(1, 2), layout.Tile{Fn: network.PO, Name: "g", Incoming: []layout.Coord{layout.C(1, 1)}})
+	r := CheckDesignRules(l)
+	ok := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "drives") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("missing fanout violation: %v", r.Violations)
+	}
+}
+
+func TestCheckDesignRulesCrossingAboveNothing(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(3, 3).Above(), layout.Tile{Fn: network.Buf, Wire: true, Incoming: nil})
+	r := CheckDesignRules(l)
+	ok := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "not above a ground wire") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("missing crossing violation: %v", r.Violations)
+	}
+}
+
+func TestExtractNetwork(t *testing.T) {
+	l, ref := buildNotChain()
+	ext, err := ExtractNetwork(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumPIs() != 1 || ext.NumPOs() != 1 {
+		t.Fatalf("I/O = %d/%d", ext.NumPIs(), ext.NumPOs())
+	}
+	eq, err := network.Equivalent(ref, ext)
+	if err != nil || !eq {
+		t.Fatalf("extracted network differs: %v %v", eq, err)
+	}
+}
+
+func TestExtractNetworkFanoutTransparent(t *testing.T) {
+	l := layout.New("fan", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Fanout, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.PO, Name: "g", Incoming: []layout.Coord{layout.C(1, 0)}})
+	ext, err := ExtractNetwork(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ext.NumLogicGates(); got != 0 {
+		t.Errorf("fanout not transparent: %d gates", got)
+	}
+}
+
+func TestEquivalentDetectsWrongFunction(t *testing.T) {
+	l, _ := buildNotChain()
+	wrong := network.New("buf")
+	a := wrong.AddPI("a")
+	wrong.AddPO(wrong.AddBuf(a), "f") // buffer instead of inverter
+	eq, err := Equivalent(l, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("NOT layout reported equivalent to BUF network")
+	}
+}
+
+func TestEquivalentMatchesByName(t *testing.T) {
+	// Layout PO order differs from network PO order; names must align them.
+	l := layout.New("two", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.PI, Name: "b"})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	// PO "g" (= ~a) appears at a smaller coordinate than PO "f" (= b).
+	l.MustPlace(layout.C(2, 0), layout.Tile{Fn: network.PO, Name: "g", Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(3, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(2, 1)}})
+
+	n := network.New("two")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	n.AddPO(b, "f")
+	n.AddPO(n.AddNot(a), "g")
+
+	eq, err := Equivalent(l, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("name-aligned equivalence failed")
+	}
+}
+
+func TestEquivalentMissingPO(t *testing.T) {
+	l, _ := buildNotChain()
+	n := network.New("inv")
+	a := n.AddPI("a")
+	n.AddPO(n.AddNot(a), "different_name")
+	if _, err := Equivalent(l, n); err == nil {
+		t.Fatal("accepted mismatched PO names")
+	}
+}
+
+func TestCheckCombined(t *testing.T) {
+	l, ref := buildNotChain()
+	if err := Check(l, ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBorderIO(t *testing.T) {
+	l := layout.New("b", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.Not, Incoming: []layout.Coord{layout.C(0, 0)}})
+	l.MustPlace(layout.C(2, 2), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	if r := CheckBorderIO(l); !r.OK() {
+		t.Errorf("corner I/O flagged: %v", r.Violations)
+	}
+	// Grow the box so the PO is interior.
+	l.MustPlace(layout.C(4, 4), layout.Tile{Fn: network.Buf, Wire: true})
+	r := CheckBorderIO(l)
+	if r.OK() {
+		t.Fatal("interior PO not flagged")
+	}
+	if !strings.Contains(r.Violations[0], "PO") {
+		t.Errorf("violations: %v", r.Violations)
+	}
+}
+
+func TestCheckStraightCrossings(t *testing.T) {
+	l := layout.New("x", layout.Cartesian, clocking.TwoDDWave)
+	// Ground wire west->east through (1,1); upper wire north->south.
+	l.MustPlace(layout.C(0, 1), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(1, 1), layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(0, 1)}})
+	l.MustPlace(layout.C(2, 1), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 1)}})
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "b"})
+	up := layout.Coord{X: 1, Y: 1, Z: 1}
+	l.MustPlace(up, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{layout.C(1, 0)}})
+	l.MustPlace(layout.C(1, 2), layout.Tile{Fn: network.PO, Name: "g", Incoming: []layout.Coord{up}})
+	if r := CheckStraightCrossings(l); !r.OK() {
+		t.Fatalf("straight crossing flagged: %v", r.Violations)
+	}
+	// Bend the upper wire: incoming north, outgoing east.
+	if err := l.Disconnect(up, layout.C(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	l.MustPlace(layout.C(2, 2), layout.Tile{Fn: network.PO, Name: "h"})
+	// Upper wire feeding (2,1)? occupied; connect bend to a fresh tile.
+	l.MustPlace(layout.Coord{X: 2, Y: 1, Z: 1}, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{up}})
+	r := CheckStraightCrossings(l)
+	if r.OK() {
+		t.Fatal("bending crossing not flagged")
+	}
+}
+
+func TestComputeWireLengths(t *testing.T) {
+	l := layout.New("w", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	prev := layout.C(0, 0)
+	for x := 1; x <= 3; x++ {
+		c := layout.C(x, 0)
+		l.MustPlace(c, layout.Tile{Fn: network.Buf, Wire: true, Incoming: []layout.Coord{prev}})
+		prev = c
+	}
+	l.MustPlace(layout.C(4, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{prev}})
+	s, err := ComputeWireLengths(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Connections != 1 || s.TotalWires != 3 || s.Longest != 3 {
+		t.Errorf("stats: %+v", s)
+	}
+}

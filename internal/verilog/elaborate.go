@@ -1,0 +1,132 @@
+package verilog
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// elaborate converts the parsed module into a logic network. Assignments
+// may appear in any source order; signals are resolved recursively with
+// combinational-loop detection.
+func (m *module) elaborate() (*network.Network, error) {
+	n := network.New(m.name)
+
+	signal := make(map[string]network.ID)
+	for _, in := range m.inputs {
+		if m.defs[in] != nil {
+			return nil, fmt.Errorf("verilog: input %q is also driven by an assignment", in)
+		}
+		signal[in] = n.AddPI(in)
+	}
+
+	building := make(map[string]bool)
+
+	var build func(name string) (network.ID, error)
+	var buildExpr func(e *expr) (network.ID, error)
+
+	build = func(name string) (network.ID, error) {
+		if id, ok := signal[name]; ok {
+			return id, nil
+		}
+		if building[name] {
+			return network.Invalid, fmt.Errorf("verilog: combinational loop through signal %q", name)
+		}
+		e, ok := m.defs[name]
+		if !ok {
+			return network.Invalid, fmt.Errorf("verilog: signal %q is read but never driven", name)
+		}
+		building[name] = true
+		id, err := buildExpr(e)
+		delete(building, name)
+		if err != nil {
+			return network.Invalid, err
+		}
+		signal[name] = id
+		return id, nil
+	}
+
+	buildExpr = func(e *expr) (network.ID, error) {
+		switch e.kind {
+		case exprIdent:
+			return build(e.name)
+		case exprConst:
+			return n.AddConst(e.val), nil
+		case exprUnary:
+			// Fuse ~(a OP b) into the native inverted gate so that NAND/NOR/
+			// XNOR primitives and inverted assignments elaborate to one node.
+			if inner := e.args[0]; inner.kind == exprBinary {
+				a, err := buildExpr(inner.args[0])
+				if err != nil {
+					return network.Invalid, err
+				}
+				b, err := buildExpr(inner.args[1])
+				if err != nil {
+					return network.Invalid, err
+				}
+				switch inner.op {
+				case '&':
+					return n.AddNand(a, b), nil
+				case '|':
+					return n.AddNor(a, b), nil
+				case '^':
+					return n.AddXnor(a, b), nil
+				}
+			}
+			a, err := buildExpr(e.args[0])
+			if err != nil {
+				return network.Invalid, err
+			}
+			return n.AddNot(a), nil
+		case exprBinary:
+			a, err := buildExpr(e.args[0])
+			if err != nil {
+				return network.Invalid, err
+			}
+			b, err := buildExpr(e.args[1])
+			if err != nil {
+				return network.Invalid, err
+			}
+			switch e.op {
+			case '&':
+				return n.AddAnd(a, b), nil
+			case '|':
+				return n.AddOr(a, b), nil
+			case '^':
+				return n.AddXor(a, b), nil
+			}
+			return network.Invalid, fmt.Errorf("verilog: line %d: unknown operator %q", e.line, e.op)
+		case exprTernary:
+			s, err := buildExpr(e.args[0])
+			if err != nil {
+				return network.Invalid, err
+			}
+			t, err := buildExpr(e.args[1])
+			if err != nil {
+				return network.Invalid, err
+			}
+			f, err := buildExpr(e.args[2])
+			if err != nil {
+				return network.Invalid, err
+			}
+			// s ? t : f  =  (s & t) | (~s & f)
+			return n.AddOr(n.AddAnd(s, t), n.AddAnd(n.AddNot(s), f)), nil
+		}
+		return network.Invalid, fmt.Errorf("verilog: line %d: unhandled expression", e.line)
+	}
+
+	if len(m.outputs) == 0 {
+		return nil, fmt.Errorf("verilog: module %q declares no outputs", m.name)
+	}
+	for _, out := range m.outputs {
+		id, err := build(out)
+		if err != nil {
+			return nil, err
+		}
+		n.AddPO(id, out)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

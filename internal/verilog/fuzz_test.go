@@ -1,0 +1,32 @@
+package verilog
+
+import "testing"
+
+// FuzzParseString checks the parser never panics and that everything it
+// accepts survives a write/re-parse round trip.
+func FuzzParseString(f *testing.F) {
+	seeds := []string{
+		mux21Src,
+		`module m(a, f); input a; output f; assign f = ~a; endmodule`,
+		`module m(a, b, f); input a, b; output f; nand (f, a, b); endmodule`,
+		`module m(x, y); input [3:0] x; output y; assign y = x[0] ^ x[3]; endmodule`,
+		`module m(a, f); input a; output f; assign f = a ? 1'b0 : 1'b1; endmodule`,
+		`module`, `((((`, `module m(; endmodule`, "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text, werr := WriteString(n)
+		if werr != nil {
+			t.Fatalf("accepted network cannot be written: %v", werr)
+		}
+		if _, perr := ParseString(text); perr != nil {
+			t.Fatalf("round trip failed: %v\n%s", perr, text)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package verilog reads and writes the structural-Verilog subset used by
+// the FCN benchmark suites (Trindade16, Fontes18, ISCAS85, EPFL as
+// distributed by MNT Bench): a single module with scalar ports, wire
+// declarations, continuous assignments over ~ & | ^ expressions, and
+// gate-primitive instantiations (and/or/nand/nor/xor/xnor/not/buf).
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // 1'b0 / 1'b1 / plain integers
+	tokSymbol // single-char punctuation or operator
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || r == '\\' || unicode.IsLetter(rune(r))
+}
+
+func isIdentPart(r byte) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+// next scans the next token. Escaped identifiers (\name ) and indexed
+// names (x[3]) are returned as single identifier tokens.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scanToken() (token, error) {
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\\': // escaped identifier: up to whitespace
+		l.pos++
+		for l.pos < len(l.src) && !isSpace(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start+1 : l.pos], line: l.line}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		// Fold an immediate [index] subscript into the identifier so that
+		// bit-selects of declared vectors read as scalar names.
+		if l.pos < len(l.src) && l.src[l.pos] == '[' {
+			close := strings.IndexByte(l.src[l.pos:], ']')
+			if close < 0 {
+				return token{}, fmt.Errorf("line %d: unterminated bit-select after %q", l.line, text)
+			}
+			inner := l.src[l.pos+1 : l.pos+close]
+			if isIndex(inner) {
+				text += "[" + inner + "]"
+				l.pos += close + 1
+			}
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && (isIdentPart(l.src[l.pos]) || l.src[l.pos] == '\'') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	default:
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isIndex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !unicode.IsDigit(rune(s[i])) {
+			return false
+		}
+	}
+	return true
+}

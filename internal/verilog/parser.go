@@ -1,0 +1,567 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Parse reads a structural Verilog module from r and elaborates it into a
+// logic network. Exactly one module is expected.
+func Parse(r io.Reader) (*network.Network, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(src))
+}
+
+// ParseString is Parse over an in-memory source string.
+func ParseString(src string) (*network.Network, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	mod, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	return mod.elaborate()
+}
+
+// expression AST
+
+type exprKind uint8
+
+const (
+	exprIdent exprKind = iota
+	exprConst
+	exprUnary  // ~a
+	exprBinary // a OP b with OP in & | ^
+	exprTernary
+)
+
+type expr struct {
+	kind exprKind
+	name string // exprIdent
+	val  bool   // exprConst
+	op   byte   // exprBinary: '&' '|' '^'
+	args []*expr
+	line int
+}
+
+// module is the parsed, un-elaborated form.
+type module struct {
+	name    string
+	ports   []string
+	inputs  []string
+	outputs []string
+	wires   map[string]bool
+	defs    map[string]*expr // signal -> driving expression
+	defLine map[string]int
+	inSet   map[string]bool
+	outSet  map[string]bool
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("verilog: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.tok.kind != tokSymbol || p.tok.text != s {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseModule() (*module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected module name, found %s", p.tok)
+	}
+	m := &module{
+		name:    p.tok.text,
+		wires:   make(map[string]bool),
+		defs:    make(map[string]*expr),
+		defLine: make(map[string]int),
+		inSet:   make(map[string]bool),
+		outSet:  make(map[string]bool),
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSymbol && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			if p.tok.kind == tokSymbol && p.tok.text == ")" {
+				break
+			}
+			// Tolerate ANSI-style "input a" inside the port list.
+			if p.tok.kind == tokIdent && (p.tok.text == "input" || p.tok.text == "output" || p.tok.text == "wire") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if p.tok.kind != tokIdent {
+				return nil, p.errf("expected port name, found %s", p.tok)
+			}
+			m.ports = append(m.ports, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokSymbol && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("missing endmodule")
+		}
+		if p.tok.kind == tokIdent && p.tok.text == "endmodule" {
+			break
+		}
+		if err := p.parseItem(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+var gatePrimitives = map[string]network.Gate{
+	"and": network.And, "or": network.Or, "nand": network.Nand,
+	"nor": network.Nor, "xor": network.Xor, "xnor": network.Xnor,
+	"not": network.Not, "buf": network.Buf,
+}
+
+func (p *parser) parseItem(m *module) error {
+	if p.tok.kind != tokIdent {
+		return p.errf("unexpected %s", p.tok)
+	}
+	switch kw := p.tok.text; kw {
+	case "input", "output", "wire":
+		return p.parseDecl(m, kw)
+	case "assign":
+		return p.parseAssign(m)
+	default:
+		if g, ok := gatePrimitives[kw]; ok {
+			return p.parseGateInst(m, kw, g)
+		}
+		return p.errf("unsupported construct %q", kw)
+	}
+}
+
+// parseDecl handles "input [7:0] a, b;" style declarations, expanding
+// vectors into indexed scalar names.
+func (p *parser) parseDecl(m *module, kw string) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	hi, lo, hasRange, err := p.parseOptionalRange()
+	if err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind != tokIdent {
+			return p.errf("expected signal name, found %s", p.tok)
+		}
+		base := p.tok.text
+		var names []string
+		if hasRange {
+			names = expandVector(base, hi, lo)
+		} else {
+			names = []string{base}
+		}
+		for _, name := range names {
+			switch kw {
+			case "input":
+				if !m.inSet[name] {
+					m.inSet[name] = true
+					m.inputs = append(m.inputs, name)
+				}
+			case "output":
+				if !m.outSet[name] {
+					m.outSet[name] = true
+					m.outputs = append(m.outputs, name)
+				}
+			case "wire":
+				m.wires[name] = true
+			}
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokSymbol && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	return p.expectSymbol(";")
+}
+
+// expandVector lists base[hi]..base[lo] (or ascending when lo > hi) in
+// MSB-to-LSB declaration order.
+func expandVector(base string, hi, lo int) []string {
+	var names []string
+	if hi >= lo {
+		for i := hi; i >= lo; i-- {
+			names = append(names, fmt.Sprintf("%s[%d]", base, i))
+		}
+	} else {
+		for i := hi; i <= lo; i++ {
+			names = append(names, fmt.Sprintf("%s[%d]", base, i))
+		}
+	}
+	return names
+}
+
+func (p *parser) parseOptionalRange() (hi, lo int, ok bool, err error) {
+	if p.tok.kind != tokSymbol || p.tok.text != "[" {
+		return 0, 0, false, nil
+	}
+	if err := p.advance(); err != nil {
+		return 0, 0, false, err
+	}
+	hi, err = p.parseInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return 0, 0, false, err
+	}
+	lo, err = p.parseInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return 0, 0, false, err
+	}
+	return hi, lo, true, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected number, found %s", p.tok)
+	}
+	v := 0
+	for i := 0; i < len(p.tok.text); i++ {
+		c := p.tok.text[i]
+		if c < '0' || c > '9' {
+			return 0, p.errf("expected plain integer, found %s", p.tok)
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, p.advance()
+}
+
+func (p *parser) parseAssign(m *module) error {
+	if err := p.advance(); err != nil { // consume "assign"
+		return err
+	}
+	if p.tok.kind != tokIdent {
+		return p.errf("expected assignment target, found %s", p.tok)
+	}
+	lhs := p.tok.text
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if _, dup := m.defs[lhs]; dup {
+		return fmt.Errorf("verilog: line %d: signal %q driven twice (first at line %d)", line, lhs, m.defLine[lhs])
+	}
+	m.defs[lhs] = e
+	m.defLine[lhs] = line
+	return nil
+}
+
+// parseGateInst handles "and g1(out, a, b);" and anonymous "and (out,a,b);".
+func (p *parser) parseGateInst(m *module, kw string, g network.Gate) error {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind == tokIdent { // optional instance name
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	var pins []string
+	for {
+		if p.tok.kind != tokIdent {
+			return p.errf("expected signal in %s instance, found %s", kw, p.tok)
+		}
+		pins = append(pins, p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokSymbol && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if len(pins) < 2 {
+		return fmt.Errorf("verilog: line %d: %s instance needs an output and at least one input", line, kw)
+	}
+	out, ins := pins[0], pins[1:]
+	e, err := gateExpr(g, ins, line)
+	if err != nil {
+		return fmt.Errorf("verilog: line %d: %w", line, err)
+	}
+	if _, dup := m.defs[out]; dup {
+		return fmt.Errorf("verilog: line %d: signal %q driven twice (first at line %d)", line, out, m.defLine[out])
+	}
+	m.defs[out] = e
+	m.defLine[out] = line
+	return nil
+}
+
+// gateExpr folds a multi-input primitive into a left-associated tree of
+// two-input expressions (Verilog primitives accept arbitrary input counts).
+func gateExpr(g network.Gate, ins []string, line int) (*expr, error) {
+	ident := func(n string) *expr { return &expr{kind: exprIdent, name: n, line: line} }
+	bin := func(op byte, a, b *expr) *expr {
+		return &expr{kind: exprBinary, op: op, args: []*expr{a, b}, line: line}
+	}
+	neg := func(e *expr) *expr { return &expr{kind: exprUnary, args: []*expr{e}, line: line} }
+	var op byte
+	invert := false
+	switch g {
+	case network.Not:
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("not takes exactly one input, got %d", len(ins))
+		}
+		return neg(ident(ins[0])), nil
+	case network.Buf:
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("buf takes exactly one input, got %d", len(ins))
+		}
+		return ident(ins[0]), nil
+	case network.And:
+		op = '&'
+	case network.Nand:
+		op, invert = '&', true
+	case network.Or:
+		op = '|'
+	case network.Nor:
+		op, invert = '|', true
+	case network.Xor:
+		op = '^'
+	case network.Xnor:
+		op, invert = '^', true
+	default:
+		return nil, fmt.Errorf("unsupported primitive %s", g)
+	}
+	if len(ins) < 2 {
+		return nil, fmt.Errorf("%s takes at least two inputs", g)
+	}
+	e := ident(ins[0])
+	for _, in := range ins[1:] {
+		e = bin(op, e, ident(in))
+	}
+	if invert {
+		e = neg(e)
+	}
+	return e, nil
+}
+
+// Expression parsing with Verilog precedence (low to high):
+// ?: < | < ^ < & < ~ < primary.
+
+func (p *parser) parseExpr() (*expr, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSymbol && p.tok.text == "?" {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		thenE, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(":"); err != nil {
+			return nil, err
+		}
+		elseE, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exprTernary, args: []*expr{cond, thenE, elseE}, line: line}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseOr() (*expr, error) {
+	e, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokSymbol && p.tok.text == "|" {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		e = &expr{kind: exprBinary, op: '|', args: []*expr{e, rhs}, line: line}
+	}
+	return e, nil
+}
+
+func (p *parser) parseXor() (*expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokSymbol && p.tok.text == "^" {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = &expr{kind: exprBinary, op: '^', args: []*expr{e, rhs}, line: line}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (*expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokSymbol && p.tok.text == "&" {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = &expr{kind: exprBinary, op: '&', args: []*expr{e, rhs}, line: line}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (*expr, error) {
+	if p.tok.kind == tokSymbol && (p.tok.text == "~" || p.tok.text == "!") {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exprUnary, args: []*expr{inner}, line: line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*expr, error) {
+	switch {
+	case p.tok.kind == tokSymbol && p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.tok.kind == tokIdent:
+		e := &expr{kind: exprIdent, name: p.tok.text, line: p.tok.line}
+		return e, p.advance()
+	case p.tok.kind == tokNumber:
+		v, err := parseConst(p.tok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		e := &expr{kind: exprConst, val: v, line: p.tok.line}
+		return e, p.advance()
+	default:
+		return nil, p.errf("expected expression, found %s", p.tok)
+	}
+}
+
+func parseConst(text string) (bool, error) {
+	switch strings.ToLower(text) {
+	case "0", "1'b0", "1'h0", "1'd0":
+		return false, nil
+	case "1", "1'b1", "1'h1", "1'd1":
+		return true, nil
+	}
+	return false, fmt.Errorf("unsupported constant %q (only single-bit constants)", text)
+}

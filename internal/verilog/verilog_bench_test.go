@@ -1,0 +1,25 @@
+package verilog
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func BenchmarkWriteParseC432(b *testing.B) {
+	bm, err := bench.ByName("ISCAS85", "c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := bm.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text, err := WriteString(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+const mux21Src = `
+// 2:1 multiplexer
+module mux21(a, b, s, f);
+  input a, b, s;
+  output f;
+  wire w0, w1, w2;
+  assign w0 = ~s;
+  assign w1 = a & w0;
+  assign w2 = b & s;
+  assign f = w1 | w2;
+endmodule
+`
+
+func TestParseMux21(t *testing.T) {
+	n, err := ParseString(mux21Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "mux21" {
+		t.Errorf("name = %q", n.Name)
+	}
+	if n.NumPIs() != 3 || n.NumPOs() != 1 {
+		t.Fatalf("I/O = %d/%d", n.NumPIs(), n.NumPOs())
+	}
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		a, b, s := r&1 != 0, r&2 != 0, r&4 != 0
+		want := a
+		if s {
+			want = b
+		}
+		if tt[r][0] != want {
+			t.Errorf("row %d: got %v want %v", r, tt[r][0], want)
+		}
+	}
+}
+
+func TestParseOutOfOrderAssigns(t *testing.T) {
+	src := `
+module f(a, b, y);
+  input a, b; output y;
+  wire w;
+  assign y = w ^ a;
+  assign w = a & b;
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Simulate([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false { // (1&1)^1 = 0
+		t.Errorf("got %v", out[0])
+	}
+}
+
+func TestParseGatePrimitives(t *testing.T) {
+	src := `
+module c17(in1, in2, in3, in4, in5, out1, out2);
+  input in1, in2, in3, in4, in5;
+  output out1, out2;
+  wire w1, w2, w3, w4;
+  nand g1(w1, in1, in3);
+  nand g2(w2, in3, in4);
+  nand g3(w3, in2, w2);
+  nand g4(w4, w2, in5);
+  nand g5(out1, w1, w3);
+  nand g6(out2, w3, w4);
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPIs() != 5 || n.NumPOs() != 2 {
+		t.Fatalf("I/O = %d/%d, want 5/2", n.NumPIs(), n.NumPOs())
+	}
+	if g := n.NumLogicGates(); g != 6 {
+		t.Errorf("gates = %d, want 6", g)
+	}
+}
+
+func TestParseMultiInputPrimitive(t *testing.T) {
+	src := `
+module f(a, b, c, y);
+  input a, b, c; output y;
+  and (y, a, b, c);
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		in := []bool{r&1 != 0, r&2 != 0, r&4 != 0}
+		out, err := n.Simulate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in[0] && in[1] && in[2]
+		if out[0] != want {
+			t.Errorf("row %d: got %v want %v", r, out[0], want)
+		}
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	src := `
+module m(a, b, s, f);
+  input a, b, s; output f;
+  assign f = s ? b : a;
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		in := []bool{r&1 != 0, r&2 != 0, r&4 != 0}
+		out, _ := n.Simulate(in)
+		want := in[0]
+		if in[2] {
+			want = in[1]
+		}
+		if out[0] != want {
+			t.Errorf("row %d mismatch", r)
+		}
+	}
+}
+
+func TestParseVectorPorts(t *testing.T) {
+	src := `
+module v(x, y);
+  input [1:0] x;
+  output y;
+  assign y = x[1] & x[0];
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPIs() != 2 {
+		t.Fatalf("PIs = %d, want 2", n.NumPIs())
+	}
+	// Declaration order is MSB first: x[1], x[0].
+	if n.NameOf(n.PIs()[0]) != "x[1]" || n.NameOf(n.PIs()[1]) != "x[0]" {
+		t.Errorf("PI names: %q, %q", n.NameOf(n.PIs()[0]), n.NameOf(n.PIs()[1]))
+	}
+	out, _ := n.Simulate([]bool{true, true})
+	if !out[0] {
+		t.Error("1&1 != 1")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// ~ binds tighter than &, & tighter than ^, ^ tighter than |.
+	src := `
+module p(a, b, c, f);
+  input a, b, c; output f;
+  assign f = a | b & c ^ ~a;
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		a, b, c := r&1 != 0, r&2 != 0, r&4 != 0
+		want := a || ((b && c) != !a)
+		out, _ := n.Simulate([]bool{a, b, c})
+		if out[0] != want {
+			t.Errorf("row %d: got %v want %v", r, out[0], want)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	src := `
+module k(a, f, g);
+  input a; output f, g;
+  assign f = a & 1'b0;
+  assign g = a | 1'b1;
+endmodule`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := n.Simulate([]bool{true})
+	if out[0] != false || out[1] != true {
+		t.Errorf("constants mis-evaluated: %v", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing endmodule": `module m(a, f); input a; output f; assign f = a;`,
+		"undriven signal":   `module m(a, f); input a; output f; assign f = ghost; endmodule`,
+		"driven twice":      `module m(a, f); input a; output f; assign f = a; assign f = ~a; endmodule`,
+		"comb loop":         `module m(a, f); input a; output f; wire w; assign w = f; assign f = w; endmodule`,
+		"no outputs":        `module m(a); input a; endmodule`,
+		"driven input":      `module m(a, f); input a; output f; assign a = 1'b1; assign f = a; endmodule`,
+		"wide constant":     `module m(a, f); input a; output f; assign f = a & 2'b10; endmodule`,
+		"bad syntax":        `module m(a, f); input a; output f; assign f = ; endmodule`,
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n, err := ParseString(mux21Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(n, back)
+	if err != nil || !eq {
+		t.Fatalf("round trip not equivalent (%v, %v):\n%s", eq, err, text)
+	}
+	if back.Name != "mux21" {
+		t.Errorf("module name lost: %q", back.Name)
+	}
+}
+
+func TestWriteRoundTripAllGates(t *testing.T) {
+	n := network.New("allgates")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	n.AddPO(n.AddAnd(a, b), "o_and")
+	n.AddPO(n.AddOr(a, b), "o_or")
+	n.AddPO(n.AddNand(a, b), "o_nand")
+	n.AddPO(n.AddNor(a, b), "o_nor")
+	n.AddPO(n.AddXor(a, b), "o_xor")
+	n.AddPO(n.AddXnor(a, b), "o_xnor")
+	n.AddPO(n.AddNot(a), "o_not")
+	n.AddPO(n.AddBuf(b), "o_buf")
+	n.AddPO(n.AddMaj(a, b, c), "o_maj")
+	n.AddPO(n.AddConst(true), "o_one")
+	n.AddPO(n.AddConst(false), "o_zero")
+
+	text, err := WriteString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(n, back)
+	if err != nil || !eq {
+		t.Fatalf("all-gates round trip failed (%v, %v)", eq, err)
+	}
+}
+
+func TestWriteEscapedNames(t *testing.T) {
+	n := network.New("esc")
+	a := n.AddPI("x[0]")
+	b := n.AddPI("x[1]")
+	n.AddPO(n.AddAnd(a, b), "y[0]")
+	text, err := WriteString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "\\x[0] ") {
+		t.Errorf("escaped identifier missing:\n%s", text)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if back.NameOf(back.PIs()[0]) != "x[0]" {
+		t.Errorf("PI name lost: %q", back.NameOf(back.PIs()[0]))
+	}
+}
+
+func TestWriteKeywordName(t *testing.T) {
+	n := network.New("kw")
+	a := n.AddPI("and") // pathological but legal via escaping
+	n.AddPO(n.AddNot(a), "or")
+	text, err := WriteString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(n, back)
+	if err != nil || !eq {
+		t.Fatal("keyword-named round trip failed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+module m(a, f); /* block
+comment spanning lines */ input a; output f;
+assign f = ~a; // trailing
+endmodule`
+	if _, err := ParseString(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFanoutNodesWriteAsAliases(t *testing.T) {
+	n := network.New("fan")
+	a := n.AddPI("a")
+	g1 := n.AddNot(a)
+	n.AddPO(g1, "o1")
+	n.AddPO(g1, "o2")
+	n.SubstituteFanouts(2)
+	text, err := WriteString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	eq, err := network.Equivalent(n, back)
+	if err != nil || !eq {
+		t.Fatal("fanout round trip failed")
+	}
+}

@@ -1,0 +1,198 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Write emits the network as a structural Verilog module using continuous
+// assignments. Fanout and Buf nodes are emitted as plain aliases, so the
+// output parses back into an equivalent (not structurally identical)
+// network.
+func Write(w io.Writer, n *network.Network) error {
+	var b strings.Builder
+
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+
+	// Stable signal names: PIs and POs keep their names (escaped when
+	// necessary), interior nodes become n<id>.
+	sig := make(map[network.ID]string)
+	used := make(map[string]bool)
+	unique := func(base string) string {
+		cand := base
+		for i := 2; used[cand]; i++ {
+			cand = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[cand] = true
+		return cand
+	}
+	for _, pi := range n.PIs() {
+		nm := n.NameOf(pi)
+		if nm == "" {
+			nm = fmt.Sprintf("pi%d", pi)
+		}
+		sig[pi] = unique(nm)
+	}
+	poName := make(map[network.ID]string)
+	for _, po := range n.POs() {
+		nm := n.NameOf(po)
+		if nm == "" {
+			nm = fmt.Sprintf("po%d", po)
+		}
+		poName[po] = unique(nm)
+	}
+
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		if _, ok := sig[id]; ok {
+			continue
+		}
+		if n.Gate(id).IsLogic() {
+			sig[id] = unique(fmt.Sprintf("n%d", id))
+		}
+	}
+
+	ports := make([]string, 0, n.NumPIs()+n.NumPOs())
+	for _, pi := range n.PIs() {
+		ports = append(ports, escape(sig[pi]))
+	}
+	for _, po := range n.POs() {
+		ports = append(ports, escape(poName[po]))
+	}
+
+	fmt.Fprintf(&b, "// %s — written by mntbench (repro of MNT Bench, DATE'24)\n", name)
+	fmt.Fprintf(&b, "module %s(%s);\n", escape(name), strings.Join(ports, ", "))
+	writeDeclGroup(&b, "input", pisOf(n, sig))
+	writeDeclGroup(&b, "output", posOf(n, poName))
+
+	var wires []string
+	for _, id := range order {
+		if n.Gate(id).IsLogic() {
+			wires = append(wires, escape(sig[id]))
+		}
+	}
+	sort.Strings(wires)
+	writeDeclGroup(&b, "wire", wires)
+
+	for _, id := range order {
+		nd := n.Node(id)
+		if !nd.Fn.IsLogic() {
+			continue
+		}
+		fmt.Fprintf(&b, "  assign %s = %s;\n", escape(sig[id]), rhs(nd, sig))
+	}
+	for _, po := range n.POs() {
+		drv := n.Fanins(po)[0]
+		fmt.Fprintf(&b, "  assign %s = %s;\n", escape(poName[po]), escape(sig[drv]))
+	}
+	b.WriteString("endmodule\n")
+	_, werr := io.WriteString(w, b.String())
+	return werr
+}
+
+// WriteString renders the network to a string.
+func WriteString(n *network.Network) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, n); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func pisOf(n *network.Network, sig map[network.ID]string) []string {
+	out := make([]string, 0, n.NumPIs())
+	for _, pi := range n.PIs() {
+		out = append(out, escape(sig[pi]))
+	}
+	return out
+}
+
+func posOf(n *network.Network, poName map[network.ID]string) []string {
+	out := make([]string, 0, n.NumPOs())
+	for _, po := range n.POs() {
+		out = append(out, escape(poName[po]))
+	}
+	return out
+}
+
+func writeDeclGroup(b *strings.Builder, kw string, names []string) {
+	if len(names) == 0 {
+		return
+	}
+	const perLine = 8
+	for i := 0; i < len(names); i += perLine {
+		end := i + perLine
+		if end > len(names) {
+			end = len(names)
+		}
+		fmt.Fprintf(b, "  %s %s;\n", kw, strings.Join(names[i:end], ", "))
+	}
+}
+
+func rhs(nd network.Node, sig map[network.ID]string) string {
+	in := func(i int) string { return escape(sig[nd.Fanins[i]]) }
+	switch nd.Fn {
+	case network.Const0:
+		return "1'b0"
+	case network.Const1:
+		return "1'b1"
+	case network.Buf, network.Fanout:
+		return in(0)
+	case network.Not:
+		return "~" + in(0)
+	case network.And:
+		return in(0) + " & " + in(1)
+	case network.Or:
+		return in(0) + " | " + in(1)
+	case network.Nand:
+		return "~(" + in(0) + " & " + in(1) + ")"
+	case network.Nor:
+		return "~(" + in(0) + " | " + in(1) + ")"
+	case network.Xor:
+		return in(0) + " ^ " + in(1)
+	case network.Xnor:
+		return "~(" + in(0) + " ^ " + in(1) + ")"
+	case network.Maj:
+		a, b, c := in(0), in(1), in(2)
+		return fmt.Sprintf("(%s & %s) | (%s & %s) | (%s & %s)", a, b, a, c, b, c)
+	}
+	return "1'b0"
+}
+
+// escape renders a signal name as a valid Verilog identifier, using
+// escaped-identifier syntax when the name contains characters like [ ].
+func escape(name string) string {
+	plain := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && len(name) > 0 && !(name[0] >= '0' && name[0] <= '9') {
+		if !verilogKeywords[name] {
+			return name
+		}
+	}
+	return "\\" + name + " "
+}
+
+var verilogKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "assign": true, "and": true, "or": true, "nand": true,
+	"nor": true, "xor": true, "xnor": true, "not": true, "buf": true,
+}
