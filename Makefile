@@ -1,0 +1,30 @@
+# Development targets. `make check` is the tier-1+ gate described in
+# ROADMAP.md: build, vet, formatting, and the full test suite with the
+# race detector on the concurrency-sensitive packages.
+
+GO ?= go
+
+.PHONY: all build test race check fmt vet bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs ./internal/server
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: build vet fmt test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -61,7 +62,7 @@ func tableLimits() core.Limits {
 func benchTable(b *testing.B, lib *gatelib.Library) {
 	benches := tableBenches(b)
 	for i := 0; i < b.N; i++ {
-		db := core.Generate(benches, lib, tableLimits(), nil)
+		db := core.Generate(context.Background(), benches, lib, tableLimits(), nil)
 		rows := db.TableI(benches, lib)
 		if len(rows) == 0 {
 			b.Fatal("no table rows")
@@ -88,7 +89,7 @@ func BenchmarkTableIBestagon(b *testing.B) { benchTable(b, gatelib.Bestagon) }
 func BenchmarkDeltaA(b *testing.B) {
 	benches := bench.BySet("Trindade16")
 	for i := 0; i < b.N; i++ {
-		db := core.Generate(benches, gatelib.QCAOne, tableLimits(), nil)
+		db := core.Generate(context.Background(), benches, gatelib.QCAOne, tableLimits(), nil)
 		improved, total := 0, 0
 		worst := 0.0
 		for _, bm := range benches {
@@ -116,7 +117,7 @@ func BenchmarkDeltaA(b *testing.B) {
 // filtered catalogue queries and .fgl downloads against a live server.
 func BenchmarkWebInterface(b *testing.B) {
 	benches := bench.BySet("Trindade16")[:3]
-	db := core.Generate(benches, gatelib.QCAOne, tableLimits(), nil)
+	db := core.Generate(context.Background(), benches, gatelib.QCAOne, tableLimits(), nil)
 	srv := httptest.NewServer(server.New(db))
 	defer srv.Close()
 	paths := []string{
@@ -228,7 +229,7 @@ func BenchmarkExactMux21(b *testing.B) {
 	limits := core.Limits{ExactTimeout: 10 * time.Second}
 	flow := core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoExact}
 	for i := 0; i < b.N; i++ {
-		e, err := core.RunFlow(bm, flow, limits)
+		e, err := core.RunFlow(context.Background(), bm, flow, limits)
 		if err != nil {
 			b.Fatal(err)
 		}

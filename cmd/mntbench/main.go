@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/verify"
 	"repro/internal/verilog"
@@ -144,6 +148,7 @@ func cmdTable(args []string) error {
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget per function (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "post-layout optimization budget (seconds)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,13 +160,20 @@ func cmdTable(args []string) error {
 	if err != nil {
 		return err
 	}
-	progress := func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	ctx, err := of.activate(context.Background())
+	if err != nil {
+		return err
+	}
+	progress := func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
 	if *quiet {
 		progress = nil
 	}
 	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
 	limits.DiscardLayouts = true
-	db := core.Generate(benches, library, limits, progress)
+	db := core.Generate(ctx, benches, library, limits, progress)
+	if s := db.SkippedSummary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
+	}
 	text := core.RenderTableI(db.TableI(benches, library), library)
 	fmt.Print(text)
 	if *out != "" {
@@ -182,6 +194,7 @@ func cmdGenerate(args []string) error {
 	exactSec := fs.Int("exact-timeout", 3, "exact search budget (seconds)")
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "PLO budget (seconds)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,10 +213,20 @@ func cmdGenerate(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
+	ctx, err := of.activate(context.Background())
+	if err != nil {
+		return err
+	}
+	// Ctrl-C stops the campaign at the next stage boundary; the layouts
+	// finished so far are still written and the summaries still print.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
 	written := 0
+	skipped := &core.Database{}
 	for _, library := range libs {
-		db := core.Generate(benches, library, limits, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		db := core.Generate(ctx, benches, library, limits, func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) })
+		skipped.Failures = append(skipped.Failures, db.Failures...)
 		for _, e := range db.Entries {
 			base := fmt.Sprintf("%s__%s__%s", strings.ToLower(e.Benchmark.Set), strings.ToLower(e.Benchmark.Name), e.Flow.ID())
 			text, err := fgl.WriteString(e.Layout)
@@ -226,7 +249,16 @@ func cmdGenerate(args []string) error {
 			}
 		}
 	}
+	if s := skipped.SkippedSummary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
+	}
+	if s := stageSummary(obs.Default()); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
 	fmt.Printf("wrote %d layouts to %s\n", written, *dir)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("generation interrupted: %w", err)
+	}
 	return nil
 }
 
@@ -238,8 +270,18 @@ func cmdServe(args []string) error {
 	full := fs.Bool("full", false, "include the largest circuits")
 	dir := fs.String("dir", "", "serve pre-generated layouts from this directory instead of generating")
 	reverify := fs.Bool("reverify", false, "with -dir: re-establish functional equivalence on load")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx, err := of.activate(context.Background())
+	if err != nil {
+		return err
+	}
+	opts := []server.Option{}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
 	}
 	if *dir != "" {
 		db, err := core.LoadDatabase(*dir, *reverify)
@@ -250,7 +292,7 @@ func cmdServe(args []string) error {
 			fmt.Fprintln(os.Stderr, "skipped:", f.Reason)
 		}
 		fmt.Printf("serving %d pre-generated layouts on %s\n", len(db.Entries), *addr)
-		return http.ListenAndServe(*addr, server.New(db))
+		return http.ListenAndServe(*addr, server.New(db, opts...))
 	}
 	benches, err := selectBenches(*set, "", *full)
 	if err != nil {
@@ -266,12 +308,12 @@ func cmdServe(args []string) error {
 	}
 	db := &core.Database{}
 	for _, library := range libs {
-		part := core.Generate(benches, library, core.Limits{}, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		part := core.Generate(ctx, benches, library, core.Limits{}, func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) })
 		db.Entries = append(db.Entries, part.Entries...)
 		db.Failures = append(db.Failures, part.Failures...)
 	}
 	fmt.Printf("serving %d layouts on %s\n", len(db.Entries), *addr)
-	return http.ListenAndServe(*addr, server.New(db))
+	return http.ListenAndServe(*addr, server.New(db, opts...))
 }
 
 func cmdLayout(args []string) error {
@@ -334,7 +376,7 @@ func cmdLayout(args []string) error {
 	}
 	flow := core.Flow{Library: library, Scheme: scheme, Algorithm: algorithm,
 		InputOrder: *inOrd, PostLayout: *plo, Hexagonalize: hexify}
-	entry, err := core.RunFlowOnNetwork(n, "custom", flow, core.Limits{
+	entry, err := core.RunFlowOnNetwork(context.Background(), n, "custom", flow, core.Limits{
 		ExactTimeout:  time.Duration(*exactSec) * time.Second,
 		ExactMaxNodes: 1 << 30,
 	})

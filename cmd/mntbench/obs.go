@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsFlags bundles the observability flags shared by the long-running
+// commands (table, generate, serve).
+type obsFlags struct {
+	logLevel    *string
+	logJSON     *bool
+	metricsAddr *string
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		logLevel:    fs.String("log-level", "info", "log level: debug, info, warn, error"),
+		logJSON:     fs.Bool("log-json", false, "emit logs as JSON lines"),
+		metricsAddr: fs.String("metrics-addr", "", "expose /metrics, /healthz and /debug/pprof on this address (e.g. :9090)"),
+	}
+}
+
+// activate installs the configured logger as the process default,
+// optionally starts the metrics sidecar server, and returns a context
+// carrying the logger and the process registry.
+func (o *obsFlags) activate(ctx context.Context) (context.Context, error) {
+	level, err := obs.ParseLevel(*o.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	log := obs.NewLogger(os.Stderr, level, *o.logJSON)
+	obs.SetDefaultLogger(log)
+	reg := obs.Default()
+	ctx = obs.WithLogger(obs.WithRegistry(ctx, reg), log)
+	if *o.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.MetricsHandler())
+		mux.HandleFunc("/healthz", obs.Healthz)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *o.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		log.Info("metrics listening", "addr", ln.Addr().String())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+	}
+	return ctx, nil
+}
+
+// stageSummary renders a per-stage timing table from the span
+// histograms collected during a campaign; empty when nothing was timed.
+func stageSummary(reg *obs.Registry) string {
+	type row struct {
+		stage                 string
+		calls                 uint64
+		total, mean, p50, p95 float64
+	}
+	var rows []row
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != obs.SpanMetric {
+			continue
+		}
+		for _, s := range fam.Series {
+			if s.Histogram == nil || s.Histogram.Count == 0 {
+				continue
+			}
+			stage := ""
+			for _, l := range s.Labels {
+				if l.Key == "stage" {
+					stage = l.Value
+				}
+			}
+			if stage == "" || stage == "flow" {
+				continue // flow spans carry extra labels; only stages belong here
+			}
+			h := *s.Histogram
+			rows = append(rows, row{stage, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.95)})
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %7s %10s %10s %10s %10s\n", "stage", "calls", "total", "mean", "p50", "p95")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %7d %10s %10s %10s %10s\n", r.stage, r.calls,
+			fmtSec(r.total), fmtSec(r.mean), fmtSec(r.p50), fmtSec(r.p95))
+	}
+	return sb.String()
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,12 +28,12 @@ func main() {
 	if len(benches) == 0 {
 		log.Fatalf("unknown benchmark set %q", *set)
 	}
-	progress := func(string) {}
+	var progress func(core.Progress)
 	if *verbose {
-		progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+		progress = func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
 	}
 	for _, lib := range gatelib.All() {
-		db := core.Generate(benches, lib, core.Limits{}, progress)
+		db := core.Generate(context.Background(), benches, lib, core.Limits{}, progress)
 		rows := db.TableI(benches, lib)
 		fmt.Print(core.RenderTableI(rows, lib))
 		fmt.Printf("(%d layouts generated, %d flows skipped)\n\n", len(db.Entries), len(db.Failures))

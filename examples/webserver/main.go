@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +29,7 @@ func main() {
 	}
 	db := &core.Database{}
 	for _, lib := range gatelib.All() {
-		part := core.Generate(benches, lib, core.Limits{}, func(msg string) { fmt.Fprintln(os.Stderr, msg) })
+		part := core.Generate(context.Background(), benches, lib, core.Limits{}, func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) })
 		db.Entries = append(db.Entries, part.Entries...)
 	}
 	fmt.Printf("MNT Bench: %d layouts ready — http://localhost%s/\n", len(db.Entries), *addr)

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -201,7 +202,7 @@ func TestBestLayoutSelection(t *testing.T) {
 		mustBenchmark(t, "Trindade16", "par_gen"),
 	}
 	limits := core.Limits{ExactTimeout: 2 * time.Second, NanoTimeout: 2 * time.Second, PLOTimeout: 5 * time.Second}
-	db := core.Generate(benches, gatelib.QCAOne, limits, nil)
+	db := core.Generate(context.Background(), benches, gatelib.QCAOne, limits, nil)
 	for _, b := range benches {
 		best := db.Best(b.Set, b.Name, gatelib.QCAOne)
 		if best == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func mustBench(t *testing.T, set, name string) bench.Benchmark {
 
 func TestRunFlowOrthoQCAOne(t *testing.T) {
 	b := mustBench(t, "Trindade16", "mux21")
-	e, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRunFlowOrthoQCAOne(t *testing.T) {
 
 func TestRunFlowXorNeedsDecompositionOnQCAOne(t *testing.T) {
 	b := mustBench(t, "Trindade16", "ha") // contains XOR
-	e, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunFlowXorNeedsDecompositionOnQCAOne(t *testing.T) {
 
 func TestRunFlowBestagonHexagonalized(t *testing.T) {
 	b := mustBench(t, "Trindade16", "ha")
-	e, err := RunFlow(b, Flow{Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: AlgoOrtho, Hexagonalize: true}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: AlgoOrtho, Hexagonalize: true}, fastLimits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRunFlowBestagonHexagonalized(t *testing.T) {
 
 func TestRunFlowExact(t *testing.T) {
 	b := mustBench(t, "Trindade16", "xor2")
-	e, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoExact}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoExact}, fastLimits())
 	if err != nil {
 		t.Skipf("exact within budget failed: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestRunFlowExact(t *testing.T) {
 
 func TestRunFlowRejectsOrthoOnUSE(t *testing.T) {
 	b := mustBench(t, "Trindade16", "mux21")
-	_, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.USE, Algorithm: AlgoOrtho}, fastLimits())
+	_, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.USE, Algorithm: AlgoOrtho}, fastLimits())
 	if err == nil {
 		t.Fatal("ortho on USE accepted")
 	}
@@ -96,7 +97,7 @@ func TestGenerateAndTableTrindade(t *testing.T) {
 		t.Skip("full flow generation in -short mode")
 	}
 	benches := bench.BySet("Trindade16")[:3] // mux21, xor2, xnor2
-	db := Generate(benches, gatelib.QCAOne, fastLimits(), nil)
+	db := Generate(context.Background(), benches, gatelib.QCAOne, fastLimits(), nil)
 	if len(db.Entries) == 0 {
 		t.Fatal("no entries generated")
 	}
@@ -132,7 +133,7 @@ func TestGenerateAndTableTrindade(t *testing.T) {
 
 func TestFilterMatching(t *testing.T) {
 	b := mustBench(t, "Trindade16", "mux21")
-	e, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFlowIDRoundTrip(t *testing.T) {
 func TestLoadDatabaseRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	b := mustBench(t, "Trindade16", "mux21")
-	e, err := RunFlow(b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
+	e, err := RunFlow(context.Background(), b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 
 	"repro/internal/bench"
 	"repro/internal/clocking"
@@ -152,23 +155,59 @@ type Entry struct {
 	Gates     int
 	Wires     int
 	Crossings int
-	Runtime   time.Duration
+	// Runtime is the physical design wall time: placement plus the
+	// optional hexagonalization and post-layout optimization stages. It
+	// excludes library preparation and verification (DRC, equivalence) —
+	// the paper's t column reports tool effort, not checking effort.
+	Runtime time.Duration
+	// Stages records the wall time of every pipeline stage that ran,
+	// keyed by span name: prepare, place.<algorithm>, hexagonalize,
+	// postlayout, drc, equivalence.
+	Stages map[string]time.Duration
 	// Verified is true when the layout passed DRC and equivalence
 	// checking; VerifyNote explains partial verification.
 	Verified   bool
 	VerifyNote string
 }
 
+// Metric families recorded by the core engine.
+const (
+	// MetricFlowTotal counts finished flows, labeled by outcome.
+	MetricFlowTotal = "mntbench_flow_total"
+	// MetricCampaignTotal / MetricCampaignDone gauge a Generate
+	// campaign's progress.
+	MetricCampaignTotal = "mntbench_campaign_flows_total"
+	MetricCampaignDone  = "mntbench_campaign_flows_done"
+	// MetricCampaignCurrent is an info gauge (value 1) labeled with the
+	// benchmark currently being generated.
+	MetricCampaignCurrent = "mntbench_campaign_current"
+)
+
+// Pipeline stage span names (see Entry.Stages and obs.SpanMetric).
+const (
+	StagePrepare      = "prepare"
+	StageHexagonalize = "hexagonalize"
+	StagePostLayout   = "postlayout"
+	StageDRC          = "drc"
+	StageEquivalence  = "equivalence"
+)
+
+// StagePlace returns the placement stage name for an algorithm, e.g.
+// "place.ortho".
+func StagePlace(a Algorithm) string { return "place." + strings.ToLower(string(a)) }
+
 // RunFlow executes one flow on one benchmark. A nil error with a nil
-// Layout never occurs: infeasible or out-of-budget flows return an error.
-func RunFlow(b bench.Benchmark, flow Flow, limits Limits) (*Entry, error) {
-	return runFlowImpl(b, b.Build(), flow, limits)
+// Layout never occurs: infeasible or out-of-budget flows return an
+// error (classify it with ClassifyOutcome). The context carries the
+// obs registry/logger for spans and may cancel the flow between stages.
+func RunFlow(ctx context.Context, b bench.Benchmark, flow Flow, limits Limits) (*Entry, error) {
+	return runFlowImpl(ctx, b, b.Build(), flow, limits)
 }
 
 // RunFlowOnNetwork executes one flow on an ad-hoc network that is not
 // part of a registered benchmark suite (used by the CLI's layout
 // command). set names the pseudo-suite in the resulting entry.
-func RunFlowOnNetwork(n *network.Network, set string, flow Flow, limits Limits) (*Entry, error) {
+func RunFlowOnNetwork(ctx context.Context, n *network.Network, set string, flow Flow, limits Limits) (*Entry, error) {
 	b := bench.Benchmark{
 		Set:    set,
 		Name:   n.Name,
@@ -179,70 +218,124 @@ func RunFlowOnNetwork(n *network.Network, set string, flow Flow, limits Limits) 
 		PubNodes: n.NumLogicGates(),
 		Build:    n.Clone,
 	}
-	return runFlowImpl(b, n, flow, limits)
+	return runFlowImpl(ctx, b, n, flow, limits)
 }
 
-func runFlowImpl(b bench.Benchmark, n *network.Network, flow Flow, limits Limits) (*Entry, error) {
+func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flow Flow, limits Limits) (entry *Entry, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	limits = limits.withDefaults()
-	prepared, err := flow.Library.Prepare(n)
-	if err != nil {
+
+	ctx, flowSpan := obs.StartSpan(ctx, "flow",
+		obs.L("algorithm", string(flow.Algorithm)), obs.L("library", libID(flow.Library)))
+	defer func() {
+		flowSpan.SetError(err)
+		flowSpan.End()
+		obs.RegistryFrom(ctx).Counter(MetricFlowTotal,
+			obs.L("outcome", string(ClassifyOutcome(err)))).Inc()
+	}()
+
+	// stage times one pipeline step under a span, aborting early when
+	// the campaign has been canceled.
+	stages := make(map[string]time.Duration)
+	stage := func(name string, fn func() error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("core: canceled before %s: %w", name, cerr)
+		}
+		_, sp := obs.StartSpan(ctx, name)
+		serr := fn()
+		sp.SetError(serr)
+		stages[name] = sp.End()
+		return serr
+	}
+
+	var prepared *network.Network
+	if err = stage(StagePrepare, func() error {
+		var perr error
+		prepared, perr = flow.Library.Prepare(n)
+		return perr
+	}); err != nil {
 		return nil, err
 	}
 
-	start := time.Now()
-	var l *layout.Layout
-	switch flow.Algorithm {
-	case AlgoExact:
-		l, err = runExact(prepared, flow, limits)
-	case AlgoOrtho:
-		l, err = runOrtho(n, flow, limits)
-	case AlgoNanoPlaceR:
-		l, err = runNano(prepared, flow, limits)
-	default:
+	if flow.Algorithm != AlgoExact && flow.Algorithm != AlgoOrtho && flow.Algorithm != AlgoNanoPlaceR {
 		return nil, fmt.Errorf("core: unknown algorithm %q", flow.Algorithm)
 	}
-	if err != nil {
+	placeStage := StagePlace(flow.Algorithm)
+	var l *layout.Layout
+	if err = stage(placeStage, func() error {
+		var perr error
+		switch flow.Algorithm {
+		case AlgoExact:
+			l, perr = runExact(prepared, flow, limits)
+		case AlgoOrtho:
+			l, perr = runOrtho(n, flow, limits)
+		case AlgoNanoPlaceR:
+			l, perr = runNano(prepared, flow, limits)
+		}
+		return perr
+	}); err != nil {
 		return nil, err
 	}
 
 	if flow.Hexagonalize {
-		l, err = hexagonal.Map(l)
-		if err != nil {
+		if err = stage(StageHexagonalize, func() error {
+			var herr error
+			l, herr = hexagonal.Map(l)
+			return herr
+		}); err != nil {
 			return nil, err
 		}
 	}
 	if flow.PostLayout {
 		if l.NumTiles() > limits.PLOMaxTiles {
-			return nil, fmt.Errorf("core: layout too large for PLO (%d tiles > %d)", l.NumTiles(), limits.PLOMaxTiles)
+			return nil, fmt.Errorf("core: %w: layout too large for PLO (%d tiles > %d)",
+				ErrInfeasible, l.NumTiles(), limits.PLOMaxTiles)
 		}
-		l, err = postlayout.Optimize(l, postlayout.Options{Timeout: limits.PLOTimeout})
-		if err != nil {
+		if err = stage(StagePostLayout, func() error {
+			var oerr error
+			l, oerr = postlayout.Optimize(l, postlayout.Options{Timeout: limits.PLOTimeout})
+			return oerr
+		}); err != nil {
 			return nil, err
 		}
 	}
-	elapsed := time.Since(start)
 
 	l.Name = b.Name
 	l.Library = flow.Library.Name
-	if err := flow.Library.CheckLayout(l); err != nil {
-		return nil, err
-	}
 
-	e := &Entry{Benchmark: b, Flow: flow, Layout: l, Runtime: elapsed}
+	// The paper's runtime column: placement and optimization effort only.
+	runtime := stages[placeStage] + stages[StageHexagonalize] + stages[StagePostLayout]
+	e := &Entry{Benchmark: b, Flow: flow, Layout: l, Runtime: runtime, Stages: stages}
 	s := l.ComputeStats()
 	e.Width, e.Height, e.Area = s.Width, s.Height, s.Area
 	e.Gates, e.Wires, e.Crossings = s.Gates, s.Wires, s.Crossings
 
-	if err := verify.CheckDesignRules(l).Error(); err != nil {
-		return nil, fmt.Errorf("core: %s/%s %s: %w", b.Set, b.Name, flow, err)
-	}
-	if l.NumTiles() <= limits.VerifyMaxTiles {
-		eq, verr := verify.Equivalent(l, n)
-		if verr != nil {
-			return nil, fmt.Errorf("core: %s/%s %s: %w", b.Set, b.Name, flow, verr)
+	if err = stage(StageDRC, func() error {
+		if cerr := flow.Library.CheckLayout(l); cerr != nil {
+			return fmt.Errorf("core: %s/%s %s: %w: %w", b.Set, b.Name, flow, ErrVerifyFailed, cerr)
 		}
-		if !eq {
-			return nil, fmt.Errorf("core: %s/%s %s: layout not equivalent to network", b.Set, b.Name, flow)
+		if derr := verify.CheckDesignRules(l).Error(); derr != nil {
+			return fmt.Errorf("core: %s/%s %s: %w: %w", b.Set, b.Name, flow, ErrVerifyFailed, derr)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if l.NumTiles() <= limits.VerifyMaxTiles {
+		if err = stage(StageEquivalence, func() error {
+			eq, verr := verify.Equivalent(l, n)
+			if verr != nil {
+				return fmt.Errorf("core: %s/%s %s: %w: %w", b.Set, b.Name, flow, ErrVerifyFailed, verr)
+			}
+			if !eq {
+				return fmt.Errorf("core: %s/%s %s: %w: layout not equivalent to network", b.Set, b.Name, flow, ErrVerifyFailed)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		e.Verified = true
 	} else {
@@ -256,8 +349,8 @@ func runFlowImpl(b bench.Benchmark, n *network.Network, flow Flow, limits Limits
 
 func runExact(prepared *network.Network, flow Flow, limits Limits) (*layout.Layout, error) {
 	if prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs() > limits.ExactMaxNodes {
-		return nil, fmt.Errorf("core: network too large for exact (%d nodes > %d)",
-			prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs(), limits.ExactMaxNodes)
+		return nil, fmt.Errorf("core: %w: network too large for exact (%d nodes > %d)",
+			ErrInfeasible, prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs(), limits.ExactMaxNodes)
 	}
 	return exact.Place(prepared, exact.Options{
 		Scheme:  flow.Scheme,
@@ -268,7 +361,7 @@ func runExact(prepared *network.Network, flow Flow, limits Limits) (*layout.Layo
 
 func runOrtho(n *network.Network, flow Flow, limits Limits) (*layout.Layout, error) {
 	if flow.Scheme != clocking.TwoDDWave && !flow.Hexagonalize {
-		return nil, fmt.Errorf("core: ortho targets 2DDWave, not %s", flow.Scheme)
+		return nil, fmt.Errorf("core: %w: ortho targets 2DDWave, not %s", ErrInfeasible, flow.Scheme)
 	}
 	// ortho itself only guarantees two-input nodes; functions the target
 	// library cannot realize (e.g. XOR under QCA ONE) must be decomposed

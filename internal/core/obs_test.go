@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+	"repro/internal/obs"
+	"repro/internal/physical/exact"
+)
+
+// TestRuntimeExcludesVerification pins the Entry.Runtime definition:
+// placement plus optimization stages only — library preparation and
+// verification (DRC, equivalence) are reported in Stages but never count
+// toward the paper's runtime column.
+func TestRuntimeExcludesVerification(t *testing.T) {
+	b := mustBench(t, "Trindade16", "ha")
+	e, err := RunFlow(context.Background(), b, Flow{
+		Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: AlgoOrtho,
+		Hexagonalize: true, PostLayout: true,
+	}, fastLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := e.Stages[StagePlace(AlgoOrtho)]
+	if place <= 0 {
+		t.Fatalf("placement stage not timed: %v", e.Stages)
+	}
+	want := place + e.Stages[StageHexagonalize] + e.Stages[StagePostLayout]
+	if e.Runtime != want {
+		t.Errorf("Runtime = %v, want placement+hex+plo = %v (stages %v)", e.Runtime, want, e.Stages)
+	}
+	// Verification ran and was timed, but is kept out of Runtime.
+	for _, stage := range []string{StagePrepare, StageDRC, StageEquivalence} {
+		if _, ok := e.Stages[stage]; !ok {
+			t.Errorf("stage %q missing from Stages: %v", stage, e.Stages)
+		}
+	}
+}
+
+func TestRunFlowRecordsSpansAndOutcome(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	b := mustBench(t, "Trindade16", "mux21")
+	if _, err := RunFlow(ctx, b, Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}, fastLimits()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricFlowTotal, obs.L("outcome", string(OutcomeOK))).Value(); got != 1 {
+		t.Errorf("ok outcome counter = %d, want 1", got)
+	}
+	for _, stage := range []string{StagePrepare, StagePlace(AlgoOrtho), StageDRC, StageEquivalence, "flow"} {
+		labels := []obs.Label{obs.L("stage", stage)}
+		if stage == "flow" {
+			labels = append(labels, obs.L("algorithm", "ortho"), obs.L("library", "qcaone"))
+		}
+		if s := reg.Histogram(obs.SpanMetric, nil, labels...).Snapshot(); s.Count != 1 {
+			t.Errorf("stage %q histogram count = %d, want 1", stage, s.Count)
+		}
+	}
+}
+
+func TestClassifyOutcome(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OutcomeOK},
+		{exact.ErrTimeout, OutcomeTimeout},
+		{exact.ErrNoLayout, OutcomeInfeasible},
+		{ErrInfeasible, OutcomeInfeasible},
+		{ErrVerifyFailed, OutcomeVerifyFailed},
+		{context.Canceled, OutcomeCanceled},
+		{context.DeadlineExceeded, OutcomeCanceled},
+		{errors.New("boom"), OutcomeError},
+	}
+	for _, c := range cases {
+		if got := ClassifyOutcome(c.err); got != c.want {
+			t.Errorf("ClassifyOutcome(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+	// Wrapped sentinels classify the same way.
+	b := mustBench(t, "Trindade16", "mux21")
+	_, err := RunFlow(context.Background(), b,
+		Flow{Library: gatelib.QCAOne, Scheme: clocking.USE, Algorithm: AlgoOrtho}, fastLimits())
+	if got := ClassifyOutcome(err); got != OutcomeInfeasible {
+		t.Errorf("ortho-on-USE outcome = %s, want infeasible (%v)", got, err)
+	}
+}
+
+func TestGenerateSkippedSummary(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	benches := []bench.Benchmark{mustBench(t, "Trindade16", "mux21")}
+	// A nanosecond exact budget forces every exact flow to time out while
+	// the scalable flows still succeed.
+	limits := fastLimits()
+	limits.ExactTimeout = time.Nanosecond
+	db := Generate(ctx, benches, gatelib.QCAOne, limits, nil)
+	if len(db.Entries) == 0 {
+		t.Fatal("no layouts generated at all")
+	}
+	skipped := db.Skipped()
+	if skipped[OutcomeTimeout] == 0 {
+		t.Errorf("no timeouts recorded: %v (failures %d)", skipped, len(db.Failures))
+	}
+	summary := db.SkippedSummary()
+	if !strings.Contains(summary, "timeout") || !strings.Contains(summary, "flows skipped") {
+		t.Errorf("summary = %q", summary)
+	}
+	if got := reg.Counter(MetricFlowTotal, obs.L("outcome", string(OutcomeTimeout))).Value(); got == 0 {
+		t.Error("timeout outcome counter not incremented")
+	}
+	if done, total := reg.Gauge(MetricCampaignDone).Value(), reg.Gauge(MetricCampaignTotal).Value(); done != total {
+		t.Errorf("campaign done %v != total %v after completion", done, total)
+	}
+	// Every failure carries a non-empty outcome.
+	for _, f := range db.Failures {
+		if f.Outcome == "" {
+			t.Errorf("failure without outcome: %q", f.Reason)
+		}
+	}
+}
+
+func TestGenerateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first flow
+	benches := []bench.Benchmark{mustBench(t, "Trindade16", "mux21")}
+	db := Generate(ctx, benches, gatelib.QCAOne, fastLimits(), nil)
+	if len(db.Entries) != 0 {
+		t.Errorf("canceled campaign produced %d entries", len(db.Entries))
+	}
+	// The campaign must return promptly with the partial database rather
+	// than running all flows; at most the in-flight flow is recorded.
+	if len(db.Failures) > 1 {
+		t.Errorf("canceled campaign recorded %d failures", len(db.Failures))
+	}
+	empty := &Database{}
+	if s := empty.SkippedSummary(); s != "" {
+		t.Errorf("empty summary = %q", s)
+	}
+}

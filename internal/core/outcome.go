@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/physical/exact"
+	"repro/internal/physical/nanoplacer"
+)
+
+// Outcome classifies how a flow ended; it is the label of the
+// mntbench_flow_total counter and the key of Database.Skipped.
+type Outcome string
+
+// The flow outcomes.
+const (
+	// OutcomeOK: the flow produced a (at least DRC-) verified layout.
+	OutcomeOK Outcome = "ok"
+	// OutcomeInfeasible: the combination cannot work or exceeds a
+	// feasibility bound (size caps, scheme restrictions, no layout within
+	// the area bound).
+	OutcomeInfeasible Outcome = "infeasible"
+	// OutcomeTimeout: a placement search exhausted its time budget.
+	OutcomeTimeout Outcome = "timeout"
+	// OutcomeVerifyFailed: a layout was produced but failed library
+	// conformance, DRC, or equivalence checking.
+	OutcomeVerifyFailed Outcome = "verify_failed"
+	// OutcomeCanceled: the context was canceled mid-flow.
+	OutcomeCanceled Outcome = "canceled"
+	// OutcomeError: any other failure.
+	OutcomeError Outcome = "error"
+)
+
+// ErrInfeasible marks flows skipped because the input exceeds a
+// feasibility bound, as opposed to genuine failures; check with
+// errors.Is.
+var ErrInfeasible = errors.New("flow infeasible")
+
+// ErrVerifyFailed marks layouts that failed library conformance, design
+// rule checking, or equivalence checking; check with errors.Is.
+var ErrVerifyFailed = errors.New("verification failed")
+
+// ClassifyOutcome maps a RunFlow error to its outcome; nil maps to
+// OutcomeOK.
+func ClassifyOutcome(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return OutcomeCanceled
+	case errors.Is(err, exact.ErrTimeout):
+		return OutcomeTimeout
+	case errors.Is(err, ErrVerifyFailed):
+		return OutcomeVerifyFailed
+	case errors.Is(err, ErrInfeasible),
+		errors.Is(err, exact.ErrNoLayout),
+		errors.Is(err, nanoplacer.ErrNoLayout),
+		errors.Is(err, nanoplacer.ErrTooLarge):
+		return OutcomeInfeasible
+	}
+	return OutcomeError
+}

@@ -79,17 +79,17 @@ func LoadDatabase(dir string, reverify bool) (*Database, error) {
 		stem := strings.TrimSuffix(name, ".fgl")
 		parts := strings.SplitN(stem, "__", 3)
 		if len(parts) != 3 {
-			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: not a generated layout file name", name)})
+			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: not a generated layout file name", name), Outcome: OutcomeError})
 			continue
 		}
 		bm, err := bench.ByName(parts[0], parts[1])
 		if err != nil {
-			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: %v", name, err)})
+			db.Failures = append(db.Failures, Failure{Reason: fmt.Sprintf("%s: %v", name, err), Outcome: OutcomeError})
 			continue
 		}
 		flow, err := ParseFlowID(parts[2])
 		if err != nil {
-			db.Failures = append(db.Failures, Failure{Benchmark: bm, Reason: err.Error()})
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Reason: err.Error(), Outcome: OutcomeError})
 			continue
 		}
 		f, err := os.Open(filepath.Join(dir, name))
@@ -99,11 +99,11 @@ func LoadDatabase(dir string, reverify bool) (*Database, error) {
 		l, err := fgl.Read(f)
 		f.Close()
 		if err != nil {
-			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error()})
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error(), Outcome: OutcomeError})
 			continue
 		}
 		if err := verify.CheckDesignRules(l).Error(); err != nil {
-			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error()})
+			db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow, Reason: err.Error(), Outcome: OutcomeVerifyFailed})
 			continue
 		}
 		e := &Entry{Benchmark: bm, Flow: flow, Layout: l}
@@ -115,7 +115,8 @@ func LoadDatabase(dir string, reverify bool) (*Database, error) {
 			eq, verr := verify.Equivalent(l, bm.Build())
 			if verr != nil || !eq {
 				db.Failures = append(db.Failures, Failure{Benchmark: bm, Flow: flow,
-					Reason: fmt.Sprintf("not equivalent to %s/%s (%v)", bm.Set, bm.Name, verr)})
+					Reason:  fmt.Sprintf("not equivalent to %s/%s (%v)", bm.Set, bm.Name, verr),
+					Outcome: OutcomeVerifyFailed})
 				continue
 			}
 			e.Verified = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 )
 
 // Database holds all generated layout entries, the MNT Bench catalogue.
@@ -23,34 +25,124 @@ type Failure struct {
 	Benchmark bench.Benchmark
 	Flow      Flow
 	Reason    string
+	// Outcome classifies the failure (infeasible, timeout, ...).
+	Outcome Outcome
+}
+
+// Progress reports one finished flow of a Generate campaign to the
+// progress callback; exactly one of Entry and Err is set.
+type Progress struct {
+	Benchmark bench.Benchmark
+	Flow      Flow
+	// Done flows out of Total have finished, this one included.
+	Done, Total int
+	Entry       *Entry // nil when the flow failed
+	Err         error  // nil when the flow succeeded
+	Outcome     Outcome
+	Elapsed     time.Duration
+}
+
+// String renders the progress line the CLI prints per flow.
+func (p Progress) String() string {
+	if p.Err != nil {
+		return fmt.Sprintf("%-10s %-14s %-40s skipped: %s (%v)",
+			p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(), p.Outcome, p.Elapsed)
+	}
+	return fmt.Sprintf("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)",
+		p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(),
+		p.Entry.Width, p.Entry.Height, p.Entry.Area, p.Elapsed)
 }
 
 // Generate runs every feasible flow of the given library over the given
-// benchmarks. A nil progress callback is allowed.
-func Generate(benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(string)) *Database {
+// benchmarks. A nil progress callback is allowed. The context's obs
+// registry receives campaign gauges (flows done/total, the current
+// benchmark) and per-flow outcome counters; canceling the context stops
+// the campaign at the next stage boundary and returns the partial
+// database.
+func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(Progress)) *Database {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg := obs.RegistryFrom(ctx)
+	log := obs.LoggerFrom(ctx)
+	reg.Help(MetricFlowTotal, "Flows finished, by outcome.")
+	reg.Help(MetricCampaignTotal, "Flows scheduled in the current generation campaign.")
+	reg.Help(MetricCampaignDone, "Flows finished in the current generation campaign.")
+	reg.Help(MetricCampaignCurrent, "Benchmark currently being generated (info gauge).")
+
 	db := &Database{}
-	note := func(format string, args ...interface{}) {
-		if progress != nil {
-			progress(fmt.Sprintf(format, args...))
-		}
-	}
+	flows := Flows(lib)
+	total := len(benches) * len(flows)
+	reg.Gauge(MetricCampaignTotal).Set(float64(total))
+	doneGauge := reg.Gauge(MetricCampaignDone)
+	doneGauge.Set(0)
+	log.Info("campaign start", "library", lib.Name, "benchmarks", len(benches), "flows", total)
+
+	done := 0
+	defer reg.Reset(MetricCampaignCurrent)
 	for _, b := range benches {
-		for _, flow := range Flows(lib) {
-			start := time.Now()
-			e, err := RunFlow(b, flow, limits)
-			if err != nil {
-				db.Failures = append(db.Failures, Failure{Benchmark: b, Flow: flow, Reason: err.Error()})
-				note("%-10s %-14s %-40s skipped (%v)", b.Set, b.Name, flow.String(), since(start))
-				continue
+		reg.Reset(MetricCampaignCurrent)
+		reg.Gauge(MetricCampaignCurrent,
+			obs.L("set", b.Set), obs.L("benchmark", b.Name), obs.L("library", lib.Name)).Set(1)
+		for _, flow := range flows {
+			if ctx.Err() != nil {
+				log.Warn("campaign canceled", "done", done, "total", total)
+				return db
 			}
-			db.Entries = append(db.Entries, e)
-			note("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)", b.Set, b.Name, flow.String(), e.Width, e.Height, e.Area, since(start))
+			start := time.Now()
+			e, err := RunFlow(ctx, b, flow, limits)
+			done++
+			doneGauge.Set(float64(done))
+			outcome := ClassifyOutcome(err)
+			elapsed := time.Since(start).Round(time.Millisecond)
+			if err != nil {
+				db.Failures = append(db.Failures, Failure{Benchmark: b, Flow: flow, Reason: err.Error(), Outcome: outcome})
+				log.Debug("flow skipped", "set", b.Set, "benchmark", b.Name,
+					"flow", flow.String(), "outcome", outcome, "elapsed", elapsed, "reason", err)
+			} else {
+				db.Entries = append(db.Entries, e)
+				log.Debug("flow ok", "set", b.Set, "benchmark", b.Name, "flow", flow.String(),
+					"area", e.Area, "crossings", e.Crossings, "elapsed", elapsed)
+			}
+			if progress != nil {
+				progress(Progress{Benchmark: b, Flow: flow, Done: done, Total: total,
+					Entry: e, Err: err, Outcome: outcome, Elapsed: elapsed})
+			}
 		}
 	}
+	log.Info("campaign done", "library", lib.Name,
+		"layouts", len(db.Entries), "skipped", len(db.Failures))
 	return db
 }
 
-func since(t time.Time) time.Duration { return time.Since(t).Round(time.Millisecond) }
+// Skipped summarizes the recorded failures by outcome.
+func (db *Database) Skipped() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, f := range db.Failures {
+		out[f.Outcome]++
+	}
+	return out
+}
+
+// SkippedSummary renders Skipped as a one-line report like
+// "3 flows skipped (2 infeasible, 1 timeout)"; empty when nothing was
+// skipped.
+func (db *Database) SkippedSummary() string {
+	if len(db.Failures) == 0 {
+		return ""
+	}
+	counts := db.Skipped()
+	outcomes := make([]string, 0, len(counts))
+	for o := range counts {
+		outcomes = append(outcomes, string(o))
+	}
+	sort.Strings(outcomes)
+	parts := make([]string, 0, len(outcomes))
+	for _, o := range outcomes {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[Outcome(o)], o))
+	}
+	return fmt.Sprintf("%d flows skipped (%s)", len(db.Failures), strings.Join(parts, ", "))
+}
 
 // Best returns the minimum-area entry for one benchmark under one
 // library, or nil when no flow succeeded.

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series,
+// histograms with cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, s := range fam.Series {
+			var err error
+			switch fam.Kind {
+			case KindHistogram:
+				err = writeHistogramSeries(w, fam.Name, s)
+			case KindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", fam.Name, labelString(s.Labels, ""), uint64(s.Value))
+			default:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", fam.Name, labelString(s.Labels, ""), formatFloat(s.Value))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogramSeries(w io.Writer, name string, s SeriesSnapshot) error {
+	h := s.Histogram
+	for _, b := range h.Buckets {
+		le := formatFloat(b.UpperBound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.Labels, le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.Labels, "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.Labels, ""), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, ""), h.Count)
+	return err
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Returns "" for no labels.
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`le="`)
+		sb.WriteString(le)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonSeries is the JSON dump shape of one series.
+type jsonSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+type jsonFamily struct {
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object mapping
+// metric names to their series, for programmatic scraping without a
+// Prometheus parser.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]jsonFamily)
+	for _, fam := range r.Snapshot() {
+		jf := jsonFamily{Type: fam.Kind.String(), Help: fam.Help}
+		for _, s := range fam.Series {
+			js := jsonSeries{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			if fam.Kind == KindHistogram {
+				count, sum := s.Histogram.Count, s.Histogram.Sum
+				js.Count, js.Sum = &count, &sum
+				js.Buckets = make(map[string]uint64, len(s.Histogram.Buckets)+1)
+				for _, b := range s.Histogram.Buckets {
+					js.Buckets[formatFloat(b.UpperBound)] = b.Count
+				}
+				js.Buckets["+Inf"] = count
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out[fam.Name] = jf
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

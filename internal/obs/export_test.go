@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// small registry covering all three kinds.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("flows_total", "Flows run, by outcome.")
+	reg.Counter("flows_total", L("outcome", "ok")).Add(3)
+	reg.Counter("flows_total", L("outcome", "timeout")).Inc()
+	reg.Gauge("done").Set(4)
+	h := reg.Histogram("dur_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE done gauge
+done 4
+# TYPE dur_seconds histogram
+dur_seconds_bucket{le="0.1"} 1
+dur_seconds_bucket{le="1"} 2
+dur_seconds_bucket{le="+Inf"} 3
+dur_seconds_sum 2.55
+dur_seconds_count 3
+# HELP flows_total Flows run, by outcome.
+# TYPE flows_total counter
+flows_total{outcome="ok"} 3
+flows_total{outcome="timeout"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", L("name", `he said "hi"\`+"\n")).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `{name="he said \"hi\"\\\n"}`) {
+		t.Errorf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flows_total", L("outcome", "ok")).Add(2)
+	reg.Histogram("dur_seconds", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type   string `json:"type"`
+		Series []struct {
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Count   *uint64           `json:"count"`
+			Buckets map[string]uint64 `json:"buckets"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, sb.String())
+	}
+	ft := out["flows_total"]
+	if ft.Type != "counter" || len(ft.Series) != 1 || ft.Series[0].Value == nil || *ft.Series[0].Value != 2 {
+		t.Errorf("flows_total dump: %+v", ft)
+	}
+	if ft.Series[0].Labels["outcome"] != "ok" {
+		t.Errorf("labels: %v", ft.Series[0].Labels)
+	}
+	ds := out["dur_seconds"]
+	if ds.Type != "histogram" || len(ds.Series) != 1 || ds.Series[0].Count == nil || *ds.Series[0].Count != 1 {
+		t.Errorf("dur_seconds dump: %+v", ds)
+	}
+	if ds.Series[0].Buckets["1"] != 1 || ds.Series[0].Buckets["+Inf"] != 1 {
+		t.Errorf("buckets: %v", ds.Series[0].Buckets)
+	}
+}

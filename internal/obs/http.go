@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric families recorded by Middleware.
+const (
+	MetricHTTPRequests = "mntbench_http_requests_total"
+	MetricHTTPDuration = "mntbench_http_request_duration_seconds"
+	MetricHTTPInFlight = "mntbench_http_requests_in_flight"
+)
+
+// MetricsHandler serves the registry: Prometheus text format by default,
+// the JSON dump with ?format=json.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Healthz is a liveness handler: always 200 {"status":"ok"}.
+func Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// DefaultRoute normalizes a request path to a bounded-cardinality route
+// label: the first path segment ("/download/x.fgl" -> "/download").
+func DefaultRoute(r *http.Request) string {
+	p := r.URL.Path
+	if p == "" || p == "/" {
+		return "/"
+	}
+	rest := strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return "/" + rest
+}
+
+// statusWriter captures the response code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Middleware instruments an HTTP handler: a request counter labeled by
+// route and status code, a per-route latency histogram, and an in-flight
+// gauge. route maps a request to its label; nil selects DefaultRoute.
+func Middleware(reg *Registry, route func(*http.Request) string, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	if route == nil {
+		route = DefaultRoute
+	}
+	reg.Help(MetricHTTPRequests, "HTTP requests served, by route and status code.")
+	reg.Help(MetricHTTPDuration, "HTTP request latency in seconds, by route.")
+	reg.Help(MetricHTTPInFlight, "HTTP requests currently being served.")
+	inFlight := reg.Gauge(MetricHTTPInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		rt := route(r)
+		reg.Counter(MetricHTTPRequests, L("route", rt), L("code", strconv.Itoa(sw.code))).Inc()
+		reg.Histogram(MetricHTTPDuration, nil, L("route", rt)).ObserveDuration(time.Since(start))
+	})
+}

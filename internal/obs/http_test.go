@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	reg := NewRegistry()
+	h := Middleware(reg, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	for _, path := range []string{"/api/benchmarks?set=EPFL", "/api/filters", "/missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+
+	if got := reg.Counter(MetricHTTPRequests, L("route", "/api"), L("code", "200")).Value(); got != 2 {
+		t.Errorf("/api 200 count = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricHTTPRequests, L("route", "/missing"), L("code", "404")).Value(); got != 1 {
+		t.Errorf("/missing 404 count = %d, want 1", got)
+	}
+	if s := reg.Histogram(MetricHTTPDuration, nil, L("route", "/api")).Snapshot(); s.Count != 2 {
+		t.Errorf("latency histogram count = %d, want 2", s.Count)
+	}
+	if v := reg.Gauge(MetricHTTPInFlight).Value(); v != 0 {
+		t.Errorf("in-flight gauge = %v after requests drained", v)
+	}
+}
+
+func TestMetricsHandlerFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total").Inc()
+	h := reg.MetricsHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("prometheus body: %s", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"x_total"`) {
+		t.Errorf("json body: %s", rec.Body.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Healthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	for path, want := range map[string]string{
+		"/":                    "/",
+		"":                     "/",
+		"/metrics":             "/metrics",
+		"/download/a__b.fgl":   "/download",
+		"/api/benchmarks":      "/api",
+		"/debug/pprof/profile": "/debug",
+	} {
+		r := httptest.NewRequest(http.MethodGet, "http://x"+path, nil)
+		r.URL.Path = path
+		if got := DefaultRoute(r); got != want {
+			t.Errorf("DefaultRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

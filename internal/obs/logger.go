@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log records by severity.
+type Level int32
+
+// The log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int32(l))
+}
+
+// ParseLevel parses a level name as accepted by the -log-level flag.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger writes leveled, structured records either as key=value text or
+// as one JSON object per line. A nil *Logger discards everything, so
+// optional wiring never needs nil checks. Safe for concurrent use.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	json  bool
+	base  []any // bound key-value pairs, prepended to every record
+}
+
+// NewLogger returns a logger writing records at or above level to w.
+// jsonFormat selects JSON lines instead of key=value text.
+func NewLogger(w io.Writer, level Level, jsonFormat bool) *Logger {
+	l := &Logger{w: w, json: jsonFormat}
+	l.level.Store(int32(level))
+	return l
+}
+
+var defaultLogger atomic.Pointer[Logger]
+
+func init() { defaultLogger.Store(NewLogger(os.Stderr, LevelInfo, false)) }
+
+// DefaultLogger returns the process-wide logger.
+func DefaultLogger() *Logger { return defaultLogger.Load() }
+
+// SetDefaultLogger replaces the process-wide logger (nil resets to a
+// discard-free stderr info logger).
+func SetDefaultLogger(l *Logger) {
+	if l == nil {
+		l = NewLogger(os.Stderr, LevelInfo, false)
+	}
+	defaultLogger.Store(l)
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= Level(l.level.Load())
+}
+
+// With returns a logger that prepends the given key-value pairs to every
+// record, sharing the writer and level with the receiver.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	nl := &Logger{w: l.w, json: l.json, base: append(append([]any{}, l.base...), kv...)}
+	nl.level.Store(l.level.Load())
+	return nl
+}
+
+// Debug emits a debug record with alternating key-value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	pairs := make([]any, 0, len(l.base)+len(kv))
+	pairs = append(pairs, l.base...)
+	pairs = append(pairs, kv...)
+
+	var line []byte
+	if l.json {
+		line = appendJSONRecord(ts, level, msg, pairs)
+	} else {
+		line = appendTextRecord(ts, level, msg, pairs)
+	}
+	l.mu.Lock()
+	l.w.Write(line) //nolint:errcheck // logging is best-effort
+	l.mu.Unlock()
+}
+
+func appendTextRecord(ts string, level Level, msg string, pairs []any) []byte {
+	var sb strings.Builder
+	sb.WriteString(ts)
+	sb.WriteByte(' ')
+	sb.WriteString(strings.ToUpper(level.String()))
+	sb.WriteByte(' ')
+	sb.WriteString(msg)
+	for i := 0; i < len(pairs); i += 2 {
+		sb.WriteByte(' ')
+		sb.WriteString(pairKey(pairs, i))
+		sb.WriteByte('=')
+		sb.WriteString(textValue(pairValue(pairs, i)))
+	}
+	sb.WriteByte('\n')
+	return []byte(sb.String())
+}
+
+func appendJSONRecord(ts string, level Level, msg string, pairs []any) []byte {
+	var sb strings.Builder
+	sb.WriteString(`{"ts":`)
+	sb.WriteString(jsonString(ts))
+	sb.WriteString(`,"level":`)
+	sb.WriteString(jsonString(level.String()))
+	sb.WriteString(`,"msg":`)
+	sb.WriteString(jsonString(msg))
+	for i := 0; i < len(pairs); i += 2 {
+		sb.WriteByte(',')
+		sb.WriteString(jsonString(pairKey(pairs, i)))
+		sb.WriteByte(':')
+		sb.WriteString(jsonValue(pairValue(pairs, i)))
+	}
+	sb.WriteString("}\n")
+	return []byte(sb.String())
+}
+
+// pairKey returns the key at index i, tolerating non-string keys and a
+// trailing value-less key.
+func pairKey(pairs []any, i int) string {
+	if s, ok := pairs[i].(string); ok {
+		return s
+	}
+	return fmt.Sprint(pairs[i])
+}
+
+func pairValue(pairs []any, i int) any {
+	if i+1 >= len(pairs) {
+		return "(MISSING)"
+	}
+	return pairs[i+1]
+}
+
+// textValue renders a value for key=value output, quoting only when the
+// text contains spaces, quotes, or '='.
+func textValue(v any) string {
+	s := plainValue(v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// jsonValue renders a value as a JSON token, keeping numbers and
+// booleans bare.
+func jsonValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(x)
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64:
+		return fmt.Sprint(x)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return jsonString(plainValue(v))
+}
+
+func plainValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "<nil>"
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return fmt.Sprint(v)
+}
+
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe for concurrent writers.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelInfo, false)
+	l.Debug("hidden")
+	l.Info("flow ok", "benchmark", "mux21", "area", 12, "elapsed", 150*time.Millisecond, "note", "two words")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record emitted at info level")
+	}
+	for _, want := range []string{"INFO flow ok", "benchmark=mux21", "area=12", "elapsed=150ms", `note="two words"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text record missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelDebug, true)
+	l.Warn("span", "span", "flow.place.ortho", "duration", 3*time.Millisecond, "err", errors.New("boom"), "n", 7, "ok", true)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("JSON record does not parse: %v\n%s", err, buf.String())
+	}
+	if rec["level"] != "warn" || rec["msg"] != "span" || rec["span"] != "flow.place.ortho" {
+		t.Errorf("record: %v", rec)
+	}
+	if rec["err"] != "boom" || rec["duration"] != "3ms" {
+		t.Errorf("values: %v", rec)
+	}
+	if rec["n"] != float64(7) || rec["ok"] != true {
+		t.Errorf("numeric/bool values not bare: %v", rec)
+	}
+	if _, ok := rec["ts"].(string); !ok {
+		t.Errorf("ts missing: %v", rec)
+	}
+}
+
+func TestLoggerWithAndLevels(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelWarn, false).With("component", "server")
+	l.Info("nope")
+	l.Error("bad thing", "code", 500)
+	out := buf.String()
+	if strings.Contains(out, "nope") {
+		t.Error("info emitted at warn level")
+	}
+	if !strings.Contains(out, "component=server") || !strings.Contains(out, "ERROR bad thing") {
+		t.Errorf("bound pairs missing: %s", out)
+	}
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Error("SetLevel(debug) not effective")
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+	if l.With("a", 1) != nil {
+		t.Error("nil logger With must stay nil")
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelInfo, false)
+	l.Info("odd", "key")
+	if !strings.Contains(buf.String(), "key=(MISSING)") {
+		t.Errorf("odd pair not flagged: %s", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted junk")
+	}
+}

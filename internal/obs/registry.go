@@ -1,0 +1,400 @@
+// Package obs is the stdlib-only instrumentation layer of the MNT Bench
+// engine: a concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms), a leveled structured logger (key=value or
+// JSON), lightweight spans that time pipeline stages, and exporters for
+// the Prometheus text format and a JSON dump. Every generation campaign,
+// physical design stage, and HTTP request is recorded here so that
+// performance work has a measured baseline.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, e.g. {Key: "stage", Value: "place.ortho"}.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind distinguishes the three metric types of a family.
+type Kind int
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond HTTP handlers to multi-minute exact placement runs.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Registry holds metric families keyed by name. All methods are safe for
+// concurrent use; the returned Counter/Gauge/Histogram handles are
+// likewise safe and may be cached by callers.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	help     map[string]string
+}
+
+// family is one named metric with a fixed kind and a set of label series.
+type family struct {
+	name    string
+	kind    Kind
+	buckets []float64 // histogram upper bounds, ascending (histograms only)
+
+	mu     sync.RWMutex
+	series map[string]*metric
+}
+
+// metric is one (family, label set) time series.
+type metric struct {
+	labels []Label
+	bits   atomic.Uint64 // counter count, or gauge float64 bits
+	hist   *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		help:     make(map[string]string),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, used whenever a context
+// carries no explicit registry.
+func Default() *Registry { return defaultRegistry }
+
+// Help sets the HELP text exported for a metric name.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// family returns the named family, creating it with the given kind on
+// first use. Requesting an existing family under a different kind is a
+// programming error and panics.
+func (r *Registry) family(name string, kind Kind, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]*metric)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// signature canonicalizes a label set: sorted by key, joined with
+// unprintable separators so values cannot collide.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte(0x1f)
+		sb.WriteString(l.Value)
+		sb.WriteByte(0x1e)
+	}
+	return sb.String()
+}
+
+// sortLabels returns a copy of labels sorted by key.
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (f *family) metric(labels []Label) *metric {
+	labels = sortLabels(labels)
+	sig := signature(labels)
+	f.mu.RLock()
+	m := f.series[sig]
+	f.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m = f.series[sig]; m == nil {
+		m = &metric{labels: labels}
+		if f.kind == KindHistogram {
+			m.hist = newHistogram(f.buckets)
+		}
+		f.series[sig] = m
+	}
+	return m
+}
+
+// Reset drops every series of the named family (the family itself and
+// its kind survive). Used for info-style gauges whose label set changes,
+// e.g. the campaign's current benchmark.
+func (r *Registry) Reset(name string) {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.series = make(map[string]*metric)
+	f.mu.Unlock()
+}
+
+// Counter returns the counter series for the given name and labels,
+// creating it at zero on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return &Counter{m: r.family(name, KindCounter, nil).metric(labels)}
+}
+
+// Gauge returns the gauge series for the given name and labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return &Gauge{m: r.family(name, KindGauge, nil).metric(labels)}
+}
+
+// Histogram returns the histogram series for the given name and labels.
+// buckets are ascending upper bounds in the observed unit (seconds for
+// latencies); they are fixed on first use of the name, later calls may
+// pass nil. A nil bucket slice on first use selects DefBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	m := r.family(name, KindHistogram, buckets).metric(labels)
+	return m.hist
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ m *metric }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.m.bits.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.m.bits.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.m.bits.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.m.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.m.bits.Load()) }
+
+// Histogram counts observations into fixed buckets and tracks their sum.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot returns a consistent copy of the histogram state with
+// cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.bounds)),
+		Count:   h.count,
+		Sum:     h.sum,
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		s.Buckets[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	return s
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// less than or equal to UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Buckets []Bucket // cumulative, ascending; excludes the implicit +Inf bucket
+	Count   uint64
+	Sum     float64
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket. Values beyond the last
+// finite bound are clamped to it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var prevCum uint64
+	lower := 0.0
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			span := float64(b.Count - prevCum)
+			if span == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(prevCum)) / span
+			return lower + frac*(b.UpperBound-lower)
+		}
+		prevCum = b.Count
+		lower = b.UpperBound
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
+// SeriesSnapshot is one labeled series within a family snapshot.
+type SeriesSnapshot struct {
+	Labels    []Label
+	Value     float64            // counters and gauges
+	Histogram *HistogramSnapshot // histograms only
+}
+
+// FamilySnapshot is a point-in-time copy of one metric family.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Series []SeriesSnapshot
+}
+
+// Snapshot copies the whole registry, families sorted by name and series
+// sorted by label signature, ready for export or reporting.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(names))
+	for _, name := range names {
+		fams[name] = r.families[name]
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		f := fams[name]
+		fs := FamilySnapshot{Name: name, Help: help[name], Kind: f.kind}
+		f.mu.RLock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			m := f.series[sig]
+			ss := SeriesSnapshot{Labels: m.labels}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(m.bits.Load())
+			case KindGauge:
+				ss.Value = math.Float64frombits(m.bits.Load())
+			case KindHistogram:
+				h := m.hist.Snapshot()
+				ss.Histogram = &h
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// with -race to check the synchronization.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("ops_total", L("worker", string(rune('a'+id%4)))).Inc()
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("level").Add(1)
+				reg.Gauge("level").Add(-1)
+				reg.Histogram("latency_seconds", nil, L("stage", "x")).Observe(float64(i) / perWorker)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("shared_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("level").Value(); got != 0 {
+		t.Errorf("level gauge = %v, want 0", got)
+	}
+	h := reg.Histogram("latency_seconds", nil, L("stage", "x")).Snapshot()
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var perWorkerSum uint64
+	for _, r := range []rune{'a', 'b', 'c', 'd'} {
+		perWorkerSum += reg.Counter("ops_total", L("worker", string(r))).Value()
+	}
+	if perWorkerSum != workers*perWorker {
+		t.Errorf("ops_total sum = %d, want %d", perWorkerSum, workers*perWorker)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 6} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Cumulative: le=1 holds {0.5, 1}, le=2 adds {1.5, 2}, le=5 adds {3};
+	// 6 lands in the implicit +Inf bucket.
+	want := []struct {
+		bound float64
+		count uint64
+	}{{1, 2}, {2, 4}, {5, 5}}
+	for i, w := range want {
+		if s.Buckets[i].UpperBound != w.bound || s.Buckets[i].Count != w.count {
+			t.Errorf("bucket %d = {%v %d}, want {%v %d}",
+				i, s.Buckets[i].UpperBound, s.Buckets[i].Count, w.bound, w.count)
+		}
+	}
+	if s.Sum != 0.5+1+1.5+2+3+6 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramMeanAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	// All observations are <= 1, so every quantile interpolates inside
+	// [0, 1].
+	if q := s.Quantile(0.5); q < 0 || q > 1 {
+		t.Errorf("p50 = %v outside first bucket", q)
+	}
+	if q := s.Quantile(0.99); q < 0 || q > 1 {
+		t.Errorf("p99 = %v outside first bucket", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot must report zeros")
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", L("a", "1"), L("b", "2")).Inc()
+	reg.Counter("c", L("b", "2"), L("a", "1")).Inc()
+	if got := reg.Counter("c", L("a", "1"), L("b", "2")).Value(); got != 2 {
+		t.Errorf("label order created distinct series: %d", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge request for a counter family did not panic")
+		}
+	}()
+	reg.Gauge("m")
+}
+
+func TestReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("current", L("benchmark", "mux21")).Set(1)
+	reg.Reset("current")
+	reg.Gauge("current", L("benchmark", "xor2")).Set(1)
+	snap := reg.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("snapshot after reset: %+v", snap)
+	}
+	if got := snap[0].Series[0].Labels[0].Value; got != "xor2" {
+		t.Errorf("surviving series = %q, want xor2", got)
+	}
+	reg.Reset("does-not-exist") // must not panic
+}

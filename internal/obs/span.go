@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanMetric is the histogram family into which every span records its
+// duration, labeled by stage (the span name).
+const SpanMetric = "mntbench_stage_duration_seconds"
+
+type ctxKey int
+
+const (
+	ctxSpanKey ctxKey = iota
+	ctxRegistryKey
+	ctxLoggerKey
+)
+
+// WithRegistry returns a context whose spans and instrumented callees
+// record into reg instead of the default registry.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, ctxRegistryKey, reg)
+}
+
+// RegistryFrom returns the context's registry, falling back to Default.
+// A nil context is allowed.
+func RegistryFrom(ctx context.Context) *Registry {
+	if ctx != nil {
+		if reg, ok := ctx.Value(ctxRegistryKey).(*Registry); ok && reg != nil {
+			return reg
+		}
+	}
+	return Default()
+}
+
+// WithLogger returns a context whose spans and instrumented callees log
+// through l instead of the default logger.
+func WithLogger(ctx context.Context, l *Logger) context.Context {
+	return context.WithValue(ctx, ctxLoggerKey, l)
+}
+
+// LoggerFrom returns the context's logger, falling back to the default
+// logger. A nil context is allowed.
+func LoggerFrom(ctx context.Context) *Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(ctxLoggerKey).(*Logger); ok && l != nil {
+			return l
+		}
+	}
+	return DefaultLogger()
+}
+
+// Span times one pipeline stage. Spans nest through the context: a span
+// started under another span carries the dotted path of its ancestors in
+// log records, while the duration histogram is labeled with the leaf
+// name only (bounded cardinality).
+type Span struct {
+	name   string
+	path   string // dotted ancestry, e.g. "flow.place.ortho"
+	labels []Label
+	start  time.Time
+	reg    *Registry
+	log    *Logger
+	err    error
+	ended  bool
+}
+
+// StartSpan begins a span named name (the stage label) and returns a
+// derived context under which child spans nest. Extra labels are added
+// to the duration histogram series; keep their cardinality small. A nil
+// ctx is treated as context.Background().
+func StartSpan(ctx context.Context, name string, labels ...Label) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Span{
+		name:   name,
+		path:   name,
+		labels: labels,
+		start:  time.Now(),
+		reg:    RegistryFrom(ctx),
+		log:    LoggerFrom(ctx),
+	}
+	if parent, ok := ctx.Value(ctxSpanKey).(*Span); ok && parent != nil {
+		s.path = parent.path + "." + name
+	}
+	return context.WithValue(ctx, ctxSpanKey, s), s
+}
+
+// SetError attaches an error to the span; End logs it at warn level.
+func (s *Span) SetError(err error) {
+	if s != nil {
+		s.err = err
+	}
+}
+
+// End stops the span, records its duration into the stage histogram, and
+// emits a debug (or warn, on error) log record. End is idempotent; the
+// first call's duration is returned.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	labels := append([]Label{L("stage", s.name)}, s.labels...)
+	s.reg.Histogram(SpanMetric, nil, labels...).ObserveDuration(d)
+	if s.err != nil {
+		if s.log.Enabled(LevelWarn) {
+			s.log.Warn("span", "span", s.path, "duration", d.Round(time.Microsecond), "err", s.err)
+		}
+	} else if s.log.Enabled(LevelDebug) {
+		s.log.Debug("span", "span", s.path, "duration", d.Round(time.Microsecond))
+	}
+	return d
+}
+
+// Duration returns the elapsed time since the span started; for an
+// ended span, prefer the value returned by End.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's leaf name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Path returns the dotted ancestry path.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}

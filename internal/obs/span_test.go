@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	reg := NewRegistry()
+	ctx := WithRegistry(context.Background(), reg)
+	_, sp := StartSpan(ctx, "place.ortho")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("End returned %v", d)
+	}
+	s := reg.Histogram(SpanMetric, nil, L("stage", "place.ortho")).Snapshot()
+	if s.Count != 1 {
+		t.Errorf("stage histogram count = %d, want 1", s.Count)
+	}
+	if s.Sum < 0.001 {
+		t.Errorf("recorded duration %v too small", s.Sum)
+	}
+	// End is idempotent: a second call records nothing.
+	if again := sp.End(); again != 0 {
+		t.Errorf("second End returned %v", again)
+	}
+	if s2 := reg.Histogram(SpanMetric, nil, L("stage", "place.ortho")).Snapshot(); s2.Count != 1 {
+		t.Errorf("double End double-counted: %d", s2.Count)
+	}
+}
+
+func TestSpanNestingPath(t *testing.T) {
+	var buf syncBuffer
+	log := NewLogger(&buf, LevelDebug, false)
+	reg := NewRegistry()
+	ctx := WithLogger(WithRegistry(context.Background(), reg), log)
+
+	ctx, flow := StartSpan(ctx, "flow")
+	ctx2, place := StartSpan(ctx, "place")
+	_, inner := StartSpan(ctx2, "route")
+	if got := inner.Path(); got != "flow.place.route" {
+		t.Errorf("nested path = %q", got)
+	}
+	inner.End()
+	place.End()
+	flow.End()
+	out := buf.String()
+	if !strings.Contains(out, "span=flow.place.route") {
+		t.Errorf("log missing dotted path: %s", out)
+	}
+	// The histogram is labeled by leaf stage name only.
+	if s := reg.Histogram(SpanMetric, nil, L("stage", "route")).Snapshot(); s.Count != 1 {
+		t.Errorf("leaf stage not recorded: %d", s.Count)
+	}
+}
+
+func TestSpanErrorLogsWarn(t *testing.T) {
+	var buf syncBuffer
+	log := NewLogger(&buf, LevelWarn, false) // debug suppressed, warn visible
+	ctx := WithLogger(WithRegistry(context.Background(), NewRegistry()), log)
+	_, sp := StartSpan(ctx, "drc")
+	sp.SetError(errors.New("3 violations"))
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "3 violations") {
+		t.Errorf("failed span not logged at warn: %q", out)
+	}
+}
+
+func TestContextFallbacks(t *testing.T) {
+	if RegistryFrom(nil) != Default() {
+		t.Error("nil ctx must fall back to the default registry")
+	}
+	if RegistryFrom(context.Background()) != Default() {
+		t.Error("plain ctx must fall back to the default registry")
+	}
+	if LoggerFrom(nil) != DefaultLogger() {
+		t.Error("nil ctx must fall back to the default logger")
+	}
+	reg := NewRegistry()
+	if RegistryFrom(WithRegistry(context.Background(), reg)) != reg {
+		t.Error("WithRegistry not honored")
+	}
+	// Nil-span helpers must not crash.
+	var s *Span
+	s.SetError(errors.New("x"))
+	if s.End() != 0 || s.Name() != "" || s.Path() != "" || s.Duration() != 0 {
+		t.Error("nil span helpers misbehave")
+	}
+	// StartSpan tolerates a nil context.
+	_, sp := StartSpan(nil, "x") //nolint:staticcheck
+	sp.End()
+}

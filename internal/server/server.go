@@ -10,14 +10,17 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/clocking"
 	"repro/internal/core"
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/verify"
 	"repro/internal/verilog"
@@ -27,15 +30,43 @@ import (
 type Server struct {
 	db      *core.Database
 	mux     *http.ServeMux
+	handler http.Handler           // mux wrapped in the obs middleware
 	entries map[string]*core.Entry // id -> entry
+	reg     *obs.Registry
+	log     *obs.Logger
+	pprof   bool
 }
 
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithRegistry records HTTP metrics into reg and serves it at /metrics
+// (default: the process-wide obs registry).
+func WithRegistry(reg *obs.Registry) Option { return func(s *Server) { s.reg = reg } }
+
+// WithLogger routes request logging through l (default: the process-wide
+// obs logger).
+func WithLogger(l *obs.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Off by default: profiling endpoints are opt-in on public servers.
+func WithPprof() Option { return func(s *Server) { s.pprof = true } }
+
 // New builds the HTTP handler around a database.
-func New(db *core.Database) *Server {
+func New(db *core.Database, opts ...Option) *Server {
 	s := &Server{
 		db:      db,
 		mux:     http.NewServeMux(),
 		entries: make(map[string]*core.Entry),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	if s.log == nil {
+		s.log = obs.DefaultLogger()
 	}
 	for _, e := range db.Entries {
 		s.entries[entryID(e)] = e
@@ -47,11 +78,47 @@ func New(db *core.Database) *Server {
 	s.mux.HandleFunc("/download/bundle.zip", s.handleBundle)
 	s.mux.HandleFunc("/preview/", s.handlePreview)
 	s.mux.HandleFunc("/api/submit", s.handleSubmit)
+	s.mux.Handle("/metrics", s.reg.MetricsHandler())
+	s.mux.HandleFunc("/healthz", obs.Healthz)
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	inner := obs.Middleware(s.reg, routeLabel, s.mux)
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inner.ServeHTTP(w, r)
+		if s.log.Enabled(obs.LevelDebug) {
+			s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
+				"elapsed", time.Since(start).Round(time.Microsecond))
+		}
+	})
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// routeLabel maps request paths onto the bounded route label set used by
+// the HTTP metrics (entry IDs must not become label values).
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/", p == "/metrics", p == "/healthz",
+		p == "/api/benchmarks", p == "/api/filters", p == "/api/submit":
+		return p
+	case strings.HasPrefix(p, "/download/"):
+		return "/download"
+	case strings.HasPrefix(p, "/preview/"):
+		return "/preview"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
 
 func entryID(e *core.Entry) string {
 	return fmt.Sprintf("%s__%s__%s",
@@ -336,6 +403,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	e.Gates, e.Wires, e.Crossings = st.Gates, st.Wires, st.Crossings
 	s.db.Entries = append(s.db.Entries, e)
 	s.entries[entryID(e)] = e
+	s.log.Info("layout submitted", "set", bm.Set, "benchmark", bm.Name,
+		"library", lib.Name, "area", e.Area)
 
 	resp := struct {
 		ID       string `json:"id"`

@@ -3,6 +3,7 @@ package server
 import (
 	"archive/zip"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 	"repro/internal/verilog"
 )
 
@@ -27,15 +29,16 @@ func testDB(t *testing.T) *core.Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho}, limits)
+	ctx := context.Background()
+	e1, err := core.RunFlow(ctx, b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho}, limits)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := core.RunFlow(b, core.Flow{Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: core.AlgoOrtho, Hexagonalize: true}, limits)
+	e2, err := core.RunFlow(ctx, b, core.Flow{Library: gatelib.Bestagon, Scheme: clocking.Row, Algorithm: core.AlgoOrtho, Hexagonalize: true}, limits)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e3, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho, InputOrder: true, PostLayout: true}, limits)
+	e3, err := core.RunFlow(ctx, b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho, InputOrder: true, PostLayout: true}, limits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +233,7 @@ func TestSubmitLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	limits := core.Limits{ExactTimeout: time.Second, NanoTimeout: time.Second, PLOTimeout: 5 * time.Second}
-	e, err := core.RunFlow(b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave,
+	e, err := core.RunFlow(context.Background(), b, core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave,
 		Algorithm: core.AlgoOrtho, InputOrder: true, PostLayout: true}, limits)
 	if err != nil {
 		t.Fatal(err)
@@ -289,5 +292,69 @@ func TestSubmitLayout(t *testing.T) {
 	// GET is not allowed.
 	if rec := get(t, srv, "/api/submit?set=Trindade16&name=mux21"); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status %d", rec.Code)
+	}
+}
+
+func TestMetricsReflectRequests(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(testDB(t), WithRegistry(reg))
+
+	if rec := get(t, srv, "/api/benchmarks"); rec.Code != http.StatusOK {
+		t.Fatalf("api status %d", rec.Code)
+	}
+	if rec := get(t, srv, "/download/nope.fgl"); rec.Code != http.StatusNotFound {
+		t.Fatalf("download status %d", rec.Code)
+	}
+
+	rec := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`mntbench_http_requests_total{code="200",route="/api/benchmarks"} 1`,
+		`mntbench_http_requests_total{code="404",route="/download"} 1`,
+		`mntbench_http_request_duration_seconds_count{route="/api/benchmarks"} 1`,
+		`mntbench_http_requests_in_flight 1`, // the /metrics request itself
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	// JSON dump variant.
+	rec = get(t, srv, "/metrics?format=json")
+	var dump map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("json dump: %v", err)
+	}
+	if _, ok := dump[obs.MetricHTTPRequests]; !ok {
+		t.Errorf("json dump missing %s: %v", obs.MetricHTTPRequests, dump)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()))
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); !strings.Contains(got, "ok") {
+		t.Errorf("body %q", got)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	db := testDB(t)
+	plain := New(db, WithRegistry(obs.NewRegistry()))
+	if rec := get(t, plain, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d", rec.Code)
+	}
+	prof := New(db, WithRegistry(obs.NewRegistry()), WithPprof())
+	if rec := get(t, prof, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("pprof with opt-in: status %d", rec.Code)
 	}
 }
