@@ -1,10 +1,11 @@
 # Development targets. `make check` is the tier-1+ gate described in
-# ROADMAP.md: build, vet, formatting, and the full test suite with the
-# race detector on the concurrency-sensitive packages.
+# ROADMAP.md: build, vet, formatting, the project linter (mntlint), and
+# the full test suite with the race detector on the concurrency-sensitive
+# packages.
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet bench
+.PHONY: all build test race check fmt vet lint bench
 
 all: check
 
@@ -15,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs ./internal/server
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,7 +25,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build vet fmt test race
+lint:
+	$(GO) run ./cmd/mntlint
+
+check: build vet fmt lint test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

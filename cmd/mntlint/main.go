@@ -1,0 +1,97 @@
+// Command mntlint runs the project-invariant static-analysis suite of
+// internal/lint over the module and exits non-zero on findings. It is
+// part of the tier-1+ gate: `make lint` (folded into `make check`) and
+// CI both run it.
+//
+// Usage:
+//
+//	mntlint [-root dir] [-disable a,b] [-json] [-list]
+//
+// Findings print one per line as file:line:col: message (analyzer), or
+// as a JSON array with -json. Exit status: 0 clean, 1 findings, 2 usage
+// or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mntlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "module directory to lint")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	known := make(map[string]bool, len(all))
+	var active []*lint.Analyzer
+	for _, a := range all {
+		known[a.Name] = true
+		if !disabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	for name := range disabled {
+		if !known[name] {
+			fmt.Fprintf(stderr, "mntlint: unknown analyzer %q (see -list)\n", name)
+			return 2
+		}
+	}
+
+	pkgs, err := lint.Load(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mntlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, active)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "mntlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mntlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

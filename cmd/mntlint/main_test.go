@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const panicbanFixture = "../../internal/lint/testdata/src/panicban"
+
+func TestFindingsExitNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", panicbanFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "panicban") {
+		t.Errorf("output lacks analyzer name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "internal/lib/lib.go:") {
+		t.Errorf("output lacks file:line positions:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", panicbanFixture, "-json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Position struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"position"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output has no findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.Position.Filename == "" || d.Position.Line <= 0 || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestDisableAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", panicbanFixture, "-disable", "panicban"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 with panicban disabled; out: %s", code, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("expected no output, got:\n%s", out.String())
+	}
+}
+
+func TestDisableUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disable", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown analyzer", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr lacks explanation: %s", errb.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxfirst", "errcmp", "obslabel", "printban", "panicban"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -181,7 +181,13 @@ func ByName(set, name string) (Benchmark, error) {
 func oneBitAdderAOIG() *network.Network {
 	n := FullAdder()
 	n.Name = "1bitAdderAOIG"
-	if err := n.Decompose(network.GateSet{network.And: true, network.Or: true, network.Not: true}); err != nil {
+	return mustDecompose(n, network.GateSet{network.And: true, network.Or: true, network.Not: true})
+}
+
+// mustDecompose rewrites a fixed seed network over a gate set known to
+// be complete for it; failure is programmer error in the suite tables.
+func mustDecompose(n *network.Network, set network.GateSet) *network.Network {
+	if err := n.Decompose(set); err != nil {
 		panic(err)
 	}
 	return n

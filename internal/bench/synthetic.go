@@ -10,6 +10,14 @@ import (
 // benchmarks are bit-identical across runs and platforms.
 type synthRNG uint64
 
+// mustSyntheticSpec validates the generator parameters; the suite
+// definitions are static tables, so a bad spec is programmer error.
+func mustSyntheticSpec(name string, pis, pos int) {
+	if pis < 1 || pos < 1 {
+		panic(fmt.Sprintf("bench: synthetic %q needs at least one PI and PO", name))
+	}
+}
+
 func newSynthRNG(seed uint64) *synthRNG {
 	r := synthRNG(seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D)
 	return &r
@@ -44,9 +52,7 @@ func (r *synthRNG) intn(n int) int {
 // size statistics preserves the area/runtime scaling behaviour the
 // benchmark tables report.
 func Synthetic(name string, pis, pos, nodes int, seed uint64) *network.Network {
-	if pis < 1 || pos < 1 {
-		panic(fmt.Sprintf("bench: synthetic %q needs at least one PI and PO", name))
-	}
+	mustSyntheticSpec(name, pis, pos)
 	if nodes < pos {
 		nodes = pos // enough distinct gate outputs to feed every PO
 	}

@@ -84,9 +84,19 @@ func (f Flow) ID() string {
 	return fmt.Sprintf("%s_%s_%s", libID(f.Library), strings.ToLower(f.Scheme.Name), id)
 }
 
+// libID is the flow-naming and metric identifier of a gate library; the
+// catalogue of libraries (QCA ONE, ToPoliNano, Bestagon) is a fixed set.
+//
+//lint:bounded
 func libID(l *gatelib.Library) string {
 	return strings.ToLower(strings.ReplaceAll(l.Name, " ", ""))
 }
+
+// algoLabel renders a placement algorithm as a metric label value; the
+// Algorithm constants form a closed set.
+//
+//lint:bounded
+func algoLabel(a Algorithm) string { return string(a) }
 
 // Limits bounds the per-flow effort so full-suite generation stays
 // tractable; the zero value picks the defaults used for Table I.
@@ -223,17 +233,18 @@ func RunFlowOnNetwork(ctx context.Context, n *network.Network, set string, flow 
 
 func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flow Flow, limits Limits) (entry *Entry, err error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
 		ctx = context.Background()
 	}
 	limits = limits.withDefaults()
 
 	ctx, flowSpan := obs.StartSpan(ctx, "flow",
-		obs.L("algorithm", string(flow.Algorithm)), obs.L("library", libID(flow.Library)))
+		obs.L("algorithm", algoLabel(flow.Algorithm)), obs.L("library", libID(flow.Library)))
 	defer func() {
 		flowSpan.SetError(err)
 		flowSpan.End()
 		obs.RegistryFrom(ctx).Counter(MetricFlowTotal,
-			obs.L("outcome", string(ClassifyOutcome(err)))).Inc()
+			obs.L("outcome", outcomeLabel(err))).Inc()
 	}()
 
 	// stage times one pipeline step under a span, aborting early when

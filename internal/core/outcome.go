@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/physical/exact"
 	"repro/internal/physical/nanoplacer"
+	"repro/internal/verify"
 )
 
 // Outcome classifies how a flow ended; it is the label of the
@@ -50,7 +51,7 @@ func ClassifyOutcome(err error) Outcome {
 		return OutcomeCanceled
 	case errors.Is(err, exact.ErrTimeout):
 		return OutcomeTimeout
-	case errors.Is(err, ErrVerifyFailed):
+	case errors.Is(err, ErrVerifyFailed), errors.Is(err, verify.ErrDRC):
 		return OutcomeVerifyFailed
 	case errors.Is(err, ErrInfeasible),
 		errors.Is(err, exact.ErrNoLayout),
@@ -60,3 +61,9 @@ func ClassifyOutcome(err error) Outcome {
 	}
 	return OutcomeError
 }
+
+// outcomeLabel renders ClassifyOutcome's result as a metric label value;
+// the Outcome constants form a closed set.
+//
+//lint:bounded
+func outcomeLabel(err error) string { return string(ClassifyOutcome(err)) }

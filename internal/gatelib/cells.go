@@ -232,6 +232,7 @@ func armCells(d direction) [][2]int {
 	case dirWest:
 		return [][2]int{{1, 2}, {0, 2}}
 	}
+	//lint:ignore panicban unreachable backstop: the switch is exhaustive over the four directions
 	panic("bad direction")
 }
 

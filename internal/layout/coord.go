@@ -84,6 +84,7 @@ func neighborOffsets(t Topology, y int) [][2]int {
 		}
 		return [][2]int{{1, 0}, {-1, 0}, {0, -1}, {1, -1}, {0, 1}, {1, 1}}
 	}
+	//lint:ignore panicban unreachable backstop: the switch is exhaustive over the Topology constants
 	panic(fmt.Sprintf("layout: bad topology %d", t))
 }
 

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ctxFirstDirs are the pipeline packages whose exported API must follow
+// the ctx-first convention introduced in PR 1.
+var ctxFirstDirs = []string{"internal/core", "internal/physical", "internal/route"}
+
+// ctxExemptDirs may construct contexts: binaries own the root context.
+var ctxExemptDirs = []string{"cmd", "examples"}
+
+// CtxFirst returns the ctxfirst analyzer. It enforces two rules:
+//
+//  1. In internal/core, internal/physical, and internal/route, an
+//     exported function or method that accepts a context.Context must
+//     take it as the first parameter.
+//  2. context.Background() and context.TODO() are banned outside cmd/,
+//     examples/, and _test.go files: library code must thread the
+//     caller's context (which carries the obs registry and logger) and
+//     never mint a fresh root.
+func CtxFirst() *Analyzer {
+	return &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context must be the first parameter of exported pipeline APIs; no context.Background/TODO in library code",
+		Run:  runCtxFirst,
+	}
+}
+
+func runCtxFirst(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		ctxName, ok := f.ImportName("context")
+		if !ok {
+			continue
+		}
+		if p.InDir(ctxFirstDirs...) {
+			for _, decl := range f.AST.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				if !isFunc || !fd.Name.IsExported() {
+					continue
+				}
+				out = append(out, checkCtxParam(f, ctxName, fd)...)
+			}
+		}
+		if !p.InDir(ctxExemptDirs...) {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				sel, isSel := call.Fun.(*ast.SelectorExpr)
+				if !isSel {
+					return true
+				}
+				x, isIdent := sel.X.(*ast.Ident)
+				if !isIdent || x.Name != ctxName {
+					return true
+				}
+				if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+					out = append(out, Diagnostic{
+						Analyzer: "ctxfirst",
+						Position: f.Fset.Position(call.Pos()),
+						Message: fmt.Sprintf("context.%s() in library code: thread the caller's context instead",
+							sel.Sel.Name),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkCtxParam flags context.Context parameters that are not first.
+func checkCtxParam(f *File, ctxName string, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	var out []Diagnostic
+	index := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(ctxName, field.Type) && index != 0 {
+			out = append(out, Diagnostic{
+				Analyzer: "ctxfirst",
+				Position: f.Fset.Position(field.Pos()),
+				Message: fmt.Sprintf("exported %s takes context.Context as parameter %d; it must come first",
+					fd.Name.Name, index+1),
+			})
+		}
+		index += n
+	}
+	return out
+}
+
+// isCtxType matches the type expression <ctxName>.Context.
+func isCtxType(ctxName string, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == ctxName && sel.Sel.Name == "Context"
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrCmp returns the errcmp analyzer. It enforces the PR 1 outcome-
+// classification convention:
+//
+//  1. Errors must never be compared to exported sentinel values with ==
+//     or != (wrapped errors — which the core pipeline produces for every
+//     stage failure — would not match); use errors.Is.
+//  2. fmt.Errorf must wrap error operands with %w, not flatten them with
+//     %v, %s, or %q, so errors.Is/errors.As keep working downstream.
+func ErrCmp() *Analyzer {
+	return &Analyzer{
+		Name: "errcmp",
+		Doc:  "compare sentinel errors with errors.Is and wrap errors in fmt.Errorf with %w",
+		Run:  runErrCmp,
+	}
+}
+
+func runErrCmp(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		fmtName, hasFmt := f.ImportName("fmt")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				var sentinel string
+				switch {
+				case isSentinelRef(e.X) && isErrIdent(e.Y):
+					sentinel = exprString(e.X)
+				case isSentinelRef(e.Y) && isErrIdent(e.X):
+					sentinel = exprString(e.Y)
+				default:
+					return true
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "errcmp",
+					Position: f.Fset.Position(e.Pos()),
+					Message: fmt.Sprintf("error compared to sentinel %s with %s; use errors.Is (wrapped errors will not match)",
+						sentinel, e.Op),
+				})
+			case *ast.CallExpr:
+				if hasFmt {
+					out = append(out, checkErrorf(f, fmtName, e)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf pairs the printf verbs of a fmt.Errorf call with its
+// arguments and flags error operands formatted with a flattening verb.
+func checkErrorf(f *File, fmtName string, call *ast.CallExpr) []Diagnostic {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return nil
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != fmtName {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	verbs := parseVerbs(format)
+	var out []Diagnostic
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		v := verbs[i]
+		if v == 'w' || !isErrIdent(arg) {
+			continue
+		}
+		if v == 'v' || v == 's' || v == 'q' {
+			out = append(out, Diagnostic{
+				Analyzer: "errcmp",
+				Position: f.Fset.Position(arg.Pos()),
+				Message: fmt.Sprintf("error %s passed to fmt.Errorf with %%%c; use %%w so errors.Is/errors.As keep working",
+					exprString(arg), v),
+			})
+		}
+	}
+	return out
+}
+
+// parseVerbs returns one verb rune per consumed argument, in order.
+// '*' width/precision arguments are recorded as '*'.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		// Width.
+		for i < len(runes) {
+			if runes[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if runes[i] >= '0' && runes[i] <= '9' {
+				i++
+				continue
+			}
+			break
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) {
+				if runes[i] == '*' {
+					verbs = append(verbs, '*')
+					i++
+					continue
+				}
+				if runes[i] >= '0' && runes[i] <= '9' {
+					i++
+					continue
+				}
+				break
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs
+}
+
+// isErrIdent reports whether an expression names an error by this
+// codebase's conventions: the identifier "err", any *err/*Err suffix
+// (cerr, perr, derr, routeErr, ...), or a field selector with such a
+// name. "stderr" is excluded — it names a stream, not an error.
+func isErrIdent(e ast.Expr) bool {
+	var name string
+	switch v := e.(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	default:
+		return false
+	}
+	if name == "stderr" || strings.HasSuffix(name, "Stderr") {
+		return false
+	}
+	return name == "err" || strings.HasSuffix(name, "err") || strings.HasSuffix(name, "Err")
+}
+
+// isSentinelRef matches references to exported sentinel errors: ErrX
+// identifiers, pkg.ErrX selectors, and the well-known stdlib sentinels.
+func isSentinelRef(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return isSentinelName(v.Name)
+	case *ast.SelectorExpr:
+		x, ok := v.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if isSentinelName(v.Sel.Name) {
+			return true
+		}
+		// Stdlib sentinels that do not follow the Err prefix.
+		switch x.Name + "." + v.Sel.Name {
+		case "io.EOF", "context.Canceled", "context.DeadlineExceeded":
+			return true
+		}
+	}
+	return false
+}
+
+func isSentinelName(name string) bool {
+	return len(name) > 3 && strings.HasPrefix(name, "Err") &&
+		name[3] >= 'A' && name[3] <= 'Z'
+}
+
+// exprString renders simple expressions (idents and selectors) for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,175 @@
+// Package lint is the project-invariant static-analysis suite behind
+// cmd/mntlint and the tier-1+ gate. It is deliberately stdlib-only
+// (go/parser, go/ast, go/token): the module has no dependencies and the
+// linter must not introduce one.
+//
+// The framework loads every Go source file of the module into per-
+// directory Packages, runs a set of Analyzers over them, and reports
+// Diagnostics with file:line:column positions. Two source-level
+// directives interact with the analyzers:
+//
+//   - "//lint:ignore <analyzer> <reason>" suppresses that analyzer's
+//     findings on the same line, or — for a standalone comment line — on
+//     the next source line.
+//   - "//lint:bounded" in a function's doc comment declares that the
+//     function's results are drawn from a bounded set, which the
+//     obslabel analyzer accepts as a metric label value.
+//
+// See docs/STATIC_ANALYSIS.md for the analyzer catalogue and the rules
+// for adding a new one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer, a source position, and a
+// human-readable message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check run over a loaded package.
+type Analyzer struct {
+	// Name is the identifier used by -disable flags and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package and returns its raw findings; ignore
+	// directives are applied by the framework afterwards.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst(),
+		ErrCmp(),
+		ObsLabel(),
+		PrintBan(),
+		PanicBan(),
+	}
+}
+
+// Run executes the given analyzers over the given packages, drops
+// findings suppressed by //lint:ignore directives, and returns the rest
+// sorted by position. Malformed ignore directives (missing analyzer
+// name or reason) are themselves reported, so suppressions stay
+// auditable.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			raw = append(raw, a.Run(p)...)
+		}
+		for _, f := range p.Files {
+			raw = append(raw, f.malformedIgnores...)
+		}
+		for _, d := range raw {
+			if !suppressed(p, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// suppressed reports whether an ignore directive covers the diagnostic.
+func suppressed(p *Package, d Diagnostic) bool {
+	for _, f := range p.Files {
+		if f.Path != d.Position.Filename {
+			continue
+		}
+		for _, ig := range f.ignores {
+			if ig.analyzer == d.Analyzer && ig.covers(d.Position.Line) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	analyzer string
+	// line is the comment's own line; target is the source line the
+	// directive applies to (the same line for trailing comments, the
+	// following line for standalone comment lines).
+	line, target int
+}
+
+func (ig ignore) covers(line int) bool { return line == ig.line || line == ig.target }
+
+const (
+	ignorePrefix  = "//lint:ignore"
+	boundedMarker = "lint:bounded"
+)
+
+// parseDirectives extracts the ignore directives of a parsed file and
+// records malformed ones as diagnostics.
+func (f *File) parseDirectives() {
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			pos := f.Fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+			if len(fields) < 2 {
+				f.malformedIgnores = append(f.malformedIgnores, Diagnostic{
+					Analyzer: "lint",
+					Position: pos,
+					Message:  "malformed ignore directive: want //lint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			f.ignores = append(f.ignores, ignore{
+				analyzer: fields[0],
+				line:     pos.Line,
+				target:   pos.Line + 1,
+			})
+		}
+	}
+}
+
+// hasBoundedMarker reports whether a doc comment declares the function's
+// results bounded.
+func hasBoundedMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, boundedMarker) {
+			return true
+		}
+	}
+	return false
+}

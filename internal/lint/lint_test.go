@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted substrings of a // want "..." comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want comment: a file:line plus an expected
+// message substring.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// runFixture loads testdata/src/<name>, runs the full analyzer suite,
+// and asserts that the emitted diagnostics and the fixture's // want
+// comments match one-to-one by file, line, and message substring.
+func runFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	diags := Run(pkgs, Analyzers())
+
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					line := f.Fset.Position(c.Pos()).Line
+					ms := wantRe.FindAllStringSubmatch(text, -1)
+					if len(ms) == 0 {
+						t.Errorf("%s:%d: malformed want comment %q", f.Path, line, c.Text)
+						continue
+					}
+					for _, m := range ms {
+						wants = append(wants, &expectation{file: f.Path, line: line, substr: m[1]})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", name)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) || strings.Contains(d.String(), w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	return diags
+}
+
+// requireAnalyzerFindings asserts that at least min findings of the
+// named analyzer carry exact positions inside the fixture.
+func requireAnalyzerFindings(t *testing.T, diags []Diagnostic, analyzer string, min int) {
+	t.Helper()
+	n := 0
+	for _, d := range diags {
+		if d.Analyzer != analyzer {
+			continue
+		}
+		if d.Position.Filename == "" || d.Position.Line <= 0 || d.Position.Column <= 0 {
+			t.Errorf("%s diagnostic lacks a full position: %+v", analyzer, d)
+		}
+		n++
+	}
+	if n < min {
+		t.Errorf("analyzer %s: %d true-positive findings, want at least %d", analyzer, n, min)
+	}
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	diags := runFixture(t, "ctxfirst")
+	requireAnalyzerFindings(t, diags, "ctxfirst", 4)
+}
+
+func TestErrCmpFixture(t *testing.T) {
+	diags := runFixture(t, "errcmp")
+	requireAnalyzerFindings(t, diags, "errcmp", 5)
+}
+
+func TestObsLabelFixture(t *testing.T) {
+	diags := runFixture(t, "obslabel")
+	requireAnalyzerFindings(t, diags, "obslabel", 5)
+}
+
+func TestPrintBanFixture(t *testing.T) {
+	diags := runFixture(t, "printban")
+	requireAnalyzerFindings(t, diags, "printban", 4)
+}
+
+func TestPanicBanFixture(t *testing.T) {
+	diags := runFixture(t, "panicban")
+	requireAnalyzerFindings(t, diags, "panicban", 2)
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	diags := runFixture(t, "ignore")
+	// Two panics are suppressed, one stays because the directive names
+	// the wrong analyzer.
+	requireAnalyzerFindings(t, diags, "panicban", 1)
+}
+
+func TestMalformedIgnoreReported(t *testing.T) {
+	dir := t.TempDir()
+	src := `package lib
+
+func Broken() {
+	//lint:ignore panicban
+	panic("still reported")
+}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "lib", "lib.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	var gotMalformed, gotPanic bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "malformed ignore directive") {
+			gotMalformed = true
+		}
+		if d.Analyzer == "panicban" {
+			gotPanic = true
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("malformed //lint:ignore not reported; diags: %v", diags)
+	}
+	if !gotPanic {
+		t.Errorf("reasonless //lint:ignore suppressed the finding anyway; diags: %v", diags)
+	}
+}
+
+// TestRepositoryIsClean is the meta-test of the tier-1+ gate: mntlint
+// must report zero findings on the repository itself.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repository finding: %s", d)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}

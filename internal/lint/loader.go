@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is one parsed source file plus the derived indexes the analyzers
+// need.
+type File struct {
+	// Path is the file path relative to the load root, slash-separated.
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+	// Test marks _test.go files, which most analyzers skip.
+	Test bool
+	// Imports maps the local name of each import to its path, e.g.
+	// "obs" -> "repro/internal/obs". Dot and blank imports are omitted.
+	Imports map[string]string
+
+	ignores          []ignore
+	malformedIgnores []Diagnostic
+}
+
+// ImportName returns the local name under which the file imports the
+// given path, and whether it is imported at all.
+func (f *File) ImportName(path string) (string, bool) {
+	for name, p := range f.Imports {
+		if p == path {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// ImportsSuffix reports whether any import path equals suffix or ends in
+// "/"+suffix (used to match intra-module packages without knowing the
+// module path).
+func (f *File) ImportsSuffix(suffix string) bool {
+	for _, p := range f.Imports {
+		if p == suffix || strings.HasSuffix(p, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Package groups the files of one directory.
+type Package struct {
+	// Dir is the directory relative to the load root, slash-separated;
+	// "" for the root itself.
+	Dir string
+	// Name is the package name of the first non-test file (or the first
+	// file when all are tests).
+	Name string
+	// Files holds every parsed .go file of the directory.
+	Files []*File
+	// Consts indexes the package-level constant names declared in
+	// non-test files.
+	Consts map[string]bool
+	// Bounded indexes package-level functions whose doc comment carries
+	// the //lint:bounded marker.
+	Bounded map[string]bool
+}
+
+// InDir reports whether the package lives in or below any of the given
+// root-relative directories.
+func (p *Package) InDir(dirs ...string) bool {
+	for _, d := range dirs {
+		if p.Dir == d || strings.HasPrefix(p.Dir, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// skipDirs are directory names the loader never descends into: the go
+// tool ignores testdata, and the rest are not module source.
+var skipDirs = map[string]bool{
+	"testdata":     true,
+	"vendor":       true,
+	"node_modules": true,
+}
+
+// Load parses every .go file under root (recursively), grouping files by
+// directory. Directories named testdata or vendor and hidden directories
+// are skipped, matching the go tool's notion of module source.
+func Load(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (skipDirs[name] || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		src, rdErr := os.ReadFile(path)
+		if rdErr != nil {
+			return rdErr
+		}
+		// Parse under the root-relative name so diagnostic positions,
+		// File.Path, and ignore-directive matching all agree.
+		astf, perr := parser.ParseFile(fset, rel, src, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		f := &File{
+			Path:    rel,
+			Fset:    fset,
+			AST:     astf,
+			Test:    strings.HasSuffix(name, "_test.go"),
+			Imports: importNames(astf),
+		}
+		f.parseDirectives()
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		if dir == "." {
+			dir = ""
+		}
+		p := byDir[dir]
+		if p == nil {
+			p = &Package{Dir: dir, Consts: make(map[string]bool), Bounded: make(map[string]bool)}
+			byDir[dir] = p
+		}
+		p.Files = append(p.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		p := byDir[dir]
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Path < p.Files[j].Path })
+		p.index()
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// index fills the package-level name, constant, and bounded-function
+// indexes from the parsed files.
+func (p *Package) index() {
+	for _, f := range p.Files {
+		if p.Name == "" || !f.Test {
+			p.Name = f.AST.Name.Name
+		}
+		if !f.Test {
+			break
+		}
+	}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, n := range vs.Names {
+						p.Consts[n.Name] = true
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && hasBoundedMarker(d.Doc) {
+					p.Bounded[d.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// importNames maps local import names to paths for one file.
+func importNames(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		} else {
+			// Without go/types the best available local name is the last
+			// path element; this matches every package in this module and
+			// the stdlib packages the analyzers care about.
+			name = path[strings.LastIndex(path, "/")+1:]
+		}
+		out[name] = path
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// obsLabelCallees are the registry/span entry points whose label
+// arguments feed mntbench_* metric series.
+var obsLabelCallees = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"StartSpan": true,
+}
+
+// ObsLabel returns the obslabel analyzer. Metric label values passed to
+// the internal/obs registry lookups (Counter, Gauge, Histogram) and to
+// StartSpan must be string literals, named constants, or values drawn
+// from a declared bounded set — a local identifier assigned only from
+// such values, or a call to a function whose doc comment carries the
+// //lint:bounded marker. Anything else (request paths, benchmark
+// payloads, error strings, ...) can explode the cardinality of a family
+// and with it the memory of every scrape.
+//
+// Limitations, by design of a stdlib-only analyzer: spread arguments
+// (labels...) are not traced, and selectors on imported packages are
+// trusted as named values.
+func ObsLabel() *Analyzer {
+	return &Analyzer{
+		Name: "obslabel",
+		Doc:  "metric label values must be literals, constants, or declared bounded sets",
+		Run:  runObsLabel,
+	}
+}
+
+func runObsLabel(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		// Only files that talk to the obs layer: package obs itself or
+		// importers of internal/obs.
+		if p.Name != "obs" && !f.ImportsSuffix("internal/obs") {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isObsLabelCallee(call.Fun) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v, ok := labelValueExpr(arg); ok {
+						out = append(out, checkLabelValue(p, f, fd, v)...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isObsLabelCallee matches Counter/Gauge/Histogram/StartSpan whether
+// called as methods (reg.Counter), package functions (obs.StartSpan), or
+// bare identifiers inside package obs.
+func isObsLabelCallee(fun ast.Expr) bool {
+	switch v := fun.(type) {
+	case *ast.Ident:
+		return obsLabelCallees[v.Name]
+	case *ast.SelectorExpr:
+		return obsLabelCallees[v.Sel.Name]
+	}
+	return false
+}
+
+// labelValueExpr extracts the label-value expression from an argument
+// that constructs a label: L(k, v) / obs.L(k, v) calls and
+// Label{Key: ..., Value: ...} / obs.Label{...} composite literals.
+func labelValueExpr(arg ast.Expr) (ast.Expr, bool) {
+	switch v := arg.(type) {
+	case *ast.CallExpr:
+		if !isLCallee(v.Fun) || len(v.Args) != 2 {
+			return nil, false
+		}
+		return v.Args[1], true
+	case *ast.CompositeLit:
+		if !isLabelType(v.Type) {
+			return nil, false
+		}
+		for _, el := range v.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				// Positional: Label{key, value}.
+				if len(v.Elts) == 2 {
+					return v.Elts[1], true
+				}
+				return nil, false
+			}
+			if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Value" {
+				return kv.Value, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func isLCallee(fun ast.Expr) bool {
+	switch v := fun.(type) {
+	case *ast.Ident:
+		return v.Name == "L"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "L"
+	}
+	return false
+}
+
+func isLabelType(t ast.Expr) bool {
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name == "Label"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "Label"
+	}
+	return false
+}
+
+// checkLabelValue reports a diagnostic when the value expression is not
+// provably bounded.
+func checkLabelValue(p *Package, f *File, fd *ast.FuncDecl, v ast.Expr) []Diagnostic {
+	if boundedValue(p, f, fd, v, make(map[string]bool), 0) {
+		return nil
+	}
+	return []Diagnostic{{
+		Analyzer: "obslabel",
+		Position: f.Fset.Position(v.Pos()),
+		Message: fmt.Sprintf("metric label value %s is not a literal, named constant, or declared bounded set; unbounded labels explode series cardinality",
+			exprString(v)),
+	}}
+}
+
+// boundedValue is the allow-list at the heart of obslabel.
+func boundedValue(p *Package, f *File, fd *ast.FuncDecl, v ast.Expr, seen map[string]bool, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch e := v.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.STRING
+	case *ast.ParenExpr:
+		return boundedValue(p, f, fd, e.X, seen, depth+1)
+	case *ast.BinaryExpr:
+		// Concatenation of bounded parts stays bounded.
+		if e.Op != token.ADD {
+			return false
+		}
+		return boundedValue(p, f, fd, e.X, seen, depth+1) &&
+			boundedValue(p, f, fd, e.Y, seen, depth+1)
+	case *ast.Ident:
+		if p.Consts[e.Name] {
+			return true
+		}
+		return localBounded(p, f, fd, e.Name, seen, depth)
+	case *ast.SelectorExpr:
+		// pkg.Name on an imported package: a named constant or variable
+		// declared elsewhere; trusted as a deliberate, reviewable choice.
+		x, ok := e.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isImport := f.Imports[x.Name]
+		return isImport
+	case *ast.CallExpr:
+		// string(x) conversion keeps x's boundedness.
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if id.Name == "string" && len(e.Args) == 1 {
+				return boundedValue(p, f, fd, e.Args[0], seen, depth+1)
+			}
+			return p.Bounded[id.Name]
+		}
+		return false
+	}
+	return false
+}
+
+// localBounded resolves an identifier through the enclosing function's
+// assignments: the identifier is bounded when it has at least one
+// definition and every definition assigns a bounded value. Local const
+// declarations are bounded by construction.
+func localBounded(p *Package, f *File, fd *ast.FuncDecl, name string, seen map[string]bool, depth int) bool {
+	if seen[name] {
+		return false
+	}
+	seen[name] = true
+	defs := 0
+	bounded := true
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				// Multi-value assignment from one call: unresolvable.
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+						defs++
+						bounded = false
+					}
+				}
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name {
+					continue
+				}
+				defs++
+				if !boundedValue(p, f, fd, s.Rhs[i], seen, depth+1) {
+					bounded = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range s.Names {
+				if id.Name != name {
+					continue
+				}
+				defs++
+				if i < len(s.Values) {
+					if !boundedValue(p, f, fd, s.Values[i], seen, depth+1) {
+						bounded = false
+					}
+				} else {
+					bounded = false
+				}
+			}
+		}
+		return true
+	})
+	return defs > 0 && bounded
+}

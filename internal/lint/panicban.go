@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicBan returns the panicban analyzer: library packages under
+// internal/ must not panic except inside Must*/must*-prefixed helpers,
+// whose name advertises the contract. The engine runs thousands of
+// flows per campaign; a panic in one flow must be an explicit,
+// greppable invariant assertion, not an ambient control-flow habit —
+// expected failures travel as errors and are classified by
+// core.ClassifyOutcome.
+func PanicBan() *Analyzer {
+	return &Analyzer{
+		Name: "panicban",
+		Doc:  "no panic in internal/ library packages outside Must*/must* helpers",
+		Run:  runPanicBan,
+	}
+}
+
+func runPanicBan(p *Package) []Diagnostic {
+	if !p.InDir("internal") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			exempt := isFunc && isMustName(fd.Name.Name)
+			if exempt {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					out = append(out, Diagnostic{
+						Analyzer: "panicban",
+						Position: f.Fset.Position(call.Pos()),
+						Message:  "panic outside a Must*/must* helper; return an error or move the assertion into a must-prefixed helper",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isMustName(name string) bool {
+	return strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+}

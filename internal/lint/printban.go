@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// fmtPrintFuncs are the fmt functions that write to process stdout.
+// Fprint* variants take an explicit writer and are allowed.
+var fmtPrintFuncs = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+// PrintBan returns the printban analyzer: library packages under
+// internal/ must not write to stdout/stderr behind the caller's back.
+// The obs structured logger is the only sanctioned output sink — it is
+// leveled, capturable, and redirectable, while stray fmt.Print/log
+// output corrupts machine-read CLI output (tables, JSON exports) and
+// bypasses the -log-json pipeline.
+func PrintBan() *Analyzer {
+	return &Analyzer{
+		Name: "printban",
+		Doc:  "no fmt.Print*/print/println/log.* output in internal/ library packages; use the obs logger",
+		Run:  runPrintBan,
+	}
+}
+
+func runPrintBan(p *Package) []Diagnostic {
+	if !p.InDir("internal") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		fmtName, hasFmt := f.ImportName("fmt")
+		logName, hasLog := f.ImportName("log")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "print" || fun.Name == "println" {
+					out = append(out, Diagnostic{
+						Analyzer: "printban",
+						Position: f.Fset.Position(call.Pos()),
+						Message:  fmt.Sprintf("builtin %s writes to stderr; use the obs logger", fun.Name),
+					})
+				}
+			case *ast.SelectorExpr:
+				x, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if hasFmt && x.Name == fmtName && fmtPrintFuncs[fun.Sel.Name] {
+					out = append(out, Diagnostic{
+						Analyzer: "printban",
+						Position: f.Fset.Position(call.Pos()),
+						Message:  fmt.Sprintf("fmt.%s writes to stdout from library code; use the obs logger or take an io.Writer", fun.Sel.Name),
+					})
+				}
+				if hasLog && x.Name == logName {
+					out = append(out, Diagnostic{
+						Analyzer: "printban",
+						Position: f.Fset.Position(call.Pos()),
+						Message:  fmt.Sprintf("stdlib log.%s in library code; use the obs logger", fun.Sel.Name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

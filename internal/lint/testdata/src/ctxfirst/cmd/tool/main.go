@@ -1,0 +1,10 @@
+// Command tool shows the ctxfirst exemption: binaries own the root
+// context, so context.Background() is allowed under cmd/.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

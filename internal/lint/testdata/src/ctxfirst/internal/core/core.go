@@ -1,0 +1,45 @@
+// Package core is the ctxfirst golden fixture: exported pipeline APIs
+// must take context.Context first, and library code must not mint root
+// contexts.
+package core
+
+import "context"
+
+// RunMisplaced takes its context second.
+func RunMisplaced(name string, ctx context.Context) error { // want "exported RunMisplaced takes context.Context as parameter 2; it must come first"
+	_ = name
+	_ = ctx
+	return nil
+}
+
+// RunLast buries its context behind two parameters.
+func RunLast(name string, tries int, ctx context.Context) error { // want "exported RunLast takes context.Context as parameter 3; it must come first"
+	_ = name
+	_ = tries
+	_ = ctx
+	return nil
+}
+
+// Detach mints a root context in library code.
+func Detach() context.Context {
+	return context.Background() // want "context.Background() in library code: thread the caller's context instead"
+}
+
+// Later parks work on a TODO context.
+func Later() context.Context {
+	return context.TODO() // want "context.TODO() in library code: thread the caller's context instead"
+}
+
+// RunGood is compliant: context first.
+func RunGood(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// helper is unexported; the parameter-order rule applies to the
+// exported API surface only.
+func helper(name string, ctx context.Context) {
+	_ = name
+	_ = ctx
+}

@@ -1,0 +1,52 @@
+// Package lib is the errcmp golden fixture: sentinel errors must be
+// checked with errors.Is, and fmt.Errorf must wrap errors with %w.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget marks searches that exhausted their budget.
+var ErrBudget = errors.New("budget exhausted")
+
+// Compare tests a sentinel with ==.
+func Compare(err error) bool {
+	return err == ErrBudget // want "error compared to sentinel ErrBudget with ==; use errors.Is"
+}
+
+// CompareNeq tests a sentinel with !=, operands flipped.
+func CompareNeq(perr error) bool {
+	return ErrBudget != perr // want "error compared to sentinel ErrBudget with !=; use errors.Is"
+}
+
+// CompareCtx tests a stdlib sentinel that lacks the Err prefix.
+func CompareCtx(err error) bool {
+	return err == context.Canceled // want "error compared to sentinel context.Canceled with ==; use errors.Is"
+}
+
+// Wrap flattens an error with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want "error err passed to fmt.Errorf with %v; use %w"
+}
+
+// WrapIndirect flattens a differently named error with %s after a
+// width-star argument.
+func WrapIndirect(width int, derr error) error {
+	return fmt.Errorf("stage %*d failed: %s", width, 7, derr) // want "error derr passed to fmt.Errorf with %s; use %w"
+}
+
+// WrapGood wraps properly.
+func WrapGood(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// NilCheck is fine: nil is not a sentinel.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// IsGood uses errors.Is.
+func IsGood(err error) bool {
+	return errors.Is(err, ErrBudget)
+}

@@ -1,0 +1,21 @@
+// Package lib is the suppression fixture: //lint:ignore directives with
+// a reason silence a finding on their own line or the next one, and
+// malformed directives are themselves reported.
+package lib
+
+// Standalone suppresses the finding on the following line.
+func Standalone() {
+	//lint:ignore panicban fixture demonstrates standalone suppression
+	panic("suppressed")
+}
+
+// Trailing suppresses the finding on its own line.
+func Trailing() {
+	panic("suppressed") //lint:ignore panicban fixture demonstrates trailing suppression
+}
+
+// WrongAnalyzer does not suppress findings of other analyzers.
+func WrongAnalyzer() {
+	//lint:ignore printban wrong analyzer name, panic stays reported
+	panic("still reported") // want "panic outside a Must*/must* helper"
+}

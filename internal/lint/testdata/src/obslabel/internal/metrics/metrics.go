@@ -1,0 +1,55 @@
+// Package metrics is the obslabel golden fixture: label values reaching
+// the obs registry must be literals, constants, or declared bounded
+// sets.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// stageLabel is a named constant: allowed.
+const stageLabel = "place.ortho"
+
+// algoLabel returns one of a fixed set of algorithm names.
+//
+//lint:bounded
+func algoLabel(i int) string {
+	if i == 0 {
+		return "exact"
+	}
+	return "ortho"
+}
+
+// Record exercises the allowed and banned label-value forms.
+func Record(reg *obs.Registry, path string, code int) {
+	reg.Counter("flows_total", obs.L("stage", stageLabel)).Inc()
+	reg.Counter("flows_total", obs.L("stage", "literal")).Inc()
+	reg.Counter("http_total", obs.L("path", path)).Inc()       // want "metric label value path is not a literal, named constant, or declared bounded set"
+	reg.Gauge("g", obs.L("q", fmt.Sprintf("%d", code))).Set(1) // want "metric label value fmt.Sprintf(...) is not a literal, named constant, or declared bounded set"
+	reg.Histogram("d_seconds", nil, obs.L("algo", algoLabel(1))).Observe(0.5)
+}
+
+// RecordLocals shows local identifiers traced through their
+// assignments.
+func RecordLocals(reg *obs.Registry, path string) {
+	rt := path + "/x"
+	reg.Counter("routes_total", obs.L("route", rt)).Inc() // want "metric label value rt is not a literal, named constant, or declared bounded set"
+	kind := "fixed"
+	reg.Counter("kinds_total", obs.L("kind", kind)).Inc()
+	combo := "pre." + stageLabel
+	reg.Counter("combos_total", obs.L("combo", combo)).Inc()
+}
+
+// RecordSpan covers the StartSpan entry point.
+func RecordSpan(path string) {
+	_, span := obs.StartSpan(nil, "flow", obs.L("path", path)) // want "metric label value path is not a literal, named constant, or declared bounded set"
+	_ = span
+}
+
+// RecordComposite covers direct Label literals.
+func RecordComposite(reg *obs.Registry, user string) {
+	reg.Counter("users_total", obs.Label{Key: "user", Value: user}).Inc() // want "metric label value user is not a literal, named constant, or declared bounded set"
+	reg.Counter("users_total", obs.Label{Key: "user", Value: "anon"}).Inc()
+}

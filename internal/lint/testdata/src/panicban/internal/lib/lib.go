@@ -1,0 +1,46 @@
+// Package lib is the panicban golden fixture: internal/ library code
+// panics only inside Must*/must* helpers.
+package lib
+
+import "errors"
+
+// ErrNegative reports a negative input.
+var ErrNegative = errors.New("negative input")
+
+// Check panics where it should return an error.
+func Check(n int) {
+	if n < 0 {
+		panic("negative input") // want "panic outside a Must*/must* helper"
+	}
+}
+
+// Undo panics from inside a deferred closure of a non-must function.
+func Undo() {
+	defer func() {
+		panic("rollback failed") // want "panic outside a Must*/must* helper"
+	}()
+}
+
+// mustCheck asserts the invariant; the must prefix advertises the
+// panic.
+func mustCheck(n int) {
+	if n < 0 {
+		panic("negative input")
+	}
+}
+
+// MustParse is the exported flavor of an asserting helper.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// CheckErr returns the error instead.
+func CheckErr(n int) error {
+	if n < 0 {
+		return ErrNegative
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package lib is the printban golden fixture: internal/ library code
+// must route output through the obs logger.
+package lib
+
+import (
+	"fmt"
+	"io"
+	stdlog "log"
+)
+
+// Report writes through every banned sink.
+func Report(x int) {
+	fmt.Println("x =", x)    // want "fmt.Println writes to stdout from library code; use the obs logger"
+	fmt.Printf("x=%d\n", x)  // want "fmt.Printf writes to stdout from library code; use the obs logger"
+	stdlog.Printf("x=%d", x) // want "stdlib log.Printf in library code; use the obs logger"
+	println(x)               // want "builtin println writes to stderr; use the obs logger"
+}
+
+// ReportTo is fine: the caller chose the writer.
+func ReportTo(w io.Writer, x int) {
+	fmt.Fprintln(w, "x =", x)
+}

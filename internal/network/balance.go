@@ -10,10 +10,7 @@ package network
 // The transform preserves functionality and returns the number of
 // inserted buffers.
 func (n *Network) Balance(alignOutputs bool) int {
-	order, err := n.TopoOrder()
-	if err != nil {
-		panic(err) // construction API keeps networks acyclic
-	}
+	order := n.MustTopoOrder()
 
 	// Node levels before balancing: PIs at 0, gates at 1 + max(fanins).
 	level := make(map[ID]int, len(order))
@@ -74,10 +71,7 @@ func (n *Network) Balance(alignOutputs bool) int {
 // IsBalanced reports whether every node's fanins sit on one common level
 // (and, when checkOutputs is set, all PO drivers share the global depth).
 func (n *Network) IsBalanced(checkOutputs bool) bool {
-	order, err := n.TopoOrder()
-	if err != nil {
-		panic(err)
-	}
+	order := n.MustTopoOrder()
 	level := make(map[ID]int, len(order))
 	for _, id := range order {
 		nd := n.Node(id)

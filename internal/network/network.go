@@ -91,9 +91,7 @@ func (g Gate) IsLogic() bool {
 // if the number of inputs does not match the gate arity; structural
 // validity is the caller's responsibility (see Network.Validate).
 func (g Gate) Eval(in ...bool) bool {
-	if len(in) != g.Arity() {
-		panic(fmt.Sprintf("network: %s expects %d inputs, got %d", g, g.Arity(), len(in)))
-	}
+	g.mustArity(len(in))
 	switch g {
 	case Const0:
 		return false
@@ -124,7 +122,16 @@ func (g Gate) Eval(in ...bool) bool {
 		}
 		return n >= 2
 	}
+	//lint:ignore panicban unreachable backstop: the switch above is exhaustive over evaluable gates
 	panic(fmt.Sprintf("network: gate %s cannot be evaluated", g))
+}
+
+// mustArity asserts that a gate receives exactly its arity in inputs;
+// Eval's documented contract is to panic on misuse.
+func (g Gate) mustArity(got int) {
+	if got != g.Arity() {
+		panic(fmt.Sprintf("network: %s expects %d inputs, got %d", g, g.Arity(), got))
+	}
 }
 
 // ID identifies a node within a Network. IDs are dense, stable, and never
@@ -166,7 +173,10 @@ func (n *Network) add(nd Node) ID {
 	return id
 }
 
-func (n *Network) checkFanins(fn Gate, fanins []ID) {
+// mustValidFanins asserts that fanins match the gate arity and reference
+// in-range non-PO nodes; the construction API panics on such programming
+// errors rather than returning them.
+func (n *Network) mustValidFanins(fn Gate, fanins []ID) {
 	if len(fanins) != fn.Arity() {
 		panic(fmt.Sprintf("network: %s expects %d fanins, got %d", fn, fn.Arity(), len(fanins)))
 	}
@@ -174,9 +184,14 @@ func (n *Network) checkFanins(fn Gate, fanins []ID) {
 		if f < 0 || int(f) >= len(n.nodes) {
 			panic(fmt.Sprintf("network: fanin %d out of range", f))
 		}
-		if n.nodes[f].Fn == PO {
-			panic("network: a PO cannot drive another node")
-		}
+		n.mustDrivable(f)
+	}
+}
+
+// mustDrivable rejects POs as signal sources: a PO is a sink.
+func (n *Network) mustDrivable(id ID) {
+	if n.nodes[id].Fn == PO {
+		panic("network: a PO cannot drive another node")
 	}
 }
 
@@ -189,7 +204,7 @@ func (n *Network) AddPI(name string) ID {
 
 // AddPO creates a new primary output named name and driven by src.
 func (n *Network) AddPO(src ID, name string) ID {
-	n.checkFanins(PO, []ID{src})
+	n.mustValidFanins(PO, []ID{src})
 	id := n.add(Node{Fn: PO, Fanins: []ID{src}, Name: name})
 	n.pos = append(n.pos, id)
 	return id
@@ -197,10 +212,8 @@ func (n *Network) AddPO(src ID, name string) ID {
 
 // AddGate creates an interior node computing fn over the given fanins.
 func (n *Network) AddGate(fn Gate, fanins ...ID) ID {
-	if !fn.IsLogic() {
-		panic(fmt.Sprintf("network: AddGate cannot create %s nodes", fn))
-	}
-	n.checkFanins(fn, fanins)
+	mustLogicGate(fn)
+	n.mustValidFanins(fn, fanins)
 	return n.add(Node{Fn: fn, Fanins: append([]ID(nil), fanins...)})
 }
 
@@ -264,18 +277,30 @@ func (n *Network) SetName(id ID, name string) { n.nodes[id].Name = name }
 
 // ReplaceFanin redirects the idx-th fanin of node id to point at newSrc.
 func (n *Network) ReplaceFanin(id ID, idx int, newSrc ID) {
-	if n.nodes[newSrc].Fn == PO {
-		panic("network: a PO cannot drive another node")
-	}
+	n.mustDrivable(newSrc)
 	n.nodes[id].Fanins[idx] = newSrc
 }
 
-// Delete marks node id as deleted. Deleting PIs or POs is not allowed.
-func (n *Network) Delete(id ID) {
+// mustLogicGate restricts AddGate to interior logic functions; PIs and
+// POs have dedicated constructors.
+func mustLogicGate(fn Gate) {
+	if !fn.IsLogic() {
+		panic(fmt.Sprintf("network: AddGate cannot create %s nodes", fn))
+	}
+}
+
+// mustDeletable rejects deleting PIs or POs, which would silently change
+// the network interface.
+func (n *Network) mustDeletable(id ID) {
 	switch n.nodes[id].Fn {
 	case PI, PO:
 		panic("network: cannot delete a PI or PO")
 	}
+}
+
+// Delete marks node id as deleted. Deleting PIs or POs is not allowed.
+func (n *Network) Delete(id ID) {
+	n.mustDeletable(id)
 	n.nodes[id] = Node{Fn: None}
 }
 

@@ -12,10 +12,7 @@ import "sort"
 // imports can contain duplicate subexpressions that would otherwise be
 // placed twice.
 func (n *Network) Strash() int {
-	order, err := n.TopoOrder()
-	if err != nil {
-		panic(err) // construction API keeps networks acyclic
-	}
+	order := n.MustTopoOrder()
 
 	type key struct {
 		fn Gate
@@ -131,10 +128,7 @@ func (n *Network) PropagateConstants() int {
 }
 
 func (n *Network) propagateConstantsOnce() int {
-	order, err := n.TopoOrder()
-	if err != nil {
-		panic(err)
-	}
+	order := n.MustTopoOrder()
 	// constVal[id] holds the known constant value of a node, if any.
 	constVal := make(map[ID]bool)
 	replacement := make(map[ID]ID)

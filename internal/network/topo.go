@@ -61,14 +61,22 @@ func (n *Network) TopoOrder() ([]ID, error) {
 	return order, nil
 }
 
+// MustTopoOrder is TopoOrder for networks known to be acyclic — anything
+// built through the construction API without inconsistent ReplaceFanin
+// calls. It panics on a cycle.
+func (n *Network) MustTopoOrder() []ID {
+	order, err := n.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
 // Levels returns the logic level of every node slot: PIs and constants
 // are level 0, every other node is 1 + max(level of fanins). POs share
 // the level of their driver. Deleted slots report level 0.
 func (n *Network) Levels() []int {
-	order, err := n.TopoOrder()
-	if err != nil {
-		panic(err) // construction API keeps networks acyclic
-	}
+	order := n.MustTopoOrder()
 	levels := make([]int, len(n.nodes))
 	for _, id := range order {
 		nd := n.nodes[id]

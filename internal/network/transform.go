@@ -10,9 +10,7 @@ import "fmt"
 //
 // The transformation preserves functionality; POs count as successors.
 func (n *Network) SubstituteFanouts(maxDegree int) {
-	if maxDegree < 2 {
-		panic(fmt.Sprintf("network: fanout degree %d must be >= 2", maxDegree))
-	}
+	mustFanoutDegree(maxDegree)
 	// Snapshot fanout lists before mutation; new nodes appended during the
 	// rewrite start with correct (single) fanout by construction.
 	lists := n.FanoutLists()
@@ -203,6 +201,7 @@ func (d *decomposer) not(a ID) ID {
 	case d.set.Supports(Nor):
 		return d.n.AddNor(a, a)
 	}
+	//lint:ignore panicban unreachable: newDecomposer rejects incomplete gate sets up front
 	panic("decomposer: no inverter in a complete gate set")
 }
 
@@ -220,6 +219,7 @@ func (d *decomposer) and(a, b ID) ID {
 		zero := d.constant(false)
 		return d.n.AddMaj(a, b, zero)
 	}
+	//lint:ignore panicban unreachable: newDecomposer rejects incomplete gate sets up front
 	panic("decomposer: cannot build AND")
 }
 
@@ -237,7 +237,16 @@ func (d *decomposer) or(a, b ID) ID {
 		one := d.constant(true)
 		return d.n.AddMaj(a, b, one)
 	}
+	//lint:ignore panicban unreachable: newDecomposer rejects incomplete gate sets up front
 	panic("decomposer: cannot build OR")
+}
+
+// mustFanoutDegree validates the degree parameter of SubstituteFanouts;
+// a degree below 2 cannot split a signal and is a programming error.
+func mustFanoutDegree(d int) {
+	if d < 2 {
+		panic(fmt.Sprintf("network: fanout degree %d must be >= 2", d))
+	}
 }
 
 // constant emits a constant node; constants are always structurally

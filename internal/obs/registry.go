@@ -106,9 +106,7 @@ func (r *Registry) Help(name, help string) {
 // first use. Requesting an existing family under a different kind is a
 // programming error and panics.
 func (r *Registry) family(name string, kind Kind, buckets []float64) *family {
-	if name == "" {
-		panic("obs: empty metric name")
-	}
+	mustMetricName(name)
 	r.mu.RLock()
 	f := r.families[name]
 	r.mu.RUnlock()
@@ -120,10 +118,24 @@ func (r *Registry) family(name string, kind Kind, buckets []float64) *family {
 		}
 		r.mu.Unlock()
 	}
-	if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %q is a %s, requested as %s", name, f.kind, kind))
-	}
+	f.mustKind(kind)
 	return f
+}
+
+// mustMetricName rejects empty family names, which would merge distinct
+// metrics into one unnamed series.
+func mustMetricName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+}
+
+// mustKind asserts a family is requested under the kind it was
+// registered with; mixing kinds is a programming error.
+func (f *family) mustKind(kind Kind) {
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %s, requested as %s", f.name, f.kind, kind))
+	}
 }
 
 // signature canonicalizes a label set: sorted by key, joined with

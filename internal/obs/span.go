@@ -72,6 +72,7 @@ type Span struct {
 // ctx is treated as context.Background().
 func StartSpan(ctx context.Context, name string, labels ...Label) (context.Context, *Span) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context", per the doc comment
 		ctx = context.Background()
 	}
 	s := &Span{

@@ -285,13 +285,9 @@ func (s *searcher) tryAt(v network.ID, nd network.Node, c layout.Coord) bool {
 	}
 	if !ok {
 		for i := 0; i < routed; i++ {
-			if err := route.RemoveWirePath(s.l, s.pos[nd.Fanins[i]], c); err != nil {
-				panic(fmt.Sprintf("exact: rollback failed: %v", err))
-			}
+			mustUnwind("rollback", route.RemoveWirePath(s.l, s.pos[nd.Fanins[i]], c))
 		}
-		if err := s.l.Clear(c); err != nil {
-			panic(fmt.Sprintf("exact: rollback failed: %v", err))
-		}
+		mustUnwind("rollback", s.l.Clear(c))
 		return false
 	}
 	s.pos[v] = c
@@ -301,12 +297,16 @@ func (s *searcher) tryAt(v network.ID, nd network.Node, c layout.Coord) bool {
 // undoAt removes v and its fanin wiring from the layout.
 func (s *searcher) undoAt(v network.ID, nd network.Node, c layout.Coord) {
 	for _, f := range nd.Fanins {
-		if err := route.RemoveWirePath(s.l, s.pos[f], c); err != nil {
-			panic(fmt.Sprintf("exact: undo failed: %v", err))
-		}
+		mustUnwind("undo", route.RemoveWirePath(s.l, s.pos[f], c))
 	}
-	if err := s.l.Clear(c); err != nil {
-		panic(fmt.Sprintf("exact: undo failed: %v", err))
-	}
+	mustUnwind("undo", s.l.Clear(c))
 	delete(s.pos, v)
+}
+
+// mustUnwind asserts that reverting a speculative placement succeeded;
+// a failed revert would leave the shared layout corrupted mid-search.
+func mustUnwind(op string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("exact: %s failed: %v", op, err))
+	}
 }

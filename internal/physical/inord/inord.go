@@ -105,12 +105,7 @@ func Place(n *network.Network, opts Options) (*layout.Layout, []int, error) {
 // transitive consumers' first level, a standard crossing-reduction
 // heuristic from layered graph drawing.
 func BarycenterOrder(n *network.Network) []int {
-	order, err := n.TopoOrder()
-	if err != nil {
-		// Construction keeps networks acyclic; a cycle here is programmer
-		// error upstream.
-		panic(err)
-	}
+	order := n.MustTopoOrder()
 	topoIdx := make(map[network.ID]int, len(order))
 	for i, id := range order {
 		topoIdx[id] = i

@@ -241,14 +241,18 @@ func episode(n *network.Network, nodes []network.ID, side int, gen *rng, opts Op
 // revertPlace removes a just-placed node and its fanin wiring.
 func revertPlace(l *layout.Layout, pos map[network.ID]layout.Coord, v network.ID, nd network.Node, c layout.Coord) {
 	for _, f := range nd.Fanins {
-		if err := route.RemoveWirePath(l, pos[f], c); err != nil {
-			panic(fmt.Sprintf("nanoplacer: revert failed: %v", err))
-		}
+		mustUnwind("revert", route.RemoveWirePath(l, pos[f], c))
 	}
-	if err := l.Clear(c); err != nil {
-		panic(fmt.Sprintf("nanoplacer: revert failed: %v", err))
-	}
+	mustUnwind("revert", l.Clear(c))
 	delete(pos, v)
+}
+
+// mustUnwind asserts that reverting a speculative placement succeeded;
+// a failed revert would leave the layout corrupted mid-episode.
+func mustUnwind(op string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("nanoplacer: %s failed: %v", op, err))
+	}
 }
 
 func episodeCandidates(l *layout.Layout, pos map[network.ID]layout.Coord, nd network.Node, side int, opts Options) []layout.Coord {
@@ -320,13 +324,9 @@ func tryPlace(l *layout.Layout, pos map[network.ID]layout.Coord, v network.ID, n
 	}
 	if !ok {
 		for i := 0; i < routed; i++ {
-			if err := route.RemoveWirePath(l, pos[nd.Fanins[i]], c); err != nil {
-				panic(fmt.Sprintf("nanoplacer: rollback failed: %v", err))
-			}
+			mustUnwind("rollback", route.RemoveWirePath(l, pos[nd.Fanins[i]], c))
 		}
-		if err := l.Clear(c); err != nil {
-			panic(fmt.Sprintf("nanoplacer: rollback failed: %v", err))
-		}
+		mustUnwind("rollback", l.Clear(c))
 		return false
 	}
 	pos[v] = c

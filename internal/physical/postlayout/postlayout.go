@@ -235,9 +235,7 @@ func relocate(l *layout.Layout, c layout.Coord, ropts route.Options, maxCand int
 				}
 				// Restore the original fanin index at the destination.
 				ni := l.IncomingIndex(out.dst, lastIncoming(l, out.dst))
-				if err := l.MoveIncoming(out.dst, ni, out.dstIdx); err != nil {
-					panic(fmt.Sprintf("postlayout: fanin reorder failed: %v", err))
-				}
+				mustUnwind("fanin reorder", l.MoveIncoming(out.dst, ni, out.dstIdx))
 				outsDone++
 			}
 		}
@@ -246,18 +244,12 @@ func relocate(l *layout.Layout, c layout.Coord, ropts route.Options, maxCand int
 		}
 		// Undo partial work.
 		for i := 0; i < outsDone; i++ {
-			if err := route.RemoveWirePath(l, p, outs[i].dst); err != nil {
-				panic(fmt.Sprintf("postlayout: undo failed: %v", err))
-			}
+			mustUnwind("undo", route.RemoveWirePath(l, p, outs[i].dst))
 		}
 		for i := 0; i < done; i++ {
-			if err := route.RemoveWirePath(l, ins[i].src, p); err != nil {
-				panic(fmt.Sprintf("postlayout: undo failed: %v", err))
-			}
+			mustUnwind("undo", route.RemoveWirePath(l, ins[i].src, p))
 		}
-		if err := l.Clear(p); err != nil {
-			panic(fmt.Sprintf("postlayout: undo failed: %v", err))
-		}
+		mustUnwind("undo", l.Clear(p))
 		return false
 	}
 
@@ -273,6 +265,14 @@ func relocate(l *layout.Layout, c layout.Coord, ropts route.Options, maxCand int
 		*l = *snap
 	}
 	return false, nil
+}
+
+// mustUnwind asserts that reverting a speculative relocation succeeded;
+// a failed revert would leave the layout corrupted mid-optimization.
+func mustUnwind(op string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("postlayout: %s failed: %v", op, err))
+	}
 }
 
 // lastIncoming returns the most recently added incoming coordinate of

@@ -4,11 +4,16 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/layout"
 	"repro/internal/network"
 )
+
+// ErrDRC is the sentinel matched by errors.Is for any design-rule
+// failure, regardless of which check produced it or how it was wrapped.
+var ErrDRC = errors.New("design rule check failed")
 
 // DRCReport lists the violations found in a layout.
 type DRCReport struct {
@@ -18,13 +23,30 @@ type DRCReport struct {
 // OK reports whether the layout passed all design-rule checks.
 func (r *DRCReport) OK() bool { return len(r.Violations) == 0 }
 
-// Error formats the report as an error, or returns nil when clean.
+// Error converts the report into a *DRCError, or returns nil when clean.
+// The result matches errors.Is(err, ErrDRC), and errors.As recovers the
+// full report.
 func (r *DRCReport) Error() error {
 	if r.OK() {
 		return nil
 	}
-	return fmt.Errorf("verify: %d DRC violations, first: %s", len(r.Violations), r.Violations[0])
+	return &DRCError{Report: r}
 }
+
+// DRCError is the typed error carrying a failed DRCReport through error
+// chains.
+type DRCError struct {
+	Report *DRCReport
+}
+
+// Error summarizes the report: the violation count and the first entry.
+func (e *DRCError) Error() string {
+	v := e.Report.Violations
+	return fmt.Sprintf("verify: %d DRC violations, first: %s", len(v), v[0])
+}
+
+// Unwrap ties every DRCError to the ErrDRC sentinel.
+func (e *DRCError) Unwrap() error { return ErrDRC }
 
 func (r *DRCReport) addf(format string, args ...interface{}) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -30,6 +32,33 @@ func TestCheckDesignRulesClean(t *testing.T) {
 	}
 	if r.Error() != nil {
 		t.Fatal("Error() non-nil on clean report")
+	}
+}
+
+func TestDRCErrorTyped(t *testing.T) {
+	l := layout.New("bad", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(1, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PO, Name: "f", Incoming: []layout.Coord{layout.C(1, 0)}})
+	report := CheckDesignRules(l)
+	err := report.Error()
+	if err == nil {
+		t.Fatal("Error() nil on a failing report")
+	}
+	// The sentinel survives wrapping.
+	wrapped := fmt.Errorf("flow xyz: %w", err)
+	if !errors.Is(wrapped, ErrDRC) {
+		t.Error("errors.Is(wrapped, ErrDRC) = false")
+	}
+	// errors.As recovers the full report.
+	var de *DRCError
+	if !errors.As(wrapped, &de) {
+		t.Fatal("errors.As(wrapped, *DRCError) = false")
+	}
+	if de.Report != report {
+		t.Error("DRCError does not carry the originating report")
+	}
+	if !strings.Contains(err.Error(), "DRC violations") {
+		t.Errorf("unexpected message: %s", err.Error())
 	}
 }
 
