@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench
+.PHONY: all build test race check fmt vet lint bench bench-all
 
 all: check
 
@@ -30,5 +30,10 @@ lint:
 
 check: build vet fmt lint test race
 
+# bench runs one campaign per worker count (serial and all-cores) as a
+# scheduler smoke test; bench-all runs the full experiment suite E1-E7.
 bench:
+	$(GO) test -bench='^BenchmarkCampaign$$' -benchtime=1x -run='^$$' .
+
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -7,6 +7,7 @@
 //	E4  BenchmarkWebInterface    — Figure 1 (filter + download requests)
 //	E5  BenchmarkRouterBestagon  — §II claim: router function area ratio
 //	E6  BenchmarkOrthoScaling    — runtime column t across circuit sizes
+//	E7  BenchmarkCampaign        — scheduler throughput, workers=1 vs NumCPU
 //
 // Each benchmark iteration regenerates its artifact from scratch and
 // reports the headline quantities as custom metrics. The default scope
@@ -18,9 +19,11 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -216,6 +219,43 @@ func BenchmarkOrthoScaling(b *testing.B) {
 				b.ReportMetric(float64(l.Area()), "tiles")
 			}
 		})
+	}
+}
+
+// BenchmarkCampaign measures campaign scheduler throughput at one worker
+// versus all CPU cores over the Trindade16 suite (E7). Beyond the
+// speedup it asserts the tentpole determinism guarantee: both worker
+// counts must render byte-identical Table I text once the measured
+// wall-clock runtime column is zeroed (timing is a measurement, not a
+// result; everything else — areas, algorithms, schemes, ΔA — must
+// match exactly).
+func BenchmarkCampaign(b *testing.B) {
+	benches := bench.BySet("Trindade16")
+	tables := make(map[int]string)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			limits := tableLimits()
+			limits.Workers = workers
+			limits.DiscardLayouts = true
+			for i := 0; i < b.N; i++ {
+				db := core.Generate(context.Background(), benches, gatelib.QCAOne, limits, nil)
+				rows := db.TableI(benches, gatelib.QCAOne)
+				if len(rows) != len(benches) {
+					b.Fatalf("table rows = %d, want %d", len(rows), len(benches))
+				}
+				flows := len(db.Entries) + len(db.Failures)
+				b.ReportMetric(float64(flows)/b.Elapsed().Seconds()*float64(b.N), "flows/s")
+				for j := range rows {
+					rows[j].RuntimeSec = 0
+				}
+				tables[workers] = core.RenderTableI(rows, gatelib.QCAOne)
+			}
+		})
+	}
+	if serial, parallel := tables[1], tables[runtime.NumCPU()]; serial != "" && parallel != "" && serial != parallel {
+		b.Errorf("Table I differs between workers=1 and workers=%d:\n--- serial\n%s--- parallel\n%s",
+			runtime.NumCPU(), serial, parallel)
 	}
 }
 

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	mntbench list
-//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-out FILE]
-//	mntbench generate [-lib ...] [-set ...] [-dir DIR]
+//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE]
+//	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR]
 //	mntbench serve    [-addr :8080] [-set ...]
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
@@ -147,6 +147,7 @@ func cmdTable(args []string) error {
 	exactSec := fs.Int("exact-timeout", 3, "exact search budget per function (seconds)")
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget per function (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "post-layout optimization budget (seconds)")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -170,6 +171,7 @@ func cmdTable(args []string) error {
 	}
 	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
 	limits.DiscardLayouts = true
+	limits.Workers = *workers
 	db := core.Generate(ctx, benches, library, limits, progress)
 	if s := db.SkippedSummary(); s != "" {
 		fmt.Fprintln(os.Stderr, s)
@@ -194,6 +196,7 @@ func cmdGenerate(args []string) error {
 	exactSec := fs.Int("exact-timeout", 3, "exact search budget (seconds)")
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "PLO budget (seconds)")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,6 +225,7 @@ func cmdGenerate(args []string) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
+	limits.Workers = *workers
 	written := 0
 	skipped := &core.Database{}
 	for _, library := range libs {

@@ -86,8 +86,8 @@ func stageSummary(reg *obs.Registry) string {
 					stage = l.Value
 				}
 			}
-			if stage == "" || stage == "flow" {
-				continue // flow spans carry extra labels; only stages belong here
+			if stage == "" || stage == "flow" || stage == "worker" {
+				continue // flow/worker spans carry extra labels; only stages belong here
 			}
 			h := *s.Histogram
 			rows = append(rows, row{stage, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.95)})

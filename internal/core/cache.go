@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+)
+
+// campaignCache memoizes the expensive, flow-independent network work of
+// one Generate campaign: building a benchmark's logic network
+// (bench.Benchmark.Build) once per benchmark, and rewriting it for a
+// gate library (gatelib.Library.Prepare) once per (benchmark, library).
+// Without it, the N flows of a benchmark re-parse and re-decompose the
+// same network N times.
+//
+// Accessors hand out Clone()s of the cached networks so concurrent
+// flows never share mutable state; the cached originals are written
+// exactly once under a per-key sync.Once and only read afterwards.
+type campaignCache struct {
+	mu    sync.Mutex
+	built map[netKey]*cacheEntry
+	preps map[prepKey]*cacheEntry
+}
+
+type netKey struct{ set, name string }
+
+type prepKey struct{ set, name, lib string }
+
+// cacheEntry is one memoized network; once guards the single
+// build/prepare, after which net and err are immutable.
+type cacheEntry struct {
+	once sync.Once
+	net  *network.Network
+	err  error
+}
+
+func newCampaignCache() *campaignCache {
+	return &campaignCache{
+		built: make(map[netKey]*cacheEntry),
+		preps: make(map[prepKey]*cacheEntry),
+	}
+}
+
+// builtEntry returns the memoized built network for a benchmark, shared
+// and read-only. Callers that pass it on to a flow must Clone it.
+func (c *campaignCache) builtEntry(b bench.Benchmark) *cacheEntry {
+	key := netKey{set: b.Set, name: b.Name}
+	c.mu.Lock()
+	e := c.built[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.built[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.net = b.Build() })
+	return e
+}
+
+// Built returns a private clone of the benchmark's logic network,
+// building it at most once per campaign.
+func (c *campaignCache) Built(b bench.Benchmark) (*network.Network, error) {
+	e := c.builtEntry(b)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.net.Clone(), nil
+}
+
+// Prepared returns a private clone of the library-prepared network,
+// preparing it at most once per (benchmark, library). A preparation
+// error is memoized too: every flow of the pair observes the same error,
+// exactly as if it had prepared the network itself.
+func (c *campaignCache) Prepared(b bench.Benchmark, lib *gatelib.Library) (*network.Network, error) {
+	key := prepKey{set: b.Set, name: b.Name, lib: lib.Name}
+	c.mu.Lock()
+	e := c.preps[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.preps[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		base := c.builtEntry(b)
+		if base.err != nil {
+			e.err = base.err
+			return
+		}
+		// Prepare clones its input, so handing it the shared built
+		// network is a pure read.
+		e.net, e.err = lib.Prepare(base.net)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.net.Clone(), nil
+}
+
+// cachedSource adapts the campaign cache to the netSource interface a
+// flow consumes: every call hands out a fresh clone.
+type cachedSource struct {
+	b     bench.Benchmark
+	cache *campaignCache
+}
+
+func (s cachedSource) Base() (*network.Network, error) { return s.cache.Built(s.b) }
+func (s cachedSource) Prepared(lib *gatelib.Library) (*network.Network, error) {
+	return s.cache.Prepared(s.b, lib)
+}

@@ -8,6 +8,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -101,6 +104,15 @@ func algoLabel(a Algorithm) string { return string(a) }
 // Limits bounds the per-flow effort so full-suite generation stays
 // tractable; the zero value picks the defaults used for Table I.
 type Limits struct {
+	// Workers is the number of concurrent campaign workers used by
+	// Generate and by the InOrd candidate search (default: all CPU
+	// cores). Results are deterministic regardless of the value: output
+	// order, random seeds, and tie-breaks never depend on scheduling.
+	// The one caveat is the wall-clock budgets below — an anytime
+	// search (exact) running within a sliver of its deadline can flip
+	// between success and timeout when workers oversubscribe the CPUs,
+	// exactly as it can between two serial runs on different machines.
+	Workers int
 	// ExactTimeout is the search budget per function (default 3s).
 	ExactTimeout time.Duration
 	// ExactMaxNodes skips exact for larger prepared networks (default 12).
@@ -127,6 +139,9 @@ type Limits struct {
 }
 
 func (l Limits) withDefaults() Limits {
+	if l.Workers <= 0 {
+		l.Workers = runtime.NumCPU()
+	}
 	if l.ExactTimeout <= 0 {
 		l.ExactTimeout = 3 * time.Second
 	}
@@ -191,6 +206,11 @@ const (
 	// MetricCampaignCurrent is an info gauge (value 1) labeled with the
 	// benchmark currently being generated.
 	MetricCampaignCurrent = "mntbench_campaign_current"
+	// MetricCampaignWorkers gauges the worker count of the current
+	// campaign; MetricCampaignInflight gauges the flows executing right
+	// now (0 <= inflight <= workers).
+	MetricCampaignWorkers  = "mntbench_campaign_workers"
+	MetricCampaignInflight = "mntbench_campaign_inflight"
 )
 
 // Pipeline stage span names (see Entry.Stages and obs.SpanMetric).
@@ -200,18 +220,54 @@ const (
 	StagePostLayout   = "postlayout"
 	StageDRC          = "drc"
 	StageEquivalence  = "equivalence"
+	// StageWorker wraps every flow a campaign worker executes; its span
+	// carries a per-worker label from the bounded workerLabel set.
+	StageWorker = "worker"
 )
+
+// workerLabel names a campaign worker for metric labels. The set is
+// bounded: workers beyond 31 share the "w32+" value.
+//
+//lint:bounded
+func workerLabel(i int) string {
+	if i < 0 || i > 31 {
+		return "w32+"
+	}
+	return fmt.Sprintf("w%02d", i)
+}
 
 // StagePlace returns the placement stage name for an algorithm, e.g.
 // "place.ortho".
 func StagePlace(a Algorithm) string { return "place." + strings.ToLower(string(a)) }
+
+// netSource supplies the networks a flow runs on. The campaign
+// scheduler backs it with the shared per-campaign cache; the one-shot
+// entry points build and prepare locally.
+type netSource interface {
+	// Base returns the logic network the flow lays out. The flow owns
+	// the returned network exclusively (it is never shared with another
+	// running flow) but must not mutate it: equivalence checking reads
+	// it after placement.
+	Base() (*network.Network, error)
+	// Prepared returns the library-prepared rewrite of the base
+	// network, likewise owned exclusively by the flow.
+	Prepared(lib *gatelib.Library) (*network.Network, error)
+}
+
+// localSource prepares on demand for single-flow entry points.
+type localSource struct{ n *network.Network }
+
+func (s localSource) Base() (*network.Network, error) { return s.n, nil }
+func (s localSource) Prepared(lib *gatelib.Library) (*network.Network, error) {
+	return lib.Prepare(s.n)
+}
 
 // RunFlow executes one flow on one benchmark. A nil error with a nil
 // Layout never occurs: infeasible or out-of-budget flows return an
 // error (classify it with ClassifyOutcome). The context carries the
 // obs registry/logger for spans and may cancel the flow between stages.
 func RunFlow(ctx context.Context, b bench.Benchmark, flow Flow, limits Limits) (*Entry, error) {
-	return runFlowImpl(ctx, b, b.Build(), flow, limits)
+	return runFlowImpl(ctx, b, localSource{b.Build()}, flow, limits)
 }
 
 // RunFlowOnNetwork executes one flow on an ad-hoc network that is not
@@ -228,10 +284,10 @@ func RunFlowOnNetwork(ctx context.Context, n *network.Network, set string, flow 
 		PubNodes: n.NumLogicGates(),
 		Build:    n.Clone,
 	}
-	return runFlowImpl(ctx, b, n, flow, limits)
+	return runFlowImpl(ctx, b, localSource{n}, flow, limits)
 }
 
-func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flow Flow, limits Limits) (entry *Entry, err error) {
+func runFlowImpl(ctx context.Context, b bench.Benchmark, src netSource, flow Flow, limits Limits) (entry *Entry, err error) {
 	if ctx == nil {
 		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
 		ctx = context.Background()
@@ -261,10 +317,22 @@ func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flo
 		return serr
 	}
 
+	// base is fetched at most once per flow; the clone a cached source
+	// hands out is reused by placement and equivalence checking.
+	var base *network.Network
+	getBase := func() (*network.Network, error) {
+		if base != nil {
+			return base, nil
+		}
+		var berr error
+		base, berr = src.Base()
+		return base, berr
+	}
+
 	var prepared *network.Network
 	if err = stage(StagePrepare, func() error {
 		var perr error
-		prepared, perr = flow.Library.Prepare(n)
+		prepared, perr = src.Prepared(flow.Library)
 		return perr
 	}); err != nil {
 		return nil, err
@@ -281,7 +349,10 @@ func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flo
 		case AlgoExact:
 			l, perr = runExact(prepared, flow, limits)
 		case AlgoOrtho:
-			l, perr = runOrtho(n, flow, limits)
+			var n *network.Network
+			if n, perr = getBase(); perr == nil {
+				l, perr = runOrtho(n, flow, limits)
+			}
 		case AlgoNanoPlaceR:
 			l, perr = runNano(prepared, flow, limits)
 		}
@@ -337,6 +408,10 @@ func runFlowImpl(ctx context.Context, b bench.Benchmark, n *network.Network, flo
 
 	if l.NumTiles() <= limits.VerifyMaxTiles {
 		if err = stage(StageEquivalence, func() error {
+			n, verr := getBase()
+			if verr != nil {
+				return fmt.Errorf("core: %s/%s %s: %w: %w", b.Set, b.Name, flow, ErrVerifyFailed, verr)
+			}
 			eq, verr := verify.Equivalent(l, n)
 			if verr != nil {
 				return fmt.Errorf("core: %s/%s %s: %w: %w", b.Set, b.Name, flow, ErrVerifyFailed, verr)
@@ -398,7 +473,7 @@ func runOrtho(n *network.Network, flow Flow, limits Limits) (*layout.Layout, err
 	if size > limits.InOrdMaxNodes || work.NumPIs() > maxSwapPIs {
 		return ortho.Place(work, ortho.Options{InputOrder: inord.BarycenterOrder(work)})
 	}
-	l, _, err := inord.Place(work, inord.Options{})
+	l, _, err := inord.Place(work, inord.Options{Workers: limits.Workers})
 	return l, err
 }
 
@@ -406,9 +481,26 @@ func runNano(prepared *network.Network, flow Flow, limits Limits) (*layout.Layou
 	return nanoplacer.Place(prepared, nanoplacer.Options{
 		Scheme:   flow.Scheme,
 		Topo:     flow.Library.Topology,
+		Seed:     nanoSeed(prepared.Name, flow),
 		Timeout:  limits.NanoTimeout,
 		MaxNodes: limits.NanoMaxNodes,
 	})
+}
+
+// nanoSeed derives the NanoPlaceR seed deterministically from the
+// benchmark name and the flow identifier, so the stochastic search is
+// repeatable run-to-run and independent of campaign worker scheduling
+// (no shared random state between concurrent flows).
+func nanoSeed(name string, flow Flow) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	_, _ = io.WriteString(h, "|")
+	_, _ = io.WriteString(h, flow.ID())
+	s := h.Sum64()
+	if s == 0 {
+		return 1 // nanoplacer treats 0 as "use the default seed"
+	}
+	return s
 }
 
 // Flows enumerates the feasible tool combinations for a library, in the

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gatelib"
+	"repro/internal/obs"
+)
+
+// job is one (benchmark, flow) unit of campaign work. idx is its
+// position in the benchmark-major/flow-minor enumeration and fixes the
+// reporting order regardless of completion order.
+type job struct {
+	idx   int
+	bench bench.Benchmark
+	flow  Flow
+}
+
+// jobResult is one finished (or skipped) job travelling from a worker
+// to the collector.
+type jobResult struct {
+	idx     int
+	entry   *Entry
+	err     error
+	elapsed time.Duration
+	// skipped marks a job that never started because the campaign was
+	// canceled first; it is not recorded in the database, mirroring the
+	// sequential engine, which stopped before such flows.
+	skipped bool
+}
+
+// Generate runs every feasible flow of the given library over the given
+// benchmarks, fanning the (benchmark, flow) jobs out over
+// Limits.Workers workers (default: all CPU cores) that share one
+// prepared-network cache. A nil progress callback is allowed.
+//
+// Output is deterministic regardless of worker count and completion
+// order: entries, failures, and progress callbacks are reported in
+// benchmark-major/flow-minor enumeration order, and progress delivery
+// is serialized through a single collector (callbacks never run
+// concurrently). The context's obs registry receives campaign gauges
+// (flows done/total, workers, in-flight, the current benchmark) and
+// per-flow outcome counters; canceling the context stops scheduling,
+// drains in-flight flows at their next stage boundary, and returns the
+// partial database.
+func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(Progress)) *Database {
+	if ctx == nil {
+		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
+		ctx = context.Background()
+	}
+	limits = limits.withDefaults()
+	reg := obs.RegistryFrom(ctx)
+	log := obs.LoggerFrom(ctx)
+	reg.Help(MetricFlowTotal, "Flows finished, by outcome.")
+	reg.Help(MetricCampaignTotal, "Flows scheduled in the current generation campaign.")
+	reg.Help(MetricCampaignDone, "Flows finished in the current generation campaign.")
+	reg.Help(MetricCampaignCurrent, "Benchmark currently being generated (info gauge).")
+	reg.Help(MetricCampaignWorkers, "Concurrent workers of the current generation campaign.")
+	reg.Help(MetricCampaignInflight, "Flows currently executing.")
+
+	flows := Flows(lib)
+	total := len(benches) * len(flows)
+	workers := limits.Workers
+	if workers > total {
+		workers = total
+	}
+	reg.Gauge(MetricCampaignTotal).Set(float64(total))
+	doneGauge := reg.Gauge(MetricCampaignDone)
+	doneGauge.Set(0)
+	reg.Gauge(MetricCampaignWorkers).Set(float64(workers))
+	inflight := reg.Gauge(MetricCampaignInflight)
+	inflight.Set(0)
+	log.Info("campaign start", "library", lib.Name,
+		"benchmarks", len(benches), "flows", total, "workers", workers)
+
+	cache := newCampaignCache()
+	jobs := make(chan job)
+	results := make(chan jobResult, workers+1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					results <- jobResult{idx: j.idx, skipped: true}
+					continue
+				}
+				inflight.Inc()
+				start := time.Now()
+				wctx, sp := obs.StartSpan(ctx, StageWorker, obs.L("worker", workerLabel(id)))
+				e, err := runFlowImpl(wctx, j.bench, cachedSource{b: j.bench, cache: cache}, j.flow, limits)
+				sp.SetError(err)
+				sp.End()
+				inflight.Dec()
+				results <- jobResult{idx: j.idx, entry: e, err: err,
+					elapsed: time.Since(start).Round(time.Millisecond)}
+			}
+		}(w)
+	}
+
+	// The feeder enumerates jobs strictly in order, so at any point the
+	// fed set is a prefix of the enumeration: cancellation never leaves
+	// index gaps for the collector to stall on.
+	go func() {
+		defer close(jobs)
+		idx := 0
+		for _, b := range benches {
+			for _, flow := range flows {
+				if ctx.Err() != nil {
+					return
+				}
+				select {
+				case jobs <- job{idx: idx, bench: b, flow: flow}:
+				case <-ctx.Done():
+					return
+				}
+				idx++
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: the only goroutine that touches the database, the done
+	// gauge, and the progress callback. Results are buffered until their
+	// enumeration predecessors arrive, then emitted in order.
+	db := &Database{}
+	done := 0
+	prevBench := -1
+	defer reg.Reset(MetricCampaignCurrent)
+	emit := func(r jobResult) {
+		bi := r.idx / len(flows)
+		b := benches[bi]
+		if bi != prevBench {
+			prevBench = bi
+			reg.Reset(MetricCampaignCurrent)
+			//lint:ignore obslabel info gauge over the fixed benchmark catalogue; Reset above keeps it at one series
+			reg.Gauge(MetricCampaignCurrent, obs.L("set", b.Set), obs.L("benchmark", b.Name), obs.L("library", lib.Name)).Set(1)
+		}
+		flow := flows[r.idx%len(flows)]
+		done++
+		doneGauge.Set(float64(done))
+		outcome := ClassifyOutcome(r.err)
+		if r.err != nil {
+			db.Failures = append(db.Failures, Failure{Benchmark: b, Flow: flow, Reason: r.err.Error(), Outcome: outcome})
+			log.Debug("flow skipped", "set", b.Set, "benchmark", b.Name,
+				"flow", flow.String(), "outcome", outcome, "elapsed", r.elapsed, "reason", r.err)
+		} else {
+			db.Entries = append(db.Entries, r.entry)
+			log.Debug("flow ok", "set", b.Set, "benchmark", b.Name, "flow", flow.String(),
+				"area", r.entry.Area, "crossings", r.entry.Crossings, "elapsed", r.elapsed)
+		}
+		if progress != nil {
+			progress(Progress{Benchmark: b, Flow: flow, Done: done, Total: total,
+				Entry: r.entry, Err: r.err, Outcome: outcome, Elapsed: r.elapsed})
+		}
+	}
+	pending := make(map[int]jobResult, workers)
+	next := 0
+	for r := range results {
+		pending[r.idx] = r
+		for {
+			nr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if nr.skipped {
+				continue
+			}
+			emit(nr)
+		}
+	}
+
+	if ctx.Err() != nil {
+		log.Warn("campaign canceled", "done", done, "total", total)
+		return db
+	}
+	log.Info("campaign done", "library", lib.Name,
+		"layouts", len(db.Entries), "skipped", len(db.Failures))
+	return db
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// campaignText renders the Table I text of one campaign at the given
+// worker count, so tests can compare runs byte-for-byte.
+//
+// The limits steer every flow away from its wall-clock budget boundary:
+// exact is skipped outright (ExactMaxNodes=1) because its anytime search
+// legitimately returns whatever the deadline allows, and the stochastic
+// budgets are far above what the tiny circuits need, so NanoPlaceR's 12
+// seeded restarts and the PLO passes always run to completion. The
+// measured-runtime column is zeroed before rendering: wall time is a
+// measurement, not a result, and may differ between identical campaigns.
+func campaignText(t *testing.T, benches []bench.Benchmark, workers int) string {
+	t.Helper()
+	limits := Limits{
+		ExactMaxNodes: 1,
+		NanoTimeout:   30 * time.Second,
+		PLOTimeout:    30 * time.Second,
+		Workers:       workers,
+	}
+	limits.DiscardLayouts = true
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	db := Generate(ctx, benches, gatelib.QCAOne, limits, nil)
+	if len(db.Entries) == 0 {
+		t.Fatal("campaign produced no entries")
+	}
+	rows := db.TableI(benches, gatelib.QCAOne)
+	for i := range rows {
+		rows[i].RuntimeSec = 0
+	}
+	return RenderTableI(rows, gatelib.QCAOne)
+}
+
+// TestGenerateParallelDeterminism runs the same campaign twice at
+// workers=4 and once at workers=1 and requires byte-identical Table I
+// output: the scheduler must merge results in enumeration order and
+// every flow (including NanoPlaceR's seeded search) must be repeatable.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	benches := bench.BySet("Trindade16")[:3] // mux21, xor2, xnor2
+	first := campaignText(t, benches, 4)
+	second := campaignText(t, benches, 4)
+	if first != second {
+		t.Errorf("two workers=4 runs differ:\n--- first\n%s--- second\n%s", first, second)
+	}
+	serial := campaignText(t, benches, 1)
+	if first != serial {
+		t.Errorf("workers=4 differs from workers=1:\n--- parallel\n%s--- serial\n%s", first, serial)
+	}
+}
+
+// TestGenerateReportsInOrder pins the progress contract under
+// concurrency: callbacks arrive serialized, in benchmark-major /
+// flow-minor order, with Done counting up from 1, and the database
+// lists entries and failures in the same order.
+func TestGenerateReportsInOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	benches := bench.BySet("Trindade16")[:2]
+	flows := Flows(gatelib.QCAOne)
+	limits := fastLimits()
+	limits.Workers = 4
+	limits.DiscardLayouts = true
+	var got []Progress
+	db := Generate(context.Background(), benches, gatelib.QCAOne, limits, func(p Progress) {
+		got = append(got, p) // no locking: delivery must already be serialized
+	})
+	if len(got) != len(benches)*len(flows) {
+		t.Fatalf("progress callbacks = %d, want %d", len(got), len(benches)*len(flows))
+	}
+	for i, p := range got {
+		if p.Done != i+1 {
+			t.Errorf("callback %d: Done = %d, want %d", i, p.Done, i+1)
+		}
+		wantBench := benches[i/len(flows)]
+		wantFlow := flows[i%len(flows)]
+		if p.Benchmark.Name != wantBench.Name || p.Flow.ID() != wantFlow.ID() {
+			t.Errorf("callback %d: got %s/%s, want %s/%s",
+				i, p.Benchmark.Name, p.Flow.ID(), wantBench.Name, wantFlow.ID())
+		}
+	}
+	if len(db.Entries)+len(db.Failures) != len(got) {
+		t.Errorf("entries %d + failures %d != callbacks %d", len(db.Entries), len(db.Failures), len(got))
+	}
+}
+
+// TestGenerateCancelMidCampaign cancels a workers=4 campaign partway
+// through and checks the partial database is consistent: no flow is in
+// both Entries and Failures, and done never exceeds total.
+func TestGenerateCancelMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	benches := bench.BySet("Trindade16")
+	flows := Flows(gatelib.QCAOne)
+	total := len(benches) * len(flows)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	limits := fastLimits()
+	limits.Workers = 4
+	limits.DiscardLayouts = true
+	lastDone := 0
+	db := Generate(ctx, benches, gatelib.QCAOne, limits, func(p Progress) {
+		lastDone = p.Done
+		if p.Done == 3 {
+			cancel()
+		}
+		if p.Total != total {
+			t.Errorf("Total = %d, want %d", p.Total, total)
+		}
+	})
+	if lastDone > total {
+		t.Errorf("done %d > total %d", lastDone, total)
+	}
+	if got := len(db.Entries) + len(db.Failures); got != lastDone {
+		t.Errorf("recorded %d flows, last Done was %d", got, lastDone)
+	}
+	if got := len(db.Entries) + len(db.Failures); got >= total {
+		t.Errorf("canceled campaign recorded all %d flows", got)
+	}
+	kind := make(map[string]string)
+	key := func(b bench.Benchmark, f Flow) string { return b.Set + "/" + b.Name + "/" + f.ID() }
+	for _, e := range db.Entries {
+		kind[key(e.Benchmark, e.Flow)] = "entry"
+	}
+	for _, f := range db.Failures {
+		if kind[key(f.Benchmark, f.Flow)] == "entry" {
+			t.Errorf("flow %s recorded as both entry and failure", key(f.Benchmark, f.Flow))
+		}
+	}
+}
+
+// countingBenchmark wraps a tiny network in a Benchmark whose Build
+// invocations are counted.
+func countingBenchmark(name string, builds *atomic.Int32) bench.Benchmark {
+	build := func() *network.Network {
+		builds.Add(1)
+		n := network.New(name)
+		a := n.AddPI("a")
+		b := n.AddPI("b")
+		n.AddPO(n.AddAnd(a, b), "f")
+		return n
+	}
+	return bench.Benchmark{Set: "test", Name: name, PubIn: 2, PubOut: 1, PubNodes: 1, Build: build}
+}
+
+// TestCampaignBuildsEachBenchmarkOnce verifies the shared cache: a
+// campaign over F flows calls Build once per benchmark, not F times.
+func TestCampaignBuildsEachBenchmarkOnce(t *testing.T) {
+	var builds atomic.Int32
+	benches := []bench.Benchmark{
+		countingBenchmark("one", &builds),
+		countingBenchmark("two", &builds),
+	}
+	limits := fastLimits()
+	limits.Workers = 4
+	limits.DiscardLayouts = true
+	db := Generate(context.Background(), benches, gatelib.QCAOne, limits, nil)
+	if len(db.Entries) == 0 {
+		t.Fatal("no entries generated")
+	}
+	if got := builds.Load(); got != int32(len(benches)) {
+		t.Errorf("Build called %d times, want %d (once per benchmark)", got, len(benches))
+	}
+}
+
+// TestCampaignCacheClonesAndMemoizes exercises the cache directly under
+// concurrency: every accessor returns a distinct clone and the
+// underlying network is built exactly once.
+func TestCampaignCacheClonesAndMemoizes(t *testing.T) {
+	var builds atomic.Int32
+	b := countingBenchmark("shared", &builds)
+	c := newCampaignCache()
+	const goroutines = 8
+	nets := make([]*network.Network, goroutines)
+	preps := make([]*network.Network, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := c.Built(b)
+			if err != nil {
+				t.Errorf("Built: %v", err)
+				return
+			}
+			p, err := c.Prepared(b, gatelib.QCAOne)
+			if err != nil {
+				t.Errorf("Prepared: %v", err)
+				return
+			}
+			nets[i], preps[i] = n, p
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("Build called %d times, want 1", got)
+	}
+	for i := 1; i < goroutines; i++ {
+		if nets[i] == nets[0] || preps[i] == preps[0] {
+			t.Fatalf("goroutine %d received a shared network, want private clones", i)
+		}
+	}
+	for i, n := range nets {
+		if n.NumPIs() != 2 || n.NumPOs() != 1 {
+			t.Errorf("clone %d malformed: %d PIs, %d POs", i, n.NumPIs(), n.NumPOs())
+		}
+	}
+}
+
+// TestBestTieBreaksOnFlowID pins the Flow.ID() tie-break: with equal
+// area and crossings the lexicographically smallest flow ID wins, no
+// matter the insertion order.
+func TestBestTieBreaksOnFlowID(t *testing.T) {
+	b := bench.Benchmark{Set: "test", Name: "tie"}
+	mk := func(algo Algorithm) *Entry {
+		return &Entry{
+			Benchmark: b,
+			Flow:      Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: algo},
+			Area:      12, Crossings: 1,
+		}
+	}
+	exact, nano := mk(AlgoExact), mk(AlgoNanoPlaceR)
+	want := exact // smallest flow ID wins the tie
+	if nano.Flow.ID() < want.Flow.ID() {
+		want = nano
+	}
+	for name, db := range map[string]*Database{
+		"exact-first": {Entries: []*Entry{exact, nano}},
+		"nano-first":  {Entries: []*Entry{nano, exact}},
+	} {
+		if got := db.Best("test", "tie", gatelib.QCAOne); got != want {
+			t.Errorf("%s: Best picked flow %q, want %q", name, got.Flow.ID(), want.Flow.ID())
+		}
+	}
+}
+
+// TestNanoSeedDeterministicAndDistinct pins the NanoPlaceR seeding
+// scheme: stable for a (benchmark, flow) pair, different across pairs,
+// and never the zero value nanoplacer would replace with its default.
+func TestNanoSeedDeterministicAndDistinct(t *testing.T) {
+	f1 := Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoNanoPlaceR}
+	f2 := Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoNanoPlaceR, PostLayout: true}
+	if nanoSeed("mux21", f1) != nanoSeed("mux21", f1) {
+		t.Error("seed not deterministic")
+	}
+	if nanoSeed("mux21", f1) == nanoSeed("xor2", f1) {
+		t.Error("seed ignores the benchmark name")
+	}
+	if nanoSeed("mux21", f1) == nanoSeed("mux21", f2) {
+		t.Error("seed ignores the flow ID")
+	}
+	if nanoSeed("mux21", f1) == 0 || nanoSeed("xor2", f2) == 0 {
+		t.Error("zero seed would silently fall back to nanoplacer's default")
+	}
+}

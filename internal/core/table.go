@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +8,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/gatelib"
-	"repro/internal/obs"
 )
 
 // Database holds all generated layout entries, the MNT Bench catalogue.
@@ -30,7 +28,9 @@ type Failure struct {
 }
 
 // Progress reports one finished flow of a Generate campaign to the
-// progress callback; exactly one of Entry and Err is set.
+// progress callback; exactly one of Entry and Err is set. Delivery is
+// serialized: callbacks never run concurrently, and they arrive in
+// benchmark-major/flow-minor order regardless of the worker count.
 type Progress struct {
 	Benchmark bench.Benchmark
 	Flow      Flow
@@ -51,69 +51,6 @@ func (p Progress) String() string {
 	return fmt.Sprintf("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)",
 		p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(),
 		p.Entry.Width, p.Entry.Height, p.Entry.Area, p.Elapsed)
-}
-
-// Generate runs every feasible flow of the given library over the given
-// benchmarks. A nil progress callback is allowed. The context's obs
-// registry receives campaign gauges (flows done/total, the current
-// benchmark) and per-flow outcome counters; canceling the context stops
-// the campaign at the next stage boundary and returns the partial
-// database.
-func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(Progress)) *Database {
-	if ctx == nil {
-		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
-		ctx = context.Background()
-	}
-	reg := obs.RegistryFrom(ctx)
-	log := obs.LoggerFrom(ctx)
-	reg.Help(MetricFlowTotal, "Flows finished, by outcome.")
-	reg.Help(MetricCampaignTotal, "Flows scheduled in the current generation campaign.")
-	reg.Help(MetricCampaignDone, "Flows finished in the current generation campaign.")
-	reg.Help(MetricCampaignCurrent, "Benchmark currently being generated (info gauge).")
-
-	db := &Database{}
-	flows := Flows(lib)
-	total := len(benches) * len(flows)
-	reg.Gauge(MetricCampaignTotal).Set(float64(total))
-	doneGauge := reg.Gauge(MetricCampaignDone)
-	doneGauge.Set(0)
-	log.Info("campaign start", "library", lib.Name, "benchmarks", len(benches), "flows", total)
-
-	done := 0
-	defer reg.Reset(MetricCampaignCurrent)
-	for _, b := range benches {
-		reg.Reset(MetricCampaignCurrent)
-		//lint:ignore obslabel info gauge over the fixed benchmark catalogue; Reset above keeps it at one series
-		reg.Gauge(MetricCampaignCurrent, obs.L("set", b.Set), obs.L("benchmark", b.Name), obs.L("library", lib.Name)).Set(1)
-		for _, flow := range flows {
-			if ctx.Err() != nil {
-				log.Warn("campaign canceled", "done", done, "total", total)
-				return db
-			}
-			start := time.Now()
-			e, err := RunFlow(ctx, b, flow, limits)
-			done++
-			doneGauge.Set(float64(done))
-			outcome := ClassifyOutcome(err)
-			elapsed := time.Since(start).Round(time.Millisecond)
-			if err != nil {
-				db.Failures = append(db.Failures, Failure{Benchmark: b, Flow: flow, Reason: err.Error(), Outcome: outcome})
-				log.Debug("flow skipped", "set", b.Set, "benchmark", b.Name,
-					"flow", flow.String(), "outcome", outcome, "elapsed", elapsed, "reason", err)
-			} else {
-				db.Entries = append(db.Entries, e)
-				log.Debug("flow ok", "set", b.Set, "benchmark", b.Name, "flow", flow.String(),
-					"area", e.Area, "crossings", e.Crossings, "elapsed", elapsed)
-			}
-			if progress != nil {
-				progress(Progress{Benchmark: b, Flow: flow, Done: done, Total: total,
-					Entry: e, Err: err, Outcome: outcome, Elapsed: elapsed})
-			}
-		}
-	}
-	log.Info("campaign done", "library", lib.Name,
-		"layouts", len(db.Entries), "skipped", len(db.Failures))
-	return db
 }
 
 // Skipped summarizes the recorded failures by outcome.
@@ -146,7 +83,9 @@ func (db *Database) SkippedSummary() string {
 }
 
 // Best returns the minimum-area entry for one benchmark under one
-// library, or nil when no flow succeeded.
+// library, or nil when no flow succeeded. Ties on area are broken by
+// fewer crossings, then by the lexicographically smallest Flow.ID(), so
+// the winner never depends on database insertion order.
 func (db *Database) Best(set, name string, lib *gatelib.Library) *Entry {
 	var best *Entry
 	for _, e := range db.Entries {
@@ -154,7 +93,8 @@ func (db *Database) Best(set, name string, lib *gatelib.Library) *Entry {
 			continue
 		}
 		if best == nil || e.Area < best.Area ||
-			(e.Area == best.Area && e.Crossings < best.Crossings) {
+			(e.Area == best.Area && e.Crossings < best.Crossings) ||
+			(e.Area == best.Area && e.Crossings == best.Crossings && e.Flow.ID() < best.Flow.ID()) {
 			best = e
 		}
 	}
@@ -223,6 +163,8 @@ func (f Filter) Match(e *Entry) bool {
 }
 
 // Select returns all entries matching the filter, smallest area first.
+// Equal-area entries order by benchmark (set, name), then by Flow.ID(),
+// so the listing is byte-stable regardless of insertion order.
 func (db *Database) Select(f Filter) []*Entry {
 	var out []*Entry
 	for _, e := range db.Entries {
@@ -230,7 +172,19 @@ func (db *Database) Select(f Filter) []*Entry {
 			out = append(out, e)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Area < out[j].Area })
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Area != b.Area {
+			return a.Area < b.Area
+		}
+		if a.Benchmark.Set != b.Benchmark.Set {
+			return a.Benchmark.Set < b.Benchmark.Set
+		}
+		if a.Benchmark.Name != b.Benchmark.Name {
+			return a.Benchmark.Name < b.Benchmark.Name
+		}
+		return a.Flow.ID() < b.Flow.ID()
+	})
 	return out
 }
 

@@ -250,6 +250,13 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// Inc adds one, atomically; the counterpart Dec subtracts one. They are
+// the idiomatic pair for in-flight style gauges.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one, atomically.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.m.bits.Load()) }
 

@@ -13,6 +13,7 @@ package inord
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/layout"
 	"repro/internal/network"
@@ -24,6 +25,12 @@ type Options struct {
 	// MaxSwapRounds bounds the greedy refinement (default 2 rounds of
 	// adjacent-pair swaps).
 	MaxSwapRounds int
+	// Workers bounds the number of concurrent ortho evaluations of
+	// candidate orders (0 or 1 = serial). Each candidate of a round is
+	// an independent placement, so rounds parallelize perfectly; the
+	// search result is identical for every worker count because
+	// candidates are generated up front and merged in candidate order.
+	Workers int
 }
 
 func (o Options) swapRounds() int {
@@ -35,6 +42,12 @@ func (o Options) swapRounds() int {
 
 // Place returns the best ortho layout over the explored input orders,
 // together with the order that produced it.
+//
+// The search proceeds in rounds: the seed round evaluates the identity,
+// reversal, and barycenter orders; each refinement round evaluates
+// every adjacent-pair swap of the best order so far and keeps the
+// winner (earliest candidate on area ties), stopping when a round
+// brings no improvement.
 func Place(n *network.Network, opts Options) (*layout.Layout, []int, error) {
 	numPIs := n.NumPIs()
 	if numPIs == 0 {
@@ -45,19 +58,28 @@ func Place(n *network.Network, opts Options) (*layout.Layout, []int, error) {
 	var best *layout.Layout
 	var bestOrder []int
 
-	eval := func(order []int) error {
-		key := fmt.Sprint(order)
-		if seen[key] {
-			return nil
+	// evalRound places every not-yet-seen candidate (concurrently when
+	// Workers > 1) and folds the results in candidate order, so the
+	// earliest candidate wins area ties no matter which finished first.
+	evalRound := func(orders [][]int) error {
+		fresh := orders[:0:0]
+		for _, o := range orders {
+			key := fmt.Sprint(o)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fresh = append(fresh, o)
 		}
-		seen[key] = true
-		l, err := ortho.Place(n, ortho.Options{InputOrder: order})
+		layouts, err := placeAll(n, fresh, opts.Workers)
 		if err != nil {
 			return err
 		}
-		if best == nil || l.Area() < best.Area() {
-			best = l
-			bestOrder = append([]int(nil), order...)
+		for i, l := range layouts {
+			if best == nil || l.Area() < best.Area() {
+				best = l
+				bestOrder = append([]int(nil), fresh[i]...)
+			}
 		}
 		return nil
 	}
@@ -70,35 +92,67 @@ func Place(n *network.Network, opts Options) (*layout.Layout, []int, error) {
 	for i := range reversed {
 		reversed[i] = numPIs - 1 - i
 	}
-	if err := eval(identity); err != nil {
-		return nil, nil, err
-	}
-	if err := eval(reversed); err != nil {
-		return nil, nil, err
-	}
-	if err := eval(BarycenterOrder(n)); err != nil {
+	if err := evalRound([][]int{identity, reversed, BarycenterOrder(n)}); err != nil {
 		return nil, nil, err
 	}
 
 	// Greedy adjacent-swap refinement of the best order so far.
 	for round := 0; round < opts.swapRounds(); round++ {
-		improved := false
+		prev := best.Area()
+		cands := make([][]int, 0, numPIs-1)
 		for i := 0; i+1 < numPIs; i++ {
 			cand := append([]int(nil), bestOrder...)
 			cand[i], cand[i+1] = cand[i+1], cand[i]
-			prev := best.Area()
-			if err := eval(cand); err != nil {
-				return nil, nil, err
-			}
-			if best.Area() < prev {
-				improved = true
-			}
+			cands = append(cands, cand)
 		}
-		if !improved {
+		if err := evalRound(cands); err != nil {
+			return nil, nil, err
+		}
+		if best.Area() >= prev {
 			break
 		}
 	}
 	return best, bestOrder, nil
+}
+
+// placeAll runs ortho over every candidate order and returns the
+// layouts indexed like the input. With workers > 1 the placements run
+// concurrently (ortho only reads the shared network: it clones before
+// normalizing); the first error in candidate order wins either way.
+func placeAll(n *network.Network, orders [][]int, workers int) ([]*layout.Layout, error) {
+	layouts := make([]*layout.Layout, len(orders))
+	if workers > len(orders) {
+		workers = len(orders)
+	}
+	if workers <= 1 {
+		for i, o := range orders {
+			l, err := ortho.Place(n, ortho.Options{InputOrder: o})
+			if err != nil {
+				return nil, err
+			}
+			layouts[i] = l
+		}
+		return layouts, nil
+	}
+	errs := make([]error, len(orders))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range orders {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			layouts[i], errs[i] = ortho.Place(n, ortho.Options{InputOrder: orders[i]})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return layouts, nil
 }
 
 // BarycenterOrder sorts PIs by the average topological index of their
