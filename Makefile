@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-all
+.PHONY: all build test race check fmt vet lint bench bench-all trace-smoke
 
 all: check
 
@@ -31,9 +31,19 @@ lint:
 check: build vet fmt lint test race
 
 # bench runs one campaign per worker count (serial and all-cores) as a
-# scheduler smoke test; bench-all runs the full experiment suite E1-E7.
+# scheduler smoke test plus the span/tracing overhead microbenchmark;
+# bench-all runs the full experiment suite E1-E7.
 bench:
 	$(GO) test -bench='^BenchmarkCampaign$$' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='^BenchmarkSpanOverhead$$' -run='^$$' ./internal/obs
 
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# trace-smoke runs a tiny campaign with -trace and validates that the
+# exported Chrome trace-event file decodes.
+trace-smoke:
+	$(GO) run ./cmd/mntbench table -set Trindade16 -name mux21 -q \
+		-exact-timeout 1 -trace mntbench-trace-smoke.json >/dev/null
+	$(GO) run ./cmd/mntbench tracecheck mntbench-trace-smoke.json
+	rm -f mntbench-trace-smoke.json

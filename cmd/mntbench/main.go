@@ -6,9 +6,9 @@
 // Usage:
 //
 //	mntbench list
-//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE]
-//	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR]
-//	mntbench serve    [-addr :8080] [-set ...]
+//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE] [-trace FILE.json]
+//	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR] [-trace FILE.json]
+//	mntbench serve    [-addr :8080] [-set ...] [-traces]
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
 //	mntbench verify   [-layout FILE.fgl] [-net FILE.v]
@@ -66,6 +66,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "draw":
 		err = cmdDraw(os.Args[2:])
+	case "tracecheck":
+		err = cmdTraceCheck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -93,7 +95,8 @@ commands:
   stats      timing, energy, and DRC analysis of a .fgl layout
   cells      expand a .fgl layout to QCADesigner (.qca) / SiQAD (.sqd) cells
   simulate   bistable QCA cell simulation of a .fgl layout
-  draw       render a .fgl layout as ASCII art or SVG`)
+  draw       render a .fgl layout as ASCII art or SVG
+  tracecheck validate a -trace Chrome trace-event file`)
 }
 
 // selectBenches picks benchmarks by set/name and a size cap.
@@ -149,6 +152,7 @@ func cmdTable(args []string) error {
 	ploSec := fs.Int("plo-timeout", 20, "post-layout optimization budget (seconds)")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	traceFile := fs.String("trace", "", "write the campaign timeline as Chrome trace-event JSON to this file")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,7 +165,8 @@ func cmdTable(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, err := of.activate(context.Background())
+	traces := campaignTraces(*traceFile)
+	ctx, err := of.activate(context.Background(), traces)
 	if err != nil {
 		return err
 	}
@@ -183,6 +188,11 @@ func cmdTable(args []string) error {
 			return err
 		}
 	}
+	if *traceFile != "" {
+		if err := writeTraceFile(traces, *traceFile); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -197,6 +207,7 @@ func cmdGenerate(args []string) error {
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "PLO budget (seconds)")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
+	traceFile := fs.String("trace", "", "write the campaign timeline as Chrome trace-event JSON to this file")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,7 +227,8 @@ func cmdGenerate(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	ctx, err := of.activate(context.Background())
+	traces := campaignTraces(*traceFile)
+	ctx, err := of.activate(context.Background(), traces)
 	if err != nil {
 		return err
 	}
@@ -259,6 +271,14 @@ func cmdGenerate(args []string) error {
 	if s := stageSummary(obs.Default()); s != "" {
 		fmt.Fprint(os.Stderr, s)
 	}
+	if s := slowestSummary(traces, 10); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	if *traceFile != "" {
+		if err := writeTraceFile(traces, *traceFile); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("wrote %d layouts to %s\n", written, *dir)
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("generation interrupted: %w", err)
@@ -275,17 +295,25 @@ func cmdServe(args []string) error {
 	dir := fs.String("dir", "", "serve pre-generated layouts from this directory instead of generating")
 	reverify := fs.Bool("reverify", false, "with -dir: re-establish functional equivalence on load")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	tracesOn := fs.Bool("traces", false, "retain request/flow traces and mount /debug/traces")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := of.activate(context.Background())
+	var traces *obs.TraceStore
+	if *tracesOn {
+		traces = obs.NewTraceStore(obs.TracePolicy{})
+	}
+	ctx, err := of.activate(context.Background(), traces)
 	if err != nil {
 		return err
 	}
 	opts := []server.Option{}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
+	}
+	if traces != nil {
+		opts = append(opts, server.WithTraces(traces))
 	}
 	if *dir != "" {
 		db, err := core.LoadDatabase(*dir, *reverify)

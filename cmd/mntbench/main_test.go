@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/gatelib"
+	"repro/internal/obs"
 )
 
 func TestSelectBenches(t *testing.T) {
@@ -98,5 +104,138 @@ func TestVerifyRejectsWrongNetwork(t *testing.T) {
 	}
 	if err := cmdVerify([]string{"-layout", fglFile, "-net", wrong}); err == nil {
 		t.Error("wrong network accepted")
+	}
+}
+
+// TestTableTraceFlag drives the acceptance path end to end: a tiny
+// campaign with -trace must write a Chrome trace-event file whose flow
+// and stage events nest inside worker events on per-worker rows, and
+// the file must pass tracecheck.
+func TestTableTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	tf := filepath.Join(dir, "trace.json")
+	err := cmdTable([]string{"-set", "Trindade16", "-name", "mux21", "-q",
+		"-exact-timeout", "1", "-trace", tf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+
+	byTID := map[int][]event{}
+	rowNames := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			rowNames[e.TID] = e.Args["name"]
+		}
+		if e.Ph == "X" {
+			byTID[e.TID] = append(byTID[e.TID], e)
+		}
+	}
+	if len(byTID) == 0 {
+		t.Fatal("no span events in trace file")
+	}
+	// contains reports whether outer's time window encloses inner's.
+	contains := func(outer, inner event) bool {
+		const eps = 0.01 // µs slack for float rounding
+		return inner.TS >= outer.TS-eps && inner.TS+inner.Dur <= outer.TS+outer.Dur+eps
+	}
+	flows, nestedFlows, nestedStages := 0, 0, 0
+	for tid, events := range byTID {
+		if !strings.HasPrefix(rowNames[tid], "w") {
+			t.Errorf("row %d named %q, want a worker row", tid, rowNames[tid])
+		}
+		for _, e := range events {
+			switch e.Name {
+			case "worker":
+				if e.Args["worker_id"] == "" {
+					t.Errorf("worker event without worker_id: %v", e.Args)
+				}
+			case "flow":
+				flows++
+				if e.Args["benchmark"] != "mux21" {
+					t.Errorf("flow event args = %v", e.Args)
+				}
+				for _, w := range events {
+					if w.Name == "worker" && contains(w, e) {
+						nestedFlows++
+						break
+					}
+				}
+			default: // a pipeline stage: must sit inside a flow on its row
+				for _, f := range events {
+					if f.Name == "flow" && contains(f, e) {
+						nestedStages++
+						break
+					}
+				}
+			}
+		}
+	}
+	if flows == 0 {
+		t.Fatal("no flow events")
+	}
+	if nestedFlows != flows {
+		t.Errorf("%d of %d flow events nest inside a worker event", nestedFlows, flows)
+	}
+	if nestedStages == 0 {
+		t.Error("no stage events nested inside flows")
+	}
+
+	if err := cmdTraceCheck([]string{tf}); err != nil {
+		t.Errorf("tracecheck rejected the file: %v", err)
+	}
+	if err := cmdTraceCheck([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("tracecheck accepted a missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"traceEvents":[]}`), 0o644)
+	if err := cmdTraceCheck([]string{bad}); err == nil {
+		t.Error("tracecheck accepted an empty trace")
+	}
+}
+
+func TestSlowestSummaryFormat(t *testing.T) {
+	ts := obs.NewTraceStore(obs.TracePolicy{})
+	ctx := obs.WithTraces(obs.WithRegistry(context.Background(), obs.NewRegistry()), ts)
+	benches, err := selectBenches("Trindade16", "mux21", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := gatelib.ByName("qcaone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := limitsFromFlags(1, 1, 1)
+	limits.DiscardLayouts = true
+	core.Generate(ctx, benches, lib, limits, nil)
+	s := slowestSummary(ts, 3)
+	if s == "" {
+		t.Fatal("no slowest-flows summary after a campaign")
+	}
+	if !strings.Contains(s, "slowest flows:") || !strings.Contains(s, "Trindade16/mux21") {
+		t.Errorf("summary = %q", s)
+	}
+	if n := strings.Count(s, "\n"); n > 2+3 {
+		t.Errorf("summary not capped at 3 rows:\n%s", s)
+	}
+	if slowestSummary(obs.NewTraceStore(obs.TracePolicy{}), 3) != "" {
+		t.Error("empty store must yield an empty summary")
 	}
 }

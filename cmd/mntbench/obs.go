@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -27,14 +28,16 @@ func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
 		logLevel:    fs.String("log-level", "info", "log level: debug, info, warn, error"),
 		logJSON:     fs.Bool("log-json", false, "emit logs as JSON lines"),
-		metricsAddr: fs.String("metrics-addr", "", "expose /metrics, /healthz and /debug/pprof on this address (e.g. :9090)"),
+		metricsAddr: fs.String("metrics-addr", "", "expose /metrics, /healthz, /debug/traces and /debug/pprof on this address (e.g. :9090)"),
 	}
 }
 
 // activate installs the configured logger as the process default,
 // optionally starts the metrics sidecar server, and returns a context
-// carrying the logger and the process registry.
-func (o *obsFlags) activate(ctx context.Context) (context.Context, error) {
+// carrying the logger, the process registry, and — when traces is
+// non-nil — the trace store, which the sidecar then also serves at
+// /debug/traces.
+func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore) (context.Context, error) {
 	level, err := obs.ParseLevel(*o.logLevel)
 	if err != nil {
 		return nil, err
@@ -42,11 +45,19 @@ func (o *obsFlags) activate(ctx context.Context) (context.Context, error) {
 	log := obs.NewLogger(os.Stderr, level, *o.logJSON)
 	obs.SetDefaultLogger(log)
 	reg := obs.Default()
+	obs.RegisterBuildInfo(reg)
 	ctx = obs.WithLogger(obs.WithRegistry(ctx, reg), log)
+	if traces != nil {
+		ctx = obs.WithTraces(ctx, traces)
+	}
 	if *o.metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.MetricsHandler())
 		mux.HandleFunc("/healthz", obs.Healthz)
+		if traces != nil {
+			mux.Handle("/debug/traces", traces.Handler())
+			mux.Handle("/debug/traces/", traces.Handler())
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -61,6 +72,31 @@ func (o *obsFlags) activate(ctx context.Context) (context.Context, error) {
 		go srv.Serve(ln)
 	}
 	return ctx, nil
+}
+
+// campaignTraces builds the trace store for a table/generate campaign:
+// the bounded default policy for the in-memory slowest/failed view, or
+// keep-everything when the timeline is being exported to a file.
+func campaignTraces(traceFile string) *obs.TraceStore {
+	return obs.NewTraceStore(obs.TracePolicy{KeepAll: traceFile != ""})
+}
+
+// writeTraceFile exports every retained trace as a Chrome trace-event
+// file loadable in Perfetto or chrome://tracing.
+func writeTraceFile(ts *obs.TraceStore, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote campaign timeline to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", path)
+	return nil
 }
 
 // stageSummary renders a per-stage timing table from the span
@@ -86,8 +122,8 @@ func stageSummary(reg *obs.Registry) string {
 					stage = l.Value
 				}
 			}
-			if stage == "" || stage == "flow" || stage == "worker" {
-				continue // flow/worker spans carry extra labels; only stages belong here
+			if stage == "" || stage == "flow" || stage == "worker" || stage == "http" {
+				continue // aggregate root spans carry extra labels; only stages belong here
 			}
 			h := *s.Histogram
 			rows = append(rows, row{stage, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.95)})
@@ -106,6 +142,118 @@ func stageSummary(reg *obs.Registry) string {
 	return sb.String()
 }
 
+// slowestSummary renders the slowest flows retained by the campaign's
+// trace store, with each flow's dominant stage; empty when no flow
+// traces were retained.
+func slowestSummary(ts *obs.TraceStore, n int) string {
+	type row struct {
+		dur             time.Duration
+		bench, flow     string
+		status          string
+		topStage        string
+		topStagePercent int
+	}
+	var rows []row
+	for _, t := range ts.Snapshot() {
+		fe := t.FlowEvent()
+		if fe == nil {
+			continue
+		}
+		r := row{dur: fe.Duration, status: "ok"}
+		if fe.Err != "" {
+			r.status = "failed"
+		}
+		r.bench = fe.Attrs["set"] + "/" + fe.Attrs["benchmark"]
+		r.flow = fe.Attrs["flow"]
+		var topDur time.Duration
+		for _, c := range t.Children(fe.ID) {
+			if c.Duration > topDur {
+				topDur = c.Duration
+				r.topStage = c.Name
+			}
+		}
+		if r.topStage != "" && fe.Duration > 0 {
+			r.topStagePercent = int(100 * topDur / fe.Duration)
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].dur > rows[j].dur })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	var sb strings.Builder
+	sb.WriteString("slowest flows:\n")
+	fmt.Fprintf(&sb, "%10s  %-22s %-34s %-7s %s\n", "elapsed", "benchmark", "flow", "status", "dominant stage")
+	for _, r := range rows {
+		top := "-"
+		if r.topStage != "" {
+			top = fmt.Sprintf("%s %d%%", r.topStage, r.topStagePercent)
+		}
+		fmt.Fprintf(&sb, "%10s  %-22s %-34s %-7s %s\n",
+			r.dur.Round(10*time.Microsecond), r.bench, r.flow, r.status, top)
+	}
+	return sb.String()
+}
+
 func fmtSec(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// cmdTraceCheck validates a -trace output file: it must parse as
+// Chrome trace-event JSON with properly shaped span events. Used by the
+// CI smoke test and handy after long campaigns.
+func cmdTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("tracecheck: usage: mntbench tracecheck FILE.json")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   *float64          `json:"ts"`
+			PID  *int              `json:"pid"`
+			TID  *int              `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("tracecheck: %s is not trace-event JSON: %w", path, err)
+	}
+	spans := 0
+	rows := make(map[int]bool)
+	tracesSeen := make(map[string]bool)
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.PID == nil || e.TS == nil {
+			return fmt.Errorf("tracecheck: event %d is malformed (needs name, ph, pid, ts)", i)
+		}
+		if e.Ph != "X" {
+			continue
+		}
+		if e.TID == nil {
+			return fmt.Errorf("tracecheck: span event %d has no tid", i)
+		}
+		spans++
+		rows[*e.TID] = true
+		if id := e.Args["trace"]; id != "" {
+			tracesSeen[id] = true
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("tracecheck: %s contains no span events", path)
+	}
+	fmt.Printf("%s: ok — %d span events, %d traces, %d timeline rows\n",
+		path, spans, len(tracesSeen), len(rows))
+	return nil
 }

@@ -296,6 +296,11 @@ func runFlowImpl(ctx context.Context, b bench.Benchmark, src netSource, flow Flo
 
 	ctx, flowSpan := obs.StartSpan(ctx, "flow",
 		obs.L("algorithm", algoLabel(flow.Algorithm)), obs.L("library", libID(flow.Library)))
+	// Trace-only identity: benchmark names and flow IDs are unbounded and
+	// must stay out of metric labels, but retained traces want them.
+	flowSpan.Annotate("set", b.Set)
+	flowSpan.Annotate("benchmark", b.Name)
+	flowSpan.Annotate("flow", flow.ID())
 	defer func() {
 		flowSpan.SetError(err)
 		flowSpan.End()

@@ -64,6 +64,89 @@ func TestRunFlowRecordsSpansAndOutcome(t *testing.T) {
 	}
 }
 
+// TestRunFlowTraceCapture checks the span→trace wiring end to end: one
+// flow run under an enabled trace store yields one retained trace whose
+// root carries the benchmark identity and whose children are the
+// pipeline stages.
+func TestRunFlowTraceCapture(t *testing.T) {
+	ts := obs.NewTraceStore(obs.TracePolicy{})
+	ctx := obs.WithTraces(obs.WithRegistry(context.Background(), obs.NewRegistry()), ts)
+	b := mustBench(t, "Trindade16", "mux21")
+	flow := Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}
+	if _, err := RunFlow(ctx, b, flow, fastLimits()); err != nil {
+		t.Fatal(err)
+	}
+	snap := ts.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(snap))
+	}
+	tr := snap[0]
+	if tr.Root != "flow" || tr.Failed {
+		t.Fatalf("trace root %q failed %v", tr.Root, tr.Failed)
+	}
+	attrs := tr.RootAttrs()
+	if attrs["set"] != "Trindade16" || attrs["benchmark"] != "mux21" || attrs["flow"] != flow.ID() {
+		t.Errorf("flow identity missing from trace: %v", attrs)
+	}
+	stages := map[string]bool{}
+	for _, e := range tr.Children(tr.Events[0].ID) {
+		stages[e.Name] = true
+		if e.Duration <= 0 {
+			t.Errorf("stage %q has no duration", e.Name)
+		}
+	}
+	for _, want := range []string{StagePrepare, StagePlace(AlgoOrtho), StageDRC, StageEquivalence} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from trace children: %v", want, stages)
+		}
+	}
+}
+
+// TestGenerateWorkerTraces runs a campaign where the exact flows all
+// time out: the failed worker traces must be retained (with the exact
+// worker identity annotated), and retention must stay within the
+// configured bounds.
+func TestGenerateWorkerTraces(t *testing.T) {
+	ts := obs.NewTraceStore(obs.TracePolicy{MaxFailed: 4, SlowestPerRoot: 2, SampleEvery: 2, MaxSampled: 2})
+	ctx := obs.WithTraces(obs.WithRegistry(context.Background(), obs.NewRegistry()), ts)
+	benches := []bench.Benchmark{mustBench(t, "Trindade16", "mux21")}
+	limits := fastLimits()
+	limits.ExactTimeout = time.Nanosecond
+	db := Generate(ctx, benches, gatelib.QCAOne, limits, nil)
+	if len(db.Entries) == 0 || len(db.Failures) == 0 {
+		t.Fatalf("campaign: %d entries, %d failures; want both nonzero", len(db.Entries), len(db.Failures))
+	}
+
+	st := ts.Stats()
+	if st.Seen == 0 {
+		t.Fatal("no traces offered by the campaign")
+	}
+	if st.Failed == 0 {
+		t.Error("timed-out flows produced no failed traces")
+	}
+	if st.Failed > 4 || st.Retained > 4+2+2 {
+		t.Errorf("retention bounds exceeded: %+v", st)
+	}
+	for _, tr := range ts.Snapshot() {
+		if tr.Root != "worker" {
+			t.Fatalf("campaign trace root = %q, want worker", tr.Root)
+		}
+		if tr.RootAttrs()["worker_id"] == "" {
+			t.Errorf("worker trace without worker_id: %v", tr.RootAttrs())
+		}
+		fe := tr.FlowEvent()
+		if fe == nil {
+			t.Fatal("worker trace without a flow event")
+		}
+		if fe.Attrs["benchmark"] != "mux21" || fe.Attrs["flow"] == "" {
+			t.Errorf("flow event attrs = %v", fe.Attrs)
+		}
+		if tr.Failed && tr.Events[0].Err == "" {
+			t.Errorf("failed worker trace lost its error: %+v", tr.Events[0])
+		}
+	}
+}
+
 func TestClassifyOutcome(t *testing.T) {
 	cases := []struct {
 		err  error

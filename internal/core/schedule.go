@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,6 +94,13 @@ func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Libra
 				inflight.Inc()
 				start := time.Now()
 				wctx, sp := obs.StartSpan(ctx, StageWorker, obs.L("worker", workerLabel(id)))
+				// Trace-only identity: the exact worker index (the metric
+				// label saturates at w32+) plus what the worker is running,
+				// so trace exports can pin each flow to a worker timeline.
+				sp.Annotate("worker_id", strconv.Itoa(id))
+				sp.Annotate("set", j.bench.Set)
+				sp.Annotate("benchmark", j.bench.Name)
+				sp.Annotate("flow", j.flow.ID())
 				e, err := runFlowImpl(wctx, j.bench, cachedSource{b: j.bench, cache: cache}, j.flow, limits)
 				sp.SetError(err)
 				sp.End()

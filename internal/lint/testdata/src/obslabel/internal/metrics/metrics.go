@@ -48,6 +48,17 @@ func RecordSpan(path string) {
 	_ = span
 }
 
+// RecordAnnotations pins the metric/trace boundary: Span.Annotate
+// carries trace-only attributes that never become metric series, so
+// unbounded values are deliberately allowed there and obslabel must
+// stay silent — only the StartSpan label is checked.
+func RecordAnnotations(path string) {
+	_, span := obs.StartSpan(nil, "http", obs.L("route", "/api"))
+	span.Annotate("path", path)
+	span.Annotate("query", fmt.Sprintf("q=%s", path))
+	span.End()
+}
+
 // RecordComposite covers direct Label literals.
 func RecordComposite(reg *obs.Registry, user string) {
 	reg.Counter("users_total", obs.Label{Key: "user", Value: user}).Inc() // want "metric label value user is not a literal, named constant, or declared bounded set"

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoMetric is the info-style gauge (constant value 1) whose
+// labels identify the running binary.
+const BuildInfoMetric = "mntbench_build_info"
+
+// goVersionLabel is a single fixed value for the lifetime of the
+// process: the toolchain that built it.
+//
+//lint:bounded
+func goVersionLabel() string { return runtime.Version() }
+
+// moduleVersionLabel is likewise one value per binary: the main
+// module's version from the embedded build info ("(devel)" for
+// non-released builds, "unknown" when the binary carries none).
+//
+//lint:bounded
+func moduleVersionLabel() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// RegisterBuildInfo registers the mntbench_build_info gauge on reg (nil
+// selects the default registry): value 1 with the Go toolchain and
+// module version as labels. Safe to call repeatedly — the family is
+// reset first, so the gauge always exposes exactly one series; tests
+// can likewise clear it with reg.Reset(obs.BuildInfoMetric).
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.Help(BuildInfoMetric, "Build information of the running binary (info gauge, value 1).")
+	reg.Reset(BuildInfoMetric)
+	reg.Gauge(BuildInfoMetric, L("go", goVersionLabel()), L("module", moduleVersionLabel())).Set(1)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterBuildInfo(reg) // idempotent: still exactly one series
+
+	var fam *FamilySnapshot
+	snap := reg.Snapshot()
+	for i := range snap {
+		if snap[i].Name == BuildInfoMetric {
+			fam = &snap[i]
+		}
+	}
+	if fam == nil {
+		t.Fatal("build info gauge not registered")
+	}
+	if len(fam.Series) != 1 {
+		t.Fatalf("build info has %d series, want 1", len(fam.Series))
+	}
+	s := fam.Series[0]
+	if s.Value != 1 {
+		t.Errorf("info gauge value = %v, want 1", s.Value)
+	}
+	labels := map[string]string{}
+	for _, l := range s.Labels {
+		labels[l.Key] = l.Value
+	}
+	if !strings.HasPrefix(labels["go"], "go") {
+		t.Errorf("go label = %q", labels["go"])
+	}
+	if labels["module"] == "" {
+		t.Error("module label empty")
+	}
+
+	// The family appears on the text exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), BuildInfoMetric+"{") {
+		t.Errorf("build info missing from /metrics:\n%s", sb.String())
+	}
+
+	// Tests can clear it like any family.
+	reg.Reset(BuildInfoMetric)
+	for _, f := range reg.Snapshot() {
+		if f.Name == BuildInfoMetric && len(f.Series) != 0 {
+			t.Errorf("Reset left %d series", len(f.Series))
+		}
+	}
+}

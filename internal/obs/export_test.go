@@ -53,6 +53,66 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// unescapeLabel inverts escapeLabel for the round-trip test below.
+func unescapeLabel(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// TestEscapeLabelRoundTrip checks that every mix of quote, backslash,
+// and newline survives escape+unescape unchanged — i.e. the exposition
+// escaping is lossless and unambiguous.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`he said "hi"`,
+		`back\slash`,
+		"line1\nline2",
+		`trailing\`,
+		"\n",
+		`\n`, // literal backslash-n must stay distinct from a newline
+		`"`, `\"`, `\\`,
+		"mix\\\"\nof\\nall",
+		"",
+	}
+	for _, v := range values {
+		esc := escapeLabel(v)
+		if strings.ContainsRune(esc, '\n') {
+			t.Errorf("escapeLabel(%q) leaves a raw newline: %q", v, esc)
+		}
+		if got := unescapeLabel(esc); got != v {
+			t.Errorf("round trip %q -> %q -> %q", v, esc, got)
+		}
+	}
+	// Distinct inputs must escape to distinct outputs.
+	seen := map[string]string{}
+	for _, v := range values {
+		esc := escapeLabel(v)
+		if prev, dup := seen[esc]; dup {
+			t.Errorf("escape collision: %q and %q both -> %q", prev, v, esc)
+		}
+		seen[esc] = v
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("flows_total", L("outcome", "ok")).Add(2)

@@ -88,9 +88,29 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush passes through http.Flusher so that streaming handlers behind
+// Middleware (SSE, long downloads) can still push partial responses; a
+// no-op when the underlying writer cannot flush.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.code == 0 {
+			w.code = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// deadlines, hijacking, and flushing keep working through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Middleware instruments an HTTP handler: a request counter labeled by
 // route and status code, a per-route latency histogram, and an in-flight
 // gauge. route maps a request to its label; nil selects DefaultRoute.
+// Each request also runs under an "http" root span, so handlers that
+// call StartSpan nest below it and — when the request context's
+// TraceStore is enabled — every request yields a retainable trace
+// annotated with its method, path, and status code.
 func Middleware(reg *Registry, route func(*http.Request) string, next http.Handler) http.Handler {
 	if reg == nil {
 		reg = Default()
@@ -107,11 +127,19 @@ func Middleware(reg *Registry, route func(*http.Request) string, next http.Handl
 		inFlight.Add(1)
 		defer inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
+		rt := routeLabel(route, r)
+		ctx, sp := StartSpan(WithRegistry(r.Context(), reg), "http", L("route", rt))
+		sp.Annotate("method", r.Method)
+		sp.Annotate("path", r.URL.Path)
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		rt := routeLabel(route, r)
+		sp.Annotate("code", statusLabel(sw.code))
+		if sw.code >= http.StatusInternalServerError {
+			sp.SetError(fmt.Errorf("HTTP %d", sw.code))
+		}
+		sp.End()
 		reg.Counter(MetricHTTPRequests, L("route", rt), L("code", statusLabel(sw.code))).Inc()
 		reg.Histogram(MetricHTTPDuration, nil, L("route", rt)).ObserveDuration(time.Since(start))
 	})

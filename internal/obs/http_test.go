@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -57,6 +59,118 @@ func TestMetricsHandlerFormats(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), `"x_total"`) {
 		t.Errorf("json body: %s", rec.Body.String())
+	}
+}
+
+// Streaming handlers behind Middleware need Flush to pass through;
+// http.ResponseController relies on Unwrap.
+var _ http.Flusher = (*statusWriter)(nil)
+
+func TestStatusWriterFlushAndUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	sw.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if sw.code != http.StatusOK {
+		t.Errorf("Flush before WriteHeader left code %d, want 200", sw.code)
+	}
+	if sw.Unwrap() != rec {
+		t.Error("Unwrap does not expose the underlying writer")
+	}
+
+	// Through the middleware, handlers still see a flushable writer.
+	flushed := false
+	h := Middleware(NewRegistry(), nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		w.Write([]byte("chunk"))
+		f.Flush()
+		flushed = true
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !flushed || !rec.Flushed {
+		t.Errorf("flush through middleware: handler %v recorder %v", flushed, rec.Flushed)
+	}
+}
+
+// Middleware runs each request under an "http" root span, so an enabled
+// trace store on the request context retains request traces — failed
+// (5xx) ones always.
+func TestMiddlewareTracing(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{})
+	reg := NewRegistry()
+	h := Middleware(reg, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "nope", http.StatusInternalServerError)
+			return
+		}
+		_, sp := StartSpan(r.Context(), "render")
+		sp.End()
+		w.Write([]byte("ok"))
+	}))
+	for _, path := range []string{"/api/benchmarks", "/boom"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req = req.WithContext(WithTraces(context.Background(), ts))
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+
+	snap := ts.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(snap))
+	}
+	var okTrace, failTrace *Trace
+	for _, tr := range snap {
+		if tr.Root != "http" {
+			t.Fatalf("root = %q, want http", tr.Root)
+		}
+		if tr.Failed {
+			failTrace = tr
+		} else {
+			okTrace = tr
+		}
+	}
+	if failTrace == nil || okTrace == nil {
+		t.Fatal("expected one ok and one failed request trace")
+	}
+	attrs := failTrace.RootAttrs()
+	if attrs["method"] != "GET" || attrs["path"] != "/boom" || attrs["code"] != "500" {
+		t.Errorf("failed request attrs = %v", attrs)
+	}
+	if okTrace.findEvent("render") == nil {
+		t.Error("handler span missing from request trace")
+	}
+}
+
+func TestMetricsHandlerJSONIsValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", L("name", "he said \"hi\"\\\n")).Inc()
+	reg.Histogram("h_seconds", nil).Observe(0.5)
+	rec := httptest.NewRecorder()
+	reg.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	body := rec.Body.Bytes()
+	if !json.Valid(body) {
+		t.Fatalf("?format=json body is not valid JSON: %s", body)
+	}
+	var out map[string]struct {
+		Type   string `json:"type"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out["x_total"].Type != "counter" || len(out["x_total"].Series) != 1 {
+		t.Errorf("x_total = %+v", out["x_total"])
+	}
+	// Awkward label values survive the JSON path byte-for-byte.
+	if got := out["x_total"].Series[0].Labels["name"]; got != "he said \"hi\"\\\n" {
+		t.Errorf("label round-trip = %q", got)
 	}
 }
 

@@ -98,6 +98,28 @@ func TestHistogramMeanAndQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileExtremes pins q=0 and q=1 on a known distribution:
+// buckets [1 2 4] holding {0.5, 0.5, 1.5, 1.5}.
+func TestQuantileExtremes(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("qe", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// q=0 interpolates to the very bottom of the first occupied bucket.
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	// q=1 reaches the top of the last occupied bucket (le=2), never +Inf.
+	if got := s.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+	if math.IsInf(s.Quantile(1), +1) {
+		t.Error("Quantile(1) must stay finite")
+	}
+}
+
 func TestLabelOrderIrrelevant(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("c", L("a", "1"), L("b", "2")).Inc()

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +16,7 @@ const (
 	ctxSpanKey ctxKey = iota
 	ctxRegistryKey
 	ctxLoggerKey
+	ctxTracesKey
 )
 
 // WithRegistry returns a context whose spans and instrumented callees
@@ -54,16 +56,22 @@ func LoggerFrom(ctx context.Context) *Logger {
 // Span times one pipeline stage. Spans nest through the context: a span
 // started under another span carries the dotted path of its ancestors in
 // log records, while the duration histogram is labeled with the leaf
-// name only (bounded cardinality).
+// name only (bounded cardinality). When the context's TraceStore is
+// enabled, a span with no parent opens a trace and its descendants
+// record themselves as events of that trace.
 type Span struct {
 	name   string
 	path   string // dotted ancestry, e.g. "flow.place.ortho"
 	labels []Label
+	annots []Label // trace-only attributes; see Annotate
 	start  time.Time
 	reg    *Registry
 	log    *Logger
 	err    error
-	ended  bool
+	ended  atomic.Bool
+	trace  *traceRec
+	event  int // event ID within trace; meaningless when trace is nil
+	root   bool
 }
 
 // StartSpan begins a span named name (the stage label) and returns a
@@ -82,32 +90,74 @@ func StartSpan(ctx context.Context, name string, labels ...Label) (context.Conte
 		start:  time.Now(),
 		reg:    RegistryFrom(ctx),
 		log:    LoggerFrom(ctx),
+		event:  -1,
 	}
 	if parent, ok := ctx.Value(ctxSpanKey).(*Span); ok && parent != nil {
 		s.path = parent.path + "." + name
+		if parent.trace != nil && parent.event >= 0 {
+			if id := parent.trace.startEvent(parent.event, name, s.path, s.start); id >= 0 {
+				s.trace, s.event = parent.trace, id
+			}
+		}
+	} else if ts := TracesFrom(ctx); ts.Enabled() {
+		s.trace = ts.newTrace()
+		s.root = true
+		s.event = s.trace.startEvent(-1, name, s.path, s.start)
 	}
 	return context.WithValue(ctx, ctxSpanKey, s), s
 }
 
-// SetError attaches an error to the span; End logs it at warn level.
+// SetError attaches an error to the span; End logs it at warn level and
+// marks the span's trace as failed.
 func (s *Span) SetError(err error) {
 	if s != nil {
 		s.err = err
 	}
 }
 
-// End stops the span, records its duration into the stage histogram, and
-// emits a debug (or warn, on error) log record. End is idempotent; the
-// first call's duration is returned.
+// Annotate attaches a trace-only attribute to the span. Unlike metric
+// labels, annotation values may be unbounded (benchmark names, flow
+// IDs, request paths): they appear in the span's trace event and in
+// trace exports, but never create metric series. A no-op on nil and on
+// untraced spans.
+func (s *Span) Annotate(key, value string) {
+	if s == nil || s.trace == nil {
+		return
+	}
+	s.annots = append(s.annots, Label{Key: key, Value: value})
+}
+
+// attrs merges the span's metric labels and annotations for its trace
+// event; nil when there are none.
+func (s *Span) attrs() map[string]string {
+	if len(s.labels)+len(s.annots) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(s.labels)+len(s.annots))
+	for _, l := range s.labels {
+		m[l.Key] = l.Value
+	}
+	for _, l := range s.annots {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// End stops the span, records its duration into the stage histogram,
+// emits a debug (or warn, on error) log record, and — for traced spans
+// — records the trace event, sealing the trace when the span is a
+// root. End is idempotent and safe to race from multiple goroutines
+// (e.g. a timeout-cancel path and its worker): exactly one caller
+// records the duration and that call returns it; every other call
+// returns 0.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := time.Since(s.start)
-	if s.ended {
+	if !s.ended.CompareAndSwap(false, true) {
 		return 0
 	}
-	s.ended = true
+	d := time.Since(s.start)
 	labels := append([]Label{L("stage", s.name)}, s.labels...)
 	s.reg.Histogram(SpanMetric, nil, labels...).ObserveDuration(d)
 	if s.err != nil {
@@ -116,6 +166,12 @@ func (s *Span) End() time.Duration {
 		}
 	} else if s.log.Enabled(LevelDebug) {
 		s.log.Debug("span", "span", s.path, "duration", d.Round(time.Microsecond))
+	}
+	if s.trace != nil {
+		s.trace.endEvent(s.event, d, s.attrs(), s.err)
+		if s.root {
+			s.trace.complete(s.name, s.start, d)
+		}
 	}
 	return d
 }

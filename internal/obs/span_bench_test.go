@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanOverhead measures the per-span cost of the untraced hot
+// path against full trace recording, so regressions in either show up
+// in make bench.
+func BenchmarkSpanOverhead(b *testing.B) {
+	quiet := NewLogger(io.Discard, LevelError, false)
+
+	b.Run("untraced", func(b *testing.B) {
+		ctx := WithLogger(WithRegistry(context.Background(), NewRegistry()), quiet)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, root := StartSpan(ctx, "flow")
+			_, sp := StartSpan(c, "place")
+			sp.End()
+			root.End()
+		}
+	})
+
+	b.Run("traced", func(b *testing.B) {
+		ts := NewTraceStore(TracePolicy{})
+		ctx := WithTraces(WithLogger(WithRegistry(context.Background(), NewRegistry()), quiet), ts)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, root := StartSpan(ctx, "flow")
+			_, sp := StartSpan(c, "place")
+			sp.Annotate("benchmark", "mux21")
+			sp.End()
+			root.End()
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -68,6 +70,37 @@ func TestSpanErrorLogsWarn(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "WARN") || !strings.Contains(out, "3 violations") {
 		t.Errorf("failed span not logged at warn: %q", out)
+	}
+}
+
+// TestSpanEndConcurrent races End from several goroutines per span:
+// exactly one call must record the duration (and return it); run with
+// -race to check the flag.
+func TestSpanEndConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	ctx := WithRegistry(context.Background(), reg)
+	const spans = 50
+	const enders = 4
+	var nonzero atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < spans; i++ {
+		_, sp := StartSpan(ctx, "timeout.race")
+		for e := 0; e < enders; e++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if sp.End() > 0 {
+					nonzero.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if got := nonzero.Load(); got != spans {
+		t.Errorf("%d End calls returned a duration, want %d", got, spans)
+	}
+	if s := reg.Histogram(SpanMetric, nil, L("stage", "timeout.race")).Snapshot(); s.Count != spans {
+		t.Errorf("histogram count = %d, want %d", s.Count, spans)
 	}
 }
 

@@ -1,0 +1,550 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flow-level tracing. Every root span (a span started under a context
+// that carries no parent span) opens a trace; child spans started
+// through the usual StartSpan context chain record themselves as events
+// with parent/child links. When the root span ends, the completed trace
+// is offered to the context's TraceStore, which retains it — or not —
+// under a bounded, policy-driven budget: failed traces are always kept
+// (in their own ring), the K slowest per root span name are kept, and a
+// sample of the rest is kept. Memory therefore stays bounded no matter
+// how many flows a campaign runs.
+//
+// Unlike metric labels, trace attributes (Span.Annotate) may carry
+// unbounded values such as benchmark names or flow IDs: they live only
+// inside retained traces, never as metric series.
+
+// SpanEvent is one recorded span within a trace.
+type SpanEvent struct {
+	// ID is the event's index within the trace; the root span is 0.
+	ID int `json:"id"`
+	// Parent is the parent event's ID, or -1 for the root.
+	Parent int       `json:"parent"`
+	Name   string    `json:"name"`
+	Path   string    `json:"path"`
+	Start  time.Time `json:"start"`
+	// Duration is zero until the span ends (it stays zero for spans that
+	// were started but never ended, e.g. across a panic).
+	Duration time.Duration `json:"duration_ns"`
+	// Attrs merges the span's metric labels and its trace-only
+	// annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Err is the error attached via SetError, rendered as text.
+	Err string `json:"error,omitempty"`
+}
+
+// Trace is one completed root span together with every child span
+// recorded under it.
+type Trace struct {
+	// ID is assigned by the store on retention, e.g. "t000007".
+	ID string `json:"id"`
+	// Root is the root span's name ("flow", "worker", "http", ...).
+	Root     string        `json:"root"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Failed is true when any event of the trace carries an error.
+	Failed bool `json:"failed"`
+	// Dropped counts span events discarded because the trace hit
+	// MaxEventsPerTrace.
+	Dropped int         `json:"dropped_events,omitempty"`
+	Events  []SpanEvent `json:"events"`
+}
+
+// RootAttrs returns the attributes of the root event (nil if none).
+func (t *Trace) RootAttrs() map[string]string {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	return t.Events[0].Attrs
+}
+
+// findEvent returns the first event with the given name, or nil.
+func (t *Trace) findEvent(name string) *SpanEvent {
+	for i := range t.Events {
+		if t.Events[i].Name == name {
+			return &t.Events[i]
+		}
+	}
+	return nil
+}
+
+// FlowEvent returns the trace's "flow" span event — the root itself for
+// one-shot flows, a child for campaign worker traces — or nil when the
+// trace did not run a flow.
+func (t *Trace) FlowEvent() *SpanEvent { return t.findEvent("flow") }
+
+// Children returns the events whose parent is the given event ID, in
+// start order.
+func (t *Trace) Children(parent int) []SpanEvent {
+	var out []SpanEvent
+	for _, e := range t.Events {
+		if e.Parent == parent && e.ID != parent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TracePolicy bounds what a TraceStore retains. The zero value selects
+// the defaults noted per field.
+type TracePolicy struct {
+	// MaxFailed is the capacity of the failed-trace ring: the most
+	// recent MaxFailed failed traces are always retained (default 64).
+	MaxFailed int
+	// SlowestPerRoot keeps the K slowest traces per root span name
+	// (default 8).
+	SlowestPerRoot int
+	// SampleEvery retains every Nth trace that is neither failed nor
+	// among the slowest (default 16).
+	SampleEvery int
+	// MaxSampled is the capacity of the sampled-trace ring (default 64).
+	MaxSampled int
+	// MaxEventsPerTrace caps the span events recorded per trace; spans
+	// beyond the cap are counted in Trace.Dropped (default 512).
+	MaxEventsPerTrace int
+	// KeepAll retains every completed trace, unbounded: campaign
+	// timeline export (-trace) wants the whole run, not a sample. Leave
+	// false for long-lived processes.
+	KeepAll bool
+}
+
+func (p TracePolicy) withDefaults() TracePolicy {
+	if p.MaxFailed <= 0 {
+		p.MaxFailed = 64
+	}
+	if p.SlowestPerRoot <= 0 {
+		p.SlowestPerRoot = 8
+	}
+	if p.SampleEvery <= 0 {
+		p.SampleEvery = 16
+	}
+	if p.MaxSampled <= 0 {
+		p.MaxSampled = 64
+	}
+	if p.MaxEventsPerTrace <= 0 {
+		p.MaxEventsPerTrace = 512
+	}
+	return p
+}
+
+// TraceStats summarizes a store's activity.
+type TraceStats struct {
+	// Seen counts every completed trace offered to the store.
+	Seen uint64 `json:"seen"`
+	// Retained counts the traces currently held.
+	Retained int `json:"retained"`
+	// Failed counts the retained failed traces.
+	Failed int `json:"failed"`
+	// DroppedEvents sums Trace.Dropped over every offered trace.
+	DroppedEvents uint64 `json:"dropped_events"`
+}
+
+// TraceStore retains completed traces under a TracePolicy. All methods
+// are safe for concurrent use. A disabled store (see SetEnabled) makes
+// span tracing a no-op, which keeps the StartSpan/End hot path cheap.
+type TraceStore struct {
+	enabled atomic.Bool
+
+	mu            sync.Mutex
+	policy        TracePolicy
+	seq           uint64
+	seen          uint64
+	droppedEvents uint64
+	sampleTick    uint64
+	failed        []*Trace            // FIFO, most recent MaxFailed
+	slow          map[string][]*Trace // root name -> ascending by duration, len <= K
+	sampled       []*Trace            // FIFO, most recent MaxSampled
+	all           []*Trace            // KeepAll mode only
+}
+
+// NewTraceStore returns an enabled store retaining under the given
+// policy (zero value: defaults).
+func NewTraceStore(policy TracePolicy) *TraceStore {
+	s := &TraceStore{policy: policy.withDefaults(), slow: make(map[string][]*Trace)}
+	s.enabled.Store(true)
+	return s
+}
+
+var defaultTraces = func() *TraceStore {
+	s := NewTraceStore(TracePolicy{})
+	s.enabled.Store(false) // tracing is opt-in; see SetEnabled
+	return s
+}()
+
+// DefaultTraces returns the process-wide trace store, used whenever a
+// context carries no explicit store. It starts disabled; enable it with
+// SetEnabled(true) (the CLI does this for -trace / serve -traces).
+func DefaultTraces() *TraceStore { return defaultTraces }
+
+// WithTraces returns a context whose root spans open traces in ts
+// instead of the default store.
+func WithTraces(ctx context.Context, ts *TraceStore) context.Context {
+	return context.WithValue(ctx, ctxTracesKey, ts)
+}
+
+// TracesFrom returns the context's trace store, falling back to
+// DefaultTraces. A nil context is allowed.
+func TracesFrom(ctx context.Context) *TraceStore {
+	if ctx != nil {
+		if ts, ok := ctx.Value(ctxTracesKey).(*TraceStore); ok && ts != nil {
+			return ts
+		}
+	}
+	return DefaultTraces()
+}
+
+// SetEnabled turns span recording on or off. Traces already retained
+// are kept either way.
+func (s *TraceStore) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether root spans currently open traces.
+func (s *TraceStore) Enabled() bool { return s.enabled.Load() }
+
+// SetPolicy replaces the retention policy for traces completed from now
+// on (zero fields select defaults). Already-retained traces are kept.
+func (s *TraceStore) SetPolicy(p TracePolicy) {
+	s.mu.Lock()
+	s.policy = p.withDefaults()
+	s.mu.Unlock()
+}
+
+// newTrace begins recording one trace.
+func (s *TraceStore) newTrace() *traceRec {
+	s.mu.Lock()
+	max := s.policy.MaxEventsPerTrace
+	s.mu.Unlock()
+	return &traceRec{store: s, maxEvents: max}
+}
+
+// offer hands a completed trace to the retention policy.
+func (s *TraceStore) offer(t *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	s.droppedEvents += uint64(t.Dropped)
+	s.seq++
+	t.ID = fmt.Sprintf("t%06d", s.seq)
+	if s.policy.KeepAll {
+		s.all = append(s.all, t)
+		return
+	}
+	if t.Failed {
+		s.failed = append(s.failed, t)
+		if len(s.failed) > s.policy.MaxFailed {
+			s.failed = append(s.failed[:0], s.failed[1:]...)
+		}
+		return
+	}
+	// K slowest per root span name: an ascending slice whose head is the
+	// fastest retained trace of that root.
+	slow := s.slow[t.Root]
+	if len(slow) < s.policy.SlowestPerRoot || t.Duration > slow[0].Duration {
+		if len(slow) == s.policy.SlowestPerRoot {
+			slow = append(slow[:0], slow[1:]...)
+		}
+		i := sort.Search(len(slow), func(i int) bool { return slow[i].Duration >= t.Duration })
+		slow = append(slow, nil)
+		copy(slow[i+1:], slow[i:])
+		slow[i] = t
+		s.slow[t.Root] = slow
+		return
+	}
+	// Sample the rest.
+	s.sampleTick++
+	if s.sampleTick%uint64(s.policy.SampleEvery) == 0 {
+		s.sampled = append(s.sampled, t)
+		if len(s.sampled) > s.policy.MaxSampled {
+			s.sampled = append(s.sampled[:0], s.sampled[1:]...)
+		}
+	}
+}
+
+// Snapshot returns every retained trace, sorted by start time (ties by
+// ID). The traces are shared, not copied: treat them as immutable.
+func (s *TraceStore) Snapshot() []*Trace {
+	s.mu.Lock()
+	out := make([]*Trace, 0, len(s.all)+len(s.failed)+len(s.sampled)+8)
+	out = append(out, s.all...)
+	out = append(out, s.failed...)
+	for _, slow := range s.slow {
+		out = append(out, slow...)
+	}
+	out = append(out, s.sampled...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get returns the retained trace with the given ID.
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	for _, t := range s.Snapshot() {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Stats returns the store's counters.
+func (s *TraceStore) Stats() TraceStats {
+	retained := s.Snapshot()
+	failed := 0
+	for _, t := range retained {
+		if t.Failed {
+			failed++
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TraceStats{Seen: s.seen, Retained: len(retained), Failed: failed, DroppedEvents: s.droppedEvents}
+}
+
+// Reset drops every retained trace and zeroes the counters; the policy
+// and enablement survive. For tests.
+func (s *TraceStore) Reset() {
+	s.mu.Lock()
+	s.seen, s.droppedEvents, s.sampleTick, s.seq = 0, 0, 0, 0
+	s.failed, s.sampled, s.all = nil, nil, nil
+	s.slow = make(map[string][]*Trace)
+	s.mu.Unlock()
+}
+
+// WriteChrome renders every retained trace in the Chrome trace-event
+// format (see WriteChromeTrace).
+func (s *TraceStore) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, s.Snapshot())
+}
+
+// traceRec accumulates the events of one in-flight trace.
+type traceRec struct {
+	store     *TraceStore
+	maxEvents int
+
+	mu      sync.Mutex
+	events  []SpanEvent
+	dropped int
+}
+
+// startEvent registers a span start and returns its event ID, or -1
+// when the trace is at its event cap.
+func (t *traceRec) startEvent(parent int, name, path string, start time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.maxEvents {
+		t.dropped++
+		return -1
+	}
+	id := len(t.events)
+	t.events = append(t.events, SpanEvent{ID: id, Parent: parent, Name: name, Path: path, Start: start})
+	return id
+}
+
+// endEvent records a span end.
+func (t *traceRec) endEvent(id int, d time.Duration, attrs map[string]string, err error) {
+	if id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := &t.events[id]
+	ev.Duration = d
+	ev.Attrs = attrs
+	if err != nil {
+		ev.Err = err.Error()
+	}
+}
+
+// complete seals the trace when its root span ends and offers it to the
+// store.
+func (t *traceRec) complete(root string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	events := make([]SpanEvent, len(t.events))
+	copy(events, t.events)
+	dropped := t.dropped
+	t.mu.Unlock()
+	tr := &Trace{Root: root, Start: start, Duration: d, Dropped: dropped, Events: events}
+	for _, e := range events {
+		if e.Err != "" {
+			tr.Failed = true
+			break
+		}
+	}
+	t.store.offer(tr)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Field names are fixed by that format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace-event file.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders traces as a Chrome trace-event file loadable
+// in Perfetto or chrome://tracing. Campaign worker traces (root attr
+// "worker_id") map onto one timeline row per worker, named after the
+// bounded worker label (w00, w01, ...), with flow and stage spans
+// nested inside by time containment; traces without a worker identity
+// each get their own row so concurrent traces never overlap.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	var base time.Time
+	for _, t := range traces {
+		if base.IsZero() || t.Start.Before(base) {
+			base = t.Start
+		}
+	}
+	micros := func(ts time.Time) float64 { return float64(ts.Sub(base)) / float64(time.Microsecond) }
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "mntbench"}},
+	}}
+	rowNames := make(map[int]string)
+	nextRow := 1000 // rows for traces without a worker identity
+	for _, t := range traces {
+		tid := 0
+		attrs := t.RootAttrs()
+		if id, err := strconv.Atoi(attrs["worker_id"]); err == nil && id >= 0 {
+			tid = id + 1
+			if name := attrs["worker"]; name != "" {
+				rowNames[tid] = name
+			} else {
+				rowNames[tid] = fmt.Sprintf("w%02d", id)
+			}
+		} else {
+			tid = nextRow
+			nextRow++
+			rowNames[tid] = t.Root + " " + t.ID
+		}
+		for _, e := range t.Events {
+			args := make(map[string]string, len(e.Attrs)+3)
+			for k, v := range e.Attrs {
+				args[k] = v
+			}
+			args["path"] = e.Path
+			args["trace"] = t.ID
+			if e.Err != "" {
+				args["error"] = e.Err
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: e.Name,
+				Cat:  t.Root,
+				Ph:   "X",
+				TS:   micros(e.Start),
+				Dur:  float64(e.Duration) / float64(time.Microsecond),
+				PID:  1,
+				TID:  tid,
+				Args: args,
+			})
+		}
+	}
+	tids := make([]int, 0, len(rowNames))
+	for tid := range rowNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": rowNames[tid]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// traceIndexEntry is one row of the /debug/traces index.
+type traceIndexEntry struct {
+	ID         string            `json:"id"`
+	Root       string            `json:"root"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Failed     bool              `json:"failed"`
+	Events     int               `json:"events"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Handler serves the store over HTTP. It expects to be mounted at
+// /debug/traces: the bare path returns a JSON index of retained traces,
+// /debug/traces/<id> the full span tree of one trace, and
+// /debug/traces/chrome (or ?format=chrome) the Chrome trace-event
+// export of everything retained.
+func (s *TraceStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+		switch {
+		case rest == "chrome" || rest == "chrome.json" ||
+			(rest == "" && r.URL.Query().Get("format") == "chrome"):
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="mntbench-trace.json"`)
+			if err := s.WriteChrome(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case rest == "":
+			traces := s.Snapshot()
+			index := struct {
+				Enabled bool              `json:"enabled"`
+				Policy  TracePolicy       `json:"policy"`
+				Stats   TraceStats        `json:"stats"`
+				Traces  []traceIndexEntry `json:"traces"`
+			}{Enabled: s.Enabled(), Stats: s.Stats(), Traces: make([]traceIndexEntry, 0, len(traces))}
+			s.mu.Lock()
+			index.Policy = s.policy
+			s.mu.Unlock()
+			for _, t := range traces {
+				index.Traces = append(index.Traces, traceIndexEntry{
+					ID: t.ID, Root: t.Root, Start: t.Start,
+					DurationMS: float64(t.Duration) / float64(time.Millisecond),
+					Failed:     t.Failed, Events: len(t.Events), Attrs: t.RootAttrs(),
+				})
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(index); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			t, ok := s.Get(rest)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
+}

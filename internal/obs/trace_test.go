@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tracedCtx returns a context carrying a fresh registry and the given
+// trace store, the way instrumented code receives one.
+func tracedCtx(ts *TraceStore) context.Context {
+	return WithTraces(WithRegistry(context.Background(), NewRegistry()), ts)
+}
+
+func TestSpanTraceCapture(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{})
+	ctx := tracedCtx(ts)
+
+	ctx, root := StartSpan(ctx, "flow", L("algorithm", "ortho"))
+	root.Annotate("benchmark", "mux21")
+	ctx2, place := StartSpan(ctx, "place")
+	_, route := StartSpan(ctx2, "route")
+	route.SetError(errors.New("no path"))
+	route.End()
+	place.End()
+	root.End()
+
+	snap := ts.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(snap))
+	}
+	tr := snap[0]
+	if tr.Root != "flow" || !tr.Failed || len(tr.Events) != 3 {
+		t.Fatalf("trace = root %q failed %v events %d", tr.Root, tr.Failed, len(tr.Events))
+	}
+	if tr.Events[0].Parent != -1 {
+		t.Errorf("root event parent = %d", tr.Events[0].Parent)
+	}
+	attrs := tr.RootAttrs()
+	if attrs["algorithm"] != "ortho" || attrs["benchmark"] != "mux21" {
+		t.Errorf("root attrs = %v", attrs)
+	}
+	re := tr.findEvent("route")
+	if re == nil {
+		t.Fatal("route event missing")
+	}
+	if re.Path != "flow.place.route" || re.Err != "no path" {
+		t.Errorf("route event = path %q err %q", re.Path, re.Err)
+	}
+	pe := tr.findEvent("place")
+	if pe == nil || re.Parent != pe.ID || pe.Parent != tr.Events[0].ID {
+		t.Errorf("parent links broken: place %+v route %+v", pe, re)
+	}
+	if kids := tr.Children(pe.ID); len(kids) != 1 || kids[0].Name != "route" {
+		t.Errorf("Children(place) = %+v", kids)
+	}
+	st := ts.Stats()
+	if st.Seen != 1 || st.Retained != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	if DefaultTraces().Enabled() {
+		t.Fatal("default trace store must start disabled")
+	}
+	before := DefaultTraces().Stats().Seen
+	_, sp := StartSpan(context.Background(), "flow")
+	if sp.trace != nil {
+		t.Error("span opened a trace while the store is disabled")
+	}
+	sp.End()
+	if after := DefaultTraces().Stats().Seen; after != before {
+		t.Errorf("disabled store saw %d new traces", after-before)
+	}
+}
+
+// mkTrace builds a synthetic completed trace for retention tests.
+func mkTrace(root string, start time.Time, d time.Duration, failed bool) *Trace {
+	tr := &Trace{Root: root, Start: start, Duration: d, Failed: failed,
+		Events: []SpanEvent{{ID: 0, Parent: -1, Name: root, Path: root, Start: start, Duration: d}}}
+	if failed {
+		tr.Events[0].Err = "boom"
+	}
+	return tr
+}
+
+func TestTraceRetentionPolicy(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{MaxFailed: 2, SlowestPerRoot: 2, SampleEvery: 2, MaxSampled: 2})
+	base := time.Now()
+	at := func(i int) time.Time { return base.Add(time.Duration(i) * time.Second) }
+
+	// Failed traces always retained, ring bounded to the most recent 2.
+	for i := 0; i < 3; i++ {
+		ts.offer(mkTrace("flow", at(i), time.Millisecond, true))
+	}
+	// Rising durations: the slowest-2 slice ends at {30ms, 40ms}.
+	for i, d := range []time.Duration{10, 20, 30, 40} {
+		ts.offer(mkTrace("flow", at(10+i), d*time.Millisecond, false))
+	}
+	// Fast traces that beat nothing land in the every-2nd sample ring.
+	for i := 0; i < 5; i++ {
+		ts.offer(mkTrace("flow", at(20+i), time.Millisecond, false))
+	}
+
+	snap := ts.Snapshot()
+	var failed, slow, sampled int
+	for _, tr := range snap {
+		switch {
+		case tr.Failed:
+			failed++
+		case tr.Duration >= 30*time.Millisecond:
+			slow++
+		default:
+			sampled++
+		}
+	}
+	if failed != 2 {
+		t.Errorf("failed retained = %d, want 2 (ring bound)", failed)
+	}
+	if slow != 2 {
+		t.Errorf("slowest retained = %d, want 2", slow)
+	}
+	if sampled > 2 {
+		t.Errorf("sampled retained = %d, want <= 2", sampled)
+	}
+	for _, tr := range snap {
+		if tr.Duration == 10*time.Millisecond || tr.Duration == 20*time.Millisecond {
+			t.Errorf("evicted trace %s (%v) still retained", tr.ID, tr.Duration)
+		}
+	}
+	st := ts.Stats()
+	if st.Seen != 12 {
+		t.Errorf("seen = %d, want 12", st.Seen)
+	}
+	if st.Retained != len(snap) || st.Failed != 2 {
+		t.Errorf("stats = %+v vs snapshot %d", st, len(snap))
+	}
+
+	// Snapshot is sorted by start time.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Start.Before(snap[i-1].Start) {
+			t.Fatalf("snapshot unsorted at %d", i)
+		}
+	}
+}
+
+func TestTraceKeepAllAndReset(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{KeepAll: true})
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		ts.offer(mkTrace("flow", base.Add(time.Duration(i)*time.Second), time.Millisecond, false))
+	}
+	if got := ts.Stats(); got.Retained != 5 || got.Seen != 5 {
+		t.Fatalf("keep-all stats = %+v", got)
+	}
+	// IDs are assigned in offer order and unique.
+	seen := map[string]bool{}
+	for _, tr := range ts.Snapshot() {
+		if tr.ID == "" || seen[tr.ID] {
+			t.Errorf("bad trace ID %q", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+	ts.Reset()
+	if got := ts.Stats(); got.Retained != 0 || got.Seen != 0 {
+		t.Errorf("stats after reset = %+v", got)
+	}
+	if !ts.Enabled() {
+		t.Error("Reset must not disable the store")
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{MaxEventsPerTrace: 2, KeepAll: true})
+	ctx := tracedCtx(ts)
+	ctx, root := StartSpan(ctx, "flow")
+	for i := 0; i < 3; i++ {
+		cctx, sp := StartSpan(ctx, "stage")
+		// Children of a dropped span must not record either.
+		_, sub := StartSpan(cctx, "sub")
+		sub.End()
+		sp.End()
+	}
+	root.End()
+
+	snap := ts.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("retained %d traces", len(snap))
+	}
+	tr := snap[0]
+	if len(tr.Events) != 2 {
+		t.Errorf("events = %d, want 2 (cap)", len(tr.Events))
+	}
+	// Drops: the first "sub" (its parent was recorded) plus the second
+	// and third "stage". The later "sub" spans have dropped parents, so
+	// they never reach the trace and never count.
+	if tr.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped)
+	}
+	if st := ts.Stats(); st.DroppedEvents != 3 {
+		t.Errorf("stats dropped = %d", st.DroppedEvents)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	worker := &Trace{Root: "worker", Start: base, Duration: 10 * time.Millisecond, ID: "t000001",
+		Events: []SpanEvent{
+			{ID: 0, Parent: -1, Name: "worker", Path: "worker", Start: base,
+				Duration: 10 * time.Millisecond,
+				Attrs:    map[string]string{"worker_id": "3", "worker": "w03"}},
+			{ID: 1, Parent: 0, Name: "flow", Path: "worker.flow", Start: base.Add(time.Millisecond),
+				Duration: 8 * time.Millisecond,
+				Attrs:    map[string]string{"benchmark": "mux21"}},
+			{ID: 2, Parent: 1, Name: "place.ortho", Path: "worker.flow.place.ortho",
+				Start: base.Add(2 * time.Millisecond), Duration: 5 * time.Millisecond},
+		}}
+	lone := &Trace{Root: "http", Start: base.Add(time.Second), Duration: time.Millisecond, ID: "t000002",
+		Events: []SpanEvent{{ID: 0, Parent: -1, Name: "http", Path: "http",
+			Start: base.Add(time.Second), Duration: time.Millisecond, Err: "HTTP 500"}}}
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []*Trace{worker, lone}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome export does not parse: %v\n%s", err, sb.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	byName := map[string]int{} // span name -> index
+	rowNames := map[int]string{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			byName[e.Name] = i
+		case "M":
+			if e.Name == "thread_name" {
+				rowNames[e.TID] = e.Args["name"]
+			}
+		}
+	}
+	// The worker trace maps onto tid worker_id+1, named after the bounded
+	// worker label; flow and stage nest inside the worker event's window.
+	we := doc.TraceEvents[byName["worker"]]
+	fe := doc.TraceEvents[byName["flow"]]
+	se := doc.TraceEvents[byName["place.ortho"]]
+	if we.TID != 4 || rowNames[4] != "w03" {
+		t.Errorf("worker row: tid %d name %q", we.TID, rowNames[4])
+	}
+	if fe.TID != we.TID || se.TID != we.TID {
+		t.Errorf("flow/stage not on the worker row: %d %d vs %d", fe.TID, se.TID, we.TID)
+	}
+	if fe.TS < we.TS || fe.TS+fe.Dur > we.TS+we.Dur {
+		t.Errorf("flow [%v +%v] not inside worker [%v +%v]", fe.TS, fe.Dur, we.TS, we.Dur)
+	}
+	if se.TS < fe.TS || se.TS+se.Dur > fe.TS+fe.Dur {
+		t.Errorf("stage [%v +%v] not inside flow [%v +%v]", se.TS, se.Dur, fe.TS, fe.Dur)
+	}
+	if fe.Args["benchmark"] != "mux21" || fe.Args["trace"] != "t000001" {
+		t.Errorf("flow args = %v", fe.Args)
+	}
+	// The workerless trace gets its own high-numbered row, error in args.
+	he := doc.TraceEvents[byName["http"]]
+	if he.TID < 1000 || he.Args["error"] != "HTTP 500" {
+		t.Errorf("http event: tid %d args %v", he.TID, he.Args)
+	}
+	if name := rowNames[he.TID]; !strings.Contains(name, "http") {
+		t.Errorf("http row name = %q", name)
+	}
+	// Timestamps are relative to the earliest trace: the worker root is 0.
+	if we.TS != 0 {
+		t.Errorf("base ts = %v, want 0", we.TS)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{})
+	ctx := tracedCtx(ts)
+	ctx, root := StartSpan(ctx, "flow")
+	_, sp := StartSpan(ctx, "place")
+	sp.End()
+	root.End()
+	h := ts.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index status %d", rec.Code)
+	}
+	var index struct {
+		Enabled bool `json:"enabled"`
+		Policy  struct {
+			MaxFailed int `json:"MaxFailed"`
+		} `json:"policy"`
+		Stats  TraceStats `json:"stats"`
+		Traces []struct {
+			ID     string `json:"id"`
+			Root   string `json:"root"`
+			Events int    `json:"events"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &index); err != nil {
+		t.Fatalf("index does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if !index.Enabled || index.Stats.Retained != 1 || len(index.Traces) != 1 {
+		t.Fatalf("index = %+v", index)
+	}
+	if index.Policy.MaxFailed != 64 {
+		t.Errorf("policy defaults not exposed: %+v", index.Policy)
+	}
+	if index.Traces[0].Root != "flow" || index.Traces[0].Events != 2 {
+		t.Errorf("index row = %+v", index.Traces[0])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+index.Traces[0].ID, nil))
+	var tr Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("detail does not parse: %v", err)
+	}
+	if tr.ID != index.Traces[0].ID || len(tr.Events) != 2 {
+		t.Errorf("detail = %+v", tr)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/chrome", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Header().Get("Content-Disposition"), "attachment") {
+		t.Errorf("chrome export: %d %q", rec.Code, rec.Header().Get("Content-Disposition"))
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Errorf("chrome export invalid: %v, %d events", err, len(doc.TraceEvents))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing trace: %d", rec.Code)
+	}
+}
+
+// TestTraceStoreConcurrency runs many traced span trees at once; run
+// with -race to check the store and recorder synchronization.
+func TestTraceStoreConcurrency(t *testing.T) {
+	ts := NewTraceStore(TracePolicy{})
+	ctx := tracedCtx(ts)
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c, root := StartSpan(ctx, "flow")
+				root.Annotate("i", fmt.Sprintf("%d-%d", id, i))
+				_, sp := StartSpan(c, "place")
+				if i%5 == 0 {
+					sp.SetError(errors.New("synthetic"))
+				}
+				sp.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := ts.Stats()
+	if st.Seen != workers*perWorker {
+		t.Errorf("seen = %d, want %d", st.Seen, workers*perWorker)
+	}
+	if st.Failed == 0 {
+		t.Error("no failed traces retained")
+	}
+	if st.Retained > 64+8+64 {
+		t.Errorf("retained %d exceeds policy bound", st.Retained)
+	}
+}

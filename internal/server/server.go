@@ -34,6 +34,7 @@ type Server struct {
 	entries map[string]*core.Entry // id -> entry
 	reg     *obs.Registry
 	log     *obs.Logger
+	traces  *obs.TraceStore
 	pprof   bool
 }
 
@@ -51,6 +52,12 @@ func WithLogger(l *obs.Logger) Option { return func(s *Server) { s.log = l } }
 // WithPprof mounts the net/http/pprof handlers under /debug/pprof/.
 // Off by default: profiling endpoints are opt-in on public servers.
 func WithPprof() Option { return func(s *Server) { s.pprof = true } }
+
+// WithTraces retains request and flow traces in ts and serves them
+// under /debug/traces (index, per-trace span trees, and a Chrome
+// trace-event export at /debug/traces/chrome). Off by default, like
+// pprof: the trace view is a diagnostic surface.
+func WithTraces(ts *obs.TraceStore) Option { return func(s *Server) { s.traces = ts } }
 
 // New builds the HTTP handler around a database.
 func New(db *core.Database, opts ...Option) *Server {
@@ -87,9 +94,19 @@ func New(db *core.Database, opts ...Option) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	if s.traces != nil {
+		s.mux.Handle("/debug/traces", s.traces.Handler())
+		s.mux.Handle("/debug/traces/", s.traces.Handler())
+	}
+	obs.RegisterBuildInfo(s.reg)
 	inner := obs.Middleware(s.reg, routeLabel, s.mux)
 	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.traces != nil {
+			// The middleware's root span finds the store through the
+			// request context and opens one trace per request.
+			r = r.WithContext(obs.WithTraces(r.Context(), s.traces))
+		}
 		inner.ServeHTTP(w, r)
 		if s.log.Enabled(obs.LevelDebug) {
 			s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
@@ -116,6 +133,8 @@ func routeLabel(r *http.Request) string {
 		return "/preview"
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
+	case strings.HasPrefix(p, "/debug/traces"):
+		return "/debug/traces"
 	}
 	return "other"
 }

@@ -358,3 +358,89 @@ func TestPprofOptIn(t *testing.T) {
 		t.Errorf("pprof with opt-in: status %d", rec.Code)
 	}
 }
+
+func TestTracesOptIn(t *testing.T) {
+	db := testDB(t)
+	plain := New(db, WithRegistry(obs.NewRegistry()))
+	if rec := get(t, plain, "/debug/traces"); rec.Code != http.StatusNotFound {
+		t.Errorf("traces without opt-in: status %d", rec.Code)
+	}
+
+	ts := obs.NewTraceStore(obs.TracePolicy{})
+	srv := New(db, WithRegistry(obs.NewRegistry()), WithTraces(ts))
+	if rec := get(t, srv, "/api/benchmarks"); rec.Code != http.StatusOK {
+		t.Fatalf("api status %d", rec.Code)
+	}
+	if rec := get(t, srv, "/download/nope.fgl"); rec.Code != http.StatusNotFound {
+		t.Fatalf("download status %d", rec.Code)
+	}
+
+	// Both requests were traced; the index lists them with their route
+	// label and status code annotations.
+	rec := get(t, srv, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	var index struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			ID    string            `json:"id"`
+			Root  string            `json:"root"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &index); err != nil {
+		t.Fatalf("index: %v\n%s", err, rec.Body.String())
+	}
+	if !index.Enabled || len(index.Traces) < 2 {
+		t.Fatalf("index = %+v", index)
+	}
+	paths := map[string]bool{}
+	for _, tr := range index.Traces {
+		if tr.Root != "http" {
+			t.Errorf("trace root = %q", tr.Root)
+		}
+		paths[tr.Attrs["path"]] = true
+	}
+	if !paths["/api/benchmarks"] || !paths["/download/nope.fgl"] {
+		t.Errorf("request paths not annotated: %v", paths)
+	}
+
+	// Detail view round-trips one trace.
+	rec = get(t, srv, "/debug/traces/"+index.Traces[0].ID)
+	var tr obs.Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	if tr.ID != index.Traces[0].ID || len(tr.Events) == 0 {
+		t.Errorf("detail = %+v", tr)
+	}
+
+	// Chrome export of the retained request traces decodes.
+	rec = get(t, srv, "/debug/traces/chrome")
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans < 2 {
+		t.Errorf("chrome export has %d span events, want >= 2", spans)
+	}
+}
+
+func TestBuildInfoOnMetrics(t *testing.T) {
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()))
+	rec := get(t, srv, "/metrics")
+	if !strings.Contains(rec.Body.String(), "mntbench_build_info{") {
+		t.Error("/metrics missing mntbench_build_info")
+	}
+}
