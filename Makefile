@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-all trace-smoke
+.PHONY: all build test race check fmt vet lint bench bench-all trace-smoke selftest fuzz-smoke
 
 all: check
 
@@ -16,7 +16,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route \
+		./internal/conformance ./internal/verify
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,7 +29,23 @@ vet:
 lint:
 	$(GO) run ./cmd/mntlint
 
-check: build vet fmt lint test race
+check: build vet fmt lint test race selftest
+
+# selftest is the bounded conformance smoke (~30s): seeded random
+# networks through every registered flow with the full invariant
+# battery; any hard-invariant violation fails the gate. See
+# docs/CONFORMANCE.md.
+selftest:
+	$(GO) run ./cmd/mntbench selftest -seed 1 -n 6 -q -repro-dir selftest-repros
+
+# fuzz-smoke gives each native fuzz target a short budget; crashers
+# land in the package's testdata/fuzz corpus.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadString$$' -fuzztime 6s ./internal/fgl
+	$(GO) test -run='^$$' -fuzz='^FuzzParseString$$' -fuzztime 6s ./internal/verilog
+	$(GO) test -run='^$$' -fuzz='^FuzzExtractNetwork$$' -fuzztime 6s ./internal/verify
+	$(GO) test -run='^$$' -fuzz='^FuzzEquivalent$$' -fuzztime 6s ./internal/verify
+	$(GO) test -run='^$$' -fuzz='^FuzzCustomScheme$$' -fuzztime 6s ./internal/clocking
 
 # bench runs one campaign per worker count (serial and all-cores) as a
 # scheduler smoke test plus the span/tracing overhead microbenchmark;

@@ -12,6 +12,7 @@
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
 //	mntbench verify   [-layout FILE.fgl] [-net FILE.v]
+//	mntbench selftest [-seed N] [-n N] [-workers N] [-flows LIST] [-json] [-repro-dir DIR] [-replay FILE]
 package main
 
 import (
@@ -21,7 +22,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +68,8 @@ func main() {
 		err = cmdDraw(os.Args[2:])
 	case "tracecheck":
 		err = cmdTraceCheck(os.Args[2:])
+	case "selftest":
+		err = cmdSelftest(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -96,7 +98,8 @@ commands:
   cells      expand a .fgl layout to QCADesigner (.qca) / SiQAD (.sqd) cells
   simulate   bistable QCA cell simulation of a .fgl layout
   draw       render a .fgl layout as ASCII art or SVG
-  tracecheck validate a -trace Chrome trace-event file`)
+  tracecheck validate a -trace Chrome trace-event file
+  selftest   property-based conformance harness over every registered flow`)
 }
 
 // selectBenches picks benchmarks by set/name and a size cap.
@@ -224,9 +227,6 @@ func cmdGenerate(args []string) error {
 		}
 		libs = []*gatelib.Library{l}
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
-	}
 	traces := campaignTraces(*traceFile)
 	ctx, err := of.activate(context.Background(), traces)
 	if err != nil {
@@ -243,26 +243,10 @@ func cmdGenerate(args []string) error {
 	for _, library := range libs {
 		db := core.Generate(ctx, benches, library, limits, func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) })
 		skipped.Failures = append(skipped.Failures, db.Failures...)
-		for _, e := range db.Entries {
-			base := fmt.Sprintf("%s__%s__%s", strings.ToLower(e.Benchmark.Set), strings.ToLower(e.Benchmark.Name), e.Flow.ID())
-			text, err := fgl.WriteString(e.Layout)
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(filepath.Join(*dir, base+".fgl"), []byte(text), 0o644); err != nil {
-				return err
-			}
-			written++
-			vname := filepath.Join(*dir, strings.ToLower(e.Benchmark.Set)+"__"+strings.ToLower(e.Benchmark.Name)+".v")
-			if _, err := os.Stat(vname); os.IsNotExist(err) {
-				vtext, err := verilog.WriteString(e.Benchmark.Build())
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(vname, []byte(vtext), 0o644); err != nil {
-					return err
-				}
-			}
+		w, err := core.SaveDatabase(db, *dir)
+		written += w
+		if err != nil {
+			return err
 		}
 	}
 	if s := skipped.SkippedSummary(); s != "" {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+)
+
+// cmdSelftest runs the property-based conformance harness: seeded
+// random networks through every registered flow, the full invariant
+// battery on each result, and automatic shrinking of any failure to a
+// minimal repro artifact. Exits non-zero when a hard invariant is
+// violated. See docs/CONFORMANCE.md.
+func cmdSelftest(args []string) error {
+	fs := flag.NewFlagSet("selftest", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "root seed; every case derives from it")
+	n := fs.Int("n", 10, "number of random networks to generate")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all CPU cores); the report is identical for any value")
+	flows := fs.String("flows", "", "comma-separated flow filter (exact IDs or substrings; empty = every registered flow)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
+	reproDir := fs.String("repro-dir", "selftest-repros", "directory for shrunk failure artifacts")
+	noShrink := fs.Bool("no-shrink", false, "report failures without shrinking them")
+	replay := fs.String("replay", "", "replay a repro artifact instead of running the selftest")
+	steps := fs.Int("exact-steps", 0, "deterministic exact-search step budget (0 = default)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := of.activate(context.Background(), nil)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *replay != "" {
+		return replayRepro(ctx, *replay, *workers)
+	}
+
+	cfg := conformance.Config{
+		Seed:       *seed,
+		N:          *n,
+		Workers:    *workers,
+		Flows:      *flows,
+		ExactSteps: *steps,
+		Shrink:     !*noShrink,
+		ReproDir:   *reproDir,
+	}
+	if !*quiet {
+		cfg.Progress = func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
+	}
+	report, err := conformance.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		fmt.Print(report.JSON())
+	} else {
+		fmt.Print(report.Text())
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("selftest interrupted: %w", err)
+	}
+	if report.Failed() {
+		return fmt.Errorf("selftest failed: %d invariant violations", len(report.Violations))
+	}
+	return nil
+}
+
+// replayRepro re-runs one shrunk failure artifact and reports whether
+// the violation still reproduces.
+func replayRepro(ctx context.Context, path string, workers int) error {
+	violations, repro, err := conformance.Replay(ctx, path, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %s: case %s (seed %#x), flow %s, %d gates\n",
+		path, repro.Case, repro.CaseSeed, repro.Flow, repro.Gates)
+	if len(violations) == 0 {
+		fmt.Printf("  recorded invariant %q no longer violated — the bug appears fixed\n", repro.Invariant)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Printf("  %s\n", v)
+	}
+	return fmt.Errorf("replay reproduced %d violations", len(violations))
+}

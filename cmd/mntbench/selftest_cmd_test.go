@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed. The pipe is drained concurrently so large
+// reports cannot deadlock the writer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestSelftestCommand(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return cmdSelftest([]string{
+			"-seed", "1", "-n", "2", "-flows", "ortho",
+			"-repro-dir", dir, "-q",
+		})
+	})
+	if err != nil {
+		t.Fatalf("selftest: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "violations: none") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+func TestSelftestCommandJSON(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return cmdSelftest([]string{
+			"-seed", "1", "-n", "2", "-flows", "qcaone_2ddwave_ortho",
+			"-repro-dir", dir, "-json", "-q",
+		})
+	})
+	if err != nil {
+		t.Fatalf("selftest -json: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"seed": 1`) || !strings.Contains(out, `"flows"`) {
+		t.Fatalf("not a JSON report:\n%s", out)
+	}
+}
+
+func TestSelftestCommandBadFlowFilter(t *testing.T) {
+	if err := cmdSelftest([]string{"-flows", "nosuchflow", "-q"}); err == nil {
+		t.Fatal("bogus flow filter accepted")
+	}
+}
+
+func TestSelftestReplayMissingFile(t *testing.T) {
+	if err := cmdSelftest([]string{"-replay", filepath.Join(t.TempDir(), "nope.json"), "-q"}); err == nil {
+		t.Fatal("missing replay artifact accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package clocking
+
+import (
+	"testing"
+)
+
+// FuzzCustomScheme feeds arbitrary patterns to Custom and checks the
+// scheme invariants on everything it accepts: Zone is total over the
+// non-negative coordinate domain (always a value in [0, NumZones)), and
+// the pattern repeats with the advertised periods.
+func FuzzCustomScheme(f *testing.F) {
+	f.Add(4, 2, 2, []byte{0, 1, 3, 2})         // 2DDWave-like tile
+	f.Add(4, 4, 4, []byte("0123123023013012")) // arbitrary digits
+	f.Add(1, 1, 1, []byte{0})
+	f.Add(0, 1, 1, []byte{0}) // zero zones must be rejected
+	f.Add(4, 2, 3, []byte{9}) // short data, out-of-range zones
+	f.Fuzz(func(t *testing.T, numZones, rows, cols int, data []byte) {
+		if rows < 0 || cols < 0 || rows*cols > 1024 || numZones > 64 {
+			return
+		}
+		pattern := make([][]int, 0, rows)
+		k := 0
+		for y := 0; y < rows; y++ {
+			row := make([]int, cols)
+			for x := range row {
+				if len(data) > 0 {
+					// int8 so negative zone values are explored too.
+					row[x] = int(int8(data[k%len(data)]))
+					k++
+				}
+			}
+			pattern = append(pattern, row)
+		}
+		s, err := Custom("fuzz", numZones, pattern, false)
+		if err != nil {
+			return
+		}
+		if s.NumZones != numZones || s.PeriodX() != cols || s.PeriodY() != rows {
+			t.Fatalf("accepted scheme misreports shape: zones %d period %dx%d, want %d %dx%d",
+				s.NumZones, s.PeriodX(), s.PeriodY(), numZones, cols, rows)
+		}
+		for y := 0; y < 3*rows; y++ {
+			for x := 0; x < 3*cols; x++ {
+				z := s.Zone(x, y)
+				if z < 0 || z >= s.NumZones {
+					t.Fatalf("Zone(%d,%d) = %d, outside [0,%d)", x, y, z, s.NumZones)
+				}
+				if z != s.Zone(x+s.PeriodX(), y) || z != s.Zone(x, y+s.PeriodY()) {
+					t.Fatalf("Zone(%d,%d) not periodic", x, y)
+				}
+			}
+		}
+	})
+}
+
+// TestBuiltinSchemesDataflowReachable pins the structural property the
+// layouts rely on: from every tile of every built-in scheme, at least
+// one neighboring column/row position carries the next zone (zone+1 mod
+// n), so signals can always advance through the clock phases.
+func TestBuiltinSchemesDataflowReachable(t *testing.T) {
+	for _, s := range All() {
+		for y := 0; y < 2*s.PeriodY(); y++ {
+			for x := 0; x < 2*s.PeriodX(); x++ {
+				want := (s.Zone(x, y) + 1) % s.NumZones
+				found := false
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := x+d[0], y+d[1]
+					if nx < 0 || ny < 0 {
+						continue
+					}
+					if s.Zone(nx, ny) == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s: no zone-%d neighbor at (%d,%d) zone %d", s.Name, want, x, y, s.Zone(x, y))
+				}
+			}
+		}
+	}
+}

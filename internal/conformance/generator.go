@@ -1,0 +1,321 @@
+// Package conformance is the property-based conformance harness behind
+// `mntbench selftest`: a deterministic random logic-network generator, a
+// differential oracle that runs every generated network through every
+// registered (library × clocking × algorithm) flow and asserts the full
+// invariant battery, and an automatic shrinker that reduces failures to
+// minimal repro artifacts.
+//
+// Everything in this package is seed-driven and deterministic: the same
+// seed produces the same networks, the same flow results, and the same
+// report bytes regardless of worker count (see docs/CONFORMANCE.md).
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// rng is the xorshift64* generator used for all conformance randomness.
+// It is deliberately not math/rand: the stream must be stable across Go
+// releases because seeds are recorded in repro artifacts.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// between returns a value in [lo, hi].
+func (r *rng) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// GenConfig parameterizes the random network distribution. The zero
+// value gives the selftest defaults: tiny networks (so even the exact
+// search is feasible) over the full gate mix including MAJ, XOR, and
+// reconvergent fanout.
+type GenConfig struct {
+	MinPIs, MaxPIs     int // default 2..4
+	MinPOs, MaxPOs     int // default 1..2 (grows to absorb unconsumed gates)
+	MinGates, MaxGates int // default 1..6
+	// MaxDepth bounds the logic depth (0 = unbounded). Fanin picks that
+	// would exceed it are redrawn from shallower signals.
+	MaxDepth int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MinPIs <= 0 {
+		c.MinPIs = 2
+	}
+	if c.MaxPIs < c.MinPIs {
+		c.MaxPIs = c.MinPIs + 2
+	}
+	if c.MinPOs <= 0 {
+		c.MinPOs = 1
+	}
+	if c.MaxPOs < c.MinPOs {
+		c.MaxPOs = c.MinPOs + 1
+	}
+	if c.MinGates <= 0 {
+		c.MinGates = 1
+	}
+	if c.MaxGates < c.MinGates {
+		c.MaxGates = c.MinGates + 5
+	}
+	return c
+}
+
+// gateMix is the weighted gate distribution. Two-input gates dominate;
+// MAJ, XOR/XNOR, and inverters appear often enough that every flow's
+// decomposition paths are exercised. Fanout is not drawn explicitly —
+// signal reuse (several consumers picking the same fanin) produces it
+// naturally and library preparation makes it explicit.
+var gateMix = []struct {
+	fn     network.Gate
+	weight int
+}{
+	{network.And, 5},
+	{network.Or, 5},
+	{network.Nand, 3},
+	{network.Nor, 3},
+	{network.Xor, 4},
+	{network.Xnor, 2},
+	{network.Maj, 3},
+	{network.Not, 3},
+	{network.Buf, 1},
+}
+
+// GateSpec is one gate of a Spec: a function and its fanin signal
+// indexes (0..PIs-1 are the PIs; PIs+i is the output of gate i).
+type GateSpec struct {
+	Fn network.Gate `json:"fn"`
+	In []int        `json:"in"`
+}
+
+// gateSpecJSON is the wire form of a GateSpec: the gate function
+// travels by name ("AND", "MAJ", …), not by enum value, so repro
+// artifacts stay readable and survive enum reordering.
+type gateSpecJSON struct {
+	Fn string `json:"fn"`
+	In []int  `json:"in"`
+}
+
+// MarshalJSON renders the gate function by name.
+func (g GateSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gateSpecJSON{Fn: g.Fn.String(), In: g.In})
+}
+
+// UnmarshalJSON parses the named gate function.
+func (g *GateSpec) UnmarshalJSON(data []byte) error {
+	var raw gateSpecJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	fn, err := network.GateFromString(raw.Fn)
+	if err != nil {
+		return fmt.Errorf("conformance: gate spec: %w", err)
+	}
+	g.Fn, g.In = fn, raw.In
+	return nil
+}
+
+// Spec is the canonical, shrinkable form of a generated test case: a
+// straight-line program over signal indexes. The shrinker operates on
+// Specs (dropping gates, POs, and PIs) and Build turns one into a
+// network; keeping this layer separate from *network.Network makes
+// reductions trivially safe.
+type Spec struct {
+	PIs   int        `json:"pis"`
+	Gates []GateSpec `json:"gates"`
+	POs   []int      `json:"pos"` // signal indexes driving each PO
+}
+
+// NumSignals is the number of signal indexes a Spec defines.
+func (s Spec) NumSignals() int { return s.PIs + len(s.Gates) }
+
+// Build elaborates the spec into a named network. PIs are named x0, x1,
+// … and POs y0, y1, … so equivalence checking can align by name.
+func (s Spec) Build(name string) (*network.Network, error) {
+	if s.PIs <= 0 {
+		return nil, fmt.Errorf("conformance: spec has no PIs")
+	}
+	if len(s.POs) == 0 {
+		return nil, fmt.Errorf("conformance: spec has no POs")
+	}
+	n := network.New(name)
+	ids := make([]network.ID, 0, s.NumSignals())
+	for i := 0; i < s.PIs; i++ {
+		ids = append(ids, n.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	for gi, g := range s.Gates {
+		want := g.Fn.Arity()
+		if want != len(g.In) {
+			return nil, fmt.Errorf("conformance: gate %d (%s) has %d fanins, want %d", gi, g.Fn, len(g.In), want)
+		}
+		fanins := make([]network.ID, len(g.In))
+		for k, idx := range g.In {
+			if idx < 0 || idx >= s.PIs+gi {
+				return nil, fmt.Errorf("conformance: gate %d references signal %d (have %d)", gi, idx, s.PIs+gi)
+			}
+			fanins[k] = ids[idx]
+		}
+		ids = append(ids, n.AddGate(g.Fn, fanins...))
+	}
+	for pi, idx := range s.POs {
+		if idx < 0 || idx >= s.NumSignals() {
+			return nil, fmt.Errorf("conformance: PO %d references signal %d (have %d)", pi, idx, s.NumSignals())
+		}
+		n.AddPO(ids[idx], fmt.Sprintf("y%d", pi))
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("conformance: generated network invalid: %w", err)
+	}
+	return n, nil
+}
+
+// MustBuild is Build for specs known to be well-formed (generated ones).
+func (s Spec) MustBuild(name string) *network.Network {
+	n, err := s.Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Random draws one test-case spec from the configured distribution,
+// fully determined by seed. The construction guarantees a well-formed
+// case: every PI feeds some gate (leftover PIs get buffers), every gate
+// output is consumed by a later gate or a PO, and every PO is driven by
+// a gate output.
+func Random(seed uint64, cfg GenConfig) Spec {
+	cfg = cfg.withDefaults()
+	r := newRNG(seed)
+	pis := r.between(cfg.MinPIs, cfg.MaxPIs)
+	gates := r.between(cfg.MinGates, cfg.MaxGates)
+
+	spec := Spec{PIs: pis}
+	depth := make([]int, 0, pis+gates+pis)
+	for i := 0; i < pis; i++ {
+		depth = append(depth, 0)
+	}
+	pick := func(limit int) int {
+		// Bias toward recent signals so depth actually grows, while
+		// keeping every signal reachable; redraw (boundedly) when a
+		// depth cap is configured.
+		for attempt := 0; attempt < 8; attempt++ {
+			var idx int
+			if limit > 2 && r.intn(2) == 0 {
+				idx = limit - 1 - r.intn((limit+1)/2)
+			} else {
+				idx = r.intn(limit)
+			}
+			if cfg.MaxDepth <= 0 || depth[idx] < cfg.MaxDepth {
+				return idx
+			}
+		}
+		// Redraws exhausted: fall back to a uniform pick over the signals
+		// below the cap. The PIs (depth 0) are always eligible, so the cap
+		// is exact, never best-effort.
+		var eligible []int
+		for idx := 0; idx < limit; idx++ {
+			if depth[idx] < cfg.MaxDepth {
+				eligible = append(eligible, idx)
+			}
+		}
+		return eligible[r.intn(len(eligible))]
+	}
+	for g := 0; g < gates; g++ {
+		fn := drawGate(r)
+		limit := spec.NumSignals()
+		in := make([]int, fn.Arity())
+		d := 0
+		for k := range in {
+			in[k] = pick(limit)
+			if depth[in[k]] > d {
+				d = depth[in[k]]
+			}
+		}
+		spec.Gates = append(spec.Gates, GateSpec{Fn: fn, In: in})
+		depth = append(depth, d+1)
+	}
+
+	// Leftover PIs get buffers so no input dangles.
+	used := make([]bool, spec.NumSignals())
+	for _, g := range spec.Gates {
+		for _, idx := range g.In {
+			used[idx] = true
+		}
+	}
+	for i := 0; i < pis; i++ {
+		if !used[i] {
+			spec.Gates = append(spec.Gates, GateSpec{Fn: network.Buf, In: []int{i}})
+			used = append(used, false)
+			used[i] = true
+		}
+	}
+
+	// POs absorb every unconsumed gate output (so nothing dangles), then
+	// random gate outputs up to the drawn PO count.
+	target := r.between(cfg.MinPOs, cfg.MaxPOs)
+	for gi := range spec.Gates {
+		if !used[spec.PIs+gi] {
+			spec.POs = append(spec.POs, spec.PIs+gi)
+		}
+	}
+	for len(spec.POs) < target {
+		spec.POs = append(spec.POs, spec.PIs+r.intn(len(spec.Gates)))
+	}
+	return spec
+}
+
+// drawGate picks a gate function from the weighted mix.
+func drawGate(r *rng) network.Gate {
+	total := 0
+	for _, w := range gateMix {
+		total += w.weight
+	}
+	n := r.intn(total)
+	for _, w := range gateMix {
+		n -= w.weight
+		if n < 0 {
+			return w.fn
+		}
+	}
+	return network.And
+}
+
+// CaseSeed derives the per-case generator seed from the selftest root
+// seed via splitmix64, so cases are independent streams and any single
+// case is reproducible from (seed, index) alone.
+func CaseSeed(root uint64, index int) uint64 {
+	z := root + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// CaseName names case i of a selftest run: rand000, rand001, …
+func CaseName(index int) string { return fmt.Sprintf("rand%03d", index) }

@@ -1,0 +1,174 @@
+package conformance
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// specDepths computes the logic depth of every signal in a spec.
+func specDepths(s Spec) []int {
+	d := make([]int, 0, s.NumSignals())
+	for i := 0; i < s.PIs; i++ {
+		d = append(d, 0)
+	}
+	for _, g := range s.Gates {
+		max := 0
+		for _, idx := range g.In {
+			if d[idx] > max {
+				max = d[idx]
+			}
+		}
+		d = append(d, max+1)
+	}
+	return d
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		seed := CaseSeed(42, i)
+		a := Random(seed, GenConfig{})
+		b := Random(seed, GenConfig{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %#x: two draws differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(Random(CaseSeed(42, 0), GenConfig{}), Random(CaseSeed(42, 1), GenConfig{})) {
+		t.Fatal("distinct case seeds produced identical specs")
+	}
+}
+
+func TestRandomWellFormed(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		spec := Random(CaseSeed(7, i), GenConfig{})
+		n, err := spec.Build(CaseName(i))
+		if err != nil {
+			t.Fatalf("case %d: %+v: %v", i, spec, err)
+		}
+		if n.NumPIs() != spec.PIs || n.NumPOs() != len(spec.POs) {
+			t.Fatalf("case %d: network I/O %d/%d does not match spec %d/%d",
+				i, n.NumPIs(), n.NumPOs(), spec.PIs, len(spec.POs))
+		}
+		// Nothing dangles: every signal is consumed by a later gate or a PO.
+		used := make([]bool, spec.NumSignals())
+		for _, g := range spec.Gates {
+			for _, idx := range g.In {
+				used[idx] = true
+			}
+		}
+		for _, idx := range spec.POs {
+			used[idx] = true
+		}
+		for s, u := range used {
+			if !u {
+				t.Fatalf("case %d: signal %d dangles in %+v", i, s, spec)
+			}
+		}
+	}
+}
+
+// TestRandomGateMixCoverage checks the distribution actually exercises
+// the paper-relevant gate classes: majority, XOR-family, inverters, and
+// reconvergent fanout (one signal feeding several consumers).
+func TestRandomGateMixCoverage(t *testing.T) {
+	seen := map[network.Gate]bool{}
+	fanout := false
+	for i := 0; i < 300; i++ {
+		spec := Random(CaseSeed(3, i), GenConfig{})
+		consumers := make([]int, spec.NumSignals())
+		for _, g := range spec.Gates {
+			seen[g.Fn] = true
+			for _, idx := range g.In {
+				consumers[idx]++
+			}
+		}
+		for _, c := range consumers {
+			if c > 1 {
+				fanout = true
+			}
+		}
+	}
+	for _, fn := range []network.Gate{network.And, network.Or, network.Xor, network.Maj, network.Not} {
+		if !seen[fn] {
+			t.Errorf("gate %s never drawn in 300 cases", fn)
+		}
+	}
+	if !fanout {
+		t.Error("no implicit fanout (signal with >1 consumer) in 300 cases")
+	}
+}
+
+func TestRandomDepthBound(t *testing.T) {
+	cfg := GenConfig{MaxGates: 12, MaxDepth: 2}
+	for i := 0; i < 100; i++ {
+		spec := Random(CaseSeed(11, i), cfg)
+		for s, d := range specDepths(spec) {
+			if d > cfg.MaxDepth {
+				t.Fatalf("case %d: signal %d has depth %d under MaxDepth %d", i, s, d, cfg.MaxDepth)
+			}
+		}
+	}
+}
+
+func TestCaseSeedsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := CaseSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("CaseSeed(1, %d) == CaseSeed(1, %d) == %#x", i, prev, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestSpecJSONRoundTrip pins the repro-artifact wire format: gate
+// functions travel by canonical name (readable, enum-order independent)
+// and decode back to the same spec.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		spec := Random(CaseSeed(19, i), GenConfig{})
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("case %d: unmarshal %s: %v", i, data, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("case %d: round trip changed spec:\n%+v\n%+v", i, spec, back)
+		}
+	}
+	data, err := json.Marshal(GateSpec{Fn: network.And, In: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"fn":"AND"`) {
+		t.Fatalf("gate function not encoded by name: %s", data)
+	}
+	var g GateSpec
+	if err := json.Unmarshal([]byte(`{"fn":"FROB","in":[0]}`), &g); err == nil {
+		t.Fatal("unknown gate name accepted")
+	}
+}
+
+func TestSpecBuildRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no PIs", Spec{POs: []int{0}}},
+		{"no POs", Spec{PIs: 1}},
+		{"bad arity", Spec{PIs: 2, Gates: []GateSpec{{Fn: network.And, In: []int{0}}}, POs: []int{2}}},
+		{"forward ref", Spec{PIs: 1, Gates: []GateSpec{{Fn: network.Not, In: []int{1}}}, POs: []int{1}}},
+		{"PO out of range", Spec{PIs: 1, POs: []int{3}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.Build("bad"); err == nil {
+			t.Errorf("%s: Build accepted malformed spec %+v", tc.name, tc.spec)
+		}
+	}
+}

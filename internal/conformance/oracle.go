@@ -1,0 +1,243 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fgl"
+	"repro/internal/layout"
+	"repro/internal/network"
+	"repro/internal/verify"
+	"repro/internal/verilog"
+)
+
+// Invariant names reported by the battery. Hard invariants fail the
+// selftest; advisory rules (border I/O, straight crossings) are known to
+// be violated by the heuristic flows and are reported as counts only.
+const (
+	// InvFlow: the flow itself reported verify_failed or an internal
+	// error (infeasible/timeout outcomes are skips, not violations).
+	InvFlow = "flow"
+	// InvStats: the entry's recorded metrics disagree with the layout
+	// (area != width*height, stats not reproducible, area below the
+	// occupied bounding box).
+	InvStats = "stats"
+	// InvDRC: library gate-map check or CheckDesignRules failed on the
+	// final layout.
+	InvDRC = "drc"
+	// InvEquivalence: the layout does not implement the source network.
+	InvEquivalence = "equivalence"
+	// InvFGLRoundTrip: write→read→write of the layout is not byte-stable
+	// or the re-read layout fails DRC.
+	InvFGLRoundTrip = "fgl_roundtrip"
+	// InvVerilogRoundTrip: writing the source network as Verilog and
+	// re-parsing it changed its function.
+	InvVerilogRoundTrip = "verilog_roundtrip"
+	// InvRerun: cloning the source network and re-running the flow did
+	// not reproduce the identical layout bytes.
+	InvRerun = "rerun_determinism"
+
+	// AdvBorderIO / AdvBentCrossings are the advisory rule counters.
+	AdvBorderIO      = "border_io"
+	AdvBentCrossings = "bent_crossings"
+)
+
+// Violation is one failed hard invariant on one (case, flow) run.
+type Violation struct {
+	Case      string `json:"case"`
+	CaseSeed  uint64 `json:"case_seed"`
+	Flow      string `json:"flow"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s [%s] %s", v.Case, v.Flow, v.Invariant, v.Detail)
+}
+
+// testHookTamper, when non-nil, deterministically corrupts every
+// layout right after its flow succeeds and before the invariant battery
+// inspects it. It exists solely so tests can inject a "routing bug" and
+// assert that the oracle catches it and the shrinker reduces it; it is
+// never set outside tests.
+var testHookTamper func(*layout.Layout)
+
+// TamperFirstWire is a ready-made tamper hook for tests: it deletes the
+// first wire tile in deterministic coordinate order, breaking the wire
+// chain the way a buggy router would. Layouts without wires are left
+// alone (so tiny direct-adjacency layouts don't mask the bug class).
+func TamperFirstWire(l *layout.Layout) {
+	for _, c := range l.Coords() {
+		if t := l.At(c); t != nil && t.IsWire() {
+			for _, dst := range append([]layout.Coord{}, l.Outgoing(c)...) {
+				mustEdit(l.Disconnect(c, dst))
+			}
+			for _, src := range append([]layout.Coord{}, t.Incoming...) {
+				mustEdit(l.Disconnect(src, c))
+			}
+			mustEdit(l.Clear(c))
+			return
+		}
+	}
+}
+
+// mustEdit asserts a layout mutation whose preconditions the caller
+// has just established (edges read off the layout itself).
+func mustEdit(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// caseRun is the outcome of running one flow on one case network and
+// applying the battery: either a skip (outcome set), or a set of
+// violations (possibly empty = fully conformant) plus advisory counts.
+type caseRun struct {
+	violations []Violation
+	advisories map[string]int
+	skipped    core.Outcome // non-empty when the flow was skipped
+}
+
+// runBattery asserts every hard invariant over a successful flow entry
+// and counts the advisory rules. src is the source network the entry
+// was generated from (never mutated); limits must be the ones the flow
+// ran under so the rerun check replays the identical search.
+func runBattery(ctx context.Context, e *core.Entry, src *network.Network, caseSeed uint64, flow core.Flow, limits core.Limits) caseRun {
+	run := caseRun{advisories: map[string]int{}}
+	report := func(invariant, detail string) {
+		run.violations = append(run.violations, Violation{
+			Case: src.Name, CaseSeed: caseSeed, Flow: flow.ID(), Invariant: invariant, Detail: detail,
+		})
+	}
+	l := e.Layout
+	if l == nil {
+		report(InvStats, "entry has no layout (campaign must keep layouts)")
+		return run
+	}
+	if testHookTamper != nil {
+		testHookTamper(l)
+	}
+
+	// DRC: the library's gate-map check plus the structural rules.
+	if err := flow.Library.CheckLayout(l); err != nil {
+		report(InvDRC, err.Error())
+	} else if err := verify.CheckDesignRules(l).Error(); err != nil {
+		report(InvDRC, err.Error())
+	}
+
+	// Functional equivalence against the source network.
+	if eq, err := verify.Equivalent(l, src); err != nil {
+		report(InvEquivalence, err.Error())
+	} else if !eq {
+		report(InvEquivalence, "layout function differs from source network")
+	}
+
+	// Stats consistency: recorded metrics must be reproducible from the
+	// layout, and the area must cover the occupied bounding box.
+	s := l.ComputeStats()
+	if e.Width != s.Width || e.Height != s.Height || e.Area != s.Area {
+		report(InvStats, fmt.Sprintf("recorded %dx%d area %d, layout has %dx%d area %d",
+			e.Width, e.Height, e.Area, s.Width, s.Height, s.Area))
+	}
+	if e.Area != e.Width*e.Height {
+		report(InvStats, fmt.Sprintf("area %d != width %d * height %d", e.Area, e.Width, e.Height))
+	}
+	if e.Gates != s.Gates || e.Wires != s.Wires || e.Crossings != s.Crossings {
+		report(InvStats, fmt.Sprintf("recorded gates/wires/crossings %d/%d/%d, layout has %d/%d/%d",
+			e.Gates, e.Wires, e.Crossings, s.Gates, s.Wires, s.Crossings))
+	}
+
+	// Advisory rules: deterministic counts, never failures — the
+	// heuristic flows are known to violate them (see docs/CONFORMANCE.md).
+	run.advisories[AdvBorderIO] = len(verify.CheckBorderIO(l).Violations)
+	run.advisories[AdvBentCrossings] = len(verify.CheckStraightCrossings(l).Violations)
+
+	// Metamorphic: .fgl write→read→write must be byte-stable and the
+	// re-read layout must still be DRC-clean.
+	text1, err := fgl.WriteString(l)
+	if err != nil {
+		report(InvFGLRoundTrip, fmt.Sprintf("write: %v", err))
+	} else if reread, err := fgl.Read(strings.NewReader(text1)); err != nil {
+		report(InvFGLRoundTrip, fmt.Sprintf("read back: %v", err))
+	} else if text2, err := fgl.WriteString(reread); err != nil {
+		report(InvFGLRoundTrip, fmt.Sprintf("rewrite: %v", err))
+	} else if text1 != text2 {
+		report(InvFGLRoundTrip, "write→read→write is not byte-stable")
+	} else if (verify.CheckDesignRules(reread).Error() == nil) != (verify.CheckDesignRules(l).Error() == nil) {
+		report(InvFGLRoundTrip, "DRC verdict changed across the fgl round trip")
+	}
+
+	// Metamorphic: Verilog write→parse must preserve the function.
+	vtext, err := verilog.WriteString(src)
+	if err != nil {
+		report(InvVerilogRoundTrip, fmt.Sprintf("write: %v", err))
+	} else if parsed, err := verilog.Parse(strings.NewReader(vtext)); err != nil {
+		report(InvVerilogRoundTrip, fmt.Sprintf("parse back: %v", err))
+	} else if eq, err := network.Equivalent(src, parsed); err != nil {
+		report(InvVerilogRoundTrip, err.Error())
+	} else if !eq {
+		report(InvVerilogRoundTrip, "re-parsed network function differs")
+	}
+
+	// Metamorphic: clone-then-rerun determinism. The clone keeps the
+	// network name, so seeded searches (NanoPlaceR) replay identically;
+	// the rerun layout must match the campaign layout byte for byte.
+	clone := src.Clone()
+	re, err := core.RunFlowOnNetwork(ctx, clone, "selftest", flow, limits)
+	if err != nil {
+		report(InvRerun, fmt.Sprintf("rerun failed where the campaign succeeded: %v", err))
+	} else {
+		if testHookTamper != nil {
+			testHookTamper(re.Layout)
+		}
+		text1, err1 := fgl.WriteString(l)
+		text2, err2 := fgl.WriteString(re.Layout)
+		if err1 != nil || err2 != nil {
+			report(InvRerun, fmt.Sprintf("serializing for comparison: %v %v", err1, err2))
+		} else if text1 != text2 {
+			report(InvRerun, "re-running the flow on a clone produced different layout bytes")
+		}
+	}
+	return run
+}
+
+// runOne executes one flow on one source network and applies the
+// battery; used by the shrinker and repro replay (the campaign path
+// batches the flow runs through core.GenerateFlows instead).
+func runOne(ctx context.Context, src *network.Network, caseSeed uint64, flow core.Flow, limits core.Limits) caseRun {
+	e, err := core.RunFlowOnNetwork(ctx, src.Clone(), "selftest", flow, limits)
+	if err != nil {
+		return classifyFlowErr(src.Name, caseSeed, flow, err)
+	}
+	return runBattery(ctx, e, src, caseSeed, flow, limits)
+}
+
+// classifyFlowErr folds a failed flow into the oracle's terms: budget
+// and feasibility outcomes are skips; verification failures and
+// internal errors are violations of the flow invariant.
+func classifyFlowErr(caseName string, caseSeed uint64, flow core.Flow, err error) caseRun {
+	outcome := core.ClassifyOutcome(err)
+	switch outcome {
+	case core.OutcomeInfeasible, core.OutcomeTimeout, core.OutcomeCanceled:
+		return caseRun{skipped: outcome, advisories: map[string]int{}}
+	}
+	return caseRun{
+		advisories: map[string]int{},
+		violations: []Violation{{
+			Case: caseName, CaseSeed: caseSeed, Flow: flow.ID(), Invariant: InvFlow, Detail: err.Error(),
+		}},
+	}
+}
+
+// sortedKeys returns the keys of a string-counter map in sorted order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

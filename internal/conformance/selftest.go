@@ -1,0 +1,342 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a selftest run. The zero value (plus a seed)
+// gives the defaults used by `mntbench selftest` and `make selftest`.
+type Config struct {
+	// Seed is the root seed; every case seed derives from it.
+	Seed uint64
+	// N is the number of random networks to generate (default 10).
+	N int
+	// Workers bounds campaign and battery parallelism (default: all CPU
+	// cores). The report is byte-identical for any value.
+	Workers int
+	// Flows filters the flow list: comma-separated, case-insensitive
+	// substrings matched against Flow.ID(); empty runs every registered
+	// flow of every library.
+	Flows string
+	// Gen shapes the random network distribution.
+	Gen GenConfig
+	// ExactSteps is the deterministic exact-search budget (default
+	// 20000 backtracking steps, calibrated so a default run spends a few
+	// seconds in exact); the wall-clock ExactTimeout is kept generous so
+	// the step budget is always the binding constraint and
+	// success-vs-timeout cannot depend on machine load.
+	ExactSteps int
+	// Shrink enables reducing each failure to a minimal repro artifact.
+	Shrink bool
+	// ReproDir is where repro artifacts are written (default
+	// internal/conformance/testdata/repros under the working directory —
+	// the CLI passes an explicit directory).
+	ReproDir string
+	// MaxRepros caps how many distinct failures are shrunk (default 3).
+	MaxRepros int
+	// Progress, when set, receives campaign progress callbacks.
+	Progress func(core.Progress)
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.ExactSteps <= 0 {
+		c.ExactSteps = 20000
+	}
+	if c.ReproDir == "" {
+		c.ReproDir = "internal/conformance/testdata/repros"
+	}
+	if c.MaxRepros <= 0 {
+		c.MaxRepros = 3
+	}
+	return c
+}
+
+// limits are the effort bounds a selftest flow runs under. Every budget
+// that could flip between success and failure is deterministic (steps,
+// node counts); the wall-clock deadlines are kept far above what the
+// tiny generated networks need, so they never bind in practice.
+func (c Config) limits() core.Limits {
+	return core.Limits{
+		Workers:      c.Workers,
+		ExactSteps:   c.ExactSteps,
+		ExactTimeout: 5 * time.Minute,
+	}
+}
+
+// CaseInfo summarizes one generated network in the report.
+type CaseInfo struct {
+	Name  string `json:"name"`
+	Seed  uint64 `json:"seed"`
+	PIs   int    `json:"pis"`
+	POs   int    `json:"pos"`
+	Gates int    `json:"gates"`
+}
+
+// Report is the deterministic result of a selftest run: for a given
+// (seed, n, flow filter, generator config) it is byte-identical across
+// worker counts and machines. It deliberately contains no wall-clock
+// timings — those go to logs and spans.
+type Report struct {
+	Seed       uint64         `json:"seed"`
+	Flows      []string       `json:"flows"`
+	Cases      []CaseInfo     `json:"cases"`
+	Runs       int            `json:"runs"`
+	OK         int            `json:"ok"`
+	Skipped    map[string]int `json:"skipped,omitempty"`
+	Advisories map[string]int `json:"advisories,omitempty"`
+	Violations []Violation    `json:"violations,omitempty"`
+	Repros     []string       `json:"repros,omitempty"`
+}
+
+// Failed reports whether any hard invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// JSON renders the report as indented JSON (stable key order).
+func (r *Report) JSON() string {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Report contains only marshalable fields; this cannot happen.
+		//lint:ignore panicban marshaling a plain struct of basic types cannot fail
+		panic(err)
+	}
+	return string(data) + "\n"
+}
+
+// Text renders the human-readable summary, likewise byte-stable.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "selftest: seed %d, %d cases x %d flows = %d runs\n",
+		r.Seed, len(r.Cases), len(r.Flows), r.Runs)
+	fmt.Fprintf(&sb, "  ok       %d\n", r.OK)
+	for _, k := range sortedKeys(r.Skipped) {
+		fmt.Fprintf(&sb, "  skipped  %d (%s)\n", r.Skipped[k], k)
+	}
+	for _, k := range sortedKeys(r.Advisories) {
+		fmt.Fprintf(&sb, "  advisory %d (%s)\n", r.Advisories[k], k)
+	}
+	if len(r.Violations) == 0 {
+		sb.WriteString("  violations: none\n")
+	} else {
+		fmt.Fprintf(&sb, "  VIOLATIONS: %d\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "    %s\n", v)
+		}
+	}
+	for _, p := range r.Repros {
+		fmt.Fprintf(&sb, "  repro: %s\n", p)
+	}
+	return sb.String()
+}
+
+// SelectFlows resolves a -flows filter against the full registered flow
+// catalogue (every library × clocking scheme × algorithm combination).
+// Each comma-separated pattern matches case-insensitively: a pattern
+// that equals a flow ID selects exactly that flow; anything else is a
+// substring match (so "ortho" selects the whole ortho family while
+// "qcaone_2ddwave_ortho" selects one flow, not its +inord variants).
+func SelectFlows(filter string) []core.Flow {
+	var flows []core.Flow
+	for _, lib := range gatelib.All() {
+		flows = append(flows, core.Flows(lib)...)
+	}
+	if filter == "" {
+		return flows
+	}
+	var pats []string
+	for _, p := range strings.Split(filter, ",") {
+		if p = strings.TrimSpace(strings.ToLower(p)); p != "" {
+			pats = append(pats, p)
+		}
+	}
+	if len(pats) == 0 {
+		return flows
+	}
+	exact := make(map[string]bool)
+	for _, f := range flows {
+		id := strings.ToLower(f.ID())
+		for _, p := range pats {
+			if id == p {
+				exact[p] = true
+			}
+		}
+	}
+	var out []core.Flow
+	for _, f := range flows {
+		id := strings.ToLower(f.ID())
+		for _, p := range pats {
+			if id == p || (!exact[p] && strings.Contains(id, p)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the conformance selftest: generate cfg.N random networks
+// from cfg.Seed, run each through every selected flow via the parallel
+// campaign scheduler, apply the invariant battery to every resulting
+// layout, and (when cfg.Shrink is set) reduce failures to minimal repro
+// artifacts under cfg.ReproDir.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if ctx == nil {
+		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	log := obs.LoggerFrom(ctx)
+	flows := SelectFlows(cfg.Flows)
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("conformance: flow filter %q matches no registered flow", cfg.Flows)
+	}
+
+	report := &Report{
+		Seed:       cfg.Seed,
+		Skipped:    map[string]int{},
+		Advisories: map[string]int{},
+	}
+	for _, f := range flows {
+		report.Flows = append(report.Flows, f.ID())
+	}
+
+	// Generate the cases. Each benchmark's Build hands out clones of the
+	// case network, exactly like a registered suite.
+	specs := make([]Spec, cfg.N)
+	nets := make([]*network.Network, cfg.N)
+	benches := make([]bench.Benchmark, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		seed := CaseSeed(cfg.Seed, i)
+		specs[i] = Random(seed, cfg.Gen)
+		n, err := specs[i].Build(CaseName(i))
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = n
+		benches[i] = bench.Benchmark{
+			Set: "selftest", Name: n.Name, Origin: bench.SyntheticOrigin,
+			PubIn: n.NumPIs(), PubOut: n.NumPOs(), PubNodes: n.NumLogicGates(),
+			Build: n.Clone,
+		}
+		report.Cases = append(report.Cases, CaseInfo{
+			Name: n.Name, Seed: seed, PIs: n.NumPIs(), POs: n.NumPOs(), Gates: len(specs[i].Gates),
+		})
+	}
+
+	limits := cfg.limits()
+	report.Runs = cfg.N * len(flows)
+	log.Info("selftest start", "seed", cfg.Seed, "cases", cfg.N, "flows", len(flows), "workers", cfg.Workers)
+
+	db := core.GenerateFlows(ctx, benches, flows, limits, cfg.Progress)
+
+	// Index helpers for deterministic (case-major, flow-minor) ordering.
+	caseIdx := make(map[string]int, cfg.N)
+	for i, b := range benches {
+		caseIdx[b.Name] = i
+	}
+	flowIdx := make(map[string]int, len(flows))
+	for i, f := range flows {
+		flowIdx[f.ID()] = i
+	}
+	ord := func(caseName, flowID string) int { return caseIdx[caseName]*len(flows) + flowIdx[flowID] }
+
+	// The invariant battery runs over the entries in a worker pool; each
+	// result lands in its entry's slot, so aggregation order never
+	// depends on scheduling.
+	runs := make([]caseRun, len(db.Entries))
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	workers := cfg.Workers
+	if workers > len(db.Entries) {
+		workers = len(db.Entries)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				e := db.Entries[i]
+				ci := caseIdx[e.Benchmark.Name]
+				bctx, sp := obs.StartSpan(ctx, "battery")
+				sp.Annotate("case", e.Benchmark.Name)
+				sp.Annotate("flow", e.Flow.ID())
+				runs[i] = runBattery(bctx, e, nets[ci], report.Cases[ci].Seed, e.Flow, limits)
+				if len(runs[i].violations) > 0 {
+					sp.SetError(fmt.Errorf("%d invariant violations", len(runs[i].violations)))
+				}
+				sp.End()
+			}
+		}()
+	}
+	for i := range db.Entries {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Aggregate in enumeration order: entries and campaign failures are
+	// merged by their (case, flow) position.
+	type ordered struct {
+		ord int
+		run caseRun
+	}
+	all := make([]ordered, 0, len(db.Entries)+len(db.Failures))
+	for i, e := range db.Entries {
+		all = append(all, ordered{ord(e.Benchmark.Name, e.Flow.ID()), runs[i]})
+	}
+	for _, f := range db.Failures {
+		ci := caseIdx[f.Benchmark.Name]
+		run := classifyFlowErr(f.Benchmark.Name, report.Cases[ci].Seed, f.Flow, fmt.Errorf("%s", f.Reason))
+		// ClassifyOutcome on a re-wrapped reason string loses the typed
+		// error chain, so trust the campaign's recorded outcome instead.
+		if f.Outcome == core.OutcomeInfeasible || f.Outcome == core.OutcomeTimeout || f.Outcome == core.OutcomeCanceled {
+			run = caseRun{skipped: f.Outcome, advisories: map[string]int{}}
+		}
+		all = append(all, ordered{ord(f.Benchmark.Name, f.Flow.ID()), run})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
+
+	for _, o := range all {
+		switch {
+		case o.run.skipped != "":
+			report.Skipped[string(o.run.skipped)]++
+		case len(o.run.violations) > 0:
+			report.Violations = append(report.Violations, o.run.violations...)
+		default:
+			report.OK++
+		}
+		for k, v := range o.run.advisories {
+			if v > 0 {
+				report.Advisories[k] += v
+			}
+		}
+	}
+
+	if cfg.Shrink && len(report.Violations) > 0 {
+		paths, err := shrinkAndWrite(ctx, cfg, specs, report)
+		if err != nil {
+			return report, err
+		}
+		report.Repros = paths
+	}
+	log.Info("selftest done", "ok", report.OK, "violations", len(report.Violations))
+	return report, nil
+}

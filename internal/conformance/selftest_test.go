@@ -1,0 +1,243 @@
+package conformance
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gatelib"
+	"repro/internal/network"
+)
+
+func TestSelectFlows(t *testing.T) {
+	all := SelectFlows("")
+	if want := 0; true {
+		for _, lib := range gatelib.All() {
+			want += len(core.Flows(lib))
+		}
+		if len(all) == 0 || len(all) != want {
+			t.Fatalf("empty filter matched %d flows, catalogue has %d", len(all), want)
+		}
+	}
+	total := len(SelectFlows("qcaone")) + len(SelectFlows("bestagon"))
+	if total != len(all) {
+		t.Fatalf("library filters cover %d flows, catalogue has %d", total, len(all))
+	}
+	ortho := SelectFlows("ortho")
+	if len(ortho) == 0 {
+		t.Fatal("ortho filter matched nothing")
+	}
+	for _, f := range ortho {
+		if !strings.Contains(f.ID(), "ortho") {
+			t.Errorf("filter ortho matched %s", f.ID())
+		}
+	}
+	multi := SelectFlows("qcaone_2ddwave_exact, qcaone_use_exact")
+	if len(multi) != 2 {
+		t.Fatalf("comma filter matched %d flows, want 2", len(multi))
+	}
+	// Exact IDs beat substring expansion: this selects one flow even
+	// though it is a prefix of the +inord variants.
+	if got := SelectFlows("qcaone_2ddwave_ortho"); len(got) != 1 || got[0].ID() != "qcaone_2ddwave_ortho" {
+		t.Fatalf("exact flow ID filter matched %d flows", len(got))
+	}
+	if got := SelectFlows("nosuchflow"); got != nil {
+		t.Fatalf("bogus filter matched %v", got)
+	}
+}
+
+// TestSelftestCleanRun: a small run over the fast heuristic flows of
+// both libraries must be violation-free and produce runs for every
+// (case, flow) pair.
+func TestSelftestCleanRun(t *testing.T) {
+	cfg := Config{Seed: 1, N: 4, Flows: "ortho,nanoplacer", ReproDir: t.TempDir()}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean run reported violations:\n%s", rep.Text())
+	}
+	if rep.OK == 0 {
+		t.Fatal("no successful runs")
+	}
+	skipped := 0
+	for _, v := range rep.Skipped {
+		skipped += v
+	}
+	if rep.OK+skipped != rep.Runs {
+		t.Fatalf("ok %d + skipped %d != runs %d", rep.OK, skipped, rep.Runs)
+	}
+	if len(rep.Cases) != cfg.N {
+		t.Fatalf("report has %d cases, want %d", len(rep.Cases), cfg.N)
+	}
+}
+
+// TestSelftestWorkerInvariance pins the headline determinism property:
+// the report is byte-identical no matter how the work is scheduled.
+// Covers every registered flow (including the step-budgeted exact
+// search) with a small case count to stay fast.
+func TestSelftestWorkerInvariance(t *testing.T) {
+	base := Config{Seed: 1, N: 2, ReproDir: t.TempDir()}
+	serial := base
+	serial.Workers = 1
+	r1, err := Run(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = runtime.NumCPU()
+	r2, err := Run(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.JSON() != r2.JSON() {
+		t.Fatalf("report differs between 1 and %d workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			runtime.NumCPU(), r1.JSON(), r2.JSON())
+	}
+	if r1.Text() != r2.Text() {
+		t.Fatal("text report differs between worker counts")
+	}
+	if r1.Failed() {
+		t.Fatalf("clean run reported violations:\n%s", r1.Text())
+	}
+}
+
+// TestSelftestTamperedFlowIsCaught is the acceptance-criterion test: an
+// injected routing bug (the guarded tamper hook) must fail the
+// selftest, the shrinker must emit a minimal repro of at most 8 gates,
+// and replaying the artifact must reproduce the same invariant.
+func TestSelftestTamperedFlowIsCaught(t *testing.T) {
+	testHookTamper = TamperFirstWire
+	defer func() { testHookTamper = nil }()
+
+	dir := t.TempDir()
+	cfg := Config{Seed: 1, N: 3, Flows: "qcaone_2ddwave_ortho", Shrink: true, MaxRepros: 1, ReproDir: dir}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("tampered layouts passed the invariant battery")
+	}
+	sawDRC := false
+	for _, v := range rep.Violations {
+		if v.Invariant == InvDRC {
+			sawDRC = true
+		}
+		if v.Invariant == InvRerun {
+			t.Errorf("tamper hook broke rerun determinism: %s", v)
+		}
+	}
+	if !sawDRC {
+		t.Fatalf("no DRC violation among:\n%s", rep.Text())
+	}
+	if len(rep.Repros) != 1 {
+		t.Fatalf("got %d repro artifacts, want 1", len(rep.Repros))
+	}
+
+	repro, err := ReadRepro(rep.Repros[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.Gates > 8 {
+		t.Errorf("shrunk repro has %d gates, want <= 8", repro.Gates)
+	}
+	if repro.Invariant != InvDRC {
+		t.Errorf("repro invariant = %s, want %s", repro.Invariant, InvDRC)
+	}
+	if repro.RootSeed != cfg.Seed || repro.Verilog == "" {
+		t.Errorf("repro metadata incomplete: %+v", repro)
+	}
+
+	violations, got, err := Replay(context.Background(), rep.Repros[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow != "qcaone_2ddwave_ortho" {
+		t.Errorf("replayed flow = %s", got.Flow)
+	}
+	replayed := false
+	for _, v := range violations {
+		if v.Invariant == repro.Invariant {
+			replayed = true
+		}
+	}
+	if !replayed {
+		t.Fatalf("replay did not reproduce invariant %s, got %v", repro.Invariant, violations)
+	}
+}
+
+// TestReplayCleanAfterFix: once the hook (the "bug") is gone, replaying
+// the artifact reports no violations — the fixed-bug workflow.
+func TestReplayCleanAfterFix(t *testing.T) {
+	testHookTamper = TamperFirstWire
+	dir := t.TempDir()
+	rep, err := Run(context.Background(), Config{
+		Seed: 1, N: 2, Flows: "qcaone_2ddwave_ortho", Shrink: true, MaxRepros: 1, ReproDir: dir,
+	})
+	testHookTamper = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Repros) == 0 {
+		t.Fatal("no repro to replay")
+	}
+	violations, _, err := Replay(context.Background(), rep.Repros[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("replay after fix still violates: %v", violations)
+	}
+}
+
+// TestBatteryFlagsBrokenEquivalence: corrupting the source network (not
+// the layout) must surface as an equivalence violation — the oracle
+// checks the layout against the network it was supposedly built from.
+func TestBatteryFlagsBrokenEquivalence(t *testing.T) {
+	spec := Spec{
+		PIs:   2,
+		Gates: []GateSpec{{Fn: network.And, In: []int{0, 1}}},
+		POs:   []int{2},
+	}
+	n := spec.MustBuild("case")
+	flows := SelectFlows("qcaone_2ddwave_ortho")
+	if len(flows) != 1 {
+		t.Fatal("flow filter broken")
+	}
+	limits := Config{Workers: 1}.withDefaults().limits()
+
+	// Run the real flow on the AND network, then hand the battery an OR
+	// network as the claimed source.
+	wrong := Spec{
+		PIs:   2,
+		Gates: []GateSpec{{Fn: network.Or, In: []int{0, 1}}},
+		POs:   []int{2},
+	}.MustBuild("case")
+	run := runOne(context.Background(), n, 1, flows[0], limits)
+	if len(run.violations) != 0 {
+		t.Fatalf("clean case violated: %v", run.violations)
+	}
+	run = runOne(context.Background(), wrong, 1, flows[0], limits)
+	if len(run.violations) != 0 {
+		t.Fatalf("clean OR case violated: %v", run.violations)
+	}
+	// Now the mismatch: flow output for n, battery told the source is `wrong`.
+	e, err := core.RunFlowOnNetwork(context.Background(), n.Clone(), "selftest", flows[0], limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := runBattery(context.Background(), e, wrong, 1, flows[0], limits)
+	found := false
+	for _, v := range mismatch.violations {
+		if v.Invariant == InvEquivalence {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("equivalence mismatch not caught: %v", mismatch.violations)
+	}
+}

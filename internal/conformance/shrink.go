@@ -1,0 +1,266 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/verilog"
+)
+
+// maxShrinkAttempts bounds the total number of candidate evaluations
+// per shrink (each evaluation re-runs the flow and the battery).
+const maxShrinkAttempts = 200
+
+// Repro is the artifact a shrunk failure is persisted as: everything
+// needed to replay the failure — the seeds, the offending flow ID, and
+// the reduced network both as a canonical Spec (used by Replay) and as
+// Verilog (for humans and external tools).
+type Repro struct {
+	Case      string `json:"case"`
+	RootSeed  uint64 `json:"root_seed"`
+	CaseSeed  uint64 `json:"case_seed"`
+	Flow      string `json:"flow"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	Gates     int    `json:"gates"`
+	Spec      Spec   `json:"spec"`
+	Verilog   string `json:"verilog"`
+}
+
+// Shrink greedily reduces a failing spec while the failure reproduces:
+// drop POs, bypass gates (consumers are rewired to the gate's first
+// fanin), and drop PIs that fell out of use. A candidate is accepted
+// when re-running the flow plus the invariant battery on the reduced
+// network still violates the same invariant. The candidate order and
+// the accept-first-improvement loop are deterministic, so the same
+// failure always shrinks to the same minimal spec.
+func Shrink(ctx context.Context, spec Spec, target Violation, flow core.Flow, limits core.Limits) (Spec, Violation) {
+	log := obs.LoggerFrom(ctx)
+	fails := func(s Spec) (Violation, bool) {
+		n, err := s.Build(target.Case)
+		if err != nil {
+			return Violation{}, false
+		}
+		run := runOne(ctx, n, target.CaseSeed, flow, limits)
+		for _, v := range run.violations {
+			if v.Invariant == target.Invariant {
+				return v, true
+			}
+		}
+		return Violation{}, false
+	}
+
+	cur, curV := spec, target
+	attempts := 0
+	for {
+		improved := false
+		for _, cand := range reductions(cur) {
+			attempts++
+			if attempts > maxShrinkAttempts {
+				log.Debug("shrink attempt budget exhausted", "case", target.Case, "gates", len(cur.Gates))
+				return cur, curV
+			}
+			if v, ok := fails(cand); ok {
+				cur, curV = cand, v
+				improved = true
+				break // restart the enumeration on the smaller spec
+			}
+		}
+		if !improved {
+			log.Debug("shrink converged", "case", target.Case,
+				"gates", len(cur.Gates), "pis", cur.PIs, "pos", len(cur.POs), "attempts", attempts)
+			return cur, curV
+		}
+	}
+}
+
+// reductions enumerates the one-step reductions of a spec in the order
+// the shrinker tries them: gate bypasses from the outputs backwards
+// (they cut the most), then PO drops, then unused-PI drops.
+func reductions(s Spec) []Spec {
+	var out []Spec
+	for g := len(s.Gates) - 1; g >= 0; g-- {
+		out = append(out, removeGate(s, g))
+	}
+	if len(s.POs) > 1 {
+		for p := len(s.POs) - 1; p >= 0; p-- {
+			c := Spec{PIs: s.PIs, Gates: s.Gates, POs: append(append([]int{}, s.POs[:p]...), s.POs[p+1:]...)}
+			out = append(out, c)
+		}
+	}
+	if s.PIs > 1 {
+		used := make([]bool, s.NumSignals())
+		for _, g := range s.Gates {
+			for _, idx := range g.In {
+				used[idx] = true
+			}
+		}
+		for _, idx := range s.POs {
+			used[idx] = true
+		}
+		for p := s.PIs - 1; p >= 0; p-- {
+			if !used[p] {
+				out = append(out, removePI(s, p))
+			}
+		}
+	}
+	return out
+}
+
+// removeGate bypasses gate g: every reference to its output signal is
+// rewired to its first fanin, and later signal indexes shift down.
+func removeGate(s Spec, g int) Spec {
+	sg := s.PIs + g
+	repl := s.Gates[g].In[0]
+	remap := func(idx int) int {
+		switch {
+		case idx == sg:
+			return repl
+		case idx > sg:
+			return idx - 1
+		}
+		return idx
+	}
+	c := Spec{PIs: s.PIs}
+	for i, gs := range s.Gates {
+		if i == g {
+			continue
+		}
+		in := make([]int, len(gs.In))
+		for k, idx := range gs.In {
+			in[k] = remap(idx)
+		}
+		c.Gates = append(c.Gates, GateSpec{Fn: gs.Fn, In: in})
+	}
+	for _, idx := range s.POs {
+		c.POs = append(c.POs, remap(idx))
+	}
+	return c
+}
+
+// removePI drops unused primary input p, shifting all higher signal
+// indexes down by one.
+func removePI(s Spec, p int) Spec {
+	remap := func(idx int) int {
+		if idx > p {
+			return idx - 1
+		}
+		return idx
+	}
+	c := Spec{PIs: s.PIs - 1}
+	for _, gs := range s.Gates {
+		in := make([]int, len(gs.In))
+		for k, idx := range gs.In {
+			in[k] = remap(idx)
+		}
+		c.Gates = append(c.Gates, GateSpec{Fn: gs.Fn, In: in})
+	}
+	for _, idx := range s.POs {
+		c.POs = append(c.POs, remap(idx))
+	}
+	return c
+}
+
+// shrinkAndWrite reduces the report's failures — one per distinct
+// (flow, invariant) pair, up to cfg.MaxRepros — and writes each as a
+// repro artifact under cfg.ReproDir. Returns the artifact paths in
+// deterministic order.
+func shrinkAndWrite(ctx context.Context, cfg Config, specs []Spec, report *Report) ([]string, error) {
+	caseIdx := make(map[string]int, len(report.Cases))
+	for i, c := range report.Cases {
+		caseIdx[c.Name] = i
+	}
+	type key struct{ flow, inv string }
+	seen := map[key]bool{}
+	var paths []string
+	for _, v := range report.Violations {
+		k := key{v.Flow, v.Invariant}
+		if seen[k] || len(paths) >= cfg.MaxRepros {
+			continue
+		}
+		seen[k] = true
+		flow, err := core.ParseFlowID(v.Flow)
+		if err != nil {
+			return paths, fmt.Errorf("conformance: cannot shrink %s: %w", v.Flow, err)
+		}
+		ci, ok := caseIdx[v.Case]
+		if !ok {
+			return paths, fmt.Errorf("conformance: violation references unknown case %q", v.Case)
+		}
+		reduced, final := Shrink(ctx, specs[ci], v, flow, cfg.limits())
+		vtext, err := verilog.WriteString(reduced.MustBuild(v.Case))
+		if err != nil {
+			return paths, err
+		}
+		repro := Repro{
+			Case: v.Case, RootSeed: cfg.Seed, CaseSeed: v.CaseSeed,
+			Flow: v.Flow, Invariant: final.Invariant, Detail: final.Detail,
+			Gates: len(reduced.Gates), Spec: reduced, Verilog: vtext,
+		}
+		path, err := writeRepro(cfg.ReproDir, repro)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// writeRepro persists one artifact as {case}__{flowID}.json in dir.
+func writeRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s__%s.json", r.Case, r.Flow))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadRepro loads a repro artifact from disk.
+func ReadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("conformance: %s is not a repro artifact: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Replay re-runs a repro artifact: the reduced network goes through the
+// recorded flow and the full invariant battery, and the resulting
+// violations (empty when the underlying bug has been fixed) are
+// returned in battery order.
+func Replay(ctx context.Context, path string, workers int) ([]Violation, *Repro, error) {
+	r, err := ReadRepro(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	flow, err := core.ParseFlowID(r.Flow)
+	if err != nil {
+		return nil, r, err
+	}
+	n, err := r.Spec.Build(r.Case)
+	if err != nil {
+		return nil, r, err
+	}
+	limits := Config{Workers: workers}.withDefaults().limits()
+	run := runOne(ctx, n, r.CaseSeed, flow, limits)
+	if run.skipped != "" {
+		return nil, r, fmt.Errorf("conformance: replay of %s was skipped (%s)", path, run.skipped)
+	}
+	return run.violations, r, nil
+}

@@ -1,0 +1,93 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// twoGateSpec: x0, x1, x2; g0 = AND(x0, x1) -> signal 3;
+// g1 = XOR(3, x2) -> signal 4; POs y0=4, y1=3.
+func twoGateSpec() Spec {
+	return Spec{
+		PIs: 3,
+		Gates: []GateSpec{
+			{Fn: network.And, In: []int{0, 1}},
+			{Fn: network.Xor, In: []int{3, 2}},
+		},
+		POs: []int{4, 3},
+	}
+}
+
+func TestRemoveGateRemapsSignals(t *testing.T) {
+	s := twoGateSpec()
+
+	// Bypassing g0 rewires its consumers to x0 and shifts g1 down.
+	got := removeGate(s, 0)
+	want := Spec{
+		PIs:   3,
+		Gates: []GateSpec{{Fn: network.Xor, In: []int{0, 2}}},
+		POs:   []int{3, 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("removeGate(s, 0) = %+v, want %+v", got, want)
+	}
+
+	// Bypassing g1 rewires the first PO to g1's first fanin (signal 3).
+	got = removeGate(s, 1)
+	want = Spec{
+		PIs:   3,
+		Gates: []GateSpec{{Fn: network.And, In: []int{0, 1}}},
+		POs:   []int{3, 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("removeGate(s, 1) = %+v, want %+v", got, want)
+	}
+}
+
+func TestRemovePIRemapsSignals(t *testing.T) {
+	// x1 is unused: g0 = NOT(x0), POs reference x2's successor indexes.
+	s := Spec{
+		PIs:   3,
+		Gates: []GateSpec{{Fn: network.Not, In: []int{0}}},
+		POs:   []int{3, 2},
+	}
+	got := removePI(s, 1)
+	want := Spec{
+		PIs:   2,
+		Gates: []GateSpec{{Fn: network.Not, In: []int{0}}},
+		POs:   []int{2, 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("removePI(s, 1) = %+v, want %+v", got, want)
+	}
+}
+
+// TestReductionsStayBuildable: every one-step reduction of a random
+// well-formed spec must still elaborate into a valid network — the
+// shrinker's safety property.
+func TestReductionsStayBuildable(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		spec := Random(CaseSeed(13, i), GenConfig{})
+		for ri, cand := range reductions(spec) {
+			if _, err := cand.Build("cand"); err != nil {
+				t.Fatalf("case %d reduction %d: %+v -> %+v: %v", i, ri, spec, cand, err)
+			}
+		}
+	}
+}
+
+// TestReductionsShrinkSize: each reduction strictly removes a gate, a
+// PO, or a PI, so the greedy loop always terminates.
+func TestReductionsShrinkSize(t *testing.T) {
+	size := func(s Spec) int { return s.PIs + len(s.Gates) + len(s.POs) }
+	for i := 0; i < 50; i++ {
+		spec := Random(CaseSeed(17, i), GenConfig{})
+		for ri, cand := range reductions(spec) {
+			if size(cand) >= size(spec) {
+				t.Fatalf("case %d reduction %d did not shrink: %+v -> %+v", i, ri, spec, cand)
+			}
+		}
+	}
+}

@@ -115,6 +115,13 @@ type Limits struct {
 	Workers int
 	// ExactTimeout is the search budget per function (default 3s).
 	ExactTimeout time.Duration
+	// ExactSteps, when positive, additionally bounds the exact search by
+	// a deterministic backtracking-step budget. Unlike ExactTimeout, the
+	// same network always explores the same search prefix regardless of
+	// machine load, making success-vs-timeout reproducible; the
+	// conformance selftest relies on this for worker-count-invariant
+	// reports (0 = wall clock only).
+	ExactSteps int
 	// ExactMaxNodes skips exact for larger prepared networks (default 12).
 	ExactMaxNodes int
 	// NanoMaxNodes skips NanoPlaceR for larger networks (default 120).
@@ -444,9 +451,10 @@ func runExact(prepared *network.Network, flow Flow, limits Limits) (*layout.Layo
 			ErrInfeasible, prepared.NumGates()+prepared.NumPIs()+prepared.NumPOs(), limits.ExactMaxNodes)
 	}
 	return exact.Place(prepared, exact.Options{
-		Scheme:  flow.Scheme,
-		Topo:    flow.Library.Topology,
-		Timeout: limits.ExactTimeout,
+		Scheme:   flow.Scheme,
+		Topo:     flow.Library.Topology,
+		Timeout:  limits.ExactTimeout,
+		MaxSteps: limits.ExactSteps,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
 	"repro/internal/verify"
+	"repro/internal/verilog"
 )
 
 // EntryFileName returns the canonical file stem used when an entry is
@@ -59,6 +60,47 @@ func ParseFlowID(id string) (Flow, error) {
 		}
 	}
 	return flow, nil
+}
+
+// SaveDatabase writes every entry of db to dir: one
+// {set}__{name}__{flowID}.fgl layout file per entry plus one
+// {set}__{name}.v Verilog source per benchmark (written once, from the
+// first entry of that benchmark), creating dir if needed. Entries must
+// retain their layouts — a campaign that should be saved must not set
+// Limits.DiscardLayouts. Failures are not persisted; LoadDatabase
+// re-derives failures from what it finds on disk. The output is
+// deterministic: the same database always produces byte-identical
+// files, so save→load→save round-trips reproduce the directory exactly.
+// It returns the number of .fgl files written.
+func SaveDatabase(db *Database, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, e := range db.Entries {
+		if e.Layout == nil {
+			return written, fmt.Errorf("core: entry %s has no layout to save (generated with DiscardLayouts?)", EntryFileName(e))
+		}
+		text, err := fgl.WriteString(e.Layout)
+		if err != nil {
+			return written, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, EntryFileName(e)+".fgl"), []byte(text), 0o644); err != nil {
+			return written, err
+		}
+		written++
+		vname := filepath.Join(dir, strings.ToLower(e.Benchmark.Set)+"__"+strings.ToLower(e.Benchmark.Name)+".v")
+		if _, err := os.Stat(vname); os.IsNotExist(err) {
+			vtext, err := verilog.WriteString(e.Benchmark.Build())
+			if err != nil {
+				return written, err
+			}
+			if err := os.WriteFile(vname, []byte(vtext), 0o644); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
 }
 
 // LoadDatabase reads every {set}__{name}__{flow}.fgl file in dir into a

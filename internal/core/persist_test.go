@@ -1,0 +1,172 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/gatelib"
+)
+
+// smallDatabase generates a couple of cheap ortho layouts over the
+// registered Trindade16 functions, plus synthetic failures of every
+// skip class, so the round-trip test covers entries and failures alike.
+func smallDatabase(t *testing.T) *Database {
+	t.Helper()
+	db := &Database{}
+	flow := Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: AlgoOrtho}
+	for _, name := range []string{"mux21", "xor2"} {
+		b, err := bench.ByName("trindade16", name)
+		if err != nil {
+			t.Fatalf("benchmark %s: %v", name, err)
+		}
+		e, err := RunFlow(nil, b, flow, Limits{})
+		if err != nil {
+			t.Fatalf("flow on %s: %v", name, err)
+		}
+		db.Entries = append(db.Entries, e)
+	}
+	infeasible, err := bench.ByName("trindade16", "par_gen")
+	if err != nil {
+		t.Fatalf("par_gen: %v", err)
+	}
+	db.Failures = append(db.Failures,
+		Failure{Benchmark: infeasible, Flow: flow, Reason: "too large for exact", Outcome: OutcomeInfeasible},
+		Failure{Benchmark: infeasible, Flow: flow, Reason: "deadline", Outcome: OutcomeTimeout},
+	)
+	return db
+}
+
+// dirContents maps every file name in dir to its bytes.
+func dirContents(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	for _, de := range des {
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatalf("reading %s: %v", de.Name(), err)
+		}
+		out[de.Name()] = string(data)
+	}
+	return out
+}
+
+// TestSaveLoadSaveRoundTrip pins that save → load → save reproduces the
+// on-disk database byte-for-byte: the .fgl writer is deterministic, the
+// loader reconstructs enough of each entry to re-save it, and failures
+// (which are not persisted) neither break the save nor leak into it.
+func TestSaveLoadSaveRoundTrip(t *testing.T) {
+	db := smallDatabase(t)
+	dir1 := t.TempDir()
+	written, err := SaveDatabase(db, dir1)
+	if err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	if written != len(db.Entries) {
+		t.Fatalf("first save wrote %d layouts, want %d", written, len(db.Entries))
+	}
+	first := dirContents(t, dir1)
+	// Two entries on distinct benchmarks → two .fgl plus two .v files.
+	if len(first) != 4 {
+		t.Fatalf("first save produced %d files, want 4: %v", len(first), fileNames(first))
+	}
+
+	loaded, err := LoadDatabase(dir1, true)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Entries) != len(db.Entries) {
+		t.Fatalf("loaded %d entries, want %d", len(loaded.Entries), len(db.Entries))
+	}
+	if len(loaded.Failures) != 0 {
+		t.Fatalf("load invented failures: %+v", loaded.Failures)
+	}
+	for i, e := range loaded.Entries {
+		if !e.Verified {
+			t.Fatalf("loaded entry %d (%s) not re-verified", i, EntryFileName(e))
+		}
+		if e.Flow.ID() != db.Entries[i].Flow.ID() {
+			t.Fatalf("entry %d flow id %q, want %q", i, e.Flow.ID(), db.Entries[i].Flow.ID())
+		}
+	}
+
+	dir2 := t.TempDir()
+	if _, err := SaveDatabase(loaded, dir2); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	second := dirContents(t, dir2)
+	if len(second) != len(first) {
+		t.Fatalf("second save produced %d files, want %d", len(second), len(first))
+	}
+	for name, data := range first {
+		got, ok := second[name]
+		if !ok {
+			t.Fatalf("second save is missing %s", name)
+		}
+		if got != data {
+			t.Fatalf("%s differs after save→load→save round trip", name)
+		}
+	}
+}
+
+// TestLoadDatabaseRecordsSkippedEntries pins that the loader reports
+// unreadable and misnamed files as classified failures instead of
+// aborting, and that those failures show up in the Skipped summary.
+func TestLoadDatabaseRecordsSkippedEntries(t *testing.T) {
+	db := smallDatabase(t)
+	dir := t.TempDir()
+	if _, err := SaveDatabase(db, dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	junk := map[string]string{
+		"notalayout.fgl": "junk: not a valid file name shape",
+		"trindade16__mux21__qcaone_use_exact.fgl": "garbage that does not parse as fgl",
+	}
+	for name, data := range junk {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	loaded, err := LoadDatabase(dir, false)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Entries) != len(db.Entries) {
+		t.Fatalf("loaded %d entries, want %d", len(loaded.Entries), len(db.Entries))
+	}
+	if len(loaded.Failures) != len(junk) {
+		t.Fatalf("loaded %d failures, want %d: %+v", len(loaded.Failures), len(junk), loaded.Failures)
+	}
+	if got := loaded.Skipped()[OutcomeError]; got != len(junk) {
+		t.Fatalf("Skipped()[error] = %d, want %d", got, len(junk))
+	}
+	if loaded.SkippedSummary() == "" {
+		t.Fatal("SkippedSummary empty despite failures")
+	}
+}
+
+// TestSaveDatabaseRejectsDiscardedLayouts pins the error path for
+// entries whose layouts were dropped by Limits.DiscardLayouts.
+func TestSaveDatabaseRejectsDiscardedLayouts(t *testing.T) {
+	db := smallDatabase(t)
+	db.Entries[0].Layout = nil
+	if _, err := SaveDatabase(db, t.TempDir()); err == nil {
+		t.Fatal("expected an error saving an entry without a layout")
+	}
+}
+
+func fileNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

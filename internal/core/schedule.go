@@ -48,6 +48,35 @@ type jobResult struct {
 // drains in-flight flows at their next stage boundary, and returns the
 // partial database.
 func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Library, limits Limits, progress func(Progress)) *Database {
+	return GenerateFlows(ctx, benches, Flows(lib), limits, progress)
+}
+
+// campaignLibLabel names the library of a flow list for the campaign
+// info gauge. The value set is bounded: the fixed library catalogue
+// plus "mixed" for cross-library campaigns (the conformance selftest)
+// and "none" for empty flow lists.
+//
+//lint:bounded
+func campaignLibLabel(flows []Flow) string {
+	if len(flows) == 0 {
+		return "none"
+	}
+	id := libID(flows[0].Library)
+	for _, f := range flows[1:] {
+		if libID(f.Library) != id {
+			return "mixed"
+		}
+	}
+	return id
+}
+
+// GenerateFlows is Generate with an explicit flow list: every flow is
+// run over every benchmark, in benchmark-major/flow-minor order. The
+// flows may span multiple gate libraries (the prepared-network cache is
+// keyed per library); Generate delegates here with the full catalogue
+// of a single library. The determinism and cancellation contract is the
+// same as Generate's.
+func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow, limits Limits, progress func(Progress)) *Database {
 	if ctx == nil {
 		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
 		ctx = context.Background()
@@ -62,8 +91,11 @@ func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Libra
 	reg.Help(MetricCampaignWorkers, "Concurrent workers of the current generation campaign.")
 	reg.Help(MetricCampaignInflight, "Flows currently executing.")
 
-	flows := Flows(lib)
+	libLabel := campaignLibLabel(flows)
 	total := len(benches) * len(flows)
+	if total == 0 {
+		return &Database{}
+	}
 	workers := limits.Workers
 	if workers > total {
 		workers = total
@@ -74,7 +106,7 @@ func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Libra
 	reg.Gauge(MetricCampaignWorkers).Set(float64(workers))
 	inflight := reg.Gauge(MetricCampaignInflight)
 	inflight.Set(0)
-	log.Info("campaign start", "library", lib.Name,
+	log.Info("campaign start", "library", libLabel,
 		"benchmarks", len(benches), "flows", total, "workers", workers)
 
 	cache := newCampaignCache()
@@ -150,7 +182,7 @@ func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Libra
 			prevBench = bi
 			reg.Reset(MetricCampaignCurrent)
 			//lint:ignore obslabel info gauge over the fixed benchmark catalogue; Reset above keeps it at one series
-			reg.Gauge(MetricCampaignCurrent, obs.L("set", b.Set), obs.L("benchmark", b.Name), obs.L("library", lib.Name)).Set(1)
+			reg.Gauge(MetricCampaignCurrent, obs.L("set", b.Set), obs.L("benchmark", b.Name), obs.L("library", libLabel)).Set(1)
 		}
 		flow := flows[r.idx%len(flows)]
 		done++
@@ -192,7 +224,7 @@ func Generate(ctx context.Context, benches []bench.Benchmark, lib *gatelib.Libra
 		log.Warn("campaign canceled", "done", done, "total", total)
 		return db
 	}
-	log.Info("campaign done", "library", lib.Name,
+	log.Info("campaign done", "library", libLabel,
 		"layouts", len(db.Entries), "skipped", len(db.Failures))
 	return db
 }

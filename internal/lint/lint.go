@@ -61,6 +61,7 @@ func Analyzers() []*Analyzer {
 		ObsLabel(),
 		PrintBan(),
 		PanicBan(),
+		SeedArg(),
 	}
 }
 

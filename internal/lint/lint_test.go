@@ -127,6 +127,11 @@ func TestPanicBanFixture(t *testing.T) {
 	requireAnalyzerFindings(t, diags, "panicban", 2)
 }
 
+func TestSeedArgFixture(t *testing.T) {
+	diags := runFixture(t, "seedarg")
+	requireAnalyzerFindings(t, diags, "seedarg", 4)
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	diags := runFixture(t, "ignore")
 	// Two panics are suppressed, one stays because the directive names

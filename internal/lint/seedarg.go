@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SeedArg returns the seedarg analyzer: randomness must be explicitly
+// seeded. The conformance harness and the campaign scheduler promise
+// byte-identical results for a given seed, so any code — and especially
+// test helpers — drawing from math/rand's globally-seeded source, or
+// constructing a source from an expression that does not name a seed,
+// silently breaks reproducibility. Deterministic code uses a constant
+// or takes the seed as a parameter whose name says so.
+func SeedArg() *Analyzer {
+	return &Analyzer{
+		Name: "seedarg",
+		Doc:  "randomness must take an explicit seed: no global math/rand source, no anonymous seed expressions",
+		Run:  runSeedArg,
+	}
+}
+
+// globalRandFns are the math/rand package-level functions that draw
+// from the process-global, nondeterministically seeded source.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// seedCtorFns construct a generator or source from a seed argument;
+// that argument must visibly be a seed.
+var seedCtorFns = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeedArg(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		randNames := mathRandImports(f.AST)
+		if len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || !randNames[pkg.Name] {
+				return true
+			}
+			switch {
+			case globalRandFns[sel.Sel.Name]:
+				out = append(out, Diagnostic{
+					Analyzer: "seedarg",
+					Position: f.Fset.Position(call.Pos()),
+					Message: "rand." + sel.Sel.Name + " draws from the global nondeterministic source; " +
+						"construct a generator from an explicit seed instead",
+				})
+			case seedCtorFns[sel.Sel.Name]:
+				for _, arg := range call.Args {
+					if !isExplicitSeed(arg) {
+						out = append(out, Diagnostic{
+							Analyzer: "seedarg",
+							Position: f.Fset.Position(arg.Pos()),
+							Message: "rand." + sel.Sel.Name + " seed is not visibly deterministic; " +
+								"pass a constant or a value whose name contains \"seed\"",
+						})
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mathRandImports returns the local names under which a file imports
+// math/rand or math/rand/v2.
+func mathRandImports(file *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		name := "rand"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		names[name] = true
+	}
+	return names
+}
+
+// isExplicitSeed reports whether an expression visibly denotes a
+// deterministic seed: an integer/constant expression, or a name (or
+// selector/call of a name) containing "seed".
+func isExplicitSeed(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(v.Name), "seed")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(v.Sel.Name), "seed")
+	case *ast.CallExpr:
+		// Conversions and derivations like uint64(seed) or caseSeed(i).
+		for _, arg := range v.Args {
+			if isExplicitSeed(arg) {
+				return true
+			}
+		}
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			return strings.Contains(strings.ToLower(sel.Sel.Name), "seed")
+		}
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			return strings.Contains(strings.ToLower(id.Name), "seed")
+		}
+		return false
+	case *ast.BinaryExpr:
+		return isExplicitSeed(v.X) && isExplicitSeed(v.Y)
+	case *ast.ParenExpr:
+		return isExplicitSeed(v.X)
+	case *ast.UnaryExpr:
+		return isExplicitSeed(v.X)
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+// Package lib is the seedarg golden fixture: randomness must come from
+// an explicitly seeded generator, never the global source or an
+// anonymous seed expression.
+package lib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll draws from the global nondeterministic source.
+func Roll() int {
+	return rand.Intn(6) // want "draws from the global nondeterministic source"
+}
+
+// ShuffleAll uses the global source for shuffling.
+func ShuffleAll(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "draws from the global nondeterministic source"
+}
+
+// NewWallClock seeds from the wall clock — irreproducible.
+func NewWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seed is not visibly deterministic"
+}
+
+// NewFixed seeds with a constant: fine.
+func NewFixed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// NewSeeded takes the seed as a parameter whose name says so: fine.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// NewDerived converts and offsets a seed-named value: fine.
+func NewDerived(caseSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(caseSeed + 1))
+}
+
+// NewOpaque seeds from a value whose name says nothing: flagged.
+func NewOpaque(n int64) *rand.Rand {
+	return rand.New(rand.NewSource(n)) // want "seed is not visibly deterministic"
+}

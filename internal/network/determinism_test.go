@@ -1,0 +1,119 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mixedGateNetwork builds a network exercising every decomposable gate
+// function plus heavy reconvergent fanout, the shape where map-iteration
+// nondeterminism would surface if any transform ranged over a map.
+func mixedGateNetwork() *Network {
+	n := New("determinism")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	d := n.AddPI("d")
+	x := n.AddXor(a, b)
+	y := n.AddXnor(b, c)
+	m := n.AddMaj(x, y, d)
+	na := n.AddNand(a, m)
+	no := n.AddNor(y, d)
+	n.AddPO(n.AddOr(na, no), "f0")
+	n.AddPO(n.AddAnd(m, x), "f1")
+	n.AddPO(n.AddNot(m), "f2")
+	return n
+}
+
+// pipelineFingerprint runs the full library-preparation pipeline (clone,
+// decompose to an AND/OR/NOT basis, substitute fanouts) and renders a
+// canonical fingerprint: the topo-order gate/fanin sequence plus the
+// exhaustive truth table. Any order leak anywhere in the pipeline changes
+// the fingerprint.
+func pipelineFingerprint(t *testing.T, src *Network) string {
+	t.Helper()
+	w := src.Clone()
+	if err := w.Decompose(GateSet{Buf: true, Not: true, And: true, Or: true, Fanout: true}); err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	w.SubstituteFanouts(2)
+	var sb strings.Builder
+	for _, id := range w.MustTopoOrder() {
+		nd := w.Node(id)
+		fmt.Fprintf(&sb, "%d:%s%v;", id, nd.Fn, nd.Fanins)
+	}
+	tt, err := w.TruthTable()
+	if err != nil {
+		t.Fatalf("truth table: %v", err)
+	}
+	for _, row := range tt {
+		for _, v := range row {
+			if v {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// TestPipelineDeterministicRepeatedRuns pins that the clone + prepare +
+// simulate pipeline is byte-stable across repeated runs in one process:
+// truth-table vector layout and node numbering may not depend on map
+// iteration order anywhere along the way. The conformance selftest's
+// clone-then-rerun metamorphic check relies on this.
+func TestPipelineDeterministicRepeatedRuns(t *testing.T) {
+	src := mixedGateNetwork()
+	want := pipelineFingerprint(t, src)
+	for i := 1; i < 20; i++ {
+		if got := pipelineFingerprint(t, src); got != want {
+			t.Fatalf("run %d diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestDecomposeErrorMessageStable pins that the functionally-incomplete
+// error renders the offending gate set in a fixed (gate-code) order
+// rather than map iteration order.
+func TestDecomposeErrorMessageStable(t *testing.T) {
+	set := GateSet{Xor: true, Buf: true, Fanout: true, Const1: true}
+	n := mixedGateNetwork()
+	first := ""
+	for i := 0; i < 50; i++ {
+		err := n.Clone().Decompose(set)
+		if err == nil {
+			t.Fatal("expected decomposition to an incomplete gate set to fail")
+		}
+		if i == 0 {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error message unstable across runs:\n got %q\nwant %q", err.Error(), first)
+		}
+	}
+	want := "[CONST1 BUF XOR FANOUT]"
+	if !strings.Contains(first, want) {
+		t.Fatalf("error %q does not list gates in gate-code order %s", first, want)
+	}
+}
+
+// TestGateFromStringRoundTrip pins the parser over the whole gate
+// catalogue; the scan order is the gate-code order, not map order.
+func TestGateFromStringRoundTrip(t *testing.T) {
+	for g := None; g <= Fanout; g++ {
+		got, err := GateFromString(g.String())
+		if err != nil {
+			t.Fatalf("GateFromString(%s): %v", g, err)
+		}
+		if got != g {
+			t.Fatalf("GateFromString(%s) = %s", g, got)
+		}
+	}
+	if _, err := GateFromString("BOGUS"); err == nil {
+		t.Fatal("expected an error for an unknown gate name")
+	}
+}

@@ -52,9 +52,11 @@ func (g Gate) String() string {
 }
 
 // GateFromString parses a canonical gate name as produced by Gate.String.
+// The scan is over the fixed gate-code order, not map iteration order, so
+// parsing is deterministic even if gate names were ever aliased.
 func GateFromString(s string) (Gate, error) {
-	for g, n := range gateNames {
-		if n == s {
+	for g := None; g <= Fanout; g++ {
+		if gateNames[g] == s {
 			return g, nil
 		}
 	}

@@ -169,10 +169,13 @@ func newDecomposer(n *Network, set GateSet) (*decomposer, error) {
 	return d, nil
 }
 
+// setNames lists the supported gate names in gate-code order. Iterating
+// the map directly would leak map iteration order into Decompose error
+// messages, making otherwise-identical runs diverge byte-for-byte.
 func setNames(s GateSet) []string {
 	var out []string
-	for g, ok := range s {
-		if ok {
+	for g := None; g <= Fanout; g++ {
+		if s[g] {
 			out = append(out, g.String())
 		}
 	}

@@ -34,6 +34,13 @@ type Options struct {
 	Topo layout.Topology
 	// Timeout bounds the total search time (default 10s).
 	Timeout time.Duration
+	// MaxSteps bounds the total number of backtracking steps across all
+	// candidate sizes (0 = unlimited). Unlike Timeout, exhausting the
+	// step budget is deterministic: the same network and options always
+	// explore the same search prefix regardless of machine load, so a
+	// step-bounded search either always finds the same layout or always
+	// reports ErrTimeout.
+	MaxSteps int
 	// MaxArea stops the enumeration once w*h exceeds it (default 144).
 	MaxArea int
 	// BorderIO requires PI and PO tiles to lie on the bounding-box
@@ -94,7 +101,19 @@ func Place(n *network.Network, opts Options) (*layout.Layout, error) {
 	deadline := time.Now().Add(opts.timeout())
 	timedOut := false
 
+	// The step budget is shared across all candidate sizes so the total
+	// effort — not the per-size effort — is what the caller bounds.
+	var budget *int
+	if opts.MaxSteps > 0 {
+		b := opts.MaxSteps
+		budget = &b
+	}
+
 	for _, dim := range sizes(len(nodes), opts.maxArea()) {
+		if budget != nil && *budget <= 0 {
+			timedOut = true
+			break
+		}
 		if time.Now().After(deadline) {
 			timedOut = true
 			break
@@ -106,6 +125,7 @@ func Place(n *network.Network, opts Options) (*layout.Layout, error) {
 			h:        dim.h,
 			opts:     opts,
 			deadline: deadline,
+			budget:   budget,
 		}
 		l, found := s.run()
 		if found {
@@ -162,6 +182,10 @@ type searcher struct {
 	opts     Options
 	deadline time.Time
 
+	// budget, when non-nil, is the remaining deterministic step budget
+	// shared with the other candidate sizes of the same Place call.
+	budget *int
+
 	l        *layout.Layout
 	pos      map[network.ID]layout.Coord
 	steps    int
@@ -180,6 +204,13 @@ func (s *searcher) run() (*layout.Layout, bool) {
 
 func (s *searcher) checkDeadline() bool {
 	s.steps++
+	if s.budget != nil {
+		*s.budget--
+		if *s.budget <= 0 {
+			s.timedOut = true
+			return true
+		}
+	}
 	if s.steps%256 == 0 && time.Now().After(s.deadline) {
 		s.timedOut = true
 	}

@@ -159,3 +159,47 @@ func TestSizesAscendingArea(t *testing.T) {
 		}
 	}
 }
+
+// TestPlaceMaxStepsDeterministic pins the deterministic step budget:
+// a tiny budget always reports ErrTimeout, a generous one always finds
+// the same layout, and both behave identically across repeated runs —
+// the property the conformance selftest needs for worker-count-invariant
+// reports.
+func TestPlaceMaxStepsDeterministic(t *testing.T) {
+	n := mux21()
+	prep, err := gatelib.QCAOne.Prepare(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := Place(prep, Options{Timeout: time.Hour, MaxSteps: 5}); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("run %d: tiny step budget: got %v, want ErrTimeout", i, err)
+		}
+	}
+	var want string
+	for i := 0; i < 3; i++ {
+		l, err := Place(prep, Options{Timeout: time.Hour, MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("run %d: generous step budget: %v", i, err)
+		}
+		got := fglFingerprint(t, l)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d produced a different layout under the same step budget", i)
+		}
+	}
+}
+
+// fglFingerprint renders a layout canonically for equality checks.
+func fglFingerprint(t *testing.T, l *layout.Layout) string {
+	t.Helper()
+	var sb []byte
+	for _, c := range l.Coords() {
+		tl := l.At(c)
+		sb = append(sb, []byte(c.String()+tl.Fn.String()+tl.Name+";")...)
+	}
+	return string(sb)
+}

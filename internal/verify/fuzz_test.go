@@ -1,0 +1,78 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/fgl"
+	"repro/internal/verilog"
+)
+
+// The realistic seed inputs (a mux21 layout produced by the ortho flow,
+// paired with matching and mismatching Verilog) live as static corpus
+// files under testdata/fuzz/ — computing them here with ortho.Place
+// would stall the fuzz workers, which re-run the seed setup on every
+// process restart.
+
+// FuzzExtractNetwork checks that netlist extraction never panics on any
+// parseable layout, and that on DRC-clean layouts the extracted network
+// is equivalent to the layout it came from (the extraction/simulation
+// agreement property the conformance oracle relies on).
+func FuzzExtractNetwork(f *testing.F) {
+	f.Add(`<fgl><version>1.0</version><layout><name>x</name><topology>cartesian</topology><size><x>1</x><y>1</y><z>1</z></size><clocking><name>2DDWave</name></clocking></layout></fgl>`)
+	f.Add("<fgl>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := fgl.ReadString(src)
+		if err != nil {
+			return
+		}
+		if l.NumTiles() > 512 || l.Area() > 16384 {
+			return // keep per-input work bounded
+		}
+		n, err := ExtractNetwork(l)
+		if err != nil {
+			return
+		}
+		if n.NumPIs() > 10 {
+			return // truth-table equivalence is exponential in PIs
+		}
+		if !CheckDesignRules(l).OK() {
+			return
+		}
+		eq, err := Equivalent(l, n)
+		if err != nil {
+			t.Fatalf("layout not equivalent to its own extraction: %v", err)
+		}
+		if !eq {
+			t.Fatal("DRC-clean layout disagrees with its own extracted network")
+		}
+	})
+}
+
+// FuzzEquivalent checks the differential entry point never panics when
+// fed arbitrary parseable layout/network pairs — the exact situation
+// `mntbench verify` is in with user-supplied files.
+func FuzzEquivalent(f *testing.F) {
+	f.Add("", "")
+	f.Add("<fgl>", "module m(a, f); input a; output f; assign f = ~a; endmodule")
+	f.Fuzz(func(t *testing.T, fglSrc, vSrc string) {
+		l, err := fgl.ReadString(fglSrc)
+		if err != nil {
+			return
+		}
+		if l.NumTiles() > 512 || l.Area() > 16384 {
+			return
+		}
+		ref, err := verilog.ParseString(vSrc)
+		if err != nil {
+			return
+		}
+		if ref.NumPIs() > 10 {
+			return
+		}
+		// Neither outcome is wrong for arbitrary pairs — the property is
+		// "no panic, typed errors only".
+		_, _ = Equivalent(l, ref)
+		_ = Check(l, ref)
+	})
+}
