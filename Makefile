@@ -5,7 +5,8 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet lint bench bench-all trace-smoke selftest fuzz-smoke
+.PHONY: all build test race check fmt vet lint bench bench-all trace-smoke selftest fuzz-smoke \
+	perfsnap perfdiff perfsnap-smoke
 
 all: check
 
@@ -17,7 +18,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route \
-		./internal/conformance ./internal/verify
+		./internal/conformance ./internal/verify ./internal/perf
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,8 +35,11 @@ check: build vet fmt lint test race selftest
 # selftest is the bounded conformance smoke (~30s): seeded random
 # networks through every registered flow with the full invariant
 # battery; any hard-invariant violation fails the gate. See
-# docs/CONFORMANCE.md.
+# docs/CONFORMANCE.md. The trap removes the repro scratch directory
+# even when the gate fails, so a red run never leaves the tree dirty
+# (the shrunk repro JSON is also printed inline on failure).
 selftest:
+	@trap 'rm -rf selftest-repros' EXIT; \
 	$(GO) run ./cmd/mntbench selftest -seed 1 -n 6 -q -repro-dir selftest-repros
 
 # fuzz-smoke gives each native fuzz target a short budget; crashers
@@ -49,7 +53,10 @@ fuzz-smoke:
 
 # bench runs one campaign per worker count (serial and all-cores) as a
 # scheduler smoke test plus the span/tracing overhead microbenchmark;
-# bench-all runs the full experiment suite E1-E7.
+# bench-all runs the full experiment suite E1-E7. To record a run as a
+# point on the committed performance trajectory, use `make perfsnap`
+# (and `make perfdiff` to compare two points) instead of eyeballing
+# -bench output.
 bench:
 	$(GO) test -bench='^BenchmarkCampaign$$' -benchtime=1x -run='^$$' .
 	$(GO) test -bench='^BenchmarkSpanOverhead$$' -run='^$$' ./internal/obs
@@ -58,9 +65,38 @@ bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # trace-smoke runs a tiny campaign with -trace and validates that the
-# exported Chrome trace-event file decodes.
+# exported Chrome trace-event file decodes. The trap removes the trace
+# file even when a step fails so the tree stays clean for gofmt-style
+# checks.
 trace-smoke:
+	@trap 'rm -f mntbench-trace-smoke.json' EXIT; \
 	$(GO) run ./cmd/mntbench table -set Trindade16 -name mux21 -q \
-		-exact-timeout 1 -trace mntbench-trace-smoke.json >/dev/null
+		-exact-timeout 1 -trace mntbench-trace-smoke.json >/dev/null && \
 	$(GO) run ./cmd/mntbench tracecheck mntbench-trace-smoke.json
-	rm -f mntbench-trace-smoke.json
+
+# perfsnap runs the full experiment suite and writes the next
+# BENCH_<n>.json performance snapshot (commit it: the files are the
+# repo's perf trajectory). perfdiff compares two snapshots and exits
+# nonzero on regression:
+#   make perfdiff OLD=BENCH_1.json NEW=BENCH_2.json
+# See docs/OBSERVABILITY.md, "Performance snapshots & runtime telemetry".
+perfsnap:
+	$(GO) run ./cmd/mntbench perfsnap
+
+OLD ?= BENCH_1.json
+NEW ?= BENCH_2.json
+perfdiff:
+	$(GO) run ./cmd/mntbench perfdiff $(OLD) $(NEW)
+
+# perfsnap-smoke is the bounded CI variant: one benchmark iteration per
+# experiment over the cheap experiments, schema-validated with perfdiff.
+# The output path is overridable so CI can keep the JSON as a build
+# artifact; the default run cleans up after itself.
+PERFSNAP_SMOKE_OUT ?= mntbench-perfsnap-smoke.json
+perfsnap-smoke:
+	@if [ "$(PERFSNAP_SMOKE_OUT)" = "mntbench-perfsnap-smoke.json" ]; then \
+		trap 'rm -f mntbench-perfsnap-smoke.json' EXIT; \
+	fi; \
+	$(GO) run ./cmd/mntbench perfsnap -benchtime 1x \
+		-experiments E3,E4,E6,E8 -out "$(PERFSNAP_SMOKE_OUT)" && \
+	$(GO) run ./cmd/mntbench perfdiff -schema-check "$(PERFSNAP_SMOKE_OUT)"

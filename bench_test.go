@@ -9,216 +9,56 @@
 //	E6  BenchmarkOrthoScaling    — runtime column t across circuit sizes
 //	E7  BenchmarkCampaign        — scheduler throughput, workers=1 vs NumCPU
 //
-// Each benchmark iteration regenerates its artifact from scratch and
-// reports the headline quantities as custom metrics. The default scope
-// is the small suites (Trindade16 / Fontes18) so `go test -bench=.`
-// terminates in minutes; set MNTBENCH_FULL=1 to include the large
-// ISCAS85/EPFL circuits like the paper's full table (slow: tens of
-// minutes, several GB of memory).
+// The benchmark bodies live in internal/perf/suite so that `mntbench
+// perfsnap` can run the identical measurements programmatically and
+// write BENCH_<n>.json trajectory snapshots (see docs/OBSERVABILITY.md,
+// "Performance snapshots"); the functions here are thin `go test
+// -bench` entry points around them. Each benchmark iteration
+// regenerates its artifact from scratch and reports the headline
+// quantities as custom metrics. The default scope is the small suites
+// (Trindade16 / Fontes18) so `go test -bench=.` terminates in minutes;
+// set MNTBENCH_FULL=1 to include the large ISCAS85/EPFL circuits like
+// the paper's full table (slow: tens of minutes, several GB of memory).
 package repro
 
 import (
 	"context"
 	"fmt"
-	"net/http"
-	"net/http/httptest"
-	"os"
 	"runtime"
 	"testing"
-	"time"
 
-	"repro/internal/bench"
-	"repro/internal/clocking"
-	"repro/internal/core"
 	"repro/internal/gatelib"
-	"repro/internal/physical/hexagonal"
-	"repro/internal/physical/inord"
-	"repro/internal/physical/ortho"
-	"repro/internal/physical/postlayout"
-	"repro/internal/server"
+	"repro/internal/perf/suite"
 )
 
-func fullRun() bool { return os.Getenv("MNTBENCH_FULL") == "1" }
-
-func tableBenches(b *testing.B) []bench.Benchmark {
-	b.Helper()
-	var out []bench.Benchmark
-	for _, bm := range bench.All() {
-		if !fullRun() && bm.PubNodes > 120 {
-			continue
-		}
-		out = append(out, bm)
-	}
-	return out
-}
-
-func tableLimits() core.Limits {
-	return core.Limits{
-		ExactTimeout: 2 * time.Second,
-		NanoTimeout:  3 * time.Second,
-		PLOTimeout:   10 * time.Second,
-	}
-}
-
-// benchTable generates the Table I rows for one library and reports the
-// aggregate area and mean ΔA.
-func benchTable(b *testing.B, lib *gatelib.Library) {
-	benches := tableBenches(b)
-	for i := 0; i < b.N; i++ {
-		db := core.Generate(context.Background(), benches, lib, tableLimits(), nil)
-		rows := db.TableI(benches, lib)
-		if len(rows) == 0 {
-			b.Fatal("no table rows")
-		}
-		totalArea, deltaSum := 0, 0.0
-		for _, r := range rows {
-			totalArea += r.Area
-			deltaSum += r.DeltaA
-		}
-		b.ReportMetric(float64(totalArea), "tiles-total")
-		b.ReportMetric(deltaSum/float64(len(rows)), "ΔA-mean-%")
-		b.ReportMetric(float64(len(rows)), "functions")
-	}
-}
-
 // BenchmarkTableIQCAOne regenerates the QCA ONE half of Table I (E1).
-func BenchmarkTableIQCAOne(b *testing.B) { benchTable(b, gatelib.QCAOne) }
+func BenchmarkTableIQCAOne(b *testing.B) { suite.BenchTableI(context.Background(), b, gatelib.QCAOne) }
 
 // BenchmarkTableIBestagon regenerates the Bestagon half of Table I (E2).
-func BenchmarkTableIBestagon(b *testing.B) { benchTable(b, gatelib.Bestagon) }
+func BenchmarkTableIBestagon(b *testing.B) {
+	suite.BenchTableI(context.Background(), b, gatelib.Bestagon)
+}
 
 // BenchmarkDeltaA measures the best-vs-baseline area improvement that
 // MNT Bench's optimal tool combinations deliver (E3, the ΔA column).
-func BenchmarkDeltaA(b *testing.B) {
-	benches := bench.BySet("Trindade16")
-	for i := 0; i < b.N; i++ {
-		db := core.Generate(context.Background(), benches, gatelib.QCAOne, tableLimits(), nil)
-		improved, total := 0, 0
-		worst := 0.0
-		for _, bm := range benches {
-			best := db.Best(bm.Set, bm.Name, gatelib.QCAOne)
-			base := db.Baseline(bm.Set, bm.Name, gatelib.QCAOne)
-			if best == nil || base == nil {
-				continue
-			}
-			total++
-			if best.Area < base.Area {
-				improved++
-			}
-			d := (float64(best.Area) - float64(base.Area)) / float64(base.Area) * 100
-			if d < worst {
-				worst = d
-			}
-		}
-		b.ReportMetric(float64(improved), "improved")
-		b.ReportMetric(float64(total), "functions")
-		b.ReportMetric(worst, "bestΔA-%")
-	}
-}
+func BenchmarkDeltaA(b *testing.B) { suite.BenchDeltaA(context.Background(), b) }
 
 // BenchmarkWebInterface exercises the Figure 1 web interface (E4):
 // filtered catalogue queries and .fgl downloads against a live server.
-func BenchmarkWebInterface(b *testing.B) {
-	benches := bench.BySet("Trindade16")[:3]
-	db := core.Generate(context.Background(), benches, gatelib.QCAOne, tableLimits(), nil)
-	srv := httptest.NewServer(server.New(db))
-	defer srv.Close()
-	paths := []string{
-		"/api/benchmarks",
-		"/api/benchmarks?library=QCA+ONE&best=1",
-		"/api/benchmarks?algorithm=ortho",
-		"/api/filters",
-		"/",
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := paths[i%len(paths)]
-		resp, err := http.Get(srv.URL + p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("%s: status %d", p, resp.StatusCode)
-		}
-		resp.Body.Close()
-	}
-}
+func BenchmarkWebInterface(b *testing.B) { suite.BenchWebInterface(context.Background(), b) }
 
 // BenchmarkRouterBestagon reproduces the §II claim that the best
 // Bestagon flow for the EPFL router function needs a small fraction of
 // the plain hexagonalization baseline's area (paper: 23.6% of [7]) (E5).
-func BenchmarkRouterBestagon(b *testing.B) {
-	bm, err := bench.ByName("EPFL", "router")
-	if err != nil {
-		b.Fatal(err)
-	}
-	n := bm.Build()
-	prep, err := gatelib.Bestagon.Prepare(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
-		baseCart, err := ortho.Place(prep, ortho.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		baseline, err := hexagonal.Map(baseCart)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cart, err := ortho.Place(prep, ortho.Options{InputOrder: inord.BarycenterOrder(prep)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		hex, err := hexagonal.Map(cart)
-		if err != nil {
-			b.Fatal(err)
-		}
-		opt, err := postlayout.Optimize(hex, postlayout.Options{MaxPasses: 2, Timeout: 60 * time.Second})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ratio := float64(opt.Area()) / float64(baseline.Area()) * 100
-		b.ReportMetric(float64(baseline.Area()), "baseline-tiles")
-		b.ReportMetric(float64(opt.Area()), "optimized-tiles")
-		b.ReportMetric(ratio, "area-%of-baseline")
-	}
-}
+func BenchmarkRouterBestagon(b *testing.B) { suite.BenchRouterBestagon(b) }
 
 // BenchmarkOrthoScaling measures ortho's runtime across circuit sizes
 // (E6, the t column): the paper reports sub-second runtimes for the
 // scalable flow on every benchmark.
 func BenchmarkOrthoScaling(b *testing.B) {
-	cases := []struct{ set, name string }{
-		{"Trindade16", "mux21"},
-		{"Fontes18", "parity"},
-		{"ISCAS85", "c432"},
-	}
-	if fullRun() {
-		cases = append(cases,
-			struct{ set, name string }{"ISCAS85", "c5315"},
-			struct{ set, name string }{"EPFL", "sin"},
-		)
-	}
-	for _, c := range cases {
-		bm, err := bench.ByName(c.set, c.name)
-		if err != nil {
-			b.Fatal(err)
-		}
-		n := bm.Build()
-		prep, err := gatelib.QCAOne.Prepare(n)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(c.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				l, err := ortho.Place(prep, ortho.Options{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(l.Area()), "tiles")
-			}
-		})
+	for _, c := range suite.OrthoCases(suite.FullRun()) {
+		c := c
+		b.Run(c.Name, func(b *testing.B) { suite.BenchOrthoCase(b, c) })
 	}
 }
 
@@ -226,31 +66,14 @@ func BenchmarkOrthoScaling(b *testing.B) {
 // versus all CPU cores over the Trindade16 suite (E7). Beyond the
 // speedup it asserts the tentpole determinism guarantee: both worker
 // counts must render byte-identical Table I text once the measured
-// wall-clock runtime column is zeroed (timing is a measurement, not a
-// result; everything else — areas, algorithms, schemes, ΔA — must
-// match exactly).
+// wall-clock runtime column is zeroed (the suite body zeroes it before
+// rendering).
 func BenchmarkCampaign(b *testing.B) {
-	benches := bench.BySet("Trindade16")
 	tables := make(map[int]string)
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			limits := tableLimits()
-			limits.Workers = workers
-			limits.DiscardLayouts = true
-			for i := 0; i < b.N; i++ {
-				db := core.Generate(context.Background(), benches, gatelib.QCAOne, limits, nil)
-				rows := db.TableI(benches, gatelib.QCAOne)
-				if len(rows) != len(benches) {
-					b.Fatalf("table rows = %d, want %d", len(rows), len(benches))
-				}
-				flows := len(db.Entries) + len(db.Failures)
-				b.ReportMetric(float64(flows)/b.Elapsed().Seconds()*float64(b.N), "flows/s")
-				for j := range rows {
-					rows[j].RuntimeSec = 0
-				}
-				tables[workers] = core.RenderTableI(rows, gatelib.QCAOne)
-			}
+			tables[workers] = suite.BenchCampaign(context.Background(), b, workers)
 		})
 	}
 	if serial, parallel := tables[1], tables[runtime.NumCPU()]; serial != "" && parallel != "" && serial != parallel {
@@ -261,18 +84,4 @@ func BenchmarkCampaign(b *testing.B) {
 
 // BenchmarkExactMux21 measures the exact search on the paper's smallest
 // showcase function (Table I reports < 1 s and area 12 for mux21).
-func BenchmarkExactMux21(b *testing.B) {
-	bm, err := bench.ByName("Trindade16", "mux21")
-	if err != nil {
-		b.Fatal(err)
-	}
-	limits := core.Limits{ExactTimeout: 10 * time.Second}
-	flow := core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoExact}
-	for i := 0; i < b.N; i++ {
-		e, err := core.RunFlow(context.Background(), bm, flow, limits)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(e.Area), "tiles")
-	}
-}
+func BenchmarkExactMux21(b *testing.B) { suite.BenchExactMux21(context.Background(), b) }

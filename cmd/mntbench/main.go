@@ -12,6 +12,8 @@
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
 //	mntbench verify   [-layout FILE.fgl] [-net FILE.v]
+//	mntbench perfsnap [-benchtime 1s] [-experiments LIST] [-profile-dir DIR] [-out FILE]
+//	mntbench perfdiff [-threshold metric=rel,...] OLD.json NEW.json
 //	mntbench selftest [-seed N] [-n N] [-workers N] [-flows LIST] [-json] [-repro-dir DIR] [-replay FILE]
 package main
 
@@ -68,6 +70,10 @@ func main() {
 		err = cmdDraw(os.Args[2:])
 	case "tracecheck":
 		err = cmdTraceCheck(os.Args[2:])
+	case "perfsnap":
+		err = cmdPerfSnap(os.Args[2:])
+	case "perfdiff":
+		err = cmdPerfDiff(os.Args[2:])
 	case "selftest":
 		err = cmdSelftest(os.Args[2:])
 	case "-h", "--help", "help":
@@ -99,6 +105,8 @@ commands:
   simulate   bistable QCA cell simulation of a .fgl layout
   draw       render a .fgl layout as ASCII art or SVG
   tracecheck validate a -trace Chrome trace-event file
+  perfsnap   run the E1-E7 experiment suite and write a BENCH_<n>.json snapshot
+  perfdiff   compare two snapshots; exits nonzero on performance regression
   selftest   property-based conformance harness over every registered flow`)
 }
 
@@ -280,6 +288,7 @@ func cmdServe(args []string) error {
 	reverify := fs.Bool("reverify", false, "with -dir: re-establish functional equivalence on load")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	tracesOn := fs.Bool("traces", false, "retain request/flow traces and mount /debug/traces")
+	perfDir := fs.String("perf-dir", ".", "directory whose latest BENCH_<n>.json /debug/perf serves")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -292,7 +301,7 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []server.Option{}
+	opts := []server.Option{server.WithPerfDir(*perfDir)}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}

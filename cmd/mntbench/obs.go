@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/perf"
 )
 
 // obsFlags bundles the observability flags shared by the long-running
@@ -51,9 +52,18 @@ func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore) (contex
 		ctx = obs.WithTraces(ctx, traces)
 	}
 	if *o.metricsAddr != "" {
+		// The collector keeps the mntbench_go_* runtime gauges fresh for
+		// the whole campaign; scrapes additionally resample so exported
+		// values are never stale. Process-lifetime: no Stop needed.
+		obs.StartRuntimeCollector(reg, 10*time.Second)
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.MetricsHandler())
+		metricsHandler := reg.MetricsHandler()
+		mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			obs.UpdateRuntimeGauges(reg)
+			metricsHandler.ServeHTTP(w, r)
+		}))
 		mux.HandleFunc("/healthz", obs.Healthz)
+		mux.Handle("/debug/perf", perf.Handler("."))
 		if traces != nil {
 			mux.Handle("/debug/traces", traces.Handler())
 			mux.Handle("/debug/traces/", traces.Handler())

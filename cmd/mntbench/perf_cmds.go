@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/perf/suite"
+)
+
+// cmdPerfSnap runs the E1–E7 experiment suite programmatically and
+// writes a schema-versioned, environment-stamped BENCH_<n>.json
+// performance snapshot — one point on the repository's perf trajectory.
+// See docs/OBSERVABILITY.md, "Performance snapshots & runtime
+// telemetry".
+func cmdPerfSnap(args []string) error {
+	fs := flag.NewFlagSet("perfsnap", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+	out := fs.String("out", "", "write the snapshot to this file instead of the next BENCH_<n>.json")
+	benchtime := fs.String("benchtime", "1s", "testing benchtime per experiment (e.g. 1x for a bounded smoke run)")
+	only := fs.String("experiments", "", "comma-separated experiment IDs to run (prefix match: E6 covers E6/*; empty = all)")
+	profileDir := fs.String("profile-dir", "", "also write per-experiment CPU and heap profiles into this directory")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := perf.Options{
+		BenchTime:  *benchtime,
+		Only:       *only,
+		ProfileDir: *profileDir,
+		Now:        time.Now(),
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "perfsnap:", line) }
+	}
+	snap, err := perf.Collect(context.Background(), suite.Experiments(), opts)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		if path, err = perf.NextSnapshotPath(*dir); err != nil {
+			return err
+		}
+	}
+	data, err := snap.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(snap.Summary())
+	fmt.Printf("wrote %s (%d experiments)\n", path, len(snap.Results))
+	return nil
+}
+
+// cmdPerfDiff compares two performance snapshots and exits nonzero on
+// regression — the seam CI and hot-path PRs assert against. With
+// -schema-check it instead validates a single snapshot file.
+func cmdPerfDiff(args []string) error {
+	fs := flag.NewFlagSet("perfdiff", flag.ExitOnError)
+	thresholdFlag := fs.String("threshold", "", `per-metric relative thresholds, "metric=rel,..." overlaid on the defaults (ns_per_op=0.3, allocs_per_op=0.1, bytes_per_op=0.15); negative values guard throughput metrics against decreases; "none" disables failing entirely`)
+	verbose := fs.Bool("v", false, "also print unchanged and unguarded metrics")
+	schemaCheck := fs.Bool("schema-check", false, "validate one snapshot file instead of diffing two")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schemaCheck {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("perfdiff: usage: mntbench perfdiff -schema-check FILE.json")
+		}
+		snap, err := readSnapshot(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok — schema %d, %d experiments, env %s\n",
+			fs.Arg(0), snap.Schema, len(snap.Results), snap.Env.String())
+		return nil
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("perfdiff: usage: mntbench perfdiff [-threshold ...] OLD.json NEW.json")
+	}
+	th, err := perf.ParseThresholds(*thresholdFlag)
+	if err != nil {
+		return err
+	}
+	oldSnap, err := readSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := perf.Diff(oldSnap, newSnap, th)
+	fmt.Print(rep.Text(*verbose))
+	if rep.Failed() {
+		return fmt.Errorf("performance regression: %s is worse than %s", fs.Arg(1), fs.Arg(0))
+	}
+	return nil
+}
+
+func readSnapshot(path string) (*perf.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := perf.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}

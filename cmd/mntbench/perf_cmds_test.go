@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// writeTestSnapshot marshals a minimal snapshot to path with the given
+// E1 wall time.
+func writeTestSnapshot(t *testing.T, path string, nsPerOp float64) {
+	t.Helper()
+	s := &perf.Snapshot{
+		Schema: perf.SchemaVersion,
+		Env:    perf.Fingerprint(),
+		Results: []perf.Result{{
+			ID: "E1", Name: "TableIQCAOne", Iterations: 3,
+			NsPerOp: nsPerOp, AllocsPerOp: 1000, BytesPerOp: 50000,
+			Metrics: map[string]float64{"tiles-total": 4242},
+		}},
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerfDiffRegression pins the acceptance criterion: an injected
+// wall-time regression makes `mntbench perfdiff` exit nonzero.
+func TestPerfDiffRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_1.json")
+	newPath := filepath.Join(dir, "BENCH_2.json")
+	writeTestSnapshot(t, oldPath, 1e9)
+	writeTestSnapshot(t, newPath, 2e9) // +100% wall time, far past the 30% default
+
+	out, err := captureStdout(t, func() error {
+		return cmdPerfDiff([]string{oldPath, newPath})
+	})
+	if err == nil {
+		t.Fatalf("perfdiff accepted a 2x regression:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("error = %v, want a regression message", err)
+	}
+	if !strings.Contains(out, "regressed") || !strings.Contains(out, "ns_per_op") {
+		t.Errorf("report does not name the regressed metric:\n%s", out)
+	}
+
+	// The same pair in the improving direction passes.
+	out, err = captureStdout(t, func() error {
+		return cmdPerfDiff([]string{newPath, oldPath})
+	})
+	if err != nil {
+		t.Fatalf("perfdiff rejected an improvement: %v\n%s", err, out)
+	}
+
+	// A custom threshold loosens the gate.
+	if _, err := captureStdout(t, func() error {
+		return cmdPerfDiff([]string{"-threshold", "ns_per_op=1.5", oldPath, newPath})
+	}); err != nil {
+		t.Errorf("perfdiff with ns_per_op=1.5 should pass: %v", err)
+	}
+}
+
+func TestPerfDiffSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	writeTestSnapshot(t, path, 1e9)
+	out, err := captureStdout(t, func() error {
+		return cmdPerfDiff([]string{"-schema-check", path})
+	})
+	if err != nil {
+		t.Fatalf("schema-check: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok — schema 1") {
+		t.Errorf("schema-check output:\n%s", out)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "env": {}, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdPerfDiff([]string{"-schema-check", path})
+	}); err == nil {
+		t.Error("schema-check accepted a bad snapshot")
+	}
+}
+
+// TestPerfSnapBounded runs a real bounded snapshot over the cheapest
+// experiment and validates the written file end to end (the same shape
+// as the CI perfsnap-smoke step).
+func TestPerfSnapBounded(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return cmdPerfSnap([]string{"-dir", dir, "-benchtime", "1x", "-experiments", "E6/mux21", "-q"})
+	})
+	if err != nil {
+		t.Fatalf("perfsnap: %v\n%s", err, out)
+	}
+	path := filepath.Join(dir, "BENCH_1.json")
+	if !strings.Contains(out, path) {
+		t.Errorf("perfsnap did not report %s:\n%s", path, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := perf.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 || snap.Results[0].ID != "E6/mux21" {
+		t.Fatalf("results = %+v", snap.Results)
+	}
+	r := snap.Results[0]
+	if r.Error != "" || r.Iterations < 1 || r.NsPerOp <= 0 {
+		t.Errorf("E6/mux21 = %+v", r)
+	}
+	if _, ok := r.Metrics["tiles"]; !ok {
+		t.Errorf("custom tiles metric missing: %v", r.Metrics)
+	}
+	if snap.CreatedAt == "" || snap.BenchTime != "1x" {
+		t.Errorf("snapshot stamps: created_at=%q benchtime=%q", snap.CreatedAt, snap.BenchTime)
+	}
+
+	// A second run lands on BENCH_2.json.
+	if _, err := captureStdout(t, func() error {
+		return cmdPerfSnap([]string{"-dir", dir, "-benchtime", "1x", "-experiments", "E6/mux21", "-q"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Errorf("second snapshot: %v", err)
+	}
+
+	// And the freshly produced snapshot diffs cleanly against itself.
+	if _, err := captureStdout(t, func() error {
+		return cmdPerfDiff([]string{path, path})
+	}); err != nil {
+		t.Errorf("self-diff: %v", err)
+	}
+}

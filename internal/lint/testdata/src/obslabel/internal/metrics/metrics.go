@@ -59,6 +59,26 @@ func RecordAnnotations(path string) {
 	span.End()
 }
 
+// RecordRuntime mirrors the mntbench_go_* runtime-telemetry gauges:
+// label-free gauges are always fine, a bounded commit label passes via
+// the lint:bounded declaration, and attaching an unbounded value to a
+// runtime gauge is flagged like any other series.
+func RecordRuntime(reg *obs.Registry, hostname string) {
+	reg.Gauge("mntbench_go_goroutines").Set(8)
+	reg.Gauge("mntbench_go_heap_live_bytes").Set(1 << 20)
+	reg.Counter("mntbench_go_runtime_reads_total").Inc()
+	reg.Gauge("mntbench_go_build_info", obs.L("commit", commitLabel())).Set(1)
+	reg.Gauge("mntbench_go_goroutines", obs.L("host", hostname)).Set(8) // want "metric label value hostname is not a literal, named constant, or declared bounded set"
+}
+
+// commitLabel returns a short VCS revision; the set of values per build
+// is a single string, so the cardinality is bounded.
+//
+//lint:bounded
+func commitLabel() string {
+	return "deadbeef"
+}
+
 // RecordComposite covers direct Label literals.
 func RecordComposite(reg *obs.Registry, user string) {
 	reg.Counter("users_total", obs.Label{Key: "user", Value: user}).Inc() // want "metric label value user is not a literal, named constant, or declared bounded set"

@@ -20,23 +20,75 @@ func goVersionLabel() string { return runtime.Version() }
 // non-released builds, "unknown" when the binary carries none).
 //
 //lint:bounded
-func moduleVersionLabel() string {
+func moduleVersionLabel() string { return ModuleVersion() }
+
+// ModuleVersion returns the main module's version from the embedded
+// build info ("(devel)" for non-released builds, "unknown" when the
+// binary carries none).
+func ModuleVersion() string {
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
 		return bi.Main.Version
 	}
 	return "unknown"
 }
 
+// VCSInfo is the version-control stamp the Go toolchain embeds into
+// binaries built inside a checkout: the commit hash, its author time
+// (RFC 3339), and whether the working tree was dirty. Zero-valued when
+// the binary was built outside version control (go run of a file, test
+// binaries in module cache, ...).
+type VCSInfo struct {
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// VCS extracts the version-control stamp from the running binary's
+// build info.
+func VCS() VCSInfo {
+	var v VCSInfo
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.Time = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+}
+
+// commitLabel is one fixed value per binary: the (possibly absent) VCS
+// revision it was built from.
+//
+//lint:bounded
+func commitLabel() string {
+	if rev := VCS().Revision; rev != "" {
+		return rev
+	}
+	return "unknown"
+}
+
 // RegisterBuildInfo registers the mntbench_build_info gauge on reg (nil
-// selects the default registry): value 1 with the Go toolchain and
-// module version as labels. Safe to call repeatedly — the family is
-// reset first, so the gauge always exposes exactly one series; tests
-// can likewise clear it with reg.Reset(obs.BuildInfoMetric).
+// selects the default registry): value 1 with the Go toolchain, module
+// version, and VCS commit as labels. Safe to call repeatedly — the
+// family is reset first, so the gauge always exposes exactly one
+// series; tests can likewise clear it with
+// reg.Reset(obs.BuildInfoMetric).
 func RegisterBuildInfo(reg *Registry) {
 	if reg == nil {
 		reg = Default()
 	}
 	reg.Help(BuildInfoMetric, "Build information of the running binary (info gauge, value 1).")
 	reg.Reset(BuildInfoMetric)
-	reg.Gauge(BuildInfoMetric, L("go", goVersionLabel()), L("module", moduleVersionLabel())).Set(1)
+	reg.Gauge(BuildInfoMetric,
+		L("go", goVersionLabel()),
+		L("module", moduleVersionLabel()),
+		L("commit", commitLabel())).Set(1)
 }

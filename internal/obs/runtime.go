@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// The mntbench_go_* gauge families exported by UpdateRuntimeGauges and
+// the RuntimeCollector. The set is fixed and none of the gauges carry
+// labels, so runtime telemetry can never explode series cardinality.
+const (
+	MetricGoGoroutines   = "mntbench_go_goroutines"
+	MetricGoGomaxprocs   = "mntbench_go_gomaxprocs"
+	MetricGoHeapLive     = "mntbench_go_heap_live_bytes"
+	MetricGoHeapAllocs   = "mntbench_go_heap_allocs_bytes_total"
+	MetricGoGCCycles     = "mntbench_go_gc_cycles_total"
+	MetricGoGCPause      = "mntbench_go_gc_pause_seconds_total"
+	MetricGoSchedLatP50  = "mntbench_go_sched_latency_p50_seconds"
+	MetricGoSchedLatP99  = "mntbench_go_sched_latency_p99_seconds"
+	MetricGoRuntimeReads = "mntbench_go_runtime_reads_total"
+)
+
+// runtimeSampleNames are the runtime/metrics samples behind
+// RuntimeStats. Names missing from the running toolchain simply read as
+// KindBad and leave their stat at zero, so the collector keeps working
+// across Go releases.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeStats is one point-in-time reading of the Go runtime health
+// signals mntbench exports: live heap, GC pressure, and scheduler
+// latency. Histogram-backed fields (GC pause total, sched latency
+// quantiles) are approximated from the runtime's bucketed histograms
+// using bucket midpoints.
+type RuntimeStats struct {
+	Goroutines      int64   `json:"goroutines"`
+	Gomaxprocs      int64   `json:"gomaxprocs"`
+	HeapLiveBytes   uint64  `json:"heap_live_bytes"`
+	HeapAllocsBytes uint64  `json:"heap_allocs_bytes_total"`
+	GCCycles        uint64  `json:"gc_cycles_total"`
+	GCPauseSeconds  float64 `json:"gc_pause_seconds_total"`
+	SchedLatencyP50 float64 `json:"sched_latency_p50_seconds"`
+	SchedLatencyP99 float64 `json:"sched_latency_p99_seconds"`
+}
+
+// ReadRuntimeStats samples runtime/metrics once.
+func ReadRuntimeStats() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var st RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			st.Goroutines = asInt64(s.Value)
+		case "/sched/gomaxprocs:threads":
+			st.Gomaxprocs = asInt64(s.Value)
+		case "/memory/classes/heap/objects:bytes":
+			st.HeapLiveBytes = asUint64(s.Value)
+		case "/gc/heap/allocs:bytes":
+			st.HeapAllocsBytes = asUint64(s.Value)
+		case "/gc/cycles/total:gc-cycles":
+			st.GCCycles = asUint64(s.Value)
+		case "/gc/pauses:seconds":
+			if h := asHistogram(s.Value); h != nil {
+				st.GCPauseSeconds = histogramSum(h)
+			}
+		case "/sched/latencies:seconds":
+			if h := asHistogram(s.Value); h != nil {
+				st.SchedLatencyP50 = histogramQuantile(h, 0.50)
+				st.SchedLatencyP99 = histogramQuantile(h, 0.99)
+			}
+		}
+	}
+	return st
+}
+
+func asUint64(v metrics.Value) uint64 {
+	if v.Kind() == metrics.KindUint64 {
+		return v.Uint64()
+	}
+	return 0
+}
+
+func asInt64(v metrics.Value) int64 {
+	if v.Kind() == metrics.KindUint64 {
+		return int64(v.Uint64())
+	}
+	return 0
+}
+
+func asHistogram(v metrics.Value) *metrics.Float64Histogram {
+	if v.Kind() == metrics.KindFloat64Histogram {
+		return v.Float64Histogram()
+	}
+	return nil
+}
+
+// histogramSum approximates the total of all observations in a
+// runtime/metrics histogram: count × bucket midpoint, with the open
+// tails clamped to their finite edge.
+func histogramSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		sum += float64(count) * bucketMid(h.Buckets, i)
+	}
+	return sum
+}
+
+// histogramQuantile estimates the q-quantile as the midpoint of the
+// bucket containing the q-th observation.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			return bucketMid(h.Buckets, i)
+		}
+	}
+	return bucketMid(h.Buckets, len(h.Counts)-1)
+}
+
+// bucketMid returns the midpoint of counts-bucket i, whose edges are
+// Buckets[i] and Buckets[i+1]; -Inf/+Inf tails clamp to the finite edge.
+func bucketMid(buckets []float64, i int) float64 {
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case lo < -1e308 && hi > 1e308:
+		return 0
+	case lo < -1e308:
+		return hi
+	case hi > 1e308:
+		return lo
+	}
+	return (lo + hi) / 2
+}
+
+// UpdateRuntimeGauges samples the Go runtime once and stores the
+// readings in the mntbench_go_* gauges on reg (nil selects the default
+// registry). Safe for concurrent use; the metrics sidecar and the web
+// server call it on every /metrics scrape so exported values are always
+// current.
+func UpdateRuntimeGauges(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	registerRuntimeHelp(reg)
+	st := ReadRuntimeStats()
+	reg.Gauge(MetricGoGoroutines).Set(float64(st.Goroutines))
+	reg.Gauge(MetricGoGomaxprocs).Set(float64(st.Gomaxprocs))
+	reg.Gauge(MetricGoHeapLive).Set(float64(st.HeapLiveBytes))
+	reg.Gauge(MetricGoHeapAllocs).Set(float64(st.HeapAllocsBytes))
+	reg.Gauge(MetricGoGCCycles).Set(float64(st.GCCycles))
+	reg.Gauge(MetricGoGCPause).Set(st.GCPauseSeconds)
+	reg.Gauge(MetricGoSchedLatP50).Set(st.SchedLatencyP50)
+	reg.Gauge(MetricGoSchedLatP99).Set(st.SchedLatencyP99)
+	reg.Counter(MetricGoRuntimeReads).Inc()
+}
+
+func registerRuntimeHelp(reg *Registry) {
+	reg.Help(MetricGoGoroutines, "Live goroutines (from runtime/metrics).")
+	reg.Help(MetricGoGomaxprocs, "GOMAXPROCS of the running process.")
+	reg.Help(MetricGoHeapLive, "Bytes of live heap objects.")
+	reg.Help(MetricGoHeapAllocs, "Cumulative bytes allocated on the heap.")
+	reg.Help(MetricGoGCCycles, "Completed GC cycles.")
+	reg.Help(MetricGoGCPause, "Approximate cumulative GC stop-the-world pause seconds (histogram midpoints).")
+	reg.Help(MetricGoSchedLatP50, "Median goroutine scheduling latency in seconds (approximate).")
+	reg.Help(MetricGoSchedLatP99, "p99 goroutine scheduling latency in seconds (approximate).")
+	reg.Help(MetricGoRuntimeReads, "Runtime telemetry sampling passes performed.")
+}
+
+// RuntimeCollector periodically refreshes the mntbench_go_* gauges so
+// long campaigns expose live runtime telemetry even between scrapes.
+type RuntimeCollector struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeCollector samples the runtime into reg every interval
+// (nil reg selects the default registry; non-positive intervals default
+// to 10s). One sample is taken synchronously before returning so the
+// gauges exist immediately. Stop the collector to release its
+// goroutine.
+func StartRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	UpdateRuntimeGauges(reg)
+	c := &RuntimeCollector{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				UpdateRuntimeGauges(reg)
+			}
+		}
+	}()
+	return c
+}
+
+// Stop terminates the collector's sampling goroutine and waits for it
+// to exit. Safe to call once.
+func (c *RuntimeCollector) Stop() {
+	close(c.stop)
+	<-c.done
+}

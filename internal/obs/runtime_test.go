@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func runtimeGaugeValue(t *testing.T, reg *Registry, name string) float64 {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		if len(fam.Series) != 1 {
+			t.Fatalf("%s has %d series, want 1", name, len(fam.Series))
+		}
+		if len(fam.Series[0].Labels) != 0 {
+			t.Fatalf("%s carries labels %v; runtime gauges must be label-free", name, fam.Series[0].Labels)
+		}
+		return fam.Series[0].Value
+	}
+	t.Fatalf("gauge %s not registered", name)
+	return 0
+}
+
+func TestReadRuntimeStats(t *testing.T) {
+	st := ReadRuntimeStats()
+	if st.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", st.Goroutines)
+	}
+	if st.Gomaxprocs != int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("gomaxprocs = %d, want %d", st.Gomaxprocs, runtime.GOMAXPROCS(0))
+	}
+	if st.HeapLiveBytes == 0 {
+		t.Error("heap live bytes = 0")
+	}
+	if st.HeapAllocsBytes == 0 {
+		t.Error("cumulative heap alloc bytes = 0")
+	}
+	if st.GCPauseSeconds < 0 || st.SchedLatencyP50 < 0 || st.SchedLatencyP99 < 0 {
+		t.Errorf("negative histogram aggregate: %+v", st)
+	}
+	if st.SchedLatencyP99 < st.SchedLatencyP50 {
+		t.Errorf("p99 %v < p50 %v", st.SchedLatencyP99, st.SchedLatencyP50)
+	}
+}
+
+func TestUpdateRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	UpdateRuntimeGauges(reg)
+	if v := runtimeGaugeValue(t, reg, MetricGoGoroutines); v < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoGoroutines, v)
+	}
+	if v := runtimeGaugeValue(t, reg, MetricGoHeapLive); v <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricGoHeapLive, v)
+	}
+
+	// Every mntbench_go_* family appears on the Prometheus exposition
+	// with help text.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		MetricGoGoroutines, MetricGoGomaxprocs, MetricGoHeapLive, MetricGoHeapAllocs,
+		MetricGoGCCycles, MetricGoGCPause, MetricGoSchedLatP50, MetricGoSchedLatP99,
+		MetricGoRuntimeReads,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+		if !strings.Contains(text, "# HELP "+name) {
+			t.Errorf("metric %s has no help text", name)
+		}
+	}
+
+	// The sampling counter advances per pass.
+	UpdateRuntimeGauges(reg)
+	if got := reg.Counter(MetricGoRuntimeReads).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricGoRuntimeReads, got)
+	}
+}
+
+// TestRuntimeCollectorConcurrent drives the periodic collector while
+// scrape-style readers snapshot the registry; run under -race this
+// proves the collector is safe next to concurrent exports.
+func TestRuntimeCollectorConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntimeCollector(reg, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				UpdateRuntimeGauges(reg)
+			}
+		}()
+	}
+	wg.Wait()
+	c.Stop()
+	after := reg.Counter(MetricGoRuntimeReads).Value()
+	if after < 200 { // 4 goroutines × 50 manual passes + initial + ticks
+		t.Errorf("sampling passes = %d, want >= 200", after)
+	}
+	// Stopped: no further passes.
+	time.Sleep(5 * time.Millisecond)
+	if again := reg.Counter(MetricGoRuntimeReads).Value(); again != after {
+		t.Errorf("collector still sampling after Stop: %d -> %d", after, again)
+	}
+}

@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Experiment is one callable benchmark body. The suite package exports
+// the repository's E1–E7 set; tests register synthetic ones. The
+// context is the caller's (it carries the obs registry and logger, per
+// the ctx-first convention) — bodies thread it into the pipeline.
+type Experiment struct {
+	ID    string // stable snapshot key, e.g. "E1" or "E6/mux21"
+	Name  string // human-readable name, e.g. "TableIQCAOne"
+	Bench func(context.Context, *testing.B)
+}
+
+// Options configures a Collect run.
+type Options struct {
+	// BenchTime is the testing benchtime each experiment runs under
+	// ("1x", "100ms", "1s", ...). Empty keeps the testing default (1s).
+	BenchTime string
+	// Only restricts the run to experiments whose ID equals or has one
+	// of these comma-separated values as a prefix ("E6" matches
+	// "E6/mux21"). Empty runs everything.
+	Only string
+	// ProfileDir, when non-empty, receives a CPU and a heap profile per
+	// experiment (<id>.cpu.pprof, <id>.heap.pprof; "/" in IDs becomes "_").
+	ProfileDir string
+	// Progress, when non-nil, receives one status line per experiment.
+	Progress func(string)
+	// Now stamps the snapshot's CreatedAt; zero leaves it empty (used by
+	// tests that need byte-identical output).
+	Now time.Time
+}
+
+// benchInit makes the testing package's benchmark flags available in a
+// non-test binary, exactly once.
+var benchInit sync.Once
+
+// setBenchTime routes Options.BenchTime into the testing package. The
+// testing flags live on flag.CommandLine; mntbench subcommands parse
+// their own FlagSets, so registering them is collision-free.
+func setBenchTime(v string) error {
+	benchInit.Do(testing.Init)
+	if v == "" {
+		return nil
+	}
+	if flag.Lookup("test.benchtime") == nil {
+		return fmt.Errorf("perf: testing flags unavailable")
+	}
+	if err := flag.Set("test.benchtime", v); err != nil {
+		return fmt.Errorf("perf: invalid benchtime %q: %w", v, err)
+	}
+	return nil
+}
+
+// matchOnly reports whether an experiment ID is selected by the Only
+// filter.
+func matchOnly(only, id string) bool {
+	if only == "" {
+		return true
+	}
+	for _, want := range strings.Split(only, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		if id == want || strings.HasPrefix(id, want+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect runs the selected experiments through testing.Benchmark,
+// sampling Go runtime telemetry around each, and assembles the
+// snapshot. Experiments that fail (b.Fatal/b.Error) are recorded with
+// an error instead of aborting the suite; Collect itself errors only on
+// setup problems (bad benchtime, unwritable profile dir, empty
+// selection).
+func Collect(ctx context.Context, exps []Experiment, opts Options) (*Snapshot, error) {
+	if err := setBenchTime(opts.BenchTime); err != nil {
+		return nil, err
+	}
+	if opts.ProfileDir != "" {
+		if err := os.MkdirAll(opts.ProfileDir, 0o755); err != nil {
+			return nil, fmt.Errorf("perf: profile dir: %w", err)
+		}
+	}
+	s := &Snapshot{
+		Schema:    SchemaVersion,
+		BenchTime: opts.BenchTime,
+		Env:       Fingerprint(),
+	}
+	if !opts.Now.IsZero() {
+		s.CreatedAt = opts.Now.UTC().Format(time.RFC3339)
+	}
+	ran := 0
+	for _, e := range exps {
+		if !matchOnly(opts.Only, e.ID) {
+			continue
+		}
+		ran++
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("running %s (%s)", e.ID, e.Name))
+		}
+		s.Results = append(s.Results, runExperiment(ctx, e, opts.ProfileDir))
+	}
+	if ran == 0 {
+		return nil, fmt.Errorf("perf: no experiments match %q", opts.Only)
+	}
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].ID < s.Results[j].ID })
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// runExperiment measures one experiment, bracketing it with runtime
+// telemetry reads and optional profiles.
+func runExperiment(ctx context.Context, e Experiment, profileDir string) Result {
+	res := Result{ID: e.ID, Name: e.Name}
+	var cpuProfile *os.File
+	if profileDir != "" {
+		f, err := os.Create(profilePath(profileDir, e.ID, "cpu"))
+		if err == nil && pprof.StartCPUProfile(f) == nil {
+			cpuProfile = f
+		} else if f != nil {
+			f.Close()
+		}
+	}
+	before := obs.ReadRuntimeStats()
+	r := testing.Benchmark(func(b *testing.B) { e.Bench(ctx, b) })
+	after := obs.ReadRuntimeStats()
+	if cpuProfile != nil {
+		pprof.StopCPUProfile()
+		cpuProfile.Close()
+	}
+	if profileDir != "" {
+		if f, err := os.Create(profilePath(profileDir, e.ID, "heap")); err == nil {
+			_ = pprof.WriteHeapProfile(f) // best-effort; the measurement stands without it
+			f.Close()
+		}
+	}
+	if r.N == 0 {
+		// testing.Benchmark returns a zero result when the body failed.
+		res.Error = "benchmark failed (b.Fatal or b.Error); run `go test -bench` for details"
+		return res
+	}
+	res.Iterations = r.N
+	res.NsPerOp = float64(r.NsPerOp())
+	res.AllocsPerOp = r.AllocsPerOp()
+	res.BytesPerOp = r.AllocedBytesPerOp()
+	if len(r.Extra) > 0 {
+		res.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Metrics[k] = v
+		}
+	}
+	res.Runtime = RuntimeDelta{
+		HeapLiveBytes:   after.HeapLiveBytes,
+		Goroutines:      after.Goroutines,
+		AllocBytesDelta: after.HeapAllocsBytes - before.HeapAllocsBytes,
+		GCCyclesDelta:   after.GCCycles - before.GCCycles,
+		GCPauseDeltaSec: max(0, after.GCPauseSeconds-before.GCPauseSeconds),
+		SchedLatencyP99: after.SchedLatencyP99,
+	}
+	return res
+}
+
+func profilePath(dir, id, kind string) string {
+	return filepath.Join(dir, strings.ReplaceAll(id, "/", "_")+"."+kind+".pprof")
+}

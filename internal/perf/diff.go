@@ -1,0 +1,232 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Thresholds maps a metric key to the maximum tolerated relative change
+// before perfdiff flags a regression. A positive threshold guards
+// against increases (ns_per_op: 0.30 fails when the new value is more
+// than 30% above the old), a negative threshold guards against
+// decreases (a throughput metric like "flows/s": -0.30 fails when it
+// drops by more than 30%). Metrics without a threshold are reported but
+// never fail the diff — custom benchmark metrics (areas, counts) are
+// results, not performance, unless the caller opts them in.
+type Thresholds map[string]float64
+
+// DefaultThresholds guards the built-in measurements. Wall time gets a
+// generous margin because benchmark machines are noisy; allocation
+// counts are near-deterministic and held tighter.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MetricNsPerOp:     0.30,
+		MetricAllocsPerOp: 0.10,
+		MetricBytesPerOp:  0.15,
+	}
+}
+
+// ParseThresholds parses a "metric=rel,metric=rel" flag value and
+// overlays it on the defaults ("ns_per_op=0.5,flows/s=-0.2"). A bare
+// "none" drops the defaults, leaving everything informational.
+func ParseThresholds(s string) (Thresholds, error) {
+	th := DefaultThresholds()
+	if strings.TrimSpace(s) == "none" {
+		return Thresholds{}, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("perf: threshold %q is not metric=relative", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf: threshold %q: %w", part, err)
+		}
+		if f == 0 {
+			return nil, fmt.Errorf("perf: threshold %q: zero tolerance would fail on noise; delete the metric instead", part)
+		}
+		th[strings.TrimSpace(k)] = f
+	}
+	return th, nil
+}
+
+// DiffStatus classifies one compared metric.
+type DiffStatus string
+
+// The diff statuses. Regressed and Missing fail the diff; the others
+// are informational.
+const (
+	StatusOK        DiffStatus = "ok"
+	StatusImproved  DiffStatus = "improved"
+	StatusRegressed DiffStatus = "regressed"
+	StatusMissing   DiffStatus = "missing"
+	StatusAdded     DiffStatus = "added"
+)
+
+// DiffEntry is one (experiment, metric) comparison.
+type DiffEntry struct {
+	Experiment string     `json:"experiment"`
+	Metric     string     `json:"metric"`
+	Old        float64    `json:"old"`
+	New        float64    `json:"new"`
+	Delta      float64    `json:"delta"` // relative: (new-old)/old; 0 when old == 0
+	Status     DiffStatus `json:"status"`
+}
+
+// DiffReport is the full comparison of two snapshots.
+type DiffReport struct {
+	OldEnv  Env         `json:"old_env"`
+	NewEnv  Env         `json:"new_env"`
+	Entries []DiffEntry `json:"entries"`
+}
+
+// Failed reports whether the diff found regressions or lost
+// experiments/metrics.
+func (r *DiffReport) Failed() bool { return r.count(StatusRegressed)+r.count(StatusMissing) > 0 }
+
+func (r *DiffReport) count(st DiffStatus) int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Status == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff compares two snapshots metric by metric. Every experiment of old
+// must still exist in new with every metric it had — disappearing data
+// counts as failure (StatusMissing) so a suite can't silently shrink
+// its way past the gate. Experiments or metrics new in new are
+// informational (StatusAdded).
+func Diff(old, new *Snapshot, th Thresholds) *DiffReport {
+	if th == nil {
+		th = DefaultThresholds()
+	}
+	rep := &DiffReport{OldEnv: old.Env, NewEnv: new.Env}
+	newByID := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newByID[r.ID] = r
+	}
+	oldByID := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByID[r.ID] = r
+	}
+	for _, or := range old.Results {
+		nr, ok := newByID[or.ID]
+		if !ok || (or.Error == "" && nr.Error != "") {
+			rep.Entries = append(rep.Entries, DiffEntry{Experiment: or.ID, Metric: "*", Status: StatusMissing})
+			continue
+		}
+		if or.Error != "" {
+			continue // the old run has nothing comparable
+		}
+		om, nm := metricsOf(or), metricsOf(nr)
+		for _, key := range sortedKeys(om) {
+			ov := om[key]
+			nv, ok := nm[key]
+			if !ok {
+				rep.Entries = append(rep.Entries, DiffEntry{Experiment: or.ID, Metric: key, Old: ov, Status: StatusMissing})
+				continue
+			}
+			rep.Entries = append(rep.Entries, classify(or.ID, key, ov, nv, th))
+		}
+		for _, key := range sortedKeys(nm) {
+			if _, ok := om[key]; !ok {
+				rep.Entries = append(rep.Entries, DiffEntry{Experiment: or.ID, Metric: key, New: nm[key], Status: StatusAdded})
+			}
+		}
+	}
+	for _, nr := range new.Results {
+		if _, ok := oldByID[nr.ID]; !ok {
+			rep.Entries = append(rep.Entries, DiffEntry{Experiment: nr.ID, Metric: "*", Status: StatusAdded})
+		}
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Experiment != rep.Entries[j].Experiment {
+			return rep.Entries[i].Experiment < rep.Entries[j].Experiment
+		}
+		return rep.Entries[i].Metric < rep.Entries[j].Metric
+	})
+	return rep
+}
+
+// classify scores one metric pair against its threshold.
+func classify(exp, key string, old, new float64, th Thresholds) DiffEntry {
+	e := DiffEntry{Experiment: exp, Metric: key, Old: old, New: new, Status: StatusOK}
+	switch {
+	case old == 0 && new == 0:
+		return e
+	case old == 0:
+		e.Delta = 1 // appeared from zero; direction judged below via threshold sign
+	default:
+		e.Delta = (new - old) / old
+	}
+	t, guarded := th[key]
+	switch {
+	case guarded && t > 0 && e.Delta > t:
+		e.Status = StatusRegressed
+	case guarded && t < 0 && e.Delta < t:
+		e.Status = StatusRegressed
+	case guarded && t > 0 && e.Delta < 0:
+		e.Status = StatusImproved
+	case guarded && t < 0 && e.Delta > 0:
+		e.Status = StatusImproved
+	}
+	return e
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Text renders the regression table. verbose includes unguarded and
+// unchanged metrics; otherwise only regressions, improvements, and
+// missing/added rows print.
+func (r *DiffReport) Text(verbose bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "old: %s\n", r.OldEnv.String())
+	fmt.Fprintf(&sb, "new: %s\n", r.NewEnv.String())
+	fmt.Fprintf(&sb, "%-16s %-14s %14s %14s %9s  %s\n", "experiment", "metric", "old", "new", "delta", "status")
+	shown := 0
+	for _, e := range r.Entries {
+		if !verbose && e.Status == StatusOK {
+			continue
+		}
+		shown++
+		switch e.Status {
+		case StatusMissing, StatusAdded:
+			fmt.Fprintf(&sb, "%-16s %-14s %14s %14s %9s  %s\n",
+				e.Experiment, e.Metric, fmtMetric(e.Old), fmtMetric(e.New), "-", e.Status)
+		default:
+			fmt.Fprintf(&sb, "%-16s %-14s %14s %14s %+8.1f%%  %s\n",
+				e.Experiment, e.Metric, fmtMetric(e.Old), fmtMetric(e.New), 100*e.Delta, e.Status)
+		}
+	}
+	if shown == 0 {
+		sb.WriteString("(no notable changes)\n")
+	}
+	fmt.Fprintf(&sb, "compared %d metrics: %d regressed, %d improved, %d missing, %d added\n",
+		len(r.Entries), r.count(StatusRegressed), r.count(StatusImproved),
+		r.count(StatusMissing), r.count(StatusAdded))
+	return sb.String()
+}
+
+func fmtMetric(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

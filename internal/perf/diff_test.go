@@ -1,0 +1,198 @@
+package perf
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the perfdiff golden outputs")
+
+func loadSnapshot(t *testing.T, name string) *Snapshot {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "diff", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return s
+}
+
+// diffThresholds are the fixture thresholds: defaults plus the
+// throughput metric guarded in the downward direction.
+func diffThresholds(t *testing.T) Thresholds {
+	t.Helper()
+	th, err := ParseThresholds("flows/s=-0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "diff", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/perf -update-golden` to create)", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s mismatch:\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	old := loadSnapshot(t, "old.json")
+	rep := Diff(old, loadSnapshot(t, "new_regression.json"), diffThresholds(t))
+	if !rep.Failed() {
+		t.Fatal("regression fixture did not fail the diff")
+	}
+	var regressed []string
+	for _, e := range rep.Entries {
+		if e.Status == StatusRegressed {
+			regressed = append(regressed, e.Experiment+":"+e.Metric)
+		}
+	}
+	// E1 wall time +50% (> 30%) and flows/s -33% (< -25%); the +0.5%
+	// allocs and +2% bytes stay inside their thresholds, as does E4's
+	// +2% wall time.
+	want := []string{"E1:flows/s", "E1:ns_per_op"}
+	if strings.Join(regressed, " ") != strings.Join(want, " ") {
+		t.Errorf("regressed = %v, want %v", regressed, want)
+	}
+	checkGolden(t, "golden_regression.txt", rep.Text(false))
+}
+
+func TestDiffImprovement(t *testing.T) {
+	old := loadSnapshot(t, "old.json")
+	rep := Diff(old, loadSnapshot(t, "new_improvement.json"), diffThresholds(t))
+	if rep.Failed() {
+		t.Fatalf("improvement fixture failed the diff:\n%s", rep.Text(true))
+	}
+	improved := 0
+	for _, e := range rep.Entries {
+		if e.Status == StatusImproved {
+			improved++
+		}
+	}
+	if improved < 2 { // E1 ns_per_op -40%, flows/s +67%
+		t.Errorf("improved entries = %d, want >= 2\n%s", improved, rep.Text(true))
+	}
+	checkGolden(t, "golden_improvement.txt", rep.Text(false))
+}
+
+func TestDiffMissing(t *testing.T) {
+	old := loadSnapshot(t, "old.json")
+	rep := Diff(old, loadSnapshot(t, "new_missing.json"), diffThresholds(t))
+	if !rep.Failed() {
+		t.Fatal("missing fixture did not fail the diff")
+	}
+	var missing []string
+	for _, e := range rep.Entries {
+		if e.Status == StatusMissing {
+			missing = append(missing, e.Experiment+":"+e.Metric)
+		}
+	}
+	// The whole E4 experiment and E1's tiles-total metric vanished.
+	want := []string{"E1:tiles-total", "E4:*"}
+	if strings.Join(missing, " ") != strings.Join(want, " ") {
+		t.Errorf("missing = %v, want %v", missing, want)
+	}
+	checkGolden(t, "golden_missing.txt", rep.Text(false))
+}
+
+func TestDiffIdentical(t *testing.T) {
+	old := loadSnapshot(t, "old.json")
+	rep := Diff(old, loadSnapshot(t, "old.json"), nil)
+	if rep.Failed() {
+		t.Fatalf("identical snapshots failed:\n%s", rep.Text(true))
+	}
+	for _, e := range rep.Entries {
+		if e.Status != StatusOK {
+			t.Errorf("identical snapshots produced %s on %s:%s", e.Status, e.Experiment, e.Metric)
+		}
+	}
+}
+
+func TestParseThresholds(t *testing.T) {
+	th, err := ParseThresholds("ns_per_op=0.5,flows/s=-0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th[MetricNsPerOp] != 0.5 || th["flows/s"] != -0.2 {
+		t.Errorf("parsed = %v", th)
+	}
+	if th[MetricAllocsPerOp] != DefaultThresholds()[MetricAllocsPerOp] {
+		t.Error("defaults not preserved under overlay")
+	}
+	if none, err := ParseThresholds("none"); err != nil || len(none) != 0 {
+		t.Errorf("none = %v, %v", none, err)
+	}
+	for _, bad := range []string{"ns_per_op", "ns_per_op=x", "ns_per_op=0"} {
+		if _, err := ParseThresholds(bad); err == nil {
+			t.Errorf("ParseThresholds(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSnapshotHandler(t *testing.T) {
+	dir := t.TempDir()
+	srv := httptest.NewServer(Handler(dir))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("empty dir: status %d, want 404", resp.StatusCode)
+	}
+
+	for _, n := range []int{1, 2} {
+		s := testSnapshot()
+		s.CreatedAt = ""
+		data, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := NextSnapshotPath(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := filepath.Join(dir, "BENCH_"+string(rune('0'+n))+".json"); path != want {
+			t.Fatalf("NextSnapshotPath = %q, want %q", path, want)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Perf-Snapshot"); got != "2" {
+		t.Errorf("served snapshot %s, want the latest (2)", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+}

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// snapshotNameRe matches the committed trajectory files: BENCH_<n>.json.
+var snapshotNameRe = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// LatestSnapshot returns the path and sequence number of the
+// highest-numbered BENCH_<n>.json in dir; n is 0 with an empty path
+// when none exist.
+func LatestSnapshot(dir string) (path string, n int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := snapshotNameRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k <= n {
+			continue
+		}
+		n, path = k, filepath.Join(dir, e.Name())
+	}
+	return path, n, nil
+}
+
+// NextSnapshotPath returns where `mntbench perfsnap` should write the
+// next trajectory point: BENCH_<latest+1>.json in dir.
+func NextSnapshotPath(dir string) (string, error) {
+	_, n, err := LatestSnapshot(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}
+
+// Handler serves the latest BENCH_<n>.json under dir at /debug/perf —
+// the live view of the repository's most recent committed performance
+// snapshot. 404 when the directory holds none.
+func Handler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path, n, err := LatestSnapshot(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if path == "" {
+			http.Error(w, "no BENCH_<n>.json snapshot found; run `mntbench perfsnap`", http.StatusNotFound)
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := Unmarshal(data); err != nil {
+			http.Error(w, fmt.Sprintf("%s: %v", path, err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Perf-Snapshot", strconv.Itoa(n))
+		_, _ = w.Write(data)
+	})
+}

@@ -1,0 +1,210 @@
+// Package perf records the repository's performance trajectory. It runs
+// the E1–E7 experiment suite programmatically (see the sibling suite
+// package), collects wall time, allocations, custom benchmark metrics,
+// and Go runtime telemetry into a schema-versioned, environment-stamped
+// snapshot (BENCH_<n>.json), and diffs two snapshots against
+// configurable regression thresholds. The snapshots are the seam that
+// hot-path optimization PRs and CI assert against: a rework that claims
+// a speedup commits the BENCH_<n>.json that proves it, and `mntbench
+// perfdiff` turns an accidental slowdown into a nonzero exit.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion identifies the snapshot wire format. Bump it on any
+// incompatible change to Snapshot and teach Validate the migration.
+const SchemaVersion = 1
+
+// Snapshot is one measured point on the repository's performance
+// trajectory: every experiment's result plus the environment it ran in.
+type Snapshot struct {
+	Schema    int      `json:"schema"`
+	CreatedAt string   `json:"created_at,omitempty"` // RFC 3339; informational, not fingerprinted
+	BenchTime string   `json:"benchtime,omitempty"`  // testing benchtime the suite ran under
+	Env       Env      `json:"env"`
+	Results   []Result `json:"results"` // sorted by experiment ID
+}
+
+// Env is the environment fingerprint stamped into every snapshot.
+// Snapshots are only comparable when their fingerprints are compatible
+// (same GOOS/GOARCH at minimum); perfdiff prints both so a cross-machine
+// comparison is visibly apples-to-oranges.
+type Env struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Module    string      `json:"module_version"`
+	VCS       obs.VCSInfo `json:"vcs"`
+}
+
+// Fingerprint captures the current environment. Deterministic: two
+// calls in the same process return identical values.
+func Fingerprint() Env {
+	return Env{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Module:    obs.ModuleVersion(),
+		VCS:       obs.VCS(),
+	}
+}
+
+// String renders the fingerprint as one line for report headers.
+func (e Env) String() string {
+	commit := e.VCS.Revision
+	if commit == "" {
+		commit = "unknown"
+	} else if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if e.VCS.Modified {
+		commit += "+dirty"
+	}
+	return fmt.Sprintf("%s %s/%s cpu=%d module=%s commit=%s",
+		e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.Module, commit)
+}
+
+// Result is one experiment's measurement.
+type Result struct {
+	ID          string             `json:"id"`   // experiment ID, e.g. "E1" or "E6/mux21"
+	Name        string             `json:"name"` // human name, e.g. "TableIQCAOne"
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric values
+	Runtime     RuntimeDelta       `json:"runtime"`
+	Error       string             `json:"error,omitempty"` // non-empty when the experiment failed
+}
+
+// RuntimeDelta is the Go runtime telemetry sampled around one
+// experiment: absolute readings after the run plus the deltas it
+// caused.
+type RuntimeDelta struct {
+	HeapLiveBytes   uint64  `json:"heap_live_bytes"`           // after the run
+	Goroutines      int64   `json:"goroutines"`                // after the run
+	AllocBytesDelta uint64  `json:"alloc_bytes_delta"`         // heap bytes allocated by the run
+	GCCyclesDelta   uint64  `json:"gc_cycles_delta"`           // GC cycles triggered by the run
+	GCPauseDeltaSec float64 `json:"gc_pause_seconds_delta"`    // approximate pause time added
+	SchedLatencyP99 float64 `json:"sched_latency_p99_seconds"` // approximate, after the run
+}
+
+// MetricKeys are the built-in per-experiment metrics every snapshot
+// carries; custom benchmark metrics ride alongside under their
+// b.ReportMetric names.
+const (
+	MetricNsPerOp     = "ns_per_op"
+	MetricAllocsPerOp = "allocs_per_op"
+	MetricBytesPerOp  = "bytes_per_op"
+)
+
+// builtinMetrics maps a built-in metric key to its value on a result.
+func builtinMetrics(r Result) map[string]float64 {
+	return map[string]float64{
+		MetricNsPerOp:     r.NsPerOp,
+		MetricAllocsPerOp: float64(r.AllocsPerOp),
+		MetricBytesPerOp:  float64(r.BytesPerOp),
+	}
+}
+
+// Marshal renders the snapshot as canonical JSON: two-space indent,
+// sorted map keys (encoding/json sorts them by construction), trailing
+// newline. Unmarshal → Marshal is byte-stable, which is what lets
+// BENCH_<n>.json files live in version control without churn.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].ID < s.Results[j].ID })
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Unmarshal parses a snapshot and validates it.
+func Unmarshal(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: parsing snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the structural invariants of a snapshot: known
+// schema, complete fingerprint, sorted unique experiment IDs, finite
+// metric values.
+func (s *Snapshot) Validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("perf: snapshot schema %d, this tool reads %d", s.Schema, SchemaVersion)
+	}
+	if s.Env.GoVersion == "" || s.Env.GOOS == "" || s.Env.GOARCH == "" {
+		return fmt.Errorf("perf: snapshot env fingerprint incomplete: %+v", s.Env)
+	}
+	if s.Env.NumCPU <= 0 {
+		return fmt.Errorf("perf: snapshot env num_cpu = %d", s.Env.NumCPU)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("perf: snapshot has no results")
+	}
+	prev := ""
+	for _, r := range s.Results {
+		if r.ID == "" {
+			return fmt.Errorf("perf: result with empty experiment ID")
+		}
+		if r.ID <= prev {
+			return fmt.Errorf("perf: results not sorted by unique ID at %q (previous %q)", r.ID, prev)
+		}
+		prev = r.ID
+		if r.Error != "" {
+			continue // failed experiments carry no meaningful numbers
+		}
+		if r.Iterations <= 0 {
+			return fmt.Errorf("perf: %s: iterations = %d", r.ID, r.Iterations)
+		}
+		for k, v := range metricsOf(r) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("perf: %s: metric %s is %v", r.ID, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// metricsOf flattens a result into one metric map: built-ins plus the
+// custom benchmark metrics.
+func metricsOf(r Result) map[string]float64 {
+	out := builtinMetrics(r)
+	for k, v := range r.Metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders a one-line-per-experiment table of a snapshot.
+func (s *Snapshot) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "env: %s\n", s.Env.String())
+	fmt.Fprintf(&sb, "%-16s %6s %14s %14s %12s\n", "experiment", "iters", "ns/op", "allocs/op", "B/op")
+	for _, r := range s.Results {
+		if r.Error != "" {
+			fmt.Fprintf(&sb, "%-16s FAILED: %s\n", r.ID, r.Error)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %6d %14.0f %14d %12d\n",
+			r.ID, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSnapshot builds a small valid snapshot.
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Schema:    SchemaVersion,
+		CreatedAt: "2026-08-08T12:00:00Z",
+		BenchTime: "1x",
+		Env: Env{
+			GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+			NumCPU: 8, Module: "(devel)",
+		},
+		Results: []Result{
+			{
+				ID: "E1", Name: "TableIQCAOne", Iterations: 3,
+				NsPerOp: 1.25e9, AllocsPerOp: 1000, BytesPerOp: 500000,
+				Metrics: map[string]float64{"tiles-total": 4242, "ΔA-mean-%": -4.2},
+				Runtime: RuntimeDelta{HeapLiveBytes: 1 << 20, Goroutines: 4, AllocBytesDelta: 123},
+			},
+			{
+				ID: "E6/mux21", Name: "OrthoScaling Trindade16/mux21", Iterations: 100,
+				NsPerOp: 52000, AllocsPerOp: 210, BytesPerOp: 9000,
+			},
+		},
+	}
+}
+
+// TestSnapshotRoundTrip pins the byte-stability contract: a committed
+// BENCH_<n>.json re-read and re-marshaled must not churn.
+func TestSnapshotRoundTrip(t *testing.T) {
+	first, err := testSnapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Unmarshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := parsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("re-marshal is not byte-stable:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Error("snapshot JSON lacks trailing newline")
+	}
+}
+
+// TestMarshalSortsResults ensures unordered results are canonicalized.
+func TestMarshalSortsResults(t *testing.T) {
+	s := testSnapshot()
+	s.Results[0], s.Results[1] = s.Results[1], s.Results[0]
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Results[0].ID != "E1" {
+		t.Errorf("results not sorted: first ID = %q", parsed.Results[0].ID)
+	}
+}
+
+// TestFingerprintDeterminism: the environment stamp is identical across
+// calls in one process.
+func TestFingerprintDeterminism(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fingerprint not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.GoVersion == "" || a.GOOS == "" || a.GOARCH == "" || a.NumCPU <= 0 || a.Module == "" {
+		t.Errorf("incomplete fingerprint: %+v", a)
+	}
+	if !strings.Contains(a.String(), a.GOOS+"/"+a.GOARCH) {
+		t.Errorf("Env.String() = %q misses platform", a.String())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+		want   string
+	}{
+		{"bad schema", func(s *Snapshot) { s.Schema = 99 }, "schema"},
+		{"empty env", func(s *Snapshot) { s.Env.GoVersion = "" }, "fingerprint"},
+		{"no cpus", func(s *Snapshot) { s.Env.NumCPU = 0 }, "num_cpu"},
+		{"no results", func(s *Snapshot) { s.Results = nil }, "no results"},
+		{"dup id", func(s *Snapshot) { s.Results[1].ID = "E1" }, "sorted"},
+		{"zero iters", func(s *Snapshot) { s.Results[0].Iterations = 0 }, "iterations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSnapshot()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCollectSynthetic runs the harness over synthetic experiments:
+// custom metrics survive, failures are recorded without aborting, and
+// the assembled snapshot validates and round-trips.
+func TestCollectSynthetic(t *testing.T) {
+	var sink int
+	exps := []Experiment{
+		{ID: "T2", Name: "failing", Bench: func(_ context.Context, b *testing.B) { b.Fatal("boom") }},
+		{ID: "T1", Name: "tiny", Bench: func(_ context.Context, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += i
+			}
+			b.ReportMetric(42, "answer")
+		}},
+	}
+	var progress []string
+	s, err := Collect(context.Background(), exps, Options{
+		BenchTime: "1x",
+		Now:       time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Progress:  func(line string) { progress = append(progress, line) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if len(s.Results) != 2 || s.Results[0].ID != "T1" || s.Results[1].ID != "T2" {
+		t.Fatalf("results = %+v", s.Results)
+	}
+	ok, failed := s.Results[0], s.Results[1]
+	if ok.Iterations < 1 || ok.Metrics["answer"] != 42 {
+		t.Errorf("T1 = %+v", ok)
+	}
+	if failed.Error == "" {
+		t.Errorf("T2 should carry an error: %+v", failed)
+	}
+	if len(progress) != 2 {
+		t.Errorf("progress lines = %v", progress)
+	}
+	if s.CreatedAt != "2026-08-08T12:00:00Z" {
+		t.Errorf("CreatedAt = %q", s.CreatedAt)
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Errorf("collected snapshot does not round-trip: %v", err)
+	}
+	if !strings.Contains(s.Summary(), "T1") || !strings.Contains(s.Summary(), "FAILED") {
+		t.Errorf("summary:\n%s", s.Summary())
+	}
+}
+
+func TestCollectFilters(t *testing.T) {
+	exps := []Experiment{
+		{ID: "E6/mux21", Name: "a", Bench: func(context.Context, *testing.B) {}},
+		{ID: "E7", Name: "b", Bench: func(context.Context, *testing.B) {}},
+	}
+	s, err := Collect(context.Background(), exps, Options{BenchTime: "1x", Only: "E6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 || s.Results[0].ID != "E6/mux21" {
+		t.Errorf("filter kept %+v", s.Results)
+	}
+	if _, err := Collect(context.Background(), exps, Options{BenchTime: "1x", Only: "nope"}); err == nil {
+		t.Error("empty selection should error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/render"
 	"repro/internal/verify"
 	"repro/internal/verilog"
@@ -36,6 +37,7 @@ type Server struct {
 	log     *obs.Logger
 	traces  *obs.TraceStore
 	pprof   bool
+	perfDir string
 }
 
 // Option customizes a Server.
@@ -58,6 +60,11 @@ func WithPprof() Option { return func(s *Server) { s.pprof = true } }
 // trace-event export at /debug/traces/chrome). Off by default, like
 // pprof: the trace view is a diagnostic surface.
 func WithTraces(ts *obs.TraceStore) Option { return func(s *Server) { s.traces = ts } }
+
+// WithPerfDir points /debug/perf at the directory holding the
+// BENCH_<n>.json performance snapshots (default: the working
+// directory, where the committed trajectory lives).
+func WithPerfDir(dir string) Option { return func(s *Server) { s.perfDir = dir } }
 
 // New builds the HTTP handler around a database.
 func New(db *core.Database, opts ...Option) *Server {
@@ -85,8 +92,18 @@ func New(db *core.Database, opts ...Option) *Server {
 	s.mux.HandleFunc("/download/bundle.zip", s.handleBundle)
 	s.mux.HandleFunc("/preview/", s.handlePreview)
 	s.mux.HandleFunc("/api/submit", s.handleSubmit)
-	s.mux.Handle("/metrics", s.reg.MetricsHandler())
+	// Every scrape resamples the Go runtime so the mntbench_go_* gauges
+	// are current without a background goroutine per Server.
+	metricsHandler := s.reg.MetricsHandler()
+	s.mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.UpdateRuntimeGauges(s.reg)
+		metricsHandler.ServeHTTP(w, r)
+	}))
 	s.mux.HandleFunc("/healthz", obs.Healthz)
+	if s.perfDir == "" {
+		s.perfDir = "."
+	}
+	s.mux.Handle("/debug/perf", perf.Handler(s.perfDir))
 	if s.pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -135,6 +152,8 @@ func routeLabel(r *http.Request) string {
 		return "/debug/pprof"
 	case strings.HasPrefix(p, "/debug/traces"):
 		return "/debug/traces"
+	case strings.HasPrefix(p, "/debug/perf"):
+		return "/debug/perf"
 	}
 	return "other"
 }

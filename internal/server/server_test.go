@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/fgl"
 	"repro/internal/gatelib"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/verilog"
 )
 
@@ -442,5 +445,62 @@ func TestBuildInfoOnMetrics(t *testing.T) {
 	rec := get(t, srv, "/metrics")
 	if !strings.Contains(rec.Body.String(), "mntbench_build_info{") {
 		t.Error("/metrics missing mntbench_build_info")
+	}
+}
+
+func TestRuntimeGaugesOnMetrics(t *testing.T) {
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()))
+	rec := get(t, srv, "/metrics")
+	body := rec.Body.String()
+	for _, want := range []string{
+		obs.MetricGoGoroutines, obs.MetricGoHeapLive, obs.MetricGoGCCycles,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing runtime gauge %s", want)
+		}
+	}
+}
+
+func TestDebugPerfServesLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()), WithPerfDir(dir))
+
+	rec := get(t, srv, "/debug/perf")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/perf with no snapshots: status %d, want 404", rec.Code)
+	}
+
+	snap := &perf.Snapshot{
+		Schema: perf.SchemaVersion,
+		Env:    perf.Fingerprint(),
+		Results: []perf.Result{{
+			ID: "E1", Name: "TableIQCAOne", Iterations: 1, NsPerOp: 1e9,
+		}},
+	}
+	data, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = get(t, srv, "/debug/perf")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/perf status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Perf-Snapshot"); got != "2" {
+		t.Errorf("served snapshot %q, want the latest (2)", got)
+	}
+	if _, err := perf.Unmarshal(rec.Body.Bytes()); err != nil {
+		t.Errorf("served snapshot invalid: %v", err)
+	}
+
+	// The debug route is a bounded metric label.
+	if got := routeLabel(httptest.NewRequest(http.MethodGet, "/debug/perf", nil)); got != "/debug/perf" {
+		t.Errorf("routeLabel(/debug/perf) = %q", got)
 	}
 }
