@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	mntlint [-root dir] [-disable a,b] [-json] [-list]
+//	mntlint [-root dir] [-disable a,b] [-json] [-sarif] [-fix] [-list]
 //
-// Findings print one per line as file:line:col: message (analyzer), or
-// as a JSON array with -json. Exit status: 0 clean, 1 findings, 2 usage
-// or load error.
+// Findings print one per line as file:line:col: message (analyzer), as
+// a JSON array with -json, or as a SARIF 2.1.0 log with -sarif (for CI
+// annotation upload). -fix applies every suggested fix to disk, then
+// reports what is left. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -33,15 +36,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	root := fs.String("root", ".", "module directory to lint")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fix := fs.Bool("fix", false, "apply suggested fixes to disk, then report what remains")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "mntlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
 	all := lint.Analyzers()
 	if *list {
 		for _, a := range all {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -67,24 +76,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	pkgs, err := lint.Load(*root)
+	// Normalize the root so diagnostics and fix targets are independent
+	// of how the caller spelled the path (., ./, ../repo/.).
+	absRoot, err := filepath.Abs(filepath.Clean(*root))
+	if err != nil {
+		fmt.Fprintf(stderr, "mntlint: %v\n", err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(absRoot)
 	if err != nil {
 		fmt.Fprintf(stderr, "mntlint: %v\n", err)
 		return 2
 	}
 	diags := lint.Run(pkgs, active)
 
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+	if *fix {
+		changed, err := lint.ApplyFixes(absRoot, pkgs, diags)
+		if err != nil {
 			fmt.Fprintf(stderr, "mntlint: %v\n", err)
 			return 2
 		}
-	} else {
+		for _, path := range changed {
+			fmt.Fprintf(stdout, "fixed %s\n", path)
+		}
+		if len(changed) > 0 {
+			// Reload and re-run: applied fixes resolve their findings and
+			// the remainder is reported against the rewritten sources.
+			pkgs, err = lint.Load(absRoot)
+			if err != nil {
+				fmt.Fprintf(stderr, "mntlint: %v\n", err)
+				return 2
+			}
+			diags = lint.Run(pkgs, active)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := encodeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "mntlint: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := encodeJSON(stdout, lint.ToSARIF(diags, all)); err != nil {
+			fmt.Fprintf(stderr, "mntlint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -94,4 +136,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -76,9 +78,127 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxfirst", "errcmp", "obslabel", "printban", "panicban"} {
-		if !strings.Contains(out.String(), name) {
-			t.Errorf("-list output lacks %s:\n%s", name, out.String())
+	want := []string{
+		"ctxfirst", "errcmp", "obslabel", "printban", "panicban", "seedarg",
+		"lockbalance", "ctxloop", "goroleak", "hotalloc", "atomicmix",
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(want) {
+		t.Errorf("-list printed %d analyzers, want %d:\n%s", len(lines), len(want), out.String())
+	}
+	for i, name := range want {
+		if i < len(lines) && !strings.HasPrefix(lines[i], name) {
+			t.Errorf("-list line %d = %q, want analyzer %s", i, lines[i], name)
 		}
+	}
+}
+
+func TestRootNormalization(t *testing.T) {
+	// The same tree addressed through ./, a trailing slash-dot, and a
+	// parent-hop must yield byte-identical -json output.
+	variants := []string{
+		panicbanFixture,
+		"./" + panicbanFixture,
+		panicbanFixture + "/.",
+		"../../internal/perf/../lint/testdata/src/panicban",
+	}
+	var first string
+	for _, root := range variants {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-root", root, "-json"}, &out, &errb); code != 1 {
+			t.Fatalf("root %q: exit code = %d, want 1; stderr: %s", root, code, errb.String())
+		}
+		if first == "" {
+			first = out.String()
+			continue
+		}
+		if out.String() != first {
+			t.Errorf("root %q output differs:\n%s\n-- vs --\n%s", root, out.String(), first)
+		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", panicbanFixture, "-sarif"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "mntlint" {
+		t.Errorf("malformed SARIF envelope: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	if len(doc.Runs[0].Results) == 0 {
+		t.Error("SARIF output has no results for a failing fixture")
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for -json -sarif", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr lacks explanation: %s", errb.String())
+	}
+}
+
+func TestFixFlag(t *testing.T) {
+	// Copy the fix fixture to a temp tree, run -fix, and expect exit 0
+	// with the comparison rewritten on disk.
+	src := "../../internal/lint/testdata/fix/errcmp"
+	root := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(path, ".golden") {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "-fix"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 after fixes; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "fixed internal/lib/lib.go") {
+		t.Errorf("stdout lacks fixed-file report:\n%s", out.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "internal", "lib", "lib.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "errors.Is(err, ErrClosed)") {
+		t.Errorf("-fix did not rewrite the comparison:\n%s", fixed)
 	}
 }

@@ -272,6 +272,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:ignore ctxloop bounded work queue: the feeder sends exactly len(db.Entries) indexes then closes idxCh, and each battery run observes ctx through its span context
 			for i := range idxCh {
 				e := db.Entries[i]
 				ci := caseIdx[e.Benchmark.Name]

@@ -42,7 +42,10 @@ var ErrInfeasible = errors.New("flow infeasible")
 var ErrVerifyFailed = errors.New("verification failed")
 
 // ClassifyOutcome maps a RunFlow error to its outcome; nil maps to
-// OutcomeOK.
+// OutcomeOK. The campaign scheduler calls it once per flow result on
+// the merge path, so it must stay allocation-free.
+//
+//perf:hot
 func ClassifyOutcome(err error) Outcome {
 	switch {
 	case err == nil:

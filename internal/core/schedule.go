@@ -163,6 +163,7 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 			}
 		}
 	}()
+	//lint:ignore goroleak shutdown relay: wg.Wait returns once the ctx-aware workers exit, so cancellation bounds it transitively
 	go func() {
 		wg.Wait()
 		close(results)
@@ -204,6 +205,7 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 	}
 	pending := make(map[int]jobResult, workers)
 	next := 0
+	//lint:ignore ctxloop drain loop: on cancellation the workers exit and the relay closes results, ending the range; draining keeps the merge deterministic
 	for r := range results {
 		pending[r.idx] = r
 		for {

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix returns the atomicmix analyzer: once a variable or struct
+// field is accessed through sync/atomic anywhere in a package, every
+// other access must be atomic too. A single plain read or write next to
+// atomic ones is a data race the race detector only catches when the
+// interleaving happens to occur; the type-resolved sweep catches it
+// structurally. (Typed atomics — atomic.Int64 and friends — make the
+// mistake impossible and are the preferred fix.)
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a variable accessed via sync/atomic must never be read or written plainly",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	// Pass 1: every object passed by address to a sync/atomic function,
+	// with the identifier nodes of those atomic accesses (skipped in
+	// pass 2).
+	atomicAt := make(map[*types.Var]token.Position)
+	atomicNodes := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _, isFn := pkgFuncCall(p, call)
+			if !isFn || pkgPath != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			unary, isUnary := call.Args[0].(*ast.UnaryExpr)
+			if !isUnary || unary.Op != token.AND {
+				return true
+			}
+			obj := addressedVar(p, unary.X)
+			if obj == nil {
+				return true
+			}
+			pos := f.Fset.Position(call.Pos())
+			if prev, seen := atomicAt[obj]; !seen || before(pos, prev) {
+				atomicAt[obj] = pos
+			}
+			atomicNodes[unary.X] = true
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those objects is a plain access.
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if atomicNodes[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, isVar := p.Info.Uses[id].(*types.Var)
+			if !isVar {
+				return true
+			}
+			first, isAtomic := atomicAt[obj]
+			if !isAtomic {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "atomicmix",
+				Position: f.Fset.Position(id.Pos()),
+				Message:  fmt.Sprintf("%s is accessed with sync/atomic (first at %s:%d) but read/written plainly here; mixing modes is a data race — use atomic ops or a typed atomic everywhere", id.Name, first.Filename, first.Line),
+			})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return before(out[i].Position, out[j].Position) })
+	return out
+}
+
+// addressedVar resolves the variable or field object behind the operand
+// of a unary & expression; nil when it is not a plain ident/selector.
+func addressedVar(p *Package, e ast.Expr) *types.Var {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj, _ := p.ObjectOf(v).(*types.Var)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := p.ObjectOf(v.Sel).(*types.Var)
+		return obj
+	}
+	return nil
+}
+
+// before orders positions by file, line, column.
+func before(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLoop returns the ctxloop analyzer. It enforces the scheduler-
+// cancellation invariant from the parallel campaign work (PR 3): in a
+// goroutine-spawning internal package, an event loop — a condition-less
+// `for` built around channel operations, or a range over a channel —
+// running where a context.Context is in scope must observe ctx.Done()
+// or ctx.Err(), otherwise canceling the campaign leaves the loop (and
+// the worker it drives) running forever.
+//
+// Bounded computational loops (CAS retries, frontier pops) contain no
+// channel operations and are not flagged; loops in functions with no
+// context in scope have nothing to observe and are skipped.
+func CtxLoop() *Analyzer {
+	return &Analyzer{
+		Name: "ctxloop",
+		Doc:  "channel event loops in goroutine-spawning packages must observe ctx.Done/ctx.Err",
+		Run:  runCtxLoop,
+	}
+}
+
+func runCtxLoop(p *Package) []Diagnostic {
+	if p.Info == nil || !p.InDir("internal") || !spawnsGoroutines(p) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, sc := range fileScopes(p, f) {
+			if !sc.hasCtx {
+				continue
+			}
+			walkNoLits(sc.body, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					if loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+						return true
+					}
+					if !hasChannelOp(loop.Body) || checksCtxDone(p, loop.Body) {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Analyzer: "ctxloop",
+						Position: f.Fset.Position(loop.Pos()),
+						Message:  "unbounded channel loop never checks ctx.Done/ctx.Err; cancellation cannot stop it",
+					})
+				case *ast.RangeStmt:
+					if !isChannelType(p.TypeOf(loop.X)) || checksCtxDone(p, loop.Body) {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Analyzer: "ctxloop",
+						Position: f.Fset.Position(loop.Pos()),
+						Message:  "range over channel never checks ctx.Done/ctx.Err; cancellation cannot stop it",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// hasChannelOp reports whether the loop body (excluding nested function
+// literals) performs a channel operation: a send, a receive, or a
+// select.
+func hasChannelOp(body *ast.BlockStmt) bool {
+	found := false
+	walkNoLits(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isChannelType reports whether t's underlying type is a channel.
+func isChannelType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -38,11 +38,12 @@ func runErrCmp(p *Package) []Diagnostic {
 					return true
 				}
 				var sentinel string
+				var errOp, sentOp ast.Expr
 				switch {
 				case isSentinelRef(e.X) && isErrIdent(e.Y):
-					sentinel = exprString(e.X)
+					sentinel, errOp, sentOp = exprString(e.X), e.Y, e.X
 				case isSentinelRef(e.Y) && isErrIdent(e.X):
-					sentinel = exprString(e.Y)
+					sentinel, errOp, sentOp = exprString(e.Y), e.X, e.Y
 				default:
 					return true
 				}
@@ -51,6 +52,7 @@ func runErrCmp(p *Package) []Diagnostic {
 					Position: f.Fset.Position(e.Pos()),
 					Message: fmt.Sprintf("error compared to sentinel %s with %s; use errors.Is (wrapped errors will not match)",
 						sentinel, e.Op),
+					Fixes: errorsIsFix(f, e, errOp, sentOp),
 				})
 			case *ast.CallExpr:
 				if hasFmt {
@@ -101,6 +103,7 @@ func checkErrorf(f *File, fmtName string, call *ast.CallExpr) []Diagnostic {
 				Position: f.Fset.Position(arg.Pos()),
 				Message: fmt.Sprintf("error %s passed to fmt.Errorf with %%%c; use %%w so errors.Is/errors.As keep working",
 					exprString(arg), v),
+				Fixes: wrapVerbFix(f, lit, format, i),
 			})
 		}
 	}
@@ -207,6 +210,116 @@ func isSentinelRef(e ast.Expr) bool {
 func isSentinelName(name string) bool {
 	return len(name) > 3 && strings.HasPrefix(name, "Err") &&
 		name[3] >= 'A' && name[3] <= 'Z'
+}
+
+// errorsIsFix builds the suggested fix replacing a sentinel comparison
+// with errors.Is (negated for !=). Offered only when the file already
+// imports the errors package — the fix applier does not manage imports.
+func errorsIsFix(f *File, cmp *ast.BinaryExpr, errOp, sentOp ast.Expr) []SuggestedFix {
+	name, ok := f.ImportName("errors")
+	if !ok {
+		return nil
+	}
+	neg := ""
+	if cmp.Op == token.NEQ {
+		neg = "!"
+	}
+	errText := f.Text(f.Offset(errOp.Pos()), f.Offset(errOp.End()))
+	sentText := f.Text(f.Offset(sentOp.Pos()), f.Offset(sentOp.End()))
+	if errText == "" || sentText == "" {
+		return nil
+	}
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("replace with %serrors.Is(%s, %s)", neg, errText, sentText),
+		Edits: []TextEdit{{
+			Filename: f.Path,
+			Start:    f.Offset(cmp.Pos()),
+			End:      f.Offset(cmp.End()),
+			NewText:  neg + name + ".Is(" + errText + ", " + sentText + ")",
+		}},
+	}}
+}
+
+// wrapVerbFix builds the suggested fix rewriting the argIndex-th verb
+// of a fmt.Errorf format string to %w. The whole string literal is
+// replaced with a re-quoted format, so escaping stays exact.
+func wrapVerbFix(f *File, lit *ast.BasicLit, format string, argIndex int) []SuggestedFix {
+	newFormat, ok := replaceVerb(format, argIndex)
+	if !ok {
+		return nil
+	}
+	return []SuggestedFix{{
+		Message: "wrap the error with %w",
+		Edits: []TextEdit{{
+			Filename: f.Path,
+			Start:    f.Offset(lit.Pos()),
+			End:      f.Offset(lit.End()),
+			NewText:  strconv.Quote(newFormat),
+		}},
+	}}
+}
+
+// replaceVerb rewrites the verb consuming the argIndex-th argument of a
+// printf format string to %w, mirroring parseVerbs' scan so indexes
+// agree. ok is false when the argument maps to a width/precision '*'
+// or the format has fewer verbs.
+func replaceVerb(format string, argIndex int) (string, bool) {
+	runes := []rune(format)
+	arg := 0
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		for i < len(runes) {
+			if runes[i] == '*' {
+				if arg == argIndex {
+					return "", false
+				}
+				arg++
+				i++
+				continue
+			}
+			if runes[i] >= '0' && runes[i] <= '9' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) {
+				if runes[i] == '*' {
+					if arg == argIndex {
+						return "", false
+					}
+					arg++
+					i++
+					continue
+				}
+				if runes[i] >= '0' && runes[i] <= '9' {
+					i++
+					continue
+				}
+				break
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		if arg == argIndex {
+			runes[i] = 'w'
+			return string(runes), true
+		}
+		arg++
+	}
+	return "", false
 }
 
 // exprString renders simple expressions (idents and selectors) for

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by the diagnostics to
+// the files under root and returns the root-relative paths it rewrote,
+// sorted. Edits are applied per file in offset order; when two fixes
+// overlap, the one whose edit starts first wins and the later one is
+// dropped — deterministic, and safe because each fix is self-contained.
+// Rewritten files are passed through go/format, so applying fixes never
+// leaves a file gofmt-dirty.
+func ApplyFixes(root string, pkgs []*Package, diags []Diagnostic) ([]string, error) {
+	srcByPath := make(map[string][]byte)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			srcByPath[f.Path] = f.Src
+		}
+	}
+
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+
+	var changed []string
+	for path, edits := range byFile {
+		src, ok := srcByPath[path]
+		if !ok {
+			return changed, fmt.Errorf("fix targets unknown file %s", path)
+		}
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Drop overlapping edits: keep the first, skip any edit starting
+		// before the previous accepted edit's end.
+		kept := edits[:0]
+		prevEnd := -1
+		for _, e := range edits {
+			if e.Start < prevEnd || e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				continue
+			}
+			kept = append(kept, e)
+			prevEnd = e.End
+		}
+		// Apply back to front so earlier offsets stay valid.
+		out := append([]byte(nil), src...)
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return changed, fmt.Errorf("fixes for %s do not format: %w", path, err)
+		}
+		abs := filepath.Join(root, filepath.FromSlash(path))
+		info, err := os.Stat(abs)
+		if err != nil {
+			return changed, fmt.Errorf("stat %s: %w", abs, err)
+		}
+		if err := os.WriteFile(abs, formatted, info.Mode().Perm()); err != nil {
+			return changed, fmt.Errorf("write %s: %w", abs, err)
+		}
+		changed = append(changed, path)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// FixCount returns how many diagnostics carry at least one suggested
+// fix.
+func FixCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}

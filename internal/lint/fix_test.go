@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixTree copies testdata/fix/<name> (minus .golden files) into a
+// temp dir so ApplyFixes can rewrite it.
+func copyFixTree(t *testing.T, name string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "fix", name)
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(path, ".golden") {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestApplyFixesGolden applies every suggested fix of the errcmp fix
+// fixture and compares the rewritten files against their .golden
+// twins; the result must also round-trip gofmt unchanged.
+func TestApplyFixesGolden(t *testing.T) {
+	root := copyFixTree(t, "errcmp")
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	if FixCount(diags) == 0 {
+		t.Fatalf("fix fixture produced no fixable diagnostics: %v", diags)
+	}
+	changed, err := ApplyFixes(root, pkgs, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "internal/lib/lib.go" {
+		t.Fatalf("changed = %v, want [internal/lib/lib.go]", changed)
+	}
+
+	got, err := os.ReadFile(filepath.Join(root, "internal", "lib", "lib.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fix", "errcmp", "internal", "lib", "lib.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fixed file differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	formatted, err := format.Source(got)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if string(formatted) != string(got) {
+		t.Errorf("fixed file is not gofmt-clean")
+	}
+
+	// The applied fixes must resolve their findings: a reload reports
+	// zero errcmp diagnostics.
+	pkgs, err = Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countAnalyzer(Run(pkgs, Analyzers()), "errcmp"); n != 0 {
+		t.Errorf("errcmp findings after fix = %d, want 0", n)
+	}
+}
+
+// TestApplyFixesOverlapDeterministic: when two edits overlap, the one
+// starting first wins and the result still formats.
+func TestApplyFixesOverlap(t *testing.T) {
+	root := copyFixTree(t, "errcmp")
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *File
+	for _, p := range pkgs {
+		for _, pf := range p.Files {
+			if pf.Path == "internal/lib/lib.go" {
+				f = pf
+			}
+		}
+	}
+	if f == nil {
+		t.Fatal("fixture file not loaded")
+	}
+	// Two fixes rewriting the same comparison: only the first applies.
+	cmp := strings.Index(string(f.Src), "err == ErrClosed")
+	if cmp < 0 {
+		t.Fatal("comparison not found in fixture source")
+	}
+	diags := []Diagnostic{
+		{Fixes: []SuggestedFix{{Edits: []TextEdit{{
+			Filename: f.Path, Start: cmp, End: cmp + len("err == ErrClosed"),
+			NewText: "errors.Is(err, ErrClosed)",
+		}}}}},
+		{Fixes: []SuggestedFix{{Edits: []TextEdit{{
+			Filename: f.Path, Start: cmp + 4, End: cmp + len("err == ErrClosed"),
+			NewText: "BROKEN",
+		}}}}},
+	}
+	if _, err := ApplyFixes(root, pkgs, diags); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "internal", "lib", "lib.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "BROKEN") {
+		t.Errorf("overlapping edit was applied:\n%s", got)
+	}
+	if !strings.Contains(string(got), "errors.Is(err, ErrClosed)") {
+		t.Errorf("first edit was not applied:\n%s", got)
+	}
+}

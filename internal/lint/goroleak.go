@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak returns the goroleak analyzer, aimed at the two goroutine-
+// leak shapes that matter for a long-running benchmark service:
+//
+//  1. A goroutine launched where a context.Context is in scope but not
+//     captured by the goroutine: nothing can cancel it, so campaign
+//     shutdown and request cancellation silently stop propagating.
+//  2. A `go func` literal sending on an unbuffered channel with no
+//     select around the send: if the receiver returns early (error
+//     path, timeout), the send blocks forever and the goroutine — plus
+//     everything it pins — leaks.
+//
+// Both rules apply to internal packages only; binaries own their
+// goroutine lifecycles.
+func GoroLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "goroutines must capture the in-scope ctx; unbuffered sends from goroutines need a select guard",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(p *Package) []Diagnostic {
+	if p.Info == nil || !p.InDir("internal") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, sc := range fileScopes(p, f) {
+			walkNoLits(sc.body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if sc.hasCtx && !usesContextValue(p, g.Call) {
+					out = append(out, Diagnostic{
+						Analyzer: "goroleak",
+						Position: f.Fset.Position(g.Pos()),
+						Message:  "goroutine does not capture the in-scope ctx; cancellation cannot reach it",
+					})
+				}
+				if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+					out = append(out, checkUnbufferedSends(p, f, sc.decl, lit)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkUnbufferedSends flags bare sends on unbuffered channels inside a
+// goroutine literal. Sends wrapped in a select are exempt: a ctx/done
+// case (or default) gives the goroutine a way out when the receiver is
+// gone.
+func checkUnbufferedSends(p *Package, f *File, decl *ast.FuncDecl, lit *ast.FuncLit) []Diagnostic {
+	guarded := make(map[*ast.SendStmt]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, isCC := clause.(*ast.CommClause)
+			if !isCC {
+				continue
+			}
+			if send, isSend := cc.Comm.(*ast.SendStmt); isSend {
+				guarded[send] = true
+			}
+		}
+		return true
+	})
+	var out []Diagnostic
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || guarded[send] {
+			return true
+		}
+		id, isIdent := send.Chan.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		obj, isVar := p.ObjectOf(id).(*types.Var)
+		if !isVar || !makesUnbufferedChan(p, decl, obj) {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "goroleak",
+			Position: f.Fset.Position(send.Pos()),
+			Message:  fmt.Sprintf("bare send on unbuffered channel %q from a goroutine; if the receiver bails out this goroutine leaks — guard the send with a select", id.Name),
+		})
+		return true
+	})
+	return out
+}
+
+// makesUnbufferedChan reports whether the channel variable is created
+// by an unbuffered make(chan T) inside the enclosing declaration.
+func makesUnbufferedChan(p *Package, decl *ast.FuncDecl, obj *types.Var) bool {
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || p.ObjectOf(id) != obj || i >= len(assign.Rhs) {
+				continue
+			}
+			if isUnbufferedMake(assign.Rhs[i]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isUnbufferedMake matches make(chan T) and make(chan T, 0).
+func isUnbufferedMake(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	lit, isLit := call.Args[1].(*ast.BasicLit)
+	return isLit && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotMarker annotates a function as being on a measured hot path: the
+// PR-6 BENCH_<n>.json experiments exercise it per-gate or per-tile, so
+// per-call allocations show up directly on the performance trajectory.
+const hotMarker = "perf:hot"
+
+// HotAlloc returns the hotalloc analyzer. Inside functions annotated
+// //perf:hot it flags the three allocation patterns that most often
+// regress the benchmark suite without failing any test:
+//
+//   - string concatenation (+ / += on strings) — allocates per call;
+//   - fmt.Sprintf — allocates and reflects;
+//   - map and slice composite literals — allocate on every execution.
+//
+// make() with a computed capacity, struct literals, and error paths via
+// fmt.Errorf stay allowed: the analyzer targets steady-state per-call
+// garbage, not one-time setup. The annotation is a claim tied to the
+// committed perf snapshots; see docs/STATIC_ANALYSIS.md.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "//perf:hot functions must not concatenate strings, call fmt.Sprintf, or build map/slice literals",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotMarker(fd.Doc) {
+				continue
+			}
+			out = append(out, checkHotFunc(p, f, fd)...)
+		}
+	}
+	return out
+}
+
+// hasHotMarker reports whether a doc comment carries //perf:hot.
+func hasHotMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, hotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc flags allocation patterns anywhere inside a hot
+// function, nested literals included (closures built per call allocate
+// too).
+func checkHotFunc(p *Package, f *File, fd *ast.FuncDecl) []Diagnostic {
+	name := fd.Name.Name
+	var out []Diagnostic
+	flag := func(pos token.Pos, what string) {
+		out = append(out, Diagnostic{
+			Analyzer: "hotalloc",
+			Position: f.Fset.Position(pos),
+			Message:  fmt.Sprintf("%s in //perf:hot function %s; it allocates on every call — hoist it out of the hot path", what, name),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(p.TypeOf(v.X)) {
+				flag(v.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isStringType(p.TypeOf(v.Lhs[0])) {
+				flag(v.TokPos, "string concatenation")
+			}
+		case *ast.CallExpr:
+			if pkgPath, fn, ok := pkgFuncCall(p, v); ok && pkgPath == "fmt" && fn == "Sprintf" {
+				flag(v.Pos(), "fmt.Sprintf")
+			}
+		case *ast.CompositeLit:
+			if t := p.TypeOf(v); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					flag(v.Pos(), "map literal")
+				case *types.Slice:
+					flag(v.Pos(), "slice literal")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

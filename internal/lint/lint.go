@@ -27,12 +27,33 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: an analyzer, a source position, and a
-// human-readable message.
+// TextEdit is one byte-range replacement inside a root-relative file.
+// Start and End are byte offsets into the file's source; an insertion
+// has Start == End.
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is one self-contained remediation for a diagnostic:
+// applying all its edits (and gofmt-ing the result) resolves the
+// finding. Fixes must be safe to apply mechanically — behavior-
+// preserving or strictly more correct.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Diagnostic is one finding: an analyzer, a source position, a
+// human-readable message, and optionally machine-applicable fixes
+// (`mntlint -fix`).
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Position token.Position `json:"position"`
 	Message  string         `json:"message"`
+	Fixes    []SuggestedFix `json:"fixes,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -53,7 +74,8 @@ type Analyzer struct {
 	Run func(p *Package) []Diagnostic
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the six syntactic
+// v1 analyzers, then the five type-aware v2 analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CtxFirst(),
@@ -62,15 +84,23 @@ func Analyzers() []*Analyzer {
 		PrintBan(),
 		PanicBan(),
 		SeedArg(),
+		LockBalance(),
+		CtxLoop(),
+		GoroLeak(),
+		HotAlloc(),
+		AtomicMix(),
 	}
 }
 
 // Run executes the given analyzers over the given packages, drops
 // findings suppressed by //lint:ignore directives, and returns the rest
-// sorted by position. Malformed ignore directives (missing analyzer
-// name or reason) are themselves reported, so suppressions stay
-// auditable.
+// in a fully deterministic order (file, line, column, analyzer,
+// message) so -json output is byte-stable for CI diffing. Malformed
+// ignore directives (missing analyzer name or reason) and directives
+// naming analyzers that do not exist in the catalogue are themselves
+// reported, so suppressions stay auditable and cannot silently rot.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := knownAnalyzerNames()
 	var out []Diagnostic
 	for _, p := range pkgs {
 		var raw []Diagnostic
@@ -79,6 +109,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		for _, f := range p.Files {
 			raw = append(raw, f.malformedIgnores...)
+			for _, ig := range f.ignores {
+				if !known[ig.analyzer] {
+					raw = append(raw, Diagnostic{
+						Analyzer: "lint",
+						Position: ig.pos,
+						Message:  fmt.Sprintf("ignore directive names unknown analyzer %q (see mntlint -list)", ig.analyzer),
+					})
+				}
+			}
 		}
 		for _, d := range raw {
 			if !suppressed(p, d) {
@@ -97,9 +136,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out
+}
+
+// knownAnalyzerNames is the full catalogue plus the framework's own
+// "lint" pseudo-analyzer — the set //lint:ignore directives may name,
+// independent of which analyzers a given Run enables.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"lint": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // suppressed reports whether an ignore directive covers the diagnostic.
@@ -117,16 +170,23 @@ func suppressed(p *Package, d Diagnostic) bool {
 	return false
 }
 
-// ignore is one parsed //lint:ignore directive.
+// ignore is one parsed //lint:ignore directive (a comma-separated
+// directive yields one ignore per named analyzer).
 type ignore struct {
 	analyzer string
-	// line is the comment's own line; target is the source line the
-	// directive applies to (the same line for trailing comments, the
-	// following line for standalone comment lines).
-	line, target int
+	pos      token.Position
+	// line is the comment's own line; target..targetEnd is the source
+	// line span the directive applies to: the same line for trailing
+	// comments, or — for a standalone comment line — the full extent of
+	// the statement or declaration starting on the next source line, so
+	// a directive above a multi-line call suppresses findings anchored
+	// to any of its lines.
+	line, target, targetEnd int
 }
 
-func (ig ignore) covers(line int) bool { return line == ig.line || line == ig.target }
+func (ig ignore) covers(line int) bool {
+	return line == ig.line || (line >= ig.target && line <= ig.targetEnd)
+}
 
 const (
 	ignorePrefix  = "//lint:ignore"
@@ -134,7 +194,8 @@ const (
 )
 
 // parseDirectives extracts the ignore directives of a parsed file and
-// records malformed ones as diagnostics.
+// records malformed ones as diagnostics. A directive may name several
+// analyzers separated by commas: //lint:ignore a,b <reason>.
 func (f *File) parseDirectives() {
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
@@ -148,17 +209,49 @@ func (f *File) parseDirectives() {
 				f.malformedIgnores = append(f.malformedIgnores, Diagnostic{
 					Analyzer: "lint",
 					Position: pos,
-					Message:  "malformed ignore directive: want //lint:ignore <analyzer> <reason>",
+					Message:  "malformed ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
 				})
 				continue
 			}
-			f.ignores = append(f.ignores, ignore{
-				analyzer: fields[0],
-				line:     pos.Line,
-				target:   pos.Line + 1,
-			})
+			target := pos.Line + 1
+			end := f.stmtEndLine(target)
+			for _, name := range strings.Split(fields[0], ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				f.ignores = append(f.ignores, ignore{
+					analyzer:  name,
+					pos:       pos,
+					line:      pos.Line,
+					target:    target,
+					targetEnd: end,
+				})
+			}
 		}
 	}
+}
+
+// stmtEndLine returns the last line of the widest statement, spec, or
+// declaration that starts on the given line, and the line itself when
+// none does.
+func (f *File) stmtEndLine(line int) int {
+	end := line
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec:
+			if f.Fset.Position(n.Pos()).Line == line {
+				if e := f.Fset.Position(n.End()).Line; e > end {
+					end = e
+				}
+			}
+		}
+		return true
+	})
+	return end
 }
 
 // hasBoundedMarker reports whether a doc comment declares the function's

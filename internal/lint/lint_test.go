@@ -132,6 +132,94 @@ func TestSeedArgFixture(t *testing.T) {
 	requireAnalyzerFindings(t, diags, "seedarg", 4)
 }
 
+func TestLockBalanceFixture(t *testing.T) {
+	diags := runFixture(t, "lockbalance")
+	requireAnalyzerFindings(t, diags, "lockbalance", 5)
+}
+
+func TestCtxLoopFixture(t *testing.T) {
+	diags := runFixture(t, "ctxloop")
+	requireAnalyzerFindings(t, diags, "ctxloop", 2)
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	diags := runFixture(t, "goroleak")
+	requireAnalyzerFindings(t, diags, "goroleak", 2)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	diags := runFixture(t, "hotalloc")
+	requireAnalyzerFindings(t, diags, "hotalloc", 5)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	diags := runFixture(t, "atomicmix")
+	requireAnalyzerFindings(t, diags, "atomicmix", 2)
+}
+
+// TestTypeInfoFixture covers the resolution edge cases the v2 engine
+// exists for: decoy types named like stdlib ones must not match, and
+// import aliases must not hide real matches.
+func TestTypeInfoFixture(t *testing.T) {
+	diags := runFixture(t, "typeinfo")
+	requireAnalyzerFindings(t, diags, "atomicmix", 1)
+	requireAnalyzerFindings(t, diags, "lockbalance", 1)
+}
+
+// TestTypeInfoAvailable asserts the loader attaches go/types results to
+// module packages: the repository's own internal/lint must type-check
+// with zero errors, and fixture trees must still get (possibly partial)
+// Info rather than nil.
+func TestTypeInfoAvailable(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.Dir != "internal/lint" {
+			continue
+		}
+		if p.Info == nil || p.Types == nil {
+			t.Fatalf("internal/lint has no type info")
+		}
+		if len(p.TypeErrors) != 0 {
+			t.Errorf("internal/lint type errors: %v", p.TypeErrors)
+		}
+		if p.Types.Path() == "" {
+			t.Errorf("internal/lint has empty types path")
+		}
+		return
+	}
+	t.Fatal("internal/lint package not loaded")
+}
+
+// TestLoaderSkips proves the loader ignores generated files and nested
+// testdata trees: the skip fixture's only loadable file is lib.go, and
+// the panicban violations in gen.go and testdata/inner.go never load.
+func TestLoaderSkips(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "skip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			paths = append(paths, f.Path)
+		}
+	}
+	want := []string{"internal/lib/lib.go"}
+	if len(paths) != 1 || paths[0] != want[0] {
+		t.Fatalf("loaded files = %v, want %v", paths, want)
+	}
+	if diags := Run(pkgs, Analyzers()); len(diags) != 0 {
+		t.Errorf("skip fixture findings: %v", diags)
+	}
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	diags := runFixture(t, "ignore")
 	// Two panics are suppressed, one stays because the directive names
@@ -173,6 +261,114 @@ func Broken() {
 	}
 	if !gotPanic {
 		t.Errorf("reasonless //lint:ignore suppressed the finding anyway; diags: %v", diags)
+	}
+}
+
+// loadTempModule writes the given root-relative files into a temp dir,
+// loads it, and runs the full analyzer suite.
+func loadTempModule(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		abs := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(abs, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(pkgs, Analyzers())
+}
+
+// countAnalyzer returns how many diagnostics the named analyzer emitted.
+func countAnalyzer(diags []Diagnostic, analyzer string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIgnoreCoversMultilineStatement: a standalone directive line must
+// cover the full extent of the statement below it, not just its first
+// line — here the errcmp finding anchors to the argument two lines
+// down.
+func TestIgnoreCoversMultilineStatement(t *testing.T) {
+	diags := loadTempModule(t, map[string]string{
+		"internal/lib/lib.go": `package lib
+
+import "fmt"
+
+func Wrap(err error) error {
+	//lint:ignore errcmp flattening is deliberate for the legacy log format
+	return fmt.Errorf("op failed: %v",
+		err)
+}
+`,
+	})
+	if n := countAnalyzer(diags, "errcmp"); n != 0 {
+		t.Errorf("errcmp findings = %d, want 0 (directive should cover the whole statement); diags: %v", n, diags)
+	}
+}
+
+// TestIgnoreCommaSeparated: one directive naming several analyzers
+// suppresses each of them.
+func TestIgnoreCommaSeparated(t *testing.T) {
+	diags := loadTempModule(t, map[string]string{
+		"internal/lib/lib.go": `package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBad = errors.New("bad")
+
+func Debug(err error) {
+	//lint:ignore printban,errcmp transitional debug helper, tracked for removal
+	fmt.Println(err == ErrBad)
+}
+`,
+	})
+	if n := countAnalyzer(diags, "printban"); n != 0 {
+		t.Errorf("printban findings = %d, want 0; diags: %v", n, diags)
+	}
+	if n := countAnalyzer(diags, "errcmp"); n != 0 {
+		t.Errorf("errcmp findings = %d, want 0; diags: %v", n, diags)
+	}
+}
+
+// TestIgnoreUnknownAnalyzerReported: a directive naming an analyzer
+// that is not in the catalogue is itself a finding, and suppresses
+// nothing.
+func TestIgnoreUnknownAnalyzerReported(t *testing.T) {
+	diags := loadTempModule(t, map[string]string{
+		"internal/lib/lib.go": `package lib
+
+func Boom() {
+	//lint:ignore nosuchcheck this analyzer does not exist
+	panic("still reported")
+}
+`,
+	})
+	var gotUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, `unknown analyzer "nosuchcheck"`) {
+			gotUnknown = true
+		}
+	}
+	if !gotUnknown {
+		t.Errorf("unknown-analyzer directive not reported; diags: %v", diags)
+	}
+	if n := countAnalyzer(diags, "panicban"); n != 1 {
+		t.Errorf("panicban findings = %d, want 1 (bogus directive must not suppress); diags: %v", n, diags)
 	}
 }
 

@@ -1,12 +1,16 @@
 package lint
 
 import (
+	"bufio"
+	"bytes"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,6 +23,9 @@ type File struct {
 	Path string
 	Fset *token.FileSet
 	AST  *ast.File
+	// Src is the raw source, kept so suggested fixes can splice exact
+	// original text.
+	Src []byte
 	// Test marks _test.go files, which most analyzers skip.
 	Test bool
 	// Imports maps the local name of each import to its path, e.g.
@@ -28,6 +35,18 @@ type File struct {
 	ignores          []ignore
 	malformedIgnores []Diagnostic
 }
+
+// Text returns the original source for the byte range [start, end) of
+// the file, or "" when out of range.
+func (f *File) Text(start, end int) string {
+	if start < 0 || end > len(f.Src) || start > end {
+		return ""
+	}
+	return string(f.Src[start:end])
+}
+
+// Offset converts a token position in this file to a byte offset.
+func (f *File) Offset(pos token.Pos) int { return f.Fset.Position(pos).Offset }
 
 // ImportName returns the local name under which the file imports the
 // given path, and whether it is imported at all.
@@ -68,6 +87,16 @@ type Package struct {
 	// Bounded indexes package-level functions whose doc comment carries
 	// the //lint:bounded marker.
 	Bounded map[string]bool
+
+	// Types and Info hold the go/types result for the package's non-test
+	// files; nil when the package has no non-test files. Info may be
+	// partial when imports did not resolve (fixture trees) — analyzers
+	// access it through the nil-safe TypeOf/ObjectOf/Selection helpers.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects (never fails on) type-check errors, for
+	// debugging fixtures and the loader's own tests.
+	TypeErrors []error
 }
 
 // InDir reports whether the package lives in or below any of the given
@@ -89,9 +118,33 @@ var skipDirs = map[string]bool{
 	"node_modules": true,
 }
 
+// generatedRe matches the conventional generated-file marker line
+// (https://go.dev/s/generatedcode); such files are machine output, not
+// module source, and the loader skips them entirely.
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether the source carries a generated-code
+// marker line before its package clause.
+func isGenerated(src []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if generatedRe.MatchString(line) {
+			return true
+		}
+	}
+	return false
+}
+
 // Load parses every .go file under root (recursively), grouping files by
-// directory. Directories named testdata or vendor and hidden directories
-// are skipped, matching the go tool's notion of module source.
+// directory and type-checking each package (see typecheck.go).
+// Directories named testdata or vendor, hidden directories, and files
+// with a "// Code generated ... DO NOT EDIT." header are skipped,
+// matching the go tool's notion of module source.
 func Load(root string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	byDir := make(map[string]*Package)
@@ -118,6 +171,9 @@ func Load(root string) ([]*Package, error) {
 		if rdErr != nil {
 			return rdErr
 		}
+		if isGenerated(src) {
+			return nil
+		}
 		// Parse under the root-relative name so diagnostic positions,
 		// File.Path, and ignore-directive matching all agree.
 		astf, perr := parser.ParseFile(fset, rel, src, parser.ParseComments)
@@ -128,6 +184,7 @@ func Load(root string) ([]*Package, error) {
 			Path:    rel,
 			Fset:    fset,
 			AST:     astf,
+			Src:     src,
 			Test:    strings.HasSuffix(name, "_test.go"),
 			Imports: importNames(astf),
 		}
@@ -160,7 +217,25 @@ func Load(root string) ([]*Package, error) {
 		p.index()
 		pkgs = append(pkgs, p)
 	}
+	newTypeChecker(fset, modulePath(root), byDir).checkAll(dirs)
 	return pkgs, nil
+}
+
+// modulePath reads the module path from root's go.mod; "" when there is
+// none (fixture trees), in which case imports resolve by directory
+// suffix.
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
 }
 
 // index fills the package-level name, constant, and bounded-function

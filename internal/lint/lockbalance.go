@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockBalance returns the lockbalance analyzer. It guards the two lock
+// mistakes that threaten the parallel campaign scheduler and the obs
+// registry under load:
+//
+//  1. A sync.Mutex/RWMutex Lock (or RLock) with no matching Unlock
+//     (RUnlock) anywhere in the same function scope — the classic
+//     early-return leak that deadlocks every later caller. Matching is
+//     type-resolved, so embedded and promoted mutexes count, and each
+//     function literal is its own scope (a lock taken in a closure must
+//     be released in that closure).
+//  2. A channel send while a lock is held (including after a deferred
+//     unlock): if the receiver is gone or slow, the send blocks with
+//     the lock held and the whole lock domain stalls behind it.
+func LockBalance() *Analyzer {
+	return &Analyzer{
+		Name: "lockbalance",
+		Doc:  "sync.Mutex/RWMutex locks need a same-function unlock, and must not be held across channel sends",
+		Run:  runLockBalance,
+	}
+}
+
+// lockEvent is one lock-related operation or channel send, in source
+// order within a function scope.
+type lockEvent struct {
+	pos      token.Pos
+	kind     string // "Lock", "RLock", "Unlock", "RUnlock", "send"
+	recv     string // rendered receiver expression; "" for sends
+	deferred bool
+}
+
+func runLockBalance(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, sc := range fileScopes(p, f) {
+			out = append(out, checkLockScope(p, f, sc)...)
+		}
+	}
+	return out
+}
+
+// checkLockScope analyzes one function scope: collect lock events in
+// source order, then apply the balance and held-across-send rules.
+func checkLockScope(p *Package, f *File, sc funcScope) []Diagnostic {
+	var events []lockEvent
+	walkNoLits(sc.body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := mutexEvent(p, f, v.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+			}
+			// Skip the subtree so the deferred call is not revisited as
+			// a non-deferred event (deferred literals become scopes of
+			// their own via fileScopes).
+			return false
+		case *ast.CallExpr:
+			if ev, ok := mutexEvent(p, f, v); ok {
+				events = append(events, ev)
+			}
+		case *ast.SendStmt:
+			events = append(events, lockEvent{pos: v.Arrow, kind: "send"})
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type balance struct {
+		locks, unlocks, rlocks, runlocks int
+		firstLock, firstRLock            token.Pos
+	}
+	held := make(map[string]bool)
+	perRecv := make(map[string]*balance)
+	order := []string{}
+	var out []Diagnostic
+	for _, ev := range events {
+		if ev.kind == "send" {
+			for _, recv := range order {
+				if held[recv] {
+					out = append(out, Diagnostic{
+						Analyzer: "lockbalance",
+						Position: f.Fset.Position(ev.pos),
+						Message:  fmt.Sprintf("channel send while holding %s: a blocked receiver stalls every other user of the lock; release it before sending", recv),
+					})
+					break
+				}
+			}
+			continue
+		}
+		b := perRecv[ev.recv]
+		if b == nil {
+			b = &balance{}
+			perRecv[ev.recv] = b
+			order = append(order, ev.recv)
+		}
+		switch ev.kind {
+		case "Lock":
+			b.locks++
+			if b.firstLock == token.NoPos {
+				b.firstLock = ev.pos
+			}
+			held[ev.recv] = true
+		case "RLock":
+			b.rlocks++
+			if b.firstRLock == token.NoPos {
+				b.firstRLock = ev.pos
+			}
+			held[ev.recv] = true
+		case "Unlock":
+			b.unlocks++
+			if !ev.deferred {
+				held[ev.recv] = false
+			}
+		case "RUnlock":
+			b.runlocks++
+			if !ev.deferred {
+				held[ev.recv] = false
+			}
+		}
+	}
+	for _, recv := range order {
+		b := perRecv[recv]
+		if b.locks > 0 && b.unlocks == 0 {
+			out = append(out, Diagnostic{
+				Analyzer: "lockbalance",
+				Position: f.Fset.Position(b.firstLock),
+				Message:  fmt.Sprintf("%s.Lock() has no matching %s.Unlock() in %s; every path out of the function must release the lock", recv, recv, sc.name),
+			})
+		}
+		if b.rlocks > 0 && b.runlocks == 0 {
+			out = append(out, Diagnostic{
+				Analyzer: "lockbalance",
+				Position: f.Fset.Position(b.firstRLock),
+				Message:  fmt.Sprintf("%s.RLock() has no matching %s.RUnlock() in %s; every path out of the function must release the lock", recv, recv, sc.name),
+			})
+		}
+	}
+	return out
+}
+
+// mutexEvent resolves a call to a sync.Mutex/RWMutex lock-family method
+// (including promoted methods of embedded mutexes) into a lock event.
+func mutexEvent(p *Package, f *File, call *ast.CallExpr) (lockEvent, bool) {
+	pkgPath, recvName, method, ok := methodCall(p, call)
+	if !ok || pkgPath != "sync" || (recvName != "Mutex" && recvName != "RWMutex") {
+		return lockEvent{}, false
+	}
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return lockEvent{pos: call.Pos(), kind: method, recv: exprText(f, sel.X)}, true
+}

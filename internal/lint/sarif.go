@@ -1,0 +1,134 @@
+package lint
+
+// SARIF 2.1.0 output for CI annotation upload (GitHub code scanning
+// accepts it via codeql-action/upload-sarif). Only the small, stable
+// subset of the schema the viewer actually reads is emitted; the
+// structs double as the format contract tested by sarif_test.go.
+
+// SarifLog is the top-level SARIF 2.1.0 document.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one analysis run: the tool description plus its results.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool wraps the driver component.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver identifies mntlint and declares one rule per analyzer.
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule is one analyzer in the rules catalogue.
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+// SarifResult is one diagnostic.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifMessage carries plain text.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifLocation points at a file region.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+// SarifPhysicalLocation is an artifact reference plus a region.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation is a root-relative file URI.
+type SarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+// SarifRegion is a 1-based start position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// ToSARIF converts diagnostics into a SARIF 2.1.0 log. Every analyzer
+// in the catalogue gets a rule entry (plus the framework's "lint"
+// pseudo-rule for directive findings), so ruleIndex is stable whether
+// or not an analyzer fired. Diagnostics must already be sorted; the
+// results array preserves their order.
+func ToSARIF(diags []Diagnostic, analyzers []*Analyzer) SarifLog {
+	rules := []SarifRule{{
+		ID:               "lint",
+		ShortDescription: SarifMessage{Text: "lint directive hygiene (malformed or unknown //lint:ignore)"},
+	}}
+	index := map[string]int{"lint": 0}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, SarifRule{
+			ID:               a.Name,
+			ShortDescription: SarifMessage{Text: a.Doc},
+		})
+	}
+
+	results := make([]SarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			idx = 0
+		}
+		results = append(results, SarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   SarifMessage{Text: d.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{
+						URI:       d.Position.Filename,
+						URIBaseID: "SRCROOT",
+					},
+					Region: SarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	return SarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool: SarifTool{Driver: SarifDriver{
+				Name:  "mntlint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcScope is one function body analyzed as an independent unit by the
+// concurrency analyzers: a declared function or a function literal.
+// Nested literals are excluded from their parent's walk (they run on a
+// different goroutine or at a different time) and appear as scopes of
+// their own.
+type funcScope struct {
+	// name labels the scope in diagnostics: the declared name, or
+	// "<name>.func" for literals nested in it.
+	name string
+	body *ast.BlockStmt
+	// decl is the enclosing top-level declaration (the scope itself for
+	// declared functions); goroleak searches it for channel make sites.
+	decl *ast.FuncDecl
+	// hasCtx reports whether a context.Context parameter is in scope —
+	// the scope's own or, for literals, any enclosing function's
+	// (closures capture it).
+	hasCtx bool
+}
+
+// fileScopes returns every function scope of a file in source order.
+func fileScopes(p *Package, f *File) []funcScope {
+	var out []funcScope
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		hasCtx := paramsHaveCtx(p, fd.Type)
+		out = append(out, funcScope{name: fd.Name.Name, body: fd.Body, decl: fd, hasCtx: hasCtx})
+		collectLitScopes(p, fd, fd.Body, fd.Name.Name, hasCtx, &out)
+	}
+	return out
+}
+
+// collectLitScopes appends a scope for every function literal nested
+// (at any depth) under root, threading ctx visibility down.
+func collectLitScopes(p *Package, decl *ast.FuncDecl, root ast.Node, name string, hasCtx bool, out *[]funcScope) {
+	walkNoLits(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		litCtx := hasCtx || paramsHaveCtx(p, lit.Type)
+		*out = append(*out, funcScope{name: name + ".func", body: lit.Body, decl: decl, hasCtx: litCtx})
+		collectLitScopes(p, decl, lit.Body, name+".func", litCtx, out)
+		return false
+	})
+}
+
+// paramsHaveCtx reports whether a function type declares a
+// context.Context parameter.
+func paramsHaveCtx(p *Package, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(p.TypeOf(field.Type)) {
+			return true
+		}
+		// Fixture trees without resolvable type info still follow the
+		// ctx-first convention syntactically.
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+			if x, isIdent := sel.X.(*ast.Ident); isIdent && x.Name == "context" && sel.Sel.Name == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkNoLits traverses the subtree under root in source order but does
+// not descend into function literals: fn still sees each *ast.FuncLit
+// node (so callers can collect them as scopes of their own), only the
+// literal's interior is withheld. Callers never pass a FuncLit as root.
+func walkNoLits(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			fn(n)
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// usesContextValue reports whether any identifier under root (function
+// literals included — a captured ctx counts) resolves to a value of
+// type context.Context.
+func usesContextValue(p *Package, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, isVar := p.ObjectOf(id).(*types.Var); isVar && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checksCtxDone reports whether the subtree under root (excluding
+// nested function literals, which run elsewhere) calls Done or Err on a
+// context.Context value.
+func checksCtxDone(p *Package, root ast.Node) bool {
+	found := false
+	walkNoLits(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+			return true
+		}
+		if isContextType(p.TypeOf(sel.X)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// spawnsGoroutines reports whether any non-test file of the package
+// contains a go statement.
+func spawnsGoroutines(p *Package) bool {
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		found := false
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.GoStmt); ok {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders an expression as its exact source text (falling back
+// to exprString for out-of-range positions).
+func exprText(f *File, e ast.Expr) string {
+	if s := f.Text(f.Offset(e.Pos()), f.Offset(e.End())); s != "" {
+		return s
+	}
+	return exprString(e)
+}

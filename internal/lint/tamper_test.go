@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// tamperCases injects one true-positive per v2 analyzer into a
+// synthetic module. Each snippet carries a //GUARD marker line directly
+// above the offending statement: the unguarded variant must fire, and
+// replacing the marker with a reasoned //lint:ignore must silence it.
+// Together the two runs prove both the detection and the only
+// sanctioned escape hatch.
+var tamperCases = []struct {
+	analyzer string
+	src      string
+}{
+	{
+		analyzer: "lockbalance",
+		src: `package lib
+
+import "sync"
+
+var mu sync.Mutex
+var v int
+
+func Get() int {
+	//GUARD
+	mu.Lock()
+	return v
+}
+`,
+	},
+	{
+		analyzer: "ctxloop",
+		src: `package lib
+
+import "context"
+
+func Run(ctx context.Context, jobs chan int, out chan int) {
+	go func() {
+		_ = ctx.Err()
+	}()
+	//GUARD
+	for j := range jobs {
+		out <- j
+	}
+}
+`,
+	},
+	{
+		analyzer: "goroleak",
+		src: `package lib
+
+import "context"
+
+func Run(ctx context.Context, done chan struct{}) {
+	//GUARD
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}
+`,
+	},
+	{
+		analyzer: "hotalloc",
+		src: `package lib
+
+import "fmt"
+
+// Label is on the hot path.
+//
+//perf:hot
+func Label(n int) string {
+	//GUARD
+	return fmt.Sprintf("n=%d", n)
+}
+`,
+	},
+	{
+		analyzer: "atomicmix",
+		src: `package lib
+
+import "sync/atomic"
+
+var n int64
+
+func Incr() {
+	atomic.AddInt64(&n, 1)
+}
+
+func Read() int64 {
+	//GUARD
+	return n
+}
+`,
+	},
+}
+
+func TestTamperDetection(t *testing.T) {
+	for _, tc := range tamperCases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			unguarded := strings.Replace(tc.src, "//GUARD\n", "", 1)
+			diags := loadTempModule(t, map[string]string{"internal/lib/lib.go": unguarded})
+			if n := countAnalyzer(diags, tc.analyzer); n < 1 {
+				t.Errorf("injected %s violation not detected; diags: %v", tc.analyzer, diags)
+			}
+
+			guarded := strings.Replace(tc.src, "//GUARD",
+				"//lint:ignore "+tc.analyzer+" tamper-test fixture exercising the escape hatch", 1)
+			diags = loadTempModule(t, map[string]string{"internal/lib/lib.go": guarded})
+			if n := countAnalyzer(diags, tc.analyzer); n != 0 {
+				t.Errorf("reasoned ignore did not suppress %s; diags: %v", tc.analyzer, diags)
+			}
+		})
+	}
+}

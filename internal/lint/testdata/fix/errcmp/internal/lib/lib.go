@@ -1,0 +1,21 @@
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is the sentinel error of this fixture.
+var ErrClosed = errors.New("closed")
+
+// Classify compares the sentinel the wrong way twice and flattens the
+// error in Errorf; `mntlint -fix` rewrites all three sites.
+func Classify(err error) error {
+	if err == ErrClosed {
+		return nil
+	}
+	if err != ErrClosed {
+		return fmt.Errorf("classify: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package counter
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+// Incr records a hit atomically.
+func (s *stats) Incr() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Snapshot reads hits plainly — a data race with Incr.
+func (s *stats) Snapshot() int64 {
+	return s.hits // want "hits is accessed with sync/atomic"
+}
+
+// Add mixes a plain read-modify-write next to the atomic ops on total.
+func (s *stats) Add(n int64) {
+	s.total += n // want "total is accessed with sync/atomic"
+}
+
+// Total reads atomically — clean.
+func (s *stats) Total() int64 {
+	return atomic.LoadInt64(&s.total)
+}
+
+var ready int32
+
+// SetReady flips the flag atomically.
+func SetReady() {
+	atomic.StoreInt32(&ready, 1)
+}
+
+// IsReady reads it atomically — clean.
+func IsReady() bool {
+	return atomic.LoadInt32(&ready) == 1
+}
+
+var plain int64
+
+// BumpPlain never touches sync/atomic, so plain access is fine.
+func BumpPlain() {
+	plain++
+}

@@ -1,0 +1,66 @@
+package looper
+
+import "context"
+
+// Run spawns the workers; the go statement makes this package a
+// goroutine-spawning one, which activates ctxloop.
+func Run(ctx context.Context, jobs, out chan int) {
+	go worker(ctx, jobs, out)
+	go pump(ctx, jobs, out)
+}
+
+// worker ranges over the jobs channel without ever observing ctx.
+func worker(ctx context.Context, jobs, out chan int) {
+	for j := range jobs { // want "range over channel never checks ctx.Done/ctx.Err"
+		out <- j
+	}
+}
+
+// pump loops forever around channel operations without observing ctx.
+func pump(ctx context.Context, in, out chan int) {
+	for { // want "unbounded channel loop never checks ctx.Done/ctx.Err"
+		v := <-in
+		out <- v
+	}
+}
+
+// goodWorker checks ctx.Err inside the range body — clean.
+func goodWorker(ctx context.Context, jobs, out chan int) {
+	for j := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		out <- j
+	}
+}
+
+// goodPump selects on ctx.Done — clean.
+func goodPump(ctx context.Context, in, out chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// accumulate is a bounded computational loop with no channel
+// operations; not an event loop, not flagged.
+func accumulate(ctx context.Context, n int) int {
+	total := 0
+	for {
+		total += n
+		if total > 100 {
+			return total
+		}
+	}
+}
+
+// noCtx has no context in scope, so there is nothing to observe.
+func noCtx(jobs, out chan int) {
+	for j := range jobs {
+		out <- j
+	}
+}

@@ -1,0 +1,80 @@
+package spawn
+
+import "context"
+
+// Fire launches a goroutine that ignores the in-scope ctx entirely;
+// cancellation can never reach it.
+func Fire(ctx context.Context, done chan struct{}) {
+	go func() { // want "goroutine does not capture the in-scope ctx"
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// Result sends the answer over an unbuffered channel with no select
+// guard: if the caller's select takes the ctx.Done branch first, the
+// goroutine blocks on the send forever.
+func Result(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- compute() // want "bare send on unbuffered channel"
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// GuardedResult wraps the send in a select with a ctx escape — clean.
+func GuardedResult(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// BufferedResult sends on a buffered channel; the send can never block,
+// so the goroutine cannot leak on it — clean.
+func BufferedResult(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Relay passes ctx into the spawned function — clean.
+func Relay(ctx context.Context, out chan int) {
+	go relay(ctx, out)
+}
+
+func relay(ctx context.Context, out chan int) {
+	select {
+	case out <- compute():
+	case <-ctx.Done():
+	}
+}
+
+func compute() int { return 42 }

@@ -1,0 +1,55 @@
+package hot
+
+import "fmt"
+
+// names is the lookup table the hot path should use instead of
+// building strings per call.
+var names = map[int]string{0: "and", 1: "or"}
+
+// gateLabel concatenates strings on the measured hot path.
+//
+//perf:hot
+func gateLabel(id int, kind string) string {
+	s := "gate-" + kind // want "string concatenation in //perf:hot function gateLabel"
+	s += names[id]      // want "string concatenation in //perf:hot function gateLabel"
+	return s
+}
+
+// describe formats per call.
+//
+//perf:hot
+func describe(id int) string {
+	return fmt.Sprintf("gate %d", id) // want "fmt.Sprintf in //perf:hot function describe"
+}
+
+// neighbors builds a slice literal on every call.
+//
+//perf:hot
+func neighbors(id int) []int {
+	return []int{id - 1, id + 1} // want "slice literal in //perf:hot function neighbors"
+}
+
+// weightOf builds a map literal on every call.
+//
+//perf:hot
+func weightOf(id int) map[int]float64 {
+	return map[int]float64{id: 1.0} // want "map literal in //perf:hot function weightOf"
+}
+
+// coldLabel is not annotated: the same patterns are allowed off the
+// hot path.
+func coldLabel(id int, kind string) string {
+	return fmt.Sprintf("gate-%s-%d", kind, id)
+}
+
+// hotOK sticks to the allowed forms: make with capacity, integer
+// arithmetic, append into a preallocated slice — clean.
+//
+//perf:hot
+func hotOK(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i*i)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package locks
+
+import "sync"
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+// Broken leaks the mutex: no Unlock anywhere in the function.
+func (s *store) Broken(fail bool) int {
+	s.mu.Lock() // want "s.mu.Lock() has no matching s.mu.Unlock() in Broken"
+	if fail {
+		return 0
+	}
+	return s.val
+}
+
+// ReadBroken leaks the read lock.
+func (s *store) ReadBroken() int {
+	s.rw.RLock() // want "s.rw.RLock() has no matching s.rw.RUnlock() in ReadBroken"
+	return s.val
+}
+
+// SendWhileHeld sends on a channel with the mutex held; the deferred
+// unlock only runs after the send completes.
+func (s *store) SendWhileHeld(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.val // want "channel send while holding s.mu"
+}
+
+// Balanced pairs its lock and unlock — clean.
+func (s *store) Balanced() int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+// SendAfterRelease releases the lock before sending — clean.
+func (s *store) SendAfterRelease(ch chan int) {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	ch <- v
+}
+
+// DeferredBalanced uses the canonical defer pairing — clean.
+func (s *store) DeferredBalanced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+// InClosure shows each function literal is its own scope: the literal
+// locks without unlocking even though the enclosing function is empty
+// of lock calls.
+func (s *store) InClosure() func() int {
+	return func() int {
+		s.mu.Lock() // want "s.mu.Lock() has no matching s.mu.Unlock() in InClosure.func"
+		return s.val
+	}
+}
+
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+// Bump locks through the promoted method of the embedded mutex; the
+// type-resolved matcher still sees a sync.Mutex receiver.
+func (g *guarded) Bump() {
+	g.Lock() // want "g.Lock() has no matching g.Unlock() in Bump"
+	g.n++
+}
+
+// BumpBalanced is the correct promoted-method pairing — clean.
+func (g *guarded) BumpBalanced() {
+	g.Lock()
+	defer g.Unlock()
+	g.n++
+}

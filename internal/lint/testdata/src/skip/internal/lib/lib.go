@@ -1,0 +1,8 @@
+// Package lib is the only file of the skip fixture the loader should
+// see: gen.go carries a generated-code header and testdata/inner.go
+// lives in a testdata directory, and both contain violations that must
+// never be reported.
+package lib
+
+// Answer is clean code.
+func Answer() int { return 42 }

@@ -1,0 +1,7 @@
+package inner
+
+// Boom would be a panicban finding if the loader descended into
+// testdata directories.
+func Boom() {
+	panic("testdata trees are fixtures, not module source")
+}

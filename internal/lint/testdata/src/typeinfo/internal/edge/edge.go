@@ -1,0 +1,55 @@
+// Package edge exercises the type-resolution edge cases of the v2
+// analyzers: import aliases, decoy types that shadow stdlib names, and
+// promoted methods. A purely syntactic matcher would get every case
+// here wrong in one direction or the other.
+package edge
+
+import (
+	sy "sync"
+	at "sync/atomic"
+)
+
+// Mutex is a decoy: same method set as sync.Mutex, different type.
+// lockbalance must not flag it.
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }
+
+// decoyLock locks the decoy with no unlock — clean, it is not a
+// sync.Mutex.
+func decoyLock(m *Mutex) bool {
+	m.Lock()
+	return m.locked
+}
+
+var n int64
+
+// bump goes through the aliased sync/atomic import; detection is
+// type-based, not import-name-based.
+func bump() {
+	at.AddInt64(&n, 1)
+}
+
+// read mixes in a plain access; the alias does not hide it.
+func read() int64 {
+	return n // want "n is accessed with sync/atomic"
+}
+
+type box struct {
+	mu sy.Mutex
+	v  int
+}
+
+// leak is caught through the aliased sync import too.
+func leak(b *box) int {
+	b.mu.Lock() // want "b.mu.Lock() has no matching b.mu.Unlock() in leak"
+	return b.v
+}
+
+// balanced pairs the aliased mutex correctly — clean.
+func balanced(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// The v2 engine type-checks every loaded package with go/types so
+// analyzers can resolve methods, field objects, and expression types
+// instead of pattern-matching identifier spellings. Resolution stays
+// stdlib-only: standard-library imports are satisfied by the go/importer
+// source importer (parsing GOROOT/src, memoized for the process
+// lifetime), module-local imports by type-checking the sibling directory
+// that was already loaded, and anything unresolvable — fixture trees
+// import fake module paths on purpose — by an empty placeholder package.
+// Type errors are collected on Package.TypeErrors, never fatal: a file
+// that does not fully type-check still gets syntactic analysis, and the
+// type-aware analyzers degrade to silence rather than false positives.
+
+// stdImporterState memoizes one source importer for the whole process;
+// source-importing a large package (net/http) costs seconds, so the
+// cache matters across the many Load calls of a test run. The importer
+// keeps its own FileSet: positions inside stdlib sources are never
+// reported, so mixing it with per-Load FileSets is harmless.
+var stdImporterState struct {
+	once sync.Once
+	mu   sync.Mutex
+	imp  types.Importer
+}
+
+// stdImport resolves a standard-library import path from GOROOT source.
+func stdImport(path string) (*types.Package, error) {
+	stdImporterState.once.Do(func() {
+		stdImporterState.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	stdImporterState.mu.Lock()
+	defer stdImporterState.mu.Unlock()
+	return stdImporterState.imp.Import(path)
+}
+
+// typeChecker resolves imports for the packages of one Load call. It
+// implements types.Importer.
+type typeChecker struct {
+	fset   *token.FileSet
+	module string // module path from go.mod, "" for fixture roots
+	byDir  map[string]*Package
+
+	checked  map[string]*types.Package // by dir
+	checking map[string]bool           // cycle guard, by dir
+	fakes    map[string]*types.Package // by import path
+}
+
+// newTypeChecker indexes the loaded packages for import resolution.
+func newTypeChecker(fset *token.FileSet, module string, byDir map[string]*Package) *typeChecker {
+	return &typeChecker{
+		fset:     fset,
+		module:   module,
+		byDir:    byDir,
+		checked:  make(map[string]*types.Package),
+		checking: make(map[string]bool),
+		fakes:    make(map[string]*types.Package),
+	}
+}
+
+// checkAll type-checks every loaded package (dependencies are pulled in
+// recursively through Import, so iteration order does not matter).
+func (tc *typeChecker) checkAll(dirs []string) {
+	for _, dir := range dirs {
+		tc.checkDir(dir)
+	}
+}
+
+// importPath returns the import path under which a loaded directory is
+// type-checked.
+func (tc *typeChecker) importPath(dir string) string {
+	switch {
+	case dir == "":
+		return tc.module
+	case tc.module == "":
+		return dir
+	default:
+		return tc.module + "/" + dir
+	}
+}
+
+// checkDir type-checks the non-test files of one loaded directory,
+// filling the Package's Types, Info, and TypeErrors fields. Packages
+// with only test files (or none) keep nil type info.
+func (tc *typeChecker) checkDir(dir string) *types.Package {
+	if pkg, ok := tc.checked[dir]; ok {
+		return pkg
+	}
+	p := tc.byDir[dir]
+	if p == nil || tc.checking[dir] {
+		return nil
+	}
+	tc.checking[dir] = true
+	defer delete(tc.checking, dir)
+
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		tc.checked[dir] = nil
+		return nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    tc,
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	path := tc.importPath(dir)
+	if path == "" {
+		path = p.Name
+	}
+	// Check never fails hard: the Error collector keeps it going, and a
+	// partially-resolved Info is exactly what the nil-safe helpers below
+	// are for.
+	pkg, _ := conf.Check(path, tc.fset, files, info)
+	p.Types = pkg
+	p.Info = info
+	tc.checked[dir] = pkg
+	return pkg
+}
+
+// Import implements types.Importer. It never returns an error: fixture
+// trees deliberately import nonexistent module paths, and a placeholder
+// package keeps the checker moving (collecting member-lookup errors on
+// the side) instead of aborting the file.
+func (tc *typeChecker) Import(path string) (*types.Package, error) {
+	if dir, ok := tc.localDir(path); ok {
+		if pkg := tc.checkDir(dir); pkg != nil {
+			return pkg, nil
+		}
+		return tc.fake(path), nil
+	}
+	if isStdlibPath(path) {
+		if pkg, err := stdImport(path); err == nil {
+			return pkg, nil
+		}
+	}
+	return tc.fake(path), nil
+}
+
+// localDir maps an import path to a loaded directory: an exact module
+// prefix match when a go.mod names the module, otherwise (fixture roots)
+// the longest loaded directory that is a path suffix of the import.
+func (tc *typeChecker) localDir(path string) (string, bool) {
+	if tc.module != "" {
+		if path == tc.module {
+			return "", tc.byDir[""] != nil
+		}
+		if rest, ok := strings.CutPrefix(path, tc.module+"/"); ok {
+			_, loaded := tc.byDir[rest]
+			return rest, loaded
+		}
+		return "", false
+	}
+	best, found := "", false
+	for dir := range tc.byDir {
+		if dir == "" {
+			continue
+		}
+		if path == dir || strings.HasSuffix(path, "/"+dir) {
+			if len(dir) > len(best) {
+				best, found = dir, true
+			}
+		}
+	}
+	return best, found
+}
+
+// isStdlibPath reports whether an import path can only name a
+// standard-library package: no dot in the first element (host names
+// have dots) and not a module-ish multi-segment private path we know is
+// local-only. The source importer is the arbiter; this just avoids
+// pointless GOROOT lookups for paths like "repro/internal/obs".
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	if strings.Contains(first, ".") {
+		return false
+	}
+	// Heuristic: stdlib top-level elements are short and well-known;
+	// unknown first elements still get one (memoized) lookup attempt.
+	return true
+}
+
+// fake returns (memoized) an empty placeholder package for an
+// unresolvable import. It is marked complete so the checker reports
+// undefined members instead of cascading "incomplete package" errors.
+func (tc *typeChecker) fake(path string) *types.Package {
+	if pkg, ok := tc.fakes[path]; ok {
+		return pkg
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	tc.fakes[path] = pkg
+	return pkg
+}
+
+// TypeOf returns the type of an expression, or nil when the package has
+// no type info or the expression did not resolve. Analyzers must treat
+// nil as "unknown" and stay silent.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier denotes (uses first, then
+// defs), or nil.
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// Selection returns the method/field selection for a selector
+// expression, or nil.
+func (p *Package) Selection(sel *ast.SelectorExpr) *types.Selection {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.Selections[sel]
+}
+
+// isNamedType reports whether t (after pointer dereference) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+// pkgFuncCall resolves a call to a package-level function and returns
+// its package path and name ("sync/atomic", "AddInt64"), or ok=false.
+func pkgFuncCall(p *Package, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// methodCall resolves a method call expression and returns the defining
+// package path, receiver type name, and method name — promoted methods
+// (an embedded sync.Mutex) resolve to their origin, so
+// ("sync", "Mutex", "Lock") matches s.Lock() on a struct embedding the
+// mutex. ok is false for non-methods or unresolved calls.
+func methodCall(p *Package, call *ast.CallExpr) (pkgPath, recvName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	fn, isFn := obj.(*types.Func)
+	if !isFn {
+		return "", "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return "", "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name(), true
+}

@@ -4,7 +4,11 @@ import "fmt"
 
 // Simulate evaluates the network on one input pattern. inputs[i] is the
 // value of the i-th PI in creation order. The result holds one value per
-// PO in creation order.
+// PO in creation order. TruthTable and the equivalence checks call it
+// 2^PI times per network; the BENCH simulation experiments measure it
+// per-gate.
+//
+//perf:hot
 func (n *Network) Simulate(inputs []bool) ([]bool, error) {
 	if len(inputs) != len(n.pis) {
 		return nil, fmt.Errorf("network %q: got %d input values, want %d", n.Name, len(inputs), len(n.pis))
@@ -72,6 +76,7 @@ func (n *Network) TruthTable() ([][]bool, error) {
 // simulation is reproducible without pulling in time-based seeding.
 type lcg uint64
 
+//perf:hot
 func (l *lcg) next() uint64 {
 	*l = lcg(uint64(*l)*6364136223846793005 + 1442695040888963407)
 	return uint64(*l)
@@ -97,7 +102,10 @@ func RandomVectors(numPIs, count int, seed uint64) [][]bool {
 }
 
 // SimulateVectors runs the network over each input pattern and returns
-// the PO values per pattern.
+// the PO values per pattern. It sits on the measured equivalence-check
+// path for wide networks.
+//
+//perf:hot
 func (n *Network) SimulateVectors(vectors [][]bool) ([][]bool, error) {
 	out := make([][]bool, len(vectors))
 	for i, v := range vectors {

@@ -78,7 +78,10 @@ func (p *pq) Pop() interface{} {
 }
 
 // distanceLB is an admissible lower bound on the number of hops between
-// two grid positions.
+// two grid positions. It runs once per neighbor expansion of the A*
+// search, which the BENCH route experiments measure per-tile.
+//
+//perf:hot
 func distanceLB(t layout.Topology, a, b layout.Coord) int {
 	dx := a.X - b.X
 	if dx < 0 {
@@ -300,6 +303,9 @@ func RemoveWirePath(l *layout.Layout, src, dst layout.Coord) error {
 
 // traceChain follows wire tiles backwards from w until reaching src.
 // It returns the wire tiles in walk order and whether src was reached.
+// It runs once per routed net on the measured routing path.
+//
+//perf:hot
 func traceChain(l *layout.Layout, w, src layout.Coord) ([]layout.Coord, bool) {
 	var chain []layout.Coord
 	cur := w
