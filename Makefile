@@ -18,7 +18,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route \
-		./internal/conformance ./internal/verify ./internal/perf
+		./internal/conformance ./internal/verify ./internal/perf \
+		./internal/network ./internal/layout
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -65,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExtractNetwork$$' -fuzztime 6s ./internal/verify
 	$(GO) test -run='^$$' -fuzz='^FuzzEquivalent$$' -fuzztime 6s ./internal/verify
 	$(GO) test -run='^$$' -fuzz='^FuzzCustomScheme$$' -fuzztime 6s ./internal/clocking
+	$(GO) test -run='^$$' -fuzz='^FuzzSimulateWords$$' -fuzztime 6s ./internal/network
 
 # bench runs one campaign per worker count (serial and all-cores) as a
 # scheduler smoke test plus the span/tracing overhead microbenchmark;
@@ -98,10 +100,14 @@ trace-smoke:
 perfsnap:
 	$(GO) run ./cmd/mntbench perfsnap
 
+# The throughput metrics of the hot-path experiments (E9/E10) are
+# guarded with negative thresholds: a >30% drop in vectors/sec or A*
+# expansions/sec fails the diff just like an ns/op increase would.
 OLD ?= BENCH_1.json
 NEW ?= BENCH_2.json
+PERF_THRESHOLDS ?= vectors_per_sec=-0.3,expansions_per_sec=-0.3
 perfdiff:
-	$(GO) run ./cmd/mntbench perfdiff $(OLD) $(NEW)
+	$(GO) run ./cmd/mntbench perfdiff -threshold '$(PERF_THRESHOLDS)' $(OLD) $(NEW)
 
 # perfsnap-smoke is the bounded CI variant: one benchmark iteration per
 # experiment over the cheap experiments, schema-validated with perfdiff.
@@ -113,5 +119,5 @@ perfsnap-smoke:
 		trap 'rm -f mntbench-perfsnap-smoke.json' EXIT; \
 	fi; \
 	$(GO) run ./cmd/mntbench perfsnap -benchtime 1x \
-		-experiments E3,E4,E6,E8 -out "$(PERFSNAP_SMOKE_OUT)" && \
+		-experiments E3,E4,E6,E8,E9,E10 -out "$(PERFSNAP_SMOKE_OUT)" && \
 	$(GO) run ./cmd/mntbench perfdiff -schema-check "$(PERFSNAP_SMOKE_OUT)"

@@ -8,6 +8,8 @@
 //	E5  BenchmarkRouterBestagon  — §II claim: router function area ratio
 //	E6  BenchmarkOrthoScaling    — runtime column t across circuit sizes
 //	E7  BenchmarkCampaign        — scheduler throughput, workers=1 vs NumCPU
+//	E9  BenchmarkSimulateWords/Scalar — bit-parallel vs per-pattern simulation
+//	E10 BenchmarkRouteExpansions — A* frontier throughput on a 32x32 grid
 //
 // The benchmark bodies live in internal/perf/suite so that `mntbench
 // perfsnap` can run the identical measurements programmatically and
@@ -85,3 +87,16 @@ func BenchmarkCampaign(b *testing.B) {
 // BenchmarkExactMux21 measures the exact search on the paper's smallest
 // showcase function (Table I reports < 1 s and area 12 for mux21).
 func BenchmarkExactMux21(b *testing.B) { suite.BenchExactMux21(context.Background(), b) }
+
+// BenchmarkSimulateWords measures bit-parallel (64 vectors per call)
+// simulation throughput on ISCAS85 c432 (E9/words).
+func BenchmarkSimulateWords(b *testing.B) { suite.BenchSimulateWords(b) }
+
+// BenchmarkSimulateScalar measures the per-pattern Simulate path over
+// the same vector budget (E9/scalar); the vectors_per_sec ratio against
+// BenchmarkSimulateWords is the bit-parallel speedup.
+func BenchmarkSimulateScalar(b *testing.B) { suite.BenchSimulateScalar(b) }
+
+// BenchmarkRouteExpansions measures A* search throughput on the
+// allocation-free flat-grid frontier (E10).
+func BenchmarkRouteExpansions(b *testing.B) { suite.BenchRouteExpansions(b) }

@@ -59,20 +59,22 @@ func (c *campaignCache) builtEntry(b bench.Benchmark) *cacheEntry {
 }
 
 // Built returns a private clone of the benchmark's logic network,
-// building it at most once per campaign.
-func (c *campaignCache) Built(b bench.Benchmark) (*network.Network, error) {
+// building it at most once per campaign. The clone's backing slices are
+// carved from a (per-worker) arena when one is supplied, so repeated
+// cloning across jobs reuses buffers instead of allocating per node.
+func (c *campaignCache) Built(b bench.Benchmark, a *network.Arena) (*network.Network, error) {
 	e := c.builtEntry(b)
 	if e.err != nil {
 		return nil, e.err
 	}
-	return e.net.Clone(), nil
+	return e.net.CloneInto(a), nil
 }
 
 // Prepared returns a private clone of the library-prepared network,
 // preparing it at most once per (benchmark, library). A preparation
 // error is memoized too: every flow of the pair observes the same error,
 // exactly as if it had prepared the network itself.
-func (c *campaignCache) Prepared(b bench.Benchmark, lib *gatelib.Library) (*network.Network, error) {
+func (c *campaignCache) Prepared(b bench.Benchmark, lib *gatelib.Library, a *network.Arena) (*network.Network, error) {
 	key := prepKey{set: b.Set, name: b.Name, lib: lib.Name}
 	c.mu.Lock()
 	e := c.preps[key]
@@ -94,17 +96,21 @@ func (c *campaignCache) Prepared(b bench.Benchmark, lib *gatelib.Library) (*netw
 	if e.err != nil {
 		return nil, e.err
 	}
-	return e.net.Clone(), nil
+	return e.net.CloneInto(a), nil
 }
 
 // cachedSource adapts the campaign cache to the netSource interface a
-// flow consumes: every call hands out a fresh clone.
+// flow consumes: every call hands out a fresh clone. The arena, when
+// set, is the calling worker's; the scheduler resets it between jobs,
+// which is sound because a flow's clones never outlive its job (the
+// recorded Entry keeps only the Layout).
 type cachedSource struct {
 	b     bench.Benchmark
 	cache *campaignCache
+	arena *network.Arena
 }
 
-func (s cachedSource) Base() (*network.Network, error) { return s.cache.Built(s.b) }
+func (s cachedSource) Base() (*network.Network, error) { return s.cache.Built(s.b, s.arena) }
 func (s cachedSource) Prepared(lib *gatelib.Library) (*network.Network, error) {
-	return s.cache.Prepared(s.b, lib)
+	return s.cache.Prepared(s.b, lib, s.arena)
 }

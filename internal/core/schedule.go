@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/gatelib"
+	"repro/internal/network"
 	"repro/internal/obs"
 )
 
@@ -118,6 +119,11 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// Per-worker clone arena: every job's Built/Prepared clones are
+			// carved from it and it is rewound once the job is done, so a
+			// long campaign reuses two slabs per worker instead of
+			// allocating per-node slices for every (benchmark, flow) pair.
+			arena := network.NewArena()
 			for j := range jobs {
 				if ctx.Err() != nil {
 					results <- jobResult{idx: j.idx, skipped: true}
@@ -133,7 +139,11 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 				sp.Annotate("set", j.bench.Set)
 				sp.Annotate("benchmark", j.bench.Name)
 				sp.Annotate("flow", j.flow.ID())
-				e, err := runFlowImpl(wctx, j.bench, cachedSource{b: j.bench, cache: cache}, j.flow, limits)
+				e, err := runFlowImpl(wctx, j.bench, cachedSource{b: j.bench, cache: cache, arena: arena}, j.flow, limits)
+				// The flow is done and nothing it produced references its
+				// clones (the Entry keeps only the Layout), so the arena
+				// slabs can be reused by the next job.
+				arena.Reset()
 				sp.SetError(err)
 				sp.End()
 				inflight.Dec()

@@ -197,12 +197,12 @@ func TestCampaignCacheClonesAndMemoizes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			n, err := c.Built(b)
+			n, err := c.Built(b, nil)
 			if err != nil {
 				t.Errorf("Built: %v", err)
 				return
 			}
-			p, err := c.Prepared(b, gatelib.QCAOne)
+			p, err := c.Prepared(b, gatelib.QCAOne, nil)
 			if err != nil {
 				t.Errorf("Prepared: %v", err)
 				return

@@ -71,20 +71,32 @@ func (c Coord) String() string {
 	return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z)
 }
 
+// Neighbor offset tables, hoisted to package level so that
+// neighborOffsets is allocation-free on the A* expansion hot path
+// (slicing a package-level array does not copy it).
+var (
+	cartesianOffsets = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	hexEvenOffsets   = [6][2]int{{1, 0}, {-1, 0}, {0, -1}, {-1, -1}, {0, 1}, {-1, 1}}
+	hexOddOffsets    = [6][2]int{{1, 0}, {-1, 0}, {0, -1}, {1, -1}, {0, 1}, {1, 1}}
+)
+
 // neighborOffsets returns the XY offsets of all adjacent grid positions
 // for the given topology at row y (hexagonal adjacency depends on row
-// parity under odd-row offset coordinates).
+// parity under odd-row offset coordinates). The returned slice aliases a
+// shared table and must not be mutated.
+//
+//perf:hot
 func neighborOffsets(t Topology, y int) [][2]int {
 	switch t {
 	case Cartesian:
-		return [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+		return cartesianOffsets[:]
 	case HexOddRow:
 		if y%2 == 0 { // even rows: diagonal neighbors to the west
-			return [][2]int{{1, 0}, {-1, 0}, {0, -1}, {-1, -1}, {0, 1}, {-1, 1}}
+			return hexEvenOffsets[:]
 		}
-		return [][2]int{{1, 0}, {-1, 0}, {0, -1}, {1, -1}, {0, 1}, {1, 1}}
+		return hexOddOffsets[:]
 	}
-	//lint:ignore panicban unreachable backstop: the switch is exhaustive over the Topology constants
+	//lint:ignore panicban,hotalloc unreachable backstop: the switch is exhaustive over the Topology constants
 	panic(fmt.Sprintf("layout: bad topology %d", t))
 }
 

@@ -326,22 +326,33 @@ func (l *Layout) Area() int {
 	return w * h
 }
 
-// OutgoingNeighbors lists the grid positions adjacent to c whose clock
-// zone is (zone(c)+1) mod n — the only positions a signal at c may move
-// to. Both layers of each position are candidates.
-func (l *Layout) OutgoingNeighbors(c Coord) []Coord {
+// AppendOutgoingNeighbors appends to dst the grid positions adjacent to
+// c whose clock zone is (zone(c)+1) mod n — the only positions a signal
+// at c may move to — and returns the extended slice. Both layers of each
+// position are candidates. It is the allocation-free form of
+// OutgoingNeighbors for callers (the A* router) that reuse a scratch
+// buffer across expansions.
+//
+//perf:hot
+func (l *Layout) AppendOutgoingNeighbors(c Coord, dst []Coord) []Coord {
 	want := (l.Zone(c) + 1) % l.Scheme.NumZones
-	var out []Coord
 	for _, d := range neighborOffsets(l.Topo, c.Y) {
 		x, y := c.X+d[0], c.Y+d[1]
 		if x < 0 || y < 0 {
 			continue
 		}
 		if l.Scheme.Zone(x, y) == want {
-			out = append(out, Coord{X: x, Y: y, Z: 0}, Coord{X: x, Y: y, Z: 1})
+			dst = append(dst, Coord{X: x, Y: y, Z: 0}, Coord{X: x, Y: y, Z: 1})
 		}
 	}
-	return out
+	return dst
+}
+
+// OutgoingNeighbors lists the grid positions adjacent to c whose clock
+// zone is (zone(c)+1) mod n — the only positions a signal at c may move
+// to. Both layers of each position are candidates.
+func (l *Layout) OutgoingNeighbors(c Coord) []Coord {
+	return l.AppendOutgoingNeighbors(c, nil)
 }
 
 // IncomingNeighbors lists the grid positions adjacent to c whose clock

@@ -149,7 +149,7 @@ func TestGoroLeakFixture(t *testing.T) {
 
 func TestHotAllocFixture(t *testing.T) {
 	diags := runFixture(t, "hotalloc")
-	requireAnalyzerFindings(t, diags, "hotalloc", 5)
+	requireAnalyzerFindings(t, diags, "hotalloc", 7)
 }
 
 func TestAtomicMixFixture(t *testing.T) {

@@ -53,3 +53,59 @@ func hotOK(n int) []int {
 	}
 	return out
 }
+
+// op is one word-evaluator instruction, fixture-shaped after the
+// compiled simulation kernel.
+type op struct {
+	fn   int
+	a, b int
+}
+
+// evalWords is the clean kernel shape: indexed instruction walk over a
+// caller-provided scratch slice, no per-call allocation — must not be
+// flagged.
+//
+//perf:hot
+func evalWords(ops []op, values []uint64) {
+	for i := range ops {
+		o := &ops[i]
+		switch o.fn {
+		case 0:
+			values[i] = values[o.a] & values[o.b]
+		default:
+			values[i] = ^values[o.a]
+		}
+	}
+}
+
+// evalWordsBad builds its scratch as a slice literal on every call
+// instead of reusing a buffer.
+//
+//perf:hot
+func evalWordsBad(ops []op) []uint64 {
+	values := []uint64{0, 0, 0, 0} // want "slice literal in //perf:hot function evalWordsBad"
+	evalWords(ops, values)
+	return values
+}
+
+// coord is a fixture stand-in for a layout coordinate.
+type coord struct{ x, y int }
+
+// appendNeighbors is the clean neighbor-expansion shape: append into
+// the caller's reusable buffer — must not be flagged.
+//
+//perf:hot
+func appendNeighbors(c coord, dst []coord) []coord {
+	dst = append(dst, coord{c.x + 1, c.y}, coord{c.x, c.y + 1})
+	return dst
+}
+
+// neighborsBad materializes a fresh neighbor slice per expansion.
+//
+//perf:hot
+func neighborsBad(c coord) []coord {
+	return []coord{ // want "slice literal in //perf:hot function neighborsBad"
+		{c.x + 1, c.y},
+		{c.x, c.y + 1},
+	}
+}

@@ -1,0 +1,79 @@
+package network
+
+// Arena is a bump allocator for the node and fanin slices CloneInto
+// carves its copies from. The campaign scheduler keeps one arena per
+// worker and calls Reset between (benchmark, flow) jobs, so repeated
+// cloning of the same prepared networks reuses two slabs instead of
+// allocating one slice per node per clone.
+//
+// Slices handed out by an arena are capped with full slice expressions:
+// appending past a slice's length reallocates into regular heap memory
+// rather than growing into the slab, so clones stay isolated even when
+// they are mutated after cloning. Reset rewinds the slabs; the caller
+// must guarantee that no network cloned from the arena is still in use
+// when it resets (in the scheduler, a job's clones never outlive the
+// job). An arena is not safe for concurrent use; give each worker its
+// own. A nil *Arena is valid and falls back to plain allocations.
+type Arena struct {
+	nodeSlab []Node
+	nodeOff  int
+	idSlab   []ID
+	idOff    int
+}
+
+// NewArena returns an empty arena. Slabs grow on demand.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset rewinds the arena so the next CloneInto reuses its slabs. Node
+// slots are re-zeroed (they hold pointers — names, fanin slice headers —
+// that must not leak between jobs); ID slots are fully overwritten by
+// the next use and need no clearing.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	used := a.nodeSlab[:a.nodeOff]
+	for i := range used {
+		used[i] = Node{}
+	}
+	a.nodeOff = 0
+	a.idOff = 0
+}
+
+// nodes returns a zeroed, length-n, capacity-capped []Node from the
+// slab, growing it if needed.
+func (a *Arena) nodes(n int) []Node {
+	if a == nil {
+		return make([]Node, n)
+	}
+	if a.nodeOff+n > len(a.nodeSlab) {
+		// A fresh slab abandons the old one; clones already carved from
+		// it keep it alive until they are dropped, which is exactly the
+		// lifetime they need.
+		a.nodeSlab = make([]Node, max(n, 2*len(a.nodeSlab)+1024))
+		a.nodeOff = 0
+	}
+	s := a.nodeSlab[a.nodeOff : a.nodeOff+n : a.nodeOff+n]
+	a.nodeOff += n
+	return s
+}
+
+// ids copies src into a capacity-capped []ID carved from the slab. A
+// nil/empty src returns nil, matching what append([]ID(nil), ...) did.
+func (a *Arena) ids(src []ID) []ID {
+	if len(src) == 0 {
+		return nil
+	}
+	if a == nil {
+		return append([]ID(nil), src...)
+	}
+	n := len(src)
+	if a.idOff+n > len(a.idSlab) {
+		a.idSlab = make([]ID, max(n, 2*len(a.idSlab)+4096))
+		a.idOff = 0
+	}
+	s := a.idSlab[a.idOff : a.idOff+n : a.idOff+n]
+	a.idOff += n
+	copy(s, src)
+	return s
+}

@@ -1,0 +1,153 @@
+package network
+
+// This file is the compiled-evaluator core behind Simulate,
+// SimulateWords, SimulateVectors, TruthTable, and Equivalent: the
+// network's topological order and fanin references are flattened once
+// into a dense instruction list (evalProgram) that evaluates 64 input
+// patterns per gate operation on uint64 words. The program is cached on
+// the Network and invalidated by every structural mutation, so repeated
+// simulation — exhaustive truth tables, equivalence checks, the
+// conformance oracle — stops re-deriving TopoOrder and rebuilding
+// per-call maps.
+
+// evalOp is one compiled gate evaluation: write fn(values[a], values[b],
+// values[c]) into values[dst]. Unused operand slots are 0 and ignored by
+// the gate function.
+type evalOp struct {
+	fn      Gate
+	dst     int32
+	a, b, c int32
+}
+
+// evalProgram is the compiled form of a network: gate operations in
+// topological order plus the value slots of the PIs and of the PO
+// drivers. A program is immutable once built and may be shared between
+// a network and its clones.
+type evalProgram struct {
+	ops []evalOp
+	// pis[i] is the value slot of the i-th PI; pos[i] is the value slot
+	// of the i-th PO's driver (POs are transparent, so no op is emitted
+	// for them).
+	pis []int32
+	pos []int32
+	// slots is the required length of a values scratch slice (one slot
+	// per node ever allocated, deleted ones included).
+	slots int
+}
+
+// program returns the cached compiled evaluator, building it on first
+// use. Concurrent callers may race to build; the winners' programs are
+// structurally identical, so the last store wins harmlessly. It fails
+// only when the network contains a cycle.
+func (n *Network) program() (*evalProgram, error) {
+	if p := n.prog.Load(); p != nil {
+		return p, nil
+	}
+	p, err := n.compile()
+	if err != nil {
+		return nil, err
+	}
+	n.prog.Store(p)
+	return p, nil
+}
+
+// invalidate drops the cached evaluator after a structural mutation.
+// Every mutation path — the Add* constructors via add, Delete,
+// ReplaceFanin, and the in-place rewrites in optimize.go, transform.go,
+// and balance.go — must reach this before the next simulation.
+func (n *Network) invalidate() { n.prog.Store((*evalProgram)(nil)) }
+
+// shareProgram hands an already-built program to a clone: the clone has
+// identical structure, so recompiling would produce the same bytes.
+func (n *Network) shareProgram(c *Network) {
+	if p := n.prog.Load(); p != nil {
+		c.prog.Store(p)
+	}
+}
+
+// compile flattens the network into an evalProgram.
+func (n *Network) compile() (*evalProgram, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := &evalProgram{slots: len(n.nodes)}
+	p.ops = make([]evalOp, 0, len(order))
+	for _, id := range order {
+		nd := &n.nodes[id]
+		switch nd.Fn {
+		case PI, PO, None:
+			continue
+		}
+		op := evalOp{fn: nd.Fn, dst: int32(id)}
+		switch len(nd.Fanins) {
+		case 3:
+			op.c = int32(nd.Fanins[2])
+			fallthrough
+		case 2:
+			op.b = int32(nd.Fanins[1])
+			fallthrough
+		case 1:
+			op.a = int32(nd.Fanins[0])
+		}
+		p.ops = append(p.ops, op)
+	}
+	p.pis = make([]int32, len(n.pis))
+	for i, pi := range n.pis {
+		p.pis[i] = int32(pi)
+	}
+	p.pos = make([]int32, len(n.pos))
+	for i, po := range n.pos {
+		p.pos[i] = int32(n.nodes[po].Fanins[0])
+	}
+	return p, nil
+}
+
+// run evaluates the program over 64 packed input patterns: the caller
+// writes one uint64 per PI into values (bit k of values[pis[i]] is the
+// value of PI i under pattern k) and reads the PO words from the pos
+// slots afterwards. Bits beyond the caller's pattern count hold garbage
+// (inverting gates set them); callers must mask.
+//
+//perf:hot
+func (p *evalProgram) run(values []uint64) {
+	for i := range p.ops {
+		op := &p.ops[i]
+		var v uint64
+		switch op.fn {
+		case Const0:
+			v = 0
+		case Const1:
+			v = ^uint64(0)
+		case Buf, Fanout:
+			v = values[op.a]
+		case Not:
+			v = ^values[op.a]
+		case And:
+			v = values[op.a] & values[op.b]
+		case Or:
+			v = values[op.a] | values[op.b]
+		case Nand:
+			v = ^(values[op.a] & values[op.b])
+		case Nor:
+			v = ^(values[op.a] | values[op.b])
+		case Xor:
+			v = values[op.a] ^ values[op.b]
+		case Xnor:
+			v = ^(values[op.a] ^ values[op.b])
+		case Maj:
+			a, b, c := values[op.a], values[op.b], values[op.c]
+			v = (a & b) | (a & c) | (b & c)
+		}
+		values[op.dst] = v
+	}
+}
+
+// wordMask returns a mask selecting the low count bits of a word
+// (count in 1..64).
+func wordMask(count int) uint64 {
+	if count >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(count)) - 1
+}

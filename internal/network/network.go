@@ -12,6 +12,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Gate enumerates the node functions a Network may contain.
@@ -154,7 +155,9 @@ type Node struct {
 
 // Network is a mutable gate-level logic network.
 //
-// The zero value is an empty, usable network.
+// The zero value is an empty, usable network. Networks must not be
+// copied by value (the compiled-evaluator cache embeds an
+// atomic.Pointer); use Clone.
 type Network struct {
 	// Name identifies the function the network implements (e.g. "mux21").
 	Name string
@@ -162,6 +165,11 @@ type Network struct {
 	nodes []Node
 	pis   []ID
 	pos   []ID
+
+	// prog caches the compiled evaluator (see compile.go). It is safe
+	// for concurrent readers; every structural mutation resets it via
+	// invalidate.
+	prog atomic.Pointer[evalProgram]
 }
 
 // New returns an empty network with the given function name.
@@ -172,6 +180,7 @@ func New(name string) *Network {
 func (n *Network) add(nd Node) ID {
 	id := ID(len(n.nodes))
 	n.nodes = append(n.nodes, nd)
+	n.invalidate()
 	return id
 }
 
@@ -281,6 +290,7 @@ func (n *Network) SetName(id ID, name string) { n.nodes[id].Name = name }
 func (n *Network) ReplaceFanin(id ID, idx int, newSrc ID) {
 	n.mustDrivable(newSrc)
 	n.nodes[id].Fanins[idx] = newSrc
+	n.invalidate()
 }
 
 // mustLogicGate restricts AddGate to interior logic functions; PIs and
@@ -304,6 +314,7 @@ func (n *Network) mustDeletable(id ID) {
 func (n *Network) Delete(id ID) {
 	n.mustDeletable(id)
 	n.nodes[id] = Node{Fn: None}
+	n.invalidate()
 }
 
 // Size returns the number of node slots ever allocated, including deleted
@@ -381,17 +392,33 @@ func (n *Network) FanoutLists() [][]ID {
 	return lists
 }
 
-// Clone returns a deep copy of the network.
+// Clone returns a deep copy of the network. The compiled-evaluator
+// cache, if built, is shared with the clone (it is immutable and the
+// clone is structurally identical until its first mutation, which
+// invalidates the clone's reference only).
 func (n *Network) Clone() *Network {
+	return n.CloneInto(nil)
+}
+
+// CloneInto is Clone with the node and fanin slices carved from a,
+// so a caller that clones repeatedly (the campaign scheduler) can
+// recycle one arena instead of re-allocating per clone. A nil arena
+// falls back to fresh allocations. The clone's slices come from the
+// arena but behave like owned memory: appends beyond their length
+// reallocate out of the slab (full-slice-expression capping), so
+// post-clone mutation never stomps a neighboring clone.
+func (n *Network) CloneInto(a *Arena) *Network {
 	c := &Network{
 		Name:  n.Name,
-		nodes: make([]Node, len(n.nodes)),
-		pis:   append([]ID(nil), n.pis...),
-		pos:   append([]ID(nil), n.pos...),
+		nodes: a.nodes(len(n.nodes)),
+		pis:   a.ids(n.pis),
+		pos:   a.ids(n.pos),
 	}
-	for i, nd := range n.nodes {
-		c.nodes[i] = Node{Fn: nd.Fn, Name: nd.Name, Fanins: append([]ID(nil), nd.Fanins...)}
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		c.nodes[i] = Node{Fn: nd.Fn, Name: nd.Name, Fanins: a.ids(nd.Fanins)}
 	}
+	n.shareProgram(c)
 	return c
 }
 

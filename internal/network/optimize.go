@@ -12,6 +12,9 @@ import "sort"
 // imports can contain duplicate subexpressions that would otherwise be
 // placed twice.
 func (n *Network) Strash() int {
+	// Fanins are rewritten in place below, bypassing ReplaceFanin; drop
+	// the compiled evaluator up front.
+	n.invalidate()
 	order := n.MustTopoOrder()
 
 	type key struct {
@@ -128,6 +131,8 @@ func (n *Network) PropagateConstants() int {
 }
 
 func (n *Network) propagateConstantsOnce() int {
+	// Direct fanin writes below bypass ReplaceFanin.
+	n.invalidate()
 	order := n.MustTopoOrder()
 	// constVal[id] holds the known constant value of a node, if any.
 	constVal := make(map[ID]bool)

@@ -2,43 +2,76 @@ package network
 
 import "fmt"
 
+// Simulation is bit-parallel: the compiled evaluator (compile.go) runs
+// gate operations on uint64 words carrying 64 input patterns each, so
+// TruthTable, Equivalent, and SimulateVectors pay one gate-op per 64
+// patterns. The []bool APIs below are thin wrappers over that path.
+
+// canonWords are the canonical truth-table variable words: bit k (the
+// k-th pattern lane of a 64-pattern block) of canonWords[i] is bit i of
+// the pattern index k. PIs beyond the sixth toggle per block instead
+// (all-ones iff bit i-6 of the block index is set).
+var canonWords = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// SimulateWords evaluates the network on 64 input patterns at once.
+// piWords[i] carries the values of the i-th PI: bit k is its value
+// under pattern k. The result holds one word per PO in creation order,
+// bit k being that PO's value under pattern k. Callers evaluating fewer
+// than 64 patterns read only the lanes they filled; every lane is a
+// well-defined evaluation of the corresponding PI bits.
+//
+//perf:hot
+func (n *Network) SimulateWords(piWords []uint64) ([]uint64, error) {
+	if len(piWords) != len(n.pis) {
+		return nil, fmt.Errorf("network %q: got %d input words, want %d", n.Name, len(piWords), len(n.pis))
+	}
+	p, err := n.program()
+	if err != nil {
+		return nil, err
+	}
+	values := make([]uint64, p.slots)
+	for i, slot := range p.pis {
+		values[slot] = piWords[i]
+	}
+	p.run(values)
+	out := make([]uint64, len(p.pos))
+	for i, slot := range p.pos {
+		out[i] = values[slot]
+	}
+	return out, nil
+}
+
 // Simulate evaluates the network on one input pattern. inputs[i] is the
 // value of the i-th PI in creation order. The result holds one value per
-// PO in creation order. TruthTable and the equivalence checks call it
-// 2^PI times per network; the BENCH simulation experiments measure it
-// per-gate.
+// PO in creation order. It is a single-lane run of the compiled
+// word-level evaluator: no topo re-derivation or PI map per call.
 //
 //perf:hot
 func (n *Network) Simulate(inputs []bool) ([]bool, error) {
 	if len(inputs) != len(n.pis) {
 		return nil, fmt.Errorf("network %q: got %d input values, want %d", n.Name, len(inputs), len(n.pis))
 	}
-	order, err := n.TopoOrder()
+	p, err := n.program()
 	if err != nil {
 		return nil, err
 	}
-	values := make([]bool, len(n.nodes))
-	piVal := make(map[ID]bool, len(n.pis))
-	for i, pi := range n.pis {
-		piVal[pi] = inputs[i]
-	}
-	var buf [3]bool
-	for _, id := range order {
-		nd := n.nodes[id]
-		switch nd.Fn {
-		case PI:
-			values[id] = piVal[id]
-		default:
-			in := buf[:len(nd.Fanins)]
-			for i, f := range nd.Fanins {
-				in[i] = values[f]
-			}
-			values[id] = nd.Fn.Eval(in...)
+	values := make([]uint64, p.slots)
+	for i, slot := range p.pis {
+		if inputs[i] {
+			values[slot] = 1
 		}
 	}
-	out := make([]bool, len(n.pos))
-	for i, po := range n.pos {
-		out[i] = values[po]
+	p.run(values)
+	out := make([]bool, len(p.pos))
+	for i, slot := range p.pos {
+		out[i] = values[slot]&1 != 0
 	}
 	return out, nil
 }
@@ -50,26 +83,50 @@ const MaxTruthTableInputs = 16
 // TruthTable exhaustively simulates the network over all 2^NumPIs input
 // patterns. Row r of the result (pattern where PI i carries bit i of r)
 // holds one value per PO. It fails for networks with more than
-// MaxTruthTableInputs inputs.
+// MaxTruthTableInputs inputs. Patterns are evaluated 64 per pass using
+// the canonical variable words.
 func (n *Network) TruthTable() ([][]bool, error) {
 	k := len(n.pis)
 	if k > MaxTruthTableInputs {
 		return nil, fmt.Errorf("network %q: %d inputs exceed truth-table limit %d", n.Name, k, MaxTruthTableInputs)
 	}
+	p, err := n.program()
+	if err != nil {
+		return nil, err
+	}
 	rows := 1 << k
 	tt := make([][]bool, rows)
-	inputs := make([]bool, k)
-	for r := 0; r < rows; r++ {
-		for i := 0; i < k; i++ {
-			inputs[i] = r&(1<<i) != 0
+	values := make([]uint64, p.slots)
+	for base := 0; base < rows; base += 64 {
+		block := base >> 6
+		for i, slot := range p.pis {
+			values[slot] = truthWord(i, block)
 		}
-		out, err := n.Simulate(inputs)
-		if err != nil {
-			return nil, err
+		p.run(values)
+		m := min(64, rows-base)
+		for lane := 0; lane < m; lane++ {
+			row := make([]bool, len(p.pos))
+			for j, slot := range p.pos {
+				row[j] = values[slot]>>uint(lane)&1 != 0
+			}
+			tt[base+lane] = row
 		}
-		tt[r] = out
 	}
 	return tt, nil
+}
+
+// truthWord returns the canonical word for PI i in the given 64-pattern
+// block of an exhaustive sweep.
+//
+//perf:hot
+func truthWord(i, block int) uint64 {
+	if i < 6 {
+		return canonWords[i]
+	}
+	if block>>(uint(i)-6)&1 != 0 {
+		return ^uint64(0)
+	}
+	return 0
 }
 
 // lcg is a small deterministic pseudo-random generator so that vector
@@ -103,17 +160,40 @@ func RandomVectors(numPIs, count int, seed uint64) [][]bool {
 
 // SimulateVectors runs the network over each input pattern and returns
 // the PO values per pattern. It sits on the measured equivalence-check
-// path for wide networks.
+// path for wide networks; patterns are packed 64 per word internally.
 //
 //perf:hot
 func (n *Network) SimulateVectors(vectors [][]bool) ([][]bool, error) {
-	out := make([][]bool, len(vectors))
-	for i, v := range vectors {
-		o, err := n.Simulate(v)
-		if err != nil {
-			return nil, err
+	for _, v := range vectors {
+		if len(v) != len(n.pis) {
+			return nil, fmt.Errorf("network %q: got %d input values, want %d", n.Name, len(v), len(n.pis))
 		}
-		out[i] = o
+	}
+	p, err := n.program()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]bool, len(vectors))
+	values := make([]uint64, p.slots)
+	for base := 0; base < len(vectors); base += 64 {
+		m := min(64, len(vectors)-base)
+		for i, slot := range p.pis {
+			var w uint64
+			for lane := 0; lane < m; lane++ {
+				if vectors[base+lane][i] {
+					w |= 1 << uint(lane)
+				}
+			}
+			values[slot] = w
+		}
+		p.run(values)
+		for lane := 0; lane < m; lane++ {
+			row := make([]bool, len(p.pos))
+			for j, slot := range p.pos {
+				row[j] = values[slot]>>uint(lane)&1 != 0
+			}
+			out[base+lane] = row
+		}
 	}
 	return out, nil
 }
@@ -125,7 +205,10 @@ const EquivalenceVectors = 256
 // Equivalent checks functional equivalence of two networks with matching
 // PI/PO counts. Networks with at most MaxTruthTableInputs inputs are
 // compared exhaustively; wider ones are compared on EquivalenceVectors
-// deterministic random patterns (a strong but incomplete check).
+// deterministic random patterns (a strong but incomplete check). Both
+// networks are evaluated bit-parallel and compared 64 patterns per word;
+// lanes beyond the pattern count are masked out of the comparison so the
+// verdict matches a pattern-by-pattern check exactly.
 func Equivalent(a, b *Network) (bool, error) {
 	if a.NumPIs() != b.NumPIs() {
 		return false, fmt.Errorf("PI count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
@@ -133,31 +216,55 @@ func Equivalent(a, b *Network) (bool, error) {
 	if a.NumPOs() != b.NumPOs() {
 		return false, fmt.Errorf("PO count mismatch: %d vs %d", a.NumPOs(), b.NumPOs())
 	}
-	var vectors [][]bool
-	if a.NumPIs() <= MaxTruthTableInputs {
-		rows := 1 << a.NumPIs()
-		vectors = make([][]bool, rows)
-		for r := 0; r < rows; r++ {
-			vec := make([]bool, a.NumPIs())
-			for i := range vec {
-				vec[i] = r&(1<<i) != 0
+	pa, err := a.program()
+	if err != nil {
+		return false, err
+	}
+	pb, err := b.program()
+	if err != nil {
+		return false, err
+	}
+	va := make([]uint64, pa.slots)
+	vb := make([]uint64, pb.slots)
+	k := a.NumPIs()
+	if k <= MaxTruthTableInputs {
+		rows := 1 << k
+		for base := 0; base < rows; base += 64 {
+			block := base >> 6
+			for i := range pa.pis {
+				w := truthWord(i, block)
+				va[pa.pis[i]] = w
+				vb[pb.pis[i]] = w
 			}
-			vectors[r] = vec
+			pa.run(va)
+			pb.run(vb)
+			mask := wordMask(min(64, rows-base))
+			for j := range pa.pos {
+				if (va[pa.pos[j]]^vb[pb.pos[j]])&mask != 0 {
+					return false, nil
+				}
+			}
 		}
-	} else {
-		vectors = RandomVectors(a.NumPIs(), EquivalenceVectors, 0xC0FFEE)
+		return true, nil
 	}
-	oa, err := a.SimulateVectors(vectors)
-	if err != nil {
-		return false, err
-	}
-	ob, err := b.SimulateVectors(vectors)
-	if err != nil {
-		return false, err
-	}
-	for r := range oa {
-		for c := range oa[r] {
-			if oa[r][c] != ob[r][c] {
+	vectors := RandomVectors(k, EquivalenceVectors, 0xC0FFEE)
+	for base := 0; base < len(vectors); base += 64 {
+		m := min(64, len(vectors)-base)
+		for i := 0; i < k; i++ {
+			var w uint64
+			for lane := 0; lane < m; lane++ {
+				if vectors[base+lane][i] {
+					w |= 1 << uint(lane)
+				}
+			}
+			va[pa.pis[i]] = w
+			vb[pb.pis[i]] = w
+		}
+		pa.run(va)
+		pb.run(vb)
+		mask := wordMask(m)
+		for j := range pa.pos {
+			if (va[pa.pos[j]]^vb[pb.pos[j]])&mask != 0 {
 				return false, nil
 			}
 		}

@@ -1,0 +1,267 @@
+package network_test
+
+// Differential property tests for the bit-parallel simulation path: the
+// compiled word-level evaluator must agree lane-for-lane with a
+// straightforward scalar reference evaluator (the pre-compilation
+// Simulate algorithm: per-call topo order + Gate.Eval) on random
+// networks from the conformance generator, including after every kind
+// of structural mutation that must invalidate the compiled program.
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/network"
+)
+
+// refSimulate is an independent scalar reference implementation of
+// network simulation, deliberately written like the original
+// map-backed Simulate so the compiled evaluator is checked against a
+// different algorithm, not against itself.
+func refSimulate(t testing.TB, n *network.Network, inputs []bool) []bool {
+	t.Helper()
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	values := make(map[network.ID]bool, n.Size())
+	pis := n.PIs()
+	piVal := make(map[network.ID]bool, len(pis))
+	for i, pi := range pis {
+		piVal[pi] = inputs[i]
+	}
+	for _, id := range order {
+		nd := n.Node(id)
+		switch nd.Fn {
+		case network.PI:
+			values[id] = piVal[id]
+		default:
+			in := make([]bool, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				in[i] = values[f]
+			}
+			values[id] = nd.Fn.Eval(in...)
+		}
+	}
+	out := make([]bool, n.NumPOs())
+	for i, po := range n.POs() {
+		out[i] = values[po]
+	}
+	return out
+}
+
+// genCfg produces networks wide and deep enough to exercise every gate
+// function, reconvergent fanout, and multi-word PI counts.
+var genCfg = conformance.GenConfig{
+	MinPIs: 2, MaxPIs: 8,
+	MinPOs: 1, MaxPOs: 3,
+	MinGates: 1, MaxGates: 40,
+}
+
+// wordLane extracts pattern lane k of a word set as a []bool vector.
+func wordLane(words []uint64, k int) []bool {
+	v := make([]bool, len(words))
+	for i, w := range words {
+		v[i] = w>>uint(k)&1 != 0
+	}
+	return v
+}
+
+// checkWordsAgainstScalar verifies all 64 lanes of one SimulateWords
+// call against the scalar reference.
+func checkWordsAgainstScalar(t *testing.T, n *network.Network, piWords []uint64) {
+	t.Helper()
+	got, err := n.SimulateWords(piWords)
+	if err != nil {
+		t.Fatalf("SimulateWords: %v", err)
+	}
+	if len(got) != n.NumPOs() {
+		t.Fatalf("SimulateWords returned %d words, want %d", len(got), n.NumPOs())
+	}
+	for lane := 0; lane < 64; lane++ {
+		want := refSimulate(t, n, wordLane(piWords, lane))
+		for j := range want {
+			if got[j]>>uint(lane)&1 != 0 != want[j] {
+				t.Fatalf("network %q PO %d lane %d: word path %v, scalar reference %v\npiWords=%#x",
+					n.Name, j, lane, !want[j], want[j], piWords)
+			}
+		}
+	}
+}
+
+// testWords derives a deterministic pseudo-random PI word set.
+func testWords(numPIs int, seed uint64) []uint64 {
+	words := make([]uint64, numPIs)
+	x := seed
+	for i := range words {
+		// splitmix64 step
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		words[i] = z ^ (z >> 31)
+	}
+	return words
+}
+
+func TestSimulateWordsMatchesScalarReference(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		n := conformance.Random(seed, genCfg).MustBuild("rand")
+		checkWordsAgainstScalar(t, n, testWords(n.NumPIs(), seed*977))
+	}
+}
+
+func TestSimulateMatchesScalarReference(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		n := conformance.Random(seed, genCfg).MustBuild("rand")
+		vecs := network.RandomVectors(n.NumPIs(), 16, seed)
+		for _, vec := range vecs {
+			got, err := n.Simulate(vec)
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			want := refSimulate(t, n, vec)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d: Simulate PO %d = %v, reference %v", seed, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTruthTableMatchesScalarReference(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		n := conformance.Random(seed, genCfg).MustBuild("rand")
+		tt, err := n.TruthTable()
+		if err != nil {
+			t.Fatalf("TruthTable: %v", err)
+		}
+		rows := 1 << n.NumPIs()
+		if len(tt) != rows {
+			t.Fatalf("TruthTable has %d rows, want %d", len(tt), rows)
+		}
+		// Spot-check every row against the reference (networks are small
+		// enough that full coverage stays cheap).
+		inputs := make([]bool, n.NumPIs())
+		for r := 0; r < rows; r++ {
+			for i := range inputs {
+				inputs[i] = r&(1<<i) != 0
+			}
+			want := refSimulate(t, n, inputs)
+			for j := range want {
+				if tt[r][j] != want[j] {
+					t.Fatalf("seed %d row %d PO %d: truth table %v, reference %v", seed, r, j, tt[r][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledEvaluatorInvalidation mutates networks through every
+// structural mutation path — public API and the in-place optimization
+// passes — and checks the word path still matches the scalar reference
+// afterwards (i.e. no stale compiled program survives).
+func TestCompiledEvaluatorInvalidation(t *testing.T) {
+	mutations := []struct {
+		name string
+		run  func(n *network.Network)
+	}{
+		{"AddGate", func(n *network.Network) {
+			pis := n.PIs()
+			g := n.AddAnd(pis[0], pis[1])
+			n.ReplaceFanin(n.POs()[0], 0, g)
+		}},
+		{"ReplaceFanin", func(n *network.Network) {
+			n.ReplaceFanin(n.POs()[0], 0, n.PIs()[0])
+		}},
+		{"Strash", func(n *network.Network) { n.Strash() }},
+		{"PropagateConstants", func(n *network.Network) {
+			c := n.AddConst(true)
+			g := n.AddAnd(c, n.PIs()[0])
+			n.ReplaceFanin(n.POs()[0], 0, g)
+			n.PropagateConstants()
+		}},
+		{"SubstituteFanouts", func(n *network.Network) { n.SubstituteFanouts(2) }},
+		{"Decompose", func(n *network.Network) {
+			set := network.GateSet{network.And: true, network.Or: true, network.Not: true,
+				network.Buf: true, network.Fanout: true, network.Const0: true, network.Const1: true}
+			if err := n.Decompose(set); err != nil {
+				t.Fatalf("Decompose: %v", err)
+			}
+		}},
+		{"Balance", func(n *network.Network) { n.Balance(true) }},
+	}
+	for _, mut := range mutations {
+		t.Run(mut.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 15; seed++ {
+				n := conformance.Random(seed, genCfg).MustBuild("rand")
+				// Force a compile before mutating so a stale program would
+				// actually be observable.
+				if _, err := n.SimulateWords(testWords(n.NumPIs(), 7)); err != nil {
+					t.Fatalf("pre-mutation SimulateWords: %v", err)
+				}
+				mut.run(n)
+				checkWordsAgainstScalar(t, n, testWords(n.NumPIs(), seed))
+			}
+		})
+	}
+}
+
+// TestCloneSharesCompiledProgram pins that a clone simulates correctly
+// both when the parent's program was already compiled (shared pointer)
+// and after the clone diverges by mutation.
+func TestCloneSharesCompiledProgram(t *testing.T) {
+	n := conformance.Random(3, genCfg).MustBuild("rand")
+	words := testWords(n.NumPIs(), 11)
+	base, err := n.SimulateWords(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Clone()
+	got, err := c.SimulateWords(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range base {
+		if got[j] != base[j] {
+			t.Fatalf("clone PO %d word %#x, parent %#x", j, got[j], base[j])
+		}
+	}
+	// Diverge the clone; the parent must keep its old function and the
+	// clone must track its new one.
+	c.ReplaceFanin(c.POs()[0], 0, c.PIs()[0])
+	checkWordsAgainstScalar(t, c, words)
+	checkWordsAgainstScalar(t, n, words)
+}
+
+func TestSimulateWordsInputCount(t *testing.T) {
+	n := conformance.Random(5, genCfg).MustBuild("rand")
+	if _, err := n.SimulateWords(make([]uint64, n.NumPIs()+1)); err == nil {
+		t.Fatal("SimulateWords accepted a wrong-width word set")
+	}
+}
+
+// FuzzSimulateWords cross-checks the word-level evaluator against the
+// scalar reference on generator networks derived from the fuzzed seed.
+func FuzzSimulateWords(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 3, 0xC0FFEE, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		n := conformance.Random(seed, genCfg).MustBuild("fuzz")
+		words := testWords(n.NumPIs(), seed^0xD1B54A32D192ED03)
+		got, err := n.SimulateWords(words)
+		if err != nil {
+			t.Fatalf("SimulateWords: %v", err)
+		}
+		for lane := 0; lane < 64; lane++ {
+			want := refSimulate(t, n, wordLane(words, lane))
+			for j := range want {
+				if got[j]>>uint(lane)&1 != 0 != want[j] {
+					t.Fatalf("seed %d PO %d lane %d: word path disagrees with scalar reference", seed, j, lane)
+				}
+			}
+		}
+	})
+}

@@ -11,6 +11,9 @@ import "fmt"
 // The transformation preserves functionality; POs count as successors.
 func (n *Network) SubstituteFanouts(maxDegree int) {
 	mustFanoutDegree(maxDegree)
+	// Consumer fanins are rewritten in place below, bypassing
+	// ReplaceFanin; drop the compiled evaluator up front.
+	n.invalidate()
 	// Snapshot fanout lists before mutation; new nodes appended during the
 	// rewrite start with correct (single) fanout by construction.
 	lists := n.FanoutLists()
@@ -109,6 +112,8 @@ func (s GateSet) Supports(g Gate) bool { return s[g] }
 // cannot be expressed with the supported set (the set must contain at
 // least {And, Or, Not} or {Nand} or {Nor}).
 func (n *Network) Decompose(supported GateSet) error {
+	// Fanins are re-pointed in place below, bypassing ReplaceFanin.
+	n.invalidate()
 	order, err := n.TopoOrder()
 	if err != nil {
 		return err

@@ -21,11 +21,14 @@ import (
 	"repro/internal/clocking"
 	"repro/internal/core"
 	"repro/internal/gatelib"
+	"repro/internal/layout"
+	"repro/internal/network"
 	"repro/internal/perf"
 	"repro/internal/physical/hexagonal"
 	"repro/internal/physical/inord"
 	"repro/internal/physical/ortho"
 	"repro/internal/physical/postlayout"
+	"repro/internal/route"
 	"repro/internal/server"
 )
 
@@ -106,10 +109,17 @@ func BenchDeltaA(ctx context.Context, b *testing.B) {
 }
 
 // BenchWebInterface exercises the Figure 1 web interface (E4): filtered
-// catalogue queries and .fgl downloads against a live server.
+// catalogue queries and .fgl downloads against a live server. The setup
+// campaign runs under a deterministic exact-search step budget (like
+// the conformance selftest) instead of a wall-clock timeout, so the
+// catalogue being served — and with it the measured bytes and
+// allocations per request — does not drift when flow code gets faster
+// or slower.
 func BenchWebInterface(ctx context.Context, b *testing.B) {
 	benches := bench.BySet("Trindade16")[:3]
-	db := core.Generate(ctx, benches, gatelib.QCAOne, TableLimits(), nil)
+	limits := TableLimits()
+	limits.ExactSteps = 20000
+	db := core.Generate(ctx, benches, gatelib.QCAOne, limits, nil)
 	srv := httptest.NewServer(server.New(db))
 	defer srv.Close()
 	paths := []string{
@@ -260,6 +270,80 @@ func BenchExactMux21(ctx context.Context, b *testing.B) {
 	}
 }
 
+// simBenchNetwork builds the network the E9 simulation-throughput
+// experiments run on (ISCAS85 c432: wide and deep enough that gate
+// evaluation, not setup, dominates the measurement).
+func simBenchNetwork(b *testing.B) *network.Network {
+	bm, err := bench.ByName("ISCAS85", "c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bm.Build()
+}
+
+// BenchSimulateWords measures bit-parallel simulation throughput
+// (E9/words): one SimulateWords call evaluates 64 input vectors, so the
+// vectors_per_sec metric is directly comparable with E9/scalar.
+func BenchSimulateWords(b *testing.B) {
+	n := simBenchNetwork(b)
+	words := make([]uint64, n.NumPIs())
+	var x uint64 = 0x9E3779B97F4A7C15
+	for i := range words {
+		x = x*6364136223846793005 + 1442695040888963407
+		words[i] = x
+	}
+	if _, err := n.SimulateWords(words); err != nil { // warm the compile cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.SimulateWords(words); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+}
+
+// BenchSimulateScalar measures the single-pattern Simulate path over the
+// same 64-vector budget on the same network (E9/scalar). The ratio of
+// the two vectors_per_sec metrics is the bit-parallel win.
+func BenchSimulateScalar(b *testing.B) {
+	n := simBenchNetwork(b)
+	vecs := network.RandomVectors(n.NumPIs(), 64, 1)
+	if _, err := n.Simulate(vecs[0]); err != nil { // warm the compile cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vecs {
+			if _, err := n.Simulate(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "vectors_per_sec")
+}
+
+// BenchRouteExpansions measures raw A* search throughput on the
+// flat-grid frontier (E10): a corner-to-corner query across an empty
+// 32x32 2DDWave grid, reported in settled open-list entries per second.
+func BenchRouteExpansions(b *testing.B) {
+	l := layout.New("b", layout.Cartesian, clocking.TwoDDWave)
+	l.MustPlace(layout.C(0, 0), layout.Tile{Fn: network.PI, Name: "a"})
+	l.MustPlace(layout.C(31, 31), layout.Tile{Fn: network.PO, Name: "f"})
+	opts := route.Options{MaxX: 31, MaxY: 31}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := route.RouteWithStats(l, layout.C(0, 0), layout.C(31, 31), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Expansions
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "expansions_per_sec")
+}
+
 // Experiments returns the full E1–E7 suite as perfsnap experiments.
 // Sub-benchmarked experiments are flattened into one experiment per
 // case (E6/<circuit>; E7/serial and E7/parallel) so every snapshot row
@@ -287,6 +371,12 @@ func Experiments() []perf.Experiment {
 		perf.Experiment{ID: "E7/serial", Name: "Campaign workers=1",
 			Bench: func(ctx context.Context, b *testing.B) { BenchCampaign(ctx, b, 1) }},
 		perf.Experiment{ID: "E8", Name: "ExactMux21", Bench: BenchExactMux21},
+		perf.Experiment{ID: "E9/words", Name: "SimulateWords c432",
+			Bench: func(_ context.Context, b *testing.B) { BenchSimulateWords(b) }},
+		perf.Experiment{ID: "E9/scalar", Name: "SimulateScalar c432",
+			Bench: func(_ context.Context, b *testing.B) { BenchSimulateScalar(b) }},
+		perf.Experiment{ID: "E10", Name: "RouteExpansions 32x32",
+			Bench: func(_ context.Context, b *testing.B) { BenchRouteExpansions(b) }},
 	)
 	return exps
 }

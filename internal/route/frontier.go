@@ -1,0 +1,151 @@
+package route
+
+import (
+	"sync"
+
+	"repro/internal/layout"
+)
+
+// The A* working state lives in a pooled frontier: a flat cell grid
+// indexed by (z*H+y)*W+x replaces the old map[layout.Coord]state closed
+// set, and a typed binary heap over pqItem values replaces
+// container/heap's interface{} boxing. Each routing query borrows a
+// frontier from the pool, resets it in O(1) via generation stamps, and
+// returns it, so steady-state routing performs no per-query allocation
+// beyond the returned path.
+
+// pqItem is one open-list entry. Items are stored by value; the coord is
+// kept alongside the flat index so the comparator can reproduce the
+// historical (est, Y, X, Z) tie-break exactly.
+type pqItem struct {
+	coord layout.Coord
+	idx   int32
+	cost  int32
+	est   int32
+}
+
+// cell is the per-coordinate bookkeeping of the search. gen stamps the
+// query the entry belongs to, so reset is a counter bump instead of a
+// grid clear.
+type cell struct {
+	gen  uint32
+	cost int32
+	prev int32 // flat index of the predecessor; prevSrc for first hops
+	seen bool
+}
+
+// prevSrc marks cells whose predecessor is the (non-grid) source tile.
+const prevSrc int32 = -1
+
+type frontier struct {
+	cells []cell
+	items []pqItem
+	nbuf  []layout.Coord
+	gen   uint32
+	w, h  int
+}
+
+var frontierPool = sync.Pool{New: func() any { return new(frontier) }}
+
+// reset prepares the frontier for a query over a (w x h x 2-layer) grid.
+func (f *frontier) reset(w, h int) {
+	n := w * h * 2
+	if cap(f.cells) < n {
+		f.cells = make([]cell, n)
+		f.gen = 0
+	}
+	f.cells = f.cells[:n]
+	f.items = f.items[:0]
+	f.w, f.h = w, h
+	f.gen++
+	if f.gen == 0 { // counter wrapped: stamp 0 must mean "stale"
+		clear(f.cells)
+		f.gen = 1
+	}
+}
+
+// index flattens an in-bounds coordinate.
+//
+//perf:hot
+func (f *frontier) index(c layout.Coord) int32 {
+	return int32((c.Z*f.h+c.Y)*f.w + c.X)
+}
+
+// coordAt inverts index; used only during path reconstruction.
+func (f *frontier) coordAt(idx int32) layout.Coord {
+	i := int(idx)
+	plane := f.w * f.h
+	z := i / plane
+	i -= z * plane
+	return layout.Coord{X: i % f.w, Y: i / f.w, Z: z}
+}
+
+// less orders the open list by estimated total cost with the
+// deterministic (Y, X, Z) coordinate tie-break that keeps layouts
+// byte-reproducible.
+//
+//perf:hot
+func (f *frontier) less(i, j int) bool {
+	a, b := &f.items[i], &f.items[j]
+	if a.est != b.est {
+		return a.est < b.est
+	}
+	if a.coord.Y != b.coord.Y {
+		return a.coord.Y < b.coord.Y
+	}
+	if a.coord.X != b.coord.X {
+		return a.coord.X < b.coord.X
+	}
+	return a.coord.Z < b.coord.Z
+}
+
+// push inserts an open-list entry, keeping the heap invariant.
+//
+//perf:hot
+func (f *frontier) push(it pqItem) {
+	f.items = append(f.items, it)
+	f.siftUp(len(f.items) - 1)
+}
+
+// pop removes and returns the minimum entry. The caller checks Len > 0.
+//
+//perf:hot
+func (f *frontier) pop() pqItem {
+	n := len(f.items) - 1
+	f.items[0], f.items[n] = f.items[n], f.items[0]
+	f.siftDown(0, n)
+	it := f.items[n]
+	f.items = f.items[:n]
+	return it
+}
+
+//perf:hot
+func (f *frontier) siftUp(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !f.less(j, i) {
+			break
+		}
+		f.items[i], f.items[j] = f.items[j], f.items[i]
+		j = i
+	}
+}
+
+//perf:hot
+func (f *frontier) siftDown(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && f.less(j2, j1) {
+			j = j2
+		}
+		if !f.less(j, i) {
+			break
+		}
+		f.items[i], f.items[j] = f.items[j], f.items[i]
+		i = j
+	}
+}

@@ -8,7 +8,6 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/layout"
@@ -33,49 +32,6 @@ const DefaultMaxExpansions = 200000
 
 // ErrNoRoute is wrapped by Route when no legal wire path exists.
 var ErrNoRoute = fmt.Errorf("route: no legal path")
-
-type pqItem struct {
-	coord layout.Coord
-	cost  int
-	est   int
-	index int
-}
-
-type pq []*pqItem
-
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
-	if p[i].est != p[j].est {
-		return p[i].est < p[j].est
-	}
-	// Deterministic tie-breaking keeps layouts reproducible.
-	a, b := p[i].coord, p[j].coord
-	if a.Y != b.Y {
-		return a.Y < b.Y
-	}
-	if a.X != b.X {
-		return a.X < b.X
-	}
-	return a.Z < b.Z
-}
-func (p pq) Swap(i, j int) {
-	p[i], p[j] = p[j], p[i]
-	p[i].index = i
-	p[j].index = j
-}
-func (p *pq) Push(x interface{}) {
-	it := x.(*pqItem)
-	it.index = len(*p)
-	*p = append(*p, it)
-}
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*p = old[:n-1]
-	return it
-}
 
 // distanceLB is an admissible lower bound on the number of hops between
 // two grid positions. It runs once per neighbor expansion of the A*
@@ -105,6 +61,13 @@ func distanceLB(t layout.Topology, a, b layout.Coord) int {
 	return dx + dy
 }
 
+// Stats reports the search effort of one routing query.
+type Stats struct {
+	// Expansions is the number of open-list entries settled (popped and
+	// expanded) by the A* search.
+	Expansions int
+}
+
 // Route finds the cheapest legal wire path from the placed tile at src to
 // the placed tile at dst. The returned slice lists the intermediate wire
 // positions (possibly empty when the tiles are directly adjacent in
@@ -113,11 +76,20 @@ func distanceLB(t layout.Topology, a, b layout.Coord) int {
 // Costs: each wire tile costs 10, crossing-layer tiles cost 12, so the
 // router prefers short, crossing-free paths deterministically.
 func Route(l *layout.Layout, src, dst layout.Coord, opts Options) ([]layout.Coord, error) {
+	path, _, err := RouteWithStats(l, src, dst, opts)
+	return path, err
+}
+
+// RouteWithStats is Route with search-effort reporting, for benchmarks
+// and diagnostics that track router throughput in expansions/sec.
+//
+//perf:hot
+func RouteWithStats(l *layout.Layout, src, dst layout.Coord, opts Options) ([]layout.Coord, Stats, error) {
 	if l.At(src) == nil {
-		return nil, fmt.Errorf("route: source %v is empty", src)
+		return nil, Stats{}, fmt.Errorf("route: source %v is empty", src)
 	}
 	if l.At(dst) == nil {
-		return nil, fmt.Errorf("route: destination %v is empty", dst)
+		return nil, Stats{}, fmt.Errorf("route: destination %v is empty", dst)
 	}
 	maxX, maxY := opts.MaxX, opts.MaxY
 	if maxX == 0 || maxY == 0 {
@@ -153,76 +125,75 @@ func Route(l *layout.Layout, src, dst layout.Coord, opts Options) ([]layout.Coor
 		return true
 	}
 
-	// A* from src: states are empty coordinates reachable by legal hops.
-	type state struct {
-		prev layout.Coord
-		cost int
-		seen bool
-	}
-	best := make(map[layout.Coord]state)
-	open := &pq{}
-	heap.Init(open)
+	// A* from src: states are empty coordinates reachable by legal hops,
+	// tracked on the pooled flat-grid frontier.
+	f := frontierPool.Get().(*frontier)
+	defer frontierPool.Put(f)
+	f.reset(maxX+1, maxY+1)
 
-	push := func(c layout.Coord, prev layout.Coord, cost int) {
-		if s, ok := best[c]; ok && s.cost <= cost {
+	push := func(c layout.Coord, prev int32, cost int32) {
+		ci := f.index(c)
+		cl := &f.cells[ci]
+		if cl.gen == f.gen && cl.cost <= cost {
 			return
 		}
-		best[c] = state{prev: prev, cost: cost}
-		heap.Push(open, &pqItem{coord: c, cost: cost, est: cost + 10*distanceLB(l.Topo, c, dst)})
+		*cl = cell{gen: f.gen, cost: cost, prev: prev}
+		f.push(pqItem{coord: c, idx: ci, cost: cost, est: cost + 10*int32(distanceLB(l.Topo, c, dst))})
 	}
 
 	// Seed with the first hops out of src.
-	for _, c := range l.OutgoingNeighbors(src) {
+	f.nbuf = l.AppendOutgoingNeighbors(src, f.nbuf[:0])
+	for _, c := range f.nbuf {
 		if c.SameXY(dst) && c.Z == dst.Z {
 			// Directly adjacent: empty path.
-			return nil, nil
+			return nil, Stats{}, nil
 		}
 		if usable(c) {
-			cost := 10
+			cost := int32(10)
 			if c.Z == 1 {
 				cost = 12
 			}
-			push(c, src, cost)
+			push(c, prevSrc, cost)
 		}
 	}
 
 	expansions := 0
-	for open.Len() > 0 {
-		it := heap.Pop(open).(*pqItem)
-		cur := it.coord
-		s := best[cur]
-		if s.seen || s.cost < it.cost {
+	for len(f.items) > 0 {
+		it := f.pop()
+		cl := &f.cells[it.idx]
+		if cl.seen || cl.cost < it.cost {
 			continue
 		}
-		s.seen = true
-		best[cur] = s
+		cl.seen = true
 		expansions++
 		if expansions > maxExp {
 			break
 		}
-		for _, nxt := range l.OutgoingNeighbors(cur) {
+		curCost := cl.cost
+		f.nbuf = l.AppendOutgoingNeighbors(it.coord, f.nbuf[:0])
+		for _, nxt := range f.nbuf {
 			if nxt.SameXY(dst) && nxt.Z == dst.Z {
-				// Reconstruct: cur is the last intermediate tile.
+				// Reconstruct: it.coord is the last intermediate tile.
 				var path []layout.Coord
-				for c := cur; c != src; c = best[c].prev {
-					path = append(path, c)
+				for idx := it.idx; idx != prevSrc; idx = f.cells[idx].prev {
+					path = append(path, f.coordAt(idx))
 				}
 				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 					path[i], path[j] = path[j], path[i]
 				}
-				return path, nil
+				return path, Stats{Expansions: expansions}, nil
 			}
 			if !usable(nxt) {
 				continue
 			}
-			step := 10
+			step := int32(10)
 			if nxt.Z == 1 {
 				step = 12
 			}
-			push(nxt, cur, s.cost+step)
+			push(nxt, it.idx, curCost+step)
 		}
 	}
-	return nil, fmt.Errorf("%w from %v to %v (zones %d->%d, %d expansions)",
+	return nil, Stats{Expansions: expansions}, fmt.Errorf("%w from %v to %v (zones %d->%d, %d expansions)",
 		ErrNoRoute, src, dst, l.Zone(src), l.Zone(dst), expansions)
 }
 
