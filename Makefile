@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: all build test race check fmt vet lint lint-fix lint-sarif bench bench-all trace-smoke \
-	selftest fuzz-smoke perfsnap perfdiff perfsnap-smoke
+	journal-smoke selftest fuzz-smoke perfsnap perfdiff perfsnap-smoke
 
 all: check
 
@@ -46,7 +46,7 @@ SARIF_OUT ?= mntlint.sarif
 lint-sarif:
 	$(GO) run ./cmd/mntlint -sarif > "$(SARIF_OUT)" || true
 
-check: build vet fmt lint test race selftest
+check: build vet fmt lint test race selftest journal-smoke
 
 # selftest is the bounded conformance smoke (~30s): seeded random
 # networks through every registered flow with the full invariant
@@ -90,6 +90,20 @@ trace-smoke:
 	$(GO) run ./cmd/mntbench table -set Trindade16 -name mux21 -q \
 		-exact-timeout 1 -trace mntbench-trace-smoke.json >/dev/null && \
 	$(GO) run ./cmd/mntbench tracecheck mntbench-trace-smoke.json
+
+# journal-smoke runs a tiny campaign with -journal, then proves the
+# flight-recorder acceptance loop: `journal verify` declares the file
+# complete and `journal summary -dir` recomputes the outcome table from
+# events and cross-checks the layouts the campaign wrote. The trap
+# removes the scratch directory even when a step fails.
+journal-smoke:
+	@trap 'rm -rf mntbench-journal-smoke' EXIT; \
+	$(GO) run ./cmd/mntbench generate -set Trindade16 -name mux21 -q \
+		-exact-timeout 1 -dir mntbench-journal-smoke \
+		-journal mntbench-journal-smoke/campaign.jsonl >/dev/null && \
+	$(GO) run ./cmd/mntbench journal verify mntbench-journal-smoke/campaign.jsonl && \
+	$(GO) run ./cmd/mntbench journal summary -dir mntbench-journal-smoke \
+		mntbench-journal-smoke/campaign.jsonl
 
 # perfsnap runs the full experiment suite and writes the next
 # BENCH_<n>.json performance snapshot (commit it: the files are the

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// cmdTail renders a campaign journal as live progress lines: one line
+// per finished job with running throughput and ETA, plus campaign
+// start/done banners. With -follow it keeps watching the file for new
+// events, turning any terminal into a live campaign dashboard without
+// the HTTP sidecar.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	follow := fs.Bool("follow", false, "keep watching the journal for new events (stop with Ctrl-C)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval while following")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("tail: usage: mntbench tail [-follow] [-poll 500ms] FILE.jsonl")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := bufio.NewReader(f)
+	st := newTailState()
+	// partial accumulates a line across polls: the writer flushes whole
+	// lines but a read can still land mid-line, and in -follow mode the
+	// final line may simply not be finished yet.
+	var partial []byte
+	for {
+		chunk, rerr := r.ReadBytes('\n')
+		partial = append(partial, chunk...)
+		if rerr == nil {
+			renderTailLine(os.Stdout, st, partial)
+			partial = partial[:0]
+			continue
+		}
+		if !errors.Is(rerr, io.EOF) {
+			return rerr
+		}
+		if !*follow {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*poll):
+		}
+	}
+}
+
+// tailState tracks per-campaign progress across events so job_done
+// lines can carry running throughput and ETA. All timing derives from
+// event timestamps, never the local clock, so replaying a finished
+// journal renders the same rates the live run showed.
+type tailState struct {
+	campaigns map[string]*tailCampaign
+}
+
+type tailCampaign struct {
+	total int
+	done  int
+	start int64 // campaign_start timestamp, unix nanoseconds
+}
+
+func newTailState() *tailState {
+	return &tailState{campaigns: make(map[string]*tailCampaign)}
+}
+
+// renderTailLine parses one journal line and renders it; malformed
+// lines are reported to stderr and skipped so a damaged tail never
+// kills a live view.
+func renderTailLine(w io.Writer, st *tailState, line []byte) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return
+	}
+	var e obs.Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		fmt.Fprintf(os.Stderr, "tail: skipping malformed journal line: %v\n", err)
+		return
+	}
+	renderTailEvent(w, st, e)
+}
+
+// renderTailEvent renders one journal event as the tail view's output.
+func renderTailEvent(w io.Writer, st *tailState, e obs.Event) {
+	switch e.Type {
+	case obs.EventCampaignStart:
+		st.campaigns[e.Campaign] = &tailCampaign{total: e.Total, start: e.Time}
+		fmt.Fprintf(w, "campaign %s started: library=%s benchmarks=%d jobs=%d workers=%d\n",
+			e.Campaign, e.Library, e.Benchmarks, e.Total, e.Workers)
+	case obs.EventJobDone:
+		c := st.campaigns[e.Campaign]
+		var counter, rate string
+		if c != nil {
+			c.done++
+			counter = fmt.Sprintf("[%d/%d] ", c.done, c.total)
+			if wall := time.Duration(e.Time - c.start); wall > 0 && c.start > 0 && e.Time > 0 {
+				throughput := float64(c.done) / wall.Seconds()
+				rate = fmt.Sprintf("  %.1f flows/s", throughput)
+				if remaining := c.total - c.done; remaining > 0 && throughput > 0 {
+					eta := time.Duration(float64(remaining) / throughput * float64(time.Second))
+					rate += fmt.Sprintf(" ETA %v", eta.Round(time.Second))
+				}
+			}
+		}
+		elapsed := time.Duration(e.ElapsedUS) * time.Microsecond
+		if e.Outcome != string(core.OutcomeOK) {
+			fmt.Fprintf(w, "%s%-10s %-14s %-34s skipped: %s (%v)%s\n",
+				counter, e.Set, e.Benchmark, e.Flow, e.Outcome, elapsed, rate)
+			return
+		}
+		fmt.Fprintf(w, "%s%-10s %-14s %-34s %4dx%-4d A=%-8d (%v)%s\n",
+			counter, e.Set, e.Benchmark, e.Flow, e.Width, e.Height, e.Area, elapsed, rate)
+	case obs.EventCampaignDone:
+		status := "done"
+		if e.Canceled {
+			status = "canceled"
+		}
+		fmt.Fprintf(w, "campaign %s %s: %d jobs finished, %d layouts, %d failures\n",
+			e.Campaign, status, e.Done, e.Entries, e.Failures)
+		delete(st.campaigns, e.Campaign)
+	}
+	// job_start events stay silent: the done line carries everything.
+}
+
+// cmdJournal dispatches the journal analysis subcommands: summary
+// (recompute the campaign outcome table from events), verify (integrity
+// and completeness check), and jobs (list job keys, the resume seam).
+func cmdJournal(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("journal: usage: mntbench journal summary|verify|jobs [flags] FILE.jsonl")
+	}
+	switch args[0] {
+	case "summary":
+		return cmdJournalSummary(args[1:])
+	case "verify":
+		return cmdJournalVerify(args[1:])
+	case "jobs":
+		return cmdJournalJobs(args[1:])
+	}
+	return fmt.Errorf("journal: unknown subcommand %q (want summary, verify, or jobs)", args[0])
+}
+
+// readReplay loads and replays one journal file.
+func readReplay(path string) (*core.JournalReplay, error) {
+	events, truncated, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.ReplayJournal(events, truncated), nil
+}
+
+func cmdJournalSummary(args []string) error {
+	fs := flag.NewFlagSet("journal summary", flag.ExitOnError)
+	dir := fs.String("dir", "", "cross-check ok jobs against this generate output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("journal summary: usage: mntbench journal summary [-dir DIR] FILE.jsonl")
+	}
+	rep, err := readReplay(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderJournalSummary(rep))
+	if *dir != "" {
+		n, err := core.CheckReplayAgainstDir(rep, *dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cross-check: %d layouts in %s match the journal\n", n, *dir)
+	}
+	return nil
+}
+
+func cmdJournalVerify(args []string) error {
+	fs := flag.NewFlagSet("journal verify", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("journal verify: usage: mntbench journal verify FILE.jsonl")
+	}
+	rep, err := readReplay(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	text, ok := core.RenderJournalVerify(rep)
+	fmt.Print(text)
+	if !ok {
+		return fmt.Errorf("journal verify: %s is incomplete or damaged", fs.Arg(0))
+	}
+	return nil
+}
+
+func cmdJournalJobs(args []string) error {
+	fs := flag.NewFlagSet("journal jobs", flag.ExitOnError)
+	done := fs.Bool("done", false, "finished jobs, the resume seam (default)")
+	okOnly := fs.Bool("ok", false, "only jobs that produced a layout")
+	unfinished := fs.Bool("unfinished", false, "jobs that started but never finished")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("journal jobs: usage: mntbench journal jobs [-done|-ok|-unfinished] FILE.jsonl")
+	}
+	if *okOnly && *unfinished || *done && *unfinished || *done && *okOnly {
+		return fmt.Errorf("journal jobs: -done, -ok, and -unfinished are mutually exclusive")
+	}
+	rep, err := readReplay(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, c := range rep.Campaigns {
+		var keys []core.JobKey
+		switch {
+		case *okOnly:
+			keys = c.OKKeys()
+		case *unfinished:
+			keys = c.Unfinished()
+		default:
+			keys = c.DoneKeys()
+		}
+		for _, k := range keys {
+			fmt.Println(k.String())
+		}
+	}
+	return nil
+}

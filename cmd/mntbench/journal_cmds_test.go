@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestGenerateJournalEndToEnd drives the flight-recorder acceptance
+// path through the CLI: a tiny generate campaign with -journal, then
+// journal verify, summary with the directory cross-check, the jobs
+// listing, and a non-follow tail over the finished file.
+func TestGenerateJournalEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	dir := t.TempDir()
+	outDir := filepath.Join(dir, "layouts")
+	jf := filepath.Join(dir, "campaign.jsonl")
+	err := cmdGenerate([]string{"-set", "Trindade16", "-name", "mux21", "-q",
+		"-exact-timeout", "1", "-dir", outDir, "-journal", jf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// generate runs one campaign per gate library; both must replay as
+	// complete from the same journal file.
+	events, truncated, err := obs.ReadJournalFile(jf)
+	if err != nil || truncated {
+		t.Fatalf("journal after generate: err=%v truncated=%v", err, truncated)
+	}
+	campaigns := 0
+	for _, e := range events {
+		if e.Type == obs.EventCampaignStart {
+			campaigns++
+		}
+	}
+	if campaigns != 2 {
+		t.Fatalf("journal holds %d campaigns, want 2 (one per library)", campaigns)
+	}
+
+	if err := cmdJournalVerify([]string{jf}); err != nil {
+		t.Errorf("verify of a completed campaign journal failed: %v", err)
+	}
+	if err := cmdJournalSummary([]string{"-dir", outDir, jf}); err != nil {
+		t.Errorf("summary cross-check against the output directory failed: %v", err)
+	}
+	for _, flags := range [][]string{{jf}, {"-ok", jf}, {"-unfinished", jf}} {
+		if err := cmdJournalJobs(flags); err != nil {
+			t.Errorf("journal jobs %v: %v", flags, err)
+		}
+	}
+	if err := cmdTail([]string{jf}); err != nil {
+		t.Errorf("tail over a finished journal: %v", err)
+	}
+
+	// Tamper with the output directory: the cross-check must now fail.
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := false
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), ".fgl") {
+			if err := os.Remove(filepath.Join(outDir, de.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		t.Fatal("generate wrote no layouts")
+	}
+	if err := cmdJournalSummary([]string{"-dir", outDir, jf}); err == nil {
+		t.Error("summary cross-check passed against a tampered directory")
+	}
+}
+
+func TestJournalCommandErrors(t *testing.T) {
+	if err := cmdJournal(nil); err == nil {
+		t.Error("journal with no subcommand accepted")
+	}
+	if err := cmdJournal([]string{"frobnicate"}); err == nil {
+		t.Error("unknown journal subcommand accepted")
+	}
+	if err := cmdJournalVerify([]string{filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Error("verify of a missing file succeeded")
+	}
+	if err := cmdJournalJobs([]string{"-ok", "-unfinished", "x.jsonl"}); err == nil {
+		t.Error("conflicting jobs flags accepted")
+	}
+}
+
+// TestRenderTailEvent pins the tail view's output. All rates derive
+// from event timestamps, so rendering is deterministic.
+func TestRenderTailEvent(t *testing.T) {
+	var buf bytes.Buffer
+	st := newTailState()
+	start := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC).UnixNano()
+	renderTailEvent(&buf, st, obs.Event{Type: obs.EventCampaignStart, Campaign: "c1",
+		Library: "qcaone", Benchmarks: 1, Total: 2, Workers: 1, Time: start})
+	renderTailEvent(&buf, st, obs.Event{Type: obs.EventJobDone, Campaign: "c1", Job: 1,
+		Set: "Trindade16", Benchmark: "mux21", Flow: "ortho-2ddwave", Outcome: "ok",
+		Width: 3, Height: 3, Area: 9, ElapsedUS: 2_000_000,
+		Time: start + int64(2*time.Second)})
+	renderTailEvent(&buf, st, obs.Event{Type: obs.EventJobDone, Campaign: "c1", Job: 2,
+		Set: "Trindade16", Benchmark: "mux21", Flow: "exact-2ddwave", Outcome: "timeout",
+		ElapsedUS: 1_000_000, Time: start + int64(4*time.Second)})
+	renderTailEvent(&buf, st, obs.Event{Type: obs.EventCampaignDone, Campaign: "c1",
+		Done: 2, Entries: 1, Failures: 1, Time: start + int64(4*time.Second)})
+
+	out := buf.String()
+	for _, want := range []string{
+		"campaign c1 started: library=qcaone benchmarks=1 jobs=2 workers=1",
+		"[1/2]",
+		"3x3",
+		"A=9",
+		"0.5 flows/s ETA 2s",
+		"[2/2]",
+		"skipped: timeout (1s)",
+		"campaign c1 done: 2 jobs finished, 1 layouts, 1 failures",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tail output missing %q:\n%s", want, out)
+		}
+	}
+	// The final job carries a rate but no ETA (nothing remains).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	final := lines[2]
+	if !strings.Contains(final, "flows/s") || strings.Contains(final, "ETA") {
+		t.Errorf("final job line %q", final)
+	}
+
+	// Unknown campaigns (journal cut before campaign_start) and
+	// malformed lines must not panic or kill the stream.
+	renderTailEvent(&buf, st, obs.Event{Type: obs.EventJobDone, Campaign: "ghost", Job: 1, Outcome: "ok"})
+	renderTailLine(&buf, st, []byte("not json at all"))
+	renderTailLine(&buf, st, []byte("   \n"))
+}
+
+// TestTailFollowStopsOnEOF checks plain (non-follow) tail handles a
+// file whose final line is torn, as after a crash.
+func TestTailTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	body := `{"seq":1,"type":"campaign_start","campaign":"c1","schema":1,"total":1}` + "\n" +
+		`{"seq":2,"type":"job_st`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTail([]string{path}); err != nil {
+		t.Fatalf("tail over a torn journal: %v", err)
+	}
+}

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	mntbench list
-//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE] [-trace FILE.json]
-//	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR] [-trace FILE.json]
+//	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE] [-trace FILE.json] [-journal FILE.jsonl]
+//	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR] [-trace FILE.json] [-journal FILE.jsonl]
 //	mntbench serve    [-addr :8080] [-set ...] [-traces]
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
@@ -15,6 +15,8 @@
 //	mntbench perfsnap [-benchtime 1s] [-experiments LIST] [-profile-dir DIR] [-out FILE]
 //	mntbench perfdiff [-threshold metric=rel,...] OLD.json NEW.json
 //	mntbench selftest [-seed N] [-n N] [-workers N] [-flows LIST] [-json] [-repro-dir DIR] [-replay FILE]
+//	mntbench tail     [-follow] [-poll 500ms] FILE.jsonl
+//	mntbench journal  summary|verify|jobs [-dir DIR] [-done|-ok|-unfinished] FILE.jsonl
 package main
 
 import (
@@ -76,6 +78,10 @@ func main() {
 		err = cmdPerfDiff(os.Args[2:])
 	case "selftest":
 		err = cmdSelftest(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
+	case "journal":
+		err = cmdJournal(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -107,7 +113,9 @@ commands:
   tracecheck validate a -trace Chrome trace-event file
   perfsnap   run the E1-E7 experiment suite and write a BENCH_<n>.json snapshot
   perfdiff   compare two snapshots; exits nonzero on performance regression
-  selftest   property-based conformance harness over every registered flow`)
+  selftest   property-based conformance harness over every registered flow
+  tail       render a campaign journal as live progress lines (-follow to watch)
+  journal    summarize, verify, or list jobs of a campaign journal`)
 }
 
 // selectBenches picks benchmarks by set/name and a size cap.
@@ -164,6 +172,7 @@ func cmdTable(args []string) error {
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	traceFile := fs.String("trace", "", "write the campaign timeline as Chrome trace-event JSON to this file")
+	journalFile := fs.String("journal", "", "append campaign lifecycle events to this JSONL journal file")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,11 +185,17 @@ func cmdTable(args []string) error {
 	if err != nil {
 		return err
 	}
-	traces := campaignTraces(*traceFile)
-	ctx, err := of.activate(context.Background(), traces)
+	journal, err := openJournalFlag(*journalFile)
 	if err != nil {
 		return err
 	}
+	defer journal.Close()
+	traces := campaignTraces(*traceFile)
+	ctx, ready, err := of.activate(context.Background(), traces, journal)
+	if err != nil {
+		return err
+	}
+	ready.Ready()
 	progress := func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
 	if *quiet {
 		progress = nil
@@ -218,7 +233,9 @@ func cmdGenerate(args []string) error {
 	nanoSec := fs.Int("nano-timeout", 5, "NanoPlaceR budget (seconds)")
 	ploSec := fs.Int("plo-timeout", 20, "PLO budget (seconds)")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = all CPU cores)")
+	quiet := fs.Bool("q", false, "suppress progress output")
 	traceFile := fs.String("trace", "", "write the campaign timeline as Chrome trace-event JSON to this file")
+	journalFile := fs.String("journal", "", "append campaign lifecycle events to this JSONL journal file")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -235,21 +252,33 @@ func cmdGenerate(args []string) error {
 		}
 		libs = []*gatelib.Library{l}
 	}
-	traces := campaignTraces(*traceFile)
-	ctx, err := of.activate(context.Background(), traces)
+	journal, err := openJournalFlag(*journalFile)
 	if err != nil {
 		return err
 	}
+	defer journal.Close()
+	traces := campaignTraces(*traceFile)
+	ctx, ready, err := of.activate(context.Background(), traces, journal)
+	if err != nil {
+		return err
+	}
+	ready.Ready()
 	// Ctrl-C stops the campaign at the next stage boundary; the layouts
 	// finished so far are still written and the summaries still print.
+	// Campaign-boundary journal events fsync, so even a second, harder
+	// interrupt loses at most the last flush interval of job events.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	progress := func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) }
+	if *quiet {
+		progress = nil
+	}
 	limits := limitsFromFlags(*exactSec, *nanoSec, *ploSec)
 	limits.Workers = *workers
 	written := 0
 	skipped := &core.Database{}
 	for _, library := range libs {
-		db := core.Generate(ctx, benches, library, limits, func(p core.Progress) { fmt.Fprintln(os.Stderr, p.String()) })
+		db := core.Generate(ctx, benches, library, limits, progress)
 		skipped.Failures = append(skipped.Failures, db.Failures...)
 		w, err := core.SaveDatabase(db, *dir)
 		written += w
@@ -297,11 +326,16 @@ func cmdServe(args []string) error {
 	if *tracesOn {
 		traces = obs.NewTraceStore(obs.TracePolicy{})
 	}
-	ctx, err := of.activate(context.Background(), traces)
+	// A broadcast-only journal: the startup generation campaign streams
+	// its lifecycle events to /debug/events watchers (sidecar and web
+	// interface alike) without writing a file.
+	journal := obs.NewJournal(nil, obs.Default())
+	ctx, ready, err := of.activate(context.Background(), traces, journal)
 	if err != nil {
 		return err
 	}
-	opts := []server.Option{server.WithPerfDir(*perfDir)}
+	ready.NotReady("database loading")
+	opts := []server.Option{server.WithPerfDir(*perfDir), server.WithJournal(journal)}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}
@@ -317,7 +351,7 @@ func cmdServe(args []string) error {
 			fmt.Fprintln(os.Stderr, "skipped:", f.Reason)
 		}
 		fmt.Printf("serving %d pre-generated layouts on %s\n", len(db.Entries), *addr)
-		return http.ListenAndServe(*addr, server.New(db, opts...))
+		return serveGraceful(ctx, *addr, server.New(db, opts...), ready)
 	}
 	benches, err := selectBenches(*set, "", *full)
 	if err != nil {
@@ -338,7 +372,47 @@ func cmdServe(args []string) error {
 		db.Failures = append(db.Failures, part.Failures...)
 	}
 	fmt.Printf("serving %d layouts on %s\n", len(db.Entries), *addr)
-	return http.ListenAndServe(*addr, server.New(db, opts...))
+	return serveGraceful(ctx, *addr, server.New(db, opts...), ready)
+}
+
+// serveGraceful runs the web interface until SIGINT/SIGTERM, then flips
+// /readyz (sidecar and server alike) to 503 so load balancers stop
+// routing, and drains in-flight requests before returning. The sidecar
+// readiness turns ready here: the database is loaded once serving
+// starts.
+func serveGraceful(ctx context.Context, addr string, s *server.Server, ready *obs.Readiness) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	ready.Ready()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	ready.NotReady("shutting down")
+	s.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// openJournalFlag opens the -journal file when the flag was given; a
+// nil *obs.Journal (every method no-ops) when it was not.
+func openJournalFlag(path string) (*obs.Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	j, err := obs.OpenJournal(path, obs.Default())
+	if err != nil {
+		return nil, err
+	}
+	if j.Recovered() {
+		fmt.Fprintf(os.Stderr, "journal: %s had a damaged final line (crashed writer); truncated to the last complete event\n", path)
+	}
+	return j, nil
 }
 
 func cmdLayout(args []string) error {

@@ -35,21 +35,33 @@ func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 
 // activate installs the configured logger as the process default,
 // optionally starts the metrics sidecar server, and returns a context
-// carrying the logger, the process registry, and — when traces is
-// non-nil — the trace store, which the sidecar then also serves at
-// /debug/traces.
-func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore) (context.Context, error) {
+// carrying the logger, the process registry, and — when traces/journal
+// are non-nil — the trace store and event journal, which the sidecar
+// then also serves at /debug/traces and /debug/events. The returned
+// readiness is mounted at the sidecar's /readyz, starts not-ready, and
+// is flipped by the command once its database or campaign is loaded.
+func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore, journal *obs.Journal) (context.Context, *obs.Readiness, error) {
 	level, err := obs.ParseLevel(*o.logLevel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	log := obs.NewLogger(os.Stderr, level, *o.logJSON)
 	obs.SetDefaultLogger(log)
 	reg := obs.Default()
 	obs.RegisterBuildInfo(reg)
+	ready := obs.NewReadiness("starting up")
 	ctx = obs.WithLogger(obs.WithRegistry(ctx, reg), log)
 	if traces != nil {
 		ctx = obs.WithTraces(ctx, traces)
+	}
+	if journal == nil && *o.metricsAddr != "" {
+		// No durable journal file, but a live surface: a broadcast-only
+		// journal feeds /debug/events without touching disk. It lives for
+		// the process, like the runtime collector below.
+		journal = obs.NewJournal(nil, reg)
+	}
+	if journal != nil {
+		ctx = obs.WithJournal(ctx, journal)
 	}
 	if *o.metricsAddr != "" {
 		// The collector keeps the mntbench_go_* runtime gauges fresh for
@@ -63,6 +75,8 @@ func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore) (contex
 			metricsHandler.ServeHTTP(w, r)
 		}))
 		mux.HandleFunc("/healthz", obs.Healthz)
+		mux.Handle("/readyz", ready.Handler())
+		mux.Handle("/debug/events", journal.EventsHandler())
 		mux.Handle("/debug/perf", perf.Handler("."))
 		if traces != nil {
 			mux.Handle("/debug/traces", traces.Handler())
@@ -75,13 +89,13 @@ func (o *obsFlags) activate(ctx context.Context, traces *obs.TraceStore) (contex
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		ln, err := net.Listen("tcp", *o.metricsAddr)
 		if err != nil {
-			return nil, fmt.Errorf("metrics listener: %w", err)
+			return nil, nil, fmt.Errorf("metrics listener: %w", err)
 		}
 		log.Info("metrics listening", "addr", ln.Addr().String())
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 	}
-	return ctx, nil
+	return ctx, ready, nil
 }
 
 // campaignTraces builds the trace store for a table/generate campaign:

@@ -33,10 +33,11 @@ func cmdSelftest(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := of.activate(context.Background(), nil)
+	ctx, ready, err := of.activate(context.Background(), nil, nil)
 	if err != nil {
 		return err
 	}
+	ready.Ready()
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

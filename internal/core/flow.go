@@ -11,6 +11,7 @@ import (
 	"hash/fnv"
 	"io"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -308,6 +309,12 @@ func runFlowImpl(ctx context.Context, b bench.Benchmark, src netSource, flow Flo
 	flowSpan.Annotate("set", b.Set)
 	flowSpan.Annotate("benchmark", b.Name)
 	flowSpan.Annotate("flow", flow.ID())
+	if corr := obs.CorrelationFrom(ctx); corr.Campaign != "" {
+		// Correlation IDs thread campaign → job → flow: a journal reader
+		// holding a (campaign, job) pair can find the matching flow trace.
+		flowSpan.Annotate("campaign", corr.Campaign)
+		flowSpan.Annotate("job", strconv.Itoa(corr.Job))
+	}
 	defer func() {
 		flowSpan.SetError(err)
 		flowSpan.End()

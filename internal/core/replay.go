@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// JobKey identifies one (benchmark, flow) campaign job in journal
+// events and resume sets.
+type JobKey struct {
+	Set       string
+	Benchmark string
+	Flow      string
+}
+
+func (k JobKey) String() string { return k.Set + "/" + k.Benchmark + " " + k.Flow }
+
+// less orders keys set-major, then benchmark, then flow — the same
+// lexicographic order everywhere so renderings are byte-stable.
+func (k JobKey) less(o JobKey) bool {
+	if k.Set != o.Set {
+		return k.Set < o.Set
+	}
+	if k.Benchmark != o.Benchmark {
+		return k.Benchmark < o.Benchmark
+	}
+	return k.Flow < o.Flow
+}
+
+// jobReplay tracks one job through its start/done events.
+type jobReplay struct {
+	key                 JobKey
+	started, finished   bool
+	outcome             Outcome
+	width, height, area int
+	verified            bool
+}
+
+// CampaignReplay is one campaign reconstructed purely from its journal
+// events — the saved database is never consulted, which is exactly what
+// makes it a cross-check.
+type CampaignReplay struct {
+	ID         string
+	Library    string
+	Benchmarks int
+	Total      int
+	Workers    int
+	Env        *obs.EnvStamp
+	// Finished reports a campaign_done record; Canceled that it marked
+	// the campaign as stopped early. Done counts job_done events.
+	Finished bool
+	Canceled bool
+	Done     int
+	jobs     map[int]*jobReplay // by 1-based job number
+}
+
+func (c *CampaignReplay) job(n int) *jobReplay {
+	if c.jobs == nil {
+		c.jobs = make(map[int]*jobReplay)
+	}
+	j := c.jobs[n]
+	if j == nil {
+		j = &jobReplay{}
+		c.jobs[n] = j
+	}
+	return j
+}
+
+// Complete reports a healthy end-to-end campaign: a campaign_done
+// record, not canceled, every scheduled job finished.
+func (c *CampaignReplay) Complete() bool {
+	return c.Finished && !c.Canceled && len(c.Unfinished()) == 0 && c.Done == c.Total
+}
+
+// Unfinished returns the jobs that started but never finished — the
+// in-flight work a crashed or killed campaign lost — sorted by key.
+func (c *CampaignReplay) Unfinished() []JobKey {
+	var out []JobKey
+	for _, j := range c.jobs {
+		if j.started && !j.finished {
+			out = append(out, j.key)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].less(out[k]) })
+	return out
+}
+
+// OutcomeCounts tallies finished jobs by outcome, "ok" included.
+func (c *CampaignReplay) OutcomeCounts() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, j := range c.jobs {
+		if j.finished {
+			out[j.outcome]++
+		}
+	}
+	return out
+}
+
+// DoneKeys returns the keys of finished jobs, sorted — the resume seam:
+// a restarted campaign can skip exactly this set. Canceled-outcome jobs
+// are excluded (their flows were cut short mid-stage and must rerun).
+func (c *CampaignReplay) DoneKeys() []JobKey {
+	var out []JobKey
+	for _, j := range c.jobs {
+		if j.finished && j.outcome != OutcomeCanceled {
+			out = append(out, j.key)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].less(out[k]) })
+	return out
+}
+
+// OKKeys returns the keys of jobs that produced a layout, sorted.
+func (c *CampaignReplay) OKKeys() []JobKey {
+	var out []JobKey
+	for _, j := range c.jobs {
+		if j.finished && j.outcome == OutcomeOK {
+			out = append(out, j.key)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].less(out[k]) })
+	return out
+}
+
+// JournalReplay is the reconstruction of a whole journal file, which
+// may hold several campaigns (generate runs one per gate library).
+type JournalReplay struct {
+	Campaigns []*CampaignReplay
+	// Truncated reports that the journal's final line was damaged — the
+	// signature of a crashed writer. Issues lists structural problems
+	// found during replay (sequence gaps, unmatched events, counter
+	// mismatches); a clean journal has none.
+	Truncated bool
+	Issues    []string
+}
+
+// ReplayJournal reconstructs campaigns from journal events (as read by
+// obs.ReadJournal, whose truncated flag is passed through). The replay
+// itself never fails: every structural problem is recorded as an issue
+// so verification can report all of them at once.
+func ReplayJournal(events []obs.Event, truncated bool) *JournalReplay {
+	rep := &JournalReplay{Truncated: truncated}
+	issue := func(format string, args ...any) {
+		rep.Issues = append(rep.Issues, fmt.Sprintf(format, args...))
+	}
+	byID := make(map[string]*CampaignReplay)
+	var lastSeq uint64
+	for _, e := range events {
+		if e.Seq != lastSeq+1 {
+			issue("seq %d: expected sequence number %d (events lost or reordered)", e.Seq, lastSeq+1)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case obs.EventCampaignStart:
+			if byID[e.Campaign] != nil {
+				issue("seq %d: duplicate campaign_start for campaign %s", e.Seq, e.Campaign)
+				continue
+			}
+			c := &CampaignReplay{ID: e.Campaign, Library: e.Library,
+				Benchmarks: e.Benchmarks, Total: e.Total, Workers: e.Workers, Env: e.Env}
+			byID[e.Campaign] = c
+			rep.Campaigns = append(rep.Campaigns, c)
+		case obs.EventJobStart:
+			c := byID[e.Campaign]
+			if c == nil {
+				issue("seq %d: job_start for unknown campaign %q", e.Seq, e.Campaign)
+				continue
+			}
+			j := c.job(e.Job)
+			if j.started {
+				issue("campaign %s: duplicate job_start for job %d (%s)", c.ID, e.Job, j.key)
+			}
+			j.started = true
+			j.key = JobKey{Set: e.Set, Benchmark: e.Benchmark, Flow: e.Flow}
+		case obs.EventJobDone:
+			c := byID[e.Campaign]
+			if c == nil {
+				issue("seq %d: job_done for unknown campaign %q", e.Seq, e.Campaign)
+				continue
+			}
+			j := c.job(e.Job)
+			if !j.started {
+				issue("campaign %s: job_done without job_start for job %d (%s/%s %s)",
+					c.ID, e.Job, e.Set, e.Benchmark, e.Flow)
+				j.key = JobKey{Set: e.Set, Benchmark: e.Benchmark, Flow: e.Flow}
+			}
+			if j.finished {
+				issue("campaign %s: duplicate job_done for job %d (%s)", c.ID, e.Job, j.key)
+				continue
+			}
+			j.finished = true
+			j.outcome = Outcome(e.Outcome)
+			j.width, j.height, j.area = e.Width, e.Height, e.Area
+			j.verified = e.Verified
+			c.Done++
+		case obs.EventCampaignDone:
+			c := byID[e.Campaign]
+			if c == nil {
+				issue("seq %d: campaign_done for unknown campaign %q", e.Seq, e.Campaign)
+				continue
+			}
+			if c.Finished {
+				issue("campaign %s: duplicate campaign_done", c.ID)
+				continue
+			}
+			c.Finished = true
+			c.Canceled = e.Canceled
+			if e.Done != c.Done {
+				issue("campaign %s: campaign_done reports %d finished jobs, journal holds %d",
+					c.ID, e.Done, c.Done)
+			}
+			counts := c.OutcomeCounts()
+			if e.Entries != counts[OutcomeOK] {
+				issue("campaign %s: campaign_done reports %d entries, journal holds %d ok jobs",
+					c.ID, e.Entries, counts[OutcomeOK])
+			}
+			if e.Failures != c.Done-counts[OutcomeOK] {
+				issue("campaign %s: campaign_done reports %d failures, journal holds %d",
+					c.ID, e.Failures, c.Done-counts[OutcomeOK])
+			}
+			for o, n := range e.Outcomes {
+				if counts[Outcome(o)] != n {
+					issue("campaign %s: campaign_done reports %d %s jobs, journal holds %d",
+						c.ID, n, o, counts[Outcome(o)])
+				}
+			}
+		default:
+			issue("seq %d: unknown event type %q", e.Seq, e.Type)
+		}
+	}
+	return rep
+}
+
+// OutcomeRow is one line of a campaign outcome table: the job identity,
+// its outcome, and — for successful jobs — the layout metrics.
+type OutcomeRow struct {
+	Key                 JobKey
+	Outcome             Outcome
+	Width, Height, Area int
+	Verified            bool
+}
+
+// OutcomeRows lists the campaign's finished jobs as table rows, sorted
+// by key so the rendering is identical at any worker count.
+func (c *CampaignReplay) OutcomeRows() []OutcomeRow {
+	rows := make([]OutcomeRow, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		if !j.finished {
+			continue
+		}
+		rows = append(rows, OutcomeRow{Key: j.key, Outcome: j.outcome,
+			Width: j.width, Height: j.height, Area: j.area, Verified: j.verified})
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].Key.less(rows[k].Key) })
+	return rows
+}
+
+// DatabaseOutcomeRows renders an in-memory campaign database as the
+// same outcome table a journal replay produces, so the two can be
+// compared byte for byte.
+func DatabaseOutcomeRows(db *Database) []OutcomeRow {
+	rows := make([]OutcomeRow, 0, len(db.Entries)+len(db.Failures))
+	for _, e := range db.Entries {
+		rows = append(rows, OutcomeRow{
+			Key:     JobKey{Set: e.Benchmark.Set, Benchmark: e.Benchmark.Name, Flow: e.Flow.ID()},
+			Outcome: OutcomeOK, Width: e.Width, Height: e.Height, Area: e.Area, Verified: e.Verified})
+	}
+	for _, f := range db.Failures {
+		rows = append(rows, OutcomeRow{
+			Key:     JobKey{Set: f.Benchmark.Set, Benchmark: f.Benchmark.Name, Flow: f.Flow.ID()},
+			Outcome: f.Outcome})
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].Key.less(rows[k].Key) })
+	return rows
+}
+
+// RenderOutcomeRows formats an outcome table, one job per line.
+func RenderOutcomeRows(rows []OutcomeRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		if r.Outcome == OutcomeOK {
+			fmt.Fprintf(&sb, "  %-13s %-10s %-14s %-34s %4dx%-4d A=%d",
+				r.Outcome, r.Key.Set, r.Key.Benchmark, r.Key.Flow, r.Width, r.Height, r.Area)
+			if r.Verified {
+				sb.WriteString(" verified")
+			}
+			sb.WriteByte('\n')
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-13s %-10s %-14s %s\n", r.Outcome, r.Key.Set, r.Key.Benchmark, r.Key.Flow)
+	}
+	return sb.String()
+}
+
+// campaignStatus is the one-word status suffix of a summary header.
+func (c *CampaignReplay) campaignStatus() string {
+	switch {
+	case c.Complete():
+		return "complete"
+	case c.Canceled:
+		return fmt.Sprintf("canceled after %d/%d jobs", c.Done, c.Total)
+	default:
+		return fmt.Sprintf("INCOMPLETE (%d/%d jobs)", c.Done, c.Total)
+	}
+}
+
+// RenderJournalSummary renders the campaign outcome tables of a replay:
+// per campaign a header, the sorted job table, and the layouts/skipped
+// counters in the same format the generate command prints.
+func RenderJournalSummary(rep *JournalReplay) string {
+	var sb strings.Builder
+	for _, c := range rep.Campaigns {
+		fmt.Fprintf(&sb, "campaign %s: library=%s benchmarks=%d jobs=%d workers=%d — %s\n",
+			c.ID, c.Library, c.Benchmarks, c.Total, c.Workers, c.campaignStatus())
+		sb.WriteString(RenderOutcomeRows(c.OutcomeRows()))
+		counts := c.OutcomeCounts()
+		ok := counts[OutcomeOK]
+		delete(counts, OutcomeOK)
+		line := fmt.Sprintf("  %d layouts", ok)
+		if s := renderSkipped(c.Done-ok, counts); s != "" {
+			line += ", " + s
+		}
+		sb.WriteString(line + "\n")
+	}
+	if len(rep.Campaigns) == 0 {
+		sb.WriteString("no campaigns recorded\n")
+	}
+	return sb.String()
+}
+
+// RenderJournalVerify renders the integrity report of a replay and
+// reports whether the journal passed: no damaged tail, no structural
+// issues, and every campaign complete.
+func RenderJournalVerify(rep *JournalReplay) (string, bool) {
+	var sb strings.Builder
+	ok := true
+	if rep.Truncated {
+		ok = false
+		sb.WriteString("damaged tail: the final journal line was cut short (crashed writer); events after the last complete line are lost\n")
+	}
+	for _, is := range rep.Issues {
+		ok = false
+		fmt.Fprintf(&sb, "issue: %s\n", is)
+	}
+	if len(rep.Campaigns) == 0 {
+		ok = false
+		sb.WriteString("no campaigns recorded\n")
+	}
+	for _, c := range rep.Campaigns {
+		if c.Complete() {
+			fmt.Fprintf(&sb, "campaign %s: complete — %d jobs, %d layouts\n",
+				c.ID, c.Done, c.OutcomeCounts()[OutcomeOK])
+			continue
+		}
+		ok = false
+		fmt.Fprintf(&sb, "campaign %s: %s\n", c.ID, c.campaignStatus())
+		if !c.Finished {
+			sb.WriteString("  no campaign_done record: the campaign was interrupted mid-run\n")
+		}
+		for _, k := range c.Unfinished() {
+			fmt.Fprintf(&sb, "  unfinished: %s\n", k)
+		}
+		started := 0
+		for _, j := range c.jobs {
+			if j.started {
+				started++
+			}
+		}
+		if never := c.Total - started; never > 0 {
+			fmt.Fprintf(&sb, "  %d jobs never started\n", never)
+		}
+	}
+	return sb.String(), ok
+}
+
+// CheckReplayAgainstDir cross-checks the journal's successful jobs
+// against a SaveDatabase output directory: every ok job must have its
+// {set}__{name}__{flowID}.fgl layout file and vice versa. It returns
+// the number of matched layouts; any difference is an error listing the
+// mismatches.
+func CheckReplayAgainstDir(rep *JournalReplay, dir string) (int, error) {
+	want := make(map[JobKey]bool)
+	for _, c := range rep.Campaigns {
+		for _, k := range c.OKKeys() {
+			// Saved file stems lowercase the set and benchmark name.
+			want[JobKey{Set: strings.ToLower(k.Set), Benchmark: strings.ToLower(k.Benchmark), Flow: k.Flow}] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	got := make(map[JobKey]bool)
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".fgl") {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimSuffix(name, ".fgl"), "__", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		got[JobKey{Set: parts[0], Benchmark: parts[1], Flow: parts[2]}] = true
+	}
+	var missing, extra []JobKey
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return len(want), nil
+	}
+	sort.Slice(missing, func(i, k int) bool { return missing[i].less(missing[k]) })
+	sort.Slice(extra, func(i, k int) bool { return extra[i].less(extra[k]) })
+	var parts []string
+	for _, k := range missing {
+		parts = append(parts, fmt.Sprintf("journal has ok job %s but %s has no layout for it", k, dir))
+	}
+	for _, k := range extra {
+		parts = append(parts, fmt.Sprintf("%s has layout %s the journal never recorded as ok", dir, filepath.Join(dir, k.Set+"__"+k.Benchmark+"__"+k.Flow+".fgl")))
+	}
+	return 0, fmt.Errorf("journal does not match %s:\n  %s", dir, strings.Join(parts, "\n  "))
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gatelib"
+	"repro/internal/obs"
+)
+
+// journaledCampaign runs one campaign with a journal attached and
+// returns the database next to the replay reconstructed purely from the
+// journal bytes.
+func journaledCampaign(t *testing.T, benches []bench.Benchmark, workers int, limits Limits) (*Database, *JournalReplay) {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(&buf, reg)
+	ctx := obs.WithJournal(obs.WithRegistry(context.Background(), reg), j)
+	limits.Workers = workers
+	db := Generate(ctx, benches, gatelib.QCAOne, limits, nil)
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+	events, truncated, err := obs.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading journal back: %v", err)
+	}
+	rep := ReplayJournal(events, truncated)
+	for _, is := range rep.Issues {
+		t.Errorf("journal issue: %s", is)
+	}
+	if len(rep.Campaigns) != 1 {
+		t.Fatalf("replayed %d campaigns, want 1", len(rep.Campaigns))
+	}
+	return db, rep
+}
+
+// TestJournalReplayMatchesDatabase is the acceptance check of the
+// flight recorder: the outcome table recomputed from journal events
+// alone must be byte-identical to the one rendered from the saved
+// database, at any worker count.
+func TestJournalReplayMatchesDatabase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	benches := bench.BySet("Trindade16")[:3]
+	limits := Limits{
+		ExactMaxNodes:  1,
+		NanoTimeout:    30 * time.Second,
+		PLOTimeout:     30 * time.Second,
+		DiscardLayouts: true,
+	}
+	var first string
+	for _, workers := range []int{1, 4} {
+		db, rep := journaledCampaign(t, benches, workers, limits)
+		c := rep.Campaigns[0]
+		if !c.Complete() {
+			t.Fatalf("workers=%d: campaign replay incomplete: %s", workers, c.campaignStatus())
+		}
+		fromJournal := RenderOutcomeRows(c.OutcomeRows())
+		fromDB := RenderOutcomeRows(DatabaseOutcomeRows(db))
+		if fromJournal != fromDB {
+			t.Errorf("workers=%d: journal and database outcome tables differ:\n--- journal\n%s--- database\n%s",
+				workers, fromJournal, fromDB)
+		}
+		if c.Total != len(benches)*len(Flows(gatelib.QCAOne)) || c.Done != c.Total {
+			t.Errorf("workers=%d: replay counts done=%d total=%d", workers, c.Done, c.Total)
+		}
+		if c.Env == nil || c.Env.GoVersion == "" {
+			t.Errorf("workers=%d: campaign_start carried no environment stamp", workers)
+		}
+		if first == "" {
+			first = fromJournal
+		} else if fromJournal != first {
+			t.Errorf("outcome table depends on the worker count:\n--- workers=1\n%s--- workers=%d\n%s",
+				first, workers, fromJournal)
+		}
+	}
+}
+
+// TestJournalRecordsCanceledCampaign cancels a campaign mid-run and
+// checks the journal tells the truth about it: a campaign_done record
+// with Canceled set, verify not ok, and no phantom jobs.
+func TestJournalRecordsCanceledCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign generation in -short mode")
+	}
+	benches := bench.BySet("Trindade16")
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(&buf, reg)
+	ctx, cancel := context.WithCancel(obs.WithJournal(obs.WithRegistry(context.Background(), reg), j))
+	defer cancel()
+	limits := fastLimits()
+	limits.Workers = 4
+	limits.DiscardLayouts = true
+	done := 0
+	Generate(ctx, benches, gatelib.QCAOne, limits, func(p Progress) {
+		done = p.Done
+		if p.Done == 2 {
+			cancel()
+		}
+	})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, truncated, err := obs.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil || truncated {
+		t.Fatalf("reading journal: err=%v truncated=%v", err, truncated)
+	}
+	rep := ReplayJournal(events, truncated)
+	for _, is := range rep.Issues {
+		t.Errorf("journal issue: %s", is)
+	}
+	c := rep.Campaigns[0]
+	if !c.Finished || !c.Canceled {
+		t.Fatalf("canceled campaign: Finished=%v Canceled=%v", c.Finished, c.Canceled)
+	}
+	if c.Complete() {
+		t.Error("canceled campaign replays as complete")
+	}
+	if c.Done != done {
+		t.Errorf("replay Done=%d, campaign reported %d", c.Done, done)
+	}
+	if text, ok := RenderJournalVerify(rep); ok {
+		t.Errorf("verify passed a canceled campaign:\n%s", text)
+	}
+}
+
+// interruptedEvents is a hand-built journal of a campaign killed
+// mid-run: job 1 finished, job 2 was in flight, job 3 never started,
+// and no campaign_done record exists.
+func interruptedEvents() []obs.Event {
+	return []obs.Event{
+		{Seq: 1, Type: obs.EventCampaignStart, Campaign: "c1", Schema: obs.JournalSchema,
+			Library: "qcaone", Benchmarks: 3, Total: 3, Workers: 2},
+		{Seq: 2, Type: obs.EventJobStart, Campaign: "c1", Job: 1,
+			Set: "Trindade16", Benchmark: "mux21", Flow: "exact-2ddwave", Worker: "w00"},
+		{Seq: 3, Type: obs.EventJobStart, Campaign: "c1", Job: 2,
+			Set: "Trindade16", Benchmark: "xor2", Flow: "exact-2ddwave", Worker: "w01"},
+		{Seq: 4, Type: obs.EventJobDone, Campaign: "c1", Job: 1,
+			Set: "Trindade16", Benchmark: "mux21", Flow: "exact-2ddwave", Worker: "w00",
+			Outcome: "ok", Width: 3, Height: 3, Area: 9, Verified: true},
+	}
+}
+
+// TestVerifyFlagsInterruptedJournal is the second acceptance check:
+// verify must call out the interrupted campaign and list the exact
+// (benchmark, flow) jobs that never finished.
+func TestVerifyFlagsInterruptedJournal(t *testing.T) {
+	rep := ReplayJournal(interruptedEvents(), false)
+	if len(rep.Issues) != 0 {
+		t.Fatalf("unexpected issues: %v", rep.Issues)
+	}
+	c := rep.Campaigns[0]
+	if c.Complete() {
+		t.Fatal("interrupted campaign replays as complete")
+	}
+	unfinished := c.Unfinished()
+	if len(unfinished) != 1 || unfinished[0] != (JobKey{Set: "Trindade16", Benchmark: "xor2", Flow: "exact-2ddwave"}) {
+		t.Fatalf("Unfinished = %v, want the in-flight xor2 job", unfinished)
+	}
+	text, ok := RenderJournalVerify(rep)
+	if ok {
+		t.Fatal("verify passed an interrupted journal")
+	}
+	for _, want := range []string{
+		"no campaign_done record",
+		"unfinished: Trindade16/xor2 exact-2ddwave",
+		"1 jobs never started",
+		"INCOMPLETE (1/3 jobs)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verify output missing %q:\n%s", want, text)
+		}
+	}
+	// The resume seam: only the finished job is in DoneKeys.
+	if keys := c.DoneKeys(); len(keys) != 1 || keys[0].Benchmark != "mux21" {
+		t.Errorf("DoneKeys = %v, want just the finished mux21 job", keys)
+	}
+}
+
+func TestReplayDetectsStructuralIssues(t *testing.T) {
+	events := interruptedEvents()
+	// Introduce a sequence gap and a counter lie.
+	events[3].Seq = 9
+	events = append(events, obs.Event{Seq: 10, Type: obs.EventCampaignDone, Campaign: "c1",
+		Done: 3, Entries: 2, Failures: 1, Outcomes: map[string]int{"ok": 2, "timeout": 1}})
+	rep := ReplayJournal(events, false)
+	if len(rep.Issues) == 0 {
+		t.Fatal("no issues reported for a journal with a seq gap and wrong counters")
+	}
+	text := strings.Join(rep.Issues, "\n")
+	for _, want := range []string{"expected sequence number", "reports 3 finished jobs", "reports 2 entries"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("issues missing %q:\n%s", want, text)
+		}
+	}
+	if _, ok := RenderJournalVerify(rep); ok {
+		t.Error("verify passed a structurally broken journal")
+	}
+}
+
+func TestReplayTruncatedJournalFailsVerify(t *testing.T) {
+	rep := ReplayJournal(interruptedEvents(), true)
+	text, ok := RenderJournalVerify(rep)
+	if ok {
+		t.Fatal("verify passed a truncated journal")
+	}
+	if !strings.Contains(text, "damaged tail") {
+		t.Errorf("verify output missing the damaged-tail warning:\n%s", text)
+	}
+}
+
+func TestRenderJournalSummaryEmpty(t *testing.T) {
+	rep := ReplayJournal(nil, false)
+	if got := RenderJournalSummary(rep); got != "no campaigns recorded\n" {
+		t.Errorf("empty summary = %q", got)
+	}
+	if _, ok := RenderJournalVerify(rep); ok {
+		t.Error("verify passed an empty journal")
+	}
+}
+
+// TestCheckReplayAgainstDir runs a real (tiny) campaign, saves the
+// layouts, and cross-checks the journal against the directory — then
+// breaks the directory both ways.
+func TestCheckReplayAgainstDir(t *testing.T) {
+	var builds atomic.Int32
+	benches := []bench.Benchmark{
+		countingBenchmark("one", &builds),
+		countingBenchmark("two", &builds),
+	}
+	limits := fastLimits()
+	db, rep := journaledCampaign(t, benches, 2, limits)
+	if len(db.Entries) == 0 {
+		t.Fatal("campaign produced no layouts")
+	}
+	dir := t.TempDir()
+	if _, err := SaveDatabase(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckReplayAgainstDir(rep, dir)
+	if err != nil {
+		t.Fatalf("cross-check of a faithful directory failed: %v", err)
+	}
+	if n != len(db.Entries) {
+		t.Errorf("cross-check matched %d layouts, database has %d", n, len(db.Entries))
+	}
+
+	// Remove one layout: the journal now claims an ok job with no file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := ""
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), ".fgl") {
+			removed = filepath.Join(dir, de.Name())
+			break
+		}
+	}
+	if removed == "" {
+		t.Fatal("no .fgl files saved")
+	}
+	if err := os.Remove(removed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckReplayAgainstDir(rep, dir); err == nil {
+		t.Error("cross-check passed with a missing layout file")
+	}
+
+	// Restore balance, then plant a layout the journal never recorded.
+	if err := os.WriteFile(removed, []byte("placeholder"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	extra := filepath.Join(dir, "test__phantom__exact-2ddwave.fgl")
+	if err := os.WriteFile(extra, []byte("placeholder"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckReplayAgainstDir(rep, dir); err == nil {
+		t.Error("cross-check passed with an unrecorded extra layout")
+	}
+}
+
+// TestProgressStringRate pins the throughput/ETA suffix of the progress
+// line: present with a rate, absent without one, ETA dropped when zero.
+func TestProgressStringRate(t *testing.T) {
+	p := Progress{
+		Benchmark: bench.Benchmark{Set: "Trindade16", Name: "mux21"},
+		Flow:      Flow{Library: gatelib.QCAOne, Algorithm: AlgoOrtho},
+		Done:      2, Total: 4,
+		Entry:   &Entry{Width: 4, Height: 3, Area: 12},
+		Elapsed: 100 * time.Millisecond,
+	}
+	if s := p.String(); strings.Contains(s, "flows/s") {
+		t.Errorf("zero-throughput progress renders a rate: %q", s)
+	}
+	p.Throughput = 2.5
+	p.ETA = 62 * time.Second
+	if s := p.String(); !strings.HasSuffix(s, "2.5 flows/s ETA 1m2s") {
+		t.Errorf("progress line missing rate suffix: %q", s)
+	}
+	p.ETA = 0 // final flow: rate without ETA
+	if s := p.String(); !strings.HasSuffix(s, "2.5 flows/s") || strings.Contains(s, "ETA") {
+		t.Errorf("final progress line: %q", s)
+	}
+	p.Err = context.DeadlineExceeded
+	p.Entry = nil
+	p.Outcome = OutcomeTimeout
+	p.Throughput = 1.25
+	p.ETA = 2 * time.Second
+	if s := p.String(); !strings.HasSuffix(s, "1.2 flows/s ETA 2s") {
+		t.Errorf("failed-flow progress line missing rate: %q", s)
+	}
+}
+
+// TestGenerateProgressCarriesThroughput checks the scheduler computes a
+// running rate: every callback after the first carries Throughput > 0,
+// intermediate ones an ETA, and the final one no ETA.
+func TestGenerateProgressCarriesThroughput(t *testing.T) {
+	var builds atomic.Int32
+	benches := []bench.Benchmark{countingBenchmark("tp", &builds)}
+	limits := fastLimits()
+	limits.Workers = 2
+	limits.DiscardLayouts = true
+	var last Progress
+	sawRate := false
+	Generate(context.Background(), benches, gatelib.QCAOne, limits, func(p Progress) {
+		if p.Throughput > 0 {
+			sawRate = true
+			if p.Done < p.Total && p.ETA <= 0 {
+				t.Errorf("callback %d/%d has rate %.2f but no ETA", p.Done, p.Total, p.Throughput)
+			}
+		}
+		last = p
+	})
+	if !sawRate {
+		t.Error("no progress callback carried a throughput")
+	}
+	if last.ETA != 0 {
+		t.Errorf("final callback has ETA %v, want 0", last.ETA)
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -11,6 +13,54 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 )
+
+// campaignCounter disambiguates campaigns started within the same
+// second of one process (generate runs one campaign per gate library).
+var campaignCounter atomic.Uint64
+
+// newCampaignID returns a process-unique campaign identifier combining
+// the UTC start time with a process-wide counter. No randomness: the ID
+// only needs to be unique within a journal file, and journals are
+// opened by one process at a time.
+func newCampaignID() string {
+	return fmt.Sprintf("c%s-%04d", time.Now().UTC().Format("20060102T150405"), campaignCounter.Add(1))
+}
+
+// jobDoneEvent builds the job_done journal record for one finished job.
+func jobDoneEvent(campaign string, j job, worker string, e *Entry, err error, elapsed time.Duration) obs.Event {
+	ev := obs.Event{Type: obs.EventJobDone, Campaign: campaign, Job: j.idx + 1,
+		Set: j.bench.Set, Benchmark: j.bench.Name, Flow: j.flow.ID(), Worker: worker,
+		Outcome: string(ClassifyOutcome(err)), ElapsedUS: elapsed.Microseconds()}
+	if err != nil {
+		ev.Error = err.Error()
+		return ev
+	}
+	ev.Width, ev.Height, ev.Area, ev.Crossings = e.Width, e.Height, e.Area, e.Crossings
+	ev.Verified = e.Verified
+	if len(e.Stages) > 0 {
+		ev.StagesUS = make(map[string]int64, len(e.Stages))
+		for name, d := range e.Stages {
+			ev.StagesUS[name] = d.Microseconds()
+		}
+	}
+	return ev
+}
+
+// campaignDoneEvent summarizes a campaign's results for the journal.
+// canceled marks campaigns stopped by context cancellation; their
+// journal is complete as a file but the campaign did not cover every
+// scheduled job.
+func campaignDoneEvent(campaign string, db *Database, done int, canceled bool) obs.Event {
+	outcomes := make(map[string]int)
+	for o, n := range db.Skipped() {
+		outcomes[string(o)] = n
+	}
+	if len(db.Entries) > 0 {
+		outcomes[string(OutcomeOK)] = len(db.Entries)
+	}
+	return obs.Event{Type: obs.EventCampaignDone, Campaign: campaign, Done: done,
+		Entries: len(db.Entries), Failures: len(db.Failures), Outcomes: outcomes, Canceled: canceled}
+}
 
 // job is one (benchmark, flow) unit of campaign work. idx is its
 // position in the benchmark-major/flow-minor enumeration and fixes the
@@ -110,6 +160,16 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 	log.Info("campaign start", "library", libLabel,
 		"benchmarks", len(benches), "flows", total, "workers", workers)
 
+	// The flight recorder, when the context carries one: campaign_start
+	// stamps the environment fingerprint; every job start/finish and the
+	// final summary follow. Journal methods no-op on nil.
+	journal := obs.JournalFrom(ctx)
+	campaignID := newCampaignID()
+	env := obs.Environment()
+	journal.Append(obs.Event{Type: obs.EventCampaignStart, Campaign: campaignID,
+		Schema: obs.JournalSchema, Library: libLabel, Benchmarks: len(benches),
+		Total: total, Workers: workers, Env: &env})
+
 	cache := newCampaignCache()
 	jobs := make(chan job)
 	results := make(chan jobResult, workers+1)
@@ -139,6 +199,14 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 				sp.Annotate("set", j.bench.Set)
 				sp.Annotate("benchmark", j.bench.Name)
 				sp.Annotate("flow", j.flow.ID())
+				sp.Annotate("campaign", campaignID)
+				sp.Annotate("job", strconv.Itoa(j.idx+1))
+				// Correlation threads campaign → job identity into the flow
+				// span and any journal consumer below runFlowImpl.
+				wctx = obs.WithCorrelation(wctx, obs.Correlation{Campaign: campaignID, Job: j.idx + 1})
+				journal.Append(obs.Event{Type: obs.EventJobStart, Campaign: campaignID,
+					Job: j.idx + 1, Set: j.bench.Set, Benchmark: j.bench.Name,
+					Flow: j.flow.ID(), Worker: workerLabel(id)})
 				e, err := runFlowImpl(wctx, j.bench, cachedSource{b: j.bench, cache: cache, arena: arena}, j.flow, limits)
 				// The flow is done and nothing it produced references its
 				// clones (the Entry keeps only the Layout), so the arena
@@ -147,8 +215,9 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 				sp.SetError(err)
 				sp.End()
 				inflight.Dec()
-				results <- jobResult{idx: j.idx, entry: e, err: err,
-					elapsed: time.Since(start).Round(time.Millisecond)}
+				elapsed := time.Since(start).Round(time.Millisecond)
+				journal.Append(jobDoneEvent(campaignID, j, workerLabel(id), e, err, elapsed))
+				results <- jobResult{idx: j.idx, entry: e, err: err, elapsed: elapsed}
 			}
 		}(w)
 	}
@@ -185,6 +254,7 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 	db := &Database{}
 	done := 0
 	prevBench := -1
+	campaignStart := time.Now()
 	defer reg.Reset(MetricCampaignCurrent)
 	emit := func(r jobResult) {
 		bi := r.idx / len(flows)
@@ -209,8 +279,18 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 				"area", r.entry.Area, "crossings", r.entry.Crossings, "elapsed", r.elapsed)
 		}
 		if progress != nil {
-			progress(Progress{Benchmark: b, Flow: flow, Done: done, Total: total,
-				Entry: r.entry, Err: r.err, Outcome: outcome, Elapsed: r.elapsed})
+			p := Progress{Benchmark: b, Flow: flow, Done: done, Total: total,
+				Entry: r.entry, Err: r.err, Outcome: outcome, Elapsed: r.elapsed}
+			// Running rate over the whole campaign so far; the ETA
+			// extrapolates the remaining jobs at that rate and is left zero
+			// on the final flow.
+			if wall := time.Since(campaignStart); wall > 0 {
+				p.Throughput = float64(done) / wall.Seconds()
+				if remaining := total - done; remaining > 0 && p.Throughput > 0 {
+					p.ETA = time.Duration(float64(remaining) / p.Throughput * float64(time.Second))
+				}
+			}
+			progress(p)
 		}
 	}
 	pending := make(map[int]jobResult, workers)
@@ -234,9 +314,11 @@ func GenerateFlows(ctx context.Context, benches []bench.Benchmark, flows []Flow,
 
 	if ctx.Err() != nil {
 		log.Warn("campaign canceled", "done", done, "total", total)
+		journal.Append(campaignDoneEvent(campaignID, db, done, true))
 		return db
 	}
 	log.Info("campaign done", "library", libLabel,
 		"layouts", len(db.Entries), "skipped", len(db.Failures))
+	journal.Append(campaignDoneEvent(campaignID, db, done, false))
 	return db
 }

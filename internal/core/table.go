@@ -40,17 +40,30 @@ type Progress struct {
 	Err         error  // nil when the flow succeeded
 	Outcome     Outcome
 	Elapsed     time.Duration
+	// Throughput is the campaign's running completion rate in flows per
+	// second since the campaign started; ETA extrapolates the remaining
+	// flows at that rate. Both are zero when unknown (hand-constructed
+	// Progress values, or a finished campaign's ETA).
+	Throughput float64
+	ETA        time.Duration
 }
 
 // String renders the progress line the CLI prints per flow.
 func (p Progress) String() string {
-	if p.Err != nil {
-		return fmt.Sprintf("%-10s %-14s %-40s skipped: %s (%v)",
-			p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(), p.Outcome, p.Elapsed)
+	var rate string
+	if p.Throughput > 0 {
+		rate = fmt.Sprintf("  %.1f flows/s", p.Throughput)
+		if p.ETA > 0 {
+			rate += fmt.Sprintf(" ETA %v", p.ETA.Round(time.Second))
+		}
 	}
-	return fmt.Sprintf("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)",
+	if p.Err != nil {
+		return fmt.Sprintf("%-10s %-14s %-40s skipped: %s (%v)%s",
+			p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(), p.Outcome, p.Elapsed, rate)
+	}
+	return fmt.Sprintf("%-10s %-14s %-40s %4dx%-4d A=%-8d (%v)%s",
 		p.Benchmark.Set, p.Benchmark.Name, p.Flow.String(),
-		p.Entry.Width, p.Entry.Height, p.Entry.Area, p.Elapsed)
+		p.Entry.Width, p.Entry.Height, p.Entry.Area, p.Elapsed, rate)
 }
 
 // Skipped summarizes the recorded failures by outcome.
@@ -66,10 +79,16 @@ func (db *Database) Skipped() map[Outcome]int {
 // "3 flows skipped (2 infeasible, 1 timeout)"; empty when nothing was
 // skipped.
 func (db *Database) SkippedSummary() string {
-	if len(db.Failures) == 0 {
+	return renderSkipped(len(db.Failures), db.Skipped())
+}
+
+// renderSkipped is the shared formatter behind SkippedSummary and the
+// journal summary: failure counts by outcome, sorted by outcome name so
+// the line is byte-stable. Empty when total is zero.
+func renderSkipped(total int, counts map[Outcome]int) string {
+	if total == 0 {
 		return ""
 	}
-	counts := db.Skipped()
 	outcomes := make([]string, 0, len(counts))
 	for o := range counts {
 		outcomes = append(outcomes, string(o))
@@ -79,7 +98,7 @@ func (db *Database) SkippedSummary() string {
 	for _, o := range outcomes {
 		parts = append(parts, fmt.Sprintf("%d %s", counts[Outcome(o)], o))
 	}
-	return fmt.Sprintf("%d flows skipped (%s)", len(db.Failures), strings.Join(parts, ", "))
+	return fmt.Sprintf("%d flows skipped (%s)", total, strings.Join(parts, ", "))
 }
 
 // Best returns the minimum-area entry for one benchmark under one

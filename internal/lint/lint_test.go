@@ -114,7 +114,7 @@ func TestErrCmpFixture(t *testing.T) {
 
 func TestObsLabelFixture(t *testing.T) {
 	diags := runFixture(t, "obslabel")
-	requireAnalyzerFindings(t, diags, "obslabel", 6)
+	requireAnalyzerFindings(t, diags, "obslabel", 7)
 }
 
 func TestPrintBanFixture(t *testing.T) {

@@ -79,6 +79,16 @@ func commitLabel() string {
 	return "deadbeef"
 }
 
+// RecordJournal mirrors the flight-recorder counters: the event-type
+// label is a closed set of journal event names, so literals pass, but
+// tagging the drop counter with a per-subscriber identity would mint a
+// series per consumer and is flagged.
+func RecordJournal(reg *obs.Registry, subscriber string) {
+	reg.Counter("mntbench_journal_events_total", obs.L("type", "job_done")).Inc()
+	reg.Counter("mntbench_journal_dropped_total").Inc()
+	reg.Counter("mntbench_journal_dropped_total", obs.L("subscriber", subscriber)).Inc() // want "metric label value subscriber is not a literal, named constant, or declared bounded set"
+}
+
 // RecordComposite covers direct Label literals.
 func RecordComposite(reg *obs.Registry, user string) {
 	reg.Counter("users_total", obs.Label{Key: "user", Value: user}).Inc() // want "metric label value user is not a literal, named constant, or declared bounded set"

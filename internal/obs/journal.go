@@ -1,0 +1,520 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// JournalSchema is the schema version stamped into every campaign_start
+// event. Readers must reject journals written under a newer schema
+// instead of silently misinterpreting them.
+const JournalSchema = 1
+
+// Metric families recorded by the journal.
+const (
+	// MetricJournalEvents counts events appended to the journal, by type.
+	MetricJournalEvents = "mntbench_journal_events_total"
+	// MetricJournalDropped counts events a slow live subscriber missed
+	// (the durable file never drops; only the SSE fan-out is lossy).
+	MetricJournalDropped = "mntbench_journal_dropped_total"
+)
+
+// EventType names one kind of campaign lifecycle event.
+type EventType string
+
+// The campaign lifecycle event types, in the order a healthy campaign
+// emits them: one campaign_start, then a job_start/job_done pair per
+// (benchmark, flow) job, then one campaign_done.
+const (
+	EventCampaignStart EventType = "campaign_start"
+	EventJobStart      EventType = "job_start"
+	EventJobDone       EventType = "job_done"
+	EventCampaignDone  EventType = "campaign_done"
+)
+
+// eventTypeLabel renders an event type as a metric label value; the
+// EventType constants form a closed set and anything else collapses to
+// "other".
+//
+//lint:bounded
+func eventTypeLabel(t EventType) string {
+	switch t {
+	case EventCampaignStart, EventJobStart, EventJobDone, EventCampaignDone:
+		return string(t)
+	}
+	return "other"
+}
+
+// EnvStamp is the environment fingerprint written into campaign_start
+// events, mirroring the perfsnap snapshot fingerprint so a journal and a
+// BENCH_<n>.json from the same machine are directly comparable.
+type EnvStamp struct {
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Module    string  `json:"module_version"`
+	VCS       VCSInfo `json:"vcs"`
+}
+
+// Environment captures the current environment. Deterministic: two
+// calls in the same process return identical values.
+func Environment() EnvStamp {
+	return EnvStamp{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Module:    ModuleVersion(),
+		VCS:       VCS(),
+	}
+}
+
+// Event is one schema-versioned journal record. The journal is a flat
+// JSONL stream: every line is one Event, fields irrelevant to the event
+// type are omitted. Campaign-level events carry the campaign identity
+// and counters; job-level events carry the (benchmark, flow) identity,
+// the worker that ran the job, and its outcome.
+type Event struct {
+	// Seq numbers events 1..N within one journal file, strictly
+	// increasing across campaigns; Time is the wall clock in Unix
+	// nanoseconds at append time.
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	Time int64     `json:"t,omitempty"`
+	// Campaign correlates every event of one campaign run.
+	Campaign string `json:"campaign,omitempty"`
+
+	// campaign_start only.
+	Schema     int       `json:"schema,omitempty"`
+	Library    string    `json:"library,omitempty"`
+	Benchmarks int       `json:"benchmarks,omitempty"`
+	Total      int       `json:"total,omitempty"`
+	Workers    int       `json:"workers,omitempty"`
+	Env        *EnvStamp `json:"env,omitempty"`
+
+	// job_start and job_done. Job is the 1-based position in the
+	// benchmark-major/flow-minor enumeration (1-based so omitempty never
+	// swallows it).
+	Job       int    `json:"job,omitempty"`
+	Set       string `json:"set,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Flow      string `json:"flow,omitempty"`
+	Worker    string `json:"worker,omitempty"`
+
+	// job_done only.
+	Outcome   string           `json:"outcome,omitempty"`
+	ElapsedUS int64            `json:"elapsed_us,omitempty"`
+	StagesUS  map[string]int64 `json:"stages_us,omitempty"`
+	Width     int              `json:"width,omitempty"`
+	Height    int              `json:"height,omitempty"`
+	Area      int              `json:"area,omitempty"`
+	Crossings int              `json:"crossings,omitempty"`
+	Verified  bool             `json:"verified,omitempty"`
+	Error     string           `json:"error,omitempty"`
+
+	// campaign_done only. Done counts finished jobs, Entries successful
+	// layouts, Failures recorded failures; Outcomes tallies every
+	// outcome including "ok". Canceled marks a campaign stopped by
+	// context cancellation (Ctrl-C) — its journal is complete as a file
+	// but the campaign did not cover all Total jobs.
+	Done     int            `json:"done,omitempty"`
+	Entries  int            `json:"entries,omitempty"`
+	Failures int            `json:"failures,omitempty"`
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	Canceled bool           `json:"canceled,omitempty"`
+}
+
+// journalFlushEvery bounds how stale the buffered tail of the journal
+// file may get: job-level appends flush at most this often, so a crash
+// loses at most a quarter second of events. Campaign-level events flush
+// (and fsync) immediately.
+const journalFlushEvery = 250 * time.Millisecond
+
+// Journal is an append-only campaign flight recorder: events are
+// serialized one JSON object per line (line-atomic under an internal
+// mutex), buffered writes are flushed periodically and fsynced on
+// campaign boundaries and Close, and every append is broadcast to live
+// subscribers (the /debug/events SSE feed). All methods are safe for
+// concurrent use and on a nil *Journal, so call sites need no guards.
+type Journal struct {
+	reg *Registry
+
+	mu        sync.Mutex
+	bw        *bufio.Writer // nil for a broadcast-only journal
+	file      *os.File      // non-nil only for file-backed journals (fsync target)
+	seq       uint64
+	lastFlush time.Time
+	werr      error // first write error; subsequent appends still broadcast
+	closed    bool
+	subs      map[uint64]chan Event
+	nextSub   uint64
+	recovered bool
+}
+
+// NewJournal returns a journal writing to w (nil w = broadcast-only:
+// events reach subscribers and metrics but no file). reg receives the
+// journal metrics; nil selects the default registry.
+func NewJournal(w io.Writer, reg *Registry) *Journal {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.Help(MetricJournalEvents, "Campaign journal events appended, by type.")
+	reg.Help(MetricJournalDropped, "Journal events dropped by slow live subscribers.")
+	j := &Journal{reg: reg, subs: make(map[uint64]chan Event)}
+	if w != nil {
+		j.bw = bufio.NewWriterSize(w, 32<<10)
+	}
+	return j
+}
+
+// OpenJournal opens (or creates) a file-backed journal at path and
+// positions it for appending; missing parent directories are created. An existing journal is scanned first: the
+// sequence numbering continues from its last event, and a damaged tail
+// — a final line cut short by a crash — is truncated away so the next
+// append starts on a clean line boundary (Recovered reports when that
+// happened). Corruption anywhere before the final line is an error:
+// that is not crash damage but a broken file.
+func OpenJournal(path string, reg *Registry) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	events, clean, truncated, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: journal %s: %w", path, err)
+	}
+	if truncated {
+		if err := f.Truncate(clean); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: journal %s: truncating damaged tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := NewJournal(f, reg)
+	j.file = f
+	j.recovered = truncated
+	if len(events) > 0 {
+		j.seq = events[len(events)-1].Seq
+	}
+	return j, nil
+}
+
+// Recovered reports whether OpenJournal truncated a damaged tail left
+// by a crash. False on nil.
+func (j *Journal) Recovered() bool { return j != nil && j.recovered }
+
+// Append assigns the event its sequence number and timestamp, writes it
+// as one line, and broadcasts it to subscribers. It returns the
+// completed event. Write errors are sticky but non-fatal: the journal
+// keeps numbering and broadcasting so the live view outlives a full
+// disk; Close reports the first error. A no-op (returning e unchanged)
+// on nil and closed journals.
+func (j *Journal) Append(e Event) Event {
+	if j == nil {
+		return e
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return e
+	}
+	j.seq++
+	e.Seq = j.seq
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	j.reg.Counter(MetricJournalEvents, L("type", eventTypeLabel(e.Type))).Inc()
+	campaignLevel := e.Type == EventCampaignStart || e.Type == EventCampaignDone
+	if j.bw != nil && j.werr == nil {
+		line, err := json.Marshal(e)
+		if err != nil {
+			j.werr = err
+		} else {
+			line = append(line, '\n')
+			if _, err := j.bw.Write(line); err != nil {
+				j.werr = err
+			} else if campaignLevel || time.Since(j.lastFlush) >= journalFlushEvery {
+				j.flushLocked(campaignLevel)
+			}
+		}
+	}
+	for _, ch := range j.subs {
+		select {
+		//lint:ignore lockbalance non-blocking fan-out: the default case below means this send can never stall the lock
+		case ch <- e:
+		default:
+			j.reg.Counter(MetricJournalDropped).Inc()
+		}
+	}
+	return e
+}
+
+// flushLocked drains the write buffer and, when sync is set and the
+// journal is file-backed, fsyncs. Caller holds j.mu.
+func (j *Journal) flushLocked(sync bool) {
+	if j.bw == nil {
+		return
+	}
+	if err := j.bw.Flush(); err != nil && j.werr == nil {
+		j.werr = err
+	}
+	j.lastFlush = time.Now()
+	if sync && j.file != nil {
+		if err := j.file.Sync(); err != nil && j.werr == nil {
+			j.werr = err
+		}
+	}
+}
+
+// Flush forces buffered events to the underlying writer. Nil-safe.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.flushLocked(false)
+	return j.werr
+}
+
+// Close flushes and fsyncs the journal, closes the backing file, and
+// closes every subscriber channel (ending SSE streams). It returns the
+// first write error encountered over the journal's lifetime. Append
+// after Close is a no-op; Close is idempotent and nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.werr
+	}
+	j.closed = true
+	j.flushLocked(true)
+	if j.file != nil {
+		if err := j.file.Close(); err != nil && j.werr == nil {
+			j.werr = err
+		}
+	}
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+	return j.werr
+}
+
+// Subscribe registers a live event feed with the given channel buffer
+// (minimum 1). Events appended after the call are delivered in order;
+// a subscriber that falls more than buf events behind misses the
+// overflow (counted in MetricJournalDropped) — the durable file is the
+// lossless record. The cancel function unsubscribes and closes the
+// channel; it is idempotent, and Close cancels every subscriber. On a
+// nil or closed journal the returned channel is already closed.
+func (j *Journal) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	if j == nil {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan Event, buf)
+	j.subs[id] = ch
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// EventsHandler serves the live event feed as Server-Sent Events
+// (text/event-stream): one "event: <type>" / "data: <json>" block per
+// journal event, flushed immediately. The stream ends when the client
+// disconnects or the journal closes. On a nil journal it responds 503,
+// so surfaces can mount it unconditionally.
+func (j *Journal) EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "event journal not enabled", http.StatusServiceUnavailable)
+			return
+		}
+		ctx := r.Context()
+		ch, cancel := j.Subscribe(256)
+		defer cancel()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		rc := http.NewResponseController(w)
+		fmt.Fprint(w, ": mntbench campaign event stream\n\n")
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case e, ok := <-ch:
+				if !ok {
+					return
+				}
+				data, err := json.Marshal(e)
+				if err != nil {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+					return
+				}
+				if err := rc.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	})
+}
+
+// scanJournal reads a journal stream, returning the parsed events, the
+// byte length of the clean prefix (every complete, valid line), and
+// whether a damaged tail follows that prefix. A final line that is
+// missing its newline or fails to parse is crash damage (truncated=true,
+// its bytes excluded from clean); a bad line with more data after it is
+// corruption and returns an error.
+func scanJournal(r io.Reader) (events []Event, clean int64, truncated bool, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			complete := line[len(line)-1] == '\n'
+			if !complete {
+				// A crash mid-write: the bytes after clean are dropped.
+				return events, clean, true, nil
+			}
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) > 0 {
+				var e Event
+				if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+					if _, perr := br.Peek(1); errors.Is(perr, io.EOF) {
+						return events, clean, true, nil
+					}
+					return nil, clean, false, fmt.Errorf("line %d: %w", lineNo, jerr)
+				}
+				if e.Type == EventCampaignStart && e.Schema > JournalSchema {
+					return nil, clean, false, fmt.Errorf("line %d: schema %d is newer than supported %d", lineNo, e.Schema, JournalSchema)
+				}
+				events = append(events, e)
+			}
+			clean += int64(len(line))
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return events, clean, truncated, nil
+			}
+			return nil, clean, false, rerr
+		}
+	}
+}
+
+// ReadJournal parses a journal stream. truncated reports a damaged
+// final line (dropped from events) — the signature a crashed writer
+// leaves behind. Corruption before the final line is an error.
+func ReadJournal(r io.Reader) (events []Event, truncated bool, err error) {
+	events, _, truncated, err = scanJournal(r)
+	return events, truncated, err
+}
+
+// ReadJournalFile reads a journal file from disk via ReadJournal.
+func ReadJournalFile(path string) (events []Event, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	events, truncated, err = ReadJournal(f)
+	if err != nil {
+		return nil, truncated, fmt.Errorf("obs: journal %s: %w", path, err)
+	}
+	return events, truncated, nil
+}
+
+// WithJournal returns a context carrying the journal, so instrumented
+// callees (the campaign scheduler) can record lifecycle events. A nil
+// journal is fine: JournalFrom will return nil and every Journal method
+// no-ops on nil.
+func WithJournal(ctx context.Context, j *Journal) context.Context {
+	return context.WithValue(ctx, ctxJournalKey, j)
+}
+
+// JournalFrom returns the context's journal, or nil when none is
+// attached (unlike the registry/logger accessors there is no default
+// journal: recording is strictly opt-in). A nil context is allowed.
+func JournalFrom(ctx context.Context) *Journal {
+	if ctx != nil {
+		if j, ok := ctx.Value(ctxJournalKey).(*Journal); ok {
+			return j
+		}
+	}
+	return nil
+}
+
+// Correlation identifies the campaign and 1-based job a piece of work
+// belongs to; the scheduler threads it through the context so flow
+// spans and journal events of one job can be joined.
+type Correlation struct {
+	Campaign string
+	Job      int
+}
+
+// WithCorrelation returns a context carrying the campaign → job
+// correlation identity.
+func WithCorrelation(ctx context.Context, c Correlation) context.Context {
+	return context.WithValue(ctx, ctxCorrelationKey, c)
+}
+
+// CorrelationFrom returns the context's correlation identity; the zero
+// value when none is attached. A nil context is allowed.
+func CorrelationFrom(ctx context.Context) Correlation {
+	if ctx != nil {
+		if c, ok := ctx.Value(ctxCorrelationKey).(Correlation); ok {
+			return c
+		}
+	}
+	return Correlation{}
+}

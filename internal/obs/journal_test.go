@@ -1,0 +1,417 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalAppendRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	j := NewJournal(&buf, reg)
+	env := Environment()
+	j.Append(Event{Type: EventCampaignStart, Campaign: "c1", Schema: JournalSchema,
+		Library: "qcaone", Benchmarks: 2, Total: 4, Workers: 2, Env: &env})
+	j.Append(Event{Type: EventJobStart, Campaign: "c1", Job: 1,
+		Set: "Trindade16", Benchmark: "mux21", Flow: "ortho-2ddwave", Worker: "w00"})
+	j.Append(Event{Type: EventJobDone, Campaign: "c1", Job: 1,
+		Set: "Trindade16", Benchmark: "mux21", Flow: "ortho-2ddwave", Worker: "w00",
+		Outcome: "ok", ElapsedUS: 1500, Width: 4, Height: 5, Area: 20, Verified: true,
+		StagesUS: map[string]int64{"place": 1200}})
+	j.Append(Event{Type: EventCampaignDone, Campaign: "c1", Done: 1, Entries: 1,
+		Outcomes: map[string]int{"ok": 1}})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	events, truncated, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if truncated {
+		t.Error("clean journal reported as truncated")
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Time == 0 {
+			t.Errorf("event %d: no timestamp", i)
+		}
+	}
+	if events[0].Type != EventCampaignStart || events[0].Env == nil || events[0].Env.GoVersion == "" {
+		t.Errorf("campaign_start malformed: %+v", events[0])
+	}
+	if events[2].Area != 20 || !events[2].Verified || events[2].StagesUS["place"] != 1200 {
+		t.Errorf("job_done round-trip lost fields: %+v", events[2])
+	}
+	if got := reg.Counter(MetricJournalEvents, L("type", "job_done")).Value(); got != 1 {
+		t.Errorf("job_done counter = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricJournalEvents, L("type", "campaign_start")).Value(); got != 1 {
+		t.Errorf("campaign_start counter = %d, want 1", got)
+	}
+}
+
+func TestJournalAppendAfterCloseIsNoop(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, NewRegistry())
+	j.Append(Event{Type: EventCampaignStart, Campaign: "c1"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	before := buf.Len()
+	j.Append(Event{Type: EventCampaignDone, Campaign: "c1"})
+	if buf.Len() != before {
+		t.Error("Append after Close wrote bytes")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	e := j.Append(Event{Type: EventJobStart})
+	if e.Type != EventJobStart {
+		t.Error("nil Append mangled the event")
+	}
+	if err := j.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if j.Recovered() {
+		t.Error("nil Recovered() = true")
+	}
+	ch, cancel := j.Subscribe(4)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("nil journal subscription delivered an event")
+	}
+}
+
+// TestOpenJournalRecoversTruncatedTail simulates a crash mid-write: the
+// final line is cut in half. OpenJournal must drop the damaged tail,
+// keep every complete event, and continue the sequence numbering.
+func TestOpenJournalRecoversTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := OpenJournal(path, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Event{Type: EventCampaignStart, Campaign: "c1", Schema: JournalSchema, Total: 2})
+	j.Append(Event{Type: EventJobStart, Campaign: "c1", Job: 1, Set: "s", Benchmark: "b", Flow: "f"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the final line mid-JSON, as a crash between flushes would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, NewRegistry())
+	if err != nil {
+		t.Fatalf("OpenJournal on damaged file: %v", err)
+	}
+	if !j2.Recovered() {
+		t.Error("Recovered() = false after tail truncation")
+	}
+	j2.Append(Event{Type: EventJobStart, Campaign: "c1", Job: 2, Set: "s", Benchmark: "b", Flow: "g"})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, truncated, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("ReadJournalFile after recovery: %v", err)
+	}
+	if truncated {
+		t.Error("recovered journal still reads as truncated")
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events after recovery, want 2 (damaged line dropped)", len(events))
+	}
+	// Sequence numbering continues from the last surviving event.
+	if events[1].Seq != 2 || events[1].Job != 2 {
+		t.Errorf("appended event after recovery: seq=%d job=%d, want seq=2 job=2", events[1].Seq, events[1].Job)
+	}
+}
+
+func TestReadJournalTruncatedFinalLine(t *testing.T) {
+	clean := `{"seq":1,"type":"campaign_start","campaign":"c1","schema":1}` + "\n"
+	damaged := clean + `{"seq":2,"type":"job_st`
+	events, truncated, err := ReadJournal(strings.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if !truncated {
+		t.Error("cut-short final line not reported as truncated")
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+
+	// A complete but unparseable final line is the same crash signature
+	// (the torn bytes happened to include the newline).
+	damaged2 := clean + `{"seq":2,"type":` + "\n"
+	_, truncated2, err := ReadJournal(strings.NewReader(damaged2))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if !truncated2 {
+		t.Error("unparseable final line not reported as truncated")
+	}
+}
+
+func TestReadJournalMidFileCorruptionIsError(t *testing.T) {
+	body := `{"seq":1,"type":"campaign_start","campaign":"c1","schema":1}` + "\n" +
+		`garbage not json` + "\n" +
+		`{"seq":3,"type":"campaign_done","campaign":"c1"}` + "\n"
+	if _, _, err := ReadJournal(strings.NewReader(body)); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestReadJournalRejectsNewerSchema(t *testing.T) {
+	body := fmt.Sprintf(`{"seq":1,"type":"campaign_start","campaign":"c1","schema":%d}`+"\n", JournalSchema+1)
+	if _, _, err := ReadJournal(strings.NewReader(body)); err == nil {
+		t.Fatal("newer-schema journal accepted")
+	}
+}
+
+func TestJournalSubscribeBroadcastAndDrop(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(nil, reg) // broadcast-only
+	ch, cancel := j.Subscribe(2)
+	defer cancel()
+
+	j.Append(Event{Type: EventJobStart, Job: 1})
+	j.Append(Event{Type: EventJobStart, Job: 2})
+	// Buffer is full: this one is dropped for the slow subscriber.
+	j.Append(Event{Type: EventJobStart, Job: 3})
+
+	if got := reg.Counter(MetricJournalDropped).Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+	if e := <-ch; e.Job != 1 {
+		t.Errorf("first delivered job = %d, want 1", e.Job)
+	}
+	if e := <-ch; e.Job != 2 {
+		t.Errorf("second delivered job = %d, want 2", e.Job)
+	}
+
+	// Close ends the subscription.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after journal Close")
+	}
+	cancel() // idempotent after Close
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, NewRegistry())
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Append(Event{Type: EventJobStart, Job: w*per + i + 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, truncated, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil || truncated {
+		t.Fatalf("ReadJournal: err=%v truncated=%v", err, truncated)
+	}
+	if len(events) != writers*per {
+		t.Fatalf("got %d events, want %d", len(events), writers*per)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: appends interleaved mid-line", i, e.Seq)
+		}
+	}
+}
+
+func TestEventsHandlerStreamsSSE(t *testing.T) {
+	j := NewJournal(nil, NewRegistry())
+	defer j.Close()
+	srv := httptest.NewServer(j.EventsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	// The handler greets with a comment line; reading it proves the
+	// subscription is live before we append.
+	greeting, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(greeting, ":") {
+		t.Fatalf("greeting %q is not an SSE comment", greeting)
+	}
+
+	j.Append(Event{Type: EventJobDone, Campaign: "c1", Job: 7, Outcome: "ok"})
+
+	readLine := func() string {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+	var eventLine, dataLine string
+	for {
+		l := readLine()
+		if strings.HasPrefix(l, "event: ") {
+			eventLine = l
+			dataLine = readLine()
+			break
+		}
+	}
+	if eventLine != "event: job_done" {
+		t.Errorf("event line %q", eventLine)
+	}
+	if !strings.HasPrefix(dataLine, "data: ") || !strings.Contains(dataLine, `"campaign":"c1"`) {
+		t.Errorf("data line %q", dataLine)
+	}
+}
+
+func TestEventsHandlerNilJournal(t *testing.T) {
+	var j *Journal
+	rec := httptest.NewRecorder()
+	j.EventsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/events", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
+
+func TestJournalPeriodicFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flush.jsonl")
+	j, err := OpenJournal(path, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// Job-level events buffer; campaign-level events flush immediately.
+	j.Append(Event{Type: EventCampaignStart, Campaign: "c1", Schema: JournalSchema})
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("campaign_start not flushed to disk")
+	}
+	j.Append(Event{Type: EventJobStart, Campaign: "c1", Job: 1})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Size() <= st.Size() {
+		t.Error("explicit Flush did not write the buffered job event")
+	}
+}
+
+func TestEnvironmentStamp(t *testing.T) {
+	e := Environment()
+	if e.GoVersion == "" || e.GOOS == "" || e.GOARCH == "" || e.NumCPU <= 0 {
+		t.Fatalf("incomplete environment stamp: %+v", e)
+	}
+	if e != Environment() {
+		t.Error("Environment() is not deterministic within a process")
+	}
+}
+
+func TestCorrelationContext(t *testing.T) {
+	if got := CorrelationFrom(nil); got != (Correlation{}) {
+		t.Errorf("nil ctx correlation = %+v", got)
+	}
+	ctx := WithCorrelation(context.Background(), Correlation{Campaign: "c9", Job: 3})
+	if got := CorrelationFrom(ctx); got.Campaign != "c9" || got.Job != 3 {
+		t.Errorf("correlation round-trip = %+v", got)
+	}
+	if JournalFrom(context.Background()) != nil {
+		t.Error("JournalFrom without a journal is non-nil")
+	}
+	j := NewJournal(nil, NewRegistry())
+	defer j.Close()
+	if JournalFrom(WithJournal(context.Background(), j)) != j {
+		t.Error("JournalFrom lost the journal")
+	}
+}
+
+// TestJournalSubscribeConcurrentWithClose exercises the subscription
+// lifecycle under the race detector: appends, subscribes, cancels, and
+// Close racing freely must neither deadlock nor double-close channels.
+func TestJournalSubscribeConcurrentWithClose(t *testing.T) {
+	j := NewJournal(nil, NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ch, cancel := j.Subscribe(1)
+				j.Append(Event{Type: EventJobStart, Job: i})
+				// Drain whatever arrived before unsubscribing.
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription churn deadlocked")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Readiness is the state behind a /readyz endpoint. Where /healthz is
+// liveness ("the process responds"), readiness is "the process can do
+// useful work": it starts not-ready while the database or journal
+// loads, flips ready once serving can begin, and flips back during
+// graceful shutdown so load balancers drain connections before the
+// listener closes. All methods are safe for concurrent use and on a nil
+// receiver (nil reads as always ready, so optional wiring needs no
+// guards).
+type Readiness struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewReadiness returns a not-ready state with the given reason (e.g.
+// "database loading").
+func NewReadiness(reason string) *Readiness {
+	return &Readiness{reason: reason}
+}
+
+// Ready marks the state ready.
+func (r *Readiness) Ready() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ready, r.reason = true, ""
+	r.mu.Unlock()
+}
+
+// NotReady marks the state not ready with an explanatory reason
+// (e.g. "shutting down").
+func (r *Readiness) NotReady(reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ready, r.reason = false, reason
+	r.mu.Unlock()
+}
+
+// State returns the current readiness and, when not ready, the reason.
+func (r *Readiness) State() (ready bool, reason string) {
+	if r == nil {
+		return true, ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready, r.reason
+}
+
+// Handler serves the readiness state: 200 {"status":"ready"} when
+// ready, 503 {"status":"unavailable","reason":...} when not.
+func (r *Readiness) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ready, reason := r.State()
+		w.Header().Set("Content-Type", "application/json")
+		if ready {
+			fmt.Fprintln(w, `{"status":"ready"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		reasonJSON, _ := json.Marshal(reason) // a plain string always marshals
+		fmt.Fprintf(w, "{\"status\":\"unavailable\",\"reason\":%s}\n", reasonJSON)
+	})
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func readyStatus(t *testing.T, r *Readiness) (int, map[string]string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/readyz body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+func TestReadinessLifecycle(t *testing.T) {
+	r := NewReadiness("database loading")
+	if code, body := readyStatus(t, r); code != http.StatusServiceUnavailable ||
+		body["status"] != "unavailable" || body["reason"] != "database loading" {
+		t.Fatalf("initial state: code=%d body=%v", code, body)
+	}
+	r.Ready()
+	if code, body := readyStatus(t, r); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("after Ready: code=%d body=%v", code, body)
+	}
+	r.NotReady("shutting down")
+	if code, body := readyStatus(t, r); code != http.StatusServiceUnavailable ||
+		body["reason"] != "shutting down" {
+		t.Fatalf("after NotReady: code=%d body=%v", code, body)
+	}
+	if ready, reason := r.State(); ready || reason != "shutting down" {
+		t.Errorf("State() = %v, %q", ready, reason)
+	}
+}
+
+func TestReadinessNilIsAlwaysReady(t *testing.T) {
+	var r *Readiness
+	r.Ready()             // no-op, no panic
+	r.NotReady("ignored") // no-op, no panic
+	if ready, reason := r.State(); !ready || reason != "" {
+		t.Errorf("nil State() = %v, %q", ready, reason)
+	}
+	if code, body := readyStatus(t, r); code != http.StatusOK || body["status"] != "ready" {
+		t.Errorf("nil handler: code=%d body=%v", code, body)
+	}
+}
+
+func TestReadinessReasonEscaping(t *testing.T) {
+	r := NewReadiness(`loading "catalogue"`)
+	code, body := readyStatus(t, r)
+	if code != http.StatusServiceUnavailable || body["reason"] != `loading "catalogue"` {
+		t.Fatalf("quoted reason mangled: code=%d body=%v", code, body)
+	}
+}

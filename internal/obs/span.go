@@ -17,6 +17,8 @@ const (
 	ctxRegistryKey
 	ctxLoggerKey
 	ctxTracesKey
+	ctxJournalKey
+	ctxCorrelationKey
 )
 
 // WithRegistry returns a context whose spans and instrumented callees

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 
@@ -48,15 +47,18 @@ type Env struct {
 }
 
 // Fingerprint captures the current environment. Deterministic: two
-// calls in the same process return identical values.
+// calls in the same process return identical values. It shares the
+// fingerprinting behind obs.Environment, so perf snapshots and journal
+// campaign_start events stamp identical environments.
 func Fingerprint() Env {
+	e := obs.Environment()
 	return Env{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Module:    obs.ModuleVersion(),
-		VCS:       obs.VCS(),
+		GoVersion: e.GoVersion,
+		GOOS:      e.GOOS,
+		GOARCH:    e.GOARCH,
+		NumCPU:    e.NumCPU,
+		Module:    e.Module,
+		VCS:       e.VCS,
 	}
 }
 

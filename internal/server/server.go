@@ -36,6 +36,8 @@ type Server struct {
 	reg     *obs.Registry
 	log     *obs.Logger
 	traces  *obs.TraceStore
+	journal *obs.Journal
+	ready   *obs.Readiness
 	pprof   bool
 	perfDir string
 }
@@ -65,6 +67,11 @@ func WithTraces(ts *obs.TraceStore) Option { return func(s *Server) { s.traces =
 // BENCH_<n>.json performance snapshots (default: the working
 // directory, where the committed trajectory lives).
 func WithPerfDir(dir string) Option { return func(s *Server) { s.perfDir = dir } }
+
+// WithJournal streams j's live campaign events at /debug/events as
+// Server-Sent Events. Without it the endpoint responds 503 (the nil
+// journal's handler), so clients get a clear signal instead of a 404.
+func WithJournal(j *obs.Journal) Option { return func(s *Server) { s.journal = j } }
 
 // New builds the HTTP handler around a database.
 func New(db *core.Database, opts ...Option) *Server {
@@ -100,6 +107,13 @@ func New(db *core.Database, opts ...Option) *Server {
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	s.mux.HandleFunc("/healthz", obs.Healthz)
+	// Readiness starts true: New returns a fully loaded server, so it can
+	// serve the moment it is mounted; BeginShutdown flips it back for
+	// load-balancer drain.
+	s.ready = obs.NewReadiness("")
+	s.ready.Ready()
+	s.mux.Handle("/readyz", s.ready.Handler())
+	s.mux.Handle("/debug/events", s.journal.EventsHandler())
 	if s.perfDir == "" {
 		s.perfDir = "."
 	}
@@ -136,12 +150,16 @@ func New(db *core.Database, opts ...Option) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// BeginShutdown flips /readyz to 503 so load balancers stop routing new
+// requests while in-flight ones drain; call it before http.Server.Shutdown.
+func (s *Server) BeginShutdown() { s.ready.NotReady("shutting down") }
+
 // routeLabel maps request paths onto the bounded route label set used by
 // the HTTP metrics (entry IDs must not become label values).
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
-	case p == "/", p == "/metrics", p == "/healthz",
+	case p == "/", p == "/metrics", p == "/healthz", p == "/readyz",
 		p == "/api/benchmarks", p == "/api/filters", p == "/api/submit":
 		return p
 	case strings.HasPrefix(p, "/download/"):
@@ -152,6 +170,8 @@ func routeLabel(r *http.Request) string {
 		return "/debug/pprof"
 	case strings.HasPrefix(p, "/debug/traces"):
 		return "/debug/traces"
+	case strings.HasPrefix(p, "/debug/events"):
+		return "/debug/events"
 	case strings.HasPrefix(p, "/debug/perf"):
 		return "/debug/perf"
 	}

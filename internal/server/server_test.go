@@ -2,6 +2,7 @@ package server
 
 import (
 	"archive/zip"
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -502,5 +503,92 @@ func TestDebugPerfServesLatestSnapshot(t *testing.T) {
 	// The debug route is a bounded metric label.
 	if got := routeLabel(httptest.NewRequest(http.MethodGet, "/debug/perf", nil)); got != "/debug/perf" {
 		t.Errorf("routeLabel(/debug/perf) = %q", got)
+	}
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()))
+	rec := get(t, srv, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz on a fresh server: status %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"ready"`) {
+		t.Errorf("/readyz body %q", rec.Body.String())
+	}
+	srv.BeginShutdown()
+	rec = get(t, srv, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after BeginShutdown: status %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "shutting down") {
+		t.Errorf("/readyz drain body %q", rec.Body.String())
+	}
+	// Liveness is unaffected: the process still responds while draining.
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz during drain: status %d", rec.Code)
+	}
+	// The readiness route is a bounded metric label.
+	if got := routeLabel(httptest.NewRequest(http.MethodGet, "/readyz", nil)); got != "/readyz" {
+		t.Errorf("routeLabel(/readyz) = %q", got)
+	}
+}
+
+func TestDebugEventsWithoutJournal(t *testing.T) {
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()))
+	if rec := get(t, srv, "/debug/events"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/debug/events without a journal: status %d, want 503", rec.Code)
+	}
+	if got := routeLabel(httptest.NewRequest(http.MethodGet, "/debug/events", nil)); got != "/debug/events" {
+		t.Errorf("routeLabel(/debug/events) = %q", got)
+	}
+}
+
+// TestDebugEventsStreams drives the SSE feed through the full server
+// stack — obs middleware included, which must pass Flush through to the
+// client — with a real HTTP connection.
+func TestDebugEventsStreams(t *testing.T) {
+	j := obs.NewJournal(nil, obs.NewRegistry())
+	defer j.Close()
+	srv := New(testDB(t), WithRegistry(obs.NewRegistry()), WithJournal(j))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	greeting, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(greeting, ":") {
+		t.Fatalf("greeting %q is not an SSE comment", greeting)
+	}
+
+	j.Append(obs.Event{Type: obs.EventCampaignStart, Campaign: "c1", Schema: obs.JournalSchema})
+
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		if strings.HasPrefix(line, "event: ") {
+			if strings.TrimSpace(line) != "event: campaign_start" {
+				t.Errorf("event line %q", line)
+			}
+			data, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(data, `"campaign":"c1"`) {
+				t.Errorf("data line %q", data)
+			}
+			return
+		}
 	}
 }
