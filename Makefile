@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: all build test race check fmt vet lint lint-fix lint-sarif bench bench-all trace-smoke \
-	journal-smoke selftest fuzz-smoke perfsnap perfdiff perfsnap-smoke
+	journal-smoke selftest fuzz-smoke perfsnap perfdiff perfsnap-smoke loadtest-smoke
 
 all: check
 
@@ -17,7 +17,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/route \
+	$(GO) test -race ./internal/obs ./internal/server ./internal/server/registry \
+		./internal/server/loadtest ./internal/core ./internal/route \
 		./internal/conformance ./internal/verify ./internal/perf \
 		./internal/network ./internal/layout
 
@@ -46,7 +47,7 @@ SARIF_OUT ?= mntlint.sarif
 lint-sarif:
 	$(GO) run ./cmd/mntlint -sarif > "$(SARIF_OUT)" || true
 
-check: build vet fmt lint test race selftest journal-smoke
+check: build vet fmt lint test race selftest journal-smoke loadtest-smoke
 
 # selftest is the bounded conformance smoke (~30s): seeded random
 # networks through every registered flow with the full invariant
@@ -67,6 +68,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEquivalent$$' -fuzztime 6s ./internal/verify
 	$(GO) test -run='^$$' -fuzz='^FuzzCustomScheme$$' -fuzztime 6s ./internal/clocking
 	$(GO) test -run='^$$' -fuzz='^FuzzSimulateWords$$' -fuzztime 6s ./internal/network
+	$(GO) test -run='^$$' -fuzz='^FuzzCursorDecode$$' -fuzztime 6s ./internal/server/registry
+	$(GO) test -run='^$$' -fuzz='^FuzzFilterQuery$$' -fuzztime 6s ./internal/server/registry
+
+# loadtest-smoke hammers the /v1 registry API in-process with a bounded
+# request budget and fails when any request errors or the p99 latency —
+# read back from the server's own /metrics histograms — blows the
+# budget. The full 1000-worker battery lives in
+# internal/server/loadtest's tests; this target proves the CLI gate.
+loadtest-smoke:
+	$(GO) run ./cmd/mntbench loadtest -n 3000 -c 128 -p99 250ms
 
 # bench runs one campaign per worker count (serial and all-cores) as a
 # scheduler smoke test plus the span/tracing overhead microbenchmark;

@@ -8,7 +8,9 @@
 //	mntbench list
 //	mntbench table    [-lib qcaone|bestagon] [-set NAME] [-full] [-workers N] [-out FILE] [-trace FILE.json] [-journal FILE.jsonl]
 //	mntbench generate [-lib ...] [-set ...] [-workers N] [-dir DIR] [-trace FILE.json] [-journal FILE.jsonl]
-//	mntbench serve    [-addr :8080] [-set ...] [-traces]
+//	mntbench serve    [-addr :8080] [-set ...] [-traces] [-store DIR]
+//	mntbench import   -store DIR [-campaign NAME] [-skip-drc] SRCDIR...
+//	mntbench loadtest [-n 5000] [-c 256] [-p99 250ms] [-set NAME]
 //	mntbench layout   [-in FILE.v] [-algo ortho|exact|nanoplacer] [-lib ...] [-plo] [-inord] [-out FILE.fgl]
 //	mntbench convert  [-in FILE.fgl] [-out FILE.v]
 //	mntbench verify   [-layout FILE.fgl] [-net FILE.v]
@@ -37,6 +39,8 @@ import (
 	"repro/internal/gatelib"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/loadtest"
+	"repro/internal/server/registry"
 	"repro/internal/verify"
 	"repro/internal/verilog"
 )
@@ -56,6 +60,10 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "layout":
 		err = cmdLayout(os.Args[2:])
 	case "convert":
@@ -103,6 +111,8 @@ commands:
   table      regenerate the paper's Table I for one gate library
   generate   generate layouts for all tool combinations into a directory
   serve      run the MNT Bench web interface
+  import     bulk-import generated layout directories into a registry store
+  loadtest   hammer the registry API in-process and assert its p99 latency
   layout     run one physical design flow on a Verilog file
   convert    convert a .fgl layout back to structural Verilog
   verify     check a .fgl layout against a .v network
@@ -277,12 +287,21 @@ func cmdGenerate(args []string) error {
 	limits.Workers = *workers
 	written := 0
 	skipped := &core.Database{}
+	exported := &core.Database{}
 	for _, library := range libs {
 		db := core.Generate(ctx, benches, library, limits, progress)
 		skipped.Failures = append(skipped.Failures, db.Failures...)
 		w, err := core.SaveDatabase(db, *dir)
 		written += w
 		if err != nil {
+			return err
+		}
+		exported.Entries = append(exported.Entries, db.Entries...)
+	}
+	// The manifest spans every library written into the directory; it is
+	// what `mntbench import` verifies blobs against.
+	if len(exported.Entries) > 0 && !limits.DiscardLayouts {
+		if err := core.WriteManifest(exported, *dir); err != nil {
 			return err
 		}
 	}
@@ -314,6 +333,7 @@ func cmdServe(args []string) error {
 	set := fs.String("set", "Trindade16", "benchmark set(s) to generate at startup ('' = all)")
 	full := fs.Bool("full", false, "include the largest circuits")
 	dir := fs.String("dir", "", "serve pre-generated layouts from this directory instead of generating")
+	storeDir := fs.String("store", "", "back the /v1 registry API with this on-disk content-addressed store")
 	reverify := fs.Bool("reverify", false, "with -dir: re-establish functional equivalence on load")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	tracesOn := fs.Bool("traces", false, "retain request/flow traces and mount /debug/traces")
@@ -336,6 +356,16 @@ func cmdServe(args []string) error {
 	}
 	ready.NotReady("database loading")
 	opts := []server.Option{server.WithPerfDir(*perfDir), server.WithJournal(journal)}
+	if *storeDir != "" {
+		st, err := registry.OpenDiskStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		stats := st.Stats()
+		fmt.Printf("registry store %s: %d layouts, %d blobs\n", *storeDir, stats.Layouts, stats.Blobs)
+		opts = append(opts, server.WithStorage(st))
+	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}
@@ -397,6 +427,93 @@ func serveGraceful(ctx context.Context, addr string, s *server.Server, ready *ob
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(shutdownCtx)
+}
+
+// cmdImport bulk-ingests `generate` output directories into an on-disk
+// content-addressed registry store. Each directory lands as one atomic
+// campaign; re-imports are idempotent by content hash.
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	storeDir := fs.String("store", "", "registry store directory (required; created if missing)")
+	campaign := fs.String("campaign", "", "campaign name for all imported directories (default: each directory's base name)")
+	skipDRC := fs.Bool("skip-drc", false, "trust the layouts and skip design-rule checking")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" || fs.NArg() == 0 {
+		return fmt.Errorf("usage: mntbench import -store DIR [-campaign NAME] [-skip-drc] SRCDIR...")
+	}
+	st, err := registry.OpenDiskStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for _, src := range fs.Args() {
+		rep, err := registry.ImportDir(ctx, st, src, registry.ImportOptions{Campaign: *campaign, SkipDRC: *skipDRC})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> campaign %q: %d files, %d added, %d updated, %d unchanged\n",
+			src, rep.Campaign, rep.Files, rep.Added, rep.Updated, rep.Unchanged)
+		for _, s := range rep.Skipped {
+			fmt.Fprintln(os.Stderr, "skipped:", s)
+		}
+		if rep.HashMismatches > 0 {
+			return fmt.Errorf("%d file(s) in %s disagree with the manifest — refusing to register corrupted layouts", rep.HashMismatches, src)
+		}
+	}
+	stats := st.Stats()
+	fmt.Printf("store %s: %d layouts, %d blobs, %d bytes\n", *storeDir, stats.Layouts, stats.Blobs, stats.Bytes)
+	return nil
+}
+
+// cmdLoadtest generates a small campaign, mounts the registry server
+// over it in-process, and hammers the /v1 API, asserting the p99 from
+// the server's own latency histograms. Exits nonzero when any request
+// fails or the latency budget is blown, so CI can gate on it.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	n := fs.Int("n", 5000, "total requests")
+	c := fs.Int("c", 256, "concurrent workers")
+	p99 := fs.Duration("p99", 250*time.Millisecond, "fail when the /v1 p99 exceeds this (0 = report only)")
+	set := fs.String("set", "Trindade16", "benchmark set to generate the fixture campaign from")
+	storeDir := fs.String("store", "", "load the catalogue from this registry store instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	reg := obs.NewRegistry()
+	opts := []server.Option{server.WithRegistry(reg)}
+	db := &core.Database{}
+	if *storeDir != "" {
+		st, err := registry.OpenDiskStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		opts = append(opts, server.WithStorage(st))
+	} else {
+		benches, err := selectBenches(*set, "", false)
+		if err != nil {
+			return err
+		}
+		db = core.Generate(ctx, benches, gatelib.QCAOne, core.Limits{}, nil)
+		if len(db.Entries) == 0 {
+			return fmt.Errorf("fixture generation produced no layouts")
+		}
+	}
+	rep, err := loadtest.Run(ctx, server.New(db, opts...), reg, loadtest.Options{
+		Concurrency: *c, Requests: *n, MaxP99: *p99,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, rep.String())
+		return err
+	}
+	fmt.Println(rep.String())
+	return nil
 }
 
 // openJournalFlag opens the -journal file when the flag was given; a

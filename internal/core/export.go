@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fgl"
+)
+
+// ManifestSchema versions the campaign manifest wire format. Readers
+// reject manifests written by a newer schema instead of guessing.
+const ManifestSchema = 1
+
+// ManifestFileName is the canonical manifest file written next to the
+// .fgl layouts of an exported campaign database.
+const ManifestFileName = "manifest.json"
+
+// Manifest describes an exported campaign database: one record per
+// written .fgl layout, keyed by file name and content hash. It is the
+// export seam between `generate` and the layout registry's bulk
+// importer — the importer verifies every blob against the recorded
+// hash and re-imports idempotently by comparing hashes. The manifest
+// is deterministic: records are sorted by file name and carry no
+// timestamps, so the same database always marshals byte-identically.
+type Manifest struct {
+	Schema  int              `json:"schema"`
+	Layouts []ManifestLayout `json:"layouts"`
+}
+
+// ManifestLayout is one exported layout in a Manifest.
+type ManifestLayout struct {
+	// File is the layout's file name within the database directory,
+	// e.g. "trindade16__mux21__qcaone_2ddwave_ortho.fgl".
+	File string `json:"file"`
+	Set  string `json:"set"`
+	Name string `json:"name"`
+	// FlowID is the compact flow identifier (Flow.ID()).
+	FlowID string `json:"flow"`
+	// SHA256 is the lowercase hex digest of the .fgl file body; it is
+	// the layout's content address in the registry.
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+
+	Width     int `json:"width"`
+	Height    int `json:"height"`
+	Area      int `json:"area"`
+	Gates     int `json:"gates"`
+	Wires     int `json:"wires"`
+	Crossings int `json:"crossings"`
+
+	// Verified records whether the entry passed full equivalence
+	// checking when it was generated (DRC always ran).
+	Verified bool `json:"verified"`
+}
+
+// HashBytes returns the lowercase hex SHA-256 digest of data — the
+// content address used for exported layouts throughout the registry.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildManifest derives the manifest of db as SaveDatabase would write
+// it: one record per entry, hashed over the rendered .fgl body, sorted
+// by file name. Entries must retain their layouts.
+func BuildManifest(db *Database) (*Manifest, error) {
+	m := &Manifest{Schema: ManifestSchema}
+	for _, e := range db.Entries {
+		if e.Layout == nil {
+			return nil, fmt.Errorf("core: entry %s has no layout to export (generated with DiscardLayouts?)", EntryFileName(e))
+		}
+		text, err := fgl.WriteString(e.Layout)
+		if err != nil {
+			return nil, err
+		}
+		m.Layouts = append(m.Layouts, ManifestLayout{
+			File:      EntryFileName(e) + ".fgl",
+			Set:       e.Benchmark.Set,
+			Name:      e.Benchmark.Name,
+			FlowID:    e.Flow.ID(),
+			SHA256:    HashBytes([]byte(text)),
+			Bytes:     int64(len(text)),
+			Width:     e.Width,
+			Height:    e.Height,
+			Area:      e.Area,
+			Gates:     e.Gates,
+			Wires:     e.Wires,
+			Crossings: e.Crossings,
+			Verified:  e.Verified,
+		})
+	}
+	sort.Slice(m.Layouts, func(i, j int) bool { return m.Layouts[i].File < m.Layouts[j].File })
+	return m, nil
+}
+
+// Marshal renders the manifest as indented JSON with a trailing
+// newline, byte-stable for a given database.
+func (m *Manifest) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteManifest builds db's manifest and writes it to
+// dir/manifest.json, creating dir if needed.
+func WriteManifest(db *Database, dir string) error {
+	m, err := BuildManifest(db)
+	if err != nil {
+		return err
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFileName), data, 0o644)
+}
+
+// ReadManifest loads dir/manifest.json. A missing file returns
+// (nil, nil): the manifest is an optional integrity layer, directories
+// exported before it existed still import by scanning.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", ManifestFileName, err)
+	}
+	if m.Schema > ManifestSchema {
+		return nil, fmt.Errorf("core: %s has schema %d, this build reads up to %d", ManifestFileName, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestDeterministicAndRoundTrips(t *testing.T) {
+	db := smallDatabase(t)
+	m1, err := BuildManifest(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := BuildManifest(db)
+	b2, _ := m2.Marshal()
+	if string(b1) != string(b2) {
+		t.Fatal("manifest marshalling is not byte-stable")
+	}
+	if len(m1.Layouts) != len(db.Entries) {
+		t.Fatalf("%d manifest records for %d entries", len(m1.Layouts), len(db.Entries))
+	}
+	for i, ml := range m1.Layouts {
+		if ml.SHA256 == "" || ml.Bytes == 0 || ml.File == "" {
+			t.Fatalf("record %d incomplete: %+v", i, ml)
+		}
+		if i > 0 && m1.Layouts[i-1].File >= ml.File {
+			t.Fatal("manifest records not sorted by file name")
+		}
+	}
+
+	dir := t.TempDir()
+	if err := WriteManifest(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || len(got.Layouts) != len(m1.Layouts) {
+		t.Fatalf("round trip = schema %d, %d layouts", got.Schema, len(got.Layouts))
+	}
+	// Manifest hashes agree with the files SaveDatabase actually writes.
+	if _, err := SaveDatabase(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, ml := range got.Layouts {
+		data, err := os.ReadFile(filepath.Join(dir, ml.File))
+		if err != nil {
+			t.Fatalf("manifest names unwritten file: %v", err)
+		}
+		if HashBytes(data) != ml.SHA256 {
+			t.Fatalf("%s: written bytes hash differs from manifest", ml.File)
+		}
+	}
+}
+
+func TestReadManifestMissingAndFuture(t *testing.T) {
+	if m, err := ReadManifest(t.TempDir()); m != nil || err != nil {
+		t.Fatalf("missing manifest = %+v, %v, want nil, nil", m, err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestFileName), []byte(`{"schema":99,"layouts":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("newer-schema manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFileName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestBuildManifestRejectsDiscardedLayouts(t *testing.T) {
+	db := smallDatabase(t)
+	db.Entries[0].Layout = nil
+	if _, err := BuildManifest(db); err == nil {
+		t.Fatal("manifest built over an entry without a layout")
+	}
+}

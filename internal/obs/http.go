@@ -10,10 +10,17 @@ import (
 
 // Metric families recorded by Middleware.
 const (
-	MetricHTTPRequests = "mntbench_http_requests_total"
-	MetricHTTPDuration = "mntbench_http_request_duration_seconds"
-	MetricHTTPInFlight = "mntbench_http_requests_in_flight"
+	MetricHTTPRequests  = "mntbench_http_requests_total"
+	MetricHTTPDuration  = "mntbench_http_request_duration_seconds"
+	MetricHTTPInFlight  = "mntbench_http_requests_in_flight"
+	MetricHTTPRespBytes = "mntbench_http_response_size_bytes"
 )
+
+// RespSizeBuckets are the response-size histogram bounds in bytes,
+// spanning a JSON error body through a multi-megabyte ZIP bundle.
+var RespSizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
 
 // MetricsHandler serves the registry: Prometheus text format by default,
 // the JSON dump with ?format=json.
@@ -71,7 +78,8 @@ func routeLabel(route func(*http.Request) string, r *http.Request) string {
 // statusWriter captures the response code written by a handler.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -85,7 +93,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush passes through http.Flusher so that streaming handlers behind
@@ -121,6 +131,7 @@ func Middleware(reg *Registry, route func(*http.Request) string, next http.Handl
 	reg.Help(MetricHTTPRequests, "HTTP requests served, by route and status code.")
 	reg.Help(MetricHTTPDuration, "HTTP request latency in seconds, by route.")
 	reg.Help(MetricHTTPInFlight, "HTTP requests currently being served.")
+	reg.Help(MetricHTTPRespBytes, "HTTP response body size in bytes, by route.")
 	inFlight := reg.Gauge(MetricHTTPInFlight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -142,5 +153,6 @@ func Middleware(reg *Registry, route func(*http.Request) string, next http.Handl
 		sp.End()
 		reg.Counter(MetricHTTPRequests, L("route", rt), L("code", statusLabel(sw.code))).Inc()
 		reg.Histogram(MetricHTTPDuration, nil, L("route", rt)).ObserveDuration(time.Since(start))
+		reg.Histogram(MetricHTTPRespBytes, RespSizeBuckets, L("route", rt)).Observe(float64(sw.bytes))
 	})
 }

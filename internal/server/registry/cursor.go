@@ -1,0 +1,127 @@
+package registry
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// CursorVersion versions the cursor wire format; decoding rejects
+// cursors minted by a newer build.
+const CursorVersion = 1
+
+// BadCursorError reports a pagination cursor that cannot resume this
+// listing: garbage bytes, a newer version, or a cursor minted under a
+// different filter. The API layer maps it to HTTP 400 — clients must
+// restart the walk, never silently receive a wrong page.
+type BadCursorError struct{ Reason string }
+
+func (e *BadCursorError) Error() string { return "registry: bad cursor: " + e.Reason }
+
+// cursor is the decoded pagination state. Cursors are key-based
+// ("resume strictly after ID After"), not offset-based, so a walk
+// stays correct while records are inserted or replaced concurrently:
+// every record present for the whole walk is returned exactly once,
+// with no skips or duplicates at page boundaries.
+type cursor struct {
+	V int `json:"v"`
+	// After is the ID of the last record already returned.
+	After string `json:"a"`
+	// Filter fingerprints the filter the cursor was minted under.
+	Filter string `json:"f"`
+}
+
+// filterFingerprint condenses a filter signature for cursor embedding.
+func filterFingerprint(f Filter) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(f.Signature()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// EncodeCursor mints the opaque cursor that resumes a filtered walk
+// strictly after the record with the given ID.
+func EncodeCursor(f Filter, afterID string) string {
+	data, err := json.Marshal(cursor{V: CursorVersion, After: afterID, Filter: filterFingerprint(f)})
+	if err != nil {
+		// cursor marshalling cannot fail (plain strings and ints); keep
+		// the API total anyway.
+		return ""
+	}
+	return base64.RawURLEncoding.EncodeToString(data)
+}
+
+// DecodeCursor validates an opaque cursor against the filter of the
+// current request and returns the ID to resume after. An empty cursor
+// is valid and starts from the beginning.
+func DecodeCursor(f Filter, s string) (afterID string, err error) {
+	if s == "" {
+		return "", nil
+	}
+	if len(s) > 4096 {
+		return "", &BadCursorError{Reason: "cursor too long"}
+	}
+	data, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return "", &BadCursorError{Reason: "not base64url"}
+	}
+	var c cursor
+	if err := json.Unmarshal(data, &c); err != nil {
+		return "", &BadCursorError{Reason: "not a cursor payload"}
+	}
+	if c.V != CursorVersion {
+		return "", &BadCursorError{Reason: fmt.Sprintf("unsupported cursor version %d", c.V)}
+	}
+	if c.Filter != filterFingerprint(f) {
+		return "", &BadCursorError{Reason: "cursor was minted under a different filter"}
+	}
+	return c.After, nil
+}
+
+// Page is one page of a filtered listing.
+type Page struct {
+	Records []Record
+	// NextCursor resumes the walk; empty when this was the last page.
+	NextCursor string
+}
+
+// DefaultPageLimit and MaxPageLimit bound the page size of a listing.
+const (
+	DefaultPageLimit = 50
+	MaxPageLimit     = 500
+)
+
+// ListPage pages through a sorted snapshot: it seeks past the cursor
+// position by binary search, scans forward collecting records matching
+// the filter, and mints the next cursor only when at least one more
+// matching record exists. recs must be sorted by ID ascending
+// (Storage.Snapshot guarantees this).
+func ListPage(recs []Record, f Filter, rawCursor string, limit int) (Page, error) {
+	if limit <= 0 {
+		limit = DefaultPageLimit
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	after, err := DecodeCursor(f, rawCursor)
+	if err != nil {
+		return Page{}, err
+	}
+	start := 0
+	if after != "" {
+		start = sort.Search(len(recs), func(i int) bool { return recs[i].ID > after })
+	}
+	page := Page{Records: []Record{}}
+	for i := start; i < len(recs); i++ {
+		if !f.Match(&recs[i]) {
+			continue
+		}
+		if len(page.Records) == limit {
+			page.NextCursor = EncodeCursor(f, page.Records[limit-1].ID)
+			return page, nil
+		}
+		page.Records = append(page.Records, recs[i])
+	}
+	return page, nil
+}

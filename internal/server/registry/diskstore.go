@@ -1,0 +1,217 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// IndexSchema versions the on-disk index format of a DiskStore.
+const IndexSchema = 1
+
+// indexFileName is the metadata index at the root of a store
+// directory; blobs live under blobs/<aa>/<hash>.fgl where <aa> is the
+// first hex byte of the content hash.
+const indexFileName = "index.json"
+
+// DiskStore is the on-disk Storage backend: a content-addressed blob
+// tree plus a single JSON metadata index. Writes are crash-safe by
+// construction — blobs are written under temporary names and renamed
+// into their content address before the index that references them is
+// swapped in (also via rename), so a torn import leaves at worst
+// orphaned blobs, never an index pointing at missing or partial data.
+// The full record index is kept in memory behind an atomic snapshot;
+// only blob bodies are read from disk on demand.
+type DiskStore struct {
+	dir  string
+	snap atomic.Pointer[[]Record]
+	mu   sync.Mutex // serializes Apply
+}
+
+// diskIndex is the wire format of index.json.
+type diskIndex struct {
+	Schema  int      `json:"schema"`
+	Records []Record `json:"records"`
+}
+
+// OpenDiskStore opens (creating if needed) a content-addressed layout
+// store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &DiskStore{dir: dir}
+	recs := []Record{}
+	data, err := os.ReadFile(filepath.Join(dir, indexFileName))
+	switch {
+	case os.IsNotExist(err):
+		// fresh store
+	case err != nil:
+		return nil, err
+	default:
+		var idx diskIndex
+		if err := json.Unmarshal(data, &idx); err != nil {
+			return nil, fmt.Errorf("registry: %s: %w", indexFileName, err)
+		}
+		if idx.Schema > IndexSchema {
+			return nil, fmt.Errorf("registry: %s has schema %d, this build reads up to %d", indexFileName, idx.Schema, IndexSchema)
+		}
+		recs = idx.Records
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	}
+	s.snap.Store(&recs)
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Snapshot implements Storage.
+func (s *DiskStore) Snapshot() []Record { return *s.snap.Load() }
+
+// Get implements Storage.
+func (s *DiskStore) Get(id string) (Record, error) {
+	recs := s.Snapshot()
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].ID >= id })
+	if i < len(recs) && recs[i].ID == id {
+		return recs[i], nil
+	}
+	return Record{}, ErrNotFound
+}
+
+// blobPath maps a content hash to its file, fanning out on the first
+// hex byte so no single directory grows unboundedly.
+func (s *DiskStore) blobPath(hash string) (string, error) {
+	if len(hash) < 3 || !isHexLower(hash) {
+		return "", fmt.Errorf("registry: invalid blob hash %q", hash)
+	}
+	return filepath.Join(s.dir, "blobs", hash[:2], hash+".fgl"), nil
+}
+
+// isHexLower reports whether h is a plausible lowercase hex digest —
+// the only characters a content address may contain (guards the hash
+// against path traversal, since it becomes a file name).
+func isHexLower(h string) bool {
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Blob implements Storage: the body is re-hashed on every read and a
+// mismatch surfaces as an *IntegrityError, never as a valid download.
+func (s *DiskStore) Blob(hash string) ([]byte, error) {
+	path, err := s.blobPath(hash)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	body, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	if got := hashOf(body); got != hash {
+		return nil, &IntegrityError{Hash: hash, Got: got}
+	}
+	return body, nil
+}
+
+// Apply implements Storage. Blob files land first (temp + rename, so a
+// concurrent reader never sees a partial body), then the new index is
+// swapped in atomically on disk and in memory. Content-addressing
+// makes re-writes free: a blob that already exists is left untouched.
+func (s *DiskStore) Apply(batch []Item) (Applied, error) {
+	for _, it := range batch {
+		if err := validateID(it.Record.ID); err != nil {
+			return Applied{}, err
+		}
+	}
+	sorted := sortBatch(batch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range sorted {
+		if err := s.writeBlob(it.Record.Hash, it.Body); err != nil {
+			return Applied{}, err
+		}
+	}
+	merged, ap := mergeSnapshot(*s.snap.Load(), sorted)
+	if err := s.writeIndex(merged); err != nil {
+		return Applied{}, err
+	}
+	s.snap.Store(&merged)
+	return ap, nil
+}
+
+// writeBlob stores body at its content address unless already present.
+func (s *DiskStore) writeBlob(hash string, body []byte) error {
+	if got := hashOf(body); got != hash {
+		return &IntegrityError{Hash: hash, Got: got}
+	}
+	path, err := s.blobPath(hash)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: identical by definition
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-blob-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeIndex atomically replaces index.json with the given records.
+// The marshalling is deterministic (records sorted by ID), so two
+// stores holding the same catalogue are byte-identical on disk.
+func (s *DiskStore) writeIndex(recs []Record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diskIndex{Schema: IndexSchema, Records: recs}); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-index-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dir, indexFileName))
+}
+
+// Stats implements Storage.
+func (s *DiskStore) Stats() Stats { return statsOf(s.Snapshot()) }
+
+// Close implements Storage. The index is already durable after every
+// Apply; nothing is buffered.
+func (s *DiskStore) Close() error { return nil }

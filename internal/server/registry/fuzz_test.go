@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"errors"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzCursorDecode pins that arbitrary cursor bytes either decode
+// cleanly or fail with a typed *BadCursorError — never a panic, never
+// a different error type the API layer would turn into a 500 — and
+// that every successfully decoded cursor survives a re-encode.
+func FuzzCursorDecode(f *testing.F) {
+	filt := Filter{Library: "Bestagon"}
+	f.Add("")
+	f.Add(EncodeCursor(filt, "set__name__flow"))
+	f.Add(EncodeCursor(Filter{}, ""))
+	f.Add("bm90LWpzb24")                      // valid base64, junk payload
+	f.Add("!!!not-base64!!!")                 // invalid alphabet
+	f.Add("eyJ2Ijo5OSwiYSI6IngiLCJmIjoieCJ9") // version from the future
+	f.Add(strings.Repeat("A", 5000))          // oversized
+	f.Fuzz(func(t *testing.T, raw string) {
+		after, err := DecodeCursor(filt, raw)
+		if err != nil {
+			var bc *BadCursorError
+			if !errors.As(err, &bc) {
+				t.Fatalf("DecodeCursor(%q) failed with untyped error %v", raw, err)
+			}
+			if bc.Reason == "" {
+				t.Fatalf("BadCursorError for %q has no reason", raw)
+			}
+			return
+		}
+		if raw == "" {
+			if after != "" {
+				t.Fatalf("empty cursor decoded to %q", after)
+			}
+			return
+		}
+		// A decodable cursor must re-encode to something that decodes to
+		// the same resume point under the same filter.
+		again, err := DecodeCursor(filt, EncodeCursor(filt, after))
+		if err != nil || again != after {
+			t.Fatalf("re-encode of %q: %q, %v", after, again, err)
+		}
+		// ...and must be rejected under any other filter.
+		if _, err := DecodeCursor(Filter{Library: "ToPoliNano"}, raw); err == nil {
+			t.Fatalf("cursor %q accepted under a different filter", raw)
+		}
+	})
+}
+
+// FuzzFilterQuery pins that arbitrary query strings either parse into
+// a usable filter or fail with a typed *BadFilterError, that parsing
+// never panics, and that an accepted filter round-trips through
+// Signature/Match without crashing on a probe record.
+func FuzzFilterQuery(f *testing.F) {
+	f.Add("library=Bestagon&area_max=100")
+	f.Add("set=trindade16&name=mux21&verified=1")
+	f.Add("clocking=2DDWave&algorithm=ortho&crossings_max=0")
+	f.Add("libary=typo")
+	f.Add("area_min=50&area_max=10")
+	f.Add("inord=maybe")
+	f.Add("gates_min=-3")
+	f.Add("limit=10&cursor=abc&flow=qcaone_2ddwave_ortho")
+	f.Add("%zz=bad-escape")
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		q, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return // the HTTP layer rejects these before the registry sees them
+		}
+		filt, err := ParseFilterQuery(q)
+		if err != nil {
+			var bf *BadFilterError
+			if !errors.As(err, &bf) {
+				t.Fatalf("ParseFilterQuery(%q) failed with untyped error %v", rawQuery, err)
+			}
+			if bf.Reason == "" {
+				t.Fatalf("BadFilterError for %q has no reason", rawQuery)
+			}
+			return
+		}
+		sig := filt.Signature()
+		// Signature must be deterministic — cursors depend on it.
+		if filt.Signature() != sig {
+			t.Fatalf("signature of %q not deterministic", rawQuery)
+		}
+		probe := Record{
+			ID: "s__n__qcaone_2ddwave_ortho", Set: "s", Name: "n",
+			FlowID: "qcaone_2ddwave_ortho", Library: "QCA ONE",
+			Scheme: "2DDWave", Algorithm: "ortho",
+			Width: 4, Height: 3, Area: 12, Gates: 5, Crossings: 1,
+		}
+		filt.Match(&probe) // must not panic for any accepted filter
+		// An accepted filter must mint decodable cursors.
+		if _, err := DecodeCursor(filt, EncodeCursor(filt, probe.ID)); err != nil {
+			t.Fatalf("accepted filter %q mints undecodable cursor: %v", rawQuery, err)
+		}
+	})
+}

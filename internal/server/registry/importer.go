@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fgl"
+	"repro/internal/verify"
+)
+
+// ImportOptions tunes a bulk import.
+type ImportOptions struct {
+	// Campaign names the batch; defaults to the base name of the
+	// directory being imported.
+	Campaign string
+	// SkipDRC trusts the layouts and skips design-rule checking.
+	// Imports of freshly generated databases keep it off; it exists
+	// for re-importing an already-validated store at scale.
+	SkipDRC bool
+}
+
+// ImportReport summarizes one ImportDir call.
+type ImportReport struct {
+	Campaign string
+	Files    int // .fgl files considered
+	Applied
+	// Skipped lists files that could not be imported, with reasons;
+	// a skip is not fatal, the rest of the campaign still lands.
+	Skipped []string
+	// HashMismatches counts files whose bytes disagreed with the
+	// campaign manifest — always also a skip: a half-written file
+	// must not enter the registry under a stale hash.
+	HashMismatches int
+}
+
+// ImportDir ingests a campaign database directory produced by
+// `mntbench generate` (SaveDatabase layout: {set}__{name}__{flow}.fgl
+// files, optionally with a manifest.json) into st as one atomic batch:
+// concurrent readers see either none or all of the campaign.
+//
+// Import is idempotent by content hash — re-importing an unchanged
+// directory reports every record Unchanged and rewrites nothing, while
+// re-importing a regenerated campaign replaces only the records whose
+// layouts actually differ. When a manifest is present, each file is
+// verified against its recorded hash and the Verified flag carries
+// over from generation time.
+func ImportDir(ctx context.Context, st Storage, dir string, opts ImportOptions) (ImportReport, error) {
+	if ctx == nil {
+		//lint:ignore ctxfirst documented fallback: a nil ctx means "no caller context"
+		ctx = context.Background()
+	}
+	rep := ImportReport{Campaign: opts.Campaign}
+	if rep.Campaign == "" {
+		rep.Campaign = filepath.Base(filepath.Clean(dir))
+	}
+	manifest, err := core.ReadManifest(dir)
+	if err != nil {
+		return rep, err
+	}
+	byFile := make(map[string]core.ManifestLayout)
+	if manifest != nil {
+		for _, ml := range manifest.Layouts {
+			byFile[ml.File] = ml
+		}
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".fgl") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var batch []Item
+	for _, name := range names {
+		if cerr := ctx.Err(); cerr != nil {
+			return rep, fmt.Errorf("registry: import canceled: %w", cerr)
+		}
+		rep.Files++
+		item, reason, mismatch := importFile(dir, name, byFile, rep.Campaign, opts.SkipDRC)
+		if reason != "" {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %s", name, reason))
+			if mismatch {
+				rep.HashMismatches++
+			}
+			continue
+		}
+		batch = append(batch, item)
+	}
+	ap, err := st.Apply(batch)
+	if err != nil {
+		return rep, err
+	}
+	rep.Applied = ap
+	return rep, nil
+}
+
+// importFile reads and validates one layout file; reason is non-empty
+// when the file must be skipped.
+func importFile(dir, name string, byFile map[string]core.ManifestLayout, campaign string, skipDRC bool) (item Item, reason string, hashMismatch bool) {
+	stem := strings.TrimSuffix(name, ".fgl")
+	parts := strings.SplitN(stem, "__", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return Item{}, "not a generated layout file name", false
+	}
+	flow, err := core.ParseFlowID(parts[2])
+	if err != nil {
+		return Item{}, err.Error(), false
+	}
+	body, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return Item{}, err.Error(), false
+	}
+	hash := hashOf(body)
+	ml, inManifest := byFile[name]
+	if inManifest && ml.SHA256 != hash {
+		return Item{}, fmt.Sprintf("content hash %s disagrees with manifest (%s)", hash, ml.SHA256), true
+	}
+	l, err := fgl.Read(strings.NewReader(string(body)))
+	if err != nil {
+		return Item{}, err.Error(), false
+	}
+	if !skipDRC {
+		if derr := verify.CheckDesignRules(l).Error(); derr != nil {
+			return Item{}, derr.Error(), false
+		}
+	}
+	s := l.ComputeStats()
+	rec := Record{
+		ID:        stem,
+		Set:       parts[0],
+		Name:      parts[1],
+		FlowID:    parts[2],
+		Library:   flow.Library.Name,
+		Scheme:    flow.Scheme.Name,
+		Algorithm: string(flow.Algorithm),
+		InOrd:     flow.InputOrder,
+		PLO:       flow.PostLayout,
+		Hex:       flow.Hexagonalize,
+		Width:     s.Width,
+		Height:    s.Height,
+		Area:      s.Area,
+		Gates:     s.Gates,
+		Wires:     s.Wires,
+		Crossings: s.Crossings,
+		Inputs:    s.PIs,
+		Outputs:   s.POs,
+		Campaign:  campaign,
+	}
+	if inManifest {
+		rec.Set, rec.Name = ml.Set, ml.Name
+		rec.Verified = ml.Verified
+	}
+	// Registered benchmarks contribute their published metadata
+	// (original capitalization, logic-node count); unregistered sets
+	// import fine without it.
+	if b, berr := bench.ByName(parts[0], parts[1]); berr == nil {
+		rec.Set, rec.Name = b.Set, b.Name
+		rec.Inputs, rec.Outputs, rec.Nodes = b.PubIn, b.PubOut, b.PubNodes
+	}
+	return NewItem(rec, body), "", false
+}

@@ -1,0 +1,269 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/clocking"
+	"repro/internal/core"
+	"repro/internal/gatelib"
+)
+
+// generatedDir runs two real ortho flows, saves them exactly as
+// `mntbench generate` would (SaveDatabase + manifest), and returns the
+// directory plus the database for cross-checking.
+func generatedDir(t *testing.T) (string, *core.Database) {
+	t.Helper()
+	db := &core.Database{}
+	flow := core.Flow{Library: gatelib.QCAOne, Scheme: clocking.TwoDDWave, Algorithm: core.AlgoOrtho}
+	for _, name := range []string{"mux21", "xor2"} {
+		b, err := bench.ByName("trindade16", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.RunFlow(nil, b, flow, core.Limits{})
+		if err != nil {
+			t.Fatalf("flow on %s: %v", name, err)
+		}
+		db.Entries = append(db.Entries, e)
+	}
+	dir := filepath.Join(t.TempDir(), "campaign")
+	if _, err := core.SaveDatabase(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteManifest(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, db
+}
+
+func TestImportDirRoundTrip(t *testing.T) {
+	dir, db := generatedDir(t)
+	st := NewMemStore()
+	defer st.Close()
+
+	rep, err := ImportDir(context.Background(), st, dir, ImportOptions{Campaign: "pr10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != len(db.Entries) || rep.Added != len(db.Entries) || len(rep.Skipped) != 0 {
+		t.Fatalf("first import = %+v", rep)
+	}
+
+	// Content-addressed round trip: every imported blob must be
+	// byte-identical to the .fgl file on disk, and the record hash must
+	// match the manifest hash.
+	manifest, err := core.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ml := range manifest.Layouts {
+		id := strings.TrimSuffix(ml.File, ".fgl")
+		rec, err := st.Get(id)
+		if err != nil {
+			t.Fatalf("imported record %s missing: %v", id, err)
+		}
+		if rec.Hash != ml.SHA256 {
+			t.Fatalf("%s: record hash %s, manifest says %s", id, rec.Hash, ml.SHA256)
+		}
+		if !rec.Verified {
+			t.Errorf("%s: Verified flag lost on import", id)
+		}
+		blob, err := st.Blob(rec.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := os.ReadFile(filepath.Join(dir, ml.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(disk) {
+			t.Fatalf("%s: blob differs from on-disk .fgl", id)
+		}
+		// Published benchmark metadata is attached from the registry.
+		if rec.Set != "Trindade16" {
+			t.Errorf("%s: set = %q, want published capitalization", id, rec.Set)
+		}
+		if rec.Nodes == 0 || rec.Inputs == 0 {
+			t.Errorf("%s: published metadata missing: %+v", id, rec)
+		}
+	}
+
+	// Idempotent: re-importing the unchanged directory rewrites nothing.
+	rep, err = ImportDir(context.Background(), st, dir, ImportOptions{Campaign: "pr10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unchanged != len(db.Entries) || rep.Added != 0 || rep.Updated != 0 {
+		t.Fatalf("re-import = %+v, want all unchanged", rep)
+	}
+}
+
+func TestImportDirManifestMismatch(t *testing.T) {
+	dir, db := generatedDir(t)
+	// Corrupt one layout after the manifest was written — as if the
+	// file were half-copied.
+	var victim string
+	des, _ := os.ReadDir(dir)
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".fgl") {
+			victim = de.Name()
+			break
+		}
+	}
+	path := filepath.Join(dir, victim)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewMemStore()
+	defer st.Close()
+	rep, err := ImportDir(context.Background(), st, dir, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HashMismatches != 1 || len(rep.Skipped) != 1 {
+		t.Fatalf("report = %+v, want exactly the tampered file skipped", rep)
+	}
+	if !strings.Contains(rep.Skipped[0], victim) {
+		t.Fatalf("skip reason %q does not name %s", rep.Skipped[0], victim)
+	}
+	if rep.Added != len(db.Entries)-1 {
+		t.Fatalf("added = %d, want the untampered remainder", rep.Added)
+	}
+	// The campaign name defaults to the directory base name.
+	if rep.Campaign != "campaign" {
+		t.Fatalf("campaign = %q", rep.Campaign)
+	}
+}
+
+func TestImportDirWithoutManifest(t *testing.T) {
+	dir, db := generatedDir(t)
+	if err := os.Remove(filepath.Join(dir, core.ManifestFileName)); err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStore()
+	defer st.Close()
+	rep, err := ImportDir(context.Background(), st, dir, ImportOptions{Campaign: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != len(db.Entries) || len(rep.Skipped) != 0 {
+		t.Fatalf("manifest-less import = %+v", rep)
+	}
+}
+
+func TestImportDirIgnoresNonLayoutFiles(t *testing.T) {
+	dir, db := generatedDir(t)
+	// results.json, README, stray files — none of it is a layout.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "odd-name.fgl"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStore()
+	defer st.Close()
+	rep, err := ImportDir(context.Background(), st, dir, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != len(db.Entries) {
+		t.Fatalf("added = %d, want %d", rep.Added, len(db.Entries))
+	}
+	if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], "odd-name.fgl") {
+		t.Fatalf("skipped = %v, want only the malformed .fgl name", rep.Skipped)
+	}
+}
+
+func TestImportDirCanceled(t *testing.T) {
+	dir, _ := generatedDir(t)
+	st := NewMemStore()
+	defer st.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ImportDir(ctx, st, dir, ImportOptions{}); err == nil {
+		t.Fatal("canceled import succeeded")
+	}
+	if len(st.Snapshot()) != 0 {
+		t.Fatal("canceled import left partial records behind")
+	}
+}
+
+// TestImportChurnReadersSeeWholeCampaigns is the race-mode churn test:
+// importers land whole campaigns while concurrent readers walk the
+// store. Every campaign applies atomically, so a reader must count
+// either 0 or exactly campaignSize records for any campaign it
+// observes — a partial campaign is a snapshot-isolation bug.
+func TestImportChurnReadersSeeWholeCampaigns(t *testing.T) {
+	const (
+		campaigns    = 8
+		campaignSize = 25
+		readers      = 4
+	)
+	for backend, mk := range storeFactories(t) {
+		t.Run(backend, func(t *testing.T) {
+			st := mk()
+			defer st.Close()
+
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				for c := 0; c < campaigns; c++ {
+					var batch []Item
+					for i := 0; i < campaignSize; i++ {
+						it := fakeRecord("churn", fmt.Sprintf("c%02di%02d", c, i), "qcaone_2ddwave_ortho", c*100+i)
+						it.Record.Campaign = fmt.Sprintf("wave-%02d", c)
+						batch = append(batch, it)
+					}
+					if _, err := st.Apply(batch); err != nil {
+						t.Errorf("apply wave %d: %v", c, err)
+						return
+					}
+				}
+			}()
+
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						counts := make(map[string]int)
+						for _, rec := range st.Snapshot() {
+							counts[rec.Campaign]++
+						}
+						for campaign, n := range counts {
+							if n != campaignSize {
+								t.Errorf("reader observed partial campaign %s: %d of %d records", campaign, n, campaignSize)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			if got := len(st.Snapshot()); got != campaigns*campaignSize {
+				t.Fatalf("final store has %d records, want %d", got, campaigns*campaignSize)
+			}
+		})
+	}
+}

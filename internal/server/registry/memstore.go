@@ -1,0 +1,83 @@
+package registry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MemStore is the in-memory Storage backend: records live in a
+// copy-on-write snapshot behind an atomic pointer, so Snapshot and Get
+// are lock-free reads and Apply swaps a freshly merged slice in one
+// store. Blobs are kept in a map keyed by content hash.
+type MemStore struct {
+	snap atomic.Pointer[[]Record]
+
+	mu    sync.Mutex // serializes Apply (writers only)
+	blobs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	s := &MemStore{blobs: make(map[string][]byte)}
+	empty := []Record{}
+	s.snap.Store(&empty)
+	return s
+}
+
+// Snapshot implements Storage. The returned slice is immutable.
+func (s *MemStore) Snapshot() []Record { return *s.snap.Load() }
+
+// Get implements Storage.
+func (s *MemStore) Get(id string) (Record, error) {
+	recs := s.Snapshot()
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].ID >= id })
+	if i < len(recs) && recs[i].ID == id {
+		return recs[i], nil
+	}
+	return Record{}, ErrNotFound
+}
+
+// Blob implements Storage. In-memory blobs cannot rot, but the
+// integrity contract is verified anyway so both backends behave
+// identically under test.
+func (s *MemStore) Blob(hash string) ([]byte, error) {
+	s.mu.Lock()
+	body, ok := s.blobs[hash]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if got := hashOf(body); got != hash {
+		return nil, &IntegrityError{Hash: hash, Got: got}
+	}
+	return body, nil
+}
+
+// Apply implements Storage: the whole batch becomes visible in one
+// atomic snapshot swap, so a concurrent reader sees either none or all
+// of an imported campaign.
+func (s *MemStore) Apply(batch []Item) (Applied, error) {
+	for _, it := range batch {
+		if err := validateID(it.Record.ID); err != nil {
+			return Applied{}, err
+		}
+	}
+	sorted := sortBatch(batch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range sorted {
+		if _, ok := s.blobs[it.Record.Hash]; !ok {
+			s.blobs[it.Record.Hash] = append([]byte(nil), it.Body...)
+		}
+	}
+	merged, ap := mergeSnapshot(*s.snap.Load(), sorted)
+	s.snap.Store(&merged)
+	return ap, nil
+}
+
+// Stats implements Storage.
+func (s *MemStore) Stats() Stats { return statsOf(s.Snapshot()) }
+
+// Close implements Storage; a no-op for memory.
+func (s *MemStore) Close() error { return nil }

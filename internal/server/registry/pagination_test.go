@@ -1,0 +1,227 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// seedStore fills a memstore with n records whose IDs sort in a known
+// order; odd indices carry the "Bestagon" library so filter+cursor
+// interplay can be exercised.
+func seedStore(t *testing.T, n int) *MemStore {
+	t.Helper()
+	st := NewMemStore()
+	var batch []Item
+	for i := 0; i < n; i++ {
+		it := fakeRecord("set", fmt.Sprintf("f%03d", i), "qcaone_2ddwave_ortho", 10+i)
+		if i%2 == 1 {
+			it.Record.Library = "Bestagon"
+		}
+		batch = append(batch, it)
+	}
+	if _, err := st.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPaginationEdgeCases(t *testing.T) {
+	bestagon := "bestagon"
+	tests := []struct {
+		name    string
+		records int
+		limit   int
+		filter  Filter
+		cursor  func(st Storage) string // built per test; nil = empty
+		wantIDs int                     // full-walk expectation
+		wantErr bool                    // first page errors
+	}{
+		{name: "empty store", records: 0, limit: 10, wantIDs: 0},
+		{name: "single page exact fit", records: 10, limit: 10, wantIDs: 10},
+		{name: "exact page boundary", records: 20, limit: 10, wantIDs: 20},
+		{name: "limit larger than store", records: 3, limit: 100, wantIDs: 3},
+		{name: "limit one", records: 5, limit: 1, wantIDs: 5},
+		{name: "zero limit uses default", records: 7, limit: 0, wantIDs: 7},
+		{name: "filter plus cursor", records: 30, limit: 4,
+			filter: Filter{Library: bestagon}, wantIDs: 15},
+		{name: "filter matches nothing", records: 10, limit: 5,
+			filter: Filter{Library: "ToPoliNano"}, wantIDs: 0},
+		{name: "garbage cursor", records: 5, limit: 5, wantErr: true,
+			cursor: func(Storage) string { return "!!!not-base64!!!" }},
+		{name: "valid base64, junk payload", records: 5, limit: 5, wantErr: true,
+			cursor: func(Storage) string { return "bm90LWpzb24" }}, // "not-json"
+		{name: "cursor minted under different filter", records: 10, limit: 5, wantErr: true,
+			cursor: func(Storage) string { return EncodeCursor(Filter{Library: bestagon}, "set__f001__x") }},
+		{name: "cursor version from the future", records: 5, limit: 5, wantErr: true,
+			cursor: func(Storage) string { return "eyJ2Ijo5OSwiYSI6IngiLCJmIjoieCJ9" }}, // {"v":99,...}
+		{name: "expired cursor pointing at a deleted record resumes cleanly",
+			records: 10, limit: 3,
+			cursor: func(Storage) string {
+				// "set__f004x" never existed; the walk resumes strictly
+				// after it (f005 onward) rather than erroring.
+				return EncodeCursor(Filter{}, "set__f004x__zz")
+			}, wantIDs: 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			st := seedStore(t, tc.records)
+			cur := ""
+			if tc.cursor != nil {
+				cur = tc.cursor(st)
+			}
+			page, err := ListPage(st.Snapshot(), tc.filter, cur, tc.limit)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ListPage succeeded (%d records), want a cursor error", len(page.Records))
+				}
+				var bc *BadCursorError
+				if !errors.As(err, &bc) {
+					t.Fatalf("error %v is not a BadCursorError", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Resume the full walk from the tested starting point.
+			ids := page.recordIDs()
+			for page.NextCursor != "" {
+				page, err = ListPage(st.Snapshot(), tc.filter, page.NextCursor, tc.limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, page.recordIDs()...)
+			}
+			if len(ids) != tc.wantIDs {
+				t.Fatalf("walk returned %d records, want %d: %v", len(ids), tc.wantIDs, ids)
+			}
+			seen := make(map[string]bool)
+			prev := ""
+			for _, id := range ids {
+				if seen[id] {
+					t.Fatalf("id %s returned twice", id)
+				}
+				seen[id] = true
+				if id <= prev {
+					t.Fatalf("ids out of order: %s after %s", id, prev)
+				}
+				prev = id
+			}
+		})
+	}
+}
+
+func (p Page) recordIDs() []string {
+	ids := make([]string, 0, len(p.Records))
+	for _, r := range p.Records {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+// TestPaginationExactBoundaryNoTrailingCursor pins that a store whose
+// size is an exact multiple of the page size never mints a cursor for
+// an empty final page.
+func TestPaginationExactBoundaryNoTrailingCursor(t *testing.T) {
+	st := seedStore(t, 20)
+	pages := 0
+	cur := ""
+	for {
+		page, err := ListPage(st.Snapshot(), Filter{}, cur, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(page.Records) == 0 {
+			t.Fatalf("page %d is empty", pages)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cur = page.NextCursor
+	}
+	if pages != 2 {
+		t.Fatalf("20 records / limit 10 walked in %d pages, want 2", pages)
+	}
+}
+
+// TestPaginationStableUnderConcurrentInserts pins the key-based cursor
+// contract: records present before the walk begins are each returned
+// exactly once even while an importer keeps inserting new records
+// between page fetches.
+func TestPaginationStableUnderConcurrentInserts(t *testing.T) {
+	st := seedStore(t, 50)
+	initial := make(map[string]bool)
+	for _, r := range st.Snapshot() {
+		initial[r.ID] = true
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := fakeRecord("zset", fmt.Sprintf("new%04d", i), "qcaone_2ddwave_ortho", 1000+i)
+			if _, err := st.Apply([]Item{it}); err != nil {
+				return
+			}
+		}
+	}()
+
+	seen := make(map[string]int)
+	cur := ""
+	for {
+		page, err := ListPage(st.Snapshot(), Filter{}, cur, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Records {
+			seen[r.ID]++
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cur = page.NextCursor
+	}
+	close(stop)
+	wg.Wait()
+
+	for id := range initial {
+		if seen[id] != 1 {
+			t.Errorf("initial record %s seen %d times, want exactly once", id, seen[id])
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("record %s duplicated across pages (%d times)", id, n)
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	f := Filter{Library: "QCA ONE", AreaMax: intp(100)}
+	cur := EncodeCursor(f, "a__b__c")
+	after, err := DecodeCursor(f, cur)
+	if err != nil || after != "a__b__c" {
+		t.Fatalf("round trip = %q, %v", after, err)
+	}
+	// Same filter expressed as a different-but-equal value still matches.
+	f2 := Filter{Library: "qca one", AreaMax: intp(100)}
+	if _, err := DecodeCursor(f2, cur); err != nil {
+		t.Fatalf("case-insensitive filter signature mismatch: %v", err)
+	}
+	// Empty cursor starts from the beginning.
+	if after, err := DecodeCursor(f, ""); err != nil || after != "" {
+		t.Fatalf("empty cursor = %q, %v", after, err)
+	}
+}
+
+func intp(n int) *int { return &n }

@@ -1,0 +1,271 @@
+// Package registry is the storage layer of the MNT Bench layout
+// registry service: a catalogue of FCN gate-level layouts addressed two
+// ways — by a stable identifier ({set}__{name}__{flowID}) for browsing
+// and by the SHA-256 content hash of the .fgl body for caching. The
+// package provides a pluggable Storage interface with an in-memory
+// backend and an on-disk content-addressed backend, a filter grammar
+// mirroring the MNT Bench website's selection panes, opaque key-based
+// pagination cursors, and a bulk importer that idempotently ingests
+// campaign databases produced by `mntbench generate`.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fgl"
+)
+
+// ErrNotFound marks lookups of unknown layout IDs or blob hashes;
+// check with errors.Is.
+var ErrNotFound = errors.New("registry: not found")
+
+// IntegrityError reports a stored blob whose bytes no longer match the
+// content hash it is addressed by — on-disk corruption, a truncated
+// write, or manual tampering. It must surface as an error (HTTP 500),
+// never as a successful download of damaged data.
+type IntegrityError struct {
+	Hash string // expected content hash (lowercase hex)
+	Got  string // hash of the bytes actually read
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("registry: blob %s failed integrity check (content hashes to %s)", e.Hash, e.Got)
+}
+
+// ErrIntegrity is the sentinel matched by errors.Is for any
+// *IntegrityError.
+var ErrIntegrity = errors.New("registry: integrity check failed")
+
+// Is makes errors.Is(err, ErrIntegrity) match.
+func (e *IntegrityError) Is(target error) bool { return target == ErrIntegrity }
+
+// Record is the registry's metadata for one stored layout. The blob
+// itself lives behind the Hash; Record is what lists and filters
+// operate on.
+type Record struct {
+	// ID is the stable catalogue identifier:
+	// {set}__{name}__{flowID}, lowercased set and name, exactly the
+	// file stem SaveDatabase writes. Re-importing a regenerated
+	// campaign replaces records in place by ID.
+	ID string `json:"id"`
+
+	Set    string `json:"set"`  // benchmark suite, original capitalization
+	Name   string `json:"name"` // function name, original capitalization
+	FlowID string `json:"flow"` // compact flow identifier (core.Flow.ID())
+
+	Library   string `json:"library"`   // gate library display name
+	Scheme    string `json:"clocking"`  // clocking scheme display name
+	Algorithm string `json:"algorithm"` // physical design algorithm
+	InOrd     bool   `json:"input_ordering"`
+	PLO       bool   `json:"post_layout_optimization"`
+	Hex       bool   `json:"hexagonalization"`
+
+	Width     int `json:"width"`
+	Height    int `json:"height"`
+	Area      int `json:"area"`
+	Gates     int `json:"gates"`
+	Wires     int `json:"wires"`
+	Crossings int `json:"crossings"`
+
+	Inputs  int `json:"inputs"`          // primary inputs
+	Outputs int `json:"outputs"`         // primary outputs
+	Nodes   int `json:"nodes,omitempty"` // published logic-node count, 0 when unknown
+
+	// Hash is the lowercase hex SHA-256 of the .fgl body — the
+	// layout's content address and its HTTP ETag.
+	Hash string `json:"sha256"`
+	// Size is the .fgl body length in bytes.
+	Size int64 `json:"bytes"`
+
+	// Campaign names the import batch the record arrived with
+	// ("live" for layouts generated in-process).
+	Campaign string `json:"campaign,omitempty"`
+
+	// Verified is true when the layout passed full equivalence
+	// checking at generation time (DRC always ran).
+	Verified bool `json:"verified"`
+
+	// RuntimeS is the physical-design wall time in seconds; zero for
+	// imported layouts, whose generation effort is unknown.
+	RuntimeS float64 `json:"runtime_seconds,omitempty"`
+}
+
+// Item pairs a record with its .fgl body for an atomic batch write.
+type Item struct {
+	Record Record
+	Body   []byte
+}
+
+// Applied summarizes one atomic batch write.
+type Applied struct {
+	Added     int // new IDs
+	Updated   int // existing IDs whose content hash changed
+	Unchanged int // existing IDs re-imported with an identical hash
+}
+
+// Stats summarizes a store for the /v1/stats endpoint.
+type Stats struct {
+	Layouts   int
+	Blobs     int // distinct content hashes
+	Bytes     int64
+	Campaigns []string // sorted distinct campaign names
+}
+
+// Storage is the pluggable persistence seam of the registry. All
+// methods are safe for concurrent use; Apply is atomic with respect to
+// Snapshot and Get — a reader either sees an entire batch or none of
+// it, never a partially imported campaign.
+type Storage interface {
+	// Snapshot returns every record sorted by ID ascending. The
+	// returned slice and its elements are immutable: implementations
+	// hand out copy-on-write snapshots, so callers may hold one across
+	// concurrent Applies.
+	Snapshot() []Record
+	// Get returns the record with the given ID, or ErrNotFound.
+	Get(id string) (Record, error)
+	// Blob returns the .fgl body with the given content hash after
+	// verifying it, or ErrNotFound / an *IntegrityError.
+	Blob(hash string) ([]byte, error)
+	// Apply atomically inserts or replaces the batch.
+	Apply(batch []Item) (Applied, error)
+	// Stats summarizes the store.
+	Stats() Stats
+	// Close releases backend resources. Memory-backed stores no-op.
+	Close() error
+}
+
+// hashOf content-addresses a blob body; shared by both backends.
+func hashOf(body []byte) string { return core.HashBytes(body) }
+
+// NewItem builds the Item for a record-less layout body: it parses
+// nothing and trusts rec except for Hash and Size, which are always
+// recomputed from body so a record can never disagree with its blob.
+func NewItem(rec Record, body []byte) Item {
+	rec.Hash = core.HashBytes(body)
+	rec.Size = int64(len(body))
+	return Item{Record: rec, Body: body}
+}
+
+// FromEntry renders a generated entry into an importable Item. The
+// entry must retain its layout.
+func FromEntry(e *core.Entry, campaign string) (Item, error) {
+	if e.Layout == nil {
+		return Item{}, fmt.Errorf("registry: entry %s has no layout (generated with DiscardLayouts?)", core.EntryFileName(e))
+	}
+	text, err := fgl.WriteString(e.Layout)
+	if err != nil {
+		return Item{}, err
+	}
+	rec := Record{
+		ID:        core.EntryFileName(e),
+		Set:       e.Benchmark.Set,
+		Name:      e.Benchmark.Name,
+		FlowID:    e.Flow.ID(),
+		Library:   e.Flow.Library.Name,
+		Scheme:    e.Flow.Scheme.Name,
+		Algorithm: string(e.Flow.Algorithm),
+		InOrd:     e.Flow.InputOrder,
+		PLO:       e.Flow.PostLayout,
+		Hex:       e.Flow.Hexagonalize,
+		Width:     e.Width,
+		Height:    e.Height,
+		Area:      e.Area,
+		Gates:     e.Gates,
+		Wires:     e.Wires,
+		Crossings: e.Crossings,
+		Inputs:    e.Benchmark.PubIn,
+		Outputs:   e.Benchmark.PubOut,
+		Nodes:     e.Benchmark.PubNodes,
+		Campaign:  campaign,
+		Verified:  e.Verified,
+		RuntimeS:  e.Runtime.Seconds(),
+	}
+	return NewItem(rec, []byte(text)), nil
+}
+
+// validateID rejects identifiers that could escape the catalogue
+// namespace (path separators, empty segments). IDs come from file
+// stems and URL segments alike.
+func validateID(id string) error {
+	if id == "" {
+		return errors.New("registry: empty layout id")
+	}
+	if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("registry: invalid layout id %q", id)
+	}
+	parts := strings.SplitN(id, "__", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fmt.Errorf("registry: layout id %q is not set__name__flow", id)
+	}
+	return nil
+}
+
+// sortBatch orders a batch by ID so store snapshots rebuild in one
+// merge pass and duplicate IDs within a batch resolve deterministically
+// (the last occurrence wins — the sort is stable).
+func sortBatch(batch []Item) []Item {
+	out := make([]Item, len(batch))
+	copy(out, batch)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Record.ID < out[j].Record.ID })
+	return out
+}
+
+// mergeSnapshot merges a sorted batch into a sorted snapshot,
+// replacing records whose ID already exists, and reports what changed.
+// Both inputs must be sorted by ID; the result is a fresh slice.
+func mergeSnapshot(cur []Record, batch []Item) ([]Record, Applied) {
+	var ap Applied
+	out := make([]Record, 0, len(cur)+len(batch))
+	i, j := 0, 0
+	for i < len(cur) || j < len(batch) {
+		// Collapse duplicate IDs within the batch: last wins.
+		for j+1 < len(batch) && batch[j].Record.ID == batch[j+1].Record.ID {
+			j++
+		}
+		switch {
+		case j >= len(batch) || (i < len(cur) && cur[i].ID < batch[j].Record.ID):
+			out = append(out, cur[i])
+			i++
+		case i >= len(cur) || cur[i].ID > batch[j].Record.ID:
+			out = append(out, batch[j].Record)
+			ap.Added++
+			j++
+		default: // same ID: batch replaces
+			if cur[i].Hash == batch[j].Record.Hash {
+				ap.Unchanged++
+			} else {
+				ap.Updated++
+			}
+			out = append(out, batch[j].Record)
+			i++
+			j++
+		}
+	}
+	return out, ap
+}
+
+// statsOf computes Stats over a snapshot.
+func statsOf(recs []Record) Stats {
+	s := Stats{Layouts: len(recs)}
+	hashes := make(map[string]int64, len(recs))
+	camps := make(map[string]bool)
+	for _, r := range recs {
+		hashes[r.Hash] = r.Size
+		if r.Campaign != "" {
+			camps[r.Campaign] = true
+		}
+	}
+	s.Blobs = len(hashes)
+	for _, sz := range hashes {
+		s.Bytes += sz
+	}
+	for c := range camps {
+		s.Campaigns = append(s.Campaigns, c)
+	}
+	sort.Strings(s.Campaigns)
+	return s
+}

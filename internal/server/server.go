@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/render"
+	"repro/internal/server/registry"
 	"repro/internal/verify"
 	"repro/internal/verilog"
 )
@@ -33,6 +34,7 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler           // mux wrapped in the obs middleware
 	entries map[string]*core.Entry // id -> entry
+	store   registry.Storage       // backs the /v1 registry API
 	reg     *obs.Registry
 	log     *obs.Logger
 	traces  *obs.TraceStore
@@ -68,6 +70,12 @@ func WithTraces(ts *obs.TraceStore) Option { return func(s *Server) { s.traces =
 // directory, where the committed trajectory lives).
 func WithPerfDir(dir string) Option { return func(s *Server) { s.perfDir = dir } }
 
+// WithStorage backs the /v1 registry API with st — typically an
+// on-disk content-addressed store opened with registry.OpenDiskStore,
+// so listings and ETags survive restarts. Without it the server seeds
+// an in-memory store from the live database.
+func WithStorage(st registry.Storage) Option { return func(s *Server) { s.store = st } }
+
 // WithJournal streams j's live campaign events at /debug/events as
 // Server-Sent Events. Without it the endpoint responds 503 (the nil
 // journal's handler), so clients get a clear signal instead of a 404.
@@ -92,6 +100,14 @@ func New(db *core.Database, opts ...Option) *Server {
 	for _, e := range db.Entries {
 		s.entries[entryID(e)] = e
 	}
+	if s.store == nil {
+		s.store = registry.NewMemStore()
+	}
+	if err := seedStore(s.store, db); err != nil {
+		// A layout that cannot render blocks only the registry view of
+		// the database, not the whole UI.
+		s.log.Warn("seeding registry store", "err", err)
+	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/api/filters", s.handleFilters)
@@ -99,6 +115,7 @@ func New(db *core.Database, opts ...Option) *Server {
 	s.mux.HandleFunc("/download/bundle.zip", s.handleBundle)
 	s.mux.HandleFunc("/preview/", s.handlePreview)
 	s.mux.HandleFunc("/api/submit", s.handleSubmit)
+	s.mountV1()
 	// Every scrape resamples the Go runtime so the mntbench_go_* gauges
 	// are current without a background goroutine per Server.
 	metricsHandler := s.reg.MetricsHandler()
@@ -160,8 +177,15 @@ func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
 	case p == "/", p == "/metrics", p == "/healthz", p == "/readyz",
-		p == "/api/benchmarks", p == "/api/filters", p == "/api/submit":
+		p == "/api/benchmarks", p == "/api/filters", p == "/api/submit",
+		p == "/v1", p == "/v1/layouts", p == "/v1/filters", p == "/v1/stats":
 		return p
+	case strings.HasSuffix(p, "/layout.fgl") && strings.HasPrefix(p, "/v1/layouts/"):
+		return "/v1/download"
+	case strings.HasPrefix(p, "/v1/layouts/"):
+		return "/v1/layout"
+	case strings.HasPrefix(p, "/v1/blobs/"):
+		return "/v1/blob"
 	case strings.HasPrefix(p, "/download/"):
 		return "/download"
 	case strings.HasPrefix(p, "/preview/"):
@@ -461,6 +485,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	e.Gates, e.Wires, e.Crossings = st.Gates, st.Wires, st.Crossings
 	s.db.Entries = append(s.db.Entries, e)
 	s.entries[entryID(e)] = e
+	if item, ierr := registry.FromEntry(e, "submitted"); ierr == nil {
+		if _, aerr := s.store.Apply([]registry.Item{item}); aerr != nil {
+			s.log.Warn("registering submitted layout", "err", aerr)
+		}
+	}
 	s.log.Info("layout submitted", "set", bm.Set, "benchmark", bm.Name,
 		"library", lib.Name, "area", e.Area)
 
